@@ -1,0 +1,95 @@
+// E4 — §5.1 anecdotes: every qualitative ranking claim of the paper, rerun.
+//
+//  - "Mohan"                -> C. Mohan, then Mohan Ahuja, then Mohan Kamat
+//  - "transaction"          -> Gray's classic + the Gray&Reuter book top-2
+//  - "computer engineering" -> the CSE department above title-only theses
+//  - "sudarshan aditya"     -> Aditya's thesis advised by Sudarshan
+//  - "soumen sunita"        -> the co-authored papers (Figure 2)
+//  - "seltzer sunita"       -> Stonebraker as the bridging root
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+
+using namespace banks;
+using namespace banks::bench;
+
+namespace {
+
+bool AnswerContains(const BanksEngine& engine, const ConnectionTree& tree,
+                    const std::string& label) {
+  for (NodeId n : tree.Nodes()) {
+    ConnectionTree probe;
+    probe.root = n;
+    if (engine.RootLabel(probe) == label) return true;
+  }
+  return false;
+}
+
+void RunQuery(const BanksEngine& engine, const std::string& query,
+              const std::vector<std::pair<std::string, std::string>>&
+                  expectations) {
+  std::printf("\nquery: \"%s\"\n", query.c_str());
+  auto result = engine.Search(query);
+  if (!result.ok()) {
+    std::printf("  FAILED: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  const auto& answers = result.value().answers;
+  for (size_t i = 0; i < answers.size() && i < 5; ++i) {
+    std::printf("  #%zu  rel=%.4f  root=%s\n", i + 1, answers[i].relevance,
+                engine.RootLabel(answers[i]).c_str());
+  }
+  for (const auto& [description, label] : expectations) {
+    int rank = -1;
+    for (size_t i = 0; i < answers.size(); ++i) {
+      if (AnswerContains(engine, answers[i], label)) {
+        rank = static_cast<int>(i) + 1;
+        break;
+      }
+    }
+    std::printf("  expect %-46s -> %s (rank %d)\n", description.c_str(),
+                rank > 0 ? "FOUND" : "MISSING", rank);
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("bench_anecdotes — the §5.1 anecdotal queries", "§5.1");
+
+  EvalWorkload workload(EvalDblpConfig(), EvalThesisConfig());
+  const BanksEngine& dblp = workload.dblp_engine();
+  const BanksEngine& thesis = workload.thesis_engine();
+  const DblpPlanted& dp = workload.dblp_planted();
+  const ThesisPlanted& tp = workload.thesis_planted();
+
+  RunQuery(dblp, "mohan",
+           {{"C. Mohan first (most prolific)",
+             "Author(" + dp.c_mohan + ")"},
+            {"Mohan Ahuja next", "Author(" + dp.mohan_ahuja + ")"},
+            {"Mohan Kamat last", "Author(" + dp.mohan_kamat + ")"}});
+
+  RunQuery(dblp, "transaction",
+           {{"Gray's classic paper",
+             "Paper(" + dp.gray_transaction_paper + ")"},
+            {"Gray & Reuter book", "Paper(" + dp.gray_reuter_book + ")"}});
+
+  RunQuery(dblp, "soumen sunita",
+           {{"ChakrabartiSD98 (Figure 2)",
+             "Paper(" + dp.soumen_sunita_papers[0] + ")"},
+            {"second joint paper",
+             "Paper(" + dp.soumen_sunita_papers[1] + ")"}});
+
+  RunQuery(dblp, "seltzer sunita",
+           {{"Stonebraker as the bridge",
+             "Author(" + dp.stonebraker + ")"}});
+
+  RunQuery(thesis, "computer engineering",
+           {{"the CSE department node", "Department(" + tp.cse_dept + ")"}});
+
+  RunQuery(thesis, "sudarshan aditya",
+           {{"Aditya's thesis advised by Sudarshan",
+             "Thesis(" + tp.aditya_thesis + ")"}});
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared helpers for the experiment benches: a fixed evaluation scale and
+// simple table printing. Every bench prints a deterministic, self-describing
+// report mapping back to the paper's figures (see DESIGN.md §4).
+#ifndef BANKS_BENCH_BENCH_COMMON_H_
+#define BANKS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/workload.h"
+
+namespace banks::bench {
+
+/// Standard evaluation scale used by the quality benches (large enough for
+/// realistic competition, small enough to run in seconds).
+inline DblpConfig EvalDblpConfig() {
+  DblpConfig config;
+  config.num_authors = 400;
+  config.num_papers = 800;
+  config.seed = 42;
+  return config;
+}
+
+inline ThesisConfig EvalThesisConfig() {
+  ThesisConfig config;
+  config.num_faculty = 120;
+  config.num_students = 800;
+  config.seed = 7;
+  return config;
+}
+
+/// The ~100K node / ~300K edge scale of the paper's §5.2 experiment:
+/// nodes = authors + papers + writes + cites; edges = 2 directed per link,
+/// 2 links per Writes/Cites tuple.
+inline DblpConfig PaperScaleDblpConfig() {
+  DblpConfig config;
+  config.num_authors = 12'000;
+  config.num_papers = 20'000;
+  config.authors_per_paper_mean = 2.2;
+  config.cites_per_paper_mean = 1.2;
+  config.seed = 42;
+  return config;
+}
+
+inline void PrintRule(char c = '-') {
+  for (int i = 0; i < 78; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  PrintRule('=');
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  PrintRule('=');
+}
+
+}  // namespace banks::bench
+
+#endif  // BANKS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,69 @@
+// A6 — extension (§7): forward search from selective keywords.
+//
+// "Query evaluation with keywords matching metadata can be relatively
+// slow, since a large number of tuples may be defined to be relevant ...
+// We are working on techniques to speed up such queries by not performing
+// backward search from large numbers of nodes, and instead searching
+// forwards from probable information nodes corresponding to more selective
+// keywords." This bench runs queries pairing one selective keyword with
+// one metadata keyword (every Author tuple matches "author") and compares
+// backward vs forward expanding search.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/forward_search.h"
+#include "util/timer.h"
+
+using namespace banks;
+using namespace banks::bench;
+
+int main() {
+  PrintHeader("bench_forward_vs_backward — metadata-heavy keyword queries",
+              "§7 ongoing work (no figure)");
+
+  DblpConfig config = EvalDblpConfig();
+  config.num_authors = 2'000;
+  config.num_papers = 4'000;
+  DblpDataset ds = GenerateDblp(config);
+  BanksEngine engine(std::move(ds.db), EvalWorkload::DefaultOptions());
+  const DataGraph& dg = engine.data_graph();
+
+  const char* queries[] = {"author soumen", "author mohan",
+                           "paper transaction", "writes sunita"};
+  std::printf("\n%-20s %10s | %12s %10s | %12s %10s\n", "query",
+              "|S_meta|", "bwd(ms)", "answers", "fwd(ms)", "answers");
+  for (const char* q : queries) {
+    auto parsed = ParseQuery(q);
+    KeywordResolver resolver(engine.db(), dg, engine.inverted_index(),
+                             engine.metadata_index());
+    auto sets = resolver.ResolveAll(parsed, engine.options().match);
+    size_t max_set = 0;
+    for (const auto& s : sets) max_set = std::max(max_set, s.size());
+    bool viable = true;
+    for (const auto& s : sets) viable &= !s.empty();
+    if (!viable) {
+      std::printf("%-20s %10s\n", q, "(no match)");
+      continue;
+    }
+
+    Timer tb;
+    SearchOptions bopts = engine.options().search;
+    BackwardSearch bs(dg, bopts);
+    auto bwd = bs.Run(sets);
+    double bwd_ms = tb.Millis();
+
+    Timer tf;
+    ForwardSearchOptions fopts;
+    fopts.excluded_root_tables = bopts.excluded_root_tables;
+    ForwardSearch fs(dg, fopts);
+    auto fwd = fs.Run(sets);
+    double fwd_ms = tf.Millis();
+
+    std::printf("%-20s %10zu | %12.1f %10zu | %12.1f %10zu\n", q, max_set,
+                bwd_ms, bwd.size(), fwd_ms, fwd.size());
+  }
+  std::printf("\nshape check: when one keyword matches thousands of tuples, "
+              "forward search from the\nselective keyword's neighbourhood "
+              "avoids the per-matching-node iterator blowup.\n");
+  return 0;
+}

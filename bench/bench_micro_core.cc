@@ -1,0 +1,103 @@
+// Micro-benchmarks (google-benchmark) for the core primitives: graph
+// construction, shortest-path iterator throughput, inverted-index lookup
+// and end-to-end query latency. These are engineering numbers (no paper
+// counterpart) used to track regressions.
+#include <benchmark/benchmark.h>
+
+#include "core/backward_search.h"
+#include "core/sp_iterator.h"
+#include "datagen/dblp_gen.h"
+#include "eval/workload.h"
+
+namespace banks {
+namespace {
+
+const DblpDataset& SharedDataset() {
+  static const DblpDataset* ds = [] {
+    DblpConfig config;
+    config.num_authors = 2'000;
+    config.num_papers = 4'000;
+    return new DblpDataset(GenerateDblp(config));
+  }();
+  return *ds;
+}
+
+const BanksEngine& SharedEngine() {
+  static const BanksEngine* engine = [] {
+    DblpConfig config;
+    config.num_authors = 2'000;
+    config.num_papers = 4'000;
+    DblpDataset ds = GenerateDblp(config);
+    return new BanksEngine(std::move(ds.db),
+                           EvalWorkload::DefaultOptions());
+  }();
+  return *engine;
+}
+
+void BM_GraphBuild(benchmark::State& state) {
+  const Database& db = SharedDataset().db;
+  for (auto _ : state) {
+    DataGraph dg = BuildDataGraph(db);
+    benchmark::DoNotOptimize(dg.graph.num_edges());
+  }
+}
+BENCHMARK(BM_GraphBuild)->Unit(benchmark::kMillisecond);
+
+void BM_InvertedIndexBuild(benchmark::State& state) {
+  const Database& db = SharedDataset().db;
+  for (auto _ : state) {
+    InvertedIndex index;
+    index.Build(db);
+    benchmark::DoNotOptimize(index.num_postings());
+  }
+}
+BENCHMARK(BM_InvertedIndexBuild)->Unit(benchmark::kMillisecond);
+
+void BM_IndexLookup(benchmark::State& state) {
+  const BanksEngine& engine = SharedEngine();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.inverted_index().Lookup("transaction"));
+    benchmark::DoNotOptimize(engine.inverted_index().Lookup("soumen"));
+  }
+}
+BENCHMARK(BM_IndexLookup);
+
+void BM_SpIteratorFullSweep(benchmark::State& state) {
+  const BanksEngine& engine = SharedEngine();
+  const Graph& g = engine.data_graph().graph;
+  for (auto _ : state) {
+    SpIterator it(g, 0);
+    size_t visits = 0;
+    while (it.HasNext()) {
+      it.Next();
+      ++visits;
+    }
+    benchmark::DoNotOptimize(visits);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_nodes()));
+}
+BENCHMARK(BM_SpIteratorFullSweep)->Unit(benchmark::kMillisecond);
+
+void BM_QueryTwoKeywords(benchmark::State& state) {
+  const BanksEngine& engine = SharedEngine();
+  for (auto _ : state) {
+    auto result = engine.Search("soumen sunita");
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_QueryTwoKeywords)->Unit(benchmark::kMillisecond);
+
+void BM_QuerySingleKeywordPrestige(benchmark::State& state) {
+  const BanksEngine& engine = SharedEngine();
+  for (auto _ : state) {
+    auto result = engine.Search("mohan");
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_QuerySingleKeywordPrestige)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace banks
+
+BENCHMARK_MAIN();

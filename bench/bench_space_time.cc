@@ -1,0 +1,65 @@
+// E5/E6 — §5.2 space and time.
+//
+// The paper: "For a bibliographic database with 100K nodes and 300K edges,
+// memory utilization was around 120 MB [Java] ... The graph currently takes
+// about 2 minutes to load ... queries take about a second to a few seconds."
+// This bench generates a synthetic DBLP at the same graph scale, measures
+// graph construction time, in-memory graph size, keyword-index size, and
+// per-query latency on the evaluation workload queries.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/timer.h"
+
+using namespace banks;
+using namespace banks::bench;
+
+int main() {
+  PrintHeader("bench_space_time — graph footprint and query latency",
+              "§5.2 (100K nodes / 300K edges; Java: ~120 MB, ~2 min load, "
+              "~1s-few s per query)");
+
+  Timer gen_timer;
+  DblpDataset ds = GenerateDblp(PaperScaleDblpConfig());
+  double gen_s = gen_timer.Seconds();
+
+  BanksOptions options = EvalWorkload::DefaultOptions();
+
+  Timer build_timer;
+  BanksEngine engine(std::move(ds.db), options);
+  double build_s = build_timer.Seconds();
+
+  const DataGraph& dg = engine.data_graph();
+  std::printf("\ndataset generation: %.2f s\n", gen_s);
+  std::printf("engine build (index + metadata + graph): %.2f s   "
+              "(paper: ~120 s in Java)\n", build_s);
+  std::printf("graph: %zu nodes, %zu directed edges\n",
+              dg.graph.num_nodes(), dg.graph.num_edges());
+  std::printf("graph memory: %.1f MB   (paper: ~120 MB in Java)\n",
+              dg.MemoryBytes() / (1024.0 * 1024.0));
+  std::printf("inverted index: %zu keywords, %zu postings\n",
+              engine.inverted_index().num_keywords(),
+              engine.inverted_index().num_postings());
+
+  const char* queries[] = {"soumen sunita", "seltzer sunita",   "mohan",
+                           "transaction",   "gray transaction", "database",
+                           "query optimization"};
+  std::printf("\n%-24s %10s %10s %12s %10s\n", "query", "answers",
+              "time(ms)", "visits", "trees");
+  for (const char* q : queries) {
+    Timer t;
+    auto result = engine.Search(q);
+    double ms = t.Millis();
+    if (!result.ok()) {
+      std::printf("%-24s %10s\n", q, "ERROR");
+      continue;
+    }
+    std::printf("%-24s %10zu %10.1f %12zu %10zu\n", q,
+                result.value().answers.size(), ms,
+                result.value().stats.iterator_visits,
+                result.value().stats.trees_generated);
+  }
+  std::printf("\npaper: about a second to a few seconds per query on this "
+              "scale (Java prototype).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// A8 — extension experiment: keyword search over shredded XML (§6/§7).
+//
+// Exports the synthetic DBLP database as XML, shreds it back through the
+// Element/Attribute containment model, and compares search behaviour and
+// cost against the native relational representation of the same data.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/timer.h"
+#include "xml/xml_export.h"
+#include "xml/xml_shred.h"
+
+using namespace banks;
+using namespace banks::bench;
+
+int main() {
+  PrintHeader("bench_xml_scale — search over shredded XML vs native tables",
+              "§6/§7 XML support (no figure)");
+
+  DblpConfig config;
+  config.num_authors = 1'000;
+  config.num_papers = 2'000;
+  DblpDataset ds = GenerateDblp(config);
+
+  // Native relational engine.
+  Timer t_rel;
+  BanksEngine relational(std::move(ds.db), EvalWorkload::DefaultOptions());
+  double rel_build_s = t_rel.Seconds();
+
+  // Same data as one XML document, shredded.
+  Timer t_export;
+  std::string xml = ExportDatabaseXml(relational.db());
+  double export_s = t_export.Seconds();
+  Timer t_shred;
+  auto shredded = XmlToDatabase(xml);
+  if (!shredded.ok()) {
+    std::printf("shred failed: %s\n", shredded.status().ToString().c_str());
+    return 1;
+  }
+  double shred_s = t_shred.Seconds();
+  Timer t_xml_engine;
+  BanksEngine xml_engine(std::move(shredded).value());
+  double xml_build_s = t_xml_engine.Seconds();
+
+  std::printf("\nXML document: %.1f MB (export %.2f s, parse+shred %.2f s)\n",
+              xml.size() / (1024.0 * 1024.0), export_s, shred_s);
+  std::printf("%-22s %14s %14s\n", "", "relational", "shredded XML");
+  std::printf("%-22s %14zu %14zu\n", "graph nodes",
+              relational.data_graph().graph.num_nodes(),
+              xml_engine.data_graph().graph.num_nodes());
+  std::printf("%-22s %14zu %14zu\n", "graph edges",
+              relational.data_graph().graph.num_edges(),
+              xml_engine.data_graph().graph.num_edges());
+  std::printf("%-22s %14.2f %14.2f\n", "engine build (s)", rel_build_s,
+              xml_build_s);
+
+  std::printf("\n%-22s | %10s %8s | %10s %8s\n", "query", "rel(ms)", "ans",
+              "xml(ms)", "ans");
+  for (const char* q : {"soumen sunita", "transaction", "gray transaction"}) {
+    Timer tr;
+    auto rel_result = relational.Search(q);
+    double rel_ms = tr.Millis();
+    Timer tx;
+    auto xml_result = xml_engine.Search(q);
+    double xml_ms = tx.Millis();
+    std::printf("%-22s | %10.1f %8zu | %10.1f %8zu\n", q, rel_ms,
+                rel_result.ok() ? rel_result.value().answers.size() : 0,
+                xml_ms,
+                xml_result.ok() ? xml_result.value().answers.size() : 0);
+  }
+  std::printf("\nshape check: the XML path answers the same keyword queries; "
+              "the generic row/column\nshredding costs extra nodes but the "
+              "containment edges keep related values close.\n");
+  return 0;
+}

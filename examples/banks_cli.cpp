@@ -1,0 +1,206 @@
+// banks_cli — interactive keyword search & browsing shell.
+//
+// Usage:
+//   banks_cli <csv-dir>      load a database saved with SaveDatabase
+//   banks_cli --demo         use the built-in synthetic DBLP dataset
+//
+// Commands at the prompt:
+//   <keywords...>            run a keyword query (approx(N), attr:kw work)
+//   :tables                  list relations
+//   :browse <table> [page]   show a table page (text rendering)
+//   :tuple <table> <row>     show one tuple with references
+//   :structures <keywords>   group answers by tree structure (§7)
+//   :k <n>                   set answers per query
+//   :lambda <x>              set the node-weight factor (0..1)
+//   :log on|off              toggle edge-weight log scaling
+//   :quit
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/banks.h"
+#include "core/summarize.h"
+#include "datagen/dblp_gen.h"
+#include "eval/workload.h"
+#include "storage/csv.h"
+
+using namespace banks;
+
+namespace {
+
+void PrintTablesCommand(const BanksEngine& engine) {
+  for (const auto& name : engine.db().table_names()) {
+    const Table* t = engine.db().table(name);
+    std::printf("  %-16s %zu rows, %zu columns\n", name.c_str(),
+                t->num_rows(), t->schema().num_columns());
+  }
+}
+
+void BrowseCommand(const BanksEngine& engine, const std::string& table,
+                   size_t page) {
+  const Table* t = engine.db().table(table);
+  if (t == nullptr) {
+    std::printf("no such table '%s'\n", table.c_str());
+    return;
+  }
+  const size_t page_size = 15;
+  std::printf("%s (rows %zu..%zu of %zu)\n", table.c_str(),
+              page * page_size,
+              std::min(t->num_rows(), (page + 1) * page_size) - 1,
+              t->num_rows());
+  for (const auto& col : t->schema().columns()) {
+    std::printf("%-24s", col.name.c_str());
+  }
+  std::printf("\n");
+  for (size_t r = page * page_size;
+       r < t->num_rows() && r < (page + 1) * page_size; ++r) {
+    for (size_t c = 0; c < t->schema().num_columns(); ++c) {
+      std::string cell = t->row(r).at(c).ToText();
+      if (cell.size() > 22) cell = cell.substr(0, 19) + "...";
+      std::printf("%-24s", cell.c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void TupleCommand(const BanksEngine& engine, const std::string& table,
+                  uint32_t row) {
+  const Table* t = engine.db().table(table);
+  if (t == nullptr || row >= t->num_rows()) {
+    std::printf("no such tuple\n");
+    return;
+  }
+  Rid rid{t->id(), row};
+  for (size_t c = 0; c < t->schema().num_columns(); ++c) {
+    std::printf("  %-16s = %s\n", t->schema().columns()[c].name.c_str(),
+                t->row(row).at(c).ToText().c_str());
+  }
+  auto refs = engine.db().References(rid);
+  for (const auto& ref : refs) {
+    const Table* to = engine.db().table(ref.to.table_id);
+    std::printf("  -> %s row %u (via %s)\n", to->name().c_str(), ref.to.row,
+                ref.fk_name.c_str());
+  }
+  auto back = engine.db().ReferencingTuples(rid);
+  std::printf("  <- %zu referencing tuple(s)\n", back.size());
+}
+
+void QueryCommand(const BanksEngine& engine, const std::string& query,
+                  const SearchOptions& opts, bool structures) {
+  auto result = engine.Search(query, opts);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  if (result.value().answers.empty()) {
+    std::printf("(no answers)\n");
+    return;
+  }
+  if (structures) {
+    auto groups = GroupByStructure(result.value().answers,
+                                   engine.data_graph(), engine.db());
+    for (const auto& g : groups) {
+      std::printf("== %zu answer(s) with structure %s\n",
+                  g.answer_indexes.size(), g.structure.c_str());
+      std::printf("%s",
+                  engine.Render(result.value().answers[g.answer_indexes[0]])
+                      .c_str());
+    }
+    return;
+  }
+  int rank = 1;
+  for (const auto& tree : result.value().answers) {
+    std::printf("-- answer %d (relevance %.4f)\n", rank++, tree.relevance);
+    std::printf("%s", engine.Render(tree).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf("usage: %s <csv-dir> | --demo\n", argv[0]);
+    return 2;
+  }
+
+  Database db;
+  if (std::string(argv[1]) == "--demo") {
+    std::printf("loading built-in synthetic DBLP...\n");
+    DblpConfig config;
+    config.num_authors = 400;
+    config.num_papers = 800;
+    db = GenerateDblp(config).db;
+  } else {
+    auto loaded = LoadDatabase(argv[1]);
+    if (!loaded.ok()) {
+      std::printf("load failed: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(loaded).value();
+  }
+
+  BanksOptions options = EvalWorkload::DefaultOptions();
+  options.match.approx.enable = true;
+  options.allow_partial_match = true;
+  BanksEngine engine(std::move(db), options);
+  SearchOptions search = engine.options().search;
+  std::printf("%zu tables, %zu tuples; graph %zu nodes / %zu edges\n",
+              engine.db().num_tables(), engine.db().TotalRows(),
+              engine.data_graph().graph.num_nodes(),
+              engine.data_graph().graph.num_edges());
+  std::printf("type keywords, or :help\n");
+
+  std::string line;
+  while (std::printf("banks> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream ss(line);
+    std::string cmd;
+    ss >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == ":quit" || cmd == ":q") break;
+    if (cmd == ":help") {
+      std::printf(
+          "  <keywords...>          keyword query\n"
+          "  :tables                list relations\n"
+          "  :browse <table> [p]    table page\n"
+          "  :tuple <table> <row>   one tuple\n"
+          "  :structures <kw...>    group answers by structure\n"
+          "  :k <n> | :lambda <x> | :log on|off | :quit\n");
+    } else if (cmd == ":tables") {
+      PrintTablesCommand(engine);
+    } else if (cmd == ":browse") {
+      std::string table;
+      size_t page = 0;
+      ss >> table >> page;
+      BrowseCommand(engine, table, page);
+    } else if (cmd == ":tuple") {
+      std::string table;
+      uint32_t row = 0;
+      ss >> table >> row;
+      TupleCommand(engine, table, row);
+    } else if (cmd == ":structures") {
+      std::string rest;
+      std::getline(ss, rest);
+      QueryCommand(engine, rest, search, /*structures=*/true);
+    } else if (cmd == ":k") {
+      ss >> search.max_answers;
+      std::printf("max answers = %zu\n", search.max_answers);
+    } else if (cmd == ":lambda") {
+      ss >> search.scoring.lambda;
+      std::printf("lambda = %.2f\n", search.scoring.lambda);
+    } else if (cmd == ":log") {
+      std::string v;
+      ss >> v;
+      search.scoring.edge_log = (v != "off");
+      std::printf("edge log scaling = %s\n",
+                  search.scoring.edge_log ? "on" : "off");
+    } else if (cmd[0] == ':') {
+      std::printf("unknown command %s (:help)\n", cmd.c_str());
+    } else {
+      QueryCommand(engine, line, search, /*structures=*/false);
+    }
+  }
+  return 0;
+}

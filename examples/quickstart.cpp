@@ -1,0 +1,74 @@
+// Quickstart: define a schema, load a few tuples, run keyword queries.
+//
+// Shows the minimal BANKS workflow on a hand-built bibliographic database:
+//   1. create tables with primary and foreign keys,
+//   2. hand the database to BanksEngine (it builds indexes + the graph),
+//   3. type keywords, get ranked connection trees back.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/banks.h"
+
+using namespace banks;
+
+int main() {
+  // --- 1. Schema: the paper's Figure 1 (Author / Paper / Writes / Cites).
+  Database db;
+  Status s = db.CreateTable(TableSchema(
+      "Author",
+      {{"AuthorId", ValueType::kString}, {"AuthorName", ValueType::kString}},
+      {"AuthorId"}));
+  s = db.CreateTable(TableSchema(
+      "Paper",
+      {{"PaperId", ValueType::kString}, {"PaperName", ValueType::kString}},
+      {"PaperId"}));
+  s = db.CreateTable(TableSchema("Writes",
+                                 {{"AuthorId", ValueType::kString},
+                                  {"PaperId", ValueType::kString}},
+                                 {"AuthorId", "PaperId"}));
+  s = db.AddForeignKey(
+      ForeignKey{"writes_author", "Writes", {"AuthorId"}, "Author",
+                 {"AuthorId"}});
+  s = db.AddForeignKey(
+      ForeignKey{"writes_paper", "Writes", {"PaperId"}, "Paper", {"PaperId"}});
+  if (!s.ok()) {
+    std::printf("schema error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // --- 2. Data: the Figure 1 fragment (ChakrabartiSD98 and its authors).
+  auto insert = [&db](const char* table, std::vector<Value> values) {
+    auto r = db.Insert(table, Tuple(std::move(values)));
+    if (!r.ok()) std::printf("insert error: %s\n", r.status().ToString().c_str());
+  };
+  insert("Author", {Value("SoumenC"), Value("Soumen Chakrabarti")});
+  insert("Author", {Value("SunitaS"), Value("Sunita Sarawagi")});
+  insert("Author", {Value("ByronD"), Value("Byron Dom")});
+  insert("Paper", {Value("ChakrabartiSD98"),
+                   Value("Mining Surprising Patterns Using Temporal "
+                         "Description Length")});
+  insert("Writes", {Value("SoumenC"), Value("ChakrabartiSD98")});
+  insert("Writes", {Value("SunitaS"), Value("ChakrabartiSD98")});
+  insert("Writes", {Value("ByronD"), Value("ChakrabartiSD98")});
+
+  // --- 3. Search. The engine owns the database from here on.
+  BanksEngine engine(std::move(db));
+
+  for (const char* query : {"sunita temporal", "soumen sunita", "byron"}) {
+    std::printf("==== query: \"%s\"\n", query);
+    auto result = engine.Search(query);
+    if (!result.ok()) {
+      std::printf("  error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    int rank = 1;
+    for (const auto& tree : result.value().answers) {
+      std::printf("-- answer %d (relevance %.3f)\n", rank++, tree.relevance);
+      std::printf("%s", engine.Render(tree).c_str());
+    }
+    if (result.value().answers.empty()) std::printf("  (no answers)\n");
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,202 @@
+#include "browse/browser.h"
+
+#include "browse/html.h"
+#include "browse/template_registry.h"
+
+namespace banks {
+
+namespace {
+
+// Cell markup for one base-table attribute: hyperlinked when it is the
+// first column of an FK with a live reference.
+std::string CellMarkup(const Database& db, Rid rid, size_t column) {
+  const Tuple* tuple = db.Get(rid);
+  if (tuple == nullptr) return "";
+  auto link = FkHyperlink(db, rid, column);
+  if (link.has_value()) return HtmlLink(link->target, link->text);
+  return HtmlEscape(tuple->at(column).ToText());
+}
+
+}  // namespace
+
+Result<std::string> Browser::TablePage(const std::string& table, size_t page,
+                                       size_t page_size) const {
+  const Table* t = db_->table(table);
+  if (t == nullptr || Hidden(table)) {
+    return Status::NotFound("unknown table '" + table + "'");
+  }
+
+  HtmlWriter w;
+  w.Heading(1, table);
+  size_t total_pages =
+      page_size == 0 ? 1 : (t->num_rows() + page_size - 1) / page_size;
+  w.Paragraph(std::to_string(t->num_rows()) + " rows, page " +
+              std::to_string(page + 1) + "/" +
+              std::to_string(std::max<size_t>(total_pages, 1)));
+
+  std::vector<std::string> header;
+  for (const auto& col : t->schema().columns()) {
+    header.push_back(HtmlEscape(col.name));
+  }
+  header.push_back("(browse)");
+
+  std::vector<std::vector<std::string>> rows;
+  size_t begin = page * page_size;
+  for (size_t r = begin; r < t->num_rows() && r < begin + page_size; ++r) {
+    Rid rid{t->id(), static_cast<uint32_t>(r)};
+    std::vector<std::string> cells;
+    for (size_t c = 0; c < t->schema().num_columns(); ++c) {
+      cells.push_back(CellMarkup(*db_, rid, c));
+    }
+    cells.push_back(
+        HtmlLink(TupleUri(table, static_cast<uint32_t>(r)), "view"));
+    rows.push_back(std::move(cells));
+  }
+  w.Table(header, rows);
+  return w.Page(table);
+}
+
+Result<std::string> Browser::TuplePage(const std::string& table,
+                                       uint32_t row) const {
+  const Table* t = db_->table(table);
+  if (t == nullptr || Hidden(table)) {
+    return Status::NotFound("unknown table '" + table + "'");
+  }
+  if (row >= t->num_rows()) {
+    return Status::OutOfRange("row " + std::to_string(row) + " out of range");
+  }
+  Rid rid{t->id(), row};
+
+  HtmlWriter w;
+  w.Heading(1, table + " tuple");
+  std::vector<std::vector<std::string>> rows;
+  for (size_t c = 0; c < t->schema().num_columns(); ++c) {
+    rows.push_back({HtmlEscape(t->schema().columns()[c].name),
+                    CellMarkup(*db_, rid, c)});
+  }
+  w.Table({"column", "value"}, rows);
+
+  auto back = BackwardHyperlinks(*db_, rid);
+  // Hidden referencing relations are invisible (§7 authorization).
+  std::vector<Hyperlink> visible_back;
+  for (const auto& link : back) {
+    bool hidden = false;
+    for (const auto& name : hidden_) {
+      if (link.text.rfind(name + " via", 0) == 0) hidden = true;
+    }
+    if (!hidden) visible_back.push_back(link);
+  }
+  if (!visible_back.empty()) {
+    w.Heading(2, "Referenced by");
+    w.OpenList();
+    for (const auto& link : visible_back) {
+      w.ListItem(HtmlLink(link.target, link.text));
+    }
+    w.CloseList();
+  }
+  return w.Page(table + " tuple");
+}
+
+Result<std::string> Browser::RefsPage(const std::string& table, uint32_t row,
+                                      const std::string& fk_name) const {
+  const Table* t = db_->table(table);
+  if (t == nullptr || Hidden(table)) {
+    return Status::NotFound("unknown table '" + table + "'");
+  }
+  if (row >= t->num_rows()) {
+    return Status::OutOfRange("row " + std::to_string(row) + " out of range");
+  }
+  Rid rid{t->id(), row};
+
+  HtmlWriter w;
+  w.Heading(1, "Tuples referencing " + table + "[" + std::to_string(row) +
+                   "] via " + fk_name);
+  w.OpenList();
+  size_t count = 0;
+  for (const auto& ref : db_->ReferencingTuples(rid)) {
+    if (ref.fk_name != fk_name) continue;
+    const Table* from = db_->table(ref.from.table_id);
+    const Tuple* tuple = db_->Get(ref.from);
+    if (from == nullptr || tuple == nullptr) continue;
+    if (Hidden(from->name())) continue;
+    std::string label = from->name() + tuple->ToString();
+    w.ListItem(HtmlLink(TupleUri(from->name(), ref.from.row), label));
+    ++count;
+  }
+  w.CloseList();
+  w.Paragraph(std::to_string(count) + " referencing tuples");
+  return w.Page("references");
+}
+
+Result<std::string> Browser::Navigate(const std::string& uri) const {
+  auto parsed = ParseUri(uri);
+  if (!parsed.has_value()) {
+    return Status::InvalidArgument("not a banks: URI: " + uri);
+  }
+  switch (parsed->kind) {
+    case ParsedUri::kTuple:
+      return TuplePage(parsed->table, parsed->row);
+    case ParsedUri::kRefs:
+      return RefsPage(parsed->table, parsed->row, parsed->fk_name);
+    case ParsedUri::kTemplate: {
+      auto lookup = TemplateRegistry::Lookup(*db_, parsed->template_name);
+      if (!lookup.ok()) return lookup.status();
+      if (Hidden(lookup.value().base_table)) {
+        return Status::NotFound("no template named '" +
+                                parsed->template_name + "'");
+      }
+      return TemplateRegistry::RenderByName(*db_, parsed->template_name);
+    }
+  }
+  return Status::InvalidArgument("unhandled banks: URI kind");
+}
+
+std::string Browser::RenderView(const TableView& view,
+                                const std::string& title) const {
+  HtmlWriter w;
+  w.Heading(1, title);
+  std::vector<std::string> header;
+  for (const auto& col : view.columns()) {
+    header.push_back(HtmlEscape(col.name));
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& row : view.rows()) {
+    std::vector<std::string> cells;
+    for (size_t c = 0; c < row.values.size(); ++c) {
+      cells.push_back(HtmlEscape(row.values[c].ToText()));
+    }
+    rows.push_back(std::move(cells));
+  }
+  w.Table(header, rows);
+  return w.Page(title);
+}
+
+std::string Browser::SchemaPage() const {
+  HtmlWriter w;
+  w.Heading(1, "Schema");
+  for (const auto& name : db_->table_names()) {
+    if (Hidden(name)) continue;
+    const Table* t = db_->table(name);
+    w.Heading(2, name);
+    std::vector<std::vector<std::string>> rows;
+    for (size_t c = 0; c < t->schema().num_columns(); ++c) {
+      const auto& col = t->schema().columns()[c];
+      bool is_pk = false;
+      for (size_t pk : t->schema().primary_key()) is_pk |= (pk == c);
+      rows.push_back({HtmlEscape(col.name), ValueTypeName(col.type),
+                      is_pk ? "PK" : ""});
+    }
+    w.Table({"column", "type", "key"}, rows);
+    auto fks = db_->OutgoingFks(name);
+    if (!fks.empty()) {
+      w.OpenList();
+      for (const ForeignKey* fk : fks) {
+        w.ListItem(HtmlEscape(fk->name + ": -> " + fk->ref_table));
+      }
+      w.CloseList();
+    }
+  }
+  return w.Page("Schema");
+}
+
+}  // namespace banks

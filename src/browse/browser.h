@@ -1,0 +1,66 @@
+// The browsing facade (§4): hyperlinked navigation over a database.
+//
+// A Browser resolves "banks:" URIs to rendered pages: a tuple page shows
+// the tuple with FK hyperlinks and backward-browse links; a refs page lists
+// the referencing tuples through one FK; a table page shows a paginated
+// TableView with hyperlinks in FK cells. "No content programming or user
+// intervention is required" — everything derives from catalog metadata.
+#ifndef BANKS_BROWSE_BROWSER_H_
+#define BANKS_BROWSE_BROWSER_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "browse/hyperlink.h"
+#include "browse/table_view.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace banks {
+
+class Browser {
+ public:
+  explicit Browser(const Database& db) : db_(&db) {}
+
+  /// Browser with table-level visibility restrictions (§7 authorization):
+  /// hidden tables 404 (as NotFound, indistinguishable from non-existent)
+  /// and never appear in backward links or schema pages.
+  Browser(const Database& db, std::unordered_set<std::string> hidden_tables)
+      : db_(&db), hidden_(std::move(hidden_tables)) {}
+
+  /// HTML page for one table (paginated; `page` is 0-based).
+  Result<std::string> TablePage(const std::string& table, size_t page = 0,
+                                size_t page_size = 25) const;
+
+  /// HTML page for one tuple: every column, FK values hyperlinked, plus
+  /// backward-browse links grouped by referencing relation.
+  Result<std::string> TuplePage(const std::string& table, uint32_t row) const;
+
+  /// HTML page listing tuples that reference (table,row) through `fk`.
+  Result<std::string> RefsPage(const std::string& table, uint32_t row,
+                               const std::string& fk_name) const;
+
+  /// Resolves any "banks:" URI to its page (dispatcher over the above).
+  Result<std::string> Navigate(const std::string& uri) const;
+
+  /// Renders an arbitrary TableView as HTML (used by examples to show the
+  /// results of project/select/join pipelines). FK cells of base tables
+  /// become hyperlinks.
+  std::string RenderView(const TableView& view, const std::string& title) const;
+
+  /// Schema browsing (§4 "schema browsing is supported"): one page listing
+  /// every table, its columns/PK, and its FKs as hyperlink text.
+  std::string SchemaPage() const;
+
+ private:
+  bool Hidden(const std::string& table) const {
+    return hidden_.count(table) > 0;
+  }
+
+  const Database* db_;
+  std::unordered_set<std::string> hidden_;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_BROWSE_BROWSER_H_

@@ -1,0 +1,73 @@
+#include "browse/html.h"
+
+namespace banks {
+
+std::string HtmlEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string HtmlLink(std::string_view href, std::string_view text) {
+  return "<a href=\"" + HtmlEscape(href) + "\">" + HtmlEscape(text) + "</a>";
+}
+
+void HtmlWriter::Heading(int level, std::string_view text) {
+  if (level < 1) level = 1;
+  if (level > 6) level = 6;
+  std::string tag = "h" + std::to_string(level);
+  body_ += "<" + tag + ">" + HtmlEscape(text) + "</" + tag + ">\n";
+}
+
+void HtmlWriter::Paragraph(std::string_view text) {
+  body_ += "<p>" + HtmlEscape(text) + "</p>\n";
+}
+
+void HtmlWriter::Raw(std::string_view markup) {
+  body_ += markup;
+  body_ += "\n";
+}
+
+void HtmlWriter::Table(const std::vector<std::string>& header,
+                       const std::vector<std::vector<std::string>>& rows) {
+  body_ += "<table border=\"1\">\n<tr>";
+  for (const auto& h : header) body_ += "<th>" + h + "</th>";
+  body_ += "</tr>\n";
+  for (const auto& row : rows) {
+    body_ += "<tr>";
+    for (const auto& cell : row) body_ += "<td>" + cell + "</td>";
+    body_ += "</tr>\n";
+  }
+  body_ += "</table>\n";
+}
+
+void HtmlWriter::OpenList() { body_ += "<ul>\n"; }
+
+void HtmlWriter::ListItem(std::string_view markup) {
+  body_ += "<li>";
+  body_ += markup;
+  body_ += "</li>\n";
+}
+
+void HtmlWriter::CloseList() { body_ += "</ul>\n"; }
+
+std::string HtmlWriter::Page(std::string_view title) const {
+  std::string out = "<!DOCTYPE html>\n<html><head><title>";
+  out += HtmlEscape(title);
+  out +=
+      "</title></head>\n<body>\n";
+  out += body_;
+  out += "</body></html>\n";
+  return out;
+}
+
+}  // namespace banks

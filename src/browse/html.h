@@ -1,0 +1,49 @@
+// Minimal HTML generation for the browsing subsystem.
+//
+// The original BANKS served its UI through Java servlets; here the browsing
+// layer renders self-contained HTML strings (pages, tables, nested lists)
+// that examples write to files. Only the transport differs — the view
+// structure (hyperlinks, controls, pagination) follows §4.
+#ifndef BANKS_BROWSE_HTML_H_
+#define BANKS_BROWSE_HTML_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace banks {
+
+/// Escapes &, <, >, " for safe embedding in HTML.
+std::string HtmlEscape(std::string_view text);
+
+/// <a href="href">text</a> with both parts escaped.
+std::string HtmlLink(std::string_view href, std::string_view text);
+
+/// Builder for simple well-formed pages.
+class HtmlWriter {
+ public:
+  void Heading(int level, std::string_view text);
+  void Paragraph(std::string_view text);
+  /// Raw, pre-escaped markup.
+  void Raw(std::string_view markup);
+
+  /// Table with header row and body rows of pre-escaped cell markup.
+  void Table(const std::vector<std::string>& header,
+             const std::vector<std::vector<std::string>>& rows);
+
+  void OpenList();
+  void ListItem(std::string_view markup);  // pre-escaped
+  void CloseList();
+
+  /// Wraps everything written so far in a complete document.
+  std::string Page(std::string_view title) const;
+
+  const std::string& body() const { return body_; }
+
+ private:
+  std::string body_;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_BROWSE_HTML_H_

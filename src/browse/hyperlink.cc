@@ -1,0 +1,76 @@
+#include "browse/hyperlink.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace banks {
+
+std::string TupleUri(const std::string& table, uint32_t row) {
+  return "banks:tuple/" + table + "/" + std::to_string(row);
+}
+
+std::string RefsUri(const std::string& table, uint32_t row,
+                    const std::string& fk_name) {
+  return "banks:refs/" + table + "/" + std::to_string(row) + "/" + fk_name;
+}
+
+std::string TemplateUri(const std::string& template_name) {
+  return "banks:template/" + template_name;
+}
+
+std::optional<ParsedUri> ParseUri(const std::string& uri) {
+  if (!StartsWith(uri, "banks:")) return std::nullopt;
+  auto parts = Split(uri.substr(6), '/');
+  ParsedUri out;
+  if (parts.size() == 3 && parts[0] == "tuple") {
+    out.kind = ParsedUri::kTuple;
+  } else if (parts.size() == 4 && parts[0] == "refs") {
+    out.kind = ParsedUri::kRefs;
+    out.fk_name = parts[3];
+  } else if (parts.size() == 2 && parts[0] == "template" &&
+             !parts[1].empty()) {
+    out.kind = ParsedUri::kTemplate;
+    out.template_name = parts[1];
+    return out;
+  } else {
+    return std::nullopt;
+  }
+  out.table = parts[1];
+  out.row = static_cast<uint32_t>(std::strtoul(parts[2].c_str(), nullptr, 10));
+  return out;
+}
+
+std::optional<Hyperlink> FkHyperlink(const Database& db, Rid rid,
+                                     size_t column) {
+  const Table* t = db.table(rid.table_id);
+  const Tuple* tuple = db.Get(rid);
+  if (t == nullptr || tuple == nullptr) return std::nullopt;
+  if (column >= t->schema().num_columns()) return std::nullopt;
+  const std::string& col_name = t->schema().columns()[column].name;
+
+  for (const ForeignKey* fk : db.OutgoingFks(t->name())) {
+    // A multi-column FK is linked from its first column (one link per
+    // reference, not per column).
+    if (fk->columns.front() != col_name) continue;
+    auto to = db.ResolveFk(*fk, rid);
+    if (!to.has_value()) return std::nullopt;  // NULL or dangling
+    const Table* ref = db.table(to->table_id);
+    return Hyperlink{tuple->at(column).ToText(),
+                     TupleUri(ref->name(), to->row)};
+  }
+  return std::nullopt;
+}
+
+std::vector<Hyperlink> BackwardHyperlinks(const Database& db, Rid rid) {
+  std::vector<Hyperlink> links;
+  const Table* t = db.table(rid.table_id);
+  if (t == nullptr) return links;
+  for (const ForeignKey* fk : db.IncomingFks(t->name())) {
+    links.push_back(Hyperlink{fk->table + " via " + fk->name,
+                              RefsUri(t->name(), rid.row, fk->name)});
+  }
+  return links;
+}
+
+}  // namespace banks

@@ -1,0 +1,54 @@
+// Automatic hyperlink generation (§4).
+//
+// "Every displayed foreign key attribute value becomes a hyperlink to the
+// referenced tuple. In addition, primary key columns can be browsed
+// backwards, to find referencing tuples, organized by referencing
+// relations." Links use a stable "banks:" URI scheme the Browser resolves.
+#ifndef BANKS_BROWSE_HYPERLINK_H_
+#define BANKS_BROWSE_HYPERLINK_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace banks {
+
+/// A navigable link.
+struct Hyperlink {
+  std::string text;    ///< display text (the attribute value / table name)
+  std::string target;  ///< "banks:tuple/<table>/<row>" or
+                       ///< "banks:refs/<table>/<row>/<fk>"
+};
+
+/// URI helpers.
+std::string TupleUri(const std::string& table, uint32_t row);
+std::string RefsUri(const std::string& table, uint32_t row,
+                    const std::string& fk_name);
+std::string TemplateUri(const std::string& template_name);
+
+/// Parses a "banks:" URI; returns nullopt for foreign schemes.
+struct ParsedUri {
+  enum Kind { kTuple, kRefs, kTemplate } kind = kTuple;
+  std::string table;          // kTuple/kRefs
+  uint32_t row = 0;           // kTuple/kRefs
+  std::string fk_name;        // kRefs only
+  std::string template_name;  // kTemplate only
+};
+std::optional<ParsedUri> ParseUri(const std::string& uri);
+
+/// The hyperlink for one FK column value of a tuple, or nullopt if the
+/// column is not (part of the first column of) an FK, the value is NULL,
+/// or the reference dangles.
+std::optional<Hyperlink> FkHyperlink(const Database& db, Rid rid,
+                                     size_t column);
+
+/// Backward-browse links for a tuple: one per foreign key referencing the
+/// tuple's table, labelled "<referencing-table> via <fk>", each resolving
+/// to the list of referencing tuples (§4's PK backward browsing).
+std::vector<Hyperlink> BackwardHyperlinks(const Database& db, Rid rid);
+
+}  // namespace banks
+
+#endif  // BANKS_BROWSE_HYPERLINK_H_

@@ -1,0 +1,243 @@
+#include "browse/table_view.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace banks {
+
+Result<TableView> TableView::FromTable(const Database& db,
+                                       const std::string& table) {
+  const Table* t = db.table(table);
+  if (t == nullptr) return Status::NotFound("unknown table '" + table + "'");
+  TableView view;
+  view.anchor_table_ = table;
+  for (const auto& col : t->schema().columns()) {
+    view.columns_.push_back(
+        ViewColumn{table + "." + col.name, col.type, table, col.name});
+  }
+  view.rows_.reserve(t->num_rows());
+  for (uint32_t r = 0; r < t->num_rows(); ++r) {
+    ViewRow row;
+    row.values = t->row(r).values();
+    row.provenance = {Rid{t->id(), r}};
+    view.rows_.push_back(std::move(row));
+  }
+  return view;
+}
+
+std::optional<size_t> TableView::ColumnIndex(const std::string& name) const {
+  // Accept both qualified ("Paper.PaperName") and bare ("PaperName") names;
+  // bare names must be unambiguous.
+  std::optional<size_t> found;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+    if (columns_[i].source_column == name) {
+      if (found.has_value()) return std::nullopt;  // ambiguous
+      found = i;
+    }
+  }
+  return found;
+}
+
+Result<TableView> TableView::Project(
+    const std::vector<std::string>& keep) const {
+  std::vector<size_t> idx;
+  for (const auto& name : keep) {
+    auto i = ColumnIndex(name);
+    if (!i.has_value()) {
+      return Status::NotFound("no column '" + name + "' in view");
+    }
+    idx.push_back(*i);
+  }
+  TableView out;
+  out.anchor_table_ = anchor_table_;
+  for (size_t i : idx) out.columns_.push_back(columns_[i]);
+  out.rows_.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    ViewRow nr;
+    for (size_t i : idx) nr.values.push_back(row.values[i]);
+    nr.provenance = row.provenance;
+    out.rows_.push_back(std::move(nr));
+  }
+  return out;
+}
+
+Result<TableView> TableView::SelectEquals(const std::string& column,
+                                          const Value& value) const {
+  auto col = ColumnIndex(column);
+  if (!col.has_value()) return Status::NotFound("no column '" + column + "'");
+  TableView out;
+  out.anchor_table_ = anchor_table_;
+  out.columns_ = columns_;
+  for (const auto& row : rows_) {
+    if (row.values[*col] == value) out.rows_.push_back(row);
+  }
+  return out;
+}
+
+Result<TableView> TableView::SelectContains(const std::string& column,
+                                            const std::string& needle) const {
+  auto col = ColumnIndex(column);
+  if (!col.has_value()) return Status::NotFound("no column '" + column + "'");
+  TableView out;
+  out.anchor_table_ = anchor_table_;
+  out.columns_ = columns_;
+  for (const auto& row : rows_) {
+    const Value& v = row.values[*col];
+    if (!v.is_null() && ContainsIgnoreCase(v.ToText(), needle)) {
+      out.rows_.push_back(row);
+    }
+  }
+  return out;
+}
+
+Result<TableView> TableView::JoinFk(const Database& db,
+                                    const std::string& fk_name) const {
+  const ForeignKey* fk = nullptr;
+  for (const auto& f : db.foreign_keys()) {
+    if (f.name == fk_name) fk = &f;
+  }
+  if (fk == nullptr) return Status::NotFound("unknown FK '" + fk_name + "'");
+  const Table* ref = db.table(fk->ref_table);
+  const Table* from = db.table(fk->table);
+  if (ref == nullptr || from == nullptr) {
+    return Status::NotFound("FK references unknown table");
+  }
+
+  TableView out;
+  out.anchor_table_ = anchor_table_;
+  out.columns_ = columns_;
+  for (const auto& col : ref->schema().columns()) {
+    out.columns_.push_back(ViewColumn{fk->ref_table + "." + col.name,
+                                      col.type, fk->ref_table, col.name});
+  }
+  for (const auto& row : rows_) {
+    ViewRow nr = row;
+    // Resolve via the provenance tuple that belongs to the FK's table.
+    std::optional<Rid> target;
+    for (Rid rid : row.provenance) {
+      if (db.table(rid.table_id) != nullptr &&
+          db.table(rid.table_id)->name() == fk->table) {
+        target = db.ResolveFk(*fk, rid);
+        break;
+      }
+    }
+    if (target.has_value()) {
+      const Tuple* ref_tuple = db.Get(*target);
+      for (const auto& v : ref_tuple->values()) nr.values.push_back(v);
+      nr.provenance.push_back(*target);
+    } else {
+      for (size_t i = 0; i < ref->schema().num_columns(); ++i) {
+        nr.values.push_back(Value::Null());
+      }
+    }
+    out.rows_.push_back(std::move(nr));
+  }
+  return out;
+}
+
+Result<TableView> TableView::JoinReverseFk(const Database& db,
+                                           const std::string& fk_name) const {
+  const ForeignKey* fk = nullptr;
+  for (const auto& f : db.foreign_keys()) {
+    if (f.name == fk_name) fk = &f;
+  }
+  if (fk == nullptr) return Status::NotFound("unknown FK '" + fk_name + "'");
+  const Table* referencing = db.table(fk->table);
+  if (referencing == nullptr) {
+    return Status::NotFound("FK references unknown table");
+  }
+
+  TableView out;
+  out.anchor_table_ = anchor_table_;
+  out.columns_ = columns_;
+  for (const auto& col : referencing->schema().columns()) {
+    out.columns_.push_back(ViewColumn{fk->table + "." + col.name, col.type,
+                                      fk->table, col.name});
+  }
+  for (const auto& row : rows_) {
+    // Referencers of the provenance tuple that belongs to the FK's
+    // referenced table.
+    std::vector<Reference> refs;
+    for (Rid rid : row.provenance) {
+      const Table* t = db.table(rid.table_id);
+      if (t != nullptr && t->name() == fk->ref_table) {
+        for (const auto& ref : db.ReferencingTuples(rid)) {
+          if (ref.fk_name == fk_name) refs.push_back(ref);
+        }
+        break;
+      }
+    }
+    if (refs.empty()) {
+      ViewRow nr = row;
+      for (size_t i = 0; i < referencing->schema().num_columns(); ++i) {
+        nr.values.push_back(Value::Null());
+      }
+      out.rows_.push_back(std::move(nr));
+      continue;
+    }
+    for (const auto& ref : refs) {
+      ViewRow nr = row;
+      const Tuple* tuple = db.Get(ref.from);
+      for (const auto& v : tuple->values()) nr.values.push_back(v);
+      nr.provenance.push_back(ref.from);
+      out.rows_.push_back(std::move(nr));
+    }
+  }
+  return out;
+}
+
+Result<TableView> TableView::SortBy(const std::string& column,
+                                    bool ascending) const {
+  auto col = ColumnIndex(column);
+  if (!col.has_value()) return Status::NotFound("no column '" + column + "'");
+  TableView out = *this;
+  size_t c = *col;
+  std::stable_sort(out.rows_.begin(), out.rows_.end(),
+                   [c, ascending](const ViewRow& a, const ViewRow& b) {
+                     return ascending ? a.values[c] < b.values[c]
+                                      : b.values[c] < a.values[c];
+                   });
+  return out;
+}
+
+Result<std::vector<std::pair<Value, size_t>>> TableView::GroupBy(
+    const std::string& column) const {
+  auto col = ColumnIndex(column);
+  if (!col.has_value()) return Status::NotFound("no column '" + column + "'");
+  // Distinct values in first-appearance order with counts.
+  std::vector<std::pair<Value, size_t>> groups;
+  for (const auto& row : rows_) {
+    const Value& v = row.values[*col];
+    bool found = false;
+    for (auto& [gv, count] : groups) {
+      if (gv == v) {
+        ++count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) groups.emplace_back(v, 1);
+  }
+  return groups;
+}
+
+Result<TableView> TableView::GroupRows(const std::string& column,
+                                       const Value& value) const {
+  return SelectEquals(column, value);
+}
+
+TableView TableView::Page(size_t page_size, size_t page) const {
+  TableView out;
+  out.anchor_table_ = anchor_table_;
+  out.columns_ = columns_;
+  if (page_size == 0) return out;
+  size_t begin = page * page_size;
+  for (size_t i = begin; i < rows_.size() && i < begin + page_size; ++i) {
+    out.rows_.push_back(rows_[i]);
+  }
+  return out;
+}
+
+}  // namespace banks

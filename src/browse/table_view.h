@@ -1,0 +1,97 @@
+// Interactive table views (§4).
+//
+// "Each table displayed comes with a variety of tools for interacting with
+// data": project away columns, impose selections, join through foreign keys
+// (both directions), group by a column, sort, paginate. A TableView is an
+// immutable materialised view; every operation returns a new view. Rows
+// remember their provenance Rids so hyperlinks survive transformation.
+#ifndef BANKS_BROWSE_TABLE_VIEW_H_
+#define BANKS_BROWSE_TABLE_VIEW_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace banks {
+
+/// A column of a view: qualified display name plus underlying value type.
+struct ViewColumn {
+  std::string name;         ///< e.g. "Paper.PaperName"
+  ValueType type = ValueType::kString;
+  std::string source_table; ///< table the column came from
+  std::string source_column;
+};
+
+/// One view row: values aligned with columns; provenance = the Rids of all
+/// base tuples that contributed (first = the view's anchor table row).
+struct ViewRow {
+  std::vector<Value> values;
+  std::vector<Rid> provenance;
+};
+
+/// Immutable tabular view with relational-algebra-ish combinators.
+class TableView {
+ public:
+  /// Full view of one base table.
+  static Result<TableView> FromTable(const Database& db,
+                                     const std::string& table);
+
+  const std::vector<ViewColumn>& columns() const { return columns_; }
+  const std::vector<ViewRow>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  std::optional<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Keeps only the named columns (§4 "columns can be projected away").
+  Result<TableView> Project(const std::vector<std::string>& keep) const;
+
+  /// Rows where `column` equals `value` (§4 "selections ... on any column").
+  Result<TableView> SelectEquals(const std::string& column,
+                                 const Value& value) const;
+
+  /// Rows where `column`'s text contains `needle` (case-insensitive).
+  Result<TableView> SelectContains(const std::string& column,
+                                   const std::string& needle) const;
+
+  /// Joins in the table referenced by `fk` ("clicking on 'join' results in
+  /// the referenced table being joined in, and its columns also
+  /// displayed"). Rows with NULL/dangling references are kept with NULLs
+  /// (outer join semantics — browsing never loses rows).
+  Result<TableView> JoinFk(const Database& db, const std::string& fk_name) const;
+
+  /// The reverse join ("from a primary key to a referencing foreign key"):
+  /// one output row per referencing tuple; rows without referencers kept
+  /// once with NULLs.
+  Result<TableView> JoinReverseFk(const Database& db,
+                                  const std::string& fk_name) const;
+
+  /// Sorted copy (stable; NULLs first, Value ordering).
+  Result<TableView> SortBy(const std::string& column, bool ascending) const;
+
+  /// Distinct values of `column` with their row counts (§4 group-by:
+  /// "only the distinct values for that column being displayed").
+  Result<std::vector<std::pair<Value, size_t>>> GroupBy(
+      const std::string& column) const;
+
+  /// Rows associated with one group value ("click on any of the values to
+  /// see the tuples associated with that value").
+  Result<TableView> GroupRows(const std::string& column,
+                              const Value& value) const;
+
+  /// Page `page` (0-based) of `page_size` rows (§4 pagination).
+  TableView Page(size_t page_size, size_t page) const;
+
+ private:
+  std::vector<ViewColumn> columns_;
+  std::vector<ViewRow> rows_;
+  std::string anchor_table_;  ///< table of FromTable, for FK resolution
+  friend class Browser;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_BROWSE_TABLE_VIEW_H_

@@ -1,0 +1,130 @@
+#include "browse/template_registry.h"
+
+#include "browse/html.h"
+#include "browse/table_view.h"
+#include "browse/templates.h"
+#include "util/string_util.h"
+
+namespace banks {
+
+bool TemplateRegistry::IsValidKind(const std::string& kind) {
+  return kind == "crosstab" || kind == "groupby" || kind == "folder" ||
+         kind == "barchart" || kind == "piechart";
+}
+
+Status TemplateRegistry::EnsureTable(Database* db) {
+  if (db->table(kTemplateTable) != nullptr) return Status::OK();
+  return db->CreateTable(TableSchema(kTemplateTable,
+                                     {{"Name", ValueType::kString},
+                                      {"Kind", ValueType::kString},
+                                      {"BaseTable", ValueType::kString},
+                                      {"Params", ValueType::kString},
+                                      {"NextTemplate", ValueType::kString}},
+                                     {"Name"}));
+}
+
+Status TemplateRegistry::Register(Database* db,
+                                  const TemplateInstance& instance) {
+  if (instance.name.empty()) {
+    return Status::InvalidArgument("template needs a hyperlink name");
+  }
+  if (!IsValidKind(instance.kind)) {
+    return Status::InvalidArgument("unknown template kind '" +
+                                   instance.kind + "'");
+  }
+  if (db->table(instance.base_table) == nullptr) {
+    return Status::NotFound("template base table '" + instance.base_table +
+                            "' does not exist");
+  }
+  Status s = EnsureTable(db);
+  if (!s.ok()) return s;
+  auto r = db->Insert(
+      kTemplateTable,
+      Tuple({Value(instance.name), Value(instance.kind),
+             Value(instance.base_table), Value(Join(instance.params, ",")),
+             instance.next_template.empty() ? Value::Null()
+                                            : Value(instance.next_template)}));
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Result<TemplateInstance> TemplateRegistry::Lookup(const Database& db,
+                                                  const std::string& name) {
+  const Table* t = db.table(kTemplateTable);
+  if (t == nullptr) return Status::NotFound("no templates registered");
+  auto row = t->LookupPk({Value(name)});
+  if (!row.has_value()) {
+    return Status::NotFound("no template named '" + name + "'");
+  }
+  const Tuple& tuple = t->row(*row);
+  TemplateInstance instance;
+  instance.name = tuple.at(0).AsString();
+  instance.kind = tuple.at(1).AsString();
+  instance.base_table = tuple.at(2).AsString();
+  for (const auto& p : Split(tuple.at(3).AsString(), ',')) {
+    if (!p.empty()) instance.params.push_back(p);
+  }
+  if (!tuple.at(4).is_null()) instance.next_template = tuple.at(4).AsString();
+  return instance;
+}
+
+std::vector<TemplateInstance> TemplateRegistry::All(const Database& db) {
+  std::vector<TemplateInstance> out;
+  const Table* t = db.table(kTemplateTable);
+  if (t == nullptr) return out;
+  for (uint32_t r = 0; r < t->num_rows(); ++r) {
+    auto instance = Lookup(db, t->row(r).at(0).AsString());
+    if (instance.ok()) out.push_back(std::move(instance).value());
+  }
+  return out;
+}
+
+Result<std::string> TemplateRegistry::RenderByName(const Database& db,
+                                                   const std::string& name) {
+  auto lookup = Lookup(db, name);
+  if (!lookup.ok()) return lookup.status();
+  const TemplateInstance& inst = lookup.value();
+
+  auto view = TableView::FromTable(db, inst.base_table);
+  if (!view.ok()) return view.status();
+
+  std::string body;
+  if (inst.kind == "crosstab") {
+    if (inst.params.size() != 2) {
+      return Status::InvalidArgument("crosstab needs {row, col} params");
+    }
+    auto ct = BuildCrossTab(view.value(), inst.params[0], inst.params[1]);
+    if (!ct.ok()) return ct.status();
+    body = RenderCrossTabHtml(ct.value(), inst.name);
+  } else if (inst.kind == "groupby" || inst.kind == "folder") {
+    if (inst.params.empty()) {
+      return Status::InvalidArgument("group-by needs level params");
+    }
+    auto tree = BuildGroupTree(view.value(), inst.params);
+    if (!tree.ok()) return tree.status();
+    body = RenderGroupTreeHtml(tree.value(), inst.name,
+                               inst.kind == "folder");
+  } else if (inst.kind == "barchart" || inst.kind == "piechart") {
+    if (inst.params.size() != 1) {
+      return Status::InvalidArgument("chart needs {label} param");
+    }
+    auto series = BuildCountSeries(view.value(), inst.params[0]);
+    if (!series.ok()) return series.status();
+    body = RenderChartHtml(series.value(),
+                           inst.kind == "barchart" ? ChartKind::kBar
+                                                   : ChartKind::kPie,
+                           inst.name);
+  } else {
+    return Status::InvalidArgument("unknown template kind");
+  }
+
+  if (!inst.next_template.empty()) {
+    // §4 composition: append the scripted continuation link.
+    body += "<p>continue: " +
+            HtmlLink("banks:template/" + inst.next_template,
+                     inst.next_template) +
+            "</p>\n";
+  }
+  return body;
+}
+
+}  // namespace banks

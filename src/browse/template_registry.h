@@ -1,0 +1,65 @@
+// Stored template instances (§4).
+//
+// "Template instances are customized, stored in the database, and given a
+// hyperlink name, which is used to access the template. ... they can be
+// composed together in a hyperlinked, visual manner. The action associated
+// with a hyperlink may be scripted to take the user to another template."
+//
+// Instances live in a `_banks_templates` relation inside the database
+// itself, so they survive CSV round-trips like any other data. A template
+// is addressed as "banks:template/<name>" and rendered on demand.
+#ifndef BANKS_BROWSE_TEMPLATE_REGISTRY_H_
+#define BANKS_BROWSE_TEMPLATE_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace banks {
+
+inline constexpr const char* kTemplateTable = "_banks_templates";
+
+/// One customised template instance.
+struct TemplateInstance {
+  std::string name;   ///< unique hyperlink name
+  /// "crosstab" | "groupby" | "folder" | "barchart" | "piechart".
+  std::string kind;
+  std::string base_table;
+  /// Column parameters: crosstab = {row, col}; groupby/folder = grouping
+  /// levels; charts = {label} (count series).
+  std::vector<std::string> params;
+  /// Optional §4 composition: the rendered page links here instead of (in
+  /// addition to) showing detail tuples.
+  std::string next_template;
+};
+
+/// CRUD over the stored instances.
+class TemplateRegistry {
+ public:
+  /// Creates the `_banks_templates` relation if missing.
+  static Status EnsureTable(Database* db);
+
+  /// Stores an instance (EnsureTable is called implicitly). Fails on
+  /// duplicate names or unknown kinds.
+  static Status Register(Database* db, const TemplateInstance& instance);
+
+  /// Fetches one instance by hyperlink name.
+  static Result<TemplateInstance> Lookup(const Database& db,
+                                         const std::string& name);
+
+  /// Every stored instance.
+  static std::vector<TemplateInstance> All(const Database& db);
+
+  /// Instantiates and renders a stored template as HTML. The page carries
+  /// a "continue to" link when `next_template` is set.
+  static Result<std::string> RenderByName(const Database& db,
+                                          const std::string& name);
+
+  static bool IsValidKind(const std::string& kind);
+};
+
+}  // namespace banks
+
+#endif  // BANKS_BROWSE_TEMPLATE_REGISTRY_H_

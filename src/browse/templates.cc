@@ -1,0 +1,269 @@
+#include "browse/templates.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "browse/html.h"
+
+namespace banks {
+
+namespace {
+
+std::vector<Value> SortedDistinct(const TableView& view, size_t col) {
+  std::vector<Value> vals;
+  for (const auto& row : view.rows()) {
+    const Value& v = row.values[col];
+    bool seen = false;
+    for (const auto& existing : vals) {
+      if (existing == v) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) vals.push_back(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  return vals;
+}
+
+size_t IndexOf(const std::vector<Value>& vals, const Value& v) {
+  for (size_t i = 0; i < vals.size(); ++i) {
+    if (vals[i] == v) return i;
+  }
+  return vals.size();
+}
+
+}  // namespace
+
+Result<CrossTab> BuildCrossTab(const TableView& view,
+                               const std::string& row_column,
+                               const std::string& col_column) {
+  auto rc = view.ColumnIndex(row_column);
+  auto cc = view.ColumnIndex(col_column);
+  if (!rc.has_value() || !cc.has_value()) {
+    return Status::NotFound("cross-tab column not in view");
+  }
+  CrossTab ct;
+  ct.row_values = SortedDistinct(view, *rc);
+  ct.col_values = SortedDistinct(view, *cc);
+  ct.counts.assign(ct.row_values.size(),
+                   std::vector<size_t>(ct.col_values.size(), 0));
+  for (const auto& row : view.rows()) {
+    size_t r = IndexOf(ct.row_values, row.values[*rc]);
+    size_t c = IndexOf(ct.col_values, row.values[*cc]);
+    ++ct.counts[r][c];
+  }
+  return ct;
+}
+
+std::string RenderCrossTabHtml(const CrossTab& ct, const std::string& title) {
+  HtmlWriter w;
+  w.Heading(2, title);
+  std::vector<std::string> header{""};
+  for (const auto& cv : ct.col_values) header.push_back(HtmlEscape(cv.ToText()));
+  std::vector<std::vector<std::string>> rows;
+  for (size_t r = 0; r < ct.row_values.size(); ++r) {
+    std::vector<std::string> cells{HtmlEscape(ct.row_values[r].ToText())};
+    for (size_t c = 0; c < ct.col_values.size(); ++c) {
+      cells.push_back(std::to_string(ct.counts[r][c]));
+    }
+    rows.push_back(std::move(cells));
+  }
+  w.Table(header, rows);
+  return w.Page(title);
+}
+
+namespace {
+
+void BuildLevel(const TableView& view, const std::vector<size_t>& cols,
+                size_t level, const std::vector<size_t>& rows,
+                std::vector<std::unique_ptr<GroupNode>>* out) {
+  if (level >= cols.size()) return;
+  // Distinct values at this level, in sorted order.
+  std::vector<Value> vals;
+  for (size_t r : rows) {
+    const Value& v = view.rows()[r].values[cols[level]];
+    bool seen = false;
+    for (const auto& existing : vals) {
+      if (existing == v) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) vals.push_back(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  for (const auto& v : vals) {
+    auto node = std::make_unique<GroupNode>();
+    node->value = v;
+    std::vector<size_t> member_rows;
+    for (size_t r : rows) {
+      if (view.rows()[r].values[cols[level]] == v) member_rows.push_back(r);
+    }
+    node->count = member_rows.size();
+    if (level + 1 == cols.size()) {
+      node->row_indexes = std::move(member_rows);
+    } else {
+      BuildLevel(view, cols, level + 1, member_rows, &node->children);
+    }
+    out->push_back(std::move(node));
+  }
+}
+
+void RenderGroupNode(const GroupNode& node, bool folder_style, HtmlWriter* w) {
+  std::string label = folder_style ? "&#128193; " : "";  // folder glyph
+  label += HtmlEscape(node.value.ToText()) + " (" +
+           std::to_string(node.count) + ")";
+  w->ListItem(label);
+  if (!node.children.empty()) {
+    w->OpenList();
+    for (const auto& child : node.children) {
+      RenderGroupNode(*child, folder_style, w);
+    }
+    w->CloseList();
+  }
+}
+
+}  // namespace
+
+Result<GroupTree> BuildGroupTree(const TableView& view,
+                                 const std::vector<std::string>& levels) {
+  if (levels.empty()) {
+    return Status::InvalidArgument("group-by needs at least one level");
+  }
+  std::vector<size_t> cols;
+  for (const auto& name : levels) {
+    auto c = view.ColumnIndex(name);
+    if (!c.has_value()) return Status::NotFound("no column '" + name + "'");
+    cols.push_back(*c);
+  }
+  std::vector<size_t> all_rows(view.num_rows());
+  for (size_t i = 0; i < all_rows.size(); ++i) all_rows[i] = i;
+  GroupTree tree;
+  BuildLevel(view, cols, 0, all_rows, &tree.roots);
+  return tree;
+}
+
+std::string RenderGroupTreeHtml(const GroupTree& tree,
+                                const std::string& title, bool folder_style) {
+  HtmlWriter w;
+  w.Heading(2, title);
+  w.OpenList();
+  for (const auto& root : tree.roots) {
+    RenderGroupNode(*root, folder_style, &w);
+  }
+  w.CloseList();
+  return w.Page(title);
+}
+
+Result<ChartSeries> BuildChartSeries(const TableView& view,
+                                     const std::string& label_column,
+                                     const std::string& value_column) {
+  auto lc = view.ColumnIndex(label_column);
+  auto vc = view.ColumnIndex(value_column);
+  if (!lc.has_value() || !vc.has_value()) {
+    return Status::NotFound("chart column not in view");
+  }
+  ChartSeries series;
+  for (const auto& row : view.rows()) {
+    ChartSeries::Point p;
+    p.label = row.values[*lc].ToText();
+    const Value& v = row.values[*vc];
+    if (v.type() == ValueType::kInt) {
+      p.value = static_cast<double>(v.AsInt());
+    } else if (v.type() == ValueType::kDouble) {
+      p.value = v.AsDouble();
+    }
+    series.points.push_back(std::move(p));
+  }
+  return series;
+}
+
+Result<ChartSeries> BuildCountSeries(const TableView& view,
+                                     const std::string& label_column) {
+  auto groups = view.GroupBy(label_column);
+  if (!groups.ok()) return groups.status();
+  ChartSeries series;
+  for (const auto& [value, count] : groups.value()) {
+    ChartSeries::Point p;
+    p.label = value.ToText();
+    p.value = static_cast<double>(count);
+    series.points.push_back(std::move(p));
+  }
+  return series;
+}
+
+std::string RenderChartHtml(const ChartSeries& series, ChartKind kind,
+                            const std::string& title) {
+  HtmlWriter w;
+  w.Heading(2, title);
+  double max_v = 1.0;
+  for (const auto& p : series.points) max_v = std::max(max_v, p.value);
+  const int width = 640, height = 320, pad = 24;
+  const size_t n = std::max<size_t>(series.points.size(), 1);
+  std::string svg = "<svg width=\"" + std::to_string(width) + "\" height=\"" +
+                    std::to_string(height + 40) + "\">\n";
+
+  auto anchor = [](const ChartSeries::Point& p, const std::string& body) {
+    if (p.drill_link.empty()) return body;
+    return "<a href=\"" + HtmlEscape(p.drill_link) + "\">" + body + "</a>";
+  };
+
+  if (kind == ChartKind::kBar) {
+    double bw = static_cast<double>(width - 2 * pad) / static_cast<double>(n);
+    for (size_t i = 0; i < series.points.size(); ++i) {
+      const auto& p = series.points[i];
+      double h = (p.value / max_v) * (height - 2 * pad);
+      double x = pad + static_cast<double>(i) * bw;
+      double y = height - pad - h;
+      std::string rect = "<rect x=\"" + std::to_string(x) + "\" y=\"" +
+                         std::to_string(y) + "\" width=\"" +
+                         std::to_string(bw * 0.8) + "\" height=\"" +
+                         std::to_string(h) + "\" fill=\"steelblue\"><title>" +
+                         HtmlEscape(p.label) + ": " +
+                         std::to_string(p.value) + "</title></rect>";
+      svg += anchor(p, rect) + "\n";
+    }
+  } else if (kind == ChartKind::kLine) {
+    std::string points_attr;
+    for (size_t i = 0; i < series.points.size(); ++i) {
+      double x = pad + static_cast<double>(i) *
+                           static_cast<double>(width - 2 * pad) /
+                           static_cast<double>(std::max<size_t>(n - 1, 1));
+      double y = height - pad -
+                 (series.points[i].value / max_v) * (height - 2 * pad);
+      points_attr += std::to_string(x) + "," + std::to_string(y) + " ";
+    }
+    svg += "<polyline fill=\"none\" stroke=\"steelblue\" points=\"" +
+           points_attr + "\"/>\n";
+  } else {  // pie
+    double total = 0;
+    for (const auto& p : series.points) total += p.value;
+    if (total <= 0) total = 1;
+    double angle = 0;
+    const double cx = width / 2.0, cy = height / 2.0, r = height / 2.0 - pad;
+    for (const auto& p : series.points) {
+      double frac = p.value / total;
+      double a0 = angle * 2 * M_PI, a1 = (angle + frac) * 2 * M_PI;
+      angle += frac;
+      double x0 = cx + r * std::cos(a0), y0 = cy + r * std::sin(a0);
+      double x1 = cx + r * std::cos(a1), y1 = cy + r * std::sin(a1);
+      int large = frac > 0.5 ? 1 : 0;
+      std::string path =
+          "<path d=\"M" + std::to_string(cx) + "," + std::to_string(cy) +
+          " L" + std::to_string(x0) + "," + std::to_string(y0) + " A" +
+          std::to_string(r) + "," + std::to_string(r) + " 0 " +
+          std::to_string(large) + " 1 " + std::to_string(x1) + "," +
+          std::to_string(y1) + " Z\" fill=\"hsl(" +
+          std::to_string(static_cast<int>(angle * 360)) +
+          ",60%,60%)\" stroke=\"white\"><title>" + HtmlEscape(p.label) +
+          ": " + std::to_string(p.value) + "</title></path>";
+      svg += anchor(p, path) + "\n";
+    }
+  }
+  svg += "</svg>\n";
+  w.Raw(svg);
+  return w.Page(title);
+}
+
+}  // namespace banks

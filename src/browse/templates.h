@@ -1,0 +1,75 @@
+// Display templates (§4).
+//
+// "BANKS templates provide several predefined ways of displaying any data
+// ... The BANKS system currently provides four types of templates":
+// cross-tabs, hierarchical group-by, folder views, and graphical (chart)
+// views with hyperlinks on the data. Each template consumes a TableView
+// and produces a structured result plus an HTML rendering.
+#ifndef BANKS_BROWSE_TEMPLATES_H_
+#define BANKS_BROWSE_TEMPLATES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "browse/table_view.h"
+#include "util/status.h"
+
+namespace banks {
+
+/// OLAP-style cross tabulation: counts of rows per (row-attr, col-attr).
+struct CrossTab {
+  std::vector<Value> row_values;             ///< distinct, sorted
+  std::vector<Value> col_values;             ///< distinct, sorted
+  std::vector<std::vector<size_t>> counts;   ///< [row][col]
+};
+Result<CrossTab> BuildCrossTab(const TableView& view,
+                               const std::string& row_column,
+                               const std::string& col_column);
+std::string RenderCrossTabHtml(const CrossTab& ct, const std::string& title);
+
+/// Hierarchical group-by: nesting by a sequence of attributes. "grouping a
+/// student relation by department and program attributes initially displays
+/// all departments; clicking on a department shows all programs..."
+struct GroupNode {
+  Value value;                               ///< group value at this level
+  size_t count = 0;                          ///< rows beneath
+  std::vector<std::unique_ptr<GroupNode>> children;
+  std::vector<size_t> row_indexes;           ///< leaf level: view rows
+};
+struct GroupTree {
+  std::vector<std::unique_ptr<GroupNode>> roots;
+};
+Result<GroupTree> BuildGroupTree(const TableView& view,
+                                 const std::vector<std::string>& levels);
+/// Folder-style rendering ("modeled after the folder view of files and
+/// directories") — nested lists, one folder per group value.
+std::string RenderGroupTreeHtml(const GroupTree& tree,
+                                const std::string& title, bool folder_style);
+
+/// Graphical template data: (label, value) pairs for bar/line/pie charts,
+/// each with a drill-down link ("clicking on a bar of a bar chart ... shows
+/// tuples with the associated value").
+struct ChartSeries {
+  struct Point {
+    std::string label;
+    double value = 0;
+    std::string drill_link;  ///< banks: URI or empty
+  };
+  std::vector<Point> points;
+};
+enum class ChartKind { kBar, kLine, kPie };
+Result<ChartSeries> BuildChartSeries(const TableView& view,
+                                     const std::string& label_column,
+                                     const std::string& value_column);
+/// Counts per distinct label (value_column empty = COUNT(*)).
+Result<ChartSeries> BuildCountSeries(const TableView& view,
+                                     const std::string& label_column);
+/// Renders the chart as inline SVG with per-datum hyperlink anchors (the
+/// HTML-image-map equivalent).
+std::string RenderChartHtml(const ChartSeries& series, ChartKind kind,
+                            const std::string& title);
+
+}  // namespace banks
+
+#endif  // BANKS_BROWSE_TEMPLATES_H_

@@ -1,0 +1,142 @@
+#include "core/answer.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace banks {
+
+std::vector<NodeId> ConnectionTree::Nodes() const {
+  std::vector<NodeId> nodes;
+  std::unordered_set<NodeId> seen;
+  auto add = [&](NodeId n) {
+    if (seen.insert(n).second) nodes.push_back(n);
+  };
+  add(root);
+  for (const auto& e : edges) {
+    add(e.from);
+    add(e.to);
+  }
+  return nodes;
+}
+
+size_t ConnectionTree::RootChildCount() const {
+  size_t count = 0;
+  for (const auto& e : edges) {
+    if (e.from == root) ++count;
+  }
+  return count;
+}
+
+std::string ConnectionTree::UndirectedSignature() const {
+  std::vector<std::pair<NodeId, NodeId>> undirected;
+  undirected.reserve(edges.size());
+  for (const auto& e : edges) {
+    undirected.emplace_back(std::min(e.from, e.to), std::max(e.from, e.to));
+  }
+  std::sort(undirected.begin(), undirected.end());
+  std::string sig;
+  sig.reserve(undirected.size() * 12 + 16);
+  if (edges.empty()) {
+    // Single-node answer: signature is the node itself.
+    sig = "n" + std::to_string(root);
+    return sig;
+  }
+  for (const auto& [a, b] : undirected) {
+    sig += std::to_string(a);
+    sig.push_back('-');
+    sig += std::to_string(b);
+    sig.push_back(';');
+  }
+  return sig;
+}
+
+bool ConnectionTree::IsValidTree() const {
+  std::unordered_map<NodeId, NodeId> parent;
+  std::unordered_set<NodeId> in_tree;
+  in_tree.insert(root);
+  for (const auto& e : edges) {
+    if (!in_tree.count(e.from)) return false;  // parent must precede child
+    if (parent.count(e.to) || e.to == root) return false;  // single parent
+    parent.emplace(e.to, e.from);
+    in_tree.insert(e.to);
+  }
+  for (NodeId leaf : leaf_for_term) {
+    if (!in_tree.count(leaf)) return false;
+  }
+  return true;
+}
+
+std::string NodeLabel(NodeId node, const DataGraph& dg, const Database& db) {
+  Rid rid = dg.RidForNode(node);
+  const Table* t = db.table(rid.table_id);
+  if (t == nullptr) return "?" + rid.ToString();
+  std::string label = t->name();
+  const Tuple* tuple = db.Get(rid);
+  if (tuple != nullptr && t->schema().has_primary_key()) {
+    label += "(";
+    const auto& pk = t->schema().primary_key();
+    for (size_t i = 0; i < pk.size(); ++i) {
+      if (i) label += ",";
+      label += tuple->at(pk[i]).ToText();
+    }
+    label += ")";
+  }
+  return label;
+}
+
+namespace {
+
+std::string NodeDetail(NodeId node, const DataGraph& dg, const Database& db) {
+  Rid rid = dg.RidForNode(node);
+  const Table* t = db.table(rid.table_id);
+  const Tuple* tuple = db.Get(rid);
+  if (t == nullptr || tuple == nullptr) return "?";
+  std::string out = t->name() + ": ";
+  const auto& cols = t->schema().columns();
+  bool first = true;
+  for (size_t c = 0; c < cols.size(); ++c) {
+    if (tuple->at(c).is_null()) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += cols[c].name + "=" + tuple->at(c).ToText();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderAnswer(const ConnectionTree& tree, const DataGraph& dg,
+                         const Database& db) {
+  // Children adjacency from the edge list.
+  std::unordered_map<NodeId, std::vector<NodeId>> children;
+  for (const auto& e : tree.edges) children[e.from].push_back(e.to);
+  std::unordered_set<NodeId> keyword_nodes(tree.leaf_for_term.begin(),
+                                           tree.leaf_for_term.end());
+
+  std::string out;
+  // Depth-first indentation, preserving child insertion order.
+  struct Frame {
+    NodeId node;
+    int depth;
+  };
+  std::vector<Frame> stack{{tree.root, 0}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    out.append(static_cast<size_t>(f.depth) * 2, ' ');
+    if (keyword_nodes.count(f.node)) out += "* ";
+    out += NodeDetail(f.node, dg, db);
+    out += "\n";
+    auto it = children.find(f.node);
+    if (it != children.end()) {
+      // Push in reverse so the first child renders first.
+      for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+        stack.push_back(Frame{*rit, f.depth + 1});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace banks

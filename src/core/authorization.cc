@@ -1,0 +1,47 @@
+#include "core/authorization.h"
+
+namespace banks {
+
+AuthPolicy AuthPolicy::AllowOnly(
+    const Database& db, const std::unordered_set<std::string>& tables) {
+  AuthPolicy policy;
+  for (const auto& name : db.table_names()) {
+    if (!tables.count(name)) policy.hidden_.insert(name);
+  }
+  return policy;
+}
+
+std::unordered_set<uint32_t> AuthPolicy::HiddenTableIds(
+    const Database& db) const {
+  std::unordered_set<uint32_t> ids;
+  for (const auto& name : hidden_) {
+    const Table* t = db.table(name);
+    if (t != nullptr) ids.insert(t->id());
+  }
+  return ids;
+}
+
+bool AuthPolicy::AnswerVisible(
+    const ConnectionTree& tree, const DataGraph& dg,
+    const std::unordered_set<uint32_t>& hidden_ids) const {
+  if (hidden_ids.empty()) return true;
+  for (NodeId n : tree.Nodes()) {
+    if (hidden_ids.count(dg.RidForNode(n).table_id)) return false;
+  }
+  return true;
+}
+
+std::vector<ConnectionTree> AuthPolicy::FilterAnswers(
+    std::vector<ConnectionTree> answers, const DataGraph& dg,
+    const Database& db) const {
+  if (!HidesAnything()) return answers;
+  auto hidden_ids = HiddenTableIds(db);
+  std::vector<ConnectionTree> visible;
+  visible.reserve(answers.size());
+  for (auto& t : answers) {
+    if (AnswerVisible(t, dg, hidden_ids)) visible.push_back(std::move(t));
+  }
+  return visible;
+}
+
+}  // namespace banks

@@ -1,0 +1,62 @@
+// Authorization (§7 future work).
+//
+// "Other planned system features include authorization mechanisms to
+// selectively expose data to different users." An AuthPolicy hides whole
+// relations from a user: hidden tuples never match keywords, never appear
+// in answers (not even as intermediate nodes — connection trees through
+// hidden data would leak its existence), and are not browsable.
+#ifndef BANKS_CORE_AUTHORIZATION_H_
+#define BANKS_CORE_AUTHORIZATION_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/answer.h"
+#include "graph/graph_builder.h"
+#include "storage/database.h"
+
+namespace banks {
+
+/// Table-level visibility policy. Default: everything visible.
+class AuthPolicy {
+ public:
+  AuthPolicy() = default;
+
+  /// Hides one relation.
+  AuthPolicy& HideTable(const std::string& table) {
+    hidden_.insert(table);
+    return *this;
+  }
+
+  /// Restricts visibility to exactly `tables` (everything else hidden).
+  static AuthPolicy AllowOnly(const Database& db,
+                              const std::unordered_set<std::string>& tables);
+
+  bool IsHidden(const std::string& table) const {
+    return hidden_.count(table) > 0;
+  }
+  bool HidesAnything() const { return !hidden_.empty(); }
+  const std::unordered_set<std::string>& hidden_tables() const {
+    return hidden_;
+  }
+
+  /// Resolves hidden table names against a catalog.
+  std::unordered_set<uint32_t> HiddenTableIds(const Database& db) const;
+
+  /// True if the answer touches no hidden tuple.
+  bool AnswerVisible(const ConnectionTree& tree, const DataGraph& dg,
+                     const std::unordered_set<uint32_t>& hidden_ids) const;
+
+  /// Drops answers containing hidden tuples.
+  std::vector<ConnectionTree> FilterAnswers(
+      std::vector<ConnectionTree> answers, const DataGraph& dg,
+      const Database& db) const;
+
+ private:
+  std::unordered_set<std::string> hidden_;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_CORE_AUTHORIZATION_H_

@@ -1,0 +1,277 @@
+#include "core/backward_search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace banks {
+
+BackwardSearch::BackwardSearch(const DataGraph& dg, SearchOptions options)
+    : dg_(&dg),
+      options_(std::move(options)),
+      scorer_(std::make_unique<Scorer>(dg.graph, options_.scoring)),
+      output_heap_(options_.exhaustive ? SIZE_MAX / 2
+                                       : options_.output_heap_size) {}
+
+std::vector<ConnectionTree> BackwardSearch::RunScored(
+    const std::vector<std::vector<KeywordMatch>>& keyword_matches) {
+  std::vector<std::vector<NodeId>> node_sets(keyword_matches.size());
+  match_relevance_.assign(keyword_matches.size(), {});
+  for (size_t i = 0; i < keyword_matches.size(); ++i) {
+    node_sets[i].reserve(keyword_matches[i].size());
+    for (const auto& m : keyword_matches[i]) {
+      node_sets[i].push_back(m.node);
+      if (m.relevance < 1.0) match_relevance_[i][m.node] = m.relevance;
+    }
+  }
+  keep_match_relevance_ = true;
+  return Run(node_sets);
+}
+
+double BackwardSearch::MatchRelevance(size_t term, NodeId node) const {
+  if (term >= match_relevance_.size()) return 1.0;
+  auto it = match_relevance_[term].find(node);
+  return it == match_relevance_[term].end() ? 1.0 : it->second;
+}
+
+std::vector<ConnectionTree> BackwardSearch::Run(
+    const std::vector<std::vector<NodeId>>& keyword_nodes) {
+  const size_t n = keyword_nodes.size();
+  results_.clear();
+  stats_ = SearchStats{};
+  done_ = false;
+  if (keep_match_relevance_) {
+    keep_match_relevance_ = false;  // set by the scored overload
+  } else {
+    match_relevance_.clear();
+  }
+  if (n == 0 || n > 64) return {};
+  for (const auto& set : keyword_nodes) {
+    if (set.empty()) return {};  // some keyword matches nothing
+  }
+
+  // Single-term fast path: every answer is a single matching node (a tree
+  // rooted elsewhere would have a single child and no keyword at its root,
+  // so the §3 pruning discards it). Skip graph expansion entirely.
+  if (n == 1) {
+    for (NodeId s : keyword_nodes[0]) {
+      ConnectionTree tree;
+      tree.root = s;
+      tree.leaf_for_term = {s};
+      tree.leaf_relevance = {MatchRelevance(0, s)};
+      scorer_->ScoreInPlace(&tree);
+      ++stats_.trees_generated;
+      OfferTree(std::move(tree));
+      if (done_) break;
+    }
+    const size_t want_1 =
+        options_.exhaustive ? SIZE_MAX : options_.max_answers;
+    while (results_.size() < want_1) {
+      auto best = output_heap_.PopBest();
+      if (!best.has_value()) break;
+      Emit(std::move(*best));
+    }
+    return std::move(results_);
+  }
+
+  // Term membership bitmasks; one iterator per distinct keyword node.
+  origin_terms_.clear();
+  iterators_.clear();
+  vertex_lists_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    for (NodeId s : keyword_nodes[i]) {
+      origin_terms_[s] |= (uint64_t{1} << i);
+    }
+  }
+  const double max_w = dg_->graph.MaxNodeWeight();
+  for (const auto& [node, _] : origin_terms_) {
+    double initial = 0.0;
+    if (options_.keyword_prestige_bias > 0 && max_w > 0) {
+      initial = options_.keyword_prestige_bias *
+                (1.0 - dg_->graph.node_weight(node) / max_w);
+    }
+    iterators_.emplace(
+        node, std::make_unique<SpIterator>(dg_->graph, node,
+                                           options_.distance_cap, initial));
+  }
+  stats_.num_iterators = iterators_.size();
+
+  // Iterator heap ordered on the distance of the next node each iterator
+  // will output; ties break on source id for determinism.
+  struct HeapItem {
+    double dist;
+    NodeId source;
+    bool operator>(const HeapItem& o) const {
+      return dist != o.dist ? dist > o.dist : source > o.source;
+    }
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>
+      iterator_heap;
+  for (auto& [node, it] : iterators_) {
+    if (it->HasNext()) {
+      iterator_heap.push(HeapItem{it->PeekDistance(), node});
+    }
+  }
+
+  const size_t want = options_.exhaustive ? SIZE_MAX : options_.max_answers;
+  while (!iterator_heap.empty() && results_.size() < want &&
+         stats_.iterator_visits < options_.max_visits && !done_) {
+    HeapItem top = iterator_heap.top();
+    iterator_heap.pop();
+    SpIterator* it = iterators_.at(top.source).get();
+    if (!it->HasNext()) continue;
+    SpIterator::Visit visit = it->Next();
+    ++stats_.iterator_visits;
+    if (it->HasNext()) {
+      iterator_heap.push(HeapItem{it->PeekDistance(), top.source});
+    }
+    ProcessVisit(visit.node, top.source, n);
+  }
+
+  // Drain the output heap in decreasing relevance.
+  while (results_.size() < want) {
+    auto best = output_heap_.PopBest();
+    if (!best.has_value()) break;
+    Emit(std::move(*best));
+  }
+  if (options_.exhaustive) {
+    std::stable_sort(results_.begin(), results_.end(),
+                     [](const ConnectionTree& a, const ConnectionTree& b) {
+                       return a.relevance > b.relevance;
+                     });
+  }
+  return std::move(results_);
+}
+
+void BackwardSearch::ProcessVisit(NodeId v, NodeId origin, size_t num_terms) {
+  // Roots may be restricted (§2.1): skip excluded tables entirely — their
+  // origin lists would only ever feed trees rooted there.
+  if (!options_.excluded_root_tables.empty()) {
+    uint32_t table = dg_->RidForNode(v).table_id;
+    if (options_.excluded_root_tables.count(table)) return;
+  }
+  VertexLists& lists = vertex_lists_[v];
+  if (lists.per_term.empty()) lists.per_term.resize(num_terms);
+
+  const uint64_t mask = origin_terms_.at(origin);
+  for (size_t i = 0; i < num_terms; ++i) {
+    if (!(mask & (uint64_t{1} << i))) continue;
+    GenerateTrees(v, origin, i, lists);
+    // Insert after generating so the cross product pairs `origin` with
+    // previously-arrived origins only (Figure 3 ordering). For an origin
+    // matching several terms, the earlier insertions let the later terms
+    // pair with it — producing the legitimate single-node/multi-term trees.
+    lists.per_term[i].push_back(origin);
+  }
+}
+
+void BackwardSearch::GenerateTrees(NodeId v, NodeId origin, size_t term,
+                                   const VertexLists& lists) {
+  const size_t n = lists.per_term.size();
+  // Cross product is empty if any other term has an empty list.
+  for (size_t j = 0; j < n; ++j) {
+    if (j != term && lists.per_term[j].empty()) return;
+  }
+
+  // Enumerate the cross product origin x prod_{j != term} L_j with an
+  // odometer over the other term lists.
+  std::vector<size_t> idx(n, 0);
+  std::vector<NodeId> leaves(n, kInvalidNode);
+  for (;;) {
+    for (size_t j = 0; j < n; ++j) {
+      leaves[j] = (j == term) ? origin : lists.per_term[j][idx[j]];
+    }
+    ConnectionTree tree = BuildTree(v, leaves);
+    ++stats_.trees_generated;
+    // §3 pruning: a root with a single child is a spurious junction — the
+    // smaller tree with the root removed is generated separately and is a
+    // better answer. The exception: when the root itself satisfies a search
+    // term, removing it would lose that keyword, so the tree is kept (its
+    // interior re-rootings collapse with it via the duplicate rule anyway).
+    bool root_is_leaf = false;
+    for (NodeId leaf : leaves) root_is_leaf |= (leaf == v);
+    if (tree.RootChildCount() == 1 && !root_is_leaf) {
+      ++stats_.trees_pruned_root;
+    } else {
+      OfferTree(std::move(tree));
+    }
+    if (done_) return;
+
+    // Advance odometer (skipping position `term`).
+    size_t j = 0;
+    for (; j < n; ++j) {
+      if (j == term) continue;
+      if (++idx[j] < lists.per_term[j].size()) break;
+      idx[j] = 0;
+    }
+    if (j == n) break;
+  }
+}
+
+ConnectionTree BackwardSearch::BuildTree(NodeId root,
+                                         const std::vector<NodeId>& leaves) {
+  ConnectionTree tree;
+  tree.root = root;
+  tree.leaf_for_term = leaves;
+  tree.leaf_relevance.reserve(leaves.size());
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    tree.leaf_relevance.push_back(MatchRelevance(i, leaves[i]));
+  }
+
+  std::unordered_set<NodeId> in_tree{root};
+  std::unordered_set<NodeId> handled_origins;
+  for (NodeId origin : leaves) {
+    if (!handled_origins.insert(origin).second) continue;
+    const SpIterator& it = *iterators_.at(origin);
+    std::vector<NodeId> path = it.PathToSource(root);  // root ... origin
+    assert(!path.empty() && "root must be settled by every leaf's iterator");
+    for (size_t k = 0; k + 1 < path.size(); ++k) {
+      NodeId a = path[k], b = path[k + 1];
+      if (in_tree.count(b)) continue;  // first parent wins; stay a tree
+      // The relaxed edge weight equals the distance drop along the path.
+      double w = it.DistanceTo(a) - it.DistanceTo(b);
+      tree.edges.push_back(TreeEdge{a, b, w});
+      in_tree.insert(b);
+    }
+  }
+  for (const auto& e : tree.edges) tree.tree_weight += e.weight;
+  scorer_->ScoreInPlace(&tree);
+  return tree;
+}
+
+void BackwardSearch::OfferTree(ConnectionTree tree) {
+  const std::string sig = tree.UndirectedSignature();
+
+  if (dedup_.WasOutput(sig)) {
+    // A duplicate was already shown to the user; discard even if the new
+    // copy scores higher (§3).
+    ++stats_.duplicates_discarded;
+    return;
+  }
+  if (output_heap_.Contains(sig)) {
+    if (tree.relevance > output_heap_.HeldRelevance(sig)) {
+      output_heap_.Remove(sig);  // replace with the better-rooted copy
+    } else {
+      ++stats_.duplicates_discarded;
+      return;
+    }
+    ++stats_.duplicates_discarded;
+  }
+  dedup_.MarkGenerated(sig);
+
+  auto overflow = output_heap_.Add(std::move(tree), sig);
+  if (overflow.has_value()) {
+    Emit(std::move(*overflow));
+    if (!options_.exhaustive && results_.size() >= options_.max_answers) {
+      done_ = true;
+    }
+  }
+}
+
+void BackwardSearch::Emit(ConnectionTree tree) {
+  dedup_.MarkOutput(tree.UndirectedSignature());
+  ++stats_.answers_emitted;
+  results_.push_back(std::move(tree));
+}
+
+}  // namespace banks

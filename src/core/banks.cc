@@ -1,0 +1,146 @@
+#include "core/banks.h"
+
+#include <utility>
+
+namespace banks {
+
+BanksEngine::BanksEngine(Database db, BanksOptions options)
+    : db_(std::move(db)), options_(std::move(options)) {
+  index_.Build(db_);
+  metadata_.Build(db_);
+  numeric_.Build(db_);
+  dg_ = BuildDataGraph(db_, options_.graph);
+  // Resolve excluded root tables to ids once.
+  for (const auto& name : options_.excluded_root_tables) {
+    const Table* t = db_.table(name);
+    if (t != nullptr) {
+      options_.search.excluded_root_tables.insert(t->id());
+    }
+  }
+}
+
+Result<QueryResult> BanksEngine::Search(const std::string& query_text) const {
+  return Search(query_text, options_.search);
+}
+
+Result<QueryResult> BanksEngine::SearchAuthorized(
+    const std::string& query_text, const AuthPolicy& policy) const {
+  return SearchAuthorized(query_text, policy, options_.search);
+}
+
+Result<QueryResult> BanksEngine::SearchAuthorized(
+    const std::string& query_text, const AuthPolicy& policy,
+    SearchOptions search) const {
+  if (!policy.HidesAnything()) return Search(query_text, search);
+  auto hidden_ids = policy.HiddenTableIds(db_);
+
+  // Hidden tuples must not even be traversed: excluding their tables as
+  // roots is not enough (they could sit inside a path), so run the search
+  // and then drop any answer touching hidden data. Request extra answers
+  // to compensate for the filtered ones.
+  const size_t want = search.max_answers;
+  search.max_answers = want * 4;
+  auto result = Search(query_text, search);
+  if (!result.ok()) return result;
+
+  QueryResult qr = std::move(result).value();
+  // Keyword matches in hidden tables are invisible to the user.
+  for (auto& set : qr.keyword_matches) {
+    std::vector<KeywordMatch> kept;
+    for (const auto& m : set) {
+      if (!hidden_ids.count(dg_.RidForNode(m.node).table_id)) {
+        kept.push_back(m);
+      }
+    }
+    set = std::move(kept);
+  }
+  for (size_t i = 0; i < qr.keyword_nodes.size(); ++i) {
+    std::vector<NodeId> kept;
+    for (NodeId n : qr.keyword_nodes[i]) {
+      if (!hidden_ids.count(dg_.RidForNode(n).table_id)) kept.push_back(n);
+    }
+    qr.keyword_nodes[i] = std::move(kept);
+  }
+  qr.answers = policy.FilterAnswers(std::move(qr.answers), dg_, db_);
+  if (qr.answers.size() > want) qr.answers.resize(want);
+  return qr;
+}
+
+Result<QueryResult> BanksEngine::Search(const std::string& query_text,
+                                        SearchOptions search) const {
+  // Merge engine-level root exclusions into the per-query options.
+  for (uint32_t t : options_.search.excluded_root_tables) {
+    search.excluded_root_tables.insert(t);
+  }
+
+  QueryResult result;
+  result.parsed = ParseQuery(query_text);
+  if (result.parsed.terms.empty()) {
+    return Status::InvalidArgument("query contains no keywords: '" +
+                                   query_text + "'");
+  }
+  if (result.parsed.terms.size() > 64) {
+    return Status::InvalidArgument("too many keywords (max 64)");
+  }
+
+  KeywordResolver resolver(db_, dg_, index_, metadata_, &numeric_);
+  result.keyword_matches =
+      resolver.ResolveAllScored(result.parsed, options_.match);
+  result.keyword_nodes.reserve(result.keyword_matches.size());
+  for (const auto& set : result.keyword_matches) {
+    std::vector<NodeId> nodes;
+    nodes.reserve(set.size());
+    for (const auto& m : set) nodes.push_back(m.node);
+    result.keyword_nodes.push_back(std::move(nodes));
+  }
+
+  // Partial matching: drop empty terms rather than failing the query.
+  std::vector<std::vector<KeywordMatch>> active_sets;
+  std::vector<size_t> active_terms;
+  for (size_t i = 0; i < result.keyword_matches.size(); ++i) {
+    if (result.keyword_matches[i].empty()) {
+      result.dropped_terms.push_back(i);
+    } else {
+      active_sets.push_back(result.keyword_matches[i]);
+      active_terms.push_back(i);
+    }
+  }
+  if (!options_.allow_partial_match && !result.dropped_terms.empty()) {
+    // Mirror the strict model: no answers (every answer must contain at
+    // least one node per S_i, and some S_i is empty).
+    return result;
+  }
+  if (active_sets.empty()) return result;
+
+  BackwardSearch bs(dg_, search);
+  result.answers = bs.RunScored(active_sets);
+  result.stats = bs.stats();
+
+  // Re-map leaf_for_term of each answer back to the original term indexes
+  // when terms were dropped.
+  if (!result.dropped_terms.empty()) {
+    for (auto& tree : result.answers) {
+      std::vector<NodeId> remapped(result.parsed.terms.size(), kInvalidNode);
+      std::vector<double> remapped_rel(result.parsed.terms.size(), 1.0);
+      for (size_t j = 0; j < tree.leaf_for_term.size(); ++j) {
+        remapped[active_terms[j]] = tree.leaf_for_term[j];
+        if (j < tree.leaf_relevance.size()) {
+          remapped_rel[active_terms[j]] = tree.leaf_relevance[j];
+        }
+      }
+      tree.leaf_for_term = std::move(remapped);
+      tree.leaf_relevance = std::move(remapped_rel);
+    }
+  }
+  return result;
+}
+
+std::string BanksEngine::Render(const ConnectionTree& tree) const {
+  return RenderAnswer(tree, dg_, db_);
+}
+
+std::string BanksEngine::RootLabel(const ConnectionTree& tree) const {
+  return NodeLabel(tree.root, dg_, db_);
+}
+
+}  // namespace banks

@@ -1,0 +1,104 @@
+// BanksEngine — the public facade of the library.
+//
+// Owns a relational database plus every derived structure BANKS needs
+// (inverted index, metadata index, data graph) and answers keyword queries
+// end to end:
+//
+//   BanksEngine engine(std::move(db));
+//   auto result = engine.Search("soumen sunita");
+//   for (const auto& tree : result.value().answers)
+//     std::cout << engine.Render(tree);
+//
+#ifndef BANKS_CORE_BANKS_H_
+#define BANKS_CORE_BANKS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/answer.h"
+#include "core/authorization.h"
+#include "core/backward_search.h"
+#include "core/query.h"
+#include "graph/graph_builder.h"
+#include "index/inverted_index.h"
+#include "index/metadata_index.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace banks {
+
+/// Engine-wide configuration.
+struct BanksOptions {
+  GraphBuildOptions graph;   ///< §2.2 graph model knobs
+  SearchOptions search;      ///< default search settings (§2.3, §3)
+  MatchOptions match;        ///< keyword matching knobs
+
+  /// Tables excluded as information nodes, by name (resolved to ids at
+  /// engine construction; merged into search.excluded_root_tables).
+  std::vector<std::string> excluded_root_tables;
+
+  /// Allow answers that cover only a subset of the query's terms when some
+  /// term matches nothing (§2.3: "can be relaxed to allow answers
+  /// containing only some of the given keywords").
+  bool allow_partial_match = false;
+};
+
+/// Outcome of one query.
+struct QueryResult {
+  std::vector<ConnectionTree> answers;          ///< decreasing relevance
+  ParsedQuery parsed;                           ///< the interpreted query
+  std::vector<std::vector<NodeId>> keyword_nodes;  ///< per-term node sets
+  std::vector<std::vector<KeywordMatch>> keyword_matches;  ///< with scores
+  std::vector<size_t> dropped_terms;            ///< partial-match drops
+  SearchStats stats;
+};
+
+/// End-to-end keyword search engine over one database.
+class BanksEngine {
+ public:
+  /// Takes ownership of `db` and builds all derived structures.
+  explicit BanksEngine(Database db, BanksOptions options = {});
+
+  /// Runs a keyword query with the engine's default search options.
+  Result<QueryResult> Search(const std::string& query_text) const;
+
+  /// Runs a keyword query with per-query search options (the engine's
+  /// root-table exclusions are merged in).
+  Result<QueryResult> Search(const std::string& query_text,
+                             SearchOptions search) const;
+
+  /// Runs a keyword query under an authorization policy (§7): keywords
+  /// never match hidden tables and answers touching hidden tuples are
+  /// suppressed.
+  Result<QueryResult> SearchAuthorized(const std::string& query_text,
+                                       const AuthPolicy& policy) const;
+  Result<QueryResult> SearchAuthorized(const std::string& query_text,
+                                       const AuthPolicy& policy,
+                                       SearchOptions search) const;
+
+  /// Figure-2 style rendering of one answer.
+  std::string Render(const ConnectionTree& tree) const;
+
+  /// Short "Table(pk)" label of an answer's root (its information node).
+  std::string RootLabel(const ConnectionTree& tree) const;
+
+  const Database& db() const { return db_; }
+  const DataGraph& data_graph() const { return dg_; }
+  const InvertedIndex& inverted_index() const { return index_; }
+  const MetadataIndex& metadata_index() const { return metadata_; }
+  const NumericIndex& numeric_index() const { return numeric_; }
+  const BanksOptions& options() const { return options_; }
+
+ private:
+  Database db_;
+  BanksOptions options_;
+  InvertedIndex index_;
+  MetadataIndex metadata_;
+  NumericIndex numeric_;
+  DataGraph dg_;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_CORE_BANKS_H_

@@ -1,0 +1,63 @@
+// Forward expanding search (§7 "ongoing work").
+//
+// Backward search degrades when some keyword matches a huge node set (e.g.
+// metadata keywords make *every* tuple of a relation relevant): it would
+// start one iterator per matching node. The paper sketches the fix —
+// "not performing backward search from large numbers of nodes, and instead
+// searching forwards from probable information nodes corresponding to more
+// selective keywords."
+//
+// This implementation: (1) run one multi-source reverse Dijkstra from the
+// most selective term's node set, enumerating candidate information nodes
+// in increasing distance; (2) from each candidate root, run a bounded
+// forward Dijkstra that stops once it has reached some node of every other
+// term; (3) assemble and score the connection tree. Candidates are
+// processed until enough answers accumulate.
+#ifndef BANKS_CORE_FORWARD_SEARCH_H_
+#define BANKS_CORE_FORWARD_SEARCH_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/answer.h"
+#include "core/scorer.h"
+#include "graph/graph_builder.h"
+
+namespace banks {
+
+struct ForwardSearchOptions {
+  size_t max_answers = 10;
+  ScoringParams scoring;
+  double distance_cap = std::numeric_limits<double>::infinity();
+  std::unordered_set<uint32_t> excluded_root_tables;
+  /// Candidate roots examined, as a multiple of max_answers.
+  size_t root_budget_factor = 8;
+};
+
+struct ForwardSearchStats {
+  size_t roots_tried = 0;
+  size_t forward_expansions = 0;  ///< settled nodes across forward runs
+  size_t trees_generated = 0;
+};
+
+/// Runs forward expanding search. Same answer semantics as BackwardSearch;
+/// results are sorted by decreasing relevance.
+class ForwardSearch {
+ public:
+  ForwardSearch(const DataGraph& dg, ForwardSearchOptions options)
+      : dg_(&dg), options_(std::move(options)) {}
+
+  std::vector<ConnectionTree> Run(
+      const std::vector<std::vector<NodeId>>& keyword_nodes);
+
+  const ForwardSearchStats& stats() const { return stats_; }
+
+ private:
+  const DataGraph* dg_;
+  ForwardSearchOptions options_;
+  ForwardSearchStats stats_;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_CORE_FORWARD_SEARCH_H_

@@ -1,0 +1,63 @@
+#include "core/output_heap.h"
+
+#include <cassert>
+#include <utility>
+
+namespace banks {
+
+size_t OutputHeap::BestIndex() const {
+  assert(!held_.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < held_.size(); ++i) {
+    // Strict '>' keeps ties on the earlier-generated tree (stable emission).
+    if (held_[i].tree.relevance > held_[best].tree.relevance) best = i;
+  }
+  return best;
+}
+
+void OutputHeap::EraseAt(size_t i) {
+  by_sig_.erase(held_[i].signature);
+  if (i + 1 != held_.size()) {
+    held_[i] = std::move(held_.back());
+    by_sig_[held_[i].signature] = i;
+  }
+  held_.pop_back();
+}
+
+std::optional<ConnectionTree> OutputHeap::Add(ConnectionTree tree,
+                                              const std::string& signature) {
+  held_.push_back(Entry{std::move(tree), signature});
+  by_sig_[signature] = held_.size() - 1;
+  if (held_.size() <= capacity_) return std::nullopt;
+  size_t best = BestIndex();
+  ConnectionTree out = std::move(held_[best].tree);
+  EraseAt(best);
+  return out;
+}
+
+std::optional<ConnectionTree> OutputHeap::PopBest() {
+  if (held_.empty()) return std::nullopt;
+  size_t best = BestIndex();
+  ConnectionTree out = std::move(held_[best].tree);
+  EraseAt(best);
+  return out;
+}
+
+bool OutputHeap::Contains(const std::string& signature) const {
+  return by_sig_.count(signature) > 0;
+}
+
+double OutputHeap::HeldRelevance(const std::string& signature) const {
+  auto it = by_sig_.find(signature);
+  if (it == by_sig_.end()) return -1.0;
+  return held_[it->second].tree.relevance;
+}
+
+bool OutputHeap::Remove(const std::string& signature) {
+  auto it = by_sig_.find(signature);
+  if (it == by_sig_.end()) return false;
+  EraseAt(it->second);
+  return true;
+}
+
+}  // namespace banks

@@ -1,0 +1,70 @@
+// Bounded reordering buffer for generated answers (§3).
+//
+// Connection trees are generated roughly by increasing tree weight, but
+// relevance also depends on node prestige, so the stream is only
+// approximately sorted. The paper's heuristic: hold generated trees in a
+// small fixed-size heap ordered by relevance; when the heap overflows,
+// output (emit) the most relevant tree; drain the heap at the end in
+// decreasing relevance order.
+#ifndef BANKS_CORE_OUTPUT_HEAP_H_
+#define BANKS_CORE_OUTPUT_HEAP_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/answer.h"
+
+namespace banks {
+
+/// Fixed-capacity relevance-ordered buffer with replace-on-full semantics.
+/// Held trees are addressable by their undirected signature so the search
+/// can upgrade a held duplicate to a better-rooted copy.
+class OutputHeap {
+ public:
+  explicit OutputHeap(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  /// Adds a scored tree (signature precomputed by the caller). If the heap
+  /// was full, returns the emitted tree of highest relevance — possibly the
+  /// one just added; otherwise nullopt.
+  std::optional<ConnectionTree> Add(ConnectionTree tree,
+                                    const std::string& signature);
+
+  /// Removes and returns the most relevant held tree (nullopt when empty).
+  std::optional<ConnectionTree> PopBest();
+
+  /// True if a tree with the given undirected signature is currently held.
+  bool Contains(const std::string& signature) const;
+
+  /// Relevance of the held duplicate (-1 if absent).
+  double HeldRelevance(const std::string& signature) const;
+
+  /// Removes the held tree with `signature`; returns true if found.
+  bool Remove(const std::string& signature);
+
+  size_t size() const { return held_.size(); }
+  bool empty() const { return held_.empty(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    ConnectionTree tree;
+    std::string signature;
+  };
+
+  size_t BestIndex() const;
+  void EraseAt(size_t i);
+
+  size_t capacity_;
+  // Linear storage: normal capacities are small (tens), so O(n) best-scans
+  // are cheap; the signature map makes duplicate lookups O(1) even in
+  // exhaustive mode.
+  std::vector<Entry> held_;
+  std::unordered_map<std::string, size_t> by_sig_;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_CORE_OUTPUT_HEAP_H_

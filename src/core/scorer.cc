@@ -1,0 +1,93 @@
+#include "core/scorer.h"
+
+#include <cmath>
+
+namespace banks {
+
+std::string ScoringParams::Name() const {
+  std::string n = "E(";
+  n += edge_log ? "log" : "lin";
+  n += ") N(";
+  n += node_log ? "log" : "lin";
+  n += ") ";
+  n += multiplicative ? "mult" : "add";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " lambda=%.2f", lambda);
+  n += buf;
+  return n;
+}
+
+Scorer::Scorer(const Graph& graph, ScoringParams params)
+    : graph_(&graph),
+      params_(params),
+      min_edge_weight_(graph.MinEdgeWeight()),
+      max_node_weight_(graph.MaxNodeWeight()) {
+  if (!std::isfinite(min_edge_weight_) || min_edge_weight_ <= 0) {
+    min_edge_weight_ = 1.0;  // edgeless graph: any positive normaliser works
+  }
+}
+
+double Scorer::EdgeScore(double weight) const {
+  double ratio = weight / min_edge_weight_;
+  return params_.edge_log ? std::log2(1.0 + ratio) : ratio;
+}
+
+double Scorer::NodeScore(double weight) const {
+  if (max_node_weight_ <= 0) return 0.0;  // no prestige anywhere
+  double ratio = weight / max_node_weight_;
+  return params_.node_log ? std::log2(1.0 + ratio) : ratio;
+}
+
+double Scorer::TreeEdgeScore(const ConnectionTree& tree) const {
+  double sum = 0.0;
+  for (const auto& e : tree.edges) sum += EdgeScore(e.weight);
+  return 1.0 / (1.0 + sum);
+}
+
+double Scorer::TreeNodeScore(const ConnectionTree& tree) const {
+  // Root counts once; each search term contributes its leaf once, so a node
+  // containing multiple terms is counted with that multiplicity (§2.3).
+  // Approximate matches contribute their node score damped by the leaf's
+  // match relevance (§2.3 node relevances).
+  double sum = NodeScore(graph_->node_weight(tree.root));
+  size_t count = 1;
+  for (size_t i = 0; i < tree.leaf_for_term.size(); ++i) {
+    double rel = i < tree.leaf_relevance.size() ? tree.leaf_relevance[i] : 1.0;
+    sum += rel * NodeScore(graph_->node_weight(tree.leaf_for_term[i]));
+    ++count;
+  }
+  return sum / static_cast<double>(count);
+}
+
+namespace {
+
+// Average leaf match relevance (1.0 when all matches are exact). Damps the
+// overall relevance of answers built from fuzzy/approx matches so an exact
+// hit always outranks an otherwise-identical approximate one.
+double MatchRelevanceFactor(const ConnectionTree& tree) {
+  if (tree.leaf_relevance.empty()) return 1.0;
+  double sum = 0.0;
+  for (double r : tree.leaf_relevance) sum += r;
+  return sum / static_cast<double>(tree.leaf_relevance.size());
+}
+
+}  // namespace
+
+double Scorer::Relevance(const ConnectionTree& tree) const {
+  const double e = TreeEdgeScore(tree);
+  const double n = TreeNodeScore(tree);
+  double combined;
+  if (params_.multiplicative) {
+    // E * N^lambda; N=0 with lambda=0 means N^0 = 1 (pure proximity).
+    combined = params_.lambda == 0.0 ? e : e * std::pow(n, params_.lambda);
+  } else {
+    combined = (1.0 - params_.lambda) * e + params_.lambda * n;
+  }
+  return combined * MatchRelevanceFactor(tree);
+}
+
+void Scorer::ScoreInPlace(ConnectionTree* tree) const {
+  tree->relevance = Relevance(*tree);
+}
+
+}  // namespace banks

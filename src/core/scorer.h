@@ -1,0 +1,73 @@
+// Relevance scoring (§2.3).
+//
+// The paper combines two scale-free quantities in [0,1]:
+//   Nscore — average normalised node weight over the root and the keyword
+//            leaves (a leaf counts once per search term it satisfies);
+//   Escore — 1 / (1 + sum of normalised edge scores), lower-weight trees
+//            score higher.
+// Each has an optional log damping, and the two combine additively,
+//   (1-lambda)*Escore + lambda*Nscore,
+// or multiplicatively, Escore * Nscore^lambda. Eight combinations total;
+// the paper evaluated five (log x multiplicative was discarded).
+#ifndef BANKS_CORE_SCORER_H_
+#define BANKS_CORE_SCORER_H_
+
+#include <string>
+
+#include "core/answer.h"
+#include "graph/graph.h"
+
+namespace banks {
+
+/// The §2.3 knobs. Defaults are the paper's best setting (λ=0.2 with
+/// log-scaled edge weights, additive combination).
+struct ScoringParams {
+  bool edge_log = true;        ///< EdgeLog: score = log2(1 + w/w_min)
+  bool node_log = false;       ///< NodeLog: score = log2(1 + n/n_max)
+  bool multiplicative = false; ///< combination mode (false = additive)
+  double lambda = 0.2;         ///< node-score weight λ in [0,1]
+
+  /// True for the three combinations the paper discarded (log scaling with
+  /// multiplicative combination makes scores vanish).
+  bool IsDiscardedCombination() const {
+    return multiplicative && (edge_log || node_log);
+  }
+
+  /// "E(log|lin) N(log|lin) (add|mult) λ=x" — stable id used in benches.
+  std::string Name() const;
+};
+
+/// Computes answer relevance against a fixed graph (captures w_min, n_max).
+class Scorer {
+ public:
+  Scorer(const Graph& graph, ScoringParams params);
+  // The scorer keeps a pointer to the graph: temporaries are a bug.
+  Scorer(Graph&& graph, ScoringParams params) = delete;
+
+  /// Normalised score of one edge weight.
+  double EdgeScore(double weight) const;
+  /// Normalised score of one node weight.
+  double NodeScore(double weight) const;
+
+  /// Escore of a tree: 1 / (1 + Σ EdgeScore(e)).
+  double TreeEdgeScore(const ConnectionTree& tree) const;
+  /// Nscore: average of NodeScore over root + one entry per search term.
+  double TreeNodeScore(const ConnectionTree& tree) const;
+
+  /// Overall relevance in [0,1]; also writes it into tree->relevance via
+  /// the non-const overload.
+  double Relevance(const ConnectionTree& tree) const;
+  void ScoreInPlace(ConnectionTree* tree) const;
+
+  const ScoringParams& params() const { return params_; }
+
+ private:
+  const Graph* graph_;
+  ScoringParams params_;
+  double min_edge_weight_;
+  double max_node_weight_;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_CORE_SCORER_H_

@@ -1,0 +1,71 @@
+#include "core/sp_iterator.h"
+
+#include <limits>
+
+namespace banks {
+
+SpIterator::SpIterator(const Graph& graph, NodeId source, double distance_cap,
+                       double initial_distance)
+    : graph_(&graph), source_(source), cap_(distance_cap) {
+  frontier_.push(HeapEntry{initial_distance, source, kInvalidNode});
+  Advance();
+}
+
+void SpIterator::Advance() {
+  has_pending_ = false;
+  while (!frontier_.empty()) {
+    HeapEntry top = frontier_.top();
+    frontier_.pop();
+    if (settled_dist_.count(top.node)) continue;  // stale entry
+    if (top.dist > cap_) {
+      // Everything else is at least this far; exhaust.
+      while (!frontier_.empty()) frontier_.pop();
+      return;
+    }
+    pending_ = top;
+    has_pending_ = true;
+    return;
+  }
+}
+
+bool SpIterator::HasNext() { return has_pending_; }
+
+double SpIterator::PeekDistance() { return pending_.dist; }
+
+SpIterator::Visit SpIterator::Next() {
+  HeapEntry cur = pending_;
+  settled_dist_.emplace(cur.node, cur.dist);
+  if (cur.parent != kInvalidNode) parent_.emplace(cur.node, cur.parent);
+
+  // Relax along *incoming* edges: predecessor w of cur has a forward edge
+  // (w -> cur), so dist(w -> source) <= weight(w,cur) + dist(cur -> source).
+  for (const auto& e : graph_->InEdges(cur.node)) {
+    if (settled_dist_.count(e.to)) continue;
+    frontier_.push(HeapEntry{cur.dist + e.weight, e.to, cur.node});
+  }
+  Advance();
+  return Visit{cur.node, cur.dist};
+}
+
+std::vector<NodeId> SpIterator::PathToSource(NodeId node) const {
+  std::vector<NodeId> path;
+  if (!settled_dist_.count(node)) return path;
+  NodeId cur = node;
+  path.push_back(cur);
+  while (cur != source_) {
+    auto it = parent_.find(cur);
+    if (it == parent_.end()) return {};  // should not happen for settled
+    cur = it->second;
+    path.push_back(cur);
+  }
+  return path;
+}
+
+double SpIterator::DistanceTo(NodeId node) const {
+  auto it = settled_dist_.find(node);
+  if (it == settled_dist_.end())
+    return std::numeric_limits<double>::infinity();
+  return it->second;
+}
+
+}  // namespace banks

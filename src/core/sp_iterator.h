@@ -1,0 +1,91 @@
+// Single-source shortest-path iterator (§3).
+//
+// "The copies of the algorithm are run concurrently by creating an iterator
+// interface to the shortest path algorithm." Each iterator runs Dijkstra
+// lazily from one keyword node, traversing graph edges *in reverse*
+// direction, so a visit of node v at distance d means there is a forward
+// path v -> ... -> source of weight d. Iterators expose the distance of the
+// next node they will output so a scheduler can interleave them cheapest-
+// first.
+#ifndef BANKS_CORE_SP_ITERATOR_H_
+#define BANKS_CORE_SP_ITERATOR_H_
+
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace banks {
+
+/// Lazy reverse-Dijkstra from one source node.
+class SpIterator {
+ public:
+  /// `distance_cap`: nodes farther than this are never output (the search
+  /// layer uses it to bound expansion). Infinity = unbounded.
+  /// `initial_distance`: the source starts at this distance instead of 0
+  /// (§3: "the distance measure can be extended to include node weights of
+  /// nodes matching keywords" — a prestigious keyword node gets a smaller
+  /// start offset, so its iterator runs ahead of the others). The offset is
+  /// uniform within one iterator, so path-weight reconstruction from
+  /// distance differences is unaffected.
+  SpIterator(const Graph& graph, NodeId source, double distance_cap = kNoCap,
+             double initial_distance = 0.0);
+
+  static constexpr double kNoCap = std::numeric_limits<double>::infinity();
+
+  NodeId source() const { return source_; }
+
+  /// True if at least one more node will be output.
+  bool HasNext();
+
+  /// Distance of the node Next() would return. Requires HasNext().
+  double PeekDistance();
+
+  /// Settles and returns the next-nearest node. Requires HasNext().
+  struct Visit {
+    NodeId node;
+    double distance;
+  };
+  Visit Next();
+
+  /// Forward path `node -> ... -> source` for a settled node (inclusive of
+  /// both ends; {source} when node == source). Empty if `node` unsettled.
+  std::vector<NodeId> PathToSource(NodeId node) const;
+
+  /// Distance of a settled node (infinity if unsettled).
+  double DistanceTo(NodeId node) const;
+
+  /// Number of settled nodes so far (for instrumentation/benchmarks).
+  size_t num_settled() const { return settled_dist_.size(); }
+
+ private:
+  void Advance();  // pops the frontier until a fresh node or exhaustion
+
+  struct HeapEntry {
+    double dist;
+    NodeId node;
+    NodeId parent;  // the already-settled node this relaxation came from
+    bool operator>(const HeapEntry& o) const {
+      // Tie-break on node id for determinism.
+      return dist != o.dist ? dist > o.dist : node > o.node;
+    }
+  };
+
+  const Graph* graph_;
+  NodeId source_;
+  double cap_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      frontier_;
+  std::unordered_map<NodeId, double> settled_dist_;
+  std::unordered_map<NodeId, NodeId> parent_;  // toward the source
+  bool has_pending_ = false;
+  HeapEntry pending_{};
+};
+
+}  // namespace banks
+
+#endif  // BANKS_CORE_SP_ITERATOR_H_

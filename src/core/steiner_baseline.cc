@@ -1,0 +1,159 @@
+#include "core/steiner_baseline.h"
+
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace banks {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// How a dp state was achieved, for witness reconstruction.
+struct Choice {
+  enum Kind : uint8_t { kBase, kEdge, kSplit } kind = kBase;
+  NodeId via = kInvalidNode;  // kEdge: the child u of edge v -> u
+  uint32_t submask = 0;       // kSplit: one side of the split
+  double edge_weight = 0.0;   // kEdge: w(v, u)
+  int base_term = -1;         // kBase: which term v satisfies
+};
+
+}  // namespace
+
+SteinerResult ExactSteinerTree(
+    const Graph& graph, const std::vector<std::vector<NodeId>>& keyword_nodes,
+    const std::unordered_set<NodeId>& excluded_roots) {
+  SteinerResult result;
+  const size_t k = keyword_nodes.size();
+  const size_t n = graph.num_nodes();
+  if (k == 0 || k > 16 || n == 0) return result;
+  for (const auto& set : keyword_nodes) {
+    if (set.empty()) return result;
+  }
+
+  const uint32_t full = (1u << k) - 1;
+  // dp[mask] is a dense vector over nodes; mask 0 unused.
+  std::vector<std::vector<double>> dp(full + 1,
+                                      std::vector<double>(n, kInf));
+  std::vector<std::vector<Choice>> choice(full + 1,
+                                          std::vector<Choice>(n));
+
+  // Base cases.
+  for (size_t i = 0; i < k; ++i) {
+    for (NodeId v : keyword_nodes[i]) {
+      uint32_t m = 1u << i;
+      if (0.0 < dp[m][v]) {
+        dp[m][v] = 0.0;
+        choice[m][v].kind = Choice::kBase;
+        choice[m][v].base_term = static_cast<int>(i);
+      }
+    }
+  }
+
+  struct HeapEntry {
+    double dist;
+    NodeId node;
+    bool operator>(const HeapEntry& o) const {
+      return dist != o.dist ? dist > o.dist : node > o.node;
+    }
+  };
+
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    // Subset splits: dp[mask][v] <= dp[sub][v] + dp[mask^sub][v].
+    for (uint32_t sub = (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask) {
+      uint32_t other = mask ^ sub;
+      if (sub > other) continue;  // each unordered split once
+      for (NodeId v = 0; v < n; ++v) {
+        if (dp[sub][v] == kInf || dp[other][v] == kInf) continue;
+        double w = dp[sub][v] + dp[other][v];
+        if (w < dp[mask][v]) {
+          dp[mask][v] = w;
+          choice[mask][v].kind = Choice::kSplit;
+          choice[mask][v].submask = sub;
+        }
+      }
+    }
+
+    // Edge extensions: Dijkstra over dp[mask] traversing edges in reverse
+    // (dp[mask][v] <= w(v,u) + dp[mask][u]).
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>>
+        heap;
+    std::vector<bool> settled(n, false);
+    for (NodeId v = 0; v < n; ++v) {
+      if (dp[mask][v] < kInf) heap.push(HeapEntry{dp[mask][v], v});
+    }
+    while (!heap.empty()) {
+      HeapEntry top = heap.top();
+      heap.pop();
+      if (settled[top.node] || top.dist > dp[mask][top.node]) continue;
+      settled[top.node] = true;
+      for (const auto& e : graph.InEdges(top.node)) {
+        // e.to is the predecessor v with forward edge v -> top.node.
+        double cand = top.dist + e.weight;
+        if (cand < dp[mask][e.to]) {
+          dp[mask][e.to] = cand;
+          choice[mask][e.to].kind = Choice::kEdge;
+          choice[mask][e.to].via = top.node;
+          choice[mask][e.to].edge_weight = e.weight;
+          heap.push(HeapEntry{cand, e.to});
+        }
+      }
+    }
+  }
+
+  // Best admissible root.
+  NodeId best_root = kInvalidNode;
+  double best = kInf;
+  for (NodeId v = 0; v < n; ++v) {
+    if (excluded_roots.count(v)) continue;
+    if (dp[full][v] < best) {
+      best = dp[full][v];
+      best_root = v;
+    }
+  }
+  if (best_root == kInvalidNode) return result;
+
+  // Reconstruct a witness tree (first-parent-wins keeps it a tree even if
+  // split branches share nodes; the reported `weight` is the DP optimum).
+  result.found = true;
+  result.weight = best;
+  ConnectionTree& tree = result.tree;
+  tree.root = best_root;
+  tree.leaf_for_term.assign(k, kInvalidNode);
+
+  std::unordered_set<NodeId> in_tree{best_root};
+  struct Frame {
+    uint32_t mask;
+    NodeId node;
+  };
+  std::vector<Frame> stack{{full, best_root}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const Choice& c = choice[f.mask][f.node];
+    switch (c.kind) {
+      case Choice::kBase:
+        if (c.base_term >= 0) tree.leaf_for_term[c.base_term] = f.node;
+        break;
+      case Choice::kEdge:
+        if (!in_tree.count(c.via)) {
+          tree.edges.push_back(TreeEdge{f.node, c.via, c.edge_weight});
+          in_tree.insert(c.via);
+        }
+        stack.push_back(Frame{f.mask, c.via});
+        break;
+      case Choice::kSplit:
+        stack.push_back(Frame{c.submask, f.node});
+        stack.push_back(Frame{f.mask ^ c.submask, f.node});
+        break;
+    }
+  }
+  for (const auto& e : tree.edges) tree.tree_weight += e.weight;
+  return result;
+}
+
+}  // namespace banks

@@ -1,0 +1,41 @@
+// Exact minimum connection tree — the gold-standard baseline.
+//
+// §3 notes that computing minimum Steiner trees is NP-complete; BANKS uses
+// a heuristic. For evaluation we implement the exact directed variant with
+// a Dreyfus–Wagner style DP over terminal subsets:
+//
+//   dp[S][v] = minimum total weight of a tree rooted at v containing a
+//              directed path from v to (at least) one node of each keyword
+//              set whose index is in S.
+//
+// Transitions: subset split at v, and edge extension v -> u (a Dijkstra
+// pass per subset). Complexity O(3^k n + 2^k m log n) — practical for the
+// small k (#terms) and moderate n used in quality experiments.
+#ifndef BANKS_CORE_STEINER_BASELINE_H_
+#define BANKS_CORE_STEINER_BASELINE_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/answer.h"
+#include "graph/graph.h"
+
+namespace banks {
+
+/// Result of the exact computation.
+struct SteinerResult {
+  bool found = false;
+  double weight = 0.0;
+  ConnectionTree tree;  ///< a witness optimum (root = information node)
+};
+
+/// Computes the minimum-weight connection tree for the given keyword node
+/// sets. `excluded_roots`: nodes that may appear in the tree but not as its
+/// root. Supports up to 16 terms (3^k blowup).
+SteinerResult ExactSteinerTree(
+    const Graph& graph, const std::vector<std::vector<NodeId>>& keyword_nodes,
+    const std::unordered_set<NodeId>& excluded_roots = {});
+
+}  // namespace banks
+
+#endif  // BANKS_CORE_STEINER_BASELINE_H_

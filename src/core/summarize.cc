@@ -1,0 +1,76 @@
+#include "core/summarize.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace banks {
+
+namespace {
+
+// Bottom-up canonical encoding of the relation-labelled rooted tree.
+std::string Encode(NodeId node,
+                   const std::unordered_map<NodeId, std::vector<NodeId>>&
+                       children,
+                   const DataGraph& dg, const Database& db) {
+  Rid rid = dg.RidForNode(node);
+  const Table* t = db.table(rid.table_id);
+  std::string label = t != nullptr ? t->name() : "?";
+  auto it = children.find(node);
+  if (it == children.end() || it->second.empty()) return label;
+  std::vector<std::string> encoded;
+  encoded.reserve(it->second.size());
+  for (NodeId child : it->second) {
+    encoded.push_back(Encode(child, children, dg, db));
+  }
+  std::sort(encoded.begin(), encoded.end());
+  label += "(";
+  for (const auto& e : encoded) label += e;
+  label += ")";
+  return label;
+}
+
+}  // namespace
+
+std::string StructureSignature(const ConnectionTree& tree, const DataGraph& dg,
+                               const Database& db) {
+  std::unordered_map<NodeId, std::vector<NodeId>> children;
+  for (const auto& e : tree.edges) children[e.from].push_back(e.to);
+  return Encode(tree.root, children, dg, db);
+}
+
+std::vector<AnswerGroup> GroupByStructure(
+    const std::vector<ConnectionTree>& answers, const DataGraph& dg,
+    const Database& db) {
+  std::vector<AnswerGroup> groups;
+  std::unordered_map<std::string, size_t> by_structure;
+  for (size_t i = 0; i < answers.size(); ++i) {
+    std::string sig = StructureSignature(answers[i], dg, db);
+    auto it = by_structure.find(sig);
+    if (it == by_structure.end()) {
+      by_structure.emplace(sig, groups.size());
+      AnswerGroup group;
+      group.structure = std::move(sig);
+      group.answer_indexes.push_back(i);
+      group.best_relevance = answers[i].relevance;
+      groups.push_back(std::move(group));
+    } else {
+      AnswerGroup& group = groups[it->second];
+      group.answer_indexes.push_back(i);
+      group.best_relevance =
+          std::max(group.best_relevance, answers[i].relevance);
+    }
+  }
+  return groups;
+}
+
+std::vector<ConnectionTree> FilterByStructure(
+    const std::vector<ConnectionTree>& answers, const std::string& structure,
+    const DataGraph& dg, const Database& db) {
+  std::vector<ConnectionTree> out;
+  for (const auto& t : answers) {
+    if (StructureSignature(t, dg, db) == structure) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace banks

@@ -1,0 +1,51 @@
+// Answer summarisation (§7 future work).
+//
+// "We also want to summarize the output, i.e., group the output tuples
+// into sets that have the same tree structure, and allow the user to look
+// for further answers with a particular tree structure."
+//
+// Two answers share a *structure* when their trees are isomorphic at the
+// schema level: same shape, with every node labelled by its relation. The
+// structure signature is a canonical form of the relation-labelled tree
+// (computed bottom-up with sorted child encodings, the classic rooted-tree
+// canonicalisation), so "Paper -> Writes -> Author, Writes -> Author" is
+// one structure no matter which paper or authors instantiate it.
+#ifndef BANKS_CORE_SUMMARIZE_H_
+#define BANKS_CORE_SUMMARIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/answer.h"
+#include "graph/graph_builder.h"
+#include "storage/database.h"
+
+namespace banks {
+
+/// Canonical schema-level structure of an answer tree, e.g.
+/// "Paper(Writes(Author)Writes(Author))". Stable across tuple identities.
+std::string StructureSignature(const ConnectionTree& tree, const DataGraph& dg,
+                               const Database& db);
+
+/// One group of answers with identical structure.
+struct AnswerGroup {
+  std::string structure;               ///< the canonical signature
+  std::vector<size_t> answer_indexes;  ///< indexes into the input vector
+  double best_relevance = 0.0;         ///< of the group's top answer
+};
+
+/// Groups answers by structure, preserving within-group rank order. Groups
+/// are ordered by their best answer's position in the input (i.e. by rank).
+std::vector<AnswerGroup> GroupByStructure(
+    const std::vector<ConnectionTree>& answers, const DataGraph& dg,
+    const Database& db);
+
+/// Filters answers to those matching a structure signature ("look for
+/// further answers with a particular tree structure").
+std::vector<ConnectionTree> FilterByStructure(
+    const std::vector<ConnectionTree>& answers, const std::string& structure,
+    const DataGraph& dg, const Database& db);
+
+}  // namespace banks
+
+#endif  // BANKS_CORE_SUMMARIZE_H_

@@ -1,0 +1,316 @@
+#include "datagen/dblp_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "datagen/names.h"
+#include "util/rng.h"
+
+namespace banks {
+
+namespace {
+
+void CreateDblpSchema(Database* db) {
+  Status s = db->CreateTable(TableSchema(
+      kAuthorTable,
+      {{"AuthorId", ValueType::kString}, {"AuthorName", ValueType::kString}},
+      {"AuthorId"}));
+  assert(s.ok());
+  s = db->CreateTable(TableSchema(
+      kPaperTable,
+      {{"PaperId", ValueType::kString}, {"PaperName", ValueType::kString}},
+      {"PaperId"}));
+  assert(s.ok());
+  s = db->CreateTable(TableSchema(
+      kWritesTable,
+      {{"AuthorId", ValueType::kString}, {"PaperId", ValueType::kString}},
+      {"AuthorId", "PaperId"}));
+  assert(s.ok());
+  s = db->CreateTable(TableSchema(
+      kCitesTable,
+      {{"Citing", ValueType::kString}, {"Cited", ValueType::kString}},
+      {"Citing", "Cited"}));
+  assert(s.ok());
+
+  s = db->AddForeignKey(ForeignKey{"writes_author", kWritesTable,
+                                   {"AuthorId"}, kAuthorTable, {"AuthorId"}});
+  assert(s.ok());
+  s = db->AddForeignKey(ForeignKey{"writes_paper", kWritesTable,
+                                   {"PaperId"}, kPaperTable, {"PaperId"}});
+  assert(s.ok());
+  s = db->AddForeignKey(ForeignKey{"cites_citing", kCitesTable,
+                                   {"Citing"}, kPaperTable, {"PaperId"}});
+  assert(s.ok());
+  s = db->AddForeignKey(ForeignKey{"cites_cited", kCitesTable,
+                                   {"Cited"}, kPaperTable, {"PaperId"}});
+  assert(s.ok());
+  (void)s;
+}
+
+class Builder {
+ public:
+  explicit Builder(Database* db) : db_(db) {}
+
+  std::string AddAuthor(const std::string& name) {
+    std::string id = "A" + std::to_string(next_author_++);
+    Status s = db_->Insert(kAuthorTable,
+                           Tuple({Value(id), Value(name)}))
+                   .ok()
+                   ? Status::OK()
+                   : Status::InvalidArgument("author insert failed");
+    assert(s.ok());
+    (void)s;
+    return id;
+  }
+
+  std::string AddPaper(const std::string& title) {
+    std::string id = "P" + std::to_string(next_paper_++);
+    auto r = db_->Insert(kPaperTable, Tuple({Value(id), Value(title)}));
+    assert(r.ok());
+    (void)r;
+    return id;
+  }
+
+  void AddWrites(const std::string& author, const std::string& paper) {
+    auto key = author + "|" + paper;
+    if (!writes_seen_.insert(key).second) return;
+    auto r = db_->Insert(kWritesTable, Tuple({Value(author), Value(paper)}));
+    assert(r.ok());
+    (void)r;
+  }
+
+  void AddCites(const std::string& citing, const std::string& cited) {
+    if (citing == cited) return;
+    auto key = citing + "|" + cited;
+    if (!cites_seen_.insert(key).second) return;
+    auto r = db_->Insert(kCitesTable, Tuple({Value(citing), Value(cited)}));
+    assert(r.ok());
+    (void)r;
+  }
+
+ private:
+  Database* db_;
+  size_t next_author_ = 0;
+  size_t next_paper_ = 0;
+  std::unordered_set<std::string> writes_seen_;
+  std::unordered_set<std::string> cites_seen_;
+};
+
+}  // namespace
+
+DblpDataset GenerateDblp(const DblpConfig& config) {
+  DblpDataset ds;
+  ds.config = config;
+  CreateDblpSchema(&ds.db);
+  Builder b(&ds.db);
+  Rng rng(config.seed);
+
+  std::vector<std::string> authors;
+  std::vector<std::string> papers;
+
+  // --- Planted anecdote entities (before filler so their names are fixed).
+  if (config.plant_anecdotes) {
+    DblpPlanted& p = ds.planted;
+    // Deliberately created in *reverse* prestige order: a ranking that
+    // ignores node weights (lambda = 0) falls back to generation-order ties
+    // and gets the Mohans exactly backwards — the paper's observed failure.
+    p.mohan_kamat = b.AddAuthor("Mohan Kamat");
+    p.mohan_ahuja = b.AddAuthor("Mohan Ahuja");
+    p.c_mohan = b.AddAuthor("C. Mohan");
+    p.jim_gray = b.AddAuthor("Jim Gray");
+    p.andreas_reuter = b.AddAuthor("Andreas Reuter");
+    p.soumen = b.AddAuthor("Soumen Chakrabarti");
+    p.sunita = b.AddAuthor("Sunita Sarawagi");
+    p.byron = b.AddAuthor("Byron Dom");
+    p.stonebraker = b.AddAuthor("Michael Stonebraker");
+    p.seltzer = b.AddAuthor("Margo Seltzer");
+
+    // "Mohan": C. Mohan prolific (30 papers), Ahuja 8, Kamat 3. Prestige
+    // comes from Writes tuples referencing the author.
+    auto add_solo_papers = [&](const std::string& author, int count,
+                               const char* topic) {
+      for (int i = 0; i < count; ++i) {
+        std::string paper =
+            b.AddPaper(std::string(topic) + " " + NamePool::PaperTitle(&rng, 3));
+        papers.push_back(paper);
+        b.AddWrites(author, paper);
+      }
+    };
+    add_solo_papers(p.c_mohan, 30, "Aries recovery");
+    add_solo_papers(p.mohan_ahuja, 8, "Systems");
+    add_solo_papers(p.mohan_kamat, 3, "Networks");
+
+    // "transaction": ten barely-cited competitor papers are planted BEFORE
+    // the two Gray classics, so prestige (citations) — not tie-breaking —
+    // must put the classics on top.
+    for (int i = 0; i < 10; ++i) {
+      std::string author = b.AddAuthor(NamePool::PersonName(&rng));
+      authors.push_back(author);
+      std::string paper = b.AddPaper("Transaction " +
+                                     NamePool::PaperTitle(&rng, 3));
+      papers.push_back(paper);
+      b.AddWrites(author, paper);
+    }
+    // Gray's classic paper and the Gray&Reuter book, heavily cited below.
+    p.gray_transaction_paper =
+        b.AddPaper("The Transaction Concept Virtues and Limitations");
+    p.gray_reuter_book =
+        b.AddPaper("Transaction Processing Concepts and Techniques");
+    papers.push_back(p.gray_transaction_paper);
+    papers.push_back(p.gray_reuter_book);
+    b.AddWrites(p.jim_gray, p.gray_transaction_paper);
+    b.AddWrites(p.jim_gray, p.gray_reuter_book);
+    b.AddWrites(p.andreas_reuter, p.gray_reuter_book);
+
+    // "soumen sunita" (Figure 2): two co-authored papers; the famous one
+    // also has Byron Dom (ChakrabartiSD98).
+    std::string csd98 =
+        b.AddPaper("Mining Surprising Patterns Using Temporal Description Length");
+    b.AddWrites(p.soumen, csd98);
+    b.AddWrites(p.sunita, csd98);
+    b.AddWrites(p.byron, csd98);
+    std::string css = b.AddPaper("Enhanced Topic Distillation");
+    b.AddWrites(p.soumen, css);
+    b.AddWrites(p.sunita, css);
+    p.soumen_sunita_papers = {csd98, css};
+    papers.push_back(csd98);
+    papers.push_back(css);
+
+    // "seltzer sunita": no co-authored paper; Stonebraker bridges them and
+    // is extremely prolific (heavy back edge without log damping).
+    p.stonebraker_seltzer_paper =
+        b.AddPaper("Read Optimized File Systems Performance");
+    b.AddWrites(p.stonebraker, p.stonebraker_seltzer_paper);
+    b.AddWrites(p.seltzer, p.stonebraker_seltzer_paper);
+    p.stonebraker_sunita_paper =
+        b.AddPaper("Datacube Exploration and OLAP Indexing");
+    b.AddWrites(p.stonebraker, p.stonebraker_sunita_paper);
+    b.AddWrites(p.sunita, p.stonebraker_sunita_paper);
+    papers.push_back(p.stonebraker_seltzer_paper);
+    papers.push_back(p.stonebraker_sunita_paper);
+    add_solo_papers(p.stonebraker, 40, "Postgres");
+
+    // The long competitor chain: Seltzer--Bostic--Olson--cites-->csd98.
+    p.bostic = b.AddAuthor("Keith Bostic");
+    p.olson = b.AddAuthor("Michael Olson");
+    std::string ss2 = b.AddPaper("Berkeley DB Architecture Overview");
+    b.AddWrites(p.seltzer, ss2);
+    b.AddWrites(p.bostic, ss2);
+    std::string b1 = b.AddPaper("Logging File Systems Evaluation Study");
+    b.AddWrites(p.bostic, b1);
+    b.AddWrites(p.olson, b1);
+    std::string o1 = b.AddPaper("Inverted Index Maintenance Techniques");
+    b.AddWrites(p.olson, o1);
+    b.AddCites(o1, csd98);
+    p.competitor_chain_papers = {ss2, b1, o1};
+    papers.push_back(ss2);
+    papers.push_back(b1);
+    papers.push_back(o1);
+
+    authors.insert(authors.end(),
+                   {p.c_mohan, p.mohan_ahuja, p.mohan_kamat, p.jim_gray,
+                    p.andreas_reuter, p.soumen, p.sunita, p.byron,
+                    p.stonebraker, p.seltzer, p.bostic, p.olson});
+  }
+
+  // --- Filler authors & papers. Planted authors are excluded from the
+  // filler authorship pool: their paper lists are part of the controlled
+  // anecdote link structure (e.g. Seltzer has exactly one paper).
+  const size_t planted_authors = authors.size();
+  while (authors.size() < config.num_authors) {
+    authors.push_back(b.AddAuthor(NamePool::PersonName(&rng)));
+  }
+  size_t planted_papers = papers.size();
+  while (papers.size() < std::max(config.num_papers, planted_papers)) {
+    papers.push_back(
+        b.AddPaper(NamePool::PaperTitle(&rng, 4 + (int)rng.Uniform(4))));
+  }
+
+  // --- Zipf-skewed authorship for filler papers, over filler authors only.
+  const size_t filler_authors = authors.size() - planted_authors;
+  if (filler_authors > 0) {
+    ZipfSampler author_zipf(filler_authors, config.author_zipf_theta);
+    for (size_t pi = planted_papers; pi < papers.size(); ++pi) {
+      // 1..6 authors with the configured mean (~geometric-ish mix).
+      int n_auth = 1;
+      double extra = config.authors_per_paper_mean - 1.0;
+      while (n_auth < 6 && rng.Bernoulli(extra / (extra + 1.0))) ++n_auth;
+      std::unordered_set<size_t> chosen;
+      for (int a = 0; a < n_auth; ++a) {
+        size_t rank = author_zipf.Sample(&rng);
+        if (chosen.insert(rank).second) {
+          b.AddWrites(authors[planted_authors + rank], papers[pi]);
+        }
+      }
+    }
+  }
+
+  // --- Zipf-skewed citations. The two Gray classics get boosted citation
+  //     mass when planted: they occupy the head of the popularity ranking.
+  std::vector<size_t> popularity(papers.size());
+  for (size_t i = 0; i < papers.size(); ++i) popularity[i] = i;
+  if (config.plant_anecdotes) {
+    // Move the two classics to ranks 0 and 1.
+    auto promote = [&](const std::string& id, size_t target_rank) {
+      for (size_t i = 0; i < papers.size(); ++i) {
+        if (papers[popularity[i]] == id) {
+          std::swap(popularity[i], popularity[target_rank]);
+          return;
+        }
+      }
+    };
+    promote(ds.planted.gray_transaction_paper, 0);
+    promote(ds.planted.gray_reuter_book, 1);
+    // The famous Soumen-Sunita paper (ChakrabartiSD98) is itself well
+    // cited, so prestige ranks it above their second joint paper.
+    if (!ds.planted.soumen_sunita_papers.empty()) {
+      promote(ds.planted.soumen_sunita_papers[0], 2);
+    }
+  }
+  // The "seltzer sunita" anecdote depends on exactly two bridges between
+  // Seltzer and Sunita existing: Stonebraker (short, heavy back edges) and
+  // the planted long chain (many light edges). Random citations touching
+  // the bridge papers would add uncontrolled shortcuts, so those papers
+  // take no part in citation sampling (DBLP's citation extraction was
+  // extremely sparse anyway).
+  std::unordered_set<std::string> no_cite_papers;
+  if (config.plant_anecdotes) {
+    no_cite_papers.insert(ds.planted.stonebraker_seltzer_paper);
+    no_cite_papers.insert(ds.planted.stonebraker_sunita_paper);
+    for (const auto& p : ds.planted.competitor_chain_papers) {
+      no_cite_papers.insert(p);
+    }
+  }
+  ZipfSampler cite_zipf(papers.size(), config.cite_zipf_theta);
+  size_t total_cites =
+      static_cast<size_t>(config.cites_per_paper_mean *
+                          static_cast<double>(papers.size()));
+  for (size_t c = 0; c < total_cites; ++c) {
+    size_t citing = rng.Uniform(papers.size());
+    size_t cited_rank = cite_zipf.Sample(&rng);
+    const std::string& citing_p = papers[citing];
+    const std::string& cited_p = papers[popularity[cited_rank]];
+    if (no_cite_papers.count(citing_p) || no_cite_papers.count(cited_p)) {
+      continue;
+    }
+    b.AddCites(citing_p, cited_p);
+  }
+
+  // Deterministic prestige endowment for ChakrabartiSD98: it is a famous,
+  // well-cited paper, and its citation count must dominate the second
+  // joint paper at every dataset scale (Q1's ideal ordering).
+  if (config.plant_anecdotes) {
+    const std::string& csd98 = ds.planted.soumen_sunita_papers[0];
+    size_t planted_cites = 0;
+    for (size_t i = 0; i < papers.size() && planted_cites < 35; ++i) {
+      if (papers[i] == csd98 || no_cite_papers.count(papers[i])) continue;
+      b.AddCites(papers[i], csd98);
+      ++planted_cites;
+    }
+  }
+
+  return ds;
+}
+
+}  // namespace banks

@@ -1,0 +1,89 @@
+// Synthetic DBLP-style bibliographic database (Figure 1 schema).
+//
+// Schema:
+//   Author(AuthorId PK, AuthorName)
+//   Paper(PaperId PK, PaperName)
+//   Writes(AuthorId FK->Author, PaperId FK->Paper)   [PK (AuthorId,PaperId)]
+//   Cites(Citing FK->Paper, Cited FK->Paper)         [PK (Citing,Cited)]
+//
+// Authorship and citations are Zipf-skewed to match real bibliographic
+// shape. With `plant_anecdotes`, the entities behind the paper's §5.1
+// anecdotes are inserted with controlled link structure so the anecdote
+// rankings are reproducible assertions, not luck:
+//   - C. Mohan (very prolific) vs Mohan Ahuja vs Mohan Kamat;
+//   - Jim Gray's classic "transaction" paper + the Gray&Reuter book, both
+//     heavily cited;
+//   - Soumen Chakrabarti & Sunita Sarawagi co-authored papers (Fig. 2);
+//   - Michael Stonebraker (very prolific) co-authoring separately with
+//     Margo Seltzer and with Sunita ("seltzer sunita" anecdote).
+#ifndef BANKS_DATAGEN_DBLP_GEN_H_
+#define BANKS_DATAGEN_DBLP_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace banks {
+
+/// Generator configuration. Defaults give a small, fast dataset; the §5.2
+/// experiment scales num_papers/num_authors up to the paper's 100K-node /
+/// 300K-edge graph.
+struct DblpConfig {
+  uint64_t seed = 42;
+  size_t num_authors = 500;
+  size_t num_papers = 1000;
+  double authors_per_paper_mean = 2.5;  ///< 1..6 authors, mean ~2.5
+  /// Citations per paper. DBLP's citation coverage is sparse (the paper's
+  /// graph had ~300K edges for ~100K nodes, i.e. ~1.5 links/tuple), so the
+  /// default keeps citations rarer than authorship links.
+  double cites_per_paper_mean = 1.5;
+  double author_zipf_theta = 0.9;       ///< authorship skew
+  double cite_zipf_theta = 1.0;         ///< citation skew
+  bool plant_anecdotes = true;
+};
+
+/// Handles to the planted anecdote entities (empty when not planted).
+struct DblpPlanted {
+  // AuthorIds.
+  std::string c_mohan, mohan_ahuja, mohan_kamat;
+  std::string jim_gray, andreas_reuter;
+  std::string soumen, sunita, byron;
+  std::string stonebraker, seltzer;
+  std::string bostic, olson;  ///< the long-chain competitor authors
+  // PaperIds.
+  std::string gray_transaction_paper;  ///< the classic, heavily cited
+  std::string gray_reuter_book;        ///< the book, heavily cited
+  std::vector<std::string> soumen_sunita_papers;  ///< co-authored papers
+  std::string stonebraker_seltzer_paper;
+  std::string stonebraker_sunita_paper;
+  /// A deliberately long Seltzer -> ... -> Sunita connection (through
+  /// Bostic, Olson and a citation into ChakrabartiSD98). Its many light
+  /// edges outscore Stonebraker's two heavy back edges under *linear*
+  /// edge scoring but lose under log scaling — reproducing the §5.1
+  /// "without log scaling ... less meaningful answers with large trees"
+  /// observation.
+  std::vector<std::string> competitor_chain_papers;
+};
+
+/// A generated dataset.
+struct DblpDataset {
+  Database db;
+  DblpPlanted planted;
+  DblpConfig config;
+};
+
+/// Generates the dataset. Deterministic in `config.seed`.
+DblpDataset GenerateDblp(const DblpConfig& config = {});
+
+/// Table names of the DBLP schema (shared with tests/benches).
+inline constexpr const char* kAuthorTable = "Author";
+inline constexpr const char* kPaperTable = "Paper";
+inline constexpr const char* kWritesTable = "Writes";
+inline constexpr const char* kCitesTable = "Cites";
+
+}  // namespace banks
+
+#endif  // BANKS_DATAGEN_DBLP_GEN_H_

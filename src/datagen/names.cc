@@ -1,0 +1,87 @@
+#include "datagen/names.h"
+
+namespace banks {
+
+namespace {
+
+const std::vector<std::string>* MakeFirstNames() {
+  return new std::vector<std::string>{
+      "James",  "Mary",    "Robert",  "Patricia", "John",    "Jennifer",
+      "Michael","Linda",   "David",   "Elizabeth","William", "Barbara",
+      "Richard","Susan",   "Joseph",  "Jessica",  "Thomas",  "Sarah",
+      "Charles","Karen",   "Wei",     "Ananya",   "Rajesh",  "Priya",
+      "Kenji",  "Yuki",    "Hans",    "Greta",    "Pierre",  "Marie",
+      "Carlos", "Lucia",   "Ivan",    "Olga",     "Ahmed",   "Fatima",
+      "Li",     "Mei",     "Arun",    "Divya",    "Stefan",  "Ingrid",
+      "Paolo",  "Chiara",  "Erik",    "Astrid",   "Javier",  "Elena"};
+}
+
+const std::vector<std::string>* MakeLastNames() {
+  return new std::vector<std::string>{
+      "Smith",    "Johnson",  "Williams", "Brown",   "Jones",   "Garcia",
+      "Miller",   "Davis",    "Rodriguez","Martinez","Hernandez","Lopez",
+      "Gonzalez", "Wilson",   "Anderson", "Lee",     "Kumar",   "Sharma",
+      "Patel",    "Singh",    "Gupta",    "Chen",    "Wang",    "Zhang",
+      "Liu",      "Yang",     "Tanaka",   "Suzuki",  "Mueller", "Schmidt",
+      "Fischer",  "Weber",    "Rossi",    "Russo",   "Ivanov",  "Petrov",
+      "Kim",      "Park",     "Nguyen",   "Tran",    "Haas",    "Widom",
+      "Ullman",   "Codd",     "Astrahan", "Selinger","Bernstein","Ceri"};
+}
+
+const std::vector<std::string>* MakeTitleWords() {
+  return new std::vector<std::string>{
+      "query",       "optimization", "database",    "relational",
+      "distributed", "parallel",     "index",       "storage",
+      "concurrency", "control",      "recovery",    "logging",
+      "mining",      "clustering",   "classification","learning",
+      "semantic",    "schema",       "integration", "warehouse",
+      "stream",      "temporal",     "spatial",     "graph",
+      "keyword",     "search",       "ranking",     "retrieval",
+      "performance", "benchmark",    "scalable",    "efficient",
+      "adaptive",    "approximate",  "aggregation", "join",
+      "view",        "materialized", "cache",       "buffer",
+      "xml",         "web",          "hypertext",   "crawling",
+      "sampling",    "histogram",    "selectivity", "estimation"};
+}
+
+}  // namespace
+
+const std::vector<std::string>& NamePool::FirstNames() {
+  static const auto* pool = MakeFirstNames();
+  return *pool;
+}
+
+const std::vector<std::string>& NamePool::LastNames() {
+  static const auto* pool = MakeLastNames();
+  return *pool;
+}
+
+const std::vector<std::string>& NamePool::TitleWords() {
+  static const auto* pool = MakeTitleWords();
+  return *pool;
+}
+
+std::string NamePool::PersonName(Rng* rng) {
+  const auto& first = FirstNames();
+  const auto& last = LastNames();
+  return first[rng->Uniform(first.size())] + " " +
+         last[rng->Uniform(last.size())];
+}
+
+std::string NamePool::PaperTitle(Rng* rng, int words) {
+  const auto& pool = TitleWords();
+  std::string title;
+  for (int i = 0; i < words; ++i) {
+    std::string w = pool[rng->Uniform(pool.size())];
+    if (i == 0) w[0] = static_cast<char>(std::toupper(w[0]));
+    if (i) title += " ";
+    title += w;
+  }
+  return title;
+}
+
+std::string NamePool::ThesisTitle(Rng* rng) {
+  return "A Study of " + PaperTitle(rng, 3);
+}
+
+}  // namespace banks

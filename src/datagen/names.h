@@ -1,0 +1,33 @@
+// Name and title-word pools for synthetic dataset generation.
+#ifndef BANKS_DATAGEN_NAMES_H_
+#define BANKS_DATAGEN_NAMES_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace banks {
+
+/// Pools of first/last names and technical title words. All deterministic.
+class NamePool {
+ public:
+  /// A person name "First Last" drawn from the pools. Collisions possible
+  /// (realistic for bibliographic data).
+  static std::string PersonName(Rng* rng);
+
+  /// A paper-ish title of `words` pool words, capitalised.
+  static std::string PaperTitle(Rng* rng, int words);
+
+  /// A thesis-ish title.
+  static std::string ThesisTitle(Rng* rng);
+
+  /// Word pools (exposed for tests).
+  static const std::vector<std::string>& FirstNames();
+  static const std::vector<std::string>& LastNames();
+  static const std::vector<std::string>& TitleWords();
+};
+
+}  // namespace banks
+
+#endif  // BANKS_DATAGEN_NAMES_H_

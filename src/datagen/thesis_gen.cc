@@ -1,0 +1,178 @@
+#include "datagen/thesis_gen.h"
+
+#include <cassert>
+
+#include "datagen/names.h"
+#include "util/rng.h"
+
+namespace banks {
+
+namespace {
+
+void CreateThesisSchema(Database* db) {
+  Status s = db->CreateTable(TableSchema(
+      kDeptTable,
+      {{"DeptId", ValueType::kString}, {"DeptName", ValueType::kString}},
+      {"DeptId"}));
+  assert(s.ok());
+  s = db->CreateTable(TableSchema(kFacultyTable,
+                                  {{"FacId", ValueType::kString},
+                                   {"FacName", ValueType::kString},
+                                   {"DeptId", ValueType::kString}},
+                                  {"FacId"}));
+  assert(s.ok());
+  s = db->CreateTable(TableSchema(kStudentTable,
+                                  {{"RollNo", ValueType::kString},
+                                   {"StudentName", ValueType::kString},
+                                   {"Program", ValueType::kString},
+                                   {"DeptId", ValueType::kString}},
+                                  {"RollNo"}));
+  assert(s.ok());
+  s = db->CreateTable(TableSchema(kThesisTable,
+                                  {{"ThesisId", ValueType::kString},
+                                   {"Title", ValueType::kString},
+                                   {"RollNo", ValueType::kString},
+                                   {"Advisor", ValueType::kString}},
+                                  {"ThesisId"}));
+  assert(s.ok());
+
+  s = db->AddForeignKey(ForeignKey{"faculty_dept", kFacultyTable, {"DeptId"},
+                                   kDeptTable, {"DeptId"}});
+  assert(s.ok());
+  s = db->AddForeignKey(ForeignKey{"student_dept", kStudentTable, {"DeptId"},
+                                   kDeptTable, {"DeptId"}});
+  assert(s.ok());
+  s = db->AddForeignKey(ForeignKey{"thesis_student", kThesisTable, {"RollNo"},
+                                   kStudentTable, {"RollNo"}});
+  assert(s.ok());
+  s = db->AddForeignKey(ForeignKey{"thesis_advisor", kThesisTable,
+                                   {"Advisor"}, kFacultyTable, {"FacId"}});
+  assert(s.ok());
+  (void)s;
+}
+
+const char* kDeptNames[] = {
+    "Computer Science and Engineering",
+    "Electrical Engineering",
+    "Mechanical Engineering",
+    "Civil Engineering",
+    "Chemical Engineering",
+    "Aerospace Engineering",
+    "Metallurgical Engineering",
+    "Physics",
+    "Chemistry",
+    "Mathematics",
+    "Industrial Design",
+    "Energy Systems",
+    "Biosciences",
+    "Earth Sciences",
+    "Humanities and Social Sciences",
+    "Environmental Science",
+};
+constexpr size_t kNumDeptNames = sizeof(kDeptNames) / sizeof(kDeptNames[0]);
+
+const char* kPrograms[] = {"MTech", "PhD", "DualDegree", "MS"};
+
+}  // namespace
+
+ThesisDataset GenerateThesis(const ThesisConfig& config) {
+  ThesisDataset ds;
+  ds.config = config;
+  CreateThesisSchema(&ds.db);
+  Rng rng(config.seed);
+
+  size_t num_depts = std::min(config.num_departments, kNumDeptNames);
+  std::vector<std::string> depts;
+  for (size_t d = 0; d < num_depts; ++d) {
+    std::string id = "D" + std::to_string(d);
+    auto r = ds.db.Insert(kDeptTable, Tuple({Value(id), Value(kDeptNames[d])}));
+    assert(r.ok());
+    (void)r;
+    depts.push_back(id);
+    if (config.plant_anecdotes && d == 0) ds.planted.cse_dept = id;
+  }
+
+  // CSE (dept 0) is deliberately over-represented: its prestige must beat
+  // filler theses that merely contain "computer"/"engineering" in titles.
+  auto pick_dept = [&]() -> size_t {
+    if (rng.Bernoulli(0.3)) return 0;  // 30% mass on CSE
+    return rng.Uniform(depts.size());
+  };
+
+  std::vector<std::string> faculty;
+  size_t next_fac = 0;
+  auto add_faculty = [&](const std::string& name, size_t dept) {
+    std::string id = "F" + std::to_string(next_fac++);
+    auto r = ds.db.Insert(
+        kFacultyTable, Tuple({Value(id), Value(name), Value(depts[dept])}));
+    assert(r.ok());
+    (void)r;
+    faculty.push_back(id);
+    return id;
+  };
+
+  std::vector<std::string> students;
+  size_t next_roll = 0;
+  auto add_student = [&](const std::string& name, size_t dept,
+                         const std::string& program) {
+    std::string id = "R" + std::to_string(next_roll++);
+    auto r = ds.db.Insert(kStudentTable,
+                          Tuple({Value(id), Value(name), Value(program),
+                                 Value(depts[dept])}));
+    assert(r.ok());
+    (void)r;
+    students.push_back(id);
+    return id;
+  };
+
+  size_t next_thesis = 0;
+  auto add_thesis = [&](const std::string& title, const std::string& roll,
+                        const std::string& advisor) {
+    std::string id = "T" + std::to_string(next_thesis++);
+    auto r = ds.db.Insert(
+        kThesisTable,
+        Tuple({Value(id), Value(title), Value(roll), Value(advisor)}));
+    assert(r.ok());
+    (void)r;
+    return id;
+  };
+
+  if (config.plant_anecdotes) {
+    ds.planted.sudarshan = add_faculty("S. Sudarshan", 0);
+    ds.planted.aditya = add_student("B. Aditya", 0, "MTech");
+    ds.planted.aditya_thesis =
+        add_thesis("Keyword Searching and Browsing in Databases",
+                   ds.planted.aditya, ds.planted.sudarshan);
+    // A handful of filler theses whose titles contain "computer" or
+    // "engineering" so the "computer engineering" query has title-only
+    // competitors that must lose to the CSE department node.
+    for (int i = 0; i < 4; ++i) {
+      std::string roll = add_student(NamePool::PersonName(&rng), pick_dept(),
+                                     kPrograms[rng.Uniform(4)]);
+      std::string adv = add_faculty(NamePool::PersonName(&rng), pick_dept());
+      add_thesis(i % 2 == 0 ? "Computer Aided " + NamePool::PaperTitle(&rng, 2)
+                            : "Engineering Models for " +
+                                  NamePool::PaperTitle(&rng, 2),
+                 roll, adv);
+    }
+  }
+
+  while (faculty.size() < config.num_faculty) {
+    add_faculty(NamePool::PersonName(&rng), pick_dept());
+  }
+  while (students.size() < config.num_students) {
+    add_student(NamePool::PersonName(&rng), pick_dept(),
+                kPrograms[rng.Uniform(4)]);
+  }
+  // Theses for a fraction of students, advisor drawn from any faculty
+  // (cross-department advising exists in practice and adds connectivity).
+  for (const auto& roll : students) {
+    if (roll == ds.planted.aditya) continue;  // already has one
+    if (!rng.Bernoulli(config.thesis_fraction)) continue;
+    add_thesis(NamePool::ThesisTitle(&rng), roll,
+               faculty[rng.Uniform(faculty.size())]);
+  }
+  return ds;
+}
+
+}  // namespace banks

@@ -1,0 +1,57 @@
+// Synthetic IIT-Bombay-style thesis database (§5 "the other dataset").
+//
+// Schema:
+//   Department(DeptId PK, DeptName)
+//   Faculty(FacId PK, FacName, DeptId FK->Department)
+//   Student(RollNo PK, StudentName, Program, DeptId FK->Department)
+//   Thesis(ThesisId PK, Title, RollNo FK->Student, Advisor FK->Faculty)
+//
+// Departments act as hubs (many students/faculty reference them) — the
+// §2.1 motivation for degree-weighted back edges. Planted anecdotes:
+//   - the "Computer Science and Engineering" department, referenced often,
+//     wins the query "computer engineering" on node prestige;
+//   - student "B. Aditya" advised by faculty "S. Sudarshan" with a planted
+//     thesis ("sudarshan aditya" anecdote).
+#ifndef BANKS_DATAGEN_THESIS_GEN_H_
+#define BANKS_DATAGEN_THESIS_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace banks {
+
+struct ThesisConfig {
+  uint64_t seed = 7;
+  size_t num_departments = 12;
+  size_t num_faculty = 120;
+  size_t num_students = 800;
+  double thesis_fraction = 0.8;  ///< fraction of students with a thesis
+  bool plant_anecdotes = true;
+};
+
+struct ThesisPlanted {
+  std::string cse_dept;      ///< DeptId of "Computer Science and Engineering"
+  std::string sudarshan;     ///< FacId
+  std::string aditya;        ///< RollNo
+  std::string aditya_thesis; ///< ThesisId
+};
+
+struct ThesisDataset {
+  Database db;
+  ThesisPlanted planted;
+  ThesisConfig config;
+};
+
+ThesisDataset GenerateThesis(const ThesisConfig& config = {});
+
+inline constexpr const char* kDeptTable = "Department";
+inline constexpr const char* kFacultyTable = "Faculty";
+inline constexpr const char* kStudentTable = "Student";
+inline constexpr const char* kThesisTable = "Thesis";
+
+}  // namespace banks
+
+#endif  // BANKS_DATAGEN_THESIS_GEN_H_

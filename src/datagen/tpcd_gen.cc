@@ -1,0 +1,129 @@
+#include "datagen/tpcd_gen.h"
+
+#include <cassert>
+
+#include "datagen/names.h"
+#include "util/rng.h"
+
+namespace banks {
+
+namespace {
+
+const char* kPartWords[] = {"bolt",   "gear",   "valve",  "bearing",
+                            "piston", "flange", "washer", "bracket",
+                            "spring", "shaft",  "coupler", "gasket"};
+
+void CreateTpcdSchema(Database* db) {
+  Status s = db->CreateTable(TableSchema(
+      kPartTable,
+      {{"PartId", ValueType::kString}, {"PartName", ValueType::kString}},
+      {"PartId"}));
+  assert(s.ok());
+  s = db->CreateTable(TableSchema(
+      kSupplierTable,
+      {{"SuppId", ValueType::kString}, {"SuppName", ValueType::kString}},
+      {"SuppId"}));
+  assert(s.ok());
+  s = db->CreateTable(TableSchema(
+      kCustomerTable,
+      {{"CustId", ValueType::kString}, {"CustName", ValueType::kString}},
+      {"CustId"}));
+  assert(s.ok());
+  s = db->CreateTable(TableSchema(kOrdersTable,
+                                  {{"OrderId", ValueType::kString},
+                                   {"PartId", ValueType::kString},
+                                   {"SuppId", ValueType::kString},
+                                   {"CustId", ValueType::kString}},
+                                  {"OrderId"}));
+  assert(s.ok());
+  s = db->AddForeignKey(ForeignKey{"order_part", kOrdersTable, {"PartId"},
+                                   kPartTable, {"PartId"}});
+  assert(s.ok());
+  s = db->AddForeignKey(ForeignKey{"order_supp", kOrdersTable, {"SuppId"},
+                                   kSupplierTable, {"SuppId"}});
+  assert(s.ok());
+  s = db->AddForeignKey(ForeignKey{"order_cust", kOrdersTable, {"CustId"},
+                                   kCustomerTable, {"CustId"}});
+  assert(s.ok());
+  (void)s;
+}
+
+}  // namespace
+
+TpcdDataset GenerateTpcd(const TpcdConfig& config) {
+  TpcdDataset ds;
+  ds.config = config;
+  CreateTpcdSchema(&ds.db);
+  Rng rng(config.seed);
+
+  std::vector<std::string> parts, supps, custs;
+  size_t planted_parts = 0;
+  if (config.plant_anecdotes) {
+    ds.planted.popular_widget = "PT0";
+    ds.planted.obscure_widget = "PT1";
+    auto r = ds.db.Insert(
+        kPartTable, Tuple({Value("PT0"), Value("premium widget assembly")}));
+    assert(r.ok());
+    r = ds.db.Insert(kPartTable,
+                     Tuple({Value("PT1"), Value("legacy widget assembly")}));
+    assert(r.ok());
+    (void)r;
+    parts = {"PT0", "PT1"};
+    planted_parts = 2;
+  }
+  for (size_t i = planted_parts; i < config.num_parts; ++i) {
+    std::string id = "PT" + std::to_string(i);
+    std::string name = std::string(kPartWords[rng.Uniform(12)]) + " " +
+                       kPartWords[rng.Uniform(12)] + " " +
+                       std::to_string(rng.Uniform(1000));
+    auto r = ds.db.Insert(kPartTable, Tuple({Value(id), Value(name)}));
+    assert(r.ok());
+    (void)r;
+    parts.push_back(id);
+  }
+  for (size_t i = 0; i < config.num_suppliers; ++i) {
+    std::string id = "S" + std::to_string(i);
+    auto r = ds.db.Insert(
+        kSupplierTable,
+        Tuple({Value(id), Value(NamePool::PersonName(&rng) + " Supply Co")}));
+    assert(r.ok());
+    (void)r;
+    supps.push_back(id);
+  }
+  for (size_t i = 0; i < config.num_customers; ++i) {
+    std::string id = "C" + std::to_string(i);
+    auto r = ds.db.Insert(
+        kCustomerTable,
+        Tuple({Value(id), Value(NamePool::PersonName(&rng) + " Inc")}));
+    assert(r.ok());
+    (void)r;
+    custs.push_back(id);
+  }
+
+  // Orders: part choice Zipf-skewed. With planting, the popular widget sits
+  // at rank 0 (ordered most); the obscure widget gets exactly one order so
+  // it is connected but unprestigious.
+  ZipfSampler part_zipf(parts.size(), config.part_zipf_theta);
+  size_t next_order = 0;
+  auto add_order = [&](const std::string& part) {
+    std::string id = "O" + std::to_string(next_order++);
+    auto r = ds.db.Insert(
+        kOrdersTable,
+        Tuple({Value(id), Value(part), Value(supps[rng.Uniform(supps.size())]),
+               Value(custs[rng.Uniform(custs.size())])}));
+    assert(r.ok());
+    (void)r;
+  };
+  if (config.plant_anecdotes) add_order(ds.planted.obscure_widget);
+  while (next_order < config.num_orders) {
+    size_t rank = part_zipf.Sample(&rng);
+    std::string part = parts[rank];
+    if (config.plant_anecdotes && part == ds.planted.obscure_widget) {
+      part = parts[0];  // keep the obscure widget at exactly one order
+    }
+    add_order(part);
+  }
+  return ds;
+}
+
+}  // namespace banks

@@ -1,0 +1,54 @@
+// TPCD-mini: the §2.1 prestige example.
+//
+// "in a TPCD database storing information about parts, suppliers, customers
+// and orders, the orders information contains references to parts,
+// suppliers and customers. As a result, if a query matches two parts ...
+// the one with more orders would get a higher prestige."
+//
+// Schema:
+//   Part(PartId PK, PartName)
+//   Supplier(SuppId PK, SuppName)
+//   Customer(CustId PK, CustName)
+//   Orders(OrderId PK, PartId FK, SuppId FK, CustId FK)
+#ifndef BANKS_DATAGEN_TPCD_GEN_H_
+#define BANKS_DATAGEN_TPCD_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace banks {
+
+struct TpcdConfig {
+  uint64_t seed = 11;
+  size_t num_parts = 100;
+  size_t num_suppliers = 25;
+  size_t num_customers = 60;
+  size_t num_orders = 600;
+  double part_zipf_theta = 1.0;  ///< some parts are ordered far more
+  bool plant_anecdotes = true;   ///< two "widget" parts, one popular
+};
+
+struct TpcdPlanted {
+  std::string popular_widget;    ///< PartId ordered many times
+  std::string obscure_widget;    ///< PartId ordered rarely
+};
+
+struct TpcdDataset {
+  Database db;
+  TpcdPlanted planted;
+  TpcdConfig config;
+};
+
+TpcdDataset GenerateTpcd(const TpcdConfig& config = {});
+
+inline constexpr const char* kPartTable = "Part";
+inline constexpr const char* kSupplierTable = "Supplier";
+inline constexpr const char* kCustomerTable = "Customer";
+inline constexpr const char* kOrdersTable = "Orders";
+
+}  // namespace banks
+
+#endif  // BANKS_DATAGEN_TPCD_GEN_H_

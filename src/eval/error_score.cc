@@ -1,0 +1,81 @@
+#include "eval/error_score.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace banks {
+
+bool MatchesIdeal(const ConnectionTree& tree, const IdealAnswer& ideal,
+                  const DataGraph& dg, const Database& db) {
+  for (const auto& [table, pk] : ideal.required_nodes) {
+    bool found = false;
+    for (NodeId n : tree.Nodes()) {
+      Rid rid = dg.RidForNode(n);
+      const Table* t = db.table(rid.table_id);
+      if (t == nullptr || t->name() != table) continue;
+      const Tuple* tuple = db.Get(rid);
+      if (tuple == nullptr || !t->schema().has_primary_key()) continue;
+      // Compare against the PK rendered as text (composite PKs join with
+      // a comma, matching NodeLabel's format).
+      std::string pk_text;
+      const auto& pk_cols = t->schema().primary_key();
+      for (size_t i = 0; i < pk_cols.size(); ++i) {
+        if (i) pk_text += ",";
+        pk_text += tuple->at(pk_cols[i]).ToText();
+      }
+      if (pk_text == pk) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::vector<int> IdealRanks(const std::vector<ConnectionTree>& answers,
+                            const std::vector<IdealAnswer>& ideals,
+                            const DataGraph& dg, const Database& db,
+                            int missing_rank) {
+  std::vector<int> ranks(ideals.size(), missing_rank);
+  std::vector<bool> answer_used(answers.size(), false);
+  for (size_t i = 0; i < ideals.size(); ++i) {
+    for (size_t a = 0; a < answers.size(); ++a) {
+      if (answer_used[a]) continue;
+      if (MatchesIdeal(answers[a], ideals[i], dg, db)) {
+        ranks[i] = static_cast<int>(a) + 1;
+        answer_used[a] = true;
+        break;
+      }
+    }
+  }
+  return ranks;
+}
+
+double RawErrorScore(const std::vector<int>& actual_ranks) {
+  double err = 0.0;
+  for (size_t i = 0; i < actual_ranks.size(); ++i) {
+    int expected = static_cast<int>(i) + 1;
+    err += std::abs(actual_ranks[i] - expected);
+  }
+  return err;
+}
+
+double WorstErrorScore(size_t num_ideals, int missing_rank) {
+  double worst = 0.0;
+  for (size_t i = 0; i < num_ideals; ++i) {
+    int expected = static_cast<int>(i) + 1;
+    worst += std::abs(missing_rank - expected);
+  }
+  return worst;
+}
+
+double ScaledErrorScore(const std::vector<int>& actual_ranks,
+                        int missing_rank) {
+  if (actual_ranks.empty()) return 0.0;
+  double worst = WorstErrorScore(actual_ranks.size(), missing_rank);
+  if (worst <= 0) return 0.0;
+  return 100.0 * RawErrorScore(actual_ranks) / worst;
+}
+
+}  // namespace banks

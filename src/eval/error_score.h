@@ -1,0 +1,59 @@
+// The §5.3 evaluation metric.
+//
+// "For each query we chose answers that we felt were the most meaningful
+// (the ideal answers) ... For each query, for each parameter setting, we
+// computed the absolute value of the rank difference of the ideal answers
+// with their rank in the answers for that parameter setting. The sum of
+// these rank differences gives the raw error score ... We scaled the
+// scores to set the worst possible error score to 100. We considered
+// answers to be the same if their trees were the same, even if the roots
+// were different. For answers that were missing at a parameter setting,
+// the rank difference was assumed to be 11."
+#ifndef BANKS_EVAL_ERROR_SCORE_H_
+#define BANKS_EVAL_ERROR_SCORE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/answer.h"
+#include "core/banks.h"
+
+namespace banks {
+
+/// An ideal answer, identified structurally: the answer tree must contain
+/// a tuple matching every (table, pk) requirement. Identification ignores
+/// the root (trees equal modulo direction count as the same answer).
+struct IdealAnswer {
+  /// Human-readable description (for reports).
+  std::string description;
+  /// Each entry: {table name, primary-key text}. All must appear among the
+  /// answer tree's nodes.
+  std::vector<std::pair<std::string, std::string>> required_nodes;
+};
+
+/// True if `tree` contains every required node of `ideal`.
+bool MatchesIdeal(const ConnectionTree& tree, const IdealAnswer& ideal,
+                  const DataGraph& dg, const Database& db);
+
+/// Rank (1-based) of the first answer matching each ideal; `missing_rank`
+/// (paper: 11) when absent from the top `answers.size()`. Each answer can
+/// satisfy at most one ideal (first-come assignment in ideal order).
+std::vector<int> IdealRanks(const std::vector<ConnectionTree>& answers,
+                            const std::vector<IdealAnswer>& ideals,
+                            const DataGraph& dg, const Database& db,
+                            int missing_rank = 11);
+
+/// Raw §5.3 error: sum over ideals i (1-based expected rank) of
+/// |expected_rank_i - actual_rank_i|.
+double RawErrorScore(const std::vector<int>& actual_ranks);
+
+/// Worst possible raw error for `num_ideals` ideals (all missing).
+double WorstErrorScore(size_t num_ideals, int missing_rank = 11);
+
+/// Scaled to [0, 100] with the worst case at 100.
+double ScaledErrorScore(const std::vector<int>& actual_ranks,
+                        int missing_rank = 11);
+
+}  // namespace banks
+
+#endif  // BANKS_EVAL_ERROR_SCORE_H_

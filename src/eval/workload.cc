@@ -1,0 +1,142 @@
+#include "eval/workload.h"
+
+#include <utility>
+
+namespace banks {
+
+BanksOptions EvalWorkload::DefaultOptions() {
+  BanksOptions options;
+  // The paper's evaluation stops at 10 answers per query.
+  options.search.max_answers = 10;
+  options.search.output_heap_size = 20;
+  // §2.1: "the link between the Paper table and the Writes table is seen as
+  // a stronger link than the link between the Paper table and the Cites
+  // table. The link between Paper and Cites tables would have a higher
+  // weight." (No effect on the thesis dataset, which has no Cites table.)
+  options.graph.similarity.Set("Cites", "Paper", 3.0);
+  options.graph.similarity.Set("Paper", "Cites", 3.0);
+  // §2.1: "we may exclude the nodes corresponding to the tuples from a
+  // specified set of relations, such as Writes, which we believe are not
+  // meaningful root nodes." Without this, answers keep their link-tuple
+  // rooting (whose prestige is 0) and node weights stop mattering.
+  options.excluded_root_tables = {"Writes", "Cites"};
+  return options;
+}
+
+EvalWorkload::EvalWorkload(const DblpConfig& dblp_config,
+                           const ThesisConfig& thesis_config,
+                           BanksOptions options) {
+  DblpDataset dblp = GenerateDblp(dblp_config);
+  dblp_planted_ = dblp.planted;
+  dblp_engine_ =
+      std::make_unique<BanksEngine>(std::move(dblp.db), options);
+
+  ThesisDataset thesis = GenerateThesis(thesis_config);
+  thesis_planted_ = thesis.planted;
+  thesis_engine_ =
+      std::make_unique<BanksEngine>(std::move(thesis.db), options);
+
+  BuildQueries();
+}
+
+void EvalWorkload::BuildQueries() {
+  const DblpPlanted& d = dblp_planted_;
+  const ThesisPlanted& t = thesis_planted_;
+
+  // Q1: keywords from two authors who are coauthors (Figure 2's query).
+  queries_.push_back(EvalQuery{
+      "Q1-coauthors",
+      "soumen sunita",
+      false,
+      {IdealAnswer{"ChakrabartiSD98 connecting Soumen and Sunita",
+                   {{kPaperTable, d.soumen_sunita_papers[0]},
+                    {kAuthorTable, d.soumen},
+                    {kAuthorTable, d.sunita}}},
+       IdealAnswer{"second co-authored paper",
+                   {{kPaperTable, d.soumen_sunita_papers[1]},
+                    {kAuthorTable, d.soumen},
+                    {kAuthorTable, d.sunita}}}}});
+
+  // Q2: authors with a common coauthor (the Stonebraker bridge).
+  queries_.push_back(EvalQuery{
+      "Q2-common-coauthor",
+      "seltzer sunita",
+      false,
+      {IdealAnswer{"Stonebraker bridging Seltzer and Sunita",
+                   {{kAuthorTable, d.stonebraker},
+                    {kAuthorTable, d.seltzer},
+                    {kAuthorTable, d.sunita}}}}});
+
+  // Q3: a single author keyword resolved by prestige.
+  queries_.push_back(EvalQuery{
+      "Q3-author-prestige",
+      "mohan",
+      false,
+      {IdealAnswer{"C. Mohan (most prolific)", {{kAuthorTable, d.c_mohan}}},
+       IdealAnswer{"Mohan Ahuja", {{kAuthorTable, d.mohan_ahuja}}},
+       IdealAnswer{"Mohan Kamat", {{kAuthorTable, d.mohan_kamat}}}}});
+
+  // Q4: keywords from titles alone, resolved by citation prestige.
+  queries_.push_back(EvalQuery{
+      "Q4-title-prestige",
+      "transaction",
+      false,
+      {IdealAnswer{"Gray's classic transaction paper",
+                   {{kPaperTable, d.gray_transaction_paper}}},
+       IdealAnswer{"Gray & Reuter book",
+                   {{kPaperTable, d.gray_reuter_book}}}}});
+
+  // Q5: an author and a title keyword.
+  queries_.push_back(EvalQuery{
+      "Q5-author-title",
+      "gray transaction",
+      false,
+      {IdealAnswer{"Gray -- classic paper",
+                   {{kAuthorTable, d.jim_gray},
+                    {kPaperTable, d.gray_transaction_paper}}},
+       IdealAnswer{"Gray -- book",
+                   {{kAuthorTable, d.jim_gray},
+                    {kPaperTable, d.gray_reuter_book}}}}});
+
+  // Q6: advisor + student names meeting at a thesis.
+  queries_.push_back(EvalQuery{
+      "Q6-advisor-student",
+      "sudarshan aditya",
+      true,
+      {IdealAnswer{"Aditya's thesis advised by Sudarshan",
+                   {{kThesisTable, t.aditya_thesis},
+                    {kFacultyTable, t.sudarshan},
+                    {kStudentTable, t.aditya}}}}});
+
+  // Q7: keywords naming a department; prestige must beat title matches.
+  queries_.push_back(EvalQuery{
+      "Q7-department",
+      "computer engineering",
+      true,
+      {IdealAnswer{"the CSE department itself",
+                   {{kDeptTable, t.cse_dept}}}}});
+}
+
+double EvalWorkload::ScaledError(const EvalQuery& query,
+                                 const ScoringParams& scoring,
+                                 size_t k) const {
+  const BanksEngine& engine = engine_for(query);
+  SearchOptions search = engine.options().search;
+  search.scoring = scoring;
+  search.max_answers = k;
+  auto result = engine.Search(query.text, search);
+  if (!result.ok()) return 100.0;
+  auto ranks = IdealRanks(result.value().answers, query.ideals,
+                          engine.data_graph(), engine.db(),
+                          static_cast<int>(k) + 1);
+  return ScaledErrorScore(ranks, static_cast<int>(k) + 1);
+}
+
+double EvalWorkload::AverageScaledError(const ScoringParams& scoring,
+                                        size_t k) const {
+  double sum = 0.0;
+  for (const auto& q : queries_) sum += ScaledError(q, scoring, k);
+  return sum / static_cast<double>(queries_.size());
+}
+
+}  // namespace banks

@@ -1,0 +1,74 @@
+// The 7-query evaluation workload of §5.3.
+//
+// "Our performance evaluation was conducted using 7 different queries whose
+// form was outlined earlier" — keywords from two coauthors, authors with a
+// common coauthor, an author and a title, keywords from titles alone, and
+// so on. Queries run against the synthetic DBLP and thesis datasets; ideal
+// answers are defined over the planted anecdote entities (average ~4 per
+// query in the paper; ours average similar).
+#ifndef BANKS_EVAL_WORKLOAD_H_
+#define BANKS_EVAL_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/banks.h"
+#include "datagen/dblp_gen.h"
+#include "datagen/thesis_gen.h"
+#include "eval/error_score.h"
+
+namespace banks {
+
+/// One evaluation query bound to a dataset.
+struct EvalQuery {
+  std::string name;          ///< e.g. "Q1-coauthors"
+  std::string text;          ///< the keyword query
+  bool on_thesis = false;    ///< false = DBLP engine, true = thesis engine
+  std::vector<IdealAnswer> ideals;  ///< in ideal-rank order
+};
+
+/// The evaluation fixture: both engines plus the 7 queries.
+class EvalWorkload {
+ public:
+  /// Builds DBLP + thesis datasets/engines with the given scale knobs.
+  /// `options` applies to both engines (scoring defaults are overridden
+  /// per-run by the parameter sweep).
+  EvalWorkload(const DblpConfig& dblp_config, const ThesisConfig& thesis_config,
+               BanksOptions options = DefaultOptions());
+
+  /// Engine defaults used by the paper's experiments: Writes and Cites are
+  /// excluded as information nodes (pure link tables).
+  static BanksOptions DefaultOptions();
+
+  const std::vector<EvalQuery>& queries() const { return queries_; }
+  const BanksEngine& engine_for(const EvalQuery& q) const {
+    return q.on_thesis ? *thesis_engine_ : *dblp_engine_;
+  }
+  const BanksEngine& dblp_engine() const { return *dblp_engine_; }
+  const BanksEngine& thesis_engine() const { return *thesis_engine_; }
+  const DblpPlanted& dblp_planted() const { return dblp_planted_; }
+  const ThesisPlanted& thesis_planted() const { return thesis_planted_; }
+
+  /// Runs one query under `scoring`, stopping at `k` answers (paper: 10),
+  /// and returns the scaled §5.3 error.
+  double ScaledError(const EvalQuery& query, const ScoringParams& scoring,
+                     size_t k = 10) const;
+
+  /// Average scaled error across all 7 queries for one parameter setting —
+  /// one cell of Figure 5.
+  double AverageScaledError(const ScoringParams& scoring, size_t k = 10) const;
+
+ private:
+  void BuildQueries();
+
+  std::unique_ptr<BanksEngine> dblp_engine_;
+  std::unique_ptr<BanksEngine> thesis_engine_;
+  DblpPlanted dblp_planted_;
+  ThesisPlanted thesis_planted_;
+  std::vector<EvalQuery> queries_;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_EVAL_WORKLOAD_H_

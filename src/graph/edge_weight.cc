@@ -1,0 +1,37 @@
+#include "graph/edge_weight.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace banks {
+
+void SimilarityMatrix::Set(const std::string& from_table,
+                           const std::string& to_table, double weight) {
+  assert(weight > 0);
+  weights_[Key(from_table, to_table)] = weight;
+}
+
+double SimilarityMatrix::Get(const std::string& from_table,
+                             const std::string& to_table) const {
+  auto it = weights_.find(Key(from_table, to_table));
+  if (it == weights_.end()) return 1.0;
+  return it->second;
+}
+
+double CombineBothLinks(double a, double b, BothLinkCombine combine) {
+  switch (combine) {
+    case BothLinkCombine::kMin:
+      return std::min(a, b);
+    case BothLinkCombine::kParallelResistance:
+      return (a * b) / (a + b);
+  }
+  return std::min(a, b);
+}
+
+double BackwardEdgeWeight(double similarity, size_t indegree_same_relation) {
+  // At least 1: the link that induced this back edge always exists.
+  size_t in = std::max<size_t>(indegree_same_relation, 1);
+  return similarity * static_cast<double>(in);
+}
+
+}  // namespace banks

@@ -1,0 +1,59 @@
+// Relation-similarity matrix and the §2.2 edge-weight formulas.
+//
+// "the importance of a link depends upon the type of the link, i.e. what
+// relations it connects"; s(R1, R2) is the (asymmetric) similarity from
+// referencing relation R1 to referenced relation R2, default 1, infinity if
+// R1 does not refer to R2. Small values mean greater proximity.
+#ifndef BANKS_GRAPH_EDGE_WEIGHT_H_
+#define BANKS_GRAPH_EDGE_WEIGHT_H_
+
+#include <string>
+#include <unordered_map>
+
+namespace banks {
+
+/// Per-relation-pair link strength s(from, to). Lower = stronger link.
+class SimilarityMatrix {
+ public:
+  /// Sets s(from_table, to_table). Weight must be > 0.
+  void Set(const std::string& from_table, const std::string& to_table,
+           double weight);
+
+  /// s(from, to); defaults to 1.0 when unset (the paper's default).
+  double Get(const std::string& from_table,
+             const std::string& to_table) const;
+
+  bool empty() const { return weights_.empty(); }
+
+ private:
+  std::unordered_map<std::string, double> weights_;
+  static std::string Key(const std::string& a, const std::string& b) {
+    return a + "\x1f" + b;
+  }
+};
+
+/// How the weights of a forward and a backward candidate combine when the
+/// database has FK links in *both* directions between two tuples (eq. 1).
+enum class BothLinkCombine {
+  kMin,                ///< min(w_fwd, w_back) — the paper's choice (eq. 1)
+  kParallelResistance  ///< (w_fwd * w_back) / (w_fwd + w_back) — the
+                       ///< electrical-network alternative the paper mentions
+};
+
+/// Applies the chosen combiner.
+double CombineBothLinks(double a, double b, BothLinkCombine combine);
+
+/// Backward edge weight (§2.1-2.2): for DB link u -> v (u references v),
+/// the reverse edge (v -> u) weighs
+///   IN_{R(u)}(v) * s(R(v), R(u))
+/// where IN_{R(u)}(v) is the indegree of v contributed by tuples of u's
+/// relation (paper notation: "IN_v(u) is the indegree of u contributed by
+/// the tuples belonging to relation R(v)" for edge (u,v) backed by DB link
+/// v->u). Degree-proportional weighting damps "hub" nodes: a department
+/// referenced by many students gets heavy back edges, pushing its students
+/// apart; a paper with few authors keeps its co-authors close.
+double BackwardEdgeWeight(double similarity, size_t indegree_same_relation);
+
+}  // namespace banks
+
+#endif  // BANKS_GRAPH_EDGE_WEIGHT_H_

@@ -1,0 +1,55 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace banks {
+
+NodeId Graph::AddNode(double weight) {
+  NodeId id = static_cast<NodeId>(out_.size());
+  out_.emplace_back();
+  in_.emplace_back();
+  node_weight_.push_back(weight);
+  max_node_weight_ = std::max(max_node_weight_, weight);
+  return id;
+}
+
+void Graph::AddEdge(NodeId u, NodeId v, double weight) {
+  assert(u < out_.size() && v < out_.size());
+  assert(weight > 0 && "Dijkstra requires positive edge weights");
+  out_[u].push_back(GraphEdge{v, weight});
+  in_[v].push_back(GraphEdge{u, weight});
+  ++num_edges_;
+  min_edge_weight_ = std::min(min_edge_weight_, weight);
+}
+
+void Graph::set_node_weight(NodeId n, double w) {
+  node_weight_[n] = w;
+  max_node_weight_ = std::max(max_node_weight_, w);
+}
+
+double Graph::EdgeWeight(NodeId u, NodeId v) const {
+  for (const auto& e : out_[u]) {
+    if (e.to == v) return e.weight;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  for (const auto& e : out_[u]) {
+    if (e.to == v) return true;
+  }
+  return false;
+}
+
+size_t Graph::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += node_weight_.capacity() * sizeof(double);
+  bytes += out_.capacity() * sizeof(std::vector<GraphEdge>);
+  bytes += in_.capacity() * sizeof(std::vector<GraphEdge>);
+  for (const auto& adj : out_) bytes += adj.capacity() * sizeof(GraphEdge);
+  for (const auto& adj : in_) bytes += adj.capacity() * sizeof(GraphEdge);
+  return bytes;
+}
+
+}  // namespace banks

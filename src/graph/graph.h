@@ -1,0 +1,79 @@
+// Directed weighted graph used for BANKS search.
+//
+// Nodes are tuples (identified externally by Rid); edges carry the §2.2
+// weights. Both out- and in-adjacency are stored because the backward
+// expanding search runs Dijkstra "traversing the graph edges in reverse
+// direction" (§3) while answer trees are read out along forward edges.
+#ifndef BANKS_GRAPH_GRAPH_H_
+#define BANKS_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace banks {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// One directed edge.
+struct GraphEdge {
+  NodeId to = kInvalidNode;
+  double weight = 1.0;
+};
+
+/// Adjacency-list digraph with per-node weights (prestige).
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(size_t num_nodes) { Resize(num_nodes); }
+
+  void Resize(size_t num_nodes) {
+    out_.resize(num_nodes);
+    in_.resize(num_nodes);
+    node_weight_.resize(num_nodes, 0.0);
+  }
+
+  /// Adds a node with the given prestige weight; returns its id.
+  NodeId AddNode(double weight = 0.0);
+
+  /// Adds directed edge u -> v with `weight` (> 0 required for Dijkstra).
+  void AddEdge(NodeId u, NodeId v, double weight);
+
+  size_t num_nodes() const { return out_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  double node_weight(NodeId n) const { return node_weight_[n]; }
+  void set_node_weight(NodeId n, double w);
+
+  const std::vector<GraphEdge>& OutEdges(NodeId n) const { return out_[n]; }
+  const std::vector<GraphEdge>& InEdges(NodeId n) const { return in_[n]; }
+
+  /// Weight of edge u->v, or +inf if absent (first match if parallel).
+  double EdgeWeight(NodeId u, NodeId v) const;
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Maximum node weight across the graph (>=0; 0 for empty graph).
+  /// Used to normalise node scores (§2.3).
+  double MaxNodeWeight() const { return max_node_weight_; }
+
+  /// Minimum edge weight across the graph (+inf if no edges).
+  /// Used to normalise edge scores (§2.3).
+  double MinEdgeWeight() const { return min_edge_weight_; }
+
+  /// Estimated heap footprint in bytes (for the §5.2 space experiment).
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<std::vector<GraphEdge>> out_;
+  std::vector<std::vector<GraphEdge>> in_;
+  std::vector<double> node_weight_;
+  size_t num_edges_ = 0;
+  double max_node_weight_ = 0.0;
+  double min_edge_weight_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace banks
+
+#endif  // BANKS_GRAPH_GRAPH_H_

@@ -1,0 +1,144 @@
+#include "graph/graph_builder.h"
+
+#include <utility>
+
+#include "util/hash.h"
+
+namespace banks {
+
+size_t DataGraph::MemoryBytes() const {
+  size_t bytes = graph.MemoryBytes();
+  bytes += node_rid.capacity() * sizeof(Rid);
+  // Rough bucket accounting for the hash map.
+  bytes += rid_node.size() * (sizeof(uint64_t) + sizeof(NodeId) +
+                              2 * sizeof(void*));
+  return bytes;
+}
+
+DataGraph BuildDataGraph(const Database& db, const GraphBuildOptions& options) {
+  DataGraph dg;
+
+  // 1. Nodes, in deterministic (table id, row) order.
+  size_t total = db.TotalRows();
+  dg.node_rid.reserve(total);
+  dg.rid_node.reserve(total);
+  for (const auto& name : db.table_names()) {
+    const Table* t = db.table(name);
+    for (uint32_t r = 0; r < t->num_rows(); ++r) {
+      Rid rid{t->id(), r};
+      NodeId id = dg.graph.AddNode(0.0);
+      dg.node_rid.push_back(rid);
+      dg.rid_node.emplace(rid.Pack(), id);
+    }
+  }
+
+  // 2. Resolve every FK link once: (from node, to node, from table, to table).
+  struct Link {
+    NodeId from;
+    NodeId to;
+    const std::string* from_table;
+    const std::string* to_table;
+  };
+  std::vector<Link> links;
+  for (const auto& fk : db.foreign_keys()) {
+    const Table* from_t = db.table(fk.table);
+    if (from_t == nullptr) continue;
+    for (uint32_t r = 0; r < from_t->num_rows(); ++r) {
+      Rid from{from_t->id(), r};
+      auto to = db.ResolveFk(fk, from);
+      if (!to.has_value()) continue;
+      NodeId fn = dg.NodeForRid(from);
+      NodeId tn = dg.NodeForRid(*to);
+      if (fn == kInvalidNode || tn == kInvalidNode || fn == tn) continue;
+      links.push_back(Link{fn, tn, &fk.table, &fk.ref_table});
+    }
+  }
+  // Inclusion dependencies (§2.1): one link per matched referred tuple —
+  // the referred column need not be a key.
+  for (const auto& ind : db.inclusion_dependencies()) {
+    const Table* from_t = db.table(ind.table);
+    if (from_t == nullptr) continue;
+    for (uint32_t r = 0; r < from_t->num_rows(); ++r) {
+      Rid from{from_t->id(), r};
+      NodeId fn = dg.NodeForRid(from);
+      if (fn == kInvalidNode) continue;
+      for (Rid to : db.ResolveInclusion(ind, from)) {
+        NodeId tn = dg.NodeForRid(to);
+        if (tn == kInvalidNode || fn == tn) continue;
+        links.push_back(Link{fn, tn, &ind.table, &ind.ref_table});
+      }
+    }
+  }
+
+  // 3. Per-relation indegree of each node: IN_R(v) = #links into v whose
+  //    source tuple belongs to relation R. Needed for backward weights.
+  //    Key: (node, table id of source relation).
+  std::unordered_map<uint64_t, uint32_t> in_by_relation;
+  std::vector<uint32_t> indegree(dg.graph.num_nodes(), 0);
+  auto rel_key = [&db](NodeId v, const std::string& table) {
+    uint64_t h = v;
+    HashCombine(&h, db.table(table)->id());
+    return h;
+  };
+  for (const auto& l : links) {
+    ++in_by_relation[rel_key(l.to, *l.from_table)];
+    ++indegree[l.to];
+  }
+
+  // 4. Candidate weights per directed pair. A DB link u->v proposes:
+  //      forward  (u,v): s(R(u), R(v))
+  //      backward (v,u): IN_{R(u)}(v) * s(R(v), R(u))
+  //    When a pair accumulates several candidates (parallel FKs, or links
+  //    in both directions), they combine per options.both_link_combine.
+  std::unordered_map<uint64_t, double> pair_weight;
+  auto pair_key = [](NodeId a, NodeId b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  };
+  auto propose = [&](NodeId a, NodeId b, double w) {
+    uint64_t key = pair_key(a, b);
+    auto it = pair_weight.find(key);
+    if (it == pair_weight.end()) {
+      pair_weight.emplace(key, w);
+    } else {
+      it->second = CombineBothLinks(it->second, w, options.both_link_combine);
+    }
+  };
+
+  for (const auto& l : links) {
+    double fwd = options.similarity.Get(*l.from_table, *l.to_table);
+    propose(l.from, l.to, fwd);
+
+    double back_sim = options.similarity.Get(*l.to_table, *l.from_table);
+    double back =
+        options.unit_backward_edges
+            ? back_sim
+            : BackwardEdgeWeight(back_sim,
+                                 in_by_relation[rel_key(l.to, *l.from_table)]);
+    propose(l.to, l.from, back);
+  }
+
+  // 5. Materialise edges deterministically: iterate links in insertion
+  //    order, emitting each directed pair once.
+  std::unordered_map<uint64_t, bool> emitted;
+  auto emit = [&](NodeId a, NodeId b) {
+    uint64_t key = pair_key(a, b);
+    if (emitted[key]) return;
+    emitted[key] = true;
+    dg.graph.AddEdge(a, b, pair_weight.at(key));
+  };
+  for (const auto& l : links) {
+    emit(l.from, l.to);
+    emit(l.to, l.from);
+  }
+
+  // 6. Prestige.
+  if (options.indegree_prestige) {
+    for (NodeId n = 0; n < dg.graph.num_nodes(); ++n) {
+      dg.graph.set_node_weight(n, static_cast<double>(indegree[n]));
+    }
+  }
+
+  return dg;
+}
+
+}  // namespace banks

@@ -1,0 +1,155 @@
+#include "graph/graph_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace banks {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x424B4E475247ULL;  // "BKNGRG"
+constexpr uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  explicit Writer(std::ostream* out) : out_(out) {}
+
+  template <typename T>
+  void Put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_->write(reinterpret_cast<const char*>(&v), sizeof(v));
+    const auto* bytes = reinterpret_cast<const unsigned char*>(&v);
+    for (size_t i = 0; i < sizeof(v); ++i) {
+      checksum_ = checksum_ * 1099511628211ULL + bytes[i];
+    }
+  }
+
+  uint64_t checksum() const { return checksum_; }
+
+ private:
+  std::ostream* out_;
+  uint64_t checksum_ = 0xcbf29ce484222325ULL;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream* in) : in_(in) {}
+
+  template <typename T>
+  bool Get(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    in_->read(reinterpret_cast<char*>(v), sizeof(*v));
+    if (!in_->good()) return false;
+    const auto* bytes = reinterpret_cast<const unsigned char*>(v);
+    for (size_t i = 0; i < sizeof(*v); ++i) {
+      checksum_ = checksum_ * 1099511628211ULL + bytes[i];
+    }
+    return true;
+  }
+
+  uint64_t checksum() const { return checksum_; }
+
+ private:
+  std::istream* in_;
+  uint64_t checksum_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace
+
+Status SaveDataGraph(const DataGraph& dg, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot write '" + path + "'");
+  Writer w(&out);
+  w.Put(kMagic);
+  w.Put(kVersion);
+
+  const Graph& g = dg.graph;
+  w.Put(static_cast<uint64_t>(g.num_nodes()));
+  w.Put(static_cast<uint64_t>(g.num_edges()));
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    w.Put(dg.node_rid[n].Pack());
+    w.Put(g.node_weight(n));
+  }
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    w.Put(static_cast<uint32_t>(g.OutEdges(n).size()));
+    for (const auto& e : g.OutEdges(n)) {
+      w.Put(e.to);
+      w.Put(e.weight);
+    }
+  }
+  uint64_t checksum = w.checksum();
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out.good()) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<DataGraph> LoadDataGraph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot read '" + path + "'");
+  Reader r(&in);
+
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  if (!r.Get(&magic) || magic != kMagic) {
+    return Status::Corruption("bad magic in '" + path + "'");
+  }
+  if (!r.Get(&version) || version != kVersion) {
+    return Status::Corruption("unsupported graph file version");
+  }
+
+  uint64_t num_nodes = 0, num_edges = 0;
+  if (!r.Get(&num_nodes) || !r.Get(&num_edges)) {
+    return Status::Corruption("truncated header");
+  }
+  if (num_nodes > (uint64_t{1} << 32)) {
+    return Status::Corruption("implausible node count");
+  }
+
+  DataGraph dg;
+  dg.graph.Resize(num_nodes);
+  dg.node_rid.reserve(num_nodes);
+  dg.rid_node.reserve(num_nodes);
+  for (uint64_t n = 0; n < num_nodes; ++n) {
+    uint64_t packed = 0;
+    double weight = 0;
+    if (!r.Get(&packed) || !r.Get(&weight)) {
+      return Status::Corruption("truncated node section");
+    }
+    Rid rid = Rid::Unpack(packed);
+    dg.node_rid.push_back(rid);
+    dg.rid_node.emplace(packed, static_cast<NodeId>(n));
+    dg.graph.set_node_weight(static_cast<NodeId>(n), weight);
+  }
+  uint64_t edges_read = 0;
+  for (uint64_t n = 0; n < num_nodes; ++n) {
+    uint32_t degree = 0;
+    if (!r.Get(&degree)) return Status::Corruption("truncated adjacency");
+    for (uint32_t e = 0; e < degree; ++e) {
+      NodeId to = kInvalidNode;
+      double weight = 0;
+      if (!r.Get(&to) || !r.Get(&weight)) {
+        return Status::Corruption("truncated edge");
+      }
+      if (to >= num_nodes || weight <= 0) {
+        return Status::Corruption("invalid edge");
+      }
+      dg.graph.AddEdge(static_cast<NodeId>(n), to, weight);
+      ++edges_read;
+    }
+  }
+  if (edges_read != num_edges) {
+    return Status::Corruption("edge count mismatch");
+  }
+  uint64_t expected = r.checksum();
+  uint64_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (!in.good() || stored != expected) {
+    return Status::Corruption("checksum mismatch in '" + path + "'");
+  }
+  return dg;
+}
+
+}  // namespace banks

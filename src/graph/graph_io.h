@@ -1,0 +1,27 @@
+// Data-graph persistence.
+//
+// §5.2 notes the graph "takes about 2 minutes to load initially" — graph
+// construction is the startup cost. Serialising the built DataGraph lets a
+// deployment rebuild only when the database changes. The format is a
+// compact little-endian binary file with a magic/version header and a
+// trailing checksum; Load verifies both.
+#ifndef BANKS_GRAPH_GRAPH_IO_H_
+#define BANKS_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph_builder.h"
+#include "util/status.h"
+
+namespace banks {
+
+/// Writes the graph + Rid mapping to `path`.
+Status SaveDataGraph(const DataGraph& dg, const std::string& path);
+
+/// Reads a graph previously written by SaveDataGraph. Fails with
+/// kCorruption on bad magic, version, truncation or checksum mismatch.
+Result<DataGraph> LoadDataGraph(const std::string& path);
+
+}  // namespace banks
+
+#endif  // BANKS_GRAPH_GRAPH_IO_H_

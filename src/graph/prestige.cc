@@ -1,0 +1,51 @@
+#include "graph/prestige.h"
+
+#include <cmath>
+
+namespace banks {
+
+std::vector<double> IndegreePrestige(const Graph& g) {
+  std::vector<double> prestige(g.num_nodes(), 0.0);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    prestige[n] = static_cast<double>(g.InEdges(n).size());
+  }
+  return prestige;
+}
+
+std::vector<double> PageRankPrestige(const Graph& g,
+                                     const PageRankOptions& options) {
+  const size_t n = g.num_nodes();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (g.OutEdges(u).empty()) dangling += rank[u];
+    }
+    const double base =
+        (1.0 - options.damping) / static_cast<double>(n) +
+        options.damping * dangling / static_cast<double>(n);
+    std::fill(next.begin(), next.end(), base);
+    for (NodeId u = 0; u < n; ++u) {
+      const auto& out = g.OutEdges(u);
+      if (out.empty()) continue;
+      double share = options.damping * rank[u] / static_cast<double>(out.size());
+      for (const auto& e : out) next[e.to] += share;
+    }
+    double delta = 0.0;
+    for (size_t i = 0; i < n; ++i) delta += std::abs(next[i] - rank[i]);
+    rank.swap(next);
+    if (delta < options.tolerance) break;
+  }
+  return rank;
+}
+
+void ApplyPrestige(Graph* g, const std::vector<double>& prestige) {
+  for (NodeId n = 0; n < g->num_nodes() && n < prestige.size(); ++n) {
+    g->set_node_weight(n, prestige[n]);
+  }
+}
+
+}  // namespace banks

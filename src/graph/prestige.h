@@ -1,0 +1,36 @@
+// Node prestige measures.
+//
+// The paper's implementation sets prestige = indegree and notes that
+// "extensions to handle transfer of prestige (as is done, e.g., in Google's
+// PageRank) can be easily added to the model" — both are provided here.
+#ifndef BANKS_GRAPH_PRESTIGE_H_
+#define BANKS_GRAPH_PRESTIGE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace banks {
+
+/// Prestige = indegree of each node (counting all in-edges, which in the
+/// BANKS graph means forward in-links plus backward in-links; for the
+/// paper's model, set `forward_only` using the builder's indegree instead).
+std::vector<double> IndegreePrestige(const Graph& g);
+
+/// PageRank-style prestige transfer over the directed graph (§7 "authority
+/// transfer ... wherein nodes pointed to by heavy nodes become heavier").
+/// Standard power iteration with uniform teleport.
+struct PageRankOptions {
+  double damping = 0.85;
+  int max_iterations = 50;
+  double tolerance = 1e-9;  ///< L1 convergence threshold
+};
+std::vector<double> PageRankPrestige(const Graph& g,
+                                     const PageRankOptions& options = {});
+
+/// Overwrites a graph's node weights with the given prestige vector.
+void ApplyPrestige(Graph* g, const std::vector<double>& prestige);
+
+}  // namespace banks
+
+#endif  // BANKS_GRAPH_PRESTIGE_H_

@@ -1,0 +1,50 @@
+#include "index/approx_match.h"
+
+#include <algorithm>
+
+#include "index/tokenizer.h"
+#include "util/string_util.h"
+
+namespace banks {
+
+std::vector<std::string> ExpandKeyword(const InvertedIndex& index,
+                                       const std::string& raw_keyword,
+                                       const ApproxMatchOptions& opts) {
+  const std::string keyword = NormalizeKeyword(raw_keyword);
+  std::vector<std::string> out;
+  if (keyword.empty()) return out;
+
+  const bool exact = !index.Lookup(keyword).empty();
+  if (exact) out.push_back(keyword);
+  if (!opts.enable) return out;
+
+  // Rank candidates by (edit distance, keyword) and keep the best few.
+  struct Cand {
+    int dist;
+    std::string kw;
+    bool operator<(const Cand& o) const {
+      return dist != o.dist ? dist < o.dist : kw < o.kw;
+    }
+  };
+  std::vector<Cand> cands;
+  for (const auto& kw : index.AllKeywords()) {
+    if (kw == keyword) continue;
+    int d = BoundedEditDistance(keyword, kw, opts.max_edit_distance);
+    bool prefix_hit = opts.allow_prefix && kw.size() > keyword.size() &&
+                      StartsWith(kw, keyword);
+    if (d <= opts.max_edit_distance) {
+      cands.push_back(Cand{d, kw});
+    } else if (prefix_hit) {
+      // Prefix expansions rank after true fuzzy hits.
+      cands.push_back(Cand{opts.max_edit_distance + 1, kw});
+    }
+  }
+  std::sort(cands.begin(), cands.end());
+  for (const auto& c : cands) {
+    if (out.size() >= opts.max_expansions) break;
+    out.push_back(c.kw);
+  }
+  return out;
+}
+
+}  // namespace banks

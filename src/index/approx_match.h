@@ -1,0 +1,35 @@
+// Approximate keyword matching (§2.3 extension; §7 "some form of
+// approximate matching").
+//
+// Expands a query keyword to index keywords within a bounded edit distance
+// or sharing a prefix. The BANKS query layer can then union the posting
+// lists of all expansions.
+#ifndef BANKS_INDEX_APPROX_MATCH_H_
+#define BANKS_INDEX_APPROX_MATCH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "index/inverted_index.h"
+
+namespace banks {
+
+/// How to expand keywords that miss the index.
+struct ApproxMatchOptions {
+  bool enable = false;
+  int max_edit_distance = 1;   ///< Levenshtein bound for fuzzy expansion
+  bool allow_prefix = true;    ///< also match keywords with the query prefix
+  size_t max_expansions = 8;   ///< cap on expanded keywords per term
+};
+
+/// Returns index keywords considered equivalent to `keyword` under `opts`,
+/// best (closest) first. The exact keyword, when present in the index, is
+/// always first. Deterministic: ties break lexicographically.
+std::vector<std::string> ExpandKeyword(const InvertedIndex& index,
+                                       const std::string& keyword,
+                                       const ApproxMatchOptions& opts);
+
+}  // namespace banks
+
+#endif  // BANKS_INDEX_APPROX_MATCH_H_

@@ -1,0 +1,126 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "index/tokenizer.h"
+#include "util/string_util.h"
+
+namespace banks {
+
+const std::vector<Rid> InvertedIndex::kEmpty;
+
+void InvertedIndex::Build(const Database& db) {
+  postings_.clear();
+  for (const auto& name : db.table_names()) {
+    if (!name.empty() && name[0] == '_') continue;  // system tables
+    const Table* t = db.table(name);
+    // Which columns are textual?
+    std::vector<size_t> text_cols;
+    for (size_t c = 0; c < t->schema().num_columns(); ++c) {
+      if (t->schema().columns()[c].type == ValueType::kString) {
+        text_cols.push_back(c);
+      }
+    }
+    if (text_cols.empty()) continue;
+    for (uint32_t r = 0; r < t->num_rows(); ++r) {
+      Rid rid{t->id(), r};
+      for (size_t c : text_cols) {
+        const Value& v = t->row(r).at(c);
+        if (!v.is_null()) AddText(v.AsString(), rid);
+      }
+    }
+  }
+  Finalize();
+}
+
+void InvertedIndex::AddText(const std::string& text, Rid rid) {
+  for (auto& tok : Tokenize(text)) {
+    postings_[tok].push_back(rid);
+  }
+  finalized_ = false;
+}
+
+void InvertedIndex::Finalize() const {
+  if (finalized_) return;
+  for (auto& [kw, list] : postings_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  finalized_ = true;
+}
+
+const std::vector<Rid>& InvertedIndex::Lookup(
+    const std::string& keyword) const {
+  Finalize();
+  auto it = postings_.find(NormalizeKeyword(keyword));
+  if (it == postings_.end()) return kEmpty;
+  return it->second;
+}
+
+std::vector<std::string> InvertedIndex::KeywordsWithPrefix(
+    const std::string& prefix) const {
+  std::string p = NormalizeKeyword(prefix);
+  std::vector<std::string> out;
+  for (const auto& [kw, _] : postings_) {
+    if (StartsWith(kw, p)) out.push_back(kw);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> InvertedIndex::AllKeywords() const {
+  std::vector<std::string> out;
+  out.reserve(postings_.size());
+  for (const auto& [kw, _] : postings_) out.push_back(kw);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t InvertedIndex::num_postings() const {
+  size_t n = 0;
+  for (const auto& [_, list] : postings_) n += list.size();
+  return n;
+}
+
+Status InvertedIndex::Save(const std::string& path) const {
+  Finalize();
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot write '" + path + "'");
+  // Sorted for determinism.
+  for (const auto& kw : AllKeywords()) {
+    out << kw << '\t';
+    const auto& list = postings_.at(kw);
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (i) out << ',';
+      out << list[i].Pack();
+    }
+    out << '\n';
+  }
+  return Status::OK();
+}
+
+Status InvertedIndex::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot read '" + path + "'");
+  postings_.clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Status::Corruption("malformed index line: " + line);
+    }
+    std::string kw = line.substr(0, tab);
+    auto& list = postings_[kw];
+    for (const auto& part : Split(line.substr(tab + 1), ',')) {
+      if (part.empty()) continue;
+      list.push_back(Rid::Unpack(std::strtoull(part.c_str(), nullptr, 10)));
+    }
+  }
+  finalized_ = false;
+  Finalize();
+  return Status::OK();
+}
+
+}  // namespace banks

@@ -1,0 +1,60 @@
+// Keyword -> RID inverted index.
+//
+// §3 of the paper: "Indices to map keywords to RIDs can be disk resident."
+// This index is built in memory by scanning every textual attribute of every
+// table, and can be serialised to / loaded from a flat file so that large
+// deployments keep only the graph in RAM.
+#ifndef BANKS_INDEX_INVERTED_INDEX_H_
+#define BANKS_INDEX_INVERTED_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/database.h"
+#include "storage/rid.h"
+#include "util/status.h"
+
+namespace banks {
+
+/// Posting lists mapping normalised keywords to the tuples containing them.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Scans all string columns of all tables in `db` and builds postings.
+  /// Each RID appears at most once per keyword (duplicate tokens in one
+  /// tuple collapse).
+  void Build(const Database& db);
+
+  /// Adds the tokens of a single value (used for incremental maintenance).
+  void AddText(const std::string& text, Rid rid);
+
+  /// Tuples containing `keyword` (already-normalised or raw; it is
+  /// normalised internally). Sorted by Rid for determinism.
+  const std::vector<Rid>& Lookup(const std::string& keyword) const;
+
+  /// All keywords with `prefix` (used by approximate matching).
+  std::vector<std::string> KeywordsWithPrefix(const std::string& prefix) const;
+
+  /// Iterates all distinct keywords (sorted). For diagnostics/benchmarks.
+  std::vector<std::string> AllKeywords() const;
+
+  size_t num_keywords() const { return postings_.size(); }
+  size_t num_postings() const;
+
+  /// Flat-file persistence: "keyword<TAB>packed_rid,packed_rid,...".
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+ private:
+  void Finalize() const;  // sorts + dedups postings lazily
+
+  mutable std::unordered_map<std::string, std::vector<Rid>> postings_;
+  mutable bool finalized_ = true;
+  static const std::vector<Rid> kEmpty;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,57 @@
+#include "index/metadata_index.h"
+
+#include <algorithm>
+
+#include "index/tokenizer.h"
+
+namespace banks {
+
+void MetadataIndex::Build(const Database& db) {
+  matches_.clear();
+  for (const auto& name : db.table_names()) {
+    if (!name.empty() && name[0] == '_') continue;  // system tables
+    const Table* t = db.table(name);
+    // Relation-name tokens: e.g. "Author" -> token "author";
+    // plural-ish variants are matched by exact token only (the paper's
+    // example is exact).
+    for (const auto& tok : Tokenize(name)) {
+      matches_[tok].push_back(MetadataMatch{name, ""});
+    }
+    for (const auto& col : t->schema().columns()) {
+      for (const auto& tok : Tokenize(col.name)) {
+        matches_[tok].push_back(MetadataMatch{name, col.name});
+      }
+    }
+  }
+}
+
+std::vector<MetadataMatch> MetadataIndex::Lookup(
+    const std::string& keyword) const {
+  auto it = matches_.find(NormalizeKeyword(keyword));
+  if (it == matches_.end()) return {};
+  return it->second;
+}
+
+std::vector<Rid> MetadataIndex::LookupRids(const Database& db,
+                                           const std::string& keyword) const {
+  std::vector<Rid> rids;
+  std::vector<std::string> tables_done;
+  for (const auto& m : Lookup(keyword)) {
+    // Each matched table contributes all of its tuples once.
+    if (std::find(tables_done.begin(), tables_done.end(), m.table) !=
+        tables_done.end()) {
+      continue;
+    }
+    tables_done.push_back(m.table);
+    const Table* t = db.table(m.table);
+    if (t == nullptr) continue;
+    for (uint32_t r = 0; r < t->num_rows(); ++r) {
+      rids.push_back(Rid{t->id(), r});
+    }
+  }
+  std::sort(rids.begin(), rids.end());
+  rids.erase(std::unique(rids.begin(), rids.end()), rids.end());
+  return rids;
+}
+
+}  // namespace banks

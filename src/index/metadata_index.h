@@ -1,0 +1,44 @@
+// Metadata matching: query keywords that hit relation/column names.
+//
+// §2.3: "A node is relevant to a search term if it contains the search term
+// as part of an attribute value or metadata (such as column, table or view
+// names). E.g., all tuples belonging to a relation named AUTHOR would be
+// regarded as relevant to the keyword 'author'."
+#ifndef BANKS_INDEX_METADATA_INDEX_H_
+#define BANKS_INDEX_METADATA_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace banks {
+
+/// Where a metadata keyword matched.
+struct MetadataMatch {
+  std::string table;            ///< the relation matched (always set)
+  std::string column;           ///< non-empty if a column name matched
+};
+
+/// Maps normalised tokens of table/column names to the tables whose tuples
+/// become relevant to that keyword.
+class MetadataIndex {
+ public:
+  void Build(const Database& db);
+
+  /// Matches for `keyword` (tokens of relation and column names).
+  std::vector<MetadataMatch> Lookup(const std::string& keyword) const;
+
+  /// Expands metadata matches to the RIDs of every tuple of the matched
+  /// tables. This is what makes "author" relevant to all Author tuples.
+  std::vector<Rid> LookupRids(const Database& db,
+                              const std::string& keyword) const;
+
+ private:
+  std::unordered_map<std::string, std::vector<MetadataMatch>> matches_;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_INDEX_METADATA_INDEX_H_

@@ -1,0 +1,53 @@
+#include "index/numeric_index.h"
+
+#include <algorithm>
+
+namespace banks {
+
+void NumericIndex::Build(const Database& db) {
+  by_value_.clear();
+  for (const auto& name : db.table_names()) {
+    if (!name.empty() && name[0] == '_') continue;  // system tables
+    const Table* t = db.table(name);
+    std::vector<size_t> numeric_cols;
+    for (size_t c = 0; c < t->schema().num_columns(); ++c) {
+      ValueType vt = t->schema().columns()[c].type;
+      if (vt == ValueType::kInt || vt == ValueType::kDouble) {
+        numeric_cols.push_back(c);
+      }
+    }
+    if (numeric_cols.empty()) continue;
+    for (uint32_t r = 0; r < t->num_rows(); ++r) {
+      for (size_t c : numeric_cols) {
+        const Value& v = t->row(r).at(c);
+        if (v.is_null()) continue;
+        double d = v.type() == ValueType::kInt
+                       ? static_cast<double>(v.AsInt())
+                       : v.AsDouble();
+        by_value_[d].push_back(Rid{t->id(), r});
+      }
+    }
+  }
+  for (auto& [value, rids] : by_value_) {
+    std::sort(rids.begin(), rids.end());
+    rids.erase(std::unique(rids.begin(), rids.end()), rids.end());
+  }
+}
+
+std::vector<NumericIndex::Match> NumericIndex::LookupRange(double lo,
+                                                           double hi) const {
+  std::vector<Match> out;
+  for (auto it = by_value_.lower_bound(lo);
+       it != by_value_.end() && it->first <= hi; ++it) {
+    for (Rid rid : it->second) out.push_back(Match{rid, it->first});
+  }
+  return out;
+}
+
+size_t NumericIndex::num_entries() const {
+  size_t n = 0;
+  for (const auto& [value, rids] : by_value_) n += rids.size();
+  return n;
+}
+
+}  // namespace banks

@@ -1,0 +1,44 @@
+// Numeric value index for approx() queries (§7).
+//
+// "We are considering implementing some form of approximate matching, such
+// as `concurrency approx(1988)` to look for papers about concurrency
+// published around 1988." Numeric attributes (INT/DOUBLE columns) are
+// indexed by value so range probes are cheap; numeric tokens inside string
+// attributes are covered separately by the inverted index.
+#ifndef BANKS_INDEX_NUMERIC_INDEX_H_
+#define BANKS_INDEX_NUMERIC_INDEX_H_
+
+#include <map>
+#include <vector>
+
+#include "storage/database.h"
+#include "storage/rid.h"
+
+namespace banks {
+
+/// Maps numeric attribute values to the tuples containing them.
+class NumericIndex {
+ public:
+  /// Indexes every INT and DOUBLE column of every table.
+  void Build(const Database& db);
+
+  /// Tuples holding a numeric value in [lo, hi], with the matched value
+  /// (used by approx() to weight matches by distance). A tuple appears
+  /// once per distinct matching value.
+  struct Match {
+    Rid rid;
+    double value;
+  };
+  std::vector<Match> LookupRange(double lo, double hi) const;
+
+  size_t num_values() const { return by_value_.size(); }
+  size_t num_entries() const;
+
+ private:
+  // Ordered by value for range scans.
+  std::map<double, std::vector<Rid>> by_value_;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_INDEX_NUMERIC_INDEX_H_

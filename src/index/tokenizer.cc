@@ -1,0 +1,30 @@
+#include "index/tokenizer.h"
+
+#include <cctype>
+
+namespace banks {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (unsigned char c : text) {
+    if (std::isalnum(c)) {
+      cur.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!cur.empty()) {
+      tokens.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+std::string NormalizeKeyword(std::string_view keyword) {
+  std::string out;
+  for (unsigned char c : keyword) {
+    if (std::isalnum(c)) out.push_back(static_cast<char>(std::tolower(c)));
+  }
+  return out;
+}
+
+}  // namespace banks

@@ -1,0 +1,24 @@
+// Tokenisation of attribute values into keywords.
+//
+// BANKS matches query keywords against "tokens appearing in any textual
+// attribute" (§2.3). Tokens are maximal alphanumeric runs, lower-cased;
+// purely numeric tokens are kept (years, ids are searchable).
+#ifndef BANKS_INDEX_TOKENIZER_H_
+#define BANKS_INDEX_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace banks {
+
+/// Splits text into lower-cased alphanumeric tokens.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Normalises a single query keyword the same way (lower-case; strips
+/// non-alphanumerics). Returns "" if nothing remains.
+std::string NormalizeKeyword(std::string_view keyword);
+
+}  // namespace banks
+
+#endif  // BANKS_INDEX_TOKENIZER_H_

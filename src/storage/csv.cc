@@ -1,0 +1,260 @@
+#include "storage/csv.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace banks {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string CsvEscape(const std::string& field) {
+  bool needs = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+namespace {
+
+const char* TypeTag(ValueType t) {
+  switch (t) {
+    case ValueType::kInt: return "int";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+    case ValueType::kNull: return "string";
+  }
+  return "string";
+}
+
+Result<ValueType> ParseTypeTag(const std::string& tag) {
+  if (tag == "int") return ValueType::kInt;
+  if (tag == "double") return ValueType::kDouble;
+  if (tag == "string") return ValueType::kString;
+  return Status::Corruption("unknown column type '" + tag + "'");
+}
+
+// CSV cells: empty cell = NULL; otherwise parsed per declared type.
+Value ParseCell(const std::string& cell, ValueType type) {
+  if (cell.empty()) return Value::Null();
+  switch (type) {
+    case ValueType::kInt:
+      return Value(static_cast<int64_t>(std::strtoll(cell.c_str(),
+                                                     nullptr, 10)));
+    case ValueType::kDouble:
+      return Value(std::strtod(cell.c_str(), nullptr));
+    default:
+      return Value(cell);
+  }
+}
+
+}  // namespace
+
+Status SaveDatabase(const Database& db, const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create '" + dir + "': " +
+                                 ec.message());
+
+  std::ofstream cat(fs::path(dir) / "catalog.txt");
+  if (!cat) return Status::IoError("cannot write catalog.txt");
+  for (const auto& name : db.table_names()) {
+    const Table* t = db.table(name);
+    cat << "table " << name << "\n";
+    for (const auto& col : t->schema().columns()) {
+      cat << "  column " << col.name << " " << TypeTag(col.type) << "\n";
+    }
+    if (t->schema().has_primary_key()) {
+      cat << "  pk";
+      for (size_t ci : t->schema().primary_key()) {
+        cat << " " << t->schema().columns()[ci].name;
+      }
+      cat << "\n";
+    }
+  }
+  for (const auto& fk : db.foreign_keys()) {
+    cat << "fk " << fk.name << " " << fk.table << " ("
+        << Join(fk.columns, ",") << ") -> " << fk.ref_table << " ("
+        << Join(fk.ref_columns, ",") << ")\n";
+  }
+  for (const auto& ind : db.inclusion_dependencies()) {
+    cat << "ind " << ind.name << " " << ind.table << " (" << ind.column
+        << ") -> " << ind.ref_table << " (" << ind.ref_column << ")\n";
+  }
+  cat.close();
+
+  for (const auto& name : db.table_names()) {
+    const Table* t = db.table(name);
+    std::ofstream out(fs::path(dir) / (name + ".csv"));
+    if (!out) return Status::IoError("cannot write " + name + ".csv");
+    // Header row.
+    std::vector<std::string> header;
+    for (const auto& col : t->schema().columns()) header.push_back(col.name);
+    out << Join(header, ",") << "\n";
+    for (const auto& row : t->rows()) {
+      std::string line;
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i) line += ",";
+        line += CsvEscape(row.at(i).ToText());
+      }
+      out << line << "\n";
+    }
+  }
+  return Status::OK();
+}
+
+Result<Database> LoadDatabase(const std::string& dir) {
+  std::ifstream cat(fs::path(dir) / "catalog.txt");
+  if (!cat) return Status::IoError("cannot open catalog.txt in '" + dir + "'");
+
+  Database db;
+  // First pass: parse catalog into schema descriptions.
+  struct PendingTable {
+    std::string name;
+    std::vector<ColumnDef> cols;
+    std::vector<std::string> pk;
+  };
+  std::vector<PendingTable> pending;
+  std::vector<ForeignKey> pending_fks;
+  std::vector<InclusionDependency> pending_inds;
+
+  std::string line;
+  while (std::getline(cat, line)) {
+    std::string_view sv = Trim(line);
+    if (sv.empty()) continue;
+    std::istringstream ss{std::string(sv)};
+    std::string tok;
+    ss >> tok;
+    if (tok == "table") {
+      PendingTable pt;
+      ss >> pt.name;
+      if (pt.name.empty()) return Status::Corruption("table with no name");
+      pending.push_back(std::move(pt));
+    } else if (tok == "column") {
+      if (pending.empty()) return Status::Corruption("column before table");
+      std::string cname, ctype;
+      ss >> cname >> ctype;
+      auto vt = ParseTypeTag(ctype);
+      if (!vt.ok()) return vt.status();
+      pending.back().cols.emplace_back(cname, vt.value());
+    } else if (tok == "pk") {
+      if (pending.empty()) return Status::Corruption("pk before table");
+      std::string col;
+      while (ss >> col) pending.back().pk.push_back(col);
+    } else if (tok == "fk") {
+      // fk <name> <table> (<cols>) -> <ref_table> (<ref_cols>)
+      ForeignKey fk;
+      std::string cols_paren, arrow, ref_paren;
+      ss >> fk.name >> fk.table >> cols_paren >> arrow >> fk.ref_table >>
+          ref_paren;
+      if (arrow != "->" || cols_paren.size() < 2 || ref_paren.size() < 2) {
+        return Status::Corruption("malformed fk line: " + line);
+      }
+      auto strip = [](const std::string& p) {
+        return p.substr(1, p.size() - 2);
+      };
+      for (auto& c : Split(strip(cols_paren), ',')) fk.columns.push_back(c);
+      for (auto& c : Split(strip(ref_paren), ','))
+        fk.ref_columns.push_back(c);
+      pending_fks.push_back(std::move(fk));
+    } else if (tok == "ind") {
+      // ind <name> <table> (<col>) -> <ref_table> (<ref_col>)
+      InclusionDependency ind;
+      std::string col_paren, arrow, ref_paren;
+      ss >> ind.name >> ind.table >> col_paren >> arrow >> ind.ref_table >>
+          ref_paren;
+      if (arrow != "->" || col_paren.size() < 2 || ref_paren.size() < 2) {
+        return Status::Corruption("malformed ind line: " + line);
+      }
+      ind.column = col_paren.substr(1, col_paren.size() - 2);
+      ind.ref_column = ref_paren.substr(1, ref_paren.size() - 2);
+      pending_inds.push_back(std::move(ind));
+    } else {
+      return Status::Corruption("unknown catalog directive '" + tok + "'");
+    }
+  }
+
+  for (auto& pt : pending) {
+    Status s = db.CreateTable(TableSchema(pt.name, pt.cols, pt.pk));
+    if (!s.ok()) return s;
+  }
+
+  // Second pass: data files.
+  for (const auto& name : db.table_names()) {
+    const Table* t = db.table(name);
+    std::ifstream in(fs::path(dir) / (name + ".csv"));
+    if (!in) return Status::IoError("missing data file " + name + ".csv");
+    std::string row_line;
+    bool header = true;
+    while (std::getline(in, row_line)) {
+      if (!row_line.empty() && row_line.back() == '\r') row_line.pop_back();
+      if (header) {
+        header = false;
+        continue;
+      }
+      if (row_line.empty()) continue;
+      auto cells = ParseCsvLine(row_line);
+      if (cells.size() != t->schema().num_columns()) {
+        return Status::Corruption("row arity mismatch in " + name + ".csv");
+      }
+      std::vector<Value> vals;
+      vals.reserve(cells.size());
+      for (size_t i = 0; i < cells.size(); ++i) {
+        vals.push_back(ParseCell(cells[i], t->schema().columns()[i].type));
+      }
+      auto r = db.Insert(name, Tuple(std::move(vals)));
+      if (!r.ok()) return r.status();
+    }
+  }
+
+  // FKs/INDs last (tables and PKs must exist).
+  for (auto& fk : pending_fks) {
+    Status s = db.AddForeignKey(std::move(fk));
+    if (!s.ok()) return s;
+  }
+  for (auto& ind : pending_inds) {
+    Status s = db.AddInclusionDependency(std::move(ind));
+    if (!s.ok()) return s;
+  }
+  return db;
+}
+
+}  // namespace banks

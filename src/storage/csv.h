@@ -1,0 +1,32 @@
+// CSV persistence for databases.
+//
+// A database round-trips to a directory: `catalog.txt` describes schemas and
+// foreign keys; each table serialises to `<table>.csv` (RFC-4180-style
+// quoting). This is how synthetic datasets are checked in/out and how a user
+// would load their own data (e.g. a real DBLP extract) into BANKS.
+#ifndef BANKS_STORAGE_CSV_H_
+#define BANKS_STORAGE_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace banks {
+
+/// Parses one CSV line into fields (handles quotes and embedded commas).
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+/// Escapes a field for CSV output.
+std::string CsvEscape(const std::string& field);
+
+/// Writes `db` to `dir` (created if missing): catalog.txt + one CSV/table.
+Status SaveDatabase(const Database& db, const std::string& dir);
+
+/// Reads a database previously written by SaveDatabase.
+Result<Database> LoadDatabase(const std::string& dir);
+
+}  // namespace banks
+
+#endif  // BANKS_STORAGE_CSV_H_

@@ -1,0 +1,256 @@
+#include "storage/database.h"
+
+#include <algorithm>
+
+namespace banks {
+
+Status Database::CreateTable(TableSchema schema) {
+  Status s = schema.Validate();
+  if (!s.ok()) return s;
+  if (table_ids_.count(schema.name())) {
+    return Status::AlreadyExists("table '" + schema.name() +
+                                 "' already exists");
+  }
+  uint32_t id = static_cast<uint32_t>(tables_.size());
+  table_ids_.emplace(schema.name(), id);
+  tables_.push_back(std::make_unique<Table>(id, std::move(schema)));
+  return Status::OK();
+}
+
+Status Database::AddForeignKey(ForeignKey fk) {
+  const Table* from = table(fk.table);
+  if (from == nullptr) {
+    return Status::NotFound("FK '" + fk.name + "': unknown table '" +
+                            fk.table + "'");
+  }
+  const Table* to = table(fk.ref_table);
+  if (to == nullptr) {
+    return Status::NotFound("FK '" + fk.name + "': unknown table '" +
+                            fk.ref_table + "'");
+  }
+  if (fk.columns.empty() || fk.columns.size() != fk.ref_columns.size()) {
+    return Status::InvalidArgument("FK '" + fk.name +
+                                   "': column list mismatch");
+  }
+  for (const auto& c : fk.columns) {
+    if (!from->schema().ColumnIndex(c).has_value()) {
+      return Status::InvalidArgument("FK '" + fk.name + "': table '" +
+                                     fk.table + "' has no column '" + c +
+                                     "'");
+    }
+  }
+  // Referenced columns must be exactly the referenced table's PK.
+  const auto& pk = to->schema().primary_key();
+  if (pk.size() != fk.ref_columns.size()) {
+    return Status::InvalidArgument(
+        "FK '" + fk.name + "': referenced columns are not the PK of '" +
+        fk.ref_table + "'");
+  }
+  for (size_t i = 0; i < pk.size(); ++i) {
+    if (to->schema().columns()[pk[i]].name != fk.ref_columns[i]) {
+      return Status::InvalidArgument(
+          "FK '" + fk.name + "': referenced columns must match the PK of '" +
+          fk.ref_table + "' in order");
+    }
+  }
+  for (const auto& existing : fks_) {
+    if (existing.name == fk.name) {
+      return Status::AlreadyExists("FK '" + fk.name + "' already exists");
+    }
+  }
+  fks_.push_back(std::move(fk));
+  reverse_ready_ = false;
+  return Status::OK();
+}
+
+Status Database::AddInclusionDependency(InclusionDependency ind) {
+  const Table* from = table(ind.table);
+  if (from == nullptr) {
+    return Status::NotFound("IND '" + ind.name + "': unknown table '" +
+                            ind.table + "'");
+  }
+  const Table* to = table(ind.ref_table);
+  if (to == nullptr) {
+    return Status::NotFound("IND '" + ind.name + "': unknown table '" +
+                            ind.ref_table + "'");
+  }
+  if (!from->schema().ColumnIndex(ind.column).has_value()) {
+    return Status::InvalidArgument("IND '" + ind.name + "': table '" +
+                                   ind.table + "' has no column '" +
+                                   ind.column + "'");
+  }
+  if (!to->schema().ColumnIndex(ind.ref_column).has_value()) {
+    return Status::InvalidArgument("IND '" + ind.name + "': table '" +
+                                   ind.ref_table + "' has no column '" +
+                                   ind.ref_column + "'");
+  }
+  for (const auto& existing : inds_) {
+    if (existing.name == ind.name) {
+      return Status::AlreadyExists("IND '" + ind.name + "' already exists");
+    }
+  }
+  inds_.push_back(std::move(ind));
+  inclusion_index_.clear();
+  return Status::OK();
+}
+
+std::vector<Rid> Database::ResolveInclusion(const InclusionDependency& ind,
+                                            Rid from) const {
+  std::vector<Rid> out;
+  const Table* from_table = table(ind.table);
+  const Table* to_table = table(ind.ref_table);
+  if (from_table == nullptr || to_table == nullptr) return out;
+  if (from.table_id != from_table->id() || from.row >= from_table->num_rows())
+    return out;
+  auto col = from_table->schema().ColumnIndex(ind.column);
+  auto ref_col = to_table->schema().ColumnIndex(ind.ref_column);
+  if (!col.has_value() || !ref_col.has_value()) return out;
+
+  const Value& v = from_table->row(from.row).at(*col);
+  if (v.is_null()) return out;
+
+  // Lazily build the value index for this dependency.
+  auto& index = inclusion_index_[ind.name];
+  if (index.empty()) {
+    for (uint32_t r = 0; r < to_table->num_rows(); ++r) {
+      const Value& rv = to_table->row(r).at(*ref_col);
+      if (rv.is_null()) continue;
+      index[EncodeValuesKey({rv})].push_back(r);
+    }
+  }
+  auto it = index.find(EncodeValuesKey({v}));
+  if (it == index.end()) return out;
+  out.reserve(it->second.size());
+  for (uint32_t r : it->second) out.push_back(Rid{to_table->id(), r});
+  return out;
+}
+
+Result<Rid> Database::Insert(const std::string& table_name, Tuple tuple) {
+  Table* t = mutable_table(table_name);
+  if (t == nullptr) {
+    return Status::NotFound("unknown table '" + table_name + "'");
+  }
+  Result<uint32_t> row = t->Insert(std::move(tuple));
+  if (!row.ok()) return row.status();
+  reverse_ready_ = false;
+  inclusion_index_.clear();
+  return Rid{t->id(), row.value()};
+}
+
+const Table* Database::table(const std::string& name) const {
+  auto it = table_ids_.find(name);
+  if (it == table_ids_.end()) return nullptr;
+  return tables_[it->second].get();
+}
+
+const Table* Database::table(uint32_t id) const {
+  if (id >= tables_.size()) return nullptr;
+  return tables_[id].get();
+}
+
+Table* Database::mutable_table(const std::string& name) {
+  auto it = table_ids_.find(name);
+  if (it == table_ids_.end()) return nullptr;
+  return tables_[it->second].get();
+}
+
+std::vector<std::string> Database::table_names() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& t : tables_) names.push_back(t->name());
+  return names;
+}
+
+std::vector<const ForeignKey*> Database::OutgoingFks(
+    const std::string& table) const {
+  std::vector<const ForeignKey*> out;
+  for (const auto& fk : fks_) {
+    if (fk.table == table) out.push_back(&fk);
+  }
+  return out;
+}
+
+std::vector<const ForeignKey*> Database::IncomingFks(
+    const std::string& table) const {
+  std::vector<const ForeignKey*> in;
+  for (const auto& fk : fks_) {
+    if (fk.ref_table == table) in.push_back(&fk);
+  }
+  return in;
+}
+
+std::optional<Rid> Database::ResolveFk(const ForeignKey& fk, Rid from) const {
+  const Table* from_table = table(fk.table);
+  const Table* to_table = table(fk.ref_table);
+  if (from_table == nullptr || to_table == nullptr) return std::nullopt;
+  if (from.table_id != from_table->id() || from.row >= from_table->num_rows())
+    return std::nullopt;
+  const Tuple& t = from_table->row(from.row);
+  std::vector<Value> key_vals;
+  key_vals.reserve(fk.columns.size());
+  for (const auto& col : fk.columns) {
+    size_t ci = *from_table->schema().ColumnIndex(col);
+    const Value& v = t.at(ci);
+    if (v.is_null()) return std::nullopt;  // NULL FK: no reference
+    key_vals.push_back(v);
+  }
+  auto row = to_table->LookupPk(key_vals);
+  if (!row.has_value()) return std::nullopt;  // dangling
+  return Rid{to_table->id(), *row};
+}
+
+std::vector<Reference> Database::References(Rid from) const {
+  std::vector<Reference> refs;
+  const Table* t = table(from.table_id);
+  if (t == nullptr) return refs;
+  for (const auto& fk : fks_) {
+    if (fk.table != t->name()) continue;
+    auto to = ResolveFk(fk, from);
+    if (to.has_value()) refs.push_back(Reference{fk.name, from, *to});
+  }
+  return refs;
+}
+
+void Database::BuildReverseIndex() const {
+  if (reverse_ready_) return;
+  reverse_refs_.clear();
+  for (uint32_t fi = 0; fi < fks_.size(); ++fi) {
+    const ForeignKey& fk = fks_[fi];
+    const Table* from_table = table(fk.table);
+    if (from_table == nullptr) continue;
+    for (uint32_t r = 0; r < from_table->num_rows(); ++r) {
+      Rid from{from_table->id(), r};
+      auto to = ResolveFk(fk, from);
+      if (to.has_value()) {
+        reverse_refs_[to->Pack()].emplace_back(fi, from);
+      }
+    }
+  }
+  reverse_ready_ = true;
+}
+
+std::vector<Reference> Database::ReferencingTuples(Rid to) const {
+  BuildReverseIndex();
+  std::vector<Reference> refs;
+  auto it = reverse_refs_.find(to.Pack());
+  if (it == reverse_refs_.end()) return refs;
+  refs.reserve(it->second.size());
+  for (const auto& [fk_idx, from] : it->second) {
+    refs.push_back(Reference{fks_[fk_idx].name, from, to});
+  }
+  return refs;
+}
+
+const Tuple* Database::Get(Rid rid) const {
+  const Table* t = table(rid.table_id);
+  if (t == nullptr || rid.row >= t->num_rows()) return nullptr;
+  return &t->row(rid.row);
+}
+
+size_t Database::TotalRows() const {
+  size_t n = 0;
+  for (const auto& t : tables_) n += t->num_rows();
+  return n;
+}
+
+}  // namespace banks

@@ -1,0 +1,118 @@
+// The database catalog: tables, foreign keys, and reference resolution.
+//
+// This is the substrate that replaces the paper's IBM Universal Database:
+// BANKS needs (a) tuples addressable by RID, (b) the FK metadata that
+// induces graph edges, and (c) value access for keyword indexing and
+// result rendering. All three live here.
+#ifndef BANKS_STORAGE_DATABASE_H_
+#define BANKS_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/rid.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace banks {
+
+/// A resolved FK reference from one tuple to another.
+struct Reference {
+  std::string fk_name;
+  Rid from;
+  Rid to;
+};
+
+/// An in-memory relational database with referential metadata.
+class Database {
+ public:
+  Database() = default;
+
+  // Non-copyable (tables can be large); movable.
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// Creates a table. Fails if the schema is invalid or the name is taken.
+  Status CreateTable(TableSchema schema);
+
+  /// Registers a foreign key. The referenced columns must be the referenced
+  /// table's primary key (classic FK->PK references, as in the paper).
+  Status AddForeignKey(ForeignKey fk);
+
+  /// Registers an inclusion dependency (§2.1 model extension): the referred
+  /// column need not be a key, so a value may match several referred rows.
+  Status AddInclusionDependency(InclusionDependency ind);
+
+  const std::vector<InclusionDependency>& inclusion_dependencies() const {
+    return inds_;
+  }
+
+  /// All referred rows a tuple links to through one inclusion dependency
+  /// (empty when the value is NULL or unmatched).
+  std::vector<Rid> ResolveInclusion(const InclusionDependency& ind,
+                                    Rid from) const;
+
+  /// Inserts a row; returns its Rid.
+  Result<Rid> Insert(const std::string& table, Tuple tuple);
+
+  size_t num_tables() const { return tables_.size(); }
+  const Table* table(const std::string& name) const;
+  const Table* table(uint32_t id) const;
+  Table* mutable_table(const std::string& name);
+  std::vector<std::string> table_names() const;
+
+  const std::vector<ForeignKey>& foreign_keys() const { return fks_; }
+
+  /// Foreign keys whose referencing table is `table`.
+  std::vector<const ForeignKey*> OutgoingFks(const std::string& table) const;
+  /// Foreign keys that reference `table`.
+  std::vector<const ForeignKey*> IncomingFks(const std::string& table) const;
+
+  /// The tuple a given row references through `fk` (nullopt if any FK column
+  /// is NULL or the referenced row does not exist — dangling reference).
+  std::optional<Rid> ResolveFk(const ForeignKey& fk, Rid from) const;
+
+  /// All outgoing references of a tuple across every FK of its table.
+  std::vector<Reference> References(Rid from) const;
+
+  /// All tuples referencing `to` (reverse lookup; used by backward browsing
+  /// and by the graph builder for backward edges). Grouped by FK.
+  std::vector<Reference> ReferencingTuples(Rid to) const;
+
+  /// Fetches a tuple by Rid; nullptr if out of range.
+  const Tuple* Get(Rid rid) const;
+
+  /// Total tuples across all tables (graph node count).
+  size_t TotalRows() const;
+
+  /// Builds reverse-reference indexes. Called automatically by the
+  /// functions that need them; invalidated by further inserts.
+  void BuildReverseIndex() const;
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, uint32_t> table_ids_;
+  std::vector<ForeignKey> fks_;
+  std::vector<InclusionDependency> inds_;
+
+  // Lazily built per inclusion dependency: value key -> referred rows.
+  mutable std::unordered_map<std::string,
+                             std::unordered_map<std::string,
+                                                std::vector<uint32_t>>>
+      inclusion_index_;
+
+  // Lazily built: for each table, packed Rid -> list of (fk idx, from Rid).
+  mutable bool reverse_ready_ = false;
+  mutable std::unordered_map<uint64_t, std::vector<std::pair<uint32_t, Rid>>>
+      reverse_refs_;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_STORAGE_DATABASE_H_

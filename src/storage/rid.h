@@ -1,0 +1,50 @@
+// Row identifiers.
+//
+// BANKS keeps the whole database *graph* in memory but stores only RIDs in
+// graph nodes (§3 of the paper); attribute values are fetched from the
+// storage layer on demand. A Rid names a row as (table id, row index).
+#ifndef BANKS_STORAGE_RID_H_
+#define BANKS_STORAGE_RID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace banks {
+
+/// Identifies one tuple: which table, and which row slot inside it.
+struct Rid {
+  uint32_t table_id = 0;
+  uint32_t row = 0;
+
+  bool operator==(const Rid& o) const {
+    return table_id == o.table_id && row == o.row;
+  }
+  bool operator!=(const Rid& o) const { return !(*this == o); }
+  bool operator<(const Rid& o) const {
+    return table_id != o.table_id ? table_id < o.table_id : row < o.row;
+  }
+
+  /// Packs to a single 64-bit key for hash maps and index files.
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(table_id) << 32) | row;
+  }
+  static Rid Unpack(uint64_t packed) {
+    return Rid{static_cast<uint32_t>(packed >> 32),
+               static_cast<uint32_t>(packed & 0xffffffffULL)};
+  }
+
+  std::string ToString() const {
+    return std::to_string(table_id) + ":" + std::to_string(row);
+  }
+};
+
+struct RidHash {
+  size_t operator()(const Rid& r) const {
+    return std::hash<uint64_t>()(r.Pack());
+  }
+};
+
+}  // namespace banks
+
+#endif  // BANKS_STORAGE_RID_H_

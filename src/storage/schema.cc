@@ -1,0 +1,49 @@
+#include "storage/schema.h"
+
+#include <unordered_set>
+
+namespace banks {
+
+TableSchema::TableSchema(std::string name, std::vector<ColumnDef> columns,
+                         std::vector<std::string> primary_key)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  for (const auto& pk : primary_key) {
+    auto idx = ColumnIndex(pk);
+    // Unknown PK columns are recorded as missing; Validate() reports them.
+    if (idx.has_value()) pk_cols_.push_back(*idx);
+  }
+  pk_requested_ = primary_key.size();
+}
+
+std::optional<size_t> TableSchema::ColumnIndex(
+    const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column) return i;
+  }
+  return std::nullopt;
+}
+
+Status TableSchema::Validate() const {
+  if (name_.empty()) return Status::InvalidArgument("table name empty");
+  if (columns_.empty()) {
+    return Status::InvalidArgument("table '" + name_ + "' has no columns");
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& c : columns_) {
+    if (c.name.empty()) {
+      return Status::InvalidArgument("table '" + name_ +
+                                     "' has an unnamed column");
+    }
+    if (!seen.insert(c.name).second) {
+      return Status::InvalidArgument("table '" + name_ +
+                                     "' duplicates column '" + c.name + "'");
+    }
+  }
+  if (pk_cols_.size() != pk_requested_) {
+    return Status::InvalidArgument(
+        "table '" + name_ + "' primary key names a non-existent column");
+  }
+  return Status::OK();
+}
+
+}  // namespace banks

@@ -1,0 +1,81 @@
+// Table schemas, primary keys and foreign keys.
+//
+// The BANKS graph is *induced by the schema*: every foreign-key -> primary-key
+// reference becomes a pair of directed edges (§2.2). The catalog therefore
+// carries full referential metadata, which the GraphBuilder and the browsing
+// layer (automatic hyperlinks, FK joins) both consume.
+#ifndef BANKS_STORAGE_SCHEMA_H_
+#define BANKS_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace banks {
+
+/// One column: name, declared type, and whether it is part of the PK.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kString;
+
+  ColumnDef() = default;
+  ColumnDef(std::string n, ValueType t) : name(std::move(n)), type(t) {}
+};
+
+/// Schema of one relation.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<ColumnDef> columns,
+              std::vector<std::string> primary_key);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Index of `column` or nullopt.
+  std::optional<size_t> ColumnIndex(const std::string& column) const;
+
+  /// Column indexes of the primary key (possibly empty = no PK).
+  const std::vector<size_t>& primary_key() const { return pk_cols_; }
+  bool has_primary_key() const { return !pk_cols_.empty(); }
+
+  /// Validates that names are unique and the PK refers to real columns.
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  std::vector<size_t> pk_cols_;
+  size_t pk_requested_ = 0;  ///< #PK names passed in (for validation)
+};
+
+/// A foreign key: `table.columns` references `ref_table.ref_columns`
+/// (the referenced columns must be the referenced table's primary key).
+struct ForeignKey {
+  std::string name;                     ///< unique constraint name
+  std::string table;                    ///< referencing relation
+  std::vector<std::string> columns;     ///< referencing columns
+  std::string ref_table;                ///< referenced relation
+  std::vector<std::string> ref_columns; ///< referenced (PK) columns
+};
+
+/// An inclusion dependency (§2.1): values of `table.column` are contained
+/// in `ref_table.ref_column`, but the referred column need not be a key —
+/// one referencing tuple may link to *several* referred tuples. The graph
+/// builder turns each value match into a link, exactly like an FK link.
+struct InclusionDependency {
+  std::string name;
+  std::string table;       ///< referencing relation
+  std::string column;      ///< referencing column
+  std::string ref_table;   ///< referred relation
+  std::string ref_column;  ///< referred column (any column)
+};
+
+}  // namespace banks
+
+#endif  // BANKS_STORAGE_SCHEMA_H_

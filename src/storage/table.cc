@@ -1,0 +1,47 @@
+#include "storage/table.h"
+
+namespace banks {
+
+Result<uint32_t> Table::Insert(Tuple tuple) {
+  if (tuple.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "table '" + name() + "': expected " +
+        std::to_string(schema_.num_columns()) + " values, got " +
+        std::to_string(tuple.size()));
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    const Value& v = tuple.at(i);
+    if (v.is_null()) continue;
+    if (v.type() != schema_.columns()[i].type) {
+      return Status::InvalidArgument(
+          "table '" + name() + "' column '" + schema_.columns()[i].name +
+          "': expected " + ValueTypeName(schema_.columns()[i].type) +
+          ", got " + ValueTypeName(v.type()));
+    }
+  }
+  std::string pk_key;
+  if (schema_.has_primary_key()) {
+    pk_key = tuple.EncodeKey(schema_.primary_key());
+    if (pk_index_.count(pk_key)) {
+      return Status::AlreadyExists("table '" + name() +
+                                   "': duplicate primary key " + pk_key);
+    }
+  }
+  uint32_t row = static_cast<uint32_t>(rows_.size());
+  rows_.push_back(std::move(tuple));
+  if (schema_.has_primary_key()) pk_index_.emplace(std::move(pk_key), row);
+  return row;
+}
+
+std::optional<uint32_t> Table::LookupPk(
+    const std::vector<Value>& pk_values) const {
+  return LookupPkKey(EncodeValuesKey(pk_values));
+}
+
+std::optional<uint32_t> Table::LookupPkKey(const std::string& key) const {
+  auto it = pk_index_.find(key);
+  if (it == pk_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace banks

@@ -1,0 +1,55 @@
+// Row-store table with a primary-key hash index.
+#ifndef BANKS_STORAGE_TABLE_H_
+#define BANKS_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/tuple.h"
+#include "util/status.h"
+
+namespace banks {
+
+/// An in-memory relation: schema + append-only rows + PK index.
+///
+/// Rows are addressed by dense index (the `row` half of a Rid). BANKS never
+/// updates or deletes tuples during search, so the store is append-only; the
+/// browsing layer reads rows by index and the graph builder scans them once.
+class Table {
+ public:
+  Table(uint32_t id, TableSchema schema)
+      : id_(id), schema_(std::move(schema)) {}
+
+  uint32_t id() const { return id_; }
+  const TableSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name(); }
+
+  size_t num_rows() const { return rows_.size(); }
+  const Tuple& row(size_t i) const { return rows_[i]; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Appends a tuple. Fails on arity mismatch, type mismatch (NULL is
+  /// allowed in any column), or duplicate primary key. On success returns
+  /// the new row index.
+  Result<uint32_t> Insert(Tuple tuple);
+
+  /// Looks up a row by primary-key values (in PK column order).
+  std::optional<uint32_t> LookupPk(const std::vector<Value>& pk_values) const;
+
+  /// Looks up by a pre-encoded PK key (see Tuple::EncodeKey).
+  std::optional<uint32_t> LookupPkKey(const std::string& key) const;
+
+ private:
+  uint32_t id_;
+  TableSchema schema_;
+  std::vector<Tuple> rows_;
+  std::unordered_map<std::string, uint32_t> pk_index_;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_STORAGE_TABLE_H_

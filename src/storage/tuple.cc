@@ -1,0 +1,55 @@
+#include "storage/tuple.h"
+
+namespace banks {
+
+namespace {
+
+void AppendEscaped(const std::string& text, std::string* out) {
+  for (char c : text) {
+    if (c == '\x1f' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+}  // namespace
+
+std::string EncodeValuesKey(const std::vector<Value>& vals) {
+  std::string key;
+  for (size_t i = 0; i < vals.size(); ++i) {
+    if (i) key.push_back('\x1f');
+    // Prefix with a type tag so NULL, 0 and "" stay distinct.
+    switch (vals[i].type()) {
+      case ValueType::kNull: key.push_back('n'); break;
+      case ValueType::kInt:
+      case ValueType::kDouble: key.push_back('#'); break;
+      case ValueType::kString: key.push_back('s'); break;
+    }
+    AppendEscaped(vals[i].ToText(), &key);
+  }
+  return key;
+}
+
+std::string Tuple::EncodeKey(const std::vector<size_t>& cols) const {
+  std::vector<Value> vals;
+  vals.reserve(cols.size());
+  for (size_t c : cols) vals.push_back(values_[c]);
+  return EncodeValuesKey(vals);
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i) out += ", ";
+    if (values_[i].type() == ValueType::kString) {
+      out += "'" + values_[i].ToText() + "'";
+    } else if (values_[i].is_null()) {
+      out += "NULL";
+    } else {
+      out += values_[i].ToText();
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace banks

@@ -1,0 +1,43 @@
+// Tuples: one row of typed values plus key-encoding helpers.
+#ifndef BANKS_STORAGE_TUPLE_H_
+#define BANKS_STORAGE_TUPLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace banks {
+
+/// A row: positional values matching a TableSchema's columns.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  bool operator==(const Tuple& o) const { return values_ == o.values_; }
+
+  /// Encodes the values at `cols` as a single opaque key string. Used for
+  /// PK hash indexes and FK lookups. The 0x1f separator cannot appear in
+  /// numeric text; string values have 0x1f escaped so keys are unambiguous.
+  std::string EncodeKey(const std::vector<size_t>& cols) const;
+
+  /// Human-readable "(v1, v2, ...)" form for logs and tests.
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// Builds the key encoding for a list of already-extracted values.
+std::string EncodeValuesKey(const std::vector<Value>& vals);
+
+}  // namespace banks
+
+#endif  // BANKS_STORAGE_TUPLE_H_

@@ -1,0 +1,94 @@
+#include "storage/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/hash.h"
+
+namespace banks {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt: return "INT";
+    case ValueType::kDouble: return "DOUBLE";
+    case ValueType::kString: return "STRING";
+  }
+  return "?";
+}
+
+std::string Value::ToText() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      char buf[32];
+      double d = AsDouble();
+      if (d == std::floor(d) && std::abs(d) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.1f", d);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+      }
+      return buf;
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return "";
+}
+
+namespace {
+
+// Numeric view; only valid for INT/DOUBLE.
+double AsNumber(const Value& v) {
+  return v.type() == ValueType::kInt ? static_cast<double>(v.AsInt())
+                                     : v.AsDouble();
+}
+
+bool IsNumeric(const Value& v) {
+  return v.type() == ValueType::kInt || v.type() == ValueType::kDouble;
+}
+
+}  // namespace
+
+bool Value::operator<(const Value& o) const {
+  // NULL sorts first.
+  if (is_null() || o.is_null()) return is_null() && !o.is_null();
+  const bool a_num = IsNumeric(*this), b_num = IsNumeric(o);
+  if (a_num && b_num) return AsNumber(*this) < AsNumber(o);
+  if (a_num != b_num) return a_num;  // numbers sort before strings
+  return AsString() < o.AsString();
+}
+
+bool Value::operator==(const Value& o) const {
+  if (is_null() || o.is_null()) return is_null() == o.is_null();
+  const bool a_num = IsNumeric(*this), b_num = IsNumeric(o);
+  if (a_num && b_num) return AsNumber(*this) == AsNumber(o);
+  if (a_num != b_num) return false;
+  return AsString() == o.AsString();
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9b1a2c3d4e5f6071ULL;
+    case ValueType::kInt:
+    case ValueType::kDouble: {
+      double d = AsNumber(*this);
+      if (d == 0.0) d = 0.0;  // canonicalise -0.0
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      uint64_t h = 0x517cc1b727220a95ULL;
+      HashCombine(&h, bits);
+      return h;
+    }
+    case ValueType::kString:
+      return Fnv1a(AsString());
+  }
+  return 0;
+}
+
+}  // namespace banks

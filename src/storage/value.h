@@ -1,0 +1,68 @@
+// Typed attribute values.
+//
+// BANKS matches keywords against "tokens appearing in any textual attribute"
+// (§2.3); values therefore expose a canonical textual form used both by the
+// tokenizer and the browsing renderer.
+#ifndef BANKS_STORAGE_VALUE_H_
+#define BANKS_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace banks {
+
+/// Column/value type tags.
+enum class ValueType { kNull = 0, kInt, kDouble, kString };
+
+/// Returns "NULL", "INT", "DOUBLE" or "STRING".
+const char* ValueTypeName(ValueType t);
+
+/// A dynamically-typed SQL-ish value: NULL, 64-bit int, double, or string.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (v_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt;
+      case 2: return ValueType::kDouble;
+      default: return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Accessors; behaviour is undefined unless the type matches.
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Canonical text: "" for NULL, decimal for ints, shortest round-trip for
+  /// doubles, the string itself otherwise. Used by tokenizer, CSV and HTML.
+  std::string ToText() const;
+
+  /// Total order: NULL < INT/DOUBLE (numeric order, cross-comparable) <
+  /// STRING (lexicographic). Gives deterministic sorts in table views.
+  bool operator<(const Value& o) const;
+  bool operator==(const Value& o) const;
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+  /// Stable hash consistent with operator== (NULL hashes to a constant;
+  /// int/double hash via their numeric text so 3 == 3.0 hash alike).
+  uint64_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_STORAGE_VALUE_H_

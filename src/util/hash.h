@@ -1,0 +1,38 @@
+// Hash helpers shared by indexes, dedup signatures and containers.
+#ifndef BANKS_UTIL_HASH_H_
+#define BANKS_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace banks {
+
+/// Mixes `v` into an accumulated hash (boost::hash_combine recipe, 64-bit).
+inline void HashCombine(uint64_t* seed, uint64_t v) {
+  *seed ^= v + 0x9e3779b97f4a7c15ULL + (*seed << 12) + (*seed >> 4);
+}
+
+/// FNV-1a over bytes; stable across platforms (used in index files).
+inline uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Hash functor for pairs of integral ids.
+struct PairHash {
+  size_t operator()(const std::pair<uint32_t, uint32_t>& p) const {
+    uint64_t h = p.first;
+    HashCombine(&h, p.second);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace banks
+
+#endif  // BANKS_UTIL_HASH_H_

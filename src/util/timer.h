@@ -1,0 +1,31 @@
+// Wall-clock timing for the §5.2 space/time experiments.
+#ifndef BANKS_UTIL_TIMER_H_
+#define BANKS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace banks {
+
+/// Monotonic stopwatch. Starts at construction; Restart() resets.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_UTIL_TIMER_H_

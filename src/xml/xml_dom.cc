@@ -1,0 +1,222 @@
+#include "xml/xml_dom.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace banks {
+
+std::string XmlElement::Attribute(const std::string& name) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == name) return v;
+  }
+  return "";
+}
+
+size_t XmlElement::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& child : children) n += child->SubtreeSize();
+  return n;
+}
+
+std::string DecodeXmlEntities(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '&') {
+      out.push_back(text[i]);
+      continue;
+    }
+    size_t semi = text.find(';', i);
+    if (semi == std::string::npos || semi - i > 12) {
+      out.push_back('&');
+      continue;
+    }
+    std::string entity = text.substr(i + 1, semi - i - 1);
+    if (entity == "amp") out.push_back('&');
+    else if (entity == "lt") out.push_back('<');
+    else if (entity == "gt") out.push_back('>');
+    else if (entity == "quot") out.push_back('"');
+    else if (entity == "apos") out.push_back('\'');
+    else if (!entity.empty() && entity[0] == '#') {
+      long code = std::strtol(entity.c_str() + 1, nullptr,
+                              entity.size() > 1 && entity[1] == 'x' ? 16 : 10);
+      if (entity.size() > 1 && entity[1] == 'x') {
+        code = std::strtol(entity.c_str() + 2, nullptr, 16);
+      }
+      if (code > 0 && code < 128) {
+        out.push_back(static_cast<char>(code));
+      }  // non-ASCII references are dropped (keyword search is ASCII-based)
+    } else {
+      // Unknown entity: keep verbatim.
+      out.append(text, i, semi - i + 1);
+    }
+    i = semi;
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& input) : in_(input) {}
+
+  Result<std::unique_ptr<XmlElement>> Parse() {
+    SkipMisc();
+    if (eof()) return Err("document has no root element");
+    auto root = ParseElement();
+    if (!root.ok()) return root;
+    SkipMisc();
+    if (!eof()) return Err("trailing content after root element");
+    return root;
+  }
+
+ private:
+  bool eof() const { return pos_ >= in_.size(); }
+  char peek() const { return in_[pos_]; }
+  bool Lookahead(const char* s) const {
+    return in_.compare(pos_, std::char_traits<char>::length(s), s) == 0;
+  }
+
+  Status ErrStatus(const std::string& message) const {
+    return Status::Corruption("XML parse error at byte " +
+                              std::to_string(pos_) + ": " + message);
+  }
+  Result<std::unique_ptr<XmlElement>> Err(const std::string& m) const {
+    return ErrStatus(m);
+  }
+
+  void SkipWhitespace() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  // Skips whitespace, comments, PIs and the XML declaration.
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (Lookahead("<!--")) {
+        size_t end = in_.find("-->", pos_ + 4);
+        pos_ = end == std::string::npos ? in_.size() : end + 3;
+      } else if (Lookahead("<?")) {
+        size_t end = in_.find("?>", pos_ + 2);
+        pos_ = end == std::string::npos ? in_.size() : end + 2;
+      } else if (Lookahead("<!DOCTYPE")) {
+        size_t end = in_.find('>', pos_);
+        pos_ = end == std::string::npos ? in_.size() : end + 1;
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string ParseName() {
+    size_t start = pos_;
+    while (!eof()) {
+      char c = peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == '.' || c == ':') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return in_.substr(start, pos_ - start);
+  }
+
+  Result<std::unique_ptr<XmlElement>> ParseElement() {
+    if (eof() || peek() != '<') return Err("expected '<'");
+    ++pos_;
+    auto elem = std::make_unique<XmlElement>();
+    elem->tag = ParseName();
+    if (elem->tag.empty()) return Err("element with empty tag name");
+
+    // Attributes.
+    for (;;) {
+      SkipWhitespace();
+      if (eof()) return Err("unterminated start tag <" + elem->tag);
+      if (peek() == '>' || Lookahead("/>")) break;
+      std::string name = ParseName();
+      if (name.empty()) return Err("malformed attribute in <" + elem->tag);
+      SkipWhitespace();
+      if (eof() || peek() != '=') return Err("attribute without '='");
+      ++pos_;
+      SkipWhitespace();
+      if (eof() || (peek() != '"' && peek() != '\'')) {
+        return Err("attribute value must be quoted");
+      }
+      char quote = peek();
+      ++pos_;
+      size_t end = in_.find(quote, pos_);
+      if (end == std::string::npos) return Err("unterminated attribute value");
+      elem->attributes.emplace_back(
+          name, DecodeXmlEntities(in_.substr(pos_, end - pos_)));
+      pos_ = end + 1;
+    }
+
+    if (Lookahead("/>")) {
+      pos_ += 2;
+      return elem;
+    }
+    ++pos_;  // consume '>'
+
+    // Content.
+    std::string raw_text;
+    for (;;) {
+      if (eof()) return Err("unterminated element <" + elem->tag + ">");
+      if (Lookahead("</")) {
+        pos_ += 2;
+        std::string closing = ParseName();
+        SkipWhitespace();
+        if (eof() || peek() != '>') return Err("malformed closing tag");
+        ++pos_;
+        if (closing != elem->tag) {
+          return Err("mismatched closing tag </" + closing + "> for <" +
+                     elem->tag + ">");
+        }
+        elem->text = std::string(Trim(DecodeXmlEntities(raw_text)));
+        return elem;
+      }
+      if (Lookahead("<!--")) {
+        size_t end = in_.find("-->", pos_ + 4);
+        if (end == std::string::npos) return Err("unterminated comment");
+        pos_ = end + 3;
+        continue;
+      }
+      if (Lookahead("<![CDATA[")) {
+        size_t end = in_.find("]]>", pos_ + 9);
+        if (end == std::string::npos) return Err("unterminated CDATA");
+        raw_text += in_.substr(pos_ + 9, end - pos_ - 9);
+        pos_ = end + 3;
+        continue;
+      }
+      if (Lookahead("<?")) {
+        size_t end = in_.find("?>", pos_ + 2);
+        if (end == std::string::npos) return Err("unterminated PI");
+        pos_ = end + 2;
+        continue;
+      }
+      if (peek() == '<') {
+        auto child = ParseElement();
+        if (!child.ok()) return child;
+        elem->children.push_back(std::move(child).value());
+        continue;
+      }
+      raw_text.push_back(peek());
+      ++pos_;
+    }
+  }
+
+  const std::string& in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<XmlElement>> ParseXml(const std::string& input) {
+  Parser parser(input);
+  return parser.Parse();
+}
+
+}  // namespace banks

@@ -1,0 +1,43 @@
+// Minimal XML document model and parser.
+//
+// §7: "We are currently extending the BANKS system to handle browsing and
+// keyword searching of XML data." This parser covers the subset needed to
+// shred documents into the relational model: elements, attributes, text,
+// comments, CDATA and the five standard entities. No DTDs, namespaces or
+// processing-instruction semantics (PIs are skipped).
+#ifndef BANKS_XML_XML_DOM_H_
+#define BANKS_XML_XML_DOM_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace banks {
+
+/// One element node of the document tree.
+struct XmlElement {
+  std::string tag;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  /// Concatenated character data directly inside this element (children's
+  /// text is not included), whitespace-trimmed.
+  std::string text;
+  std::vector<std::unique_ptr<XmlElement>> children;
+
+  /// First attribute value by name, or "".
+  std::string Attribute(const std::string& name) const;
+  /// Total number of elements in this subtree (including itself).
+  size_t SubtreeSize() const;
+};
+
+/// Parses a document; returns its root element. Errors carry a byte offset.
+Result<std::unique_ptr<XmlElement>> ParseXml(const std::string& input);
+
+/// Decodes &amp; &lt; &gt; &quot; &apos; and numeric &#NN; references.
+std::string DecodeXmlEntities(const std::string& text);
+
+}  // namespace banks
+
+#endif  // BANKS_XML_XML_DOM_H_

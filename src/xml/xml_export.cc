@@ -1,0 +1,131 @@
+#include "xml/xml_export.h"
+
+#include <map>
+#include <vector>
+
+#include "xml/xml_shred.h"
+
+namespace banks {
+
+std::string XmlEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct ShreddedElement {
+  std::string tag;
+  std::string text;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<uint32_t> children;  // rows, in insertion (document) order
+};
+
+void EmitElement(const std::vector<ShreddedElement>& elems, uint32_t row,
+                 int depth, std::string* out) {
+  const ShreddedElement& e = elems[row];
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += "<" + e.tag;
+  for (const auto& [name, value] : e.attributes) {
+    *out += " " + name + "=\"" + XmlEscape(value) + "\"";
+  }
+  if (e.text.empty() && e.children.empty()) {
+    *out += "/>\n";
+    return;
+  }
+  *out += ">";
+  if (!e.text.empty()) *out += XmlEscape(e.text);
+  if (!e.children.empty()) {
+    *out += "\n";
+    for (uint32_t child : e.children) {
+      EmitElement(elems, child, depth + 1, out);
+    }
+    out->append(static_cast<size_t>(depth) * 2, ' ');
+  }
+  *out += "</" + e.tag + ">\n";
+}
+
+}  // namespace
+
+Result<std::string> UnshredXml(const Database& db) {
+  const Table* elem = db.table(kXmlElementTable);
+  const Table* attr = db.table(kXmlAttributeTable);
+  if (elem == nullptr || attr == nullptr) {
+    return Status::InvalidArgument(
+        "database is not a shredded XML document");
+  }
+
+  std::vector<ShreddedElement> elems(elem->num_rows());
+  std::map<std::string, uint32_t> by_id;
+  for (uint32_t r = 0; r < elem->num_rows(); ++r) {
+    const Tuple& t = elem->row(r);
+    elems[r].tag = t.at(1).AsString();
+    elems[r].text = t.at(2).is_null() ? "" : t.at(2).AsString();
+    by_id.emplace(t.at(0).AsString(), r);
+  }
+  std::vector<uint32_t> roots;
+  for (uint32_t r = 0; r < elem->num_rows(); ++r) {
+    const Value& parent = elem->row(r).at(3);
+    if (parent.is_null()) {
+      roots.push_back(r);
+    } else {
+      auto it = by_id.find(parent.AsString());
+      if (it == by_id.end()) {
+        return Status::Corruption("dangling ParentId " + parent.AsString());
+      }
+      elems[it->second].children.push_back(r);
+    }
+  }
+  if (roots.size() != 1) {
+    return Status::Corruption("expected exactly one root element, found " +
+                              std::to_string(roots.size()));
+  }
+  for (uint32_t r = 0; r < attr->num_rows(); ++r) {
+    const Tuple& t = attr->row(r);
+    auto it = by_id.find(t.at(1).AsString());
+    if (it == by_id.end()) {
+      return Status::Corruption("attribute references unknown element");
+    }
+    elems[it->second].attributes.emplace_back(t.at(2).AsString(),
+                                              t.at(3).AsString());
+  }
+
+  std::string out;
+  EmitElement(elems, roots[0], 0, &out);
+  return out;
+}
+
+std::string ExportDatabaseXml(const Database& db) {
+  std::string out = "<database>\n";
+  for (const auto& name : db.table_names()) {
+    const Table* t = db.table(name);
+    out += "  <table name=\"" + XmlEscape(name) + "\">\n";
+    for (uint32_t r = 0; r < t->num_rows(); ++r) {
+      out += "    <row>";
+      for (size_t c = 0; c < t->schema().num_columns(); ++c) {
+        const auto& col = t->schema().columns()[c];
+        const Value& v = t->row(r).at(c);
+        if (v.is_null()) continue;
+        out += "<" + XmlEscape(col.name) + ">" + XmlEscape(v.ToText()) +
+               "</" + XmlEscape(col.name) + ">";
+      }
+      out += "</row>\n";
+    }
+    out += "  </table>\n";
+  }
+  out += "</database>\n";
+  return out;
+}
+
+}  // namespace banks

@@ -1,0 +1,32 @@
+// XML export: the inverse direction of the shredder, plus generic
+// database-to-XML publishing.
+//
+//  * UnshredXml reconstructs a document from Element/Attribute relations
+//    produced by ShredXml — shred -> unshred -> shred is the identity
+//    (tested), which validates the §6 claim that containment edges fully
+//    capture nested XML.
+//  * ExportDatabaseXml serialises *any* database as XML (<database>
+//    <table name><row><col>..</col></row>..), one more §1 publishing path.
+#ifndef BANKS_XML_XML_EXPORT_H_
+#define BANKS_XML_XML_EXPORT_H_
+
+#include <string>
+
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace banks {
+
+/// Escapes text for XML element/attribute content.
+std::string XmlEscape(const std::string& text);
+
+/// Rebuilds the document from a shredded database (canonical form:
+/// children in ElemId order, attributes in AttrId order, 2-space indent).
+Result<std::string> UnshredXml(const Database& db);
+
+/// Serialises an arbitrary database as XML.
+std::string ExportDatabaseXml(const Database& db);
+
+}  // namespace banks
+
+#endif  // BANKS_XML_XML_EXPORT_H_

@@ -1,0 +1,85 @@
+#include "xml/xml_shred.h"
+
+namespace banks {
+
+namespace {
+
+Status CreateXmlSchema(Database* db) {
+  Status s = db->CreateTable(TableSchema(kXmlElementTable,
+                                         {{"ElemId", ValueType::kString},
+                                          {"Tag", ValueType::kString},
+                                          {"Text", ValueType::kString},
+                                          {"ParentId", ValueType::kString}},
+                                         {"ElemId"}));
+  if (!s.ok()) return s;
+  s = db->CreateTable(TableSchema(kXmlAttributeTable,
+                                  {{"AttrId", ValueType::kString},
+                                   {"ElemId", ValueType::kString},
+                                   {"Name", ValueType::kString},
+                                   {"Val", ValueType::kString}},
+                                  {"AttrId"}));
+  if (!s.ok()) return s;
+  // The containment edge: a self-referencing FK (§6 "edges of a new type").
+  s = db->AddForeignKey(ForeignKey{kXmlContainsFk, kXmlElementTable,
+                                   {"ParentId"}, kXmlElementTable,
+                                   {"ElemId"}});
+  if (!s.ok()) return s;
+  return db->AddForeignKey(ForeignKey{kXmlAttrFk, kXmlAttributeTable,
+                                      {"ElemId"}, kXmlElementTable,
+                                      {"ElemId"}});
+}
+
+class Shredder {
+ public:
+  explicit Shredder(Database* db) : db_(db) {}
+
+  Status Shred(const XmlElement& root) { return Visit(root, ""); }
+
+ private:
+  Status Visit(const XmlElement& elem, const std::string& parent_id) {
+    std::string id = "e" + std::to_string(next_elem_++);
+    Value parent =
+        parent_id.empty() ? Value::Null() : Value(parent_id);
+    auto r = db_->Insert(
+        kXmlElementTable,
+        Tuple({Value(id), Value(elem.tag), Value(elem.text), parent}));
+    if (!r.ok()) return r.status();
+
+    for (const auto& [name, value] : elem.attributes) {
+      std::string attr_id = "a" + std::to_string(next_attr_++);
+      auto ar = db_->Insert(
+          kXmlAttributeTable,
+          Tuple({Value(attr_id), Value(id), Value(name), Value(value)}));
+      if (!ar.ok()) return ar.status();
+    }
+    for (const auto& child : elem.children) {
+      Status s = Visit(*child, id);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  Database* db_;
+  size_t next_elem_ = 0;
+  size_t next_attr_ = 0;
+};
+
+}  // namespace
+
+Result<Database> ShredXml(const XmlElement& root) {
+  Database db;
+  Status s = CreateXmlSchema(&db);
+  if (!s.ok()) return s;
+  Shredder shredder(&db);
+  s = shredder.Shred(root);
+  if (!s.ok()) return s;
+  return db;
+}
+
+Result<Database> XmlToDatabase(const std::string& xml_text) {
+  auto root = ParseXml(xml_text);
+  if (!root.ok()) return root.status();
+  return ShredXml(*root.value());
+}
+
+}  // namespace banks

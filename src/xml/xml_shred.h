@@ -1,0 +1,42 @@
+// Shredding XML into the BANKS relational model (§6/§7).
+//
+// "Since edges in our model can have attributes such as type and weight,
+// we can model containment (as in DataSpot and in nested XML) simply as
+// edges of a new type."
+//
+// A document shreds into:
+//   Element(ElemId PK, Tag, Text, ParentId FK -> Element)
+//   Attribute(AttrId PK, ElemId FK -> Element, Name, Val)
+//
+// The self-referencing ParentId foreign key *is* the containment edge: the
+// graph builder turns it into a forward child->parent edge plus a
+// degree-weighted backward edge, so elements with many children behave
+// like the §2.1 hubs. The containment link strength is configurable
+// through the usual similarity matrix under the ("Element","Element") pair.
+#ifndef BANKS_XML_XML_SHRED_H_
+#define BANKS_XML_XML_SHRED_H_
+
+#include <string>
+
+#include "storage/database.h"
+#include "util/status.h"
+#include "xml/xml_dom.h"
+
+namespace banks {
+
+/// Table names produced by the shredder.
+inline constexpr const char* kXmlElementTable = "Element";
+inline constexpr const char* kXmlAttributeTable = "Attribute";
+/// FK names (for similarity-matrix configuration and browsing).
+inline constexpr const char* kXmlContainsFk = "element_parent";
+inline constexpr const char* kXmlAttrFk = "attribute_element";
+
+/// Shreds a parsed document into a fresh database.
+Result<Database> ShredXml(const XmlElement& root);
+
+/// Convenience: parse + shred.
+Result<Database> XmlToDatabase(const std::string& xml_text);
+
+}  // namespace banks
+
+#endif  // BANKS_XML_XML_SHRED_H_

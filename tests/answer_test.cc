@@ -1,0 +1,153 @@
+#include "core/answer.h"
+
+#include <gtest/gtest.h>
+
+namespace banks {
+namespace {
+
+ConnectionTree StarTree() {
+  // root 0 with children 1, 2.
+  ConnectionTree t;
+  t.root = 0;
+  t.edges = {{0, 1, 1.0}, {0, 2, 2.0}};
+  t.leaf_for_term = {1, 2};
+  t.tree_weight = 3.0;
+  return t;
+}
+
+TEST(ConnectionTreeTest, Nodes) {
+  auto t = StarTree();
+  auto nodes = t.Nodes();
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0], 0u);  // root first
+}
+
+TEST(ConnectionTreeTest, RootChildCount) {
+  auto t = StarTree();
+  EXPECT_EQ(t.RootChildCount(), 2u);
+  ConnectionTree chain;
+  chain.root = 0;
+  chain.edges = {{0, 1, 1.0}, {1, 2, 1.0}};
+  EXPECT_EQ(chain.RootChildCount(), 1u);
+  ConnectionTree single;
+  single.root = 5;
+  EXPECT_EQ(single.RootChildCount(), 0u);
+}
+
+TEST(ConnectionTreeTest, SignatureIgnoresDirectionAndRoot) {
+  // Same undirected structure, different roots/orientations.
+  ConnectionTree a;
+  a.root = 0;
+  a.edges = {{0, 1, 1.0}, {1, 2, 1.0}};
+  ConnectionTree b;
+  b.root = 2;
+  b.edges = {{2, 1, 1.0}, {1, 0, 1.0}};
+  EXPECT_EQ(a.UndirectedSignature(), b.UndirectedSignature());
+}
+
+TEST(ConnectionTreeTest, SignatureDistinguishesStructures) {
+  ConnectionTree a = StarTree();
+  ConnectionTree b;
+  b.root = 0;
+  b.edges = {{0, 1, 1.0}, {0, 3, 1.0}};
+  EXPECT_NE(a.UndirectedSignature(), b.UndirectedSignature());
+}
+
+TEST(ConnectionTreeTest, SingleNodeSignature) {
+  ConnectionTree a, b;
+  a.root = 7;
+  b.root = 8;
+  EXPECT_NE(a.UndirectedSignature(), b.UndirectedSignature());
+  ConnectionTree c;
+  c.root = 7;
+  EXPECT_EQ(a.UndirectedSignature(), c.UndirectedSignature());
+}
+
+TEST(ConnectionTreeTest, ValidityChecks) {
+  EXPECT_TRUE(StarTree().IsValidTree());
+
+  // Child before parent: invalid.
+  ConnectionTree bad_order;
+  bad_order.root = 0;
+  bad_order.edges = {{1, 2, 1.0}, {0, 1, 1.0}};
+  EXPECT_FALSE(bad_order.IsValidTree());
+
+  // Two parents: invalid.
+  ConnectionTree two_parents;
+  two_parents.root = 0;
+  two_parents.edges = {{0, 1, 1.0}, {0, 2, 1.0}, {1, 2, 1.0}};
+  EXPECT_FALSE(two_parents.IsValidTree());
+
+  // Edge into the root: invalid.
+  ConnectionTree into_root;
+  into_root.root = 0;
+  into_root.edges = {{0, 1, 1.0}, {1, 0, 1.0}};
+  EXPECT_FALSE(into_root.IsValidTree());
+
+  // Leaf not in tree: invalid.
+  ConnectionTree missing_leaf = StarTree();
+  missing_leaf.leaf_for_term.push_back(9);
+  EXPECT_FALSE(missing_leaf.IsValidTree());
+}
+
+class RenderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable(TableSchema("Author",
+                                            {{"AuthorId", ValueType::kString},
+                                             {"AuthorName", ValueType::kString}},
+                                            {"AuthorId"}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable(TableSchema("Paper",
+                                            {{"PaperId", ValueType::kString},
+                                             {"PaperName", ValueType::kString}},
+                                            {"PaperId"}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable(TableSchema("Writes",
+                                            {{"AuthorId", ValueType::kString},
+                                             {"PaperId", ValueType::kString}},
+                                            {"AuthorId", "PaperId"}))
+                    .ok());
+    ASSERT_TRUE(db_.AddForeignKey(ForeignKey{"wa", "Writes", {"AuthorId"},
+                                             "Author", {"AuthorId"}})
+                    .ok());
+    ASSERT_TRUE(db_.AddForeignKey(ForeignKey{"wp", "Writes", {"PaperId"},
+                                             "Paper", {"PaperId"}})
+                    .ok());
+    ASSERT_TRUE(
+        db_.Insert("Author", Tuple({Value("a1"), Value("Sunita")})).ok());
+    ASSERT_TRUE(
+        db_.Insert("Paper", Tuple({Value("p1"), Value("Mining")})).ok());
+    ASSERT_TRUE(db_.Insert("Writes", Tuple({Value("a1"), Value("p1")})).ok());
+    dg_ = BuildDataGraph(db_);
+  }
+  Database db_;
+  DataGraph dg_;
+};
+
+TEST_F(RenderTest, NodeLabelShowsTableAndPk) {
+  NodeId paper = dg_.NodeForRid(Rid{db_.table("Paper")->id(), 0});
+  EXPECT_EQ(NodeLabel(paper, dg_, db_), "Paper(p1)");
+  NodeId writes = dg_.NodeForRid(Rid{db_.table("Writes")->id(), 0});
+  EXPECT_EQ(NodeLabel(writes, dg_, db_), "Writes(a1,p1)");
+}
+
+TEST_F(RenderTest, RenderAnswerIndentsAndMarksKeywords) {
+  NodeId paper = dg_.NodeForRid(Rid{db_.table("Paper")->id(), 0});
+  NodeId writes = dg_.NodeForRid(Rid{db_.table("Writes")->id(), 0});
+  NodeId author = dg_.NodeForRid(Rid{db_.table("Author")->id(), 0});
+
+  ConnectionTree t;
+  t.root = paper;
+  t.edges = {{paper, writes, 1.0}, {writes, author, 1.0}};
+  t.leaf_for_term = {author};
+
+  std::string out = RenderAnswer(t, dg_, db_);
+  EXPECT_NE(out.find("Paper: "), std::string::npos);
+  EXPECT_NE(out.find("  Writes: "), std::string::npos);      // indent 1
+  EXPECT_NE(out.find("    * Author: "), std::string::npos);  // keyword mark
+  EXPECT_NE(out.find("AuthorName=Sunita"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,124 @@
+#include "core/authorization.h"
+
+#include <gtest/gtest.h>
+
+#include "browse/browser.h"
+#include "core/banks.h"
+#include "datagen/dblp_gen.h"
+#include "eval/workload.h"
+
+namespace banks {
+namespace {
+
+class AuthTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DblpConfig config;
+    config.num_authors = 80;
+    config.num_papers = 160;
+    DblpDataset ds = GenerateDblp(config);
+    planted_ = new DblpPlanted(ds.planted);
+    engine_ = new BanksEngine(std::move(ds.db),
+                              EvalWorkload::DefaultOptions());
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete planted_;
+    engine_ = nullptr;
+    planted_ = nullptr;
+  }
+  static BanksEngine* engine_;
+  static DblpPlanted* planted_;
+};
+
+BanksEngine* AuthTest::engine_ = nullptr;
+DblpPlanted* AuthTest::planted_ = nullptr;
+
+TEST_F(AuthTest, EmptyPolicyPassthrough) {
+  AuthPolicy policy;
+  auto open = engine_->Search("soumen sunita");
+  auto authed = engine_->SearchAuthorized("soumen sunita", policy);
+  ASSERT_TRUE(open.ok() && authed.ok());
+  EXPECT_EQ(open.value().answers.size(), authed.value().answers.size());
+}
+
+TEST_F(AuthTest, HiddenTableNeverAppearsInAnswers) {
+  AuthPolicy policy;
+  policy.HideTable(kCitesTable);
+  auto result = engine_->SearchAuthorized("transaction", policy);
+  ASSERT_TRUE(result.ok());
+  uint32_t cites_id = engine_->db().table(kCitesTable)->id();
+  for (const auto& tree : result.value().answers) {
+    for (NodeId n : tree.Nodes()) {
+      EXPECT_NE(engine_->data_graph().RidForNode(n).table_id, cites_id);
+    }
+  }
+}
+
+TEST_F(AuthTest, HidingWritesKillsCoauthorAnswers) {
+  // Every soumen-sunita connection passes through Writes tuples; hiding
+  // Writes must suppress them all.
+  AuthPolicy policy;
+  policy.HideTable(kWritesTable);
+  auto result = engine_->SearchAuthorized("soumen sunita", policy);
+  ASSERT_TRUE(result.ok());
+  uint32_t writes_id = engine_->db().table(kWritesTable)->id();
+  for (const auto& tree : result.value().answers) {
+    for (NodeId n : tree.Nodes()) {
+      EXPECT_NE(engine_->data_graph().RidForNode(n).table_id, writes_id);
+    }
+  }
+}
+
+TEST_F(AuthTest, KeywordMatchesFiltered) {
+  AuthPolicy policy;
+  policy.HideTable(kAuthorTable);
+  auto result = engine_->SearchAuthorized("mohan", policy);
+  ASSERT_TRUE(result.ok());
+  // "mohan" only matches Author tuples: with the table hidden there are no
+  // visible matches and no answers.
+  EXPECT_TRUE(result.value().answers.empty());
+  for (const auto& set : result.value().keyword_matches) {
+    EXPECT_TRUE(set.empty());
+  }
+}
+
+TEST_F(AuthTest, AllowOnlyInverts) {
+  AuthPolicy policy = AuthPolicy::AllowOnly(
+      engine_->db(), {kAuthorTable, kPaperTable, kWritesTable});
+  EXPECT_FALSE(policy.IsHidden(kAuthorTable));
+  EXPECT_TRUE(policy.IsHidden(kCitesTable));
+}
+
+TEST(AuthBrowserTest, HiddenTablesNotBrowsable) {
+  DblpConfig config;
+  config.num_authors = 20;
+  config.num_papers = 30;
+  DblpDataset ds = GenerateDblp(config);
+  Browser browser(ds.db, {kCitesTable});
+
+  EXPECT_FALSE(browser.TablePage(kCitesTable).ok());
+  EXPECT_FALSE(browser.TuplePage(kCitesTable, 0).ok());
+  EXPECT_TRUE(browser.TablePage(kAuthorTable).ok());
+
+  // Schema page omits the hidden table.
+  std::string schema = browser.SchemaPage();
+  EXPECT_EQ(schema.find("Cites"), std::string::npos);
+  EXPECT_NE(schema.find("Author"), std::string::npos);
+}
+
+TEST(AuthBrowserTest, BackwardLinksOmitHiddenRelations) {
+  DblpConfig config;
+  config.num_authors = 20;
+  config.num_papers = 30;
+  DblpDataset ds = GenerateDblp(config);
+  Browser browser(ds.db, {kCitesTable});
+  // A paper tuple is referenced by Writes and Cites; only Writes shows.
+  auto page = browser.TuplePage(kPaperTable, 0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page.value().find("Cites via"), std::string::npos);
+  EXPECT_NE(page.value().find("Writes via"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace banks

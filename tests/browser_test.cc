@@ -1,0 +1,121 @@
+#include "browse/browser.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/dblp_gen.h"
+
+namespace banks {
+namespace {
+
+class BrowserTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DblpConfig config;
+    config.num_authors = 15;
+    config.num_papers = 20;
+    config.plant_anecdotes = false;
+    ds_ = new DblpDataset(GenerateDblp(config));
+    browser_ = new Browser(ds_->db);
+  }
+  static void TearDownTestSuite() {
+    delete browser_;
+    delete ds_;
+    browser_ = nullptr;
+    ds_ = nullptr;
+  }
+  static DblpDataset* ds_;
+  static Browser* browser_;
+};
+
+DblpDataset* BrowserTest::ds_ = nullptr;
+Browser* BrowserTest::browser_ = nullptr;
+
+TEST_F(BrowserTest, TablePagePaginates) {
+  auto page = browser_->TablePage(kAuthorTable, 0, 10);
+  ASSERT_TRUE(page.ok());
+  EXPECT_NE(page.value().find("<table"), std::string::npos);
+  EXPECT_NE(page.value().find("page 1/2"), std::string::npos);  // 15 rows
+}
+
+TEST_F(BrowserTest, TablePageUnknownTable) {
+  EXPECT_FALSE(browser_->TablePage("Ghost").ok());
+}
+
+TEST_F(BrowserTest, WritesPageHasFkHyperlinks) {
+  auto page = browser_->TablePage(kWritesTable, 0, 5);
+  ASSERT_TRUE(page.ok());
+  // FK cells render as banks: links to Author and Paper tuples.
+  EXPECT_NE(page.value().find("banks:tuple/Author/"), std::string::npos);
+  EXPECT_NE(page.value().find("banks:tuple/Paper/"), std::string::npos);
+}
+
+TEST_F(BrowserTest, TuplePageShowsBackwardLinks) {
+  auto page = browser_->TuplePage(kAuthorTable, 0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_NE(page.value().find("Referenced by"), std::string::npos);
+  EXPECT_NE(page.value().find("banks:refs/Author/0/writes_author"),
+            std::string::npos);
+}
+
+TEST_F(BrowserTest, TuplePageOutOfRange) {
+  auto page = browser_->TuplePage(kAuthorTable, 9999);
+  EXPECT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(BrowserTest, RefsPageListsReferencers) {
+  // Find an author with at least one paper.
+  const Table* writes = ds_->db.table(kWritesTable);
+  ASSERT_GT(writes->num_rows(), 0u);
+  const ForeignKey& fk = ds_->db.foreign_keys()[0];  // writes_author
+  auto to = ds_->db.ResolveFk(fk, Rid{writes->id(), 0});
+  ASSERT_TRUE(to.has_value());
+  auto page = browser_->RefsPage(kAuthorTable, to->row, "writes_author");
+  ASSERT_TRUE(page.ok());
+  EXPECT_NE(page.value().find("referencing tuples"), std::string::npos);
+  EXPECT_NE(page.value().find("banks:tuple/Writes/"), std::string::npos);
+}
+
+TEST_F(BrowserTest, NavigateDispatches) {
+  auto tuple_page = browser_->Navigate("banks:tuple/Author/0");
+  ASSERT_TRUE(tuple_page.ok());
+  auto refs_page = browser_->Navigate("banks:refs/Author/0/writes_author");
+  ASSERT_TRUE(refs_page.ok());
+  EXPECT_FALSE(browser_->Navigate("http://nope").ok());
+}
+
+TEST_F(BrowserTest, LinkTargetsResolve) {
+  // Follow the first banks: link found in a Writes page; it must navigate.
+  auto page = browser_->TablePage(kWritesTable, 0, 3);
+  ASSERT_TRUE(page.ok());
+  size_t pos = page.value().find("href=\"banks:");
+  ASSERT_NE(pos, std::string::npos);
+  size_t end = page.value().find('"', pos + 6);
+  std::string uri = page.value().substr(pos + 6, end - pos - 6);
+  EXPECT_TRUE(browser_->Navigate(uri).ok()) << uri;
+}
+
+TEST_F(BrowserTest, SchemaPageListsAllTables) {
+  std::string page = browser_->SchemaPage();
+  for (const auto& name : ds_->db.table_names()) {
+    EXPECT_NE(page.find(name), std::string::npos);
+  }
+  EXPECT_NE(page.find("PK"), std::string::npos);
+}
+
+TEST_F(BrowserTest, RenderViewEscapesHtml) {
+  Database db;
+  ASSERT_TRUE(
+      db.CreateTable(TableSchema("T", {{"x", ValueType::kString}}, {"x"}))
+          .ok());
+  ASSERT_TRUE(db.Insert("T", Tuple({Value("<script>alert(1)</script>")}))
+                  .ok());
+  Browser b(db);
+  auto view = TableView::FromTable(db, "T");
+  std::string html = b.RenderView(view.value(), "t");
+  EXPECT_EQ(html.find("<script>alert"), std::string::npos);
+  EXPECT_NE(html.find("&lt;script&gt;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace banks

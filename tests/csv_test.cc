@@ -1,0 +1,134 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace banks {
+namespace {
+
+TEST(CsvLineTest, SimpleFields) {
+  auto f = ParseCsvLine("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(CsvLineTest, QuotedFieldsWithCommas) {
+  auto f = ParseCsvLine("\"a,b\",c");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "a,b");
+  EXPECT_EQ(f[1], "c");
+}
+
+TEST(CsvLineTest, EscapedQuotes) {
+  auto f = ParseCsvLine("\"say \"\"hi\"\"\",x");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "say \"hi\"");
+}
+
+TEST(CsvLineTest, EmptyFields) {
+  auto f = ParseCsvLine(",,");
+  ASSERT_EQ(f.size(), 3u);
+  for (const auto& s : f) EXPECT_EQ(s, "");
+}
+
+TEST(CsvEscapeTest, OnlyWhenNeeded) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("q\"q"), "\"q\"\"q\"");
+}
+
+TEST(CsvEscapeTest, RoundTrip) {
+  std::string original = "tricky, \"quoted\" field";
+  auto fields = ParseCsvLine(CsvEscape(original) + ",tail");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], original);
+}
+
+class CsvDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("banks_csv_test_" + std::to_string(::getpid()));
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvDbTest, SaveLoadRoundTrip) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(TableSchema("Author",
+                                         {{"AuthorId", ValueType::kString},
+                                          {"AuthorName", ValueType::kString},
+                                          {"HIndex", ValueType::kInt},
+                                          {"Score", ValueType::kDouble}},
+                                         {"AuthorId"}))
+                  .ok());
+  ASSERT_TRUE(db.CreateTable(TableSchema("Paper",
+                                         {{"PaperId", ValueType::kString},
+                                          {"Title", ValueType::kString},
+                                          {"Lead", ValueType::kString}},
+                                         {"PaperId"}))
+                  .ok());
+  ASSERT_TRUE(db.AddForeignKey(ForeignKey{"paper_lead", "Paper", {"Lead"},
+                                          "Author", {"AuthorId"}})
+                  .ok());
+  ASSERT_TRUE(db.Insert("Author", Tuple({Value("a1"), Value("Grace, Hopper"),
+                                         Value(int64_t{50}), Value(1.25)}))
+                  .ok());
+  ASSERT_TRUE(db.Insert("Author", Tuple({Value("a2"), Value("says \"hi\""),
+                                         Value::Null(), Value::Null()}))
+                  .ok());
+  ASSERT_TRUE(db.Insert("Paper", Tuple({Value("p1"), Value("Compilers"),
+                                        Value("a1")}))
+                  .ok());
+
+  ASSERT_TRUE(SaveDatabase(db, dir_.string()).ok());
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Database& db2 = loaded.value();
+
+  EXPECT_EQ(db2.num_tables(), 2u);
+  EXPECT_EQ(db2.TotalRows(), 3u);
+  ASSERT_EQ(db2.foreign_keys().size(), 1u);
+  EXPECT_EQ(db2.foreign_keys()[0].name, "paper_lead");
+
+  const Table* a = db2.table("Author");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->row(0).at(1).AsString(), "Grace, Hopper");
+  EXPECT_EQ(a->row(0).at(2).AsInt(), 50);
+  EXPECT_DOUBLE_EQ(a->row(0).at(3).AsDouble(), 1.25);
+  EXPECT_EQ(a->row(1).at(1).AsString(), "says \"hi\"");
+  EXPECT_TRUE(a->row(1).at(2).is_null());
+
+  // FK still resolves after the round trip.
+  const Table* p = db2.table("Paper");
+  auto to = db2.ResolveFk(db2.foreign_keys()[0], Rid{p->id(), 0});
+  ASSERT_TRUE(to.has_value());
+  EXPECT_EQ(db2.Get(*to)->at(0).AsString(), "a1");
+}
+
+TEST_F(CsvDbTest, LoadMissingDirectoryFails) {
+  auto r = LoadDatabase((dir_ / "nope").string());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvDbTest, CompositePkRoundTrip) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(TableSchema("W",
+                                         {{"a", ValueType::kString},
+                                          {"p", ValueType::kString}},
+                                         {"a", "p"}))
+                  .ok());
+  ASSERT_TRUE(db.Insert("W", Tuple({Value("x"), Value("y")})).ok());
+  ASSERT_TRUE(SaveDatabase(db, dir_.string()).ok());
+  auto loaded = LoadDatabase(dir_.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().table("W")->schema().primary_key().size(), 2u);
+}
+
+}  // namespace
+}  // namespace banks

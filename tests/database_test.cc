@@ -1,0 +1,150 @@
+#include "storage/database.h"
+
+#include <gtest/gtest.h>
+
+namespace banks {
+namespace {
+
+// Small two-table schema: Child.parent -> Parent.id.
+Database MakeDb() {
+  Database db;
+  EXPECT_TRUE(db.CreateTable(TableSchema("Parent",
+                                         {{"id", ValueType::kString},
+                                          {"name", ValueType::kString}},
+                                         {"id"}))
+                  .ok());
+  EXPECT_TRUE(db.CreateTable(TableSchema("Child",
+                                         {{"id", ValueType::kString},
+                                          {"parent", ValueType::kString}},
+                                         {"id"}))
+                  .ok());
+  EXPECT_TRUE(db.AddForeignKey(ForeignKey{"child_parent", "Child", {"parent"},
+                                          "Parent", {"id"}})
+                  .ok());
+  return db;
+}
+
+TEST(DatabaseTest, CreateTableRejectsDuplicates) {
+  Database db = MakeDb();
+  auto s = db.CreateTable(TableSchema("Parent", {{"x", ValueType::kInt}}, {}));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, TableLookupByNameAndId) {
+  Database db = MakeDb();
+  const Table* p = db.table("Parent");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(db.table(p->id()), p);
+  EXPECT_EQ(db.table("Nope"), nullptr);
+  EXPECT_EQ(db.table(99u), nullptr);
+}
+
+TEST(DatabaseTest, FkValidation) {
+  Database db = MakeDb();
+  // Unknown tables.
+  EXPECT_FALSE(db.AddForeignKey(
+                    ForeignKey{"bad1", "Nope", {"x"}, "Parent", {"id"}})
+                   .ok());
+  EXPECT_FALSE(db.AddForeignKey(
+                    ForeignKey{"bad2", "Child", {"parent"}, "Nope", {"id"}})
+                   .ok());
+  // Unknown referencing column.
+  EXPECT_FALSE(db.AddForeignKey(
+                    ForeignKey{"bad3", "Child", {"zzz"}, "Parent", {"id"}})
+                   .ok());
+  // Referenced columns must be the PK.
+  EXPECT_FALSE(db.AddForeignKey(
+                    ForeignKey{"bad4", "Child", {"parent"}, "Parent", {"name"}})
+                   .ok());
+  // Duplicate FK name.
+  EXPECT_FALSE(db.AddForeignKey(ForeignKey{"child_parent", "Child",
+                                           {"parent"}, "Parent", {"id"}})
+                   .ok());
+}
+
+TEST(DatabaseTest, InsertAndGet) {
+  Database db = MakeDb();
+  auto p = db.Insert("Parent", Tuple({Value("p1"), Value("first")}));
+  ASSERT_TRUE(p.ok());
+  const Tuple* t = db.Get(p.value());
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->at(1).AsString(), "first");
+  EXPECT_EQ(db.Get(Rid{77, 0}), nullptr);
+}
+
+TEST(DatabaseTest, ResolveFk) {
+  Database db = MakeDb();
+  auto p = db.Insert("Parent", Tuple({Value("p1"), Value("first")}));
+  auto c = db.Insert("Child", Tuple({Value("c1"), Value("p1")}));
+  ASSERT_TRUE(p.ok() && c.ok());
+  const ForeignKey& fk = db.foreign_keys()[0];
+  auto to = db.ResolveFk(fk, c.value());
+  ASSERT_TRUE(to.has_value());
+  EXPECT_EQ(*to, p.value());
+}
+
+TEST(DatabaseTest, ResolveFkNullAndDangling) {
+  Database db = MakeDb();
+  auto c_null = db.Insert("Child", Tuple({Value("c1"), Value::Null()}));
+  auto c_dangling = db.Insert("Child", Tuple({Value("c2"), Value("ghost")}));
+  ASSERT_TRUE(c_null.ok() && c_dangling.ok());
+  const ForeignKey& fk = db.foreign_keys()[0];
+  EXPECT_FALSE(db.ResolveFk(fk, c_null.value()).has_value());
+  EXPECT_FALSE(db.ResolveFk(fk, c_dangling.value()).has_value());
+}
+
+TEST(DatabaseTest, ReferencesAndReferencingTuples) {
+  Database db = MakeDb();
+  auto p = db.Insert("Parent", Tuple({Value("p1"), Value("x")}));
+  auto c1 = db.Insert("Child", Tuple({Value("c1"), Value("p1")}));
+  auto c2 = db.Insert("Child", Tuple({Value("c2"), Value("p1")}));
+  ASSERT_TRUE(p.ok() && c1.ok() && c2.ok());
+
+  auto refs = db.References(c1.value());
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].to, p.value());
+  EXPECT_EQ(refs[0].fk_name, "child_parent");
+
+  auto back = db.ReferencingTuples(p.value());
+  EXPECT_EQ(back.size(), 2u);
+}
+
+TEST(DatabaseTest, ReverseIndexInvalidatedByInsert) {
+  Database db = MakeDb();
+  auto p = db.Insert("Parent", Tuple({Value("p1"), Value("x")}));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(db.ReferencingTuples(p.value()).size(), 0u);
+  // Insert after the reverse index was built; it must refresh.
+  ASSERT_TRUE(db.Insert("Child", Tuple({Value("c1"), Value("p1")})).ok());
+  EXPECT_EQ(db.ReferencingTuples(p.value()).size(), 1u);
+}
+
+TEST(DatabaseTest, OutgoingIncomingFks) {
+  Database db = MakeDb();
+  EXPECT_EQ(db.OutgoingFks("Child").size(), 1u);
+  EXPECT_EQ(db.OutgoingFks("Parent").size(), 0u);
+  EXPECT_EQ(db.IncomingFks("Parent").size(), 1u);
+  EXPECT_EQ(db.IncomingFks("Child").size(), 0u);
+}
+
+TEST(DatabaseTest, TotalRowsAndNames) {
+  Database db = MakeDb();
+  ASSERT_TRUE(db.Insert("Parent", Tuple({Value("p1"), Value("x")})).ok());
+  ASSERT_TRUE(db.Insert("Child", Tuple({Value("c1"), Value("p1")})).ok());
+  ASSERT_TRUE(db.Insert("Child", Tuple({Value("c2"), Value("p1")})).ok());
+  EXPECT_EQ(db.TotalRows(), 3u);
+  auto names = db.table_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "Parent");
+  EXPECT_EQ(names[1], "Child");
+}
+
+TEST(DatabaseTest, InsertIntoUnknownTable) {
+  Database db = MakeDb();
+  auto r = db.Insert("Ghost", Tuple({Value("x")}));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace banks

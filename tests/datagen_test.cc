@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "datagen/dblp_gen.h"
+#include "datagen/names.h"
+#include "datagen/thesis_gen.h"
+#include "datagen/tpcd_gen.h"
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+
+namespace banks {
+namespace {
+
+TEST(NamePoolTest, Deterministic) {
+  Rng a(1), b(1);
+  EXPECT_EQ(NamePool::PersonName(&a), NamePool::PersonName(&b));
+  EXPECT_EQ(NamePool::PaperTitle(&a, 4), NamePool::PaperTitle(&b, 4));
+}
+
+TEST(NamePoolTest, TitleHasRequestedWords) {
+  Rng rng(2);
+  std::string title = NamePool::PaperTitle(&rng, 5);
+  int spaces = 0;
+  for (char c : title) spaces += (c == ' ');
+  EXPECT_EQ(spaces, 4);
+}
+
+TEST(DblpGenTest, RespectsConfiguredSizes) {
+  DblpConfig config;
+  config.num_authors = 120;
+  config.num_papers = 250;
+  DblpDataset ds = GenerateDblp(config);
+  EXPECT_EQ(ds.db.table(kAuthorTable)->num_rows(), 120u);
+  EXPECT_GE(ds.db.table(kPaperTable)->num_rows(), 250u);
+  EXPECT_GT(ds.db.table(kWritesTable)->num_rows(), 0u);
+  EXPECT_GT(ds.db.table(kCitesTable)->num_rows(), 0u);
+}
+
+TEST(DblpGenTest, DeterministicForSeed) {
+  DblpConfig config;
+  config.num_authors = 50;
+  config.num_papers = 80;
+  DblpDataset a = GenerateDblp(config);
+  DblpDataset b = GenerateDblp(config);
+  EXPECT_EQ(a.db.table(kWritesTable)->num_rows(),
+            b.db.table(kWritesTable)->num_rows());
+  EXPECT_EQ(a.db.table(kPaperTable)->row(10).at(1).AsString(),
+            b.db.table(kPaperTable)->row(10).at(1).AsString());
+  config.seed = 777;
+  DblpDataset c = GenerateDblp(config);
+  // Compare the last *filler author* (small configs may have no filler
+  // papers, but 50 authors always exceed the planted set).
+  uint32_t last = static_cast<uint32_t>(
+      a.db.table(kAuthorTable)->num_rows() - 1);
+  EXPECT_NE(a.db.table(kAuthorTable)->row(last).at(1).AsString(),
+            c.db.table(kAuthorTable)->row(last).at(1).AsString());
+}
+
+TEST(DblpGenTest, AllFksResolve) {
+  DblpConfig config;
+  config.num_authors = 50;
+  config.num_papers = 80;
+  DblpDataset ds = GenerateDblp(config);
+  for (const auto& fk : ds.db.foreign_keys()) {
+    const Table* from = ds.db.table(fk.table);
+    for (uint32_t r = 0; r < from->num_rows(); ++r) {
+      EXPECT_TRUE(ds.db.ResolveFk(fk, Rid{from->id(), r}).has_value())
+          << fk.name << " row " << r;
+    }
+  }
+}
+
+TEST(DblpGenTest, PlantedAnecdoteEntitiesPresent) {
+  DblpDataset ds = GenerateDblp(DblpConfig{});
+  const Table* author = ds.db.table(kAuthorTable);
+  auto find_author = [&](const std::string& id) {
+    return author->LookupPk({Value(id)});
+  };
+  EXPECT_TRUE(find_author(ds.planted.c_mohan).has_value());
+  EXPECT_TRUE(find_author(ds.planted.soumen).has_value());
+  EXPECT_TRUE(find_author(ds.planted.stonebraker).has_value());
+  const Table* paper = ds.db.table(kPaperTable);
+  EXPECT_TRUE(
+      paper->LookupPk({Value(ds.planted.gray_transaction_paper)}).has_value());
+  ASSERT_EQ(ds.planted.soumen_sunita_papers.size(), 2u);
+}
+
+TEST(DblpGenTest, MohanProlificnessOrdering) {
+  DblpDataset ds = GenerateDblp(DblpConfig{});
+  auto papers_of = [&](const std::string& author_id) {
+    size_t count = 0;
+    const Table* writes = ds.db.table(kWritesTable);
+    for (uint32_t r = 0; r < writes->num_rows(); ++r) {
+      if (writes->row(r).at(0).AsString() == author_id) ++count;
+    }
+    return count;
+  };
+  EXPECT_GT(papers_of(ds.planted.c_mohan), papers_of(ds.planted.mohan_ahuja));
+  EXPECT_GT(papers_of(ds.planted.mohan_ahuja),
+            papers_of(ds.planted.mohan_kamat));
+  EXPECT_GT(papers_of(ds.planted.stonebraker), 30u);
+}
+
+TEST(DblpGenTest, GrayClassicsHeavilyCited) {
+  DblpDataset ds = GenerateDblp(DblpConfig{});
+  auto citations_of = [&](const std::string& paper_id) {
+    size_t count = 0;
+    const Table* cites = ds.db.table(kCitesTable);
+    for (uint32_t r = 0; r < cites->num_rows(); ++r) {
+      if (cites->row(r).at(1).AsString() == paper_id) ++count;
+    }
+    return count;
+  };
+  size_t classic = citations_of(ds.planted.gray_transaction_paper);
+  size_t book = citations_of(ds.planted.gray_reuter_book);
+  EXPECT_GT(classic, 20u);
+  EXPECT_GT(book, 10u);
+  // Median filler paper has far fewer citations than the classics.
+  size_t filler = citations_of("P500");
+  EXPECT_GT(classic, filler * 3);
+}
+
+TEST(DblpGenTest, NoAnecdotesMode) {
+  DblpConfig config;
+  config.plant_anecdotes = false;
+  config.num_authors = 30;
+  config.num_papers = 40;
+  DblpDataset ds = GenerateDblp(config);
+  EXPECT_TRUE(ds.planted.c_mohan.empty());
+  EXPECT_EQ(ds.db.table(kAuthorTable)->num_rows(), 30u);
+}
+
+TEST(DblpGenTest, GraphScalesToPaperSize) {
+  // The paper's dataset: ~100K nodes / ~300K edges. Verify the generator
+  // can be configured into that regime (shrunk 10x here for test speed).
+  DblpConfig config;
+  config.num_authors = 2500;
+  config.num_papers = 4200;
+  config.cites_per_paper_mean = 1.2;
+  DblpDataset ds = GenerateDblp(config);
+  DataGraph dg = BuildDataGraph(ds.db);
+  EXPECT_GT(dg.graph.num_nodes(), 9'000u);
+  EXPECT_GT(dg.graph.num_edges(), 2 * dg.graph.num_nodes());
+}
+
+TEST(ThesisGenTest, SchemaAndSizes) {
+  ThesisConfig config;
+  config.num_faculty = 30;
+  config.num_students = 100;
+  ThesisDataset ds = GenerateThesis(config);
+  EXPECT_EQ(ds.db.table(kFacultyTable)->num_rows(), 30u);
+  EXPECT_EQ(ds.db.table(kStudentTable)->num_rows(), 100u);
+  EXPECT_GT(ds.db.table(kThesisTable)->num_rows(), 50u);
+}
+
+TEST(ThesisGenTest, PlantedAdvisorStudentThesis) {
+  ThesisDataset ds = GenerateThesis(ThesisConfig{});
+  const Table* thesis = ds.db.table(kThesisTable);
+  auto row = thesis->LookupPk({Value(ds.planted.aditya_thesis)});
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(thesis->row(*row).at(2).AsString(), ds.planted.aditya);
+  EXPECT_EQ(thesis->row(*row).at(3).AsString(), ds.planted.sudarshan);
+}
+
+TEST(ThesisGenTest, CseDepartmentIsPopular) {
+  ThesisDataset ds = GenerateThesis(ThesisConfig{});
+  const Table* dept = ds.db.table(kDeptTable);
+  auto cse = dept->LookupPk({Value(ds.planted.cse_dept)});
+  ASSERT_TRUE(cse.has_value());
+  size_t cse_refs = ds.db.ReferencingTuples(Rid{dept->id(), *cse}).size();
+  // CSE (30% student/faculty mass) must beat the average department.
+  size_t total_refs = 0;
+  for (uint32_t r = 0; r < dept->num_rows(); ++r) {
+    total_refs += ds.db.ReferencingTuples(Rid{dept->id(), r}).size();
+  }
+  EXPECT_GT(cse_refs, total_refs / dept->num_rows());
+}
+
+TEST(ThesisGenTest, AllFksResolve) {
+  ThesisDataset ds = GenerateThesis(ThesisConfig{});
+  for (const auto& fk : ds.db.foreign_keys()) {
+    const Table* from = ds.db.table(fk.table);
+    for (uint32_t r = 0; r < from->num_rows(); ++r) {
+      EXPECT_TRUE(ds.db.ResolveFk(fk, Rid{from->id(), r}).has_value());
+    }
+  }
+}
+
+TEST(TpcdGenTest, SchemaAndPlantedWidgets) {
+  TpcdDataset ds = GenerateTpcd(TpcdConfig{});
+  EXPECT_EQ(ds.db.table(kOrdersTable)->num_rows(), 600u);
+  const Table* part = ds.db.table(kPartTable);
+  auto popular = part->LookupPk({Value(ds.planted.popular_widget)});
+  auto obscure = part->LookupPk({Value(ds.planted.obscure_widget)});
+  ASSERT_TRUE(popular.has_value() && obscure.has_value());
+  size_t popular_orders =
+      ds.db.ReferencingTuples(Rid{part->id(), *popular}).size();
+  size_t obscure_orders =
+      ds.db.ReferencingTuples(Rid{part->id(), *obscure}).size();
+  EXPECT_EQ(obscure_orders, 1u);
+  EXPECT_GT(popular_orders, 10u);
+}
+
+TEST(TpcdGenTest, PrestigeExample) {
+  // §2.1: with two keyword-matching parts, the one with more orders gets
+  // higher prestige (indegree).
+  TpcdDataset ds = GenerateTpcd(TpcdConfig{});
+  DataGraph dg = BuildDataGraph(ds.db);
+  const Table* part = ds.db.table(kPartTable);
+  NodeId popular = dg.NodeForRid(
+      Rid{part->id(), *part->LookupPk({Value(ds.planted.popular_widget)})});
+  NodeId obscure = dg.NodeForRid(
+      Rid{part->id(), *part->LookupPk({Value(ds.planted.obscure_widget)})});
+  EXPECT_GT(dg.graph.node_weight(popular), dg.graph.node_weight(obscure));
+}
+
+}  // namespace
+}  // namespace banks

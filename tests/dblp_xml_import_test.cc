@@ -1,0 +1,147 @@
+#include "datagen/dblp_xml_import.h"
+
+#include <gtest/gtest.h>
+
+#include "core/banks.h"
+#include "eval/workload.h"
+
+namespace banks {
+namespace {
+
+// A faithful slice of dblp.xml (structure per the real DTD, entities
+// escaped).
+const char* kDblpSlice = R"(<?xml version="1.0"?>
+<dblp>
+  <article key="journals/cacm/Gray81" mdate="2002-01-03">
+    <author>Jim Gray</author>
+    <title>The Transaction Concept: Virtues and Limitations</title>
+    <journal>CACM</journal>
+    <year>1981</year>
+  </article>
+  <book key="books/mk/GrayR93">
+    <author>Jim Gray</author>
+    <author>Andreas Reuter</author>
+    <title>Transaction Processing: Concepts and Techniques</title>
+    <year>1993</year>
+    <cite>journals/cacm/Gray81</cite>
+  </book>
+  <inproceedings key="conf/vldb/ChakrabartiSD98">
+    <author>Soumen Chakrabarti</author>
+    <author>Sunita Sarawagi</author>
+    <author>Byron Dom</author>
+    <title>Mining Surprising Patterns Using Temporal Description Length</title>
+    <booktitle>VLDB</booktitle>
+    <cite>journals/cacm/Gray81</cite>
+    <cite>...</cite>
+    <cite>conf/unknown/Missing99</cite>
+  </inproceedings>
+  <inproceedings key="conf/icde/BhalotiaHNCS02">
+    <author>Gaurav Bhalotia</author>
+    <author>Arvind Hulgeri</author>
+    <author>Charuta Nakhe</author>
+    <author>Soumen Chakrabarti</author>
+    <author>S. Sudarshan</author>
+    <title>Keyword Searching and Browsing in Databases using BANKS</title>
+    <cite>conf/vldb/ChakrabartiSD98</cite>
+  </inproceedings>
+  <www key="homepages/g/JimGray">
+    <author>Jim Gray</author>
+  </www>
+</dblp>
+)";
+
+TEST(DblpXmlImportTest, CountsAndStats) {
+  DblpImportStats stats;
+  auto db = ImportDblpXml(kDblpSlice, &stats);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(stats.publications, 4u);      // www record has no title
+  EXPECT_EQ(stats.records_skipped, 1u);
+  EXPECT_EQ(stats.authors, 9u);           // distinct names
+  EXPECT_EQ(stats.writes, 11u);
+  EXPECT_EQ(stats.citations_kept, 3u);
+  EXPECT_EQ(stats.citations_dropped, 2u);  // "..." and the missing key
+  EXPECT_EQ(db.value().table("Paper")->num_rows(), 4u);
+  EXPECT_EQ(db.value().table("Author")->num_rows(), 9u);
+}
+
+TEST(DblpXmlImportTest, AuthorsDedupedAcrossRecords) {
+  auto db = ImportDblpXml(kDblpSlice);
+  ASSERT_TRUE(db.ok());
+  // Jim Gray appears in 3 records but is one author tuple.
+  auto row = db.value().table("Author")->LookupPk({Value("JimGray")});
+  ASSERT_TRUE(row.has_value());
+  Rid rid{db.value().table("Author")->id(), *row};
+  EXPECT_EQ(db.value().ReferencingTuples(rid).size(), 2u);  // 2 titled pubs
+}
+
+TEST(DblpXmlImportTest, AllFksResolve) {
+  auto db = ImportDblpXml(kDblpSlice);
+  ASSERT_TRUE(db.ok());
+  for (const auto& fk : db.value().foreign_keys()) {
+    const Table* from = db.value().table(fk.table);
+    for (uint32_t r = 0; r < from->num_rows(); ++r) {
+      EXPECT_TRUE(db.value().ResolveFk(fk, Rid{from->id(), r}).has_value())
+          << fk.name << " row " << r;
+    }
+  }
+}
+
+TEST(DblpXmlImportTest, SearchOverImportedData) {
+  auto db = ImportDblpXml(kDblpSlice);
+  ASSERT_TRUE(db.ok());
+  BanksEngine engine(std::move(db).value(), EvalWorkload::DefaultOptions());
+
+  // The paper's own example query (§1): "sunita temporal".
+  auto result = engine.Search("sunita temporal");
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().answers.empty());
+  std::string rendered = engine.Render(result.value().answers[0]);
+  EXPECT_NE(rendered.find("Sunita Sarawagi"), std::string::npos);
+  EXPECT_NE(rendered.find("Temporal Description Length"),
+            std::string::npos);
+
+  // "soumen sunita" joins through the VLDB'98 paper.
+  auto result2 = engine.Search("soumen sunita");
+  ASSERT_TRUE(result2.ok());
+  ASSERT_FALSE(result2.value().answers.empty());
+  bool found = false;
+  for (NodeId n : result2.value().answers[0].Nodes()) {
+    ConnectionTree probe;
+    probe.root = n;
+    if (engine.RootLabel(probe) == "Paper(conf/vldb/ChakrabartiSD98)") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DblpXmlImportTest, DuplicateKeysSkipped) {
+  std::string xml =
+      "<dblp>"
+      "<article key=\"k1\"><author>A</author><title>T1</title></article>"
+      "<article key=\"k1\"><author>B</author><title>T2</title></article>"
+      "</dblp>";
+  DblpImportStats stats;
+  auto db = ImportDblpXml(xml, &stats);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(stats.publications, 1u);
+  EXPECT_EQ(stats.records_skipped, 1u);
+}
+
+TEST(DblpXmlImportTest, MalformedXmlRejected) {
+  EXPECT_FALSE(ImportDblpXml("<dblp><article>").ok());
+  EXPECT_FALSE(ImportDblpXmlFile("/nonexistent/dblp.xml").ok());
+}
+
+TEST(DblpXmlImportTest, EntitiesDecoded) {
+  std::string xml =
+      "<dblp><article key=\"k\"><author>K&amp;R</author>"
+      "<title>C &lt;Programming&gt;</title></article></dblp>";
+  auto db = ImportDblpXml(xml);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().table("Paper")->row(0).at(1).AsString(),
+            "C <Programming>");
+}
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,104 @@
+// Cross-validation of the shortest-path iterator against Floyd–Warshall on
+// random graphs: every settled distance must equal the all-pairs answer,
+// and the reconstructed paths must telescope to that distance.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "core/sp_iterator.h"
+#include "util/rng.h"
+
+namespace banks {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Graph RandomGraph(uint64_t seed, size_t n, size_t extra) {
+  Rng rng(seed);
+  Graph g(n);
+  for (NodeId u = 1; u < n; ++u) {
+    NodeId v = static_cast<NodeId>(rng.Uniform(u));
+    g.AddEdge(u, v, 1.0 + static_cast<double>(rng.Uniform(9)));
+  }
+  for (size_t e = 0; e < extra; ++e) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(n));
+    NodeId v = static_cast<NodeId>(rng.Uniform(n));
+    if (u == v) continue;
+    g.AddEdge(u, v, 1.0 + static_cast<double>(rng.Uniform(9)));
+  }
+  return g;
+}
+
+// dist[u][v] = weight of the shortest *forward* path u -> v.
+std::vector<std::vector<double>> FloydWarshall(const Graph& g) {
+  const size_t n = g.num_nodes();
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, kInf));
+  for (NodeId u = 0; u < n; ++u) {
+    dist[u][u] = 0;
+    for (const auto& e : g.OutEdges(u)) {
+      dist[u][e.to] = std::min(dist[u][e.to], e.weight);
+    }
+  }
+  for (NodeId k = 0; k < n; ++k) {
+    for (NodeId i = 0; i < n; ++i) {
+      if (dist[i][k] == kInf) continue;
+      for (NodeId j = 0; j < n; ++j) {
+        if (dist[k][j] == kInf) continue;
+        dist[i][j] = std::min(dist[i][j], dist[i][k] + dist[k][j]);
+      }
+    }
+  }
+  return dist;
+}
+
+class DijkstraVsFloydTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DijkstraVsFloydTest, DistancesMatchAllPairs) {
+  const uint64_t seed = GetParam();
+  Graph g = RandomGraph(seed, 24, 30);
+  auto apsp = FloydWarshall(g);
+
+  Rng rng(seed * 31 + 7);
+  for (int trial = 0; trial < 4; ++trial) {
+    NodeId source = static_cast<NodeId>(rng.Uniform(g.num_nodes()));
+    SpIterator it(g, source);
+    size_t settled = 0;
+    double last = -1;
+    while (it.HasNext()) {
+      auto v = it.Next();
+      ++settled;
+      // Monotone non-decreasing output order.
+      EXPECT_GE(v.distance, last);
+      last = v.distance;
+      // Reverse iterator distance == forward shortest path node -> source.
+      EXPECT_DOUBLE_EQ(v.distance, apsp[v.node][source])
+          << "node " << v.node << " source " << source;
+      // Path telescopes: consecutive forward edges summing to the distance.
+      auto path = it.PathToSource(v.node);
+      ASSERT_FALSE(path.empty());
+      double sum = 0;
+      for (size_t i = 0; i + 1 < path.size(); ++i) {
+        double best = kInf;
+        for (const auto& e : g.OutEdges(path[i])) {
+          if (e.to == path[i + 1]) best = std::min(best, e.weight);
+        }
+        ASSERT_NE(best, kInf) << "path uses a non-edge";
+        sum += best;
+      }
+      EXPECT_LE(sum, v.distance + 1e-9);  // path at least as good
+    }
+    // Exactly the nodes with finite forward distance to source settle.
+    size_t reachable = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      reachable += (apsp[u][source] < kInf);
+    }
+    EXPECT_EQ(settled, reachable);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraVsFloydTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,54 @@
+#include "graph/edge_weight.h"
+
+#include <gtest/gtest.h>
+
+namespace banks {
+namespace {
+
+TEST(SimilarityMatrixTest, DefaultIsOne) {
+  SimilarityMatrix sim;
+  EXPECT_DOUBLE_EQ(sim.Get("A", "B"), 1.0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimilarityMatrixTest, SetAndGetIsDirectional) {
+  SimilarityMatrix sim;
+  sim.Set("Cites", "Paper", 2.0);
+  EXPECT_DOUBLE_EQ(sim.Get("Cites", "Paper"), 2.0);
+  EXPECT_DOUBLE_EQ(sim.Get("Paper", "Cites"), 1.0);  // asymmetric
+}
+
+TEST(SimilarityMatrixTest, Overwrite) {
+  SimilarityMatrix sim;
+  sim.Set("A", "B", 2.0);
+  sim.Set("A", "B", 3.0);
+  EXPECT_DOUBLE_EQ(sim.Get("A", "B"), 3.0);
+}
+
+TEST(CombineBothLinksTest, Min) {
+  EXPECT_DOUBLE_EQ(CombineBothLinks(2.0, 5.0, BothLinkCombine::kMin), 2.0);
+  EXPECT_DOUBLE_EQ(CombineBothLinks(5.0, 2.0, BothLinkCombine::kMin), 2.0);
+}
+
+TEST(CombineBothLinksTest, ParallelResistance) {
+  // Two equal resistances halve; 2||2 = 1.
+  EXPECT_DOUBLE_EQ(
+      CombineBothLinks(2.0, 2.0, BothLinkCombine::kParallelResistance), 1.0);
+  // Parallel is always <= min.
+  EXPECT_LE(CombineBothLinks(3.0, 7.0, BothLinkCombine::kParallelResistance),
+            3.0);
+}
+
+TEST(BackwardEdgeWeightTest, ProportionalToIndegree) {
+  EXPECT_DOUBLE_EQ(BackwardEdgeWeight(1.0, 5), 5.0);
+  EXPECT_DOUBLE_EQ(BackwardEdgeWeight(2.0, 5), 10.0);
+}
+
+TEST(BackwardEdgeWeightTest, AtLeastTheSimilarity) {
+  // An indegree of zero cannot happen for a live link; clamp to 1.
+  EXPECT_DOUBLE_EQ(BackwardEdgeWeight(1.5, 0), 1.5);
+  EXPECT_DOUBLE_EQ(BackwardEdgeWeight(1.0, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,119 @@
+#include "eval/error_score.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/dblp_gen.h"
+
+namespace banks {
+namespace {
+
+TEST(ErrorScoreMathTest, RawError) {
+  // Ideals expected at ranks 1, 2; found at 1, 2: zero error.
+  EXPECT_DOUBLE_EQ(RawErrorScore({1, 2}), 0.0);
+  // Found at 3, 1: |1-3| + |2-1| = 3.
+  EXPECT_DOUBLE_EQ(RawErrorScore({3, 1}), 3.0);
+  // Missing (11): |1-11| = 10.
+  EXPECT_DOUBLE_EQ(RawErrorScore({11}), 10.0);
+  EXPECT_DOUBLE_EQ(RawErrorScore({}), 0.0);
+}
+
+TEST(ErrorScoreMathTest, WorstError) {
+  // All missing at rank 11: 10 + 9 + 8 for three ideals.
+  EXPECT_DOUBLE_EQ(WorstErrorScore(3), 27.0);
+  EXPECT_DOUBLE_EQ(WorstErrorScore(1), 10.0);
+}
+
+TEST(ErrorScoreMathTest, ScaledErrorBounds) {
+  EXPECT_DOUBLE_EQ(ScaledErrorScore({1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(ScaledErrorScore({11, 11, 11}), 100.0);
+  double partial = ScaledErrorScore({1, 11});
+  EXPECT_GT(partial, 0.0);
+  EXPECT_LT(partial, 100.0);
+}
+
+TEST(ErrorScoreMathTest, CustomMissingRank) {
+  EXPECT_DOUBLE_EQ(WorstErrorScore(1, 21), 20.0);
+  EXPECT_DOUBLE_EQ(ScaledErrorScore({21}, 21), 100.0);
+}
+
+class IdealMatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DblpConfig config;
+    config.num_authors = 30;
+    config.num_papers = 40;
+    ds_ = new DblpDataset(GenerateDblp(config));
+    dg_ = new DataGraph(BuildDataGraph(ds_->db));
+  }
+  static void TearDownTestSuite() {
+    delete dg_;
+    delete ds_;
+    dg_ = nullptr;
+    ds_ = nullptr;
+  }
+  static DblpDataset* ds_;
+  static DataGraph* dg_;
+
+  NodeId AuthorNode(const std::string& id) {
+    const Table* t = ds_->db.table(kAuthorTable);
+    return dg_->NodeForRid(Rid{t->id(), *t->LookupPk({Value(id)})});
+  }
+};
+
+DblpDataset* IdealMatchTest::ds_ = nullptr;
+DataGraph* IdealMatchTest::dg_ = nullptr;
+
+TEST_F(IdealMatchTest, MatchesWhenAllRequiredNodesPresent) {
+  ConnectionTree tree;
+  tree.root = AuthorNode(ds_->planted.soumen);
+  IdealAnswer ideal{"soumen", {{kAuthorTable, ds_->planted.soumen}}};
+  EXPECT_TRUE(MatchesIdeal(tree, ideal, *dg_, ds_->db));
+  IdealAnswer other{"sunita", {{kAuthorTable, ds_->planted.sunita}}};
+  EXPECT_FALSE(MatchesIdeal(tree, other, *dg_, ds_->db));
+}
+
+TEST_F(IdealMatchTest, MultiRequirementNeedsAll) {
+  ConnectionTree tree;
+  tree.root = AuthorNode(ds_->planted.soumen);
+  IdealAnswer both{"pair",
+                   {{kAuthorTable, ds_->planted.soumen},
+                    {kAuthorTable, ds_->planted.sunita}}};
+  EXPECT_FALSE(MatchesIdeal(tree, both, *dg_, ds_->db));
+  tree.edges.push_back(
+      TreeEdge{tree.root, AuthorNode(ds_->planted.sunita), 1.0});
+  EXPECT_TRUE(MatchesIdeal(tree, both, *dg_, ds_->db));
+}
+
+TEST_F(IdealMatchTest, IdealRanksAssignsFirstMatch) {
+  ConnectionTree t_soumen;
+  t_soumen.root = AuthorNode(ds_->planted.soumen);
+  ConnectionTree t_sunita;
+  t_sunita.root = AuthorNode(ds_->planted.sunita);
+
+  std::vector<IdealAnswer> ideals = {
+      {"sunita", {{kAuthorTable, ds_->planted.sunita}}},
+      {"soumen", {{kAuthorTable, ds_->planted.soumen}}},
+      {"byron", {{kAuthorTable, ds_->planted.byron}}}};
+  auto ranks = IdealRanks({t_soumen, t_sunita}, ideals, *dg_, ds_->db);
+  ASSERT_EQ(ranks.size(), 3u);
+  EXPECT_EQ(ranks[0], 2);   // sunita found at answer 2
+  EXPECT_EQ(ranks[1], 1);   // soumen at answer 1
+  EXPECT_EQ(ranks[2], 11);  // byron missing
+}
+
+TEST_F(IdealMatchTest, EachAnswerSatisfiesAtMostOneIdeal) {
+  // One answer containing both soumen and sunita cannot satisfy two ideals.
+  ConnectionTree combined;
+  combined.root = AuthorNode(ds_->planted.soumen);
+  combined.edges.push_back(
+      TreeEdge{combined.root, AuthorNode(ds_->planted.sunita), 1.0});
+  std::vector<IdealAnswer> ideals = {
+      {"soumen", {{kAuthorTable, ds_->planted.soumen}}},
+      {"sunita", {{kAuthorTable, ds_->planted.sunita}}}};
+  auto ranks = IdealRanks({combined}, ideals, *dg_, ds_->db);
+  EXPECT_EQ(ranks[0], 1);
+  EXPECT_EQ(ranks[1], 11);
+}
+
+}  // namespace
+}  // namespace banks

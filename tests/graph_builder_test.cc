@@ -1,0 +1,187 @@
+#include "graph/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace banks {
+namespace {
+
+// University-style hub schema from §2.1: students reference a department.
+Database MakeUniversityDb(int num_students) {
+  Database db;
+  EXPECT_TRUE(db.CreateTable(TableSchema("Dept",
+                                         {{"id", ValueType::kString},
+                                          {"name", ValueType::kString}},
+                                         {"id"}))
+                  .ok());
+  EXPECT_TRUE(db.CreateTable(TableSchema("Student",
+                                         {{"roll", ValueType::kString},
+                                          {"dept", ValueType::kString}},
+                                         {"roll"}))
+                  .ok());
+  EXPECT_TRUE(db.AddForeignKey(
+                    ForeignKey{"student_dept", "Student", {"dept"}, "Dept",
+                               {"id"}})
+                  .ok());
+  EXPECT_TRUE(db.Insert("Dept", Tuple({Value("d1"), Value("CSE")})).ok());
+  for (int i = 0; i < num_students; ++i) {
+    EXPECT_TRUE(db.Insert("Student", Tuple({Value("s" + std::to_string(i)),
+                                            Value("d1")}))
+                    .ok());
+  }
+  return db;
+}
+
+TEST(GraphBuilderTest, NodesMatchTuples) {
+  Database db = MakeUniversityDb(3);
+  DataGraph dg = BuildDataGraph(db);
+  EXPECT_EQ(dg.graph.num_nodes(), 4u);  // 1 dept + 3 students
+  EXPECT_EQ(dg.node_rid.size(), 4u);
+  // Round-trip Rid <-> NodeId.
+  for (NodeId n = 0; n < dg.graph.num_nodes(); ++n) {
+    EXPECT_EQ(dg.NodeForRid(dg.RidForNode(n)), n);
+  }
+}
+
+TEST(GraphBuilderTest, ForwardAndBackwardEdges) {
+  Database db = MakeUniversityDb(3);
+  DataGraph dg = BuildDataGraph(db);
+  // Each student link contributes a forward and a backward edge.
+  EXPECT_EQ(dg.graph.num_edges(), 6u);
+
+  NodeId dept = dg.NodeForRid(Rid{db.table("Dept")->id(), 0});
+  NodeId s0 = dg.NodeForRid(Rid{db.table("Student")->id(), 0});
+  // Forward: student -> dept, weight 1 (default similarity).
+  EXPECT_DOUBLE_EQ(dg.graph.EdgeWeight(s0, dept), 1.0);
+  // Backward: dept -> student, weight = #links into dept from Students = 3.
+  EXPECT_DOUBLE_EQ(dg.graph.EdgeWeight(dept, s0), 3.0);
+}
+
+TEST(GraphBuilderTest, HubDampingScalesWithPopulation) {
+  Database small = MakeUniversityDb(2);
+  Database big = MakeUniversityDb(50);
+  DataGraph dg_small = BuildDataGraph(small);
+  DataGraph dg_big = BuildDataGraph(big);
+
+  NodeId dept_s = dg_small.NodeForRid(Rid{small.table("Dept")->id(), 0});
+  NodeId stu_s = dg_small.NodeForRid(Rid{small.table("Student")->id(), 0});
+  NodeId dept_b = dg_big.NodeForRid(Rid{big.table("Dept")->id(), 0});
+  NodeId stu_b = dg_big.NodeForRid(Rid{big.table("Student")->id(), 0});
+
+  // §2.1: more students => heavier back edges => students farther apart.
+  EXPECT_DOUBLE_EQ(dg_small.graph.EdgeWeight(dept_s, stu_s), 2.0);
+  EXPECT_DOUBLE_EQ(dg_big.graph.EdgeWeight(dept_b, stu_b), 50.0);
+}
+
+TEST(GraphBuilderTest, UnitBackwardEdgesAblation) {
+  Database db = MakeUniversityDb(10);
+  GraphBuildOptions options;
+  options.unit_backward_edges = true;
+  DataGraph dg = BuildDataGraph(db, options);
+  NodeId dept = dg.NodeForRid(Rid{db.table("Dept")->id(), 0});
+  NodeId s0 = dg.NodeForRid(Rid{db.table("Student")->id(), 0});
+  EXPECT_DOUBLE_EQ(dg.graph.EdgeWeight(dept, s0), 1.0);
+}
+
+TEST(GraphBuilderTest, SimilarityMatrixScalesWeights) {
+  Database db = MakeUniversityDb(2);
+  GraphBuildOptions options;
+  options.similarity.Set("Student", "Dept", 4.0);
+  DataGraph dg = BuildDataGraph(db, options);
+  NodeId dept = dg.NodeForRid(Rid{db.table("Dept")->id(), 0});
+  NodeId s0 = dg.NodeForRid(Rid{db.table("Student")->id(), 0});
+  EXPECT_DOUBLE_EQ(dg.graph.EdgeWeight(s0, dept), 4.0);
+  // Back edge uses s(Dept, Student), unset => 1 * indegree 2.
+  EXPECT_DOUBLE_EQ(dg.graph.EdgeWeight(dept, s0), 2.0);
+}
+
+TEST(GraphBuilderTest, IndegreePrestige) {
+  Database db = MakeUniversityDb(7);
+  DataGraph dg = BuildDataGraph(db);
+  NodeId dept = dg.NodeForRid(Rid{db.table("Dept")->id(), 0});
+  NodeId s0 = dg.NodeForRid(Rid{db.table("Student")->id(), 0});
+  EXPECT_DOUBLE_EQ(dg.graph.node_weight(dept), 7.0);
+  EXPECT_DOUBLE_EQ(dg.graph.node_weight(s0), 0.0);
+}
+
+TEST(GraphBuilderTest, PrestigeDisabled) {
+  Database db = MakeUniversityDb(7);
+  GraphBuildOptions options;
+  options.indegree_prestige = false;
+  DataGraph dg = BuildDataGraph(db, options);
+  NodeId dept = dg.NodeForRid(Rid{db.table("Dept")->id(), 0});
+  EXPECT_DOUBLE_EQ(dg.graph.node_weight(dept), 0.0);
+}
+
+TEST(GraphBuilderTest, DanglingAndNullFksSkipped) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(TableSchema("P", {{"id", ValueType::kString}},
+                                         {"id"}))
+                  .ok());
+  ASSERT_TRUE(db.CreateTable(TableSchema("C",
+                                         {{"id", ValueType::kString},
+                                          {"p", ValueType::kString}},
+                                         {"id"}))
+                  .ok());
+  ASSERT_TRUE(
+      db.AddForeignKey(ForeignKey{"c_p", "C", {"p"}, "P", {"id"}}).ok());
+  ASSERT_TRUE(db.Insert("P", Tuple({Value("p1")})).ok());
+  ASSERT_TRUE(db.Insert("C", Tuple({Value("c1"), Value("p1")})).ok());
+  ASSERT_TRUE(db.Insert("C", Tuple({Value("c2"), Value::Null()})).ok());
+  ASSERT_TRUE(db.Insert("C", Tuple({Value("c3"), Value("ghost")})).ok());
+  DataGraph dg = BuildDataGraph(db);
+  EXPECT_EQ(dg.graph.num_nodes(), 4u);
+  EXPECT_EQ(dg.graph.num_edges(), 2u);  // only c1 <-> p1
+}
+
+TEST(GraphBuilderTest, TwoRelationsContributeSeparateIndegrees) {
+  // Dept referenced by 2 students and 5 faculty: back edge to a student
+  // weighs 2, to a faculty member 5 (per-relation indegree, §2.2).
+  Database db;
+  ASSERT_TRUE(db.CreateTable(
+                    TableSchema("Dept", {{"id", ValueType::kString}}, {"id"}))
+                  .ok());
+  ASSERT_TRUE(db.CreateTable(TableSchema("Student",
+                                         {{"id", ValueType::kString},
+                                          {"dept", ValueType::kString}},
+                                         {"id"}))
+                  .ok());
+  ASSERT_TRUE(db.CreateTable(TableSchema("Faculty",
+                                         {{"id", ValueType::kString},
+                                          {"dept", ValueType::kString}},
+                                         {"id"}))
+                  .ok());
+  ASSERT_TRUE(db.AddForeignKey(ForeignKey{"s_d", "Student", {"dept"}, "Dept",
+                                          {"id"}})
+                  .ok());
+  ASSERT_TRUE(db.AddForeignKey(ForeignKey{"f_d", "Faculty", {"dept"}, "Dept",
+                                          {"id"}})
+                  .ok());
+  ASSERT_TRUE(db.Insert("Dept", Tuple({Value("d")})).ok());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(db.Insert("Student", Tuple({Value("s" + std::to_string(i)),
+                                            Value("d")}))
+                    .ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(db.Insert("Faculty", Tuple({Value("f" + std::to_string(i)),
+                                            Value("d")}))
+                    .ok());
+  }
+  DataGraph dg = BuildDataGraph(db);
+  NodeId dept = dg.NodeForRid(Rid{db.table("Dept")->id(), 0});
+  NodeId s0 = dg.NodeForRid(Rid{db.table("Student")->id(), 0});
+  NodeId f0 = dg.NodeForRid(Rid{db.table("Faculty")->id(), 0});
+  EXPECT_DOUBLE_EQ(dg.graph.EdgeWeight(dept, s0), 2.0);
+  EXPECT_DOUBLE_EQ(dg.graph.EdgeWeight(dept, f0), 5.0);
+  // Total prestige counts both relations.
+  EXPECT_DOUBLE_EQ(dg.graph.node_weight(dept), 7.0);
+}
+
+TEST(GraphBuilderTest, MemoryBytesPositive) {
+  Database db = MakeUniversityDb(5);
+  DataGraph dg = BuildDataGraph(db);
+  EXPECT_GT(dg.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,112 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "datagen/dblp_gen.h"
+
+namespace banks {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("banks_graph_" + std::to_string(::getpid()) + ".bin");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(GraphIoTest, RoundTrip) {
+  DblpConfig config;
+  config.num_authors = 60;
+  config.num_papers = 120;
+  DblpDataset ds = GenerateDblp(config);
+  DataGraph original = BuildDataGraph(ds.db);
+
+  ASSERT_TRUE(SaveDataGraph(original, path_.string()).ok());
+  auto loaded = LoadDataGraph(path_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const DataGraph& dg = loaded.value();
+
+  ASSERT_EQ(dg.graph.num_nodes(), original.graph.num_nodes());
+  ASSERT_EQ(dg.graph.num_edges(), original.graph.num_edges());
+  EXPECT_DOUBLE_EQ(dg.graph.MinEdgeWeight(), original.graph.MinEdgeWeight());
+  EXPECT_DOUBLE_EQ(dg.graph.MaxNodeWeight(), original.graph.MaxNodeWeight());
+  for (NodeId n = 0; n < dg.graph.num_nodes(); ++n) {
+    EXPECT_EQ(dg.RidForNode(n), original.RidForNode(n));
+    EXPECT_DOUBLE_EQ(dg.graph.node_weight(n), original.graph.node_weight(n));
+    ASSERT_EQ(dg.graph.OutEdges(n).size(), original.graph.OutEdges(n).size());
+    for (size_t e = 0; e < dg.graph.OutEdges(n).size(); ++e) {
+      EXPECT_EQ(dg.graph.OutEdges(n)[e].to, original.graph.OutEdges(n)[e].to);
+      EXPECT_DOUBLE_EQ(dg.graph.OutEdges(n)[e].weight,
+                       original.graph.OutEdges(n)[e].weight);
+    }
+  }
+}
+
+TEST_F(GraphIoTest, MissingFile) {
+  auto r = LoadDataGraph("/nonexistent/graph.bin");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(GraphIoTest, BadMagicRejected) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "this is not a graph file at all, not even close";
+  out.close();
+  auto r = LoadDataGraph(path_.string());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(GraphIoTest, TruncationDetected) {
+  DblpConfig config;
+  config.num_authors = 20;
+  config.num_papers = 30;
+  DblpDataset ds = GenerateDblp(config);
+  DataGraph dg = BuildDataGraph(ds.db);
+  ASSERT_TRUE(SaveDataGraph(dg, path_.string()).ok());
+  // Truncate the file.
+  auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size / 2);
+  auto r = LoadDataGraph(path_.string());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(GraphIoTest, CorruptionDetectedByChecksum) {
+  DblpConfig config;
+  config.num_authors = 20;
+  config.num_papers = 30;
+  DblpDataset ds = GenerateDblp(config);
+  DataGraph dg = BuildDataGraph(ds.db);
+  ASSERT_TRUE(SaveDataGraph(dg, path_.string()).ok());
+  // Flip one byte in the middle.
+  std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(static_cast<std::streamoff>(
+      std::filesystem::file_size(path_) / 2));
+  char b = 0;
+  f.read(&b, 1);
+  f.seekp(-1, std::ios::cur);
+  b = static_cast<char>(b ^ 0x10);
+  f.write(&b, 1);
+  f.close();
+  auto r = LoadDataGraph(path_.string());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(GraphIoTest, EmptyGraphRoundTrips) {
+  DataGraph empty;
+  ASSERT_TRUE(SaveDataGraph(empty, path_.string()).ok());
+  auto r = LoadDataGraph(path_.string());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().graph.num_nodes(), 0u);
+  EXPECT_EQ(r.value().graph.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,74 @@
+#include "browse/html.h"
+
+#include <gtest/gtest.h>
+
+namespace banks {
+namespace {
+
+TEST(HtmlEscapeTest, AllSpecials) {
+  EXPECT_EQ(HtmlEscape("a&b<c>d\"e"), "a&amp;b&lt;c&gt;d&quot;e");
+  EXPECT_EQ(HtmlEscape(""), "");
+  EXPECT_EQ(HtmlEscape("plain text"), "plain text");
+}
+
+TEST(HtmlLinkTest, EscapesBothParts) {
+  std::string link = HtmlLink("banks:tuple/T/0", "<click>");
+  EXPECT_EQ(link, "<a href=\"banks:tuple/T/0\">&lt;click&gt;</a>");
+  std::string evil = HtmlLink("x\"onmouseover=\"evil", "t");
+  EXPECT_EQ(evil.find("\"onmouseover"), std::string::npos);
+}
+
+TEST(HtmlWriterTest, HeadingLevelsClamped) {
+  HtmlWriter w;
+  w.Heading(0, "a");
+  w.Heading(9, "b");
+  EXPECT_NE(w.body().find("<h1>a</h1>"), std::string::npos);
+  EXPECT_NE(w.body().find("<h6>b</h6>"), std::string::npos);
+}
+
+TEST(HtmlWriterTest, ParagraphEscapes) {
+  HtmlWriter w;
+  w.Paragraph("1 < 2");
+  EXPECT_NE(w.body().find("<p>1 &lt; 2</p>"), std::string::npos);
+}
+
+TEST(HtmlWriterTest, TableStructure) {
+  HtmlWriter w;
+  w.Table({"h1", "h2"}, {{"a", "b"}, {"c", "d"}});
+  const std::string& b = w.body();
+  EXPECT_NE(b.find("<th>h1</th><th>h2</th>"), std::string::npos);
+  EXPECT_NE(b.find("<td>a</td><td>b</td>"), std::string::npos);
+  size_t tr_count = 0;
+  for (size_t pos = 0; (pos = b.find("<tr>", pos)) != std::string::npos;
+       ++pos) {
+    ++tr_count;
+  }
+  EXPECT_EQ(tr_count, 3u);  // header + 2 body rows
+}
+
+TEST(HtmlWriterTest, ListNesting) {
+  HtmlWriter w;
+  w.OpenList();
+  w.ListItem("one");
+  w.CloseList();
+  EXPECT_NE(w.body().find("<ul>\n<li>one</li>\n</ul>"), std::string::npos);
+}
+
+TEST(HtmlWriterTest, PageWrapsBody) {
+  HtmlWriter w;
+  w.Paragraph("content");
+  std::string page = w.Page("My <Title>");
+  EXPECT_NE(page.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(page.find("<title>My &lt;Title&gt;</title>"), std::string::npos);
+  EXPECT_NE(page.find("content"), std::string::npos);
+  EXPECT_NE(page.find("</html>"), std::string::npos);
+}
+
+TEST(HtmlWriterTest, RawIsNotEscaped) {
+  HtmlWriter w;
+  w.Raw("<svg/>");
+  EXPECT_NE(w.body().find("<svg/>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace banks

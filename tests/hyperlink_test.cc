@@ -1,0 +1,83 @@
+#include "browse/hyperlink.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/dblp_gen.h"
+
+namespace banks {
+namespace {
+
+class HyperlinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DblpConfig config;
+    config.num_authors = 10;
+    config.num_papers = 10;
+    config.plant_anecdotes = false;
+    ds_ = GenerateDblp(config);
+  }
+  DblpDataset ds_;
+};
+
+TEST_F(HyperlinkTest, UriRoundTrip) {
+  std::string uri = TupleUri("Paper", 7);
+  auto parsed = ParseUri(uri);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, ParsedUri::kTuple);
+  EXPECT_EQ(parsed->table, "Paper");
+  EXPECT_EQ(parsed->row, 7u);
+
+  std::string refs = RefsUri("Author", 3, "writes_author");
+  auto parsed2 = ParseUri(refs);
+  ASSERT_TRUE(parsed2.has_value());
+  EXPECT_EQ(parsed2->kind, ParsedUri::kRefs);
+  EXPECT_EQ(parsed2->fk_name, "writes_author");
+}
+
+TEST_F(HyperlinkTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseUri("http://example.com").has_value());
+  EXPECT_FALSE(ParseUri("banks:nope/x").has_value());
+  EXPECT_FALSE(ParseUri("banks:tuple/only-two").has_value());
+}
+
+TEST_F(HyperlinkTest, FkColumnBecomesLink) {
+  const Table* writes = ds_.db.table(kWritesTable);
+  ASSERT_GT(writes->num_rows(), 0u);
+  Rid rid{writes->id(), 0};
+  // Column 0 of Writes is AuthorId -> Author.
+  auto link = FkHyperlink(ds_.db, rid, 0);
+  ASSERT_TRUE(link.has_value());
+  auto target = ParseUri(link->target);
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(target->table, kAuthorTable);
+  // The link text is the FK value itself.
+  EXPECT_EQ(link->text, writes->row(0).at(0).AsString());
+}
+
+TEST_F(HyperlinkTest, NonFkColumnHasNoLink) {
+  const Table* author = ds_.db.table(kAuthorTable);
+  Rid rid{author->id(), 0};
+  EXPECT_FALSE(FkHyperlink(ds_.db, rid, 1).has_value());  // AuthorName
+}
+
+TEST_F(HyperlinkTest, BackwardLinksGroupedByFk) {
+  const Table* author = ds_.db.table(kAuthorTable);
+  Rid rid{author->id(), 0};
+  auto links = BackwardHyperlinks(ds_.db, rid);
+  ASSERT_EQ(links.size(), 1u);  // only Writes references Author
+  EXPECT_NE(links[0].text.find("Writes"), std::string::npos);
+  auto target = ParseUri(links[0].target);
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(target->kind, ParsedUri::kRefs);
+}
+
+TEST_F(HyperlinkTest, PaperHasTwoIncomingFkKinds) {
+  const Table* paper = ds_.db.table(kPaperTable);
+  Rid rid{paper->id(), 0};
+  // Writes.PaperId and Cites.Citing/Cited all reference Paper: 3 FKs.
+  auto links = BackwardHyperlinks(ds_.db, rid);
+  EXPECT_EQ(links.size(), 3u);
+}
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,150 @@
+// Inclusion dependencies (§2.1 model extension): non-key references.
+#include <gtest/gtest.h>
+
+#include "core/banks.h"
+#include "graph/graph_builder.h"
+#include "storage/csv.h"
+
+#include <filesystem>
+
+namespace banks {
+namespace {
+
+// City names link people to landmarks; City is not a key anywhere.
+Database MakeDb() {
+  Database db;
+  EXPECT_TRUE(db.CreateTable(TableSchema("Person",
+                                         {{"Id", ValueType::kString},
+                                          {"Name", ValueType::kString},
+                                          {"City", ValueType::kString}},
+                                         {"Id"}))
+                  .ok());
+  EXPECT_TRUE(db.CreateTable(TableSchema("Landmark",
+                                         {{"Id", ValueType::kString},
+                                          {"LandmarkName", ValueType::kString},
+                                          {"City", ValueType::kString}},
+                                         {"Id"}))
+                  .ok());
+  auto person = [&db](const char* id, const char* name, const char* city) {
+    EXPECT_TRUE(
+        db.Insert("Person", Tuple({Value(id), Value(name), Value(city)}))
+            .ok());
+  };
+  auto landmark = [&db](const char* id, const char* name, const char* city) {
+    EXPECT_TRUE(
+        db.Insert("Landmark", Tuple({Value(id), Value(name), Value(city)}))
+            .ok());
+  };
+  person("p1", "Asha", "Mumbai");
+  person("p2", "Ravi", "Pune");
+  person("p3", "Mira", "Mumbai");
+  landmark("l1", "Gateway of India", "Mumbai");
+  landmark("l2", "Marine Drive", "Mumbai");
+  landmark("l3", "Shaniwar Wada", "Pune");
+  EXPECT_TRUE(db.AddInclusionDependency(InclusionDependency{
+                    "person_city", "Person", "City", "Landmark", "City"})
+                  .ok());
+  return db;
+}
+
+TEST(InclusionTest, Validation) {
+  Database db = MakeDb();
+  EXPECT_FALSE(db.AddInclusionDependency(InclusionDependency{
+                     "bad1", "Ghost", "City", "Landmark", "City"})
+                   .ok());
+  EXPECT_FALSE(db.AddInclusionDependency(InclusionDependency{
+                     "bad2", "Person", "Ghost", "Landmark", "City"})
+                   .ok());
+  EXPECT_FALSE(db.AddInclusionDependency(InclusionDependency{
+                     "bad3", "Person", "City", "Landmark", "Ghost"})
+                   .ok());
+  // Duplicate name.
+  EXPECT_FALSE(db.AddInclusionDependency(InclusionDependency{
+                     "person_city", "Person", "City", "Landmark", "City"})
+                   .ok());
+}
+
+TEST(InclusionTest, ResolvesToAllMatches) {
+  Database db = MakeDb();
+  const InclusionDependency& ind = db.inclusion_dependencies()[0];
+  const Table* person = db.table("Person");
+  // Asha (Mumbai) links to both Mumbai landmarks.
+  auto matches = db.ResolveInclusion(ind, Rid{person->id(), 0});
+  EXPECT_EQ(matches.size(), 2u);
+  // Ravi (Pune) links to one.
+  EXPECT_EQ(db.ResolveInclusion(ind, Rid{person->id(), 1}).size(), 1u);
+}
+
+TEST(InclusionTest, GraphGetsInclusionEdges) {
+  Database db = MakeDb();
+  DataGraph dg = BuildDataGraph(db);
+  // Links: p1->l1, p1->l2, p2->l3, p3->l1, p3->l2 = 5 links = 10 edges.
+  EXPECT_EQ(dg.graph.num_edges(), 10u);
+  // Backward edge from a Mumbai landmark to a person carries the Mumbai
+  // fan-in from Person (2 people reference l1).
+  NodeId l1 = dg.NodeForRid(Rid{db.table("Landmark")->id(), 0});
+  NodeId p1 = dg.NodeForRid(Rid{db.table("Person")->id(), 0});
+  EXPECT_DOUBLE_EQ(dg.graph.EdgeWeight(p1, l1), 1.0);
+  EXPECT_DOUBLE_EQ(dg.graph.EdgeWeight(l1, p1), 2.0);
+}
+
+TEST(InclusionTest, KeywordSearchThroughInclusionEdges) {
+  BanksEngine engine(MakeDb());
+  // "asha gateway": Asha connects to the Gateway through the shared city.
+  auto result = engine.Search("asha gateway");
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().answers.empty());
+  EXPECT_TRUE(result.value().answers[0].IsValidTree());
+  // The answer tree contains both the person and the landmark.
+  bool has_person = false, has_landmark = false;
+  for (NodeId n : result.value().answers[0].Nodes()) {
+    Rid rid = engine.data_graph().RidForNode(n);
+    has_person |= rid.table_id == engine.db().table("Person")->id();
+    has_landmark |= rid.table_id == engine.db().table("Landmark")->id();
+  }
+  EXPECT_TRUE(has_person && has_landmark);
+}
+
+TEST(InclusionTest, CsvRoundTripPreservesInd) {
+  Database db = MakeDb();
+  auto dir = std::filesystem::temp_directory_path() /
+             ("banks_ind_" + std::to_string(::getpid()));
+  ASSERT_TRUE(SaveDatabase(db, dir.string()).ok());
+  auto loaded = LoadDatabase(dir.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().inclusion_dependencies().size(), 1u);
+  EXPECT_EQ(loaded.value().inclusion_dependencies()[0].name, "person_city");
+  const auto& ind = loaded.value().inclusion_dependencies()[0];
+  auto matches = loaded.value().ResolveInclusion(
+      ind, Rid{loaded.value().table("Person")->id(), 0});
+  EXPECT_EQ(matches.size(), 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(InclusionTest, IndexInvalidatedByInsert) {
+  Database db = MakeDb();
+  const InclusionDependency& ind = db.inclusion_dependencies()[0];
+  const Table* person = db.table("Person");
+  EXPECT_EQ(db.ResolveInclusion(ind, Rid{person->id(), 0}).size(), 2u);
+  ASSERT_TRUE(db.Insert("Landmark", Tuple({Value("l4"), Value("Bandra Fort"),
+                                           Value("Mumbai")}))
+                  .ok());
+  EXPECT_EQ(db.ResolveInclusion(ind, Rid{person->id(), 0}).size(), 3u);
+}
+
+TEST(InclusionTest, NullAndUnmatchedValues) {
+  Database db = MakeDb();
+  ASSERT_TRUE(db.Insert("Person", Tuple({Value("p4"), Value("Noor"),
+                                         Value::Null()}))
+                  .ok());
+  ASSERT_TRUE(db.Insert("Person", Tuple({Value("p5"), Value("Zed"),
+                                         Value("Atlantis")}))
+                  .ok());
+  const InclusionDependency& ind = db.inclusion_dependencies()[0];
+  const Table* person = db.table("Person");
+  EXPECT_TRUE(db.ResolveInclusion(ind, Rid{person->id(), 3}).empty());
+  EXPECT_TRUE(db.ResolveInclusion(ind, Rid{person->id(), 4}).empty());
+}
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,87 @@
+#include "index/metadata_index.h"
+
+#include <gtest/gtest.h>
+
+namespace banks {
+namespace {
+
+Database MakeDb() {
+  Database db;
+  EXPECT_TRUE(db.CreateTable(TableSchema("Author",
+                                         {{"AuthorId", ValueType::kString},
+                                          {"AuthorName", ValueType::kString}},
+                                         {"AuthorId"}))
+                  .ok());
+  EXPECT_TRUE(db.CreateTable(TableSchema("Paper",
+                                         {{"PaperId", ValueType::kString},
+                                          {"PaperName", ValueType::kString}},
+                                         {"PaperId"}))
+                  .ok());
+  EXPECT_TRUE(db.Insert("Author", Tuple({Value("a1"), Value("X")})).ok());
+  EXPECT_TRUE(db.Insert("Author", Tuple({Value("a2"), Value("Y")})).ok());
+  EXPECT_TRUE(db.Insert("Paper", Tuple({Value("p1"), Value("Z")})).ok());
+  return db;
+}
+
+TEST(MetadataIndexTest, TableNameMatch) {
+  Database db = MakeDb();
+  MetadataIndex meta;
+  meta.Build(db);
+  auto matches = meta.Lookup("author");
+  // "author" token appears in table name "Author" and columns AuthorId /
+  // AuthorName (of Author) and nowhere else.
+  ASSERT_FALSE(matches.empty());
+  bool table_match = false;
+  for (const auto& m : matches) {
+    if (m.table == "Author" && m.column.empty()) table_match = true;
+  }
+  EXPECT_TRUE(table_match);
+}
+
+TEST(MetadataIndexTest, ColumnNameMatch) {
+  Database db = MakeDb();
+  MetadataIndex meta;
+  meta.Build(db);
+  auto matches = meta.Lookup("papername");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].table, "Paper");
+  EXPECT_EQ(matches[0].column, "PaperName");
+}
+
+TEST(MetadataIndexTest, LookupRidsExpandsWholeTable) {
+  Database db = MakeDb();
+  MetadataIndex meta;
+  meta.Build(db);
+  // "author" is relevant to every Author tuple (paper's example).
+  auto rids = meta.LookupRids(db, "author");
+  EXPECT_EQ(rids.size(), 2u);
+  for (Rid r : rids) EXPECT_EQ(r.table_id, db.table("Author")->id());
+}
+
+TEST(MetadataIndexTest, CaseInsensitive) {
+  Database db = MakeDb();
+  MetadataIndex meta;
+  meta.Build(db);
+  EXPECT_EQ(meta.LookupRids(db, "AUTHOR").size(), 2u);
+}
+
+TEST(MetadataIndexTest, NoMatch) {
+  Database db = MakeDb();
+  MetadataIndex meta;
+  meta.Build(db);
+  EXPECT_TRUE(meta.Lookup("nonexistent").empty());
+  EXPECT_TRUE(meta.LookupRids(db, "nonexistent").empty());
+}
+
+TEST(MetadataIndexTest, RidsDedupedWhenTableAndColumnBothMatch) {
+  Database db = MakeDb();
+  MetadataIndex meta;
+  meta.Build(db);
+  // "paper" matches table "Paper" and columns PaperId/PaperName — but each
+  // tuple appears once.
+  auto rids = meta.LookupRids(db, "paper");
+  EXPECT_EQ(rids.size(), 1u);
+}
+
+}  // namespace
+}  // namespace banks

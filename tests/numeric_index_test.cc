@@ -1,0 +1,77 @@
+#include "index/numeric_index.h"
+
+#include <gtest/gtest.h>
+
+namespace banks {
+namespace {
+
+Database MakeDb() {
+  Database db;
+  EXPECT_TRUE(db.CreateTable(TableSchema("Paper",
+                                         {{"PaperId", ValueType::kString},
+                                          {"Title", ValueType::kString},
+                                          {"Year", ValueType::kInt},
+                                          {"Score", ValueType::kDouble}},
+                                         {"PaperId"}))
+                  .ok());
+  auto add = [&db](const char* id, const char* title, int64_t year,
+                   double score) {
+    EXPECT_TRUE(db.Insert("Paper", Tuple({Value(id), Value(title),
+                                          Value(year), Value(score)}))
+                    .ok());
+  };
+  add("p1", "Concurrency Control", 1988, 4.5);
+  add("p2", "Recovery Methods", 1990, 3.0);
+  add("p3", "ARIES", 1992, 5.0);
+  EXPECT_TRUE(db.Insert("Paper", Tuple({Value("p4"), Value("No year"),
+                                        Value::Null(), Value::Null()}))
+                  .ok());
+  return db;
+}
+
+TEST(NumericIndexTest, RangeLookup) {
+  Database db = MakeDb();
+  NumericIndex index;
+  index.Build(db);
+  auto hits = index.LookupRange(1987, 1991);
+  // 1988 and 1990 match (values from the Year column).
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_DOUBLE_EQ(hits[0].value, 1988);
+  EXPECT_DOUBLE_EQ(hits[1].value, 1990);
+}
+
+TEST(NumericIndexTest, DoubleColumnsIndexed) {
+  Database db = MakeDb();
+  NumericIndex index;
+  index.Build(db);
+  auto hits = index.LookupRange(4.0, 5.0);
+  EXPECT_EQ(hits.size(), 2u);  // 4.5 and 5.0
+}
+
+TEST(NumericIndexTest, EmptyRange) {
+  Database db = MakeDb();
+  NumericIndex index;
+  index.Build(db);
+  EXPECT_TRUE(index.LookupRange(100, 200).empty());
+  EXPECT_TRUE(index.LookupRange(1989, 1989.5).empty());
+}
+
+TEST(NumericIndexTest, NullsSkipped) {
+  Database db = MakeDb();
+  NumericIndex index;
+  index.Build(db);
+  // p4 has NULL year/score; total entries = 3 years + 3 scores.
+  EXPECT_EQ(index.num_entries(), 6u);
+}
+
+TEST(NumericIndexTest, InclusiveBounds) {
+  Database db = MakeDb();
+  NumericIndex index;
+  index.Build(db);
+  auto hits = index.LookupRange(1988, 1988);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_DOUBLE_EQ(hits[0].value, 1988);
+}
+
+}  // namespace
+}  // namespace banks

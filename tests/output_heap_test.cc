@@ -1,0 +1,93 @@
+#include "core/output_heap.h"
+
+#include <gtest/gtest.h>
+
+namespace banks {
+namespace {
+
+ConnectionTree Tree(NodeId root, double relevance) {
+  ConnectionTree t;
+  t.root = root;
+  t.relevance = relevance;
+  return t;
+}
+
+std::string Sig(const ConnectionTree& t) { return t.UndirectedSignature(); }
+
+TEST(OutputHeapTest, HoldsUpToCapacity) {
+  OutputHeap heap(3);
+  for (NodeId i = 0; i < 3; ++i) {
+    auto out = heap.Add(Tree(i, 0.1 * i), Sig(Tree(i, 0)));
+    EXPECT_FALSE(out.has_value());
+  }
+  EXPECT_EQ(heap.size(), 3u);
+}
+
+TEST(OutputHeapTest, OverflowEmitsMostRelevant) {
+  OutputHeap heap(2);
+  heap.Add(Tree(0, 0.5), Sig(Tree(0, 0)));
+  heap.Add(Tree(1, 0.9), Sig(Tree(1, 0)));
+  auto out = heap.Add(Tree(2, 0.7), Sig(Tree(2, 0)));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->root, 1u);  // 0.9 is the best
+  EXPECT_EQ(heap.size(), 2u);
+}
+
+TEST(OutputHeapTest, OverflowMayEmitTheNewTree) {
+  OutputHeap heap(2);
+  heap.Add(Tree(0, 0.5), Sig(Tree(0, 0)));
+  heap.Add(Tree(1, 0.6), Sig(Tree(1, 0)));
+  auto out = heap.Add(Tree(2, 0.99), Sig(Tree(2, 0)));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->root, 2u);
+}
+
+TEST(OutputHeapTest, PopBestDrainsInDecreasingRelevance) {
+  OutputHeap heap(5);
+  heap.Add(Tree(0, 0.3), Sig(Tree(0, 0)));
+  heap.Add(Tree(1, 0.9), Sig(Tree(1, 0)));
+  heap.Add(Tree(2, 0.6), Sig(Tree(2, 0)));
+  EXPECT_EQ(heap.PopBest()->root, 1u);
+  EXPECT_EQ(heap.PopBest()->root, 2u);
+  EXPECT_EQ(heap.PopBest()->root, 0u);
+  EXPECT_FALSE(heap.PopBest().has_value());
+}
+
+TEST(OutputHeapTest, TiesEmitEarlierFirst) {
+  OutputHeap heap(5);
+  heap.Add(Tree(7, 0.5), Sig(Tree(7, 0)));
+  heap.Add(Tree(8, 0.5), Sig(Tree(8, 0)));
+  EXPECT_EQ(heap.PopBest()->root, 7u);
+}
+
+TEST(OutputHeapTest, ContainsAndRelevanceBySignature) {
+  OutputHeap heap(5);
+  ConnectionTree t = Tree(3, 0.4);
+  heap.Add(t, Sig(t));
+  EXPECT_TRUE(heap.Contains(Sig(t)));
+  EXPECT_DOUBLE_EQ(heap.HeldRelevance(Sig(t)), 0.4);
+  EXPECT_FALSE(heap.Contains("bogus"));
+  EXPECT_DOUBLE_EQ(heap.HeldRelevance("bogus"), -1.0);
+}
+
+TEST(OutputHeapTest, RemoveBySignature) {
+  OutputHeap heap(5);
+  ConnectionTree a = Tree(1, 0.1), b = Tree(2, 0.2);
+  heap.Add(a, Sig(a));
+  heap.Add(b, Sig(b));
+  EXPECT_TRUE(heap.Remove(Sig(a)));
+  EXPECT_FALSE(heap.Contains(Sig(a)));
+  EXPECT_TRUE(heap.Contains(Sig(b)));  // index stays correct after swap
+  EXPECT_FALSE(heap.Remove(Sig(a)));
+  EXPECT_EQ(heap.size(), 1u);
+}
+
+TEST(OutputHeapTest, ZeroCapacityClampsToOne) {
+  OutputHeap heap(0);
+  EXPECT_EQ(heap.capacity(), 1u);
+  EXPECT_FALSE(heap.Add(Tree(0, 0.5), Sig(Tree(0, 0))).has_value());
+  EXPECT_TRUE(heap.Add(Tree(1, 0.4), Sig(Tree(1, 0))).has_value());
+}
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,140 @@
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+namespace banks {
+namespace {
+
+TEST(ParseQueryTest, SimpleKeywords) {
+  auto q = ParseQuery("soumen sunita");
+  ASSERT_EQ(q.terms.size(), 2u);
+  EXPECT_EQ(q.terms[0].keyword, "soumen");
+  EXPECT_EQ(q.terms[1].keyword, "sunita");
+  EXPECT_TRUE(q.terms[0].attribute.empty());
+}
+
+TEST(ParseQueryTest, NormalisesCaseAndPunctuation) {
+  auto q = ParseQuery("  SOUMEN,  Sunita!  ");
+  ASSERT_EQ(q.terms.size(), 2u);
+  EXPECT_EQ(q.terms[0].keyword, "soumen");
+  EXPECT_EQ(q.terms[1].keyword, "sunita");
+}
+
+TEST(ParseQueryTest, AttributeRestriction) {
+  auto q = ParseQuery("author:Levy temporal");
+  ASSERT_EQ(q.terms.size(), 2u);
+  EXPECT_EQ(q.terms[0].attribute, "author");
+  EXPECT_EQ(q.terms[0].keyword, "levy");
+  EXPECT_TRUE(q.terms[1].attribute.empty());
+}
+
+TEST(ParseQueryTest, DegenerateColonForms) {
+  // Leading/trailing colon is not an attribute restriction.
+  auto q1 = ParseQuery(":levy");
+  ASSERT_EQ(q1.terms.size(), 1u);
+  EXPECT_TRUE(q1.terms[0].attribute.empty());
+  auto q2 = ParseQuery("levy:");
+  ASSERT_EQ(q2.terms.size(), 1u);
+  EXPECT_TRUE(q2.terms[0].attribute.empty());
+  EXPECT_EQ(q2.terms[0].keyword, "levy");
+}
+
+TEST(ParseQueryTest, EmptyQuery) {
+  EXPECT_TRUE(ParseQuery("").terms.empty());
+  EXPECT_TRUE(ParseQuery("  !!! ...").terms.empty());
+}
+
+class ResolverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable(TableSchema("Author",
+                                            {{"AuthorId", ValueType::kString},
+                                             {"AuthorName", ValueType::kString}},
+                                            {"AuthorId"}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateTable(TableSchema("Paper",
+                                            {{"PaperId", ValueType::kString},
+                                             {"Title", ValueType::kString}},
+                                            {"PaperId"}))
+                    .ok());
+    ASSERT_TRUE(db_.Insert("Author", Tuple({Value("a1"), Value("Alon Levy")}))
+                    .ok());
+    ASSERT_TRUE(db_.Insert("Author", Tuple({Value("a2"), Value("Maurizio")}))
+                    .ok());
+    ASSERT_TRUE(db_.Insert("Paper",
+                           Tuple({Value("p1"), Value("Query containment Levy")}))
+                    .ok());
+    index_.Build(db_);
+    metadata_.Build(db_);
+    dg_ = BuildDataGraph(db_);
+  }
+
+  std::vector<NodeId> Resolve(const std::string& text) {
+    KeywordResolver resolver(db_, dg_, index_, metadata_);
+    auto q = ParseQuery(text);
+    return resolver.Resolve(q.terms.at(0), options_);
+  }
+
+  Database db_;
+  InvertedIndex index_;
+  MetadataIndex metadata_;
+  DataGraph dg_;
+  MatchOptions options_;
+};
+
+TEST_F(ResolverTest, PlainKeywordMatchesAllTables) {
+  auto nodes = Resolve("levy");
+  EXPECT_EQ(nodes.size(), 2u);  // the author and the paper
+}
+
+TEST_F(ResolverTest, AttributeRestrictionFilters) {
+  auto nodes = Resolve("authorname:levy");
+  ASSERT_EQ(nodes.size(), 1u);
+  Rid rid = dg_.RidForNode(nodes[0]);
+  EXPECT_EQ(rid.table_id, db_.table("Author")->id());
+}
+
+TEST_F(ResolverTest, AttributeTokenMatch) {
+  // "author:levy" matches the AuthorName column by name token.
+  auto nodes = Resolve("author:levy");
+  ASSERT_EQ(nodes.size(), 1u);
+}
+
+TEST_F(ResolverTest, MetadataMatchExpandsTable) {
+  // "author" matches the Author relation name: every author tuple.
+  auto nodes = Resolve("author");
+  EXPECT_EQ(nodes.size(), 2u);
+}
+
+TEST_F(ResolverTest, MetadataDisabled) {
+  options_.include_metadata = false;
+  auto nodes = Resolve("author");
+  EXPECT_TRUE(nodes.empty());
+}
+
+TEST_F(ResolverTest, ApproxExpansion) {
+  options_.approx.enable = true;
+  options_.approx.max_edit_distance = 1;
+  auto nodes = Resolve("levi");  // not in index; expands to "levy"
+  EXPECT_EQ(nodes.size(), 2u);
+}
+
+TEST_F(ResolverTest, ResolveAllAlignsWithTerms) {
+  KeywordResolver resolver(db_, dg_, index_, metadata_);
+  auto q = ParseQuery("levy maurizio ghost");
+  auto sets = resolver.ResolveAll(q, options_);
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_EQ(sets[0].size(), 2u);
+  EXPECT_EQ(sets[1].size(), 1u);
+  EXPECT_TRUE(sets[2].empty());
+}
+
+TEST_F(ResolverTest, NodesSortedAndUnique) {
+  auto nodes = Resolve("levy");
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LT(nodes[i - 1], nodes[i]);
+  }
+}
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,74 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace banks {
+namespace {
+
+TableSchema MakeAuthor() {
+  return TableSchema("Author",
+                     {{"AuthorId", ValueType::kString},
+                      {"AuthorName", ValueType::kString}},
+                     {"AuthorId"});
+}
+
+TEST(SchemaTest, BasicAccessors) {
+  TableSchema s = MakeAuthor();
+  EXPECT_EQ(s.name(), "Author");
+  EXPECT_EQ(s.num_columns(), 2u);
+  EXPECT_TRUE(s.has_primary_key());
+  ASSERT_EQ(s.primary_key().size(), 1u);
+  EXPECT_EQ(s.primary_key()[0], 0u);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ColumnIndex) {
+  TableSchema s = MakeAuthor();
+  EXPECT_EQ(s.ColumnIndex("AuthorName").value(), 1u);
+  EXPECT_FALSE(s.ColumnIndex("Nope").has_value());
+}
+
+TEST(SchemaTest, CompositePrimaryKey) {
+  TableSchema s("Writes",
+                {{"AuthorId", ValueType::kString},
+                 {"PaperId", ValueType::kString}},
+                {"AuthorId", "PaperId"});
+  EXPECT_TRUE(s.Validate().ok());
+  EXPECT_EQ(s.primary_key().size(), 2u);
+}
+
+TEST(SchemaTest, NoPrimaryKeyIsAllowed) {
+  TableSchema s("Log", {{"msg", ValueType::kString}}, {});
+  EXPECT_TRUE(s.Validate().ok());
+  EXPECT_FALSE(s.has_primary_key());
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  TableSchema s("", {{"c", ValueType::kInt}}, {});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, RejectsNoColumns) {
+  TableSchema s("Empty", {}, {});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, RejectsDuplicateColumns) {
+  TableSchema s("Dup", {{"x", ValueType::kInt}, {"x", ValueType::kInt}}, {});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, RejectsUnknownPkColumn) {
+  TableSchema s("T", {{"a", ValueType::kInt}}, {"missing"});
+  Status v = s.Validate();
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RejectsUnnamedColumn) {
+  TableSchema s("T", {{"", ValueType::kInt}}, {});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+}  // namespace
+}  // namespace banks

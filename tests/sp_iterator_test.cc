@@ -1,0 +1,154 @@
+#include "core/sp_iterator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace banks {
+namespace {
+
+// Path graph 0 -> 1 -> 2 -> 3 with unit weights; reverse iterators from 3
+// should discover 3 (0), 2 (1), 1 (2), 0 (3).
+Graph PathGraph() {
+  Graph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(2, 3, 1.0);
+  return g;
+}
+
+TEST(SpIteratorTest, VisitsInDistanceOrder) {
+  Graph g = PathGraph();
+  SpIterator it(g, 3);
+  std::vector<std::pair<NodeId, double>> visits;
+  while (it.HasNext()) {
+    auto v = it.Next();
+    visits.emplace_back(v.node, v.distance);
+  }
+  ASSERT_EQ(visits.size(), 4u);
+  EXPECT_EQ(visits[0].first, 3u);
+  EXPECT_DOUBLE_EQ(visits[0].second, 0.0);
+  EXPECT_EQ(visits[1].first, 2u);
+  EXPECT_EQ(visits[3].first, 0u);
+  EXPECT_DOUBLE_EQ(visits[3].second, 3.0);
+}
+
+TEST(SpIteratorTest, PeekMatchesNext) {
+  Graph g = PathGraph();
+  SpIterator it(g, 3);
+  while (it.HasNext()) {
+    double peek = it.PeekDistance();
+    EXPECT_DOUBLE_EQ(it.Next().distance, peek);
+  }
+}
+
+TEST(SpIteratorTest, PathToSourceFollowsForwardEdges) {
+  Graph g = PathGraph();
+  SpIterator it(g, 3);
+  while (it.HasNext()) it.Next();
+  auto path = it.PathToSource(0);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 3u);
+  // Consecutive pairs must be forward edges.
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(g.HasEdge(path[i], path[i + 1]));
+  }
+}
+
+TEST(SpIteratorTest, PathOfSourceIsItself) {
+  Graph g = PathGraph();
+  SpIterator it(g, 3);
+  it.Next();
+  auto path = it.PathToSource(3);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 3u);
+}
+
+TEST(SpIteratorTest, UnsettledNodeHasNoPath) {
+  Graph g = PathGraph();
+  SpIterator it(g, 3);
+  it.Next();  // settles only node 3
+  EXPECT_TRUE(it.PathToSource(0).empty());
+  EXPECT_TRUE(std::isinf(it.DistanceTo(0)));
+}
+
+TEST(SpIteratorTest, ShortestPathChosen) {
+  // Two routes 0 -> 2: direct (weight 5) and via 1 (1 + 1 = 2).
+  Graph g(3);
+  g.AddEdge(0, 2, 5.0);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  SpIterator it(g, 2);
+  while (it.HasNext()) it.Next();
+  EXPECT_DOUBLE_EQ(it.DistanceTo(0), 2.0);
+  auto path = it.PathToSource(0);
+  ASSERT_EQ(path.size(), 3u);  // 0 -> 1 -> 2
+  EXPECT_EQ(path[1], 1u);
+}
+
+TEST(SpIteratorTest, UnreachableNodesNeverVisited) {
+  Graph g(3);
+  g.AddEdge(0, 1, 1.0);
+  // Node 2 isolated; reverse from 1 must visit only {1, 0}.
+  SpIterator it(g, 1);
+  size_t count = 0;
+  while (it.HasNext()) {
+    EXPECT_NE(it.Next().node, 2u);
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(SpIteratorTest, DistanceCapStopsExpansion) {
+  Graph g = PathGraph();
+  SpIterator it(g, 3, /*distance_cap=*/1.5);
+  std::vector<NodeId> nodes;
+  while (it.HasNext()) nodes.push_back(it.Next().node);
+  ASSERT_EQ(nodes.size(), 2u);  // 3 (d=0) and 2 (d=1) only
+}
+
+TEST(SpIteratorTest, TieBreaksOnNodeIdDeterministically) {
+  // Nodes 1 and 2 both at distance 1 from 0 (reverse).
+  Graph g(3);
+  g.AddEdge(1, 0, 1.0);
+  g.AddEdge(2, 0, 1.0);
+  SpIterator it(g, 0);
+  it.Next();  // source
+  EXPECT_EQ(it.Next().node, 1u);
+  EXPECT_EQ(it.Next().node, 2u);
+}
+
+TEST(SpIteratorTest, ReverseDirectionOnly) {
+  // Edge 0 -> 1: reverse iterator from 0 reaches 1... no wait, reverse
+  // traversal from source s visits nodes with a *forward* path to s.
+  Graph g(2);
+  g.AddEdge(0, 1, 1.0);
+  SpIterator from1(g, 1);
+  size_t visits1 = 0;
+  while (from1.HasNext()) {
+    from1.Next();
+    ++visits1;
+  }
+  EXPECT_EQ(visits1, 2u);  // 1 itself and 0 (0 -> 1 exists)
+
+  SpIterator from0(g, 0);
+  size_t visits0 = 0;
+  while (from0.HasNext()) {
+    from0.Next();
+    ++visits0;
+  }
+  EXPECT_EQ(visits0, 1u);  // nothing points into 0
+}
+
+TEST(SpIteratorTest, NumSettledTracks) {
+  Graph g = PathGraph();
+  SpIterator it(g, 3);
+  EXPECT_EQ(it.num_settled(), 0u);
+  it.Next();
+  it.Next();
+  EXPECT_EQ(it.num_settled(), 2u);
+}
+
+}  // namespace
+}  // namespace banks

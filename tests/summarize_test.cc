@@ -1,0 +1,125 @@
+#include "core/summarize.h"
+
+#include <gtest/gtest.h>
+
+#include "core/banks.h"
+#include "datagen/dblp_gen.h"
+#include "eval/workload.h"
+
+namespace banks {
+namespace {
+
+class SummarizeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DblpConfig config;
+    config.num_authors = 120;
+    config.num_papers = 240;
+    DblpDataset ds = GenerateDblp(config);
+    engine_ = new BanksEngine(std::move(ds.db),
+                              EvalWorkload::DefaultOptions());
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+  static BanksEngine* engine_;
+};
+
+BanksEngine* SummarizeTest::engine_ = nullptr;
+
+TEST_F(SummarizeTest, SignatureUsesRelationNames) {
+  auto result = engine_->Search("soumen sunita");
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().answers.empty());
+  std::string sig = StructureSignature(result.value().answers[0],
+                                       engine_->data_graph(), engine_->db());
+  EXPECT_NE(sig.find("Paper"), std::string::npos);
+  EXPECT_NE(sig.find("Writes"), std::string::npos);
+  EXPECT_NE(sig.find("Author"), std::string::npos);
+}
+
+TEST_F(SummarizeTest, SameShapeSameSignature) {
+  // The two co-authored papers produce structurally identical answers:
+  // Paper(Writes(Author) Writes(Author)).
+  auto result = engine_->Search("soumen sunita");
+  ASSERT_TRUE(result.ok());
+  const auto& answers = result.value().answers;
+  ASSERT_GE(answers.size(), 2u);
+  EXPECT_EQ(StructureSignature(answers[0], engine_->data_graph(),
+                               engine_->db()),
+            StructureSignature(answers[1], engine_->data_graph(),
+                               engine_->db()));
+}
+
+TEST_F(SummarizeTest, ChildOrderIrrelevant) {
+  // Hand-built mirror trees: same children, different insertion order.
+  const DataGraph& dg = engine_->data_graph();
+  // Find a Writes node and its paper/author neighbours.
+  const Table* writes = engine_->db().table(kWritesTable);
+  ASSERT_GT(writes->num_rows(), 0u);
+  NodeId w = dg.NodeForRid(Rid{writes->id(), 0});
+  ASSERT_EQ(dg.graph.OutEdges(w).size(), 2u);
+  NodeId a = dg.graph.OutEdges(w)[0].to;
+  NodeId b = dg.graph.OutEdges(w)[1].to;
+
+  ConnectionTree t1, t2;
+  t1.root = w;
+  t1.edges = {{w, a, 1.0}, {w, b, 1.0}};
+  t2.root = w;
+  t2.edges = {{w, b, 1.0}, {w, a, 1.0}};
+  EXPECT_EQ(StructureSignature(t1, dg, engine_->db()),
+            StructureSignature(t2, dg, engine_->db()));
+}
+
+TEST_F(SummarizeTest, GroupByStructurePartitionsAnswers) {
+  auto result = engine_->Search("soumen sunita");
+  ASSERT_TRUE(result.ok());
+  const auto& answers = result.value().answers;
+  auto groups = GroupByStructure(answers, engine_->data_graph(),
+                                 engine_->db());
+  ASSERT_FALSE(groups.empty());
+  size_t total = 0;
+  for (const auto& g : groups) {
+    EXPECT_FALSE(g.answer_indexes.empty());
+    total += g.answer_indexes.size();
+    // Within-group indexes ascend (rank order preserved).
+    for (size_t i = 1; i < g.answer_indexes.size(); ++i) {
+      EXPECT_LT(g.answer_indexes[i - 1], g.answer_indexes[i]);
+    }
+  }
+  EXPECT_EQ(total, answers.size());
+  // The first group holds the top answer.
+  EXPECT_EQ(groups[0].answer_indexes[0], 0u);
+}
+
+TEST_F(SummarizeTest, FilterByStructure) {
+  auto result = engine_->Search("soumen sunita");
+  ASSERT_TRUE(result.ok());
+  const auto& answers = result.value().answers;
+  auto groups = GroupByStructure(answers, engine_->data_graph(),
+                                 engine_->db());
+  ASSERT_FALSE(groups.empty());
+  auto filtered = FilterByStructure(answers, groups[0].structure,
+                                    engine_->data_graph(), engine_->db());
+  EXPECT_EQ(filtered.size(), groups[0].answer_indexes.size());
+  for (const auto& t : filtered) {
+    EXPECT_EQ(StructureSignature(t, engine_->data_graph(), engine_->db()),
+              groups[0].structure);
+  }
+  EXPECT_TRUE(FilterByStructure(answers, "NoSuchStructure",
+                                engine_->data_graph(), engine_->db())
+                  .empty());
+}
+
+TEST_F(SummarizeTest, SingleNodeSignatureIsTableName) {
+  auto result = engine_->Search("mohan");
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().answers.empty());
+  EXPECT_EQ(StructureSignature(result.value().answers[0],
+                               engine_->data_graph(), engine_->db()),
+            "Author");
+}
+
+}  // namespace
+}  // namespace banks

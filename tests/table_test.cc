@@ -1,0 +1,105 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+namespace banks {
+namespace {
+
+Table MakeTable() {
+  return Table(0, TableSchema("Person",
+                              {{"Id", ValueType::kInt},
+                               {"Name", ValueType::kString},
+                               {"Score", ValueType::kDouble}},
+                              {"Id"}));
+}
+
+TEST(TableTest, InsertAndRead) {
+  Table t = MakeTable();
+  auto r = t.Insert(Tuple({Value(int64_t{1}), Value("Ann"), Value(3.5)}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 0u);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.row(0).at(1).AsString(), "Ann");
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table t = MakeTable();
+  auto r = t.Insert(Tuple({Value(int64_t{1})}));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, TypeMismatchRejected) {
+  Table t = MakeTable();
+  auto r = t.Insert(Tuple({Value("oops"), Value("Ann"), Value(1.0)}));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TableTest, NullAllowedInAnyColumn) {
+  Table t = MakeTable();
+  auto r = t.Insert(Tuple({Value(int64_t{1}), Value::Null(), Value::Null()}));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(TableTest, DuplicatePrimaryKeyRejected) {
+  Table t = MakeTable();
+  ASSERT_TRUE(t.Insert(Tuple({Value(int64_t{1}), Value("A"), Value(1.0)})).ok());
+  auto dup = t.Insert(Tuple({Value(int64_t{1}), Value("B"), Value(2.0)}));
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, LookupPk) {
+  Table t = MakeTable();
+  ASSERT_TRUE(t.Insert(Tuple({Value(int64_t{5}), Value("E"), Value(0.0)})).ok());
+  ASSERT_TRUE(t.Insert(Tuple({Value(int64_t{9}), Value("N"), Value(0.0)})).ok());
+  auto row = t.LookupPk({Value(int64_t{9})});
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(*row, 1u);
+  EXPECT_FALSE(t.LookupPk({Value(int64_t{77})}).has_value());
+}
+
+TEST(TableTest, CompositePkLookup) {
+  Table t(0, TableSchema("Writes",
+                         {{"A", ValueType::kString},
+                          {"P", ValueType::kString}},
+                         {"A", "P"}));
+  ASSERT_TRUE(t.Insert(Tuple({Value("a1"), Value("p1")})).ok());
+  ASSERT_TRUE(t.Insert(Tuple({Value("a1"), Value("p2")})).ok());
+  EXPECT_TRUE(t.LookupPk({Value("a1"), Value("p2")}).has_value());
+  EXPECT_FALSE(t.LookupPk({Value("a2"), Value("p1")}).has_value());
+  // Same author, different paper is not a duplicate.
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, NoPkTableAllowsDuplicates) {
+  Table t(0, TableSchema("Log", {{"msg", ValueType::kString}}, {}));
+  EXPECT_TRUE(t.Insert(Tuple({Value("x")})).ok());
+  EXPECT_TRUE(t.Insert(Tuple({Value("x")})).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TupleTest, EncodeKeyDistinguishesNullZeroEmpty) {
+  Tuple a({Value::Null()});
+  Tuple b({Value(int64_t{0})});
+  Tuple c({Value("")});
+  EXPECT_NE(a.EncodeKey({0}), b.EncodeKey({0}));
+  EXPECT_NE(a.EncodeKey({0}), c.EncodeKey({0}));
+  EXPECT_NE(b.EncodeKey({0}), c.EncodeKey({0}));
+}
+
+TEST(TupleTest, EncodeKeyEscapesSeparator) {
+  Tuple a({Value(std::string("x\x1fy")), Value("z")});
+  Tuple b({Value("x"), Value(std::string("y\x1fz"))});
+  EXPECT_NE(a.EncodeKey({0, 1}), b.EncodeKey({0, 1}));
+}
+
+TEST(TupleTest, ToString) {
+  Tuple t({Value(int64_t{1}), Value("hi"), Value::Null()});
+  EXPECT_EQ(t.ToString(), "(1, 'hi', NULL)");
+}
+
+}  // namespace
+}  // namespace banks

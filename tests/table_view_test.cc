@@ -1,0 +1,172 @@
+#include "browse/table_view.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/thesis_gen.h"
+
+namespace banks {
+namespace {
+
+class TableViewTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ThesisConfig config;
+    config.num_departments = 4;
+    config.num_faculty = 12;
+    config.num_students = 40;
+    ds_ = new ThesisDataset(GenerateThesis(config));
+  }
+  static void TearDownTestSuite() {
+    delete ds_;
+    ds_ = nullptr;
+  }
+  static ThesisDataset* ds_;
+};
+
+ThesisDataset* TableViewTest::ds_ = nullptr;
+
+TEST_F(TableViewTest, FromTable) {
+  auto view = TableView::FromTable(ds_->db, kStudentTable);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.value().num_rows(), ds_->db.table(kStudentTable)->num_rows());
+  EXPECT_EQ(view.value().columns().size(), 4u);
+  EXPECT_EQ(view.value().columns()[0].name, "Student.RollNo");
+}
+
+TEST_F(TableViewTest, FromUnknownTableFails) {
+  EXPECT_FALSE(TableView::FromTable(ds_->db, "Ghost").ok());
+}
+
+TEST_F(TableViewTest, ProjectKeepsOnlyNamedColumns) {
+  auto view = TableView::FromTable(ds_->db, kStudentTable);
+  auto proj = view.value().Project({"StudentName", "Program"});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj.value().columns().size(), 2u);
+  EXPECT_EQ(proj.value().num_rows(), view.value().num_rows());
+  EXPECT_FALSE(view.value().Project({"Nope"}).ok());
+}
+
+TEST_F(TableViewTest, SelectEquals) {
+  auto view = TableView::FromTable(ds_->db, kStudentTable);
+  auto sel = view.value().SelectEquals("Program", Value("PhD"));
+  ASSERT_TRUE(sel.ok());
+  for (const auto& row : sel.value().rows()) {
+    EXPECT_EQ(row.values[2].AsString(), "PhD");
+  }
+  EXPECT_LT(sel.value().num_rows(), view.value().num_rows());
+}
+
+TEST_F(TableViewTest, SelectContainsCaseInsensitive) {
+  auto view = TableView::FromTable(ds_->db, kDeptTable);
+  auto sel = view.value().SelectContains("DeptName", "ENGINEERING");
+  ASSERT_TRUE(sel.ok());
+  EXPECT_GT(sel.value().num_rows(), 0u);
+  for (const auto& row : sel.value().rows()) {
+    EXPECT_NE(row.values[1].AsString().find("Engineering"),
+              std::string::npos);
+  }
+}
+
+TEST_F(TableViewTest, JoinFkAddsReferencedColumns) {
+  auto view = TableView::FromTable(ds_->db, kStudentTable);
+  auto joined = view.value().JoinFk(ds_->db, "student_dept");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined.value().columns().size(), 4u + 2u);
+  EXPECT_EQ(joined.value().num_rows(), view.value().num_rows());
+  // Dept name cell must be non-null and match the student's dept id.
+  auto dept_id_col = joined.value().ColumnIndex("Student.DeptId");
+  auto dept_pk_col = joined.value().ColumnIndex("Department.DeptId");
+  ASSERT_TRUE(dept_id_col.has_value() && dept_pk_col.has_value());
+  for (const auto& row : joined.value().rows()) {
+    EXPECT_EQ(row.values[*dept_id_col], row.values[*dept_pk_col]);
+  }
+}
+
+TEST_F(TableViewTest, JoinReverseFkFansOut) {
+  auto view = TableView::FromTable(ds_->db, kDeptTable);
+  auto joined = view.value().JoinReverseFk(ds_->db, "student_dept");
+  ASSERT_TRUE(joined.ok());
+  // One row per student (every dept has at least one), possibly plus
+  // NULL-padded rows for studentless departments.
+  EXPECT_GE(joined.value().num_rows(),
+            ds_->db.table(kStudentTable)->num_rows());
+}
+
+TEST_F(TableViewTest, JoinUnknownFkFails) {
+  auto view = TableView::FromTable(ds_->db, kStudentTable);
+  EXPECT_FALSE(view.value().JoinFk(ds_->db, "ghost_fk").ok());
+  EXPECT_FALSE(view.value().JoinReverseFk(ds_->db, "ghost_fk").ok());
+}
+
+TEST_F(TableViewTest, SortByAscendingAndDescending) {
+  auto view = TableView::FromTable(ds_->db, kStudentTable);
+  auto asc = view.value().SortBy("RollNo", true);
+  ASSERT_TRUE(asc.ok());
+  const auto& rows = asc.value().rows();
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_FALSE(rows[i].values[0] < rows[i - 1].values[0]);
+  }
+  auto desc = view.value().SortBy("RollNo", false);
+  ASSERT_TRUE(desc.ok());
+  const auto& drows = desc.value().rows();
+  for (size_t i = 1; i < drows.size(); ++i) {
+    EXPECT_FALSE(drows[i - 1].values[0] < drows[i].values[0]);
+  }
+}
+
+TEST_F(TableViewTest, GroupByCountsMatchTotal) {
+  auto view = TableView::FromTable(ds_->db, kStudentTable);
+  auto groups = view.value().GroupBy("Program");
+  ASSERT_TRUE(groups.ok());
+  size_t total = 0;
+  for (const auto& [value, count] : groups.value()) total += count;
+  EXPECT_EQ(total, view.value().num_rows());
+  EXPECT_GT(groups.value().size(), 1u);
+}
+
+TEST_F(TableViewTest, GroupRowsSelectsMembers) {
+  auto view = TableView::FromTable(ds_->db, kStudentTable);
+  auto groups = view.value().GroupBy("Program");
+  ASSERT_TRUE(groups.ok());
+  const auto& [value, count] = groups.value()[0];
+  auto members = view.value().GroupRows("Program", value);
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(members.value().num_rows(), count);
+}
+
+TEST_F(TableViewTest, Pagination) {
+  auto view = TableView::FromTable(ds_->db, kStudentTable);
+  size_t n = view.value().num_rows();
+  auto p0 = view.value().Page(10, 0);
+  auto p_last = view.value().Page(10, (n - 1) / 10);
+  EXPECT_EQ(p0.num_rows(), 10u);
+  EXPECT_GE(p_last.num_rows(), 1u);
+  EXPECT_LE(p_last.num_rows(), 10u);
+  auto beyond = view.value().Page(10, n / 10 + 5);
+  EXPECT_EQ(beyond.num_rows(), 0u);
+}
+
+TEST_F(TableViewTest, ProvenanceSurvivesPipelines) {
+  auto view = TableView::FromTable(ds_->db, kStudentTable);
+  auto pipeline =
+      view.value().SelectEquals("Program", Value("PhD")).value().Project(
+          {"StudentName"});
+  ASSERT_TRUE(pipeline.ok());
+  for (const auto& row : pipeline.value().rows()) {
+    ASSERT_FALSE(row.provenance.empty());
+    EXPECT_EQ(row.provenance[0].table_id,
+              ds_->db.table(kStudentTable)->id());
+  }
+}
+
+TEST_F(TableViewTest, BareColumnNameAmbiguityDetected) {
+  auto view = TableView::FromTable(ds_->db, kStudentTable);
+  auto joined = view.value().JoinFk(ds_->db, "student_dept");
+  ASSERT_TRUE(joined.ok());
+  // "DeptId" now exists in both Student and Department: ambiguous.
+  EXPECT_FALSE(joined.value().ColumnIndex("DeptId").has_value());
+  EXPECT_TRUE(joined.value().ColumnIndex("Student.DeptId").has_value());
+}
+
+}  // namespace
+}  // namespace banks

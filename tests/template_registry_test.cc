@@ -1,0 +1,148 @@
+#include "browse/template_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "browse/browser.h"
+#include "datagen/thesis_gen.h"
+#include "storage/csv.h"
+
+namespace banks {
+namespace {
+
+class TemplateRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ThesisConfig config;
+    config.num_departments = 4;
+    config.num_faculty = 10;
+    config.num_students = 60;
+    ds_ = GenerateThesis(config);
+  }
+  ThesisDataset ds_;
+};
+
+TEST_F(TemplateRegistryTest, RegisterAndLookup) {
+  TemplateInstance inst{"by-program", "groupby", kStudentTable,
+                        {"Program"}, ""};
+  ASSERT_TRUE(TemplateRegistry::Register(&ds_.db, inst).ok());
+  auto found = TemplateRegistry::Lookup(ds_.db, "by-program");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value().kind, "groupby");
+  EXPECT_EQ(found.value().base_table, kStudentTable);
+  ASSERT_EQ(found.value().params.size(), 1u);
+  EXPECT_EQ(found.value().params[0], "Program");
+  EXPECT_FALSE(TemplateRegistry::Lookup(ds_.db, "ghost").ok());
+}
+
+TEST_F(TemplateRegistryTest, ValidationRules) {
+  EXPECT_FALSE(TemplateRegistry::Register(
+                   &ds_.db, {"", "groupby", kStudentTable, {"Program"}, ""})
+                   .ok());
+  EXPECT_FALSE(TemplateRegistry::Register(
+                   &ds_.db, {"x", "hologram", kStudentTable, {"P"}, ""})
+                   .ok());
+  EXPECT_FALSE(TemplateRegistry::Register(
+                   &ds_.db, {"x", "groupby", "Ghost", {"P"}, ""})
+                   .ok());
+  // Duplicate name.
+  ASSERT_TRUE(TemplateRegistry::Register(
+                  &ds_.db, {"dup", "groupby", kStudentTable, {"Program"}, ""})
+                  .ok());
+  EXPECT_FALSE(TemplateRegistry::Register(
+                   &ds_.db, {"dup", "groupby", kStudentTable, {"Program"}, ""})
+                   .ok());
+}
+
+TEST_F(TemplateRegistryTest, RenderEachKind) {
+  ASSERT_TRUE(TemplateRegistry::Register(
+                  &ds_.db, {"ct", "crosstab", kStudentTable,
+                            {"DeptId", "Program"}, ""})
+                  .ok());
+  ASSERT_TRUE(TemplateRegistry::Register(
+                  &ds_.db, {"gb", "groupby", kStudentTable,
+                            {"DeptId", "Program"}, ""})
+                  .ok());
+  ASSERT_TRUE(TemplateRegistry::Register(
+                  &ds_.db,
+                  {"fold", "folder", kStudentTable, {"DeptId"}, ""})
+                  .ok());
+  ASSERT_TRUE(TemplateRegistry::Register(
+                  &ds_.db, {"bar", "barchart", kStudentTable, {"Program"}, ""})
+                  .ok());
+  ASSERT_TRUE(TemplateRegistry::Register(
+                  &ds_.db, {"pie", "piechart", kStudentTable, {"Program"}, ""})
+                  .ok());
+  for (const char* name : {"ct", "gb", "fold", "bar", "pie"}) {
+    auto html = TemplateRegistry::RenderByName(ds_.db, name);
+    ASSERT_TRUE(html.ok()) << name << ": " << html.status().ToString();
+    EXPECT_FALSE(html.value().empty());
+  }
+}
+
+TEST_F(TemplateRegistryTest, CompositionLink) {
+  ASSERT_TRUE(TemplateRegistry::Register(
+                  &ds_.db,
+                  {"first", "groupby", kStudentTable, {"DeptId"}, "second"})
+                  .ok());
+  ASSERT_TRUE(TemplateRegistry::Register(
+                  &ds_.db,
+                  {"second", "barchart", kStudentTable, {"Program"}, ""})
+                  .ok());
+  auto html = TemplateRegistry::RenderByName(ds_.db, "first");
+  ASSERT_TRUE(html.ok());
+  EXPECT_NE(html.value().find("banks:template/second"), std::string::npos);
+}
+
+TEST_F(TemplateRegistryTest, BrowserNavigatesTemplateUris) {
+  ASSERT_TRUE(TemplateRegistry::Register(
+                  &ds_.db,
+                  {"nav", "groupby", kStudentTable, {"Program"}, ""})
+                  .ok());
+  Browser browser(ds_.db);
+  auto page = browser.Navigate(TemplateUri("nav"));
+  ASSERT_TRUE(page.ok());
+  EXPECT_NE(page.value().find("<ul>"), std::string::npos);
+  EXPECT_FALSE(browser.Navigate(TemplateUri("missing")).ok());
+}
+
+TEST_F(TemplateRegistryTest, HiddenBaseTableBlocksTemplate) {
+  ASSERT_TRUE(TemplateRegistry::Register(
+                  &ds_.db,
+                  {"sec", "groupby", kStudentTable, {"Program"}, ""})
+                  .ok());
+  Browser restricted(ds_.db, {kStudentTable});
+  EXPECT_FALSE(restricted.Navigate(TemplateUri("sec")).ok());
+}
+
+TEST_F(TemplateRegistryTest, SurvivesCsvRoundTrip) {
+  ASSERT_TRUE(TemplateRegistry::Register(
+                  &ds_.db,
+                  {"persisted", "crosstab", kStudentTable,
+                   {"DeptId", "Program"}, ""})
+                  .ok());
+  auto dir = std::filesystem::temp_directory_path() /
+             ("banks_tmpl_" + std::to_string(::getpid()));
+  ASSERT_TRUE(SaveDatabase(ds_.db, dir.string()).ok());
+  auto loaded = LoadDatabase(dir.string());
+  ASSERT_TRUE(loaded.ok());
+  auto html = TemplateRegistry::RenderByName(loaded.value(), "persisted");
+  EXPECT_TRUE(html.ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(TemplateRegistryTest, AllListsEverything) {
+  ASSERT_TRUE(TemplateRegistry::Register(
+                  &ds_.db, {"a", "groupby", kStudentTable, {"Program"}, ""})
+                  .ok());
+  ASSERT_TRUE(TemplateRegistry::Register(
+                  &ds_.db, {"b", "barchart", kStudentTable, {"Program"}, ""})
+                  .ok());
+  EXPECT_EQ(TemplateRegistry::All(ds_.db).size(), 2u);
+  Database empty;
+  EXPECT_TRUE(TemplateRegistry::All(empty).empty());
+}
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,50 @@
+#include "index/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace banks {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  auto t = Tokenize("Mining Surprising Patterns");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "mining");
+  EXPECT_EQ(t[2], "patterns");
+}
+
+TEST(TokenizerTest, PunctuationSeparates) {
+  auto t = Tokenize("Chakrabarti,S.-D.(1998)");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0], "chakrabarti");
+  EXPECT_EQ(t[1], "s");
+  EXPECT_EQ(t[2], "d");
+  EXPECT_EQ(t[3], "1998");
+}
+
+TEST(TokenizerTest, NumbersKept) {
+  auto t = Tokenize("tpc-h 2002 benchmark");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[1], "h");
+  EXPECT_EQ(t[2], "2002");
+}
+
+TEST(TokenizerTest, EmptyAndPurePunctuation) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("... --- !!!").empty());
+}
+
+TEST(TokenizerTest, AlphanumericRunsStayTogether) {
+  auto t = Tokenize("ChakrabartiSD98");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0], "chakrabartisd98");
+}
+
+TEST(NormalizeKeywordTest, Basics) {
+  EXPECT_EQ(NormalizeKeyword("Soumen"), "soumen");
+  EXPECT_EQ(NormalizeKeyword("  Levy!  "), "levy");
+  EXPECT_EQ(NormalizeKeyword("!!"), "");
+  EXPECT_EQ(NormalizeKeyword("Author:Levy"), "authorlevy");
+}
+
+}  // namespace
+}  // namespace banks

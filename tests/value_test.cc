@@ -1,0 +1,65 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+namespace banks {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(int64_t{7}).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, ToText) {
+  EXPECT_EQ(Value().ToText(), "");
+  EXPECT_EQ(Value(int64_t{-12}).ToText(), "-12");
+  EXPECT_EQ(Value(3.0).ToText(), "3.0");
+  EXPECT_EQ(Value(0.25).ToText(), "0.25");
+  EXPECT_EQ(Value("hello world").ToText(), "hello world");
+}
+
+TEST(ValueTest, EqualityWithinType) {
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_EQ(Value(int64_t{3}), Value(int64_t{3}));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, CrossNumericEquality) {
+  EXPECT_EQ(Value(int64_t{3}), Value(3.0));
+  EXPECT_NE(Value(int64_t{3}), Value(3.5));
+}
+
+TEST(ValueTest, NullNotEqualToAnythingElse) {
+  EXPECT_NE(Value(), Value(int64_t{0}));
+  EXPECT_NE(Value(), Value(""));
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_LT(Value(), Value(int64_t{0}));           // NULL first
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value(int64_t{5}), Value("apple"));    // numbers before strings
+  EXPECT_LT(Value("apple"), Value("banana"));
+  EXPECT_LT(Value(1.5), Value(int64_t{2}));        // cross-numeric order
+  EXPECT_FALSE(Value() < Value());                 // irreflexive on equals
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{3}).Hash(), Value(3.0).Hash());
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+  EXPECT_NE(Value("x").Hash(), Value("y").Hash());
+  EXPECT_EQ(Value().Hash(), Value().Hash());
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kNull), "NULL");
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt), "INT");
+  EXPECT_STREQ(ValueTypeName(ValueType::kDouble), "DOUBLE");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "STRING");
+}
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,92 @@
+#include "eval/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace banks {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DblpConfig dblp;
+    dblp.num_authors = 150;
+    dblp.num_papers = 300;
+    ThesisConfig thesis;
+    thesis.num_faculty = 60;
+    thesis.num_students = 300;
+    workload_ = new EvalWorkload(dblp, thesis);
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    workload_ = nullptr;
+  }
+  static EvalWorkload* workload_;
+};
+
+EvalWorkload* WorkloadTest::workload_ = nullptr;
+
+TEST_F(WorkloadTest, SevenQueriesDefined) {
+  EXPECT_EQ(workload_->queries().size(), 7u);
+  for (const auto& q : workload_->queries()) {
+    EXPECT_FALSE(q.text.empty());
+    EXPECT_FALSE(q.ideals.empty());
+  }
+}
+
+TEST_F(WorkloadTest, ScaledErrorInRange) {
+  ScoringParams best;  // lambda=0.2 + edge log (paper's best)
+  for (const auto& q : workload_->queries()) {
+    double err = workload_->ScaledError(q, best);
+    EXPECT_GE(err, 0.0) << q.name;
+    EXPECT_LE(err, 100.0) << q.name;
+  }
+}
+
+TEST_F(WorkloadTest, BestSettingBeatsIgnoringEdges) {
+  ScoringParams best;        // lambda=0.2, edge_log=true
+  ScoringParams no_edges;    // lambda=1 ignores edge weights entirely
+  no_edges.lambda = 1.0;
+  double err_best = workload_->AverageScaledError(best);
+  double err_no_edges = workload_->AverageScaledError(no_edges);
+  EXPECT_LE(err_best, err_no_edges);
+}
+
+TEST_F(WorkloadTest, BestSettingNearZeroError) {
+  // §5.3: "Setting lambda to 0.2 with log scaling of edge weights did best,
+  // with an error score of ~0."
+  ScoringParams best;
+  EXPECT_LE(workload_->AverageScaledError(best), 10.0);
+}
+
+TEST_F(WorkloadTest, LambdaZeroWorseThanBest) {
+  // Ignoring node weights misranks prestige queries (Q3/Q4/Q7).
+  ScoringParams best;
+  ScoringParams no_nodes;
+  no_nodes.lambda = 0.0;
+  EXPECT_LT(workload_->AverageScaledError(best),
+            workload_->AverageScaledError(no_nodes));
+}
+
+TEST_F(WorkloadTest, CombinationModeBarelyMatters) {
+  // §5.3: additive vs multiplicative has almost no impact (without log
+  // scaling, where multiplicative is well-defined per the paper).
+  ScoringParams add;
+  add.edge_log = false;
+  add.node_log = false;
+  add.multiplicative = false;
+  add.lambda = 0.2;
+  ScoringParams mult = add;
+  mult.multiplicative = true;
+  double err_add = workload_->AverageScaledError(add);
+  double err_mult = workload_->AverageScaledError(mult);
+  EXPECT_NEAR(err_add, err_mult, 15.0);
+}
+
+TEST_F(WorkloadTest, EnginesSeparateDatasets) {
+  EXPECT_NE(workload_->dblp_engine().db().table(kPaperTable), nullptr);
+  EXPECT_NE(workload_->thesis_engine().db().table(kThesisTable), nullptr);
+  EXPECT_EQ(workload_->thesis_engine().db().table(kPaperTable), nullptr);
+}
+
+}  // namespace
+}  // namespace banks

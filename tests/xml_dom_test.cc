@@ -1,0 +1,86 @@
+#include "xml/xml_dom.h"
+
+#include <gtest/gtest.h>
+
+namespace banks {
+namespace {
+
+TEST(XmlParseTest, SimpleElement) {
+  auto r = ParseXml("<root>hello</root>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value()->tag, "root");
+  EXPECT_EQ(r.value()->text, "hello");
+  EXPECT_TRUE(r.value()->children.empty());
+}
+
+TEST(XmlParseTest, NestedElements) {
+  auto r = ParseXml(
+      "<bib><book><title>TP</title><author>Gray</author></book></bib>");
+  ASSERT_TRUE(r.ok());
+  const XmlElement& bib = *r.value();
+  ASSERT_EQ(bib.children.size(), 1u);
+  const XmlElement& book = *bib.children[0];
+  ASSERT_EQ(book.children.size(), 2u);
+  EXPECT_EQ(book.children[0]->tag, "title");
+  EXPECT_EQ(book.children[0]->text, "TP");
+  EXPECT_EQ(book.children[1]->text, "Gray");
+  EXPECT_EQ(bib.SubtreeSize(), 4u);
+}
+
+TEST(XmlParseTest, Attributes) {
+  auto r = ParseXml("<book year=\"1993\" lang='en'/>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->Attribute("year"), "1993");
+  EXPECT_EQ(r.value()->Attribute("lang"), "en");
+  EXPECT_EQ(r.value()->Attribute("missing"), "");
+}
+
+TEST(XmlParseTest, SelfClosingAndMixedContent) {
+  auto r = ParseXml("<a>before<b/>after</a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->children.size(), 1u);
+  EXPECT_EQ(r.value()->text, "beforeafter");
+}
+
+TEST(XmlParseTest, CommentsAndDeclarationSkipped) {
+  auto r = ParseXml(
+      "<?xml version=\"1.0\"?><!-- c1 --><root><!-- c2 -->x</root>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->text, "x");
+}
+
+TEST(XmlParseTest, Cdata) {
+  auto r = ParseXml("<t><![CDATA[a < b & c]]></t>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->text, "a < b & c");
+}
+
+TEST(XmlParseTest, Entities) {
+  auto r = ParseXml("<t attr=\"&quot;q&quot;\">&lt;x&gt; &amp; &#65;</t>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->text, "<x> & A");
+  EXPECT_EQ(r.value()->Attribute("attr"), "\"q\"");
+}
+
+TEST(XmlParseTest, Errors) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a><b></a></b>").ok());   // mismatched nesting
+  EXPECT_FALSE(ParseXml("<a>").ok());              // unterminated
+  EXPECT_FALSE(ParseXml("<a></a><b></b>").ok());   // two roots
+  EXPECT_FALSE(ParseXml("<a attr=oops></a>").ok());  // unquoted attribute
+  EXPECT_FALSE(ParseXml("just text").ok());
+}
+
+TEST(XmlParseTest, WhitespaceTrimmedFromText) {
+  auto r = ParseXml("<t>\n   padded   \n</t>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->text, "padded");
+}
+
+TEST(DecodeEntitiesTest, UnknownEntityKeptVerbatim) {
+  EXPECT_EQ(DecodeXmlEntities("&unknown; &amp;"), "&unknown; &");
+  EXPECT_EQ(DecodeXmlEntities("lone & ampersand"), "lone & ampersand");
+}
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,82 @@
+#include "xml/xml_export.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/xml_shred.h"
+
+namespace banks {
+namespace {
+
+const char* kDoc = R"(
+<library city="Pune">
+  <shelf id="s1">
+    <book year="1993"><title>Transaction Processing</title></book>
+    <book year="2002"><title>Keyword Search &amp; Browsing</title></book>
+  </shelf>
+  <shelf id="s2"/>
+</library>
+)";
+
+TEST(XmlEscapeTest, Basics) {
+  EXPECT_EQ(XmlEscape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+  EXPECT_EQ(XmlEscape("plain"), "plain");
+}
+
+TEST(UnshredTest, ShredUnshredShredIsIdentity) {
+  auto db1 = XmlToDatabase(kDoc);
+  ASSERT_TRUE(db1.ok());
+  auto xml2 = UnshredXml(db1.value());
+  ASSERT_TRUE(xml2.ok()) << xml2.status().ToString();
+  auto db2 = XmlToDatabase(xml2.value());
+  ASSERT_TRUE(db2.ok()) << xml2.value();
+
+  const Table* e1 = db1.value().table(kXmlElementTable);
+  const Table* e2 = db2.value().table(kXmlElementTable);
+  ASSERT_EQ(e1->num_rows(), e2->num_rows());
+  for (uint32_t r = 0; r < e1->num_rows(); ++r) {
+    EXPECT_EQ(e1->row(r).ToString(), e2->row(r).ToString()) << "row " << r;
+  }
+  const Table* a1 = db1.value().table(kXmlAttributeTable);
+  const Table* a2 = db2.value().table(kXmlAttributeTable);
+  ASSERT_EQ(a1->num_rows(), a2->num_rows());
+  for (uint32_t r = 0; r < a1->num_rows(); ++r) {
+    EXPECT_EQ(a1->row(r).ToString(), a2->row(r).ToString());
+  }
+}
+
+TEST(UnshredTest, SpecialCharactersSurvive) {
+  auto db = XmlToDatabase("<t a=\"x&amp;y\">1 &lt; 2</t>");
+  ASSERT_TRUE(db.ok());
+  auto xml = UnshredXml(db.value());
+  ASSERT_TRUE(xml.ok());
+  EXPECT_NE(xml.value().find("a=\"x&amp;y\""), std::string::npos);
+  EXPECT_NE(xml.value().find("1 &lt; 2"), std::string::npos);
+}
+
+TEST(UnshredTest, RejectsNonXmlDatabase) {
+  Database db;
+  ASSERT_TRUE(
+      db.CreateTable(TableSchema("T", {{"x", ValueType::kInt}}, {})).ok());
+  EXPECT_FALSE(UnshredXml(db).ok());
+}
+
+TEST(ExportDatabaseXmlTest, EveryTableAndRowPresent) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(TableSchema("Author",
+                                         {{"Id", ValueType::kString},
+                                          {"Name", ValueType::kString}},
+                                         {"Id"}))
+                  .ok());
+  ASSERT_TRUE(db.Insert("Author", Tuple({Value("a1"), Value("X <& Y")})).ok());
+  ASSERT_TRUE(db.Insert("Author", Tuple({Value("a2"), Value::Null()})).ok());
+  std::string xml = ExportDatabaseXml(db);
+  EXPECT_NE(xml.find("<table name=\"Author\">"), std::string::npos);
+  EXPECT_NE(xml.find("<Name>X &lt;&amp; Y</Name>"), std::string::npos);
+  // NULL columns are omitted.
+  EXPECT_NE(xml.find("<row><Id>a2</Id></row>"), std::string::npos);
+  // The export re-parses as well-formed XML.
+  EXPECT_TRUE(ParseXml(xml).ok());
+}
+
+}  // namespace
+}  // namespace banks

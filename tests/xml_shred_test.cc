@@ -1,0 +1,126 @@
+#include "xml/xml_shred.h"
+
+#include <gtest/gtest.h>
+
+#include "core/banks.h"
+#include "graph/graph_builder.h"
+
+namespace banks {
+namespace {
+
+const char* kBibXml = R"(
+<bib>
+  <book year="1993">
+    <title>Transaction Processing Concepts</title>
+    <author>Jim Gray</author>
+    <author>Andreas Reuter</author>
+  </book>
+  <book year="2002">
+    <title>Keyword Searching in Databases</title>
+    <author>Gaurav Bhalotia</author>
+  </book>
+</bib>
+)";
+
+TEST(XmlShredTest, TablesAndCounts) {
+  auto db = XmlToDatabase(kBibXml);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  // Elements: bib, 2 book, 2 title, 3 author = 8.
+  EXPECT_EQ(db.value().table(kXmlElementTable)->num_rows(), 8u);
+  // Attributes: 2 year.
+  EXPECT_EQ(db.value().table(kXmlAttributeTable)->num_rows(), 2u);
+}
+
+TEST(XmlShredTest, ContainmentFkResolves) {
+  auto db = XmlToDatabase(kBibXml);
+  ASSERT_TRUE(db.ok());
+  const Database& d = db.value();
+  const Table* elem = d.table(kXmlElementTable);
+  size_t roots = 0, children = 0;
+  for (uint32_t r = 0; r < elem->num_rows(); ++r) {
+    Rid rid{elem->id(), r};
+    bool has_parent = false;
+    for (const auto& ref : d.References(rid)) {
+      if (ref.fk_name == kXmlContainsFk) has_parent = true;
+    }
+    has_parent ? ++children : ++roots;
+  }
+  EXPECT_EQ(roots, 1u);      // only <bib> has no parent
+  EXPECT_EQ(children, 7u);
+}
+
+TEST(XmlShredTest, ContainmentBecomesGraphEdges) {
+  auto db = XmlToDatabase(kBibXml);
+  ASSERT_TRUE(db.ok());
+  DataGraph dg = BuildDataGraph(db.value());
+  // 8 elements + 2 attributes = 10 nodes; links: 7 containment + 2 attr
+  // = 9 links = 18 directed edges.
+  EXPECT_EQ(dg.graph.num_nodes(), 10u);
+  EXPECT_EQ(dg.graph.num_edges(), 18u);
+}
+
+TEST(XmlShredTest, KeywordSearchOverXml) {
+  auto db = XmlToDatabase(kBibXml);
+  ASSERT_TRUE(db.ok());
+  BanksEngine engine(std::move(db).value());
+  // Two keywords from different children of the same <book>: the book
+  // element is the information node connecting title and author.
+  auto result = engine.Search("gray transaction");
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().answers.empty());
+  const auto& top = result.value().answers[0];
+  // The answer must contain the title element, the author element, and the
+  // book element joining them.
+  bool has_book = false;
+  for (NodeId n : top.Nodes()) {
+    Rid rid = engine.data_graph().RidForNode(n);
+    const Tuple* t = engine.db().Get(rid);
+    if (rid.table_id == engine.db().table(kXmlElementTable)->id() &&
+        t->at(1).AsString() == "book") {
+      has_book = true;
+    }
+  }
+  EXPECT_TRUE(has_book) << engine.Render(top);
+}
+
+TEST(XmlShredTest, MetadataKeywordMatchesTagTable) {
+  auto db = XmlToDatabase(kBibXml);
+  ASSERT_TRUE(db.ok());
+  BanksEngine engine(std::move(db).value());
+  // "element" matches the Element relation name: every element tuple.
+  auto result = engine.Search("element bhalotia");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().answers.empty());
+}
+
+TEST(XmlShredTest, AttributeValuesSearchable) {
+  auto db = XmlToDatabase(kBibXml);
+  ASSERT_TRUE(db.ok());
+  BanksEngine engine(std::move(db).value());
+  auto result = engine.Search("1993 gray");
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().answers.empty());
+}
+
+TEST(XmlShredTest, HubDampingOnWideElements) {
+  // A wide element (many children) gets heavy backward containment edges.
+  std::string xml = "<root>";
+  for (int i = 0; i < 50; ++i) xml += "<item>x" + std::to_string(i) + "</item>";
+  xml += "</root>";
+  auto db = XmlToDatabase(xml);
+  ASSERT_TRUE(db.ok());
+  DataGraph dg = BuildDataGraph(db.value());
+  const Table* elem = db.value().table(kXmlElementTable);
+  NodeId root = dg.NodeForRid(Rid{elem->id(), 0});
+  NodeId item = dg.NodeForRid(Rid{elem->id(), 1});
+  // Backward edge root -> item carries the 50-way fanout.
+  EXPECT_DOUBLE_EQ(dg.graph.EdgeWeight(root, item), 50.0);
+  EXPECT_DOUBLE_EQ(dg.graph.EdgeWeight(item, root), 1.0);
+}
+
+TEST(XmlShredTest, MalformedDocumentRejected) {
+  EXPECT_FALSE(XmlToDatabase("<oops>").ok());
+}
+
+}  // namespace
+}  // namespace banks
