@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "core/sp_iterator.h"
+#include "core/expansion_iterator.h"
 
 using namespace banks;
 using namespace banks::bench;
@@ -38,7 +38,7 @@ double StudentPairDistance(size_t dept_size, bool unit_backward) {
   DataGraph dg = BuildDataGraph(db, options);
   NodeId s0 = dg.NodeForRid(Rid{db.table("Student")->id(), 0});
   NodeId s1 = dg.NodeForRid(Rid{db.table("Student")->id(), 1});
-  SpIterator it(dg.graph, s0);
+  ExpansionIterator it(dg.graph, s0);
   while (it.HasNext()) it.Next();
   return it.DistanceTo(s1);
 }

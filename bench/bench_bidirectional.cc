@@ -1,0 +1,111 @@
+// Strategy shoot-out: backward (§3) vs forward (§7) vs bidirectional
+// (BANKS-II-style) expansion on the same DBLP-style workload.
+//
+// Queries pair selective keywords (author names) with low-selectivity
+// metadata keywords ("author" matches every Author tuple, "paper" every
+// Paper). Backward search pays one reverse iterator per matching node;
+// forward search pivots on the most selective term; bidirectional keeps
+// the selective terms' backward iterators and covers the metadata terms
+// with forward probes from candidate roots, expanding whichever frontier
+// is globally cheapest. The report compares iterator_visits (total
+// frontier expansions of any kind) and wall time.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/backward_search.h"
+#include "core/bidirectional_search.h"
+#include "core/forward_search.h"
+#include "util/timer.h"
+
+using namespace banks;
+using namespace banks::bench;
+
+namespace {
+
+struct StrategyRow {
+  double ms = 0;
+  size_t visits = 0;
+  size_t answers = 0;
+};
+
+StrategyRow RunOne(const DataGraph& dg, SearchStrategy strategy,
+                   const SearchOptions& base,
+                   const std::vector<std::vector<NodeId>>& sets) {
+  SearchOptions options = base;
+  options.strategy = strategy;
+  auto search = CreateExpansionSearch(dg, options);
+  Timer t;
+  auto answers = search->Run(sets);
+  StrategyRow row;
+  row.ms = t.Millis();
+  row.visits = search->stats().iterator_visits;
+  row.answers = answers.size();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("bench_bidirectional — backward vs forward vs bidirectional",
+              "§3 backward search, §7 forward search, BANKS-II bidirectional");
+
+  DblpConfig config = EvalDblpConfig();
+  config.num_authors = 2'000;
+  config.num_papers = 4'000;
+  DblpDataset ds = GenerateDblp(config);
+  BanksEngine engine(std::move(ds.db), EvalWorkload::DefaultOptions());
+  const DataGraph& dg = engine.data_graph();
+  std::printf("graph: %zu nodes / %zu edges\n", dg.graph.num_nodes(),
+              dg.graph.num_edges());
+
+  const char* queries[] = {"author soumen",      "author mohan",
+                           "paper transaction",  "author sunita paper",
+                           "soumen sunita",      "seltzer sunita"};
+
+  std::printf("\n%-22s %8s | %10s %8s | %10s %8s | %10s %8s\n", "query",
+              "max|S|", "bwd-visit", "bwd-ms", "fwd-visit", "fwd-ms",
+              "bidi-visit", "bidi-ms");
+  PrintRule();
+
+  bool bidi_never_worse = true;
+  for (const char* q : queries) {
+    auto parsed = ParseQuery(q);
+    KeywordResolver resolver(engine.db(), dg, engine.inverted_index(),
+                             engine.metadata_index());
+    auto sets = resolver.ResolveAll(parsed, engine.options().match);
+    size_t max_set = 0;
+    bool viable = !sets.empty();
+    for (const auto& s : sets) {
+      max_set = std::max(max_set, s.size());
+      viable &= !s.empty();
+    }
+    if (!viable) {
+      std::printf("%-22s %8s\n", q, "(no match)");
+      continue;
+    }
+
+    const SearchOptions& base = engine.options().search;
+    StrategyRow bwd = RunOne(dg, SearchStrategy::kBackward, base, sets);
+    StrategyRow fwd = RunOne(dg, SearchStrategy::kForward, base, sets);
+    StrategyRow bidi = RunOne(dg, SearchStrategy::kBidirectional, base, sets);
+    bidi_never_worse &= bidi.visits <= bwd.visits;
+
+    std::printf(
+        "%-22s %8zu | %10zu %8.1f | %10zu %8.1f | %10zu %8.1f\n", q, max_set,
+        bwd.visits, bwd.ms, fwd.visits, fwd.ms, bidi.visits, bidi.ms);
+    std::printf("%-22s %8s | answers: bwd=%zu fwd=%zu bidi=%zu\n", "", "",
+                bwd.answers, fwd.answers, bidi.answers);
+  }
+
+  PrintRule();
+  std::printf(
+      "bidirectional <= backward visits on every query: %s\n"
+      "\nshape check: metadata keywords (\"author\", \"paper\") make "
+      "backward search start one\niterator per matching tuple; "
+      "bidirectional covers those terms with forward probes\nfrom candidate "
+      "roots and matches plain backward search exactly when every term\nis "
+      "selective.\n",
+      bidi_never_worse ? "yes" : "NO");
+  return bidi_never_worse ? 0 : 1;
+}

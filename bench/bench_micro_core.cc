@@ -5,7 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/backward_search.h"
-#include "core/sp_iterator.h"
+#include "core/expansion_iterator.h"
 #include "datagen/dblp_gen.h"
 #include "eval/workload.h"
 
@@ -62,11 +62,11 @@ void BM_IndexLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_IndexLookup);
 
-void BM_SpIteratorFullSweep(benchmark::State& state) {
+void BM_ExpansionIteratorFullSweep(benchmark::State& state) {
   const BanksEngine& engine = SharedEngine();
-  const Graph& g = engine.data_graph().graph;
+  const FrozenGraph& g = engine.data_graph().graph;
   for (auto _ : state) {
-    SpIterator it(g, 0);
+    ExpansionIterator it(g, 0);
     size_t visits = 0;
     while (it.HasNext()) {
       it.Next();
@@ -77,7 +77,7 @@ void BM_SpIteratorFullSweep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(g.num_nodes()));
 }
-BENCHMARK(BM_SpIteratorFullSweep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExpansionIteratorFullSweep)->Unit(benchmark::kMillisecond);
 
 void BM_QueryTwoKeywords(benchmark::State& state) {
   const BanksEngine& engine = SharedEngine();

@@ -23,7 +23,7 @@ double ErrorWithPageRank(const EvalWorkload& workload) {
   // Overwrite node weights in both engines' graphs.
   for (const BanksEngine* engine :
        {&pr_workload.dblp_engine(), &pr_workload.thesis_engine()}) {
-    auto* graph = const_cast<Graph*>(&engine->data_graph().graph);
+    auto* graph = const_cast<FrozenGraph*>(&engine->data_graph().graph);
     auto pr = PageRankPrestige(*graph);
     // Scale to a comparable magnitude (prestige is normalised by max).
     ApplyPrestige(graph, pr);

@@ -3,6 +3,7 @@
 // Usage:
 //   banks_cli <csv-dir>      load a database saved with SaveDatabase
 //   banks_cli --demo         use the built-in synthetic DBLP dataset
+//   ... [--strategy backward|forward|bidi]   expansion strategy
 //
 // Commands at the prompt:
 //   <keywords...>            run a keyword query (approx(N), attr:kw work)
@@ -13,6 +14,7 @@
 //   :k <n>                   set answers per query
 //   :lambda <x>              set the node-weight factor (0..1)
 //   :log on|off              toggle edge-weight log scaling
+//   :strategy <name>         expansion strategy (backward|forward|bidi)
 //   :quit
 #include <cstdio>
 #include <cstdlib>
@@ -121,8 +123,37 @@ void QueryCommand(const BanksEngine& engine, const std::string& query,
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::printf("usage: %s <csv-dir> | --demo\n", argv[0]);
+    std::printf("usage: %s (<csv-dir> | --demo) [--strategy <name>]\n",
+                argv[0]);
     return 2;
+  }
+  // The first argument is the dataset; flags follow. Catch a leading flag
+  // early so it gets the usage hint rather than a "load failed" error.
+  if (std::string(argv[1]) != "--demo" && argv[1][0] == '-') {
+    std::printf("first argument must be <csv-dir> or --demo, got '%s'\n",
+                argv[1]);
+    std::printf("usage: %s (<csv-dir> | --demo) [--strategy <name>]\n",
+                argv[0]);
+    return 2;
+  }
+  SearchStrategy strategy = SearchStrategy::kBackward;
+  for (int a = 2; a < argc; ++a) {
+    if (std::string(argv[a]) != "--strategy") {
+      std::printf("unknown argument '%s'\n", argv[a]);
+      std::printf("usage: %s (<csv-dir> | --demo) [--strategy <name>]\n",
+                  argv[0]);
+      return 2;
+    }
+    if (a + 1 >= argc) {
+      std::printf("--strategy requires a value (backward|forward|bidi)\n");
+      return 2;
+    }
+    if (!ParseSearchStrategy(argv[a + 1], &strategy)) {
+      std::printf("unknown strategy '%s' (backward|forward|bidi)\n",
+                  argv[a + 1]);
+      return 2;
+    }
+    ++a;  // consume the value
   }
 
   Database db;
@@ -146,6 +177,8 @@ int main(int argc, char** argv) {
   options.allow_partial_match = true;
   BanksEngine engine(std::move(db), options);
   SearchOptions search = engine.options().search;
+  search.strategy = strategy;
+  std::printf("expansion strategy: %s\n", SearchStrategyName(strategy));
   std::printf("%zu tables, %zu tuples; graph %zu nodes / %zu edges\n",
               engine.db().num_tables(), engine.db().TotalRows(),
               engine.data_graph().graph.num_nodes(),
@@ -167,7 +200,8 @@ int main(int argc, char** argv) {
           "  :browse <table> [p]    table page\n"
           "  :tuple <table> <row>   one tuple\n"
           "  :structures <kw...>    group answers by structure\n"
-          "  :k <n> | :lambda <x> | :log on|off | :quit\n");
+          "  :k <n> | :lambda <x> | :log on|off | :quit\n"
+          "  :strategy backward|forward|bidi\n");
     } else if (cmd == ":tables") {
       PrintTablesCommand(engine);
     } else if (cmd == ":browse") {
@@ -190,6 +224,16 @@ int main(int argc, char** argv) {
     } else if (cmd == ":lambda") {
       ss >> search.scoring.lambda;
       std::printf("lambda = %.2f\n", search.scoring.lambda);
+    } else if (cmd == ":strategy") {
+      std::string name;
+      ss >> name;
+      if (ParseSearchStrategy(name, &search.strategy)) {
+        std::printf("strategy = %s\n",
+                    SearchStrategyName(search.strategy));
+      } else {
+        std::printf("unknown strategy '%s' (backward|forward|bidi)\n",
+                    name.c_str());
+      }
     } else if (cmd == ":log") {
       std::string v;
       ss >> v;

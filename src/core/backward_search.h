@@ -10,118 +10,31 @@
 // edge direction — are resolved in favour of the most relevant copy.
 // Generated trees pass through a small fixed-size output heap that reorders
 // the approximately-sorted stream by relevance.
+//
+// The origin-list/tree-generation machinery lives in ExpansionSearchBase
+// (shared with the forward and bidirectional strategies); this strategy is
+// the pure all-terms-backward instantiation of the expansion loop.
 #ifndef BANKS_CORE_BACKWARD_SEARCH_H_
 #define BANKS_CORE_BACKWARD_SEARCH_H_
 
-#include <cstdint>
-#include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
-#include "core/answer.h"
-#include "core/dedup.h"
-#include "core/output_heap.h"
-#include "core/query.h"
-#include "core/scorer.h"
-#include "core/sp_iterator.h"
-#include "graph/graph_builder.h"
+#include "core/expansion_search_base.h"
 
 namespace banks {
 
-/// Search configuration.
-struct SearchOptions {
-  /// Number of answers to return (the paper's experiments stop at 10).
-  size_t max_answers = 10;
-
-  /// Capacity of the reordering output heap (§3: "a reasonably small heap
-  /// size" works well).
-  size_t output_heap_size = 20;
-
-  /// Relevance scoring knobs (§2.3).
-  ScoringParams scoring;
-
-  /// Iterators never expand past this distance (infinity = unbounded).
-  double distance_cap = std::numeric_limits<double>::infinity();
-
-  /// Safety valve on total iterator visits (guards pathological graphs).
-  size_t max_visits = 50'000'000;
-
-  /// Tables whose tuples may not serve as information nodes (§2.1: "we may
-  /// exclude ... a specified set of relations, such as Writes").
-  std::unordered_set<uint32_t> excluded_root_tables;
-
-  /// Exhaustive mode: generate every connection tree reachable, then return
-  /// them all in exact decreasing-relevance order. This is the
-  /// generate-then-sort strawman §3 argues against; used as a baseline.
-  bool exhaustive = false;
-
-  /// §3 extension: "The distance measure can be extended to include node
-  /// weights of nodes matching keywords." With bias b > 0, the iterator
-  /// from keyword node s starts at distance b * (1 - w(s)/w_max) instead
-  /// of 0, so iterators from prestigious matches expand first and their
-  /// answers surface earlier. 0 disables (the paper's default).
-  double keyword_prestige_bias = 0.0;
-};
-
-/// Instrumentation counters for benchmarks and tests.
-struct SearchStats {
-  size_t iterator_visits = 0;      ///< total Next() calls across iterators
-  size_t trees_generated = 0;      ///< cross-product trees built
-  size_t trees_pruned_root = 0;    ///< discarded: root had one child
-  size_t duplicates_discarded = 0; ///< discarded or replaced as duplicates
-  size_t answers_emitted = 0;
-  size_t num_iterators = 0;
-};
-
 /// One run of the backward expanding search over a data graph.
-class BackwardSearch {
+class BackwardSearch : public ExpansionSearchBase {
  public:
-  BackwardSearch(const DataGraph& dg, SearchOptions options);
+  BackwardSearch(const DataGraph& dg, SearchOptions options)
+      : ExpansionSearchBase(dg, std::move(options)) {}
 
-  /// keyword_nodes[i] = nodes relevant to search term i. Terms with empty
-  /// node sets make every answer impossible: returns no answers (the
-  /// engine layer may drop such terms beforehand for partial matching).
-  std::vector<ConnectionTree> Run(
-      const std::vector<std::vector<NodeId>>& keyword_nodes);
-
-  /// Scored variant: matches carry per-node match relevances (fuzzy and
-  /// numeric-approx hits score < 1), which flow into answer relevance.
-  std::vector<ConnectionTree> RunScored(
-      const std::vector<std::vector<KeywordMatch>>& keyword_matches);
-
-  const SearchStats& stats() const { return stats_; }
-
- private:
-  // Per-visited-vertex origin lists, one per search term.
-  struct VertexLists {
-    std::vector<std::vector<NodeId>> per_term;
-  };
-
-  void ProcessVisit(NodeId v, NodeId origin, size_t num_terms);
-  void GenerateTrees(NodeId v, NodeId origin, size_t term,
-                     const VertexLists& lists);
-  ConnectionTree BuildTree(NodeId root, const std::vector<NodeId>& leaves);
-  void OfferTree(ConnectionTree tree);
-  void Emit(ConnectionTree tree);
-
-  double MatchRelevance(size_t term, NodeId node) const;
-
-  const DataGraph* dg_;
-  SearchOptions options_;
-  std::unique_ptr<Scorer> scorer_;
-
-  std::unordered_map<NodeId, std::unique_ptr<SpIterator>> iterators_;
-  std::unordered_map<NodeId, uint64_t> origin_terms_;  // term bitmask
-  // Per-term node match relevances (empty maps = all exact).
-  std::vector<std::unordered_map<NodeId, double>> match_relevance_;
-  bool keep_match_relevance_ = false;  // scored Run -> node-list Run handoff
-  std::unordered_map<NodeId, VertexLists> vertex_lists_;
-  OutputHeap output_heap_{1};
-  DedupTable dedup_;
-  std::vector<ConnectionTree> results_;
-  SearchStats stats_;
-  bool done_ = false;
+ protected:
+  std::vector<ConnectionTree> Execute(
+      const std::vector<std::vector<NodeId>>& keyword_nodes) override {
+    RunExpansionLoop(keyword_nodes, /*forward_term_mask=*/0);
+    return TakeResults();
+  }
 };
 
 }  // namespace banks

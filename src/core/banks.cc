@@ -112,9 +112,11 @@ Result<QueryResult> BanksEngine::Search(const std::string& query_text,
   }
   if (active_sets.empty()) return result;
 
-  BackwardSearch bs(dg_, search);
-  result.answers = bs.RunScored(active_sets);
-  result.stats = bs.stats();
+  // Strategy selection (§3 backward by default; forward / bidirectional
+  // via SearchOptions::strategy).
+  auto searcher = CreateExpansionSearch(dg_, search);
+  result.answers = searcher->RunScored(active_sets);
+  result.stats = searcher->stats();
 
   // Re-map leaf_for_term of each answer back to the original term indexes
   // when terms were dropped.

@@ -1,0 +1,27 @@
+#include "core/bidirectional_search.h"
+
+namespace banks {
+
+uint64_t BidirectionalSearch::ForwardTermMask(
+    const std::vector<std::vector<NodeId>>& keyword_nodes,
+    size_t frontier_size_threshold) {
+  const size_t n = keyword_nodes.size();
+  uint64_t mask = 0;
+  size_t smallest = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (keyword_nodes[i].size() < keyword_nodes[smallest].size()) {
+      smallest = i;
+    }
+    if (keyword_nodes[i].size() > frontier_size_threshold) {
+      mask |= uint64_t{1} << i;
+    }
+  }
+  // Candidate roots are discovered by backward iterators, so at least the
+  // most selective term must expand backward.
+  if (n > 0 && mask == (n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1)) {
+    mask &= ~(uint64_t{1} << smallest);
+  }
+  return mask;
+}
+
+}  // namespace banks

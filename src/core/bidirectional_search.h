@@ -1,0 +1,52 @@
+// Bidirectional expansion search (BANKS-II-style).
+//
+// The §3 backward search starts one reverse-Dijkstra iterator per keyword
+// node, which degrades when a low-selectivity term (e.g. a metadata
+// keyword) matches thousands of tuples. This strategy splits the terms:
+// selective terms keep their backward iterators, while each
+// low-selectivity term is covered by *forward* probes — bounded Dijkstra
+// expansions along out-edges — spawned at candidate information nodes (the
+// vertices whose origin lists already cover every selective term, i.e. the
+// meeting points of the backward frontiers, which on prestige-weighted
+// graphs are exactly the high-indegree hubs). All frontiers — backward
+// iterators and probes — share one heap and the globally cheapest next
+// node expands first.
+//
+// With every term below SearchOptions::frontier_size_threshold the
+// strategy degenerates to exactly the backward expanding search: same
+// answers, same visit count.
+#ifndef BANKS_CORE_BIDIRECTIONAL_SEARCH_H_
+#define BANKS_CORE_BIDIRECTIONAL_SEARCH_H_
+
+#include <vector>
+
+#include "core/expansion_search_base.h"
+
+namespace banks {
+
+/// One run of the bidirectional expansion search over a data graph.
+class BidirectionalSearch : public ExpansionSearchBase {
+ public:
+  BidirectionalSearch(const DataGraph& dg, SearchOptions options)
+      : ExpansionSearchBase(dg, std::move(options)) {}
+
+  /// Terms whose node sets exceed the threshold are covered by forward
+  /// probes; at least one term (the most selective) always stays backward
+  /// so candidate roots can be discovered. Exposed for tests/benches.
+  static uint64_t ForwardTermMask(
+      const std::vector<std::vector<NodeId>>& keyword_nodes,
+      size_t frontier_size_threshold);
+
+ protected:
+  std::vector<ConnectionTree> Execute(
+      const std::vector<std::vector<NodeId>>& keyword_nodes) override {
+    RunExpansionLoop(keyword_nodes,
+                     ForwardTermMask(keyword_nodes,
+                                     options_.frontier_size_threshold));
+    return TakeResults();
+  }
+};
+
+}  // namespace banks
+
+#endif  // BANKS_CORE_BIDIRECTIONAL_SEARCH_H_

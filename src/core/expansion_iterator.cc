@@ -1,0 +1,93 @@
+#include "core/expansion_iterator.h"
+
+#include <limits>
+
+namespace banks {
+
+ExpansionIterator::ExpansionIterator(const FrozenGraph& graph, NodeId source,
+                                     ExpandDirection direction,
+                                     double distance_cap,
+                                     double initial_distance)
+    : graph_(&graph), source_(source), direction_(direction),
+      cap_(distance_cap) {
+  Relax(initial_distance, source, kInvalidNode);
+  Advance();
+}
+
+ExpansionIterator::ExpansionIterator(const FrozenGraph& graph,
+                                     const std::vector<NodeId>& sources,
+                                     ExpandDirection direction,
+                                     double distance_cap)
+    : graph_(&graph), source_(kInvalidNode), direction_(direction),
+      cap_(distance_cap) {
+  for (NodeId s : sources) Relax(0.0, s, kInvalidNode);
+  Advance();
+}
+
+void ExpansionIterator::Relax(double dist, NodeId node, NodeId parent) {
+  auto it = tentative_.find(node);
+  if (it != tentative_.end() && it->second <= dist) return;  // not better
+  tentative_[node] = dist;
+  frontier_.push(HeapEntry{dist, node, parent});
+}
+
+void ExpansionIterator::Advance() {
+  has_pending_ = false;
+  while (!frontier_.empty()) {
+    HeapEntry top = frontier_.top();
+    frontier_.pop();
+    if (settled_dist_.count(top.node)) continue;  // stale entry
+    if (top.dist > cap_) {
+      // Everything else is at least this far; exhaust.
+      while (!frontier_.empty()) frontier_.pop();
+      return;
+    }
+    pending_ = top;
+    has_pending_ = true;
+    return;
+  }
+}
+
+ExpansionIterator::Visit ExpansionIterator::Next() {
+  HeapEntry cur = pending_;
+  settled_dist_.emplace(cur.node, cur.dist);
+  if (cur.parent != kInvalidNode) parent_.emplace(cur.node, cur.parent);
+
+  // Backward: relax along *incoming* edges — predecessor w of cur has a
+  // forward edge (w -> cur), so dist(w -> source) <= weight + dist(cur).
+  // Forward: relax outgoing edges symmetrically.
+  const bool forward = direction_ == ExpandDirection::kForward;
+  for (const auto& e : graph_->Edges(cur.node, forward)) {
+    if (settled_dist_.count(e.to)) continue;
+    Relax(cur.dist + e.weight, e.to, cur.node);
+  }
+  Advance();
+  return Visit{cur.node, cur.dist};
+}
+
+std::vector<NodeId> ExpansionIterator::PathToSource(NodeId node) const {
+  std::vector<NodeId> path;
+  if (!settled_dist_.count(node)) return path;
+  NodeId cur = node;
+  path.push_back(cur);
+  for (auto it = parent_.find(cur); it != parent_.end();
+       it = parent_.find(cur)) {
+    cur = it->second;
+    path.push_back(cur);
+  }
+  return path;
+}
+
+NodeId ExpansionIterator::ParentOf(NodeId node) const {
+  auto it = parent_.find(node);
+  return it == parent_.end() ? kInvalidNode : it->second;
+}
+
+double ExpansionIterator::DistanceTo(NodeId node) const {
+  auto it = settled_dist_.find(node);
+  if (it == settled_dist_.end())
+    return std::numeric_limits<double>::infinity();
+  return it->second;
+}
+
+}  // namespace banks

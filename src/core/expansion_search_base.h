@@ -1,0 +1,241 @@
+// Strategy-agnostic core of the expansion-search framework.
+//
+// The §3 backward expanding search, the §7 forward search and the
+// bidirectional strategy all share the same machinery: per-vertex origin
+// lists (one per search term), cross-product connection-tree generation,
+// the §3 single-child-root pruning, duplicate resolution in favour of the
+// most relevant copy, and a small reordering output heap. This base class
+// owns that machinery; strategies decide *which frontiers expand*:
+//
+//   BackwardSearch       one reverse-Dijkstra iterator per keyword node,
+//                        scheduled cheapest-next-first (§3, Figure 3).
+//   ForwardSearch        multi-source reverse Dijkstra from the most
+//                        selective term, bounded forward Dijkstra from each
+//                        candidate root (§7 "ongoing work").
+//   BidirectionalSearch  reverse-Dijkstra iterators from the selective
+//                        terms' keyword nodes interleaved with forward
+//                        probes from candidate roots, covering the
+//                        low-selectivity terms (BANKS-II-style
+//                        bidirectional expansion); the globally cheapest
+//                        frontier expands next.
+//
+// Strategy selection is a SearchOptions knob (`strategy`), threaded through
+// BanksEngine::Search and CreateExpansionSearch().
+#ifndef BANKS_CORE_EXPANSION_SEARCH_BASE_H_
+#define BANKS_CORE_EXPANSION_SEARCH_BASE_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/answer.h"
+#include "core/dedup.h"
+#include "core/expansion_iterator.h"
+#include "core/output_heap.h"
+#include "core/query.h"
+#include "core/scorer.h"
+#include "graph/graph_builder.h"
+
+namespace banks {
+
+/// Which expansion strategy a search run uses.
+enum class SearchStrategy : uint8_t {
+  kBackward,       ///< §3 backward expanding search (the paper's default)
+  kForward,        ///< §7 forward search from the most selective term
+  kBidirectional,  ///< backward iterators + forward root probes
+};
+
+/// Stable lowercase name ("backward", "forward", "bidirectional").
+const char* SearchStrategyName(SearchStrategy strategy);
+
+/// Parses a strategy name (as printed by SearchStrategyName, plus the
+/// shorthand "bidi"). Returns false on unknown input.
+bool ParseSearchStrategy(const std::string& name, SearchStrategy* out);
+
+/// Search configuration, shared by every strategy.
+struct SearchOptions {
+  /// Expansion strategy. Existing callers default to backward search and
+  /// see unchanged behaviour.
+  SearchStrategy strategy = SearchStrategy::kBackward;
+
+  /// Number of answers to return (the paper's experiments stop at 10).
+  size_t max_answers = 10;
+
+  /// Capacity of the reordering output heap (§3: "a reasonably small heap
+  /// size" works well).
+  size_t output_heap_size = 20;
+
+  /// Relevance scoring knobs (§2.3).
+  ScoringParams scoring;
+
+  /// Iterators never expand past this distance (infinity = unbounded).
+  double distance_cap = std::numeric_limits<double>::infinity();
+
+  /// Safety valve on total iterator visits (guards pathological graphs).
+  size_t max_visits = 50'000'000;
+
+  /// Tables whose tuples may not serve as information nodes (§2.1: "we may
+  /// exclude ... a specified set of relations, such as Writes").
+  std::unordered_set<uint32_t> excluded_root_tables;
+
+  /// Exhaustive mode: generate every connection tree reachable, then return
+  /// them all in exact decreasing-relevance order. This is the
+  /// generate-then-sort strawman §3 argues against; used as a baseline.
+  bool exhaustive = false;
+
+  /// §3 extension: "The distance measure can be extended to include node
+  /// weights of nodes matching keywords." With bias b > 0, the iterator
+  /// from keyword node s starts at distance b * (1 - w(s)/w_max) instead
+  /// of 0, so iterators from prestigious matches expand first and their
+  /// answers surface earlier. 0 disables (the paper's default).
+  double keyword_prestige_bias = 0.0;
+
+  /// Forward strategy: candidate roots examined, as a multiple of
+  /// max_answers.
+  size_t root_budget_factor = 8;
+
+  /// Bidirectional strategy: a term whose keyword-node set is larger than
+  /// this is covered by forward probes instead of per-node backward
+  /// iterators (the §7 observation that metadata keywords make every tuple
+  /// of a relation relevant). With every term below the threshold the
+  /// strategy degenerates to exactly the backward expanding search.
+  size_t frontier_size_threshold = 256;
+};
+
+/// Instrumentation counters for benchmarks and tests.
+struct SearchStats {
+  size_t iterator_visits = 0;      ///< total frontier expansions (all kinds)
+  size_t trees_generated = 0;      ///< cross-product trees built
+  size_t trees_pruned_root = 0;    ///< discarded: root had one child
+  size_t duplicates_discarded = 0; ///< discarded or replaced as duplicates
+  size_t answers_emitted = 0;
+  size_t num_iterators = 0;        ///< backward iterators created
+  size_t roots_tried = 0;          ///< forward: candidate roots examined
+  size_t forward_expansions = 0;   ///< nodes settled by forward expansion
+  size_t probes_spawned = 0;       ///< bidirectional: forward probes started
+};
+
+/// Shared base of all expansion-search strategies. One instance = one run
+/// configuration over one data graph; Run()/RunScored() may be called
+/// repeatedly.
+class ExpansionSearchBase {
+ public:
+  ExpansionSearchBase(const DataGraph& dg, SearchOptions options);
+  virtual ~ExpansionSearchBase() = default;
+
+  /// keyword_nodes[i] = nodes relevant to search term i. Terms with empty
+  /// node sets make every answer impossible: returns no answers (the
+  /// engine layer may drop such terms beforehand for partial matching).
+  std::vector<ConnectionTree> Run(
+      const std::vector<std::vector<NodeId>>& keyword_nodes);
+
+  /// Scored variant: matches carry per-node match relevances (fuzzy and
+  /// numeric-approx hits score < 1), which flow into answer relevance.
+  std::vector<ConnectionTree> RunScored(
+      const std::vector<std::vector<KeywordMatch>>& keyword_matches);
+
+  const SearchStats& stats() const { return stats_; }
+  const SearchOptions& options() const { return options_; }
+
+ protected:
+  /// Strategy hook: multi-term search over non-empty node sets. The base
+  /// Run() has already reset state and handled the trivial cases (no terms,
+  /// empty term set, single term).
+  virtual std::vector<ConnectionTree> Execute(
+      const std::vector<std::vector<NodeId>>& keyword_nodes) = 0;
+
+  // ------------------------------------------------------------ machinery
+  // Per-visited-vertex origin lists, one per search term.
+  struct VertexLists {
+    std::vector<std::vector<NodeId>> per_term;
+  };
+
+  /// True if `v` may not serve as an information node (§2.1 exclusions).
+  bool RootExcluded(NodeId v) const;
+
+  /// Match relevance of `node` for `term` (1.0 unless RunScored supplied a
+  /// fuzzy/numeric relevance below 1).
+  double MatchRelevance(size_t term, NodeId node) const;
+
+  /// The cheapest-frontier expansion loop shared by the backward and
+  /// bidirectional strategies. Terms in `forward_term_mask` are covered by
+  /// forward probes spawned at candidate roots (vertices whose origin
+  /// lists are non-empty for every backward term); all other terms get one
+  /// backward iterator per keyword node. With mask 0 this is exactly the
+  /// §3 backward expanding search.
+  void RunExpansionLoop(const std::vector<std::vector<NodeId>>& keyword_nodes,
+                        uint64_t forward_term_mask);
+
+  /// Offers every generated tree through dedup + the output heap; Emit
+  /// moves accepted trees into results_.
+  void OfferTree(ConnectionTree tree);
+  void Emit(ConnectionTree tree);
+
+  /// Appends the parent-chain path `chain` (root first, leaf last; every
+  /// node settled by `it`) to the tree as parent->child edges, skipping
+  /// nodes already present (first parent wins; the result stays a tree).
+  /// Each edge weight is the relaxed weight, i.e. the distance change
+  /// between consecutive settled nodes.
+  static void AppendChain(ConnectionTree* tree,
+                          std::unordered_set<NodeId>* in_tree,
+                          const std::vector<NodeId>& chain,
+                          const ExpansionIterator& it);
+
+  /// Drains the output heap into results_ and finishes the run (exhaustive
+  /// mode sorts by exact decreasing relevance). Returns results_.
+  std::vector<ConnectionTree> TakeResults();
+
+  const DataGraph* dg_;
+  SearchOptions options_;
+  std::unique_ptr<Scorer> scorer_;
+
+  // Backward iterators by keyword (origin) node.
+  std::unordered_map<NodeId, std::unique_ptr<ExpansionIterator>> iterators_;
+  std::unordered_map<NodeId, uint64_t> origin_terms_;  // term bitmask
+  // Per-term node match relevances (empty maps = all exact).
+  std::vector<std::unordered_map<NodeId, double>> match_relevance_;
+  std::unordered_map<NodeId, VertexLists> vertex_lists_;
+  OutputHeap output_heap_{1};
+  DedupTable dedup_;
+  std::vector<ConnectionTree> results_;
+  SearchStats stats_;
+  bool done_ = false;
+
+ private:
+  void RunSingleTerm(const std::vector<NodeId>& nodes);
+  void ProcessBackwardVisit(NodeId v, NodeId origin, size_t num_terms);
+  void ProcessForwardVisit(NodeId root, NodeId node, size_t num_terms);
+  // Generates the new trees rooted at v contributed by `origin` arriving
+  // for `term`, then records the arrival in v's origin lists.
+  void HandleArrival(NodeId v, NodeId origin, size_t term,
+                     VertexLists& lists);
+  void GenerateTrees(NodeId v, NodeId origin, size_t term,
+                     const VertexLists& lists);
+  ConnectionTree BuildTree(NodeId root, const std::vector<NodeId>& leaves);
+  // Appends the path root -> ... -> leaf to the tree, skipping nodes
+  // already present (first parent wins; the result stays a tree).
+  void AppendLeafPath(ConnectionTree* tree,
+                      std::unordered_set<NodeId>* in_tree, NodeId root,
+                      NodeId leaf);
+  void MaybeSpawnProbe(NodeId v, const VertexLists& lists, size_t num_terms);
+
+  bool keep_match_relevance_ = false;  // scored Run -> node-list Run handoff
+  uint64_t forward_term_mask_ = 0;
+  std::unordered_map<NodeId, uint64_t> forward_node_terms_;  // node -> mask
+  // Forward probes by candidate root: one bounded forward Dijkstra each,
+  // covering the forward-mask terms (bidirectional strategy).
+  std::unordered_map<NodeId, std::unique_ptr<ExpansionIterator>> probes_;
+  std::vector<NodeId> pending_probes_;  // spawned, not yet in the frontier
+};
+
+/// Factory: the strategy named by `options.strategy` over `dg`.
+std::unique_ptr<ExpansionSearchBase> CreateExpansionSearch(
+    const DataGraph& dg, SearchOptions options);
+
+}  // namespace banks
+
+#endif  // BANKS_CORE_EXPANSION_SEARCH_BASE_H_

@@ -1,101 +1,15 @@
 #include "core/forward_search.h"
 
 #include <algorithm>
-#include <optional>
-#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 
-#include "core/dedup.h"
-
 namespace banks {
 
-namespace {
-
-struct HeapEntry {
-  double dist;
-  NodeId node;
-  bool operator>(const HeapEntry& o) const {
-    return dist != o.dist ? dist > o.dist : node > o.node;
-  }
-};
-using MinHeap = std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                                    std::greater<HeapEntry>>;
-
-// Incremental Dijkstra with proper tentative-distance/parent maintenance.
-// `reverse` selects InEdges (paths settled-node -> source) vs OutEdges.
-class LazyDijkstra {
- public:
-  LazyDijkstra(const Graph& g, bool reverse, double cap)
-      : g_(&g), reverse_(reverse), cap_(cap) {}
-
-  void AddSource(NodeId s) {
-    tentative_[s] = 0.0;
-    heap_.push(HeapEntry{0.0, s});
-  }
-
-  /// Settles and returns the next nearest node, or nullopt when exhausted.
-  std::optional<HeapEntry> SettleNext() {
-    while (!heap_.empty()) {
-      HeapEntry top = heap_.top();
-      heap_.pop();
-      if (settled_.count(top.node)) continue;
-      auto t = tentative_.find(top.node);
-      if (t == tentative_.end() || top.dist > t->second) continue;  // stale
-      if (top.dist > cap_) return std::nullopt;
-      settled_.emplace(top.node, top.dist);
-      const auto& edges = reverse_ ? g_->InEdges(top.node)
-                                   : g_->OutEdges(top.node);
-      for (const auto& e : edges) {
-        if (settled_.count(e.to)) continue;
-        double cand = top.dist + e.weight;
-        auto it = tentative_.find(e.to);
-        if (it == tentative_.end() || cand < it->second) {
-          tentative_[e.to] = cand;
-          parent_[e.to] = top.node;
-          heap_.push(HeapEntry{cand, e.to});
-        }
-      }
-      return top;
-    }
-    return std::nullopt;
-  }
-
-  bool IsSettled(NodeId v) const { return settled_.count(v) > 0; }
-  double Dist(NodeId v) const { return settled_.at(v); }
-
-  /// Parent of a settled node on its shortest path (kInvalidNode for a
-  /// source).
-  NodeId Parent(NodeId v) const {
-    auto it = parent_.find(v);
-    return it == parent_.end() ? kInvalidNode : it->second;
-  }
-
-  size_t num_settled() const { return settled_.size(); }
-
- private:
-  const Graph* g_;
-  bool reverse_;
-  double cap_;
-  MinHeap heap_;
-  std::unordered_map<NodeId, double> tentative_;
-  std::unordered_map<NodeId, double> settled_;
-  std::unordered_map<NodeId, NodeId> parent_;
-};
-
-}  // namespace
-
-std::vector<ConnectionTree> ForwardSearch::Run(
+std::vector<ConnectionTree> ForwardSearch::Execute(
     const std::vector<std::vector<NodeId>>& keyword_nodes) {
-  stats_ = ForwardSearchStats{};
-  const size_t n_terms = keyword_nodes.size();
-  std::vector<ConnectionTree> results;
-  if (n_terms == 0 || n_terms > 64) return results;
-  for (const auto& s : keyword_nodes) {
-    if (s.empty()) return results;
-  }
-  const Graph& g = dg_->graph;
-  Scorer scorer(g, options_.scoring);
+  const size_t n_terms = keyword_nodes.size();  // >= 2: base handled n <= 1
+  const FrozenGraph& g = dg_->graph;
 
   // Pivot = most selective term.
   size_t pivot = 0;
@@ -115,53 +29,37 @@ std::vector<ConnectionTree> ForwardSearch::Run(
   // Multi-source reverse Dijkstra from the pivot set: settles candidate
   // roots in increasing distance-to-pivot; parent chains give the forward
   // path root -> pivot node (parents point toward the sources).
-  LazyDijkstra rev(g, /*reverse=*/true, options_.distance_cap);
-  for (NodeId s : keyword_nodes[pivot]) rev.AddSource(s);
+  ExpansionIterator rev(g, keyword_nodes[pivot], ExpandDirection::kBackward,
+                        options_.distance_cap);
+  stats_.num_iterators = 1;
 
-  DedupTable dedup;
   const size_t root_budget =
       options_.max_answers * std::max<size_t>(options_.root_budget_factor, 1);
 
-  while (stats_.roots_tried < root_budget) {
-    auto settled = rev.SettleNext();
-    if (!settled.has_value()) break;
-    NodeId root = settled->node;
-    if (!options_.excluded_root_tables.empty() &&
-        options_.excluded_root_tables.count(
-            dg_->RidForNode(root).table_id)) {
-      continue;
-    }
-    if (n_terms == 1) {
-      // Single-term query: each pivot node itself is an answer.
-      if (settled->dist > 0) continue;  // only the sources themselves
-      ConnectionTree tree;
-      tree.root = root;
-      tree.leaf_for_term = {root};
-      scorer.ScoreInPlace(&tree);
-      if (dedup.MarkGenerated(tree.UndirectedSignature())) {
-        results.push_back(std::move(tree));
-      }
-      ++stats_.roots_tried;
-      if (results.size() >= options_.max_answers) break;
-      continue;
-    }
+  while (stats_.roots_tried < root_budget && rev.HasNext() &&
+         stats_.iterator_visits < options_.max_visits) {
+    ExpansionIterator::Visit settled = rev.Next();
+    ++stats_.iterator_visits;
+    NodeId root = settled.node;
+    if (RootExcluded(root)) continue;
     ++stats_.roots_tried;
 
     // Bounded forward Dijkstra from the candidate root until every other
     // term is reached (or the frontier exhausts).
-    LazyDijkstra fwd(g, /*reverse=*/false, options_.distance_cap);
-    fwd.AddSource(root);
+    ExpansionIterator fwd(g, root, ExpandDirection::kForward,
+                          options_.distance_cap);
     uint64_t covered = 0;
     std::vector<NodeId> leaf_of_term(n_terms, kInvalidNode);
-    while (covered != all_other) {
-      auto f = fwd.SettleNext();
-      if (!f.has_value()) break;
+    while (covered != all_other && fwd.HasNext() &&
+           stats_.iterator_visits < options_.max_visits) {
+      ExpansionIterator::Visit f = fwd.Next();
+      ++stats_.iterator_visits;
       ++stats_.forward_expansions;
-      auto tm = term_mask.find(f->node);
+      auto tm = term_mask.find(f.node);
       if (tm != term_mask.end()) {
         uint64_t fresh = tm->second & ~covered;
         for (size_t i = 0; i < n_terms && fresh; ++i) {
-          if (fresh & (uint64_t{1} << i)) leaf_of_term[i] = f->node;
+          if (fresh & (uint64_t{1} << i)) leaf_of_term[i] = f.node;
         }
         covered |= fresh;
       }
@@ -177,56 +75,52 @@ std::vector<ConnectionTree> ForwardSearch::Run(
 
     {
       // rev parents point from farther nodes toward the pivot sources, so
-      // following them from the root descends to distance 0.
-      NodeId cur = root;
-      while (rev.Dist(cur) > 0.0) {
-        NodeId nxt = rev.Parent(cur);
-        if (!in_tree.count(nxt)) {
-          tree.edges.push_back(
-              TreeEdge{cur, nxt, rev.Dist(cur) - rev.Dist(nxt)});
-          in_tree.insert(nxt);
-        }
-        cur = nxt;
-      }
-      tree.leaf_for_term[pivot] = cur;
+      // the chain root ... nearest-pivot-source is the tree's pivot limb.
+      std::vector<NodeId> chain = rev.PathToSource(root);
+      AppendChain(&tree, &in_tree, chain, rev);
+      tree.leaf_for_term[pivot] = chain.back();
     }
     for (size_t i = 0; i < n_terms; ++i) {
       if (i == pivot) continue;
-      std::vector<NodeId> up{leaf_of_term[i]};
-      NodeId cur = leaf_of_term[i];
-      while (cur != root) {
-        cur = fwd.Parent(cur);
-        up.push_back(cur);
-      }
-      for (size_t j = up.size() - 1; j > 0; --j) {
-        NodeId a = up[j], b = up[j - 1];
-        if (in_tree.count(b)) continue;
-        tree.edges.push_back(TreeEdge{a, b, fwd.Dist(b) - fwd.Dist(a)});
-        in_tree.insert(b);
-      }
+      // fwd parents point back toward the root; reversed they give the
+      // forward path root ... leaf.
+      std::vector<NodeId> chain = fwd.PathToSource(leaf_of_term[i]);
+      std::reverse(chain.begin(), chain.end());
+      AppendChain(&tree, &in_tree, chain, fwd);
       tree.leaf_for_term[i] = leaf_of_term[i];
     }
     for (const auto& e : tree.edges) tree.tree_weight += e.weight;
+    tree.leaf_relevance.reserve(n_terms);
+    for (size_t i = 0; i < n_terms; ++i) {
+      tree.leaf_relevance.push_back(MatchRelevance(i, tree.leaf_for_term[i]));
+    }
     ++stats_.trees_generated;
     // Same pruning rule as §3 (keep single-child roots that are keyword
     // leaves themselves).
     bool root_is_leaf = false;
     for (NodeId leaf : tree.leaf_for_term) root_is_leaf |= (leaf == root);
-    if (tree.RootChildCount() == 1 && !root_is_leaf) continue;
-    if (!dedup.MarkGenerated(tree.UndirectedSignature())) continue;
-    scorer.ScoreInPlace(&tree);
-    results.push_back(std::move(tree));
-    if (results.size() >= options_.max_answers * 2) break;
+    if (tree.RootChildCount() == 1 && !root_is_leaf) {
+      ++stats_.trees_pruned_root;
+      continue;
+    }
+    if (!dedup_.MarkGenerated(tree.UndirectedSignature())) {
+      ++stats_.duplicates_discarded;
+      continue;
+    }
+    scorer_->ScoreInPlace(&tree);
+    results_.push_back(std::move(tree));
+    if (results_.size() >= options_.max_answers * 2) break;
   }
 
-  std::stable_sort(results.begin(), results.end(),
+  std::stable_sort(results_.begin(), results_.end(),
                    [](const ConnectionTree& a, const ConnectionTree& b) {
                      return a.relevance > b.relevance;
                    });
-  if (results.size() > options_.max_answers) {
-    results.resize(options_.max_answers);
+  if (results_.size() > options_.max_answers) {
+    results_.resize(options_.max_answers);
   }
-  return results;
+  stats_.answers_emitted = results_.size();
+  return std::move(results_);
 }
 
 }  // namespace banks

@@ -7,55 +7,43 @@
 // searching forwards from probable information nodes corresponding to more
 // selective keywords."
 //
-// This implementation: (1) run one multi-source reverse Dijkstra from the
-// most selective term's node set, enumerating candidate information nodes
-// in increasing distance; (2) from each candidate root, run a bounded
-// forward Dijkstra that stops once it has reached some node of every other
-// term; (3) assemble and score the connection tree. Candidates are
-// processed until enough answers accumulate.
+// This strategy: (1) run one multi-source reverse Dijkstra from the most
+// selective term's node set, enumerating candidate information nodes in
+// increasing distance; (2) from each candidate root, run a bounded forward
+// Dijkstra that stops once it has reached some node of every other term;
+// (3) assemble and score the connection tree. Candidates are processed
+// until enough answers accumulate. Scoring, dedup and §3 pruning come from
+// ExpansionSearchBase.
 #ifndef BANKS_CORE_FORWARD_SEARCH_H_
 #define BANKS_CORE_FORWARD_SEARCH_H_
 
-#include <unordered_set>
 #include <vector>
 
-#include "core/answer.h"
-#include "core/scorer.h"
-#include "graph/graph_builder.h"
+#include "core/expansion_search_base.h"
 
 namespace banks {
 
-struct ForwardSearchOptions {
-  size_t max_answers = 10;
-  ScoringParams scoring;
-  double distance_cap = std::numeric_limits<double>::infinity();
-  std::unordered_set<uint32_t> excluded_root_tables;
-  /// Candidate roots examined, as a multiple of max_answers.
-  size_t root_budget_factor = 8;
-};
-
-struct ForwardSearchStats {
-  size_t roots_tried = 0;
-  size_t forward_expansions = 0;  ///< settled nodes across forward runs
-  size_t trees_generated = 0;
-};
+/// Compatibility aliases: forward search now shares the unified search
+/// configuration and counters (`root_budget_factor` is the knob it reads).
+using ForwardSearchOptions = SearchOptions;
+using ForwardSearchStats = SearchStats;
 
 /// Runs forward expanding search. Same answer semantics as BackwardSearch;
 /// results are sorted by decreasing relevance.
-class ForwardSearch {
+///
+/// Caveat: SearchOptions::exhaustive is not supported — the pivot
+/// algorithm stops each root's expansion at the first leaf per term and
+/// bounds candidate roots by root_budget_factor, so it cannot enumerate
+/// the full answer space. Use the backward or bidirectional strategy for
+/// exhaustive baselines.
+class ForwardSearch : public ExpansionSearchBase {
  public:
-  ForwardSearch(const DataGraph& dg, ForwardSearchOptions options)
-      : dg_(&dg), options_(std::move(options)) {}
+  ForwardSearch(const DataGraph& dg, SearchOptions options)
+      : ExpansionSearchBase(dg, std::move(options)) {}
 
-  std::vector<ConnectionTree> Run(
-      const std::vector<std::vector<NodeId>>& keyword_nodes);
-
-  const ForwardSearchStats& stats() const { return stats_; }
-
- private:
-  const DataGraph* dg_;
-  ForwardSearchOptions options_;
-  ForwardSearchStats stats_;
+ protected:
+  std::vector<ConnectionTree> Execute(
+      const std::vector<std::vector<NodeId>>& keyword_nodes) override;
 };
 
 }  // namespace banks

@@ -17,7 +17,7 @@ std::string ScoringParams::Name() const {
   return n;
 }
 
-Scorer::Scorer(const Graph& graph, ScoringParams params)
+Scorer::Scorer(const FrozenGraph& graph, ScoringParams params)
     : graph_(&graph),
       params_(params),
       min_edge_weight_(graph.MinEdgeWeight()),

@@ -15,7 +15,7 @@
 #include <string>
 
 #include "core/answer.h"
-#include "graph/graph.h"
+#include "graph/frozen_graph.h"
 
 namespace banks {
 
@@ -40,9 +40,9 @@ struct ScoringParams {
 /// Computes answer relevance against a fixed graph (captures w_min, n_max).
 class Scorer {
  public:
-  Scorer(const Graph& graph, ScoringParams params);
+  Scorer(const FrozenGraph& graph, ScoringParams params);
   // The scorer keeps a pointer to the graph: temporaries are a bug.
-  Scorer(Graph&& graph, ScoringParams params) = delete;
+  Scorer(FrozenGraph&& graph, ScoringParams params) = delete;
 
   /// Normalised score of one edge weight.
   double EdgeScore(double weight) const;
@@ -62,7 +62,7 @@ class Scorer {
   const ScoringParams& params() const { return params_; }
 
  private:
-  const Graph* graph_;
+  const FrozenGraph* graph_;
   ScoringParams params_;
   double min_edge_weight_;
   double max_node_weight_;

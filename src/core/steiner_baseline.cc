@@ -24,7 +24,8 @@ struct Choice {
 }  // namespace
 
 SteinerResult ExactSteinerTree(
-    const Graph& graph, const std::vector<std::vector<NodeId>>& keyword_nodes,
+    const FrozenGraph& graph,
+    const std::vector<std::vector<NodeId>>& keyword_nodes,
     const std::unordered_set<NodeId>& excluded_roots) {
   SteinerResult result;
   const size_t k = keyword_nodes.size();

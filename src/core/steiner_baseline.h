@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "core/answer.h"
-#include "graph/graph.h"
+#include "graph/frozen_graph.h"
 
 namespace banks {
 
@@ -33,7 +33,8 @@ struct SteinerResult {
 /// sets. `excluded_roots`: nodes that may appear in the tree but not as its
 /// root. Supports up to 16 terms (3^k blowup).
 SteinerResult ExactSteinerTree(
-    const Graph& graph, const std::vector<std::vector<NodeId>>& keyword_nodes,
+    const FrozenGraph& graph,
+    const std::vector<std::vector<NodeId>>& keyword_nodes,
     const std::unordered_set<NodeId>& excluded_roots = {});
 
 }  // namespace banks

@@ -1,0 +1,71 @@
+#include "graph/frozen_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace banks {
+
+FrozenGraph::FrozenGraph(const Graph& g) {
+  const size_t n = g.num_nodes();
+  node_weight_.resize(n);
+  out_offsets_.assign(n + 1, 0);
+  in_offsets_.assign(n + 1, 0);
+  out_edges_.reserve(g.num_edges());
+  in_edges_.reserve(g.num_edges());
+
+  for (NodeId v = 0; v < n; ++v) {
+    node_weight_[v] = g.node_weight(v);
+    max_node_weight_ = std::max(max_node_weight_, node_weight_[v]);
+    for (const auto& e : g.OutEdges(v)) {
+      out_edges_.push_back(e);
+      min_edge_weight_ = std::min(min_edge_weight_, e.weight);
+    }
+    out_offsets_[v + 1] = static_cast<uint32_t>(out_edges_.size());
+    for (const auto& e : g.InEdges(v)) in_edges_.push_back(e);
+    in_offsets_[v + 1] = static_cast<uint32_t>(in_edges_.size());
+  }
+  assert(out_edges_.size() == in_edges_.size());
+}
+
+void FrozenGraph::set_node_weight(NodeId n, double w) {
+  const double old = node_weight_[n];
+  node_weight_[n] = w;
+  if (w >= max_node_weight_) {
+    max_node_weight_ = w;
+  } else if (old == max_node_weight_) {
+    // The previous maximum may have been lowered; recompute exactly.
+    max_node_weight_ = MaxNodeWeightOf(node_weight_);
+  }
+}
+
+void FrozenGraph::SetNodeWeights(const std::vector<double>& weights) {
+  const size_t n = std::min(weights.size(), node_weight_.size());
+  for (size_t i = 0; i < n; ++i) node_weight_[i] = weights[i];
+  max_node_weight_ = MaxNodeWeightOf(node_weight_);
+}
+
+double FrozenGraph::EdgeWeight(NodeId u, NodeId v) const {
+  for (const auto& e : OutEdges(u)) {
+    if (e.to == v) return e.weight;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+bool FrozenGraph::HasEdge(NodeId u, NodeId v) const {
+  for (const auto& e : OutEdges(u)) {
+    if (e.to == v) return true;
+  }
+  return false;
+}
+
+size_t FrozenGraph::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += node_weight_.capacity() * sizeof(double);
+  bytes += out_offsets_.capacity() * sizeof(uint32_t);
+  bytes += in_offsets_.capacity() * sizeof(uint32_t);
+  bytes += out_edges_.capacity() * sizeof(GraphEdge);
+  bytes += in_edges_.capacity() * sizeof(GraphEdge);
+  return bytes;
+}
+
+}  // namespace banks

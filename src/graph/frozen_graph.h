@@ -1,0 +1,104 @@
+// Immutable CSR (compressed sparse row) snapshot of a Graph.
+//
+// The mutable adjacency-list Graph is the build-time representation; every
+// search-time consumer (iterators, scorer, prestige, steiner baseline) runs
+// over a FrozenGraph instead: one contiguous `offsets` + `edges` array pair
+// per direction, so a node's neighbourhood is a cache-friendly span rather
+// than a pointer-chased vector-of-vectors. Edge topology is frozen at
+// construction; node weights (prestige) stay assignable because prestige
+// models are applied after the freeze.
+//
+// Invariants (recomputed exactly at freeze time, maintained thereafter):
+//   MaxNodeWeight() == max over node_weight(n)   (0 for an empty graph)
+//   MinEdgeWeight() == min over edge weights     (+inf if no edges)
+#ifndef BANKS_GRAPH_FROZEN_GRAPH_H_
+#define BANKS_GRAPH_FROZEN_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace banks {
+
+/// CSR digraph with per-node weights. Out- and in-adjacency are both
+/// materialised because backward expansion relaxes incoming edges while
+/// forward expansion and answer read-out follow outgoing ones.
+class FrozenGraph {
+ public:
+  using EdgeSpan = std::span<const GraphEdge>;
+
+  FrozenGraph() = default;
+
+  /// Freezes `g`. Per-node edge order is preserved (insertion order), so a
+  /// graph frozen twice yields identical adjacency.
+  explicit FrozenGraph(const Graph& g);
+
+  size_t num_nodes() const { return node_weight_.size(); }
+  size_t num_edges() const { return out_edges_.size(); }
+
+  EdgeSpan OutEdges(NodeId n) const {
+    return {out_edges_.data() + out_offsets_[n],
+            out_offsets_[n + 1] - out_offsets_[n]};
+  }
+  EdgeSpan InEdges(NodeId n) const {
+    return {in_edges_.data() + in_offsets_[n],
+            in_offsets_[n + 1] - in_offsets_[n]};
+  }
+
+  /// Neighbourhood in the given expansion direction: kForward follows
+  /// out-edges, kBackward incoming ones.
+  EdgeSpan Edges(NodeId n, bool forward) const {
+    return forward ? OutEdges(n) : InEdges(n);
+  }
+
+  size_t OutDegree(NodeId n) const {
+    return out_offsets_[n + 1] - out_offsets_[n];
+  }
+  size_t InDegree(NodeId n) const {
+    return in_offsets_[n + 1] - in_offsets_[n];
+  }
+
+  double node_weight(NodeId n) const { return node_weight_[n]; }
+
+  /// Reassigns a node weight (prestige models run post-freeze). Keeps
+  /// MaxNodeWeight() exact even when the current maximum is lowered.
+  void set_node_weight(NodeId n, double w);
+
+  /// Bulk weight overwrite: assigns weights[n] to node n (extra entries
+  /// ignored, missing entries left unchanged) and recomputes the maximum
+  /// once. Use for whole-graph prestige application — per-node
+  /// set_node_weight rescans whenever the current maximum is lowered.
+  void SetNodeWeights(const std::vector<double>& weights);
+
+  /// Weight of edge u->v, or +inf if absent (first match if parallel).
+  double EdgeWeight(NodeId u, NodeId v) const;
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Maximum node weight across the graph (>=0; 0 for empty graph).
+  double MaxNodeWeight() const { return max_node_weight_; }
+
+  /// Minimum edge weight across the graph (+inf if no edges).
+  double MinEdgeWeight() const { return min_edge_weight_; }
+
+  /// Estimated heap footprint in bytes (for the §5.2 space experiment).
+  size_t MemoryBytes() const;
+
+ private:
+  // offsets have num_nodes()+1 entries; edges of node n occupy
+  // [offsets[n], offsets[n+1]).
+  std::vector<uint32_t> out_offsets_{0};
+  std::vector<uint32_t> in_offsets_{0};
+  std::vector<GraphEdge> out_edges_;
+  std::vector<GraphEdge> in_edges_;
+  std::vector<double> node_weight_;
+  double max_node_weight_ = 0.0;
+  double min_edge_weight_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace banks
+
+#endif  // BANKS_GRAPH_FROZEN_GRAPH_H_

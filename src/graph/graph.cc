@@ -24,8 +24,14 @@ void Graph::AddEdge(NodeId u, NodeId v, double weight) {
 }
 
 void Graph::set_node_weight(NodeId n, double w) {
+  const double old = node_weight_[n];
   node_weight_[n] = w;
-  max_node_weight_ = std::max(max_node_weight_, w);
+  if (w >= max_node_weight_) {
+    max_node_weight_ = w;
+  } else if (old == max_node_weight_) {
+    // The lowered node may have held the maximum; recompute exactly.
+    max_node_weight_ = MaxNodeWeightOf(node_weight_);
+  }
 }
 
 double Graph::EdgeWeight(NodeId u, NodeId v) const {

@@ -23,6 +23,14 @@ struct GraphEdge {
   double weight = 1.0;
 };
 
+/// Exact maximum over a node-weight vector (0 for an empty graph) — the
+/// shared MaxNodeWeight() invariant baseline of Graph and FrozenGraph.
+inline double MaxNodeWeightOf(const std::vector<double>& weights) {
+  double max = 0.0;
+  for (double w : weights) max = w > max ? w : max;
+  return max;
+}
+
 /// Adjacency-list digraph with per-node weights (prestige).
 class Graph {
  public:
@@ -55,11 +63,13 @@ class Graph {
   bool HasEdge(NodeId u, NodeId v) const;
 
   /// Maximum node weight across the graph (>=0; 0 for empty graph).
-  /// Used to normalise node scores (§2.3).
+  /// Used to normalise node scores (§2.3). Exact: set_node_weight
+  /// recomputes when the current maximum is lowered.
   double MaxNodeWeight() const { return max_node_weight_; }
 
-  /// Minimum edge weight across the graph (+inf if no edges).
-  /// Used to normalise edge scores (§2.3).
+  /// Minimum edge weight across the graph (+inf if no edges). Used to
+  /// normalise edge scores (§2.3). Exact because edges are only ever
+  /// added, never removed or reweighted.
   double MinEdgeWeight() const { return min_edge_weight_; }
 
   /// Estimated heap footprint in bytes (for the §5.2 space experiment).

@@ -17,6 +17,7 @@ size_t DataGraph::MemoryBytes() const {
 
 DataGraph BuildDataGraph(const Database& db, const GraphBuildOptions& options) {
   DataGraph dg;
+  Graph g;  // mutable build graph; frozen into dg.graph at the end
 
   // 1. Nodes, in deterministic (table id, row) order.
   size_t total = db.TotalRows();
@@ -26,7 +27,7 @@ DataGraph BuildDataGraph(const Database& db, const GraphBuildOptions& options) {
     const Table* t = db.table(name);
     for (uint32_t r = 0; r < t->num_rows(); ++r) {
       Rid rid{t->id(), r};
-      NodeId id = dg.graph.AddNode(0.0);
+      NodeId id = g.AddNode(0.0);
       dg.node_rid.push_back(rid);
       dg.rid_node.emplace(rid.Pack(), id);
     }
@@ -74,7 +75,7 @@ DataGraph BuildDataGraph(const Database& db, const GraphBuildOptions& options) {
   //    source tuple belongs to relation R. Needed for backward weights.
   //    Key: (node, table id of source relation).
   std::unordered_map<uint64_t, uint32_t> in_by_relation;
-  std::vector<uint32_t> indegree(dg.graph.num_nodes(), 0);
+  std::vector<uint32_t> indegree(g.num_nodes(), 0);
   auto rel_key = [&db](NodeId v, const std::string& table) {
     uint64_t h = v;
     HashCombine(&h, db.table(table)->id());
@@ -124,7 +125,7 @@ DataGraph BuildDataGraph(const Database& db, const GraphBuildOptions& options) {
     uint64_t key = pair_key(a, b);
     if (emitted[key]) return;
     emitted[key] = true;
-    dg.graph.AddEdge(a, b, pair_weight.at(key));
+    g.AddEdge(a, b, pair_weight.at(key));
   };
   for (const auto& l : links) {
     emit(l.from, l.to);
@@ -133,11 +134,13 @@ DataGraph BuildDataGraph(const Database& db, const GraphBuildOptions& options) {
 
   // 6. Prestige.
   if (options.indegree_prestige) {
-    for (NodeId n = 0; n < dg.graph.num_nodes(); ++n) {
-      dg.graph.set_node_weight(n, static_cast<double>(indegree[n]));
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      g.set_node_weight(n, static_cast<double>(indegree[n]));
     }
   }
 
+  // 7. Freeze into the CSR layout every search-time consumer runs over.
+  dg.graph = FrozenGraph(g);
   return dg;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/edge_weight.h"
+#include "graph/frozen_graph.h"
 #include "graph/graph.h"
 #include "storage/database.h"
 
@@ -35,9 +36,11 @@ struct GraphBuildOptions {
   bool indegree_prestige = true;
 };
 
-/// The database graph plus the Rid <-> NodeId correspondence.
+/// The database graph plus the Rid <-> NodeId correspondence. The graph is
+/// a frozen CSR snapshot: build mutably via Graph, then assign
+/// `dg.graph = FrozenGraph(g)`. Node weights remain assignable (prestige).
 struct DataGraph {
-  Graph graph;
+  FrozenGraph graph;
   std::vector<Rid> node_rid;                      ///< NodeId -> Rid
   std::unordered_map<uint64_t, NodeId> rid_node;  ///< packed Rid -> NodeId
 

@@ -66,7 +66,7 @@ Status SaveDataGraph(const DataGraph& dg, const std::string& path) {
   w.Put(kMagic);
   w.Put(kVersion);
 
-  const Graph& g = dg.graph;
+  const FrozenGraph& g = dg.graph;
   w.Put(static_cast<uint64_t>(g.num_nodes()));
   w.Put(static_cast<uint64_t>(g.num_edges()));
   for (NodeId n = 0; n < g.num_nodes(); ++n) {
@@ -109,7 +109,8 @@ Result<DataGraph> LoadDataGraph(const std::string& path) {
   }
 
   DataGraph dg;
-  dg.graph.Resize(num_nodes);
+  Graph g;  // mutable build graph; frozen into dg.graph once populated
+  g.Resize(num_nodes);
   dg.node_rid.reserve(num_nodes);
   dg.rid_node.reserve(num_nodes);
   for (uint64_t n = 0; n < num_nodes; ++n) {
@@ -121,7 +122,7 @@ Result<DataGraph> LoadDataGraph(const std::string& path) {
     Rid rid = Rid::Unpack(packed);
     dg.node_rid.push_back(rid);
     dg.rid_node.emplace(packed, static_cast<NodeId>(n));
-    dg.graph.set_node_weight(static_cast<NodeId>(n), weight);
+    g.set_node_weight(static_cast<NodeId>(n), weight);
   }
   uint64_t edges_read = 0;
   for (uint64_t n = 0; n < num_nodes; ++n) {
@@ -136,7 +137,7 @@ Result<DataGraph> LoadDataGraph(const std::string& path) {
       if (to >= num_nodes || weight <= 0) {
         return Status::Corruption("invalid edge");
       }
-      dg.graph.AddEdge(static_cast<NodeId>(n), to, weight);
+      g.AddEdge(static_cast<NodeId>(n), to, weight);
       ++edges_read;
     }
   }
@@ -149,6 +150,7 @@ Result<DataGraph> LoadDataGraph(const std::string& path) {
   if (!in.good() || stored != expected) {
     return Status::Corruption("checksum mismatch in '" + path + "'");
   }
+  dg.graph = FrozenGraph(g);
   return dg;
 }
 

@@ -4,15 +4,15 @@
 
 namespace banks {
 
-std::vector<double> IndegreePrestige(const Graph& g) {
+std::vector<double> IndegreePrestige(const FrozenGraph& g) {
   std::vector<double> prestige(g.num_nodes(), 0.0);
   for (NodeId n = 0; n < g.num_nodes(); ++n) {
-    prestige[n] = static_cast<double>(g.InEdges(n).size());
+    prestige[n] = static_cast<double>(g.InDegree(n));
   }
   return prestige;
 }
 
-std::vector<double> PageRankPrestige(const Graph& g,
+std::vector<double> PageRankPrestige(const FrozenGraph& g,
                                      const PageRankOptions& options) {
   const size_t n = g.num_nodes();
   if (n == 0) return {};
@@ -42,10 +42,10 @@ std::vector<double> PageRankPrestige(const Graph& g,
   return rank;
 }
 
-void ApplyPrestige(Graph* g, const std::vector<double>& prestige) {
-  for (NodeId n = 0; n < g->num_nodes() && n < prestige.size(); ++n) {
-    g->set_node_weight(n, prestige[n]);
-  }
+void ApplyPrestige(FrozenGraph* g, const std::vector<double>& prestige) {
+  // Bulk assignment: one max recompute instead of a rescan per lowered
+  // maximum (uniform-weight graphs would otherwise go quadratic).
+  g->SetNodeWeights(prestige);
 }
 
 }  // namespace banks

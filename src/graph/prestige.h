@@ -8,14 +8,14 @@
 
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/frozen_graph.h"
 
 namespace banks {
 
 /// Prestige = indegree of each node (counting all in-edges, which in the
 /// BANKS graph means forward in-links plus backward in-links; for the
 /// paper's model, set `forward_only` using the builder's indegree instead).
-std::vector<double> IndegreePrestige(const Graph& g);
+std::vector<double> IndegreePrestige(const FrozenGraph& g);
 
 /// PageRank-style prestige transfer over the directed graph (§7 "authority
 /// transfer ... wherein nodes pointed to by heavy nodes become heavier").
@@ -25,11 +25,11 @@ struct PageRankOptions {
   int max_iterations = 50;
   double tolerance = 1e-9;  ///< L1 convergence threshold
 };
-std::vector<double> PageRankPrestige(const Graph& g,
+std::vector<double> PageRankPrestige(const FrozenGraph& g,
                                      const PageRankOptions& options = {});
 
 /// Overwrites a graph's node weights with the given prestige vector.
-void ApplyPrestige(Graph* g, const std::vector<double>& prestige);
+void ApplyPrestige(FrozenGraph* g, const std::vector<double>& prestige);
 
 }  // namespace banks
 

@@ -15,7 +15,7 @@ DataGraph Wrap(Graph g, std::vector<uint32_t> table_of = {}) {
     dg.node_rid.push_back(rid);
     dg.rid_node.emplace(rid.Pack(), n);
   }
-  dg.graph = std::move(g);
+  dg.graph = FrozenGraph(g);
   return dg;
 }
 

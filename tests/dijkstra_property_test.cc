@@ -6,7 +6,7 @@
 #include <limits>
 #include <vector>
 
-#include "core/sp_iterator.h"
+#include "core/expansion_iterator.h"
 #include "util/rng.h"
 
 namespace banks {
@@ -62,7 +62,8 @@ TEST_P(DijkstraVsFloydTest, DistancesMatchAllPairs) {
   Rng rng(seed * 31 + 7);
   for (int trial = 0; trial < 4; ++trial) {
     NodeId source = static_cast<NodeId>(rng.Uniform(g.num_nodes()));
-    SpIterator it(g, source);
+    FrozenGraph fg(g);
+    ExpansionIterator it(fg, source);
     size_t settled = 0;
     double last = -1;
     while (it.HasNext()) {

@@ -57,6 +57,18 @@ TEST(GraphTest, MaxNodeWeightTracked) {
   EXPECT_DOUBLE_EQ(g.MaxNodeWeight(), 9.0);
 }
 
+TEST(GraphTest, LoweringMaxNodeWeightRecomputes) {
+  Graph g;
+  NodeId a = g.AddNode(5.0);
+  g.AddNode(2.0);
+  EXPECT_DOUBLE_EQ(g.MaxNodeWeight(), 5.0);
+  // Lowering the node that held the maximum must not leave a stale max.
+  g.set_node_weight(a, 1.0);
+  EXPECT_DOUBLE_EQ(g.MaxNodeWeight(), 2.0);
+  g.set_node_weight(a, 0.0);
+  EXPECT_DOUBLE_EQ(g.MaxNodeWeight(), 2.0);
+}
+
 TEST(GraphTest, ParallelEdgesAllowed) {
   Graph g(2);
   g.AddEdge(0, 1, 1.0);

@@ -16,7 +16,7 @@ DataGraph Wrap(Graph g) {
     dg.node_rid.push_back(rid);
     dg.rid_node.emplace(rid.Pack(), n);
   }
-  dg.graph = std::move(g);
+  dg.graph = FrozenGraph(g);
   return dg;
 }
 

@@ -11,7 +11,7 @@ TEST(IndegreePrestigeTest, CountsInEdges) {
   Graph g(3);
   g.AddEdge(0, 2, 1.0);
   g.AddEdge(1, 2, 1.0);
-  auto p = IndegreePrestige(g);
+  auto p = IndegreePrestige(FrozenGraph(g));
   EXPECT_DOUBLE_EQ(p[2], 2.0);
   EXPECT_DOUBLE_EQ(p[0], 0.0);
 }
@@ -22,7 +22,7 @@ TEST(PageRankTest, SumsToOne) {
   g.AddEdge(1, 2, 1.0);
   g.AddEdge(2, 0, 1.0);
   g.AddEdge(3, 0, 1.0);
-  auto pr = PageRankPrestige(g);
+  auto pr = PageRankPrestige(FrozenGraph(g));
   double sum = std::accumulate(pr.begin(), pr.end(), 0.0);
   EXPECT_NEAR(sum, 1.0, 1e-6);
 }
@@ -31,7 +31,7 @@ TEST(PageRankTest, PopularNodeRanksHigher) {
   // Star: many nodes point at node 0.
   Graph g(6);
   for (NodeId i = 1; i < 6; ++i) g.AddEdge(i, 0, 1.0);
-  auto pr = PageRankPrestige(g);
+  auto pr = PageRankPrestige(FrozenGraph(g));
   for (NodeId i = 1; i < 6; ++i) EXPECT_GT(pr[0], pr[i]);
 }
 
@@ -42,26 +42,26 @@ TEST(PageRankTest, AuthorityTransfer) {
   for (NodeId i = 2; i < 6; ++i) g.AddEdge(i, 1, 1.0);
   g.AddEdge(1, 0, 1.0);
   g.AddEdge(7, 6, 1.0);  // 6 has one unpopular referrer
-  auto pr = PageRankPrestige(g);
+  auto pr = PageRankPrestige(FrozenGraph(g));
   EXPECT_GT(pr[0], pr[6]);
 }
 
 TEST(PageRankTest, EmptyGraph) {
   Graph g;
-  EXPECT_TRUE(PageRankPrestige(g).empty());
+  EXPECT_TRUE(PageRankPrestige(FrozenGraph(g)).empty());
 }
 
 TEST(PageRankTest, DanglingNodesHandled) {
   Graph g(2);
   g.AddEdge(0, 1, 1.0);  // node 1 has no out-edges (dangling)
-  auto pr = PageRankPrestige(g);
+  auto pr = PageRankPrestige(FrozenGraph(g));
   double sum = pr[0] + pr[1];
   EXPECT_NEAR(sum, 1.0, 1e-6);
   EXPECT_GT(pr[1], pr[0]);
 }
 
 TEST(ApplyPrestigeTest, OverwritesNodeWeights) {
-  Graph g(3);
+  FrozenGraph g{Graph(3)};
   ApplyPrestige(&g, {3.0, 2.0, 1.0});
   EXPECT_DOUBLE_EQ(g.node_weight(0), 3.0);
   EXPECT_DOUBLE_EQ(g.node_weight(2), 1.0);
@@ -69,7 +69,7 @@ TEST(ApplyPrestigeTest, OverwritesNodeWeights) {
 }
 
 TEST(ApplyPrestigeTest, ShortVectorSafe) {
-  Graph g(3);
+  FrozenGraph g{Graph(3)};
   ApplyPrestige(&g, {5.0});
   EXPECT_DOUBLE_EQ(g.node_weight(0), 5.0);
   EXPECT_DOUBLE_EQ(g.node_weight(1), 0.0);

@@ -39,7 +39,7 @@ DataGraph RandomDataGraph(uint64_t seed, size_t n, size_t extra_edges) {
     dg.node_rid.push_back(rid);
     dg.rid_node.emplace(rid.Pack(), i);
   }
-  dg.graph = std::move(g);
+  dg.graph = FrozenGraph(g);
   return dg;
 }
 

@@ -8,14 +8,14 @@ namespace banks {
 namespace {
 
 // Graph: node weights {0: 4, 1: 2, 2: 0}; min edge weight 1.
-Graph MakeGraph() {
+FrozenGraph MakeGraph() {
   Graph g;
   g.AddNode(4.0);
   g.AddNode(2.0);
   g.AddNode(0.0);
   g.AddEdge(0, 1, 1.0);
   g.AddEdge(0, 2, 3.0);
-  return g;
+  return FrozenGraph(g);
 }
 
 ConnectionTree MakeTree() {
@@ -30,7 +30,7 @@ ConnectionTree MakeTree() {
 TEST(ScorerTest, LinearEdgeScore) {
   ScoringParams p;
   p.edge_log = false;
-  Graph g = MakeGraph();
+  FrozenGraph g = MakeGraph();
   Scorer s(g, p);
   EXPECT_DOUBLE_EQ(s.EdgeScore(1.0), 1.0);   // w / w_min
   EXPECT_DOUBLE_EQ(s.EdgeScore(3.0), 3.0);
@@ -39,7 +39,7 @@ TEST(ScorerTest, LinearEdgeScore) {
 TEST(ScorerTest, LogEdgeScore) {
   ScoringParams p;
   p.edge_log = true;
-  Graph g = MakeGraph();
+  FrozenGraph g = MakeGraph();
   Scorer s(g, p);
   EXPECT_DOUBLE_EQ(s.EdgeScore(1.0), 1.0);   // log2(1 + 1) = 1
   EXPECT_DOUBLE_EQ(s.EdgeScore(3.0), 2.0);   // log2(1 + 3) = 2
@@ -48,7 +48,7 @@ TEST(ScorerTest, LogEdgeScore) {
 TEST(ScorerTest, NodeScoreNormalisedByMax) {
   ScoringParams p;
   p.node_log = false;
-  Graph g = MakeGraph();
+  FrozenGraph g = MakeGraph();
   Scorer s(g, p);
   EXPECT_DOUBLE_EQ(s.NodeScore(4.0), 1.0);
   EXPECT_DOUBLE_EQ(s.NodeScore(2.0), 0.5);
@@ -58,7 +58,7 @@ TEST(ScorerTest, NodeScoreNormalisedByMax) {
 TEST(ScorerTest, LogNodeScore) {
   ScoringParams p;
   p.node_log = true;
-  Graph g = MakeGraph();
+  FrozenGraph g = MakeGraph();
   Scorer s(g, p);
   EXPECT_DOUBLE_EQ(s.NodeScore(4.0), 1.0);            // log2(1+1)
   EXPECT_DOUBLE_EQ(s.NodeScore(2.0), std::log2(1.5));
@@ -67,14 +67,14 @@ TEST(ScorerTest, LogNodeScore) {
 TEST(ScorerTest, TreeEdgeScore) {
   ScoringParams p;
   p.edge_log = false;
-  Graph g = MakeGraph();
+  FrozenGraph g = MakeGraph();
   Scorer s(g, p);
   // Escore = 1 / (1 + 1 + 3) = 0.2.
   EXPECT_DOUBLE_EQ(s.TreeEdgeScore(MakeTree()), 0.2);
 }
 
 TEST(ScorerTest, SingleNodeTreeEdgeScoreIsOne) {
-  Graph g = MakeGraph();
+  FrozenGraph g = MakeGraph();
   Scorer s(g, ScoringParams{});
   ConnectionTree single;
   single.root = 0;
@@ -85,7 +85,7 @@ TEST(ScorerTest, SingleNodeTreeEdgeScoreIsOne) {
 TEST(ScorerTest, TreeNodeScoreAveragesRootAndLeaves) {
   ScoringParams p;
   p.node_log = false;
-  Graph g = MakeGraph();
+  FrozenGraph g = MakeGraph();
   Scorer s(g, p);
   // Contributions: root 0 (1.0) + leaf 1 (0.5) + leaf 2 (0.0), avg = 0.5.
   EXPECT_DOUBLE_EQ(s.TreeNodeScore(MakeTree()), 0.5);
@@ -94,7 +94,7 @@ TEST(ScorerTest, TreeNodeScoreAveragesRootAndLeaves) {
 TEST(ScorerTest, MultiTermLeafCountedPerTerm) {
   ScoringParams p;
   p.node_log = false;
-  Graph g = MakeGraph();
+  FrozenGraph g = MakeGraph();
   Scorer s(g, p);
   // Node 1 satisfies both terms: root(1.0) + 1(0.5) + 1(0.5), avg = 2/3.
   ConnectionTree t;
@@ -110,7 +110,7 @@ TEST(ScorerTest, AdditiveCombination) {
   p.node_log = false;
   p.multiplicative = false;
   p.lambda = 0.2;
-  Graph g = MakeGraph();
+  FrozenGraph g = MakeGraph();
   Scorer s(g, p);
   // 0.8 * 0.2 + 0.2 * 0.5 = 0.26.
   EXPECT_NEAR(s.Relevance(MakeTree()), 0.26, 1e-12);
@@ -122,7 +122,7 @@ TEST(ScorerTest, MultiplicativeCombination) {
   p.node_log = false;
   p.multiplicative = true;
   p.lambda = 0.5;
-  Graph g = MakeGraph();
+  FrozenGraph g = MakeGraph();
   Scorer s(g, p);
   // 0.2 * 0.5^0.5.
   EXPECT_NEAR(s.Relevance(MakeTree()), 0.2 * std::sqrt(0.5), 1e-12);
@@ -132,7 +132,7 @@ TEST(ScorerTest, LambdaZeroIgnoresNodes) {
   ScoringParams p;
   p.edge_log = false;
   p.lambda = 0.0;
-  Graph g = MakeGraph();
+  FrozenGraph g = MakeGraph();
   Scorer s(g, p);
   EXPECT_DOUBLE_EQ(s.Relevance(MakeTree()), 0.2);
   p.multiplicative = true;
@@ -145,7 +145,7 @@ TEST(ScorerTest, LambdaOneIgnoresEdges) {
   p.edge_log = false;
   p.node_log = false;
   p.lambda = 1.0;
-  Graph g = MakeGraph();
+  FrozenGraph g = MakeGraph();
   Scorer s(g, p);
   EXPECT_DOUBLE_EQ(s.Relevance(MakeTree()), 0.5);
 }
@@ -156,7 +156,7 @@ TEST(ScorerTest, RelevanceInUnitInterval) {
       for (bool mult : {false, true}) {
         for (double lambda : {0.0, 0.2, 0.5, 0.8, 1.0}) {
           ScoringParams p{el, nl, mult, lambda};
-          Graph g = MakeGraph();
+          FrozenGraph g = MakeGraph();
   Scorer s(g, p);
           double r = s.Relevance(MakeTree());
           EXPECT_GE(r, 0.0) << p.Name();
@@ -179,16 +179,17 @@ TEST(ScorerTest, DiscardedCombinationsFlagged) {
 }
 
 TEST(ScorerTest, ZeroPrestigeGraphHasZeroNodeScore) {
-  Graph g;
-  g.AddNode(0.0);
-  g.AddNode(0.0);
-  g.AddEdge(0, 1, 1.0);
+  Graph mg;
+  mg.AddNode(0.0);
+  mg.AddNode(0.0);
+  mg.AddEdge(0, 1, 1.0);
+  FrozenGraph g(mg);
   Scorer s(g, ScoringParams{});
   EXPECT_DOUBLE_EQ(s.NodeScore(0.0), 0.0);
 }
 
 TEST(ScorerTest, ScoreInPlaceWritesRelevance) {
-  Graph g = MakeGraph();
+  FrozenGraph g = MakeGraph();
   Scorer s(g, ScoringParams{});
   ConnectionTree t = MakeTree();
   s.ScoreInPlace(&t);

@@ -12,7 +12,7 @@ TEST(SteinerTest, StarOptimum) {
   Graph g(3);
   g.AddEdge(0, 1, 1.0);
   g.AddEdge(0, 2, 1.0);
-  auto r = ExactSteinerTree(g, {{1}, {2}});
+  auto r = ExactSteinerTree(FrozenGraph(g), {{1}, {2}});
   ASSERT_TRUE(r.found);
   EXPECT_DOUBLE_EQ(r.weight, 2.0);
   EXPECT_EQ(r.tree.root, 0u);
@@ -22,7 +22,7 @@ TEST(SteinerTest, StarOptimum) {
 TEST(SteinerTest, SingleTermZeroWeight) {
   Graph g(2);
   g.AddEdge(0, 1, 1.0);
-  auto r = ExactSteinerTree(g, {{1}});
+  auto r = ExactSteinerTree(FrozenGraph(g), {{1}});
   ASSERT_TRUE(r.found);
   EXPECT_DOUBLE_EQ(r.weight, 0.0);
   EXPECT_EQ(r.tree.root, 1u);
@@ -34,7 +34,7 @@ TEST(SteinerTest, ChoosesCheaperOfTwoJunctions) {
   g.AddEdge(2, 1, 1.0);
   g.AddEdge(3, 0, 5.0);
   g.AddEdge(3, 1, 5.0);
-  auto r = ExactSteinerTree(g, {{0}, {1}});
+  auto r = ExactSteinerTree(FrozenGraph(g), {{0}, {1}});
   ASSERT_TRUE(r.found);
   EXPECT_DOUBLE_EQ(r.weight, 2.0);
   EXPECT_EQ(r.tree.root, 2u);
@@ -47,7 +47,7 @@ TEST(SteinerTest, SharedPathCountedOnce) {
   g.AddEdge(0, 1, 1.0);  // root -> m
   g.AddEdge(1, 2, 1.0);  // m -> a
   g.AddEdge(1, 3, 1.0);  // m -> b
-  auto r = ExactSteinerTree(g, {{2}, {3}});
+  auto r = ExactSteinerTree(FrozenGraph(g), {{2}, {3}});
   ASSERT_TRUE(r.found);
   EXPECT_DOUBLE_EQ(r.weight, 2.0);
   EXPECT_EQ(r.tree.root, 1u);
@@ -59,7 +59,7 @@ TEST(SteinerTest, TerminalSetsPickBestRepresentative) {
   g.AddEdge(0, 1, 10.0);
   g.AddEdge(0, 2, 1.0);
   g.AddEdge(0, 3, 1.0);
-  auto r = ExactSteinerTree(g, {{1, 2}, {3}});
+  auto r = ExactSteinerTree(FrozenGraph(g), {{1, 2}, {3}});
   ASSERT_TRUE(r.found);
   EXPECT_DOUBLE_EQ(r.weight, 2.0);
 }
@@ -68,7 +68,7 @@ TEST(SteinerTest, UnreachableReturnsNotFound) {
   Graph g(3);
   g.AddEdge(0, 1, 1.0);
   // Node 2 is isolated.
-  auto r = ExactSteinerTree(g, {{1}, {2}});
+  auto r = ExactSteinerTree(FrozenGraph(g), {{1}, {2}});
   EXPECT_FALSE(r.found);
 }
 
@@ -78,7 +78,7 @@ TEST(SteinerTest, ExcludedRootsRespected) {
   g.AddEdge(2, 1, 1.0);
   g.AddEdge(3, 0, 5.0);
   g.AddEdge(3, 1, 5.0);
-  auto r = ExactSteinerTree(g, {{0}, {1}}, /*excluded_roots=*/{2});
+  auto r = ExactSteinerTree(FrozenGraph(g), {{0}, {1}}, /*excluded_roots=*/{2});
   ASSERT_TRUE(r.found);
   EXPECT_EQ(r.tree.root, 3u);
   EXPECT_DOUBLE_EQ(r.weight, 10.0);
@@ -87,8 +87,8 @@ TEST(SteinerTest, ExcludedRootsRespected) {
 TEST(SteinerTest, EmptyInputs) {
   Graph g(2);
   g.AddEdge(0, 1, 1.0);
-  EXPECT_FALSE(ExactSteinerTree(g, {}).found);
-  EXPECT_FALSE(ExactSteinerTree(g, {{0}, {}}).found);
+  EXPECT_FALSE(ExactSteinerTree(FrozenGraph(g), {}).found);
+  EXPECT_FALSE(ExactSteinerTree(FrozenGraph(g), {{0}, {}}).found);
 }
 
 TEST(SteinerTest, ThreeTerminals) {
@@ -98,7 +98,7 @@ TEST(SteinerTest, ThreeTerminals) {
   g.AddEdge(0, 2, 1.0);
   g.AddEdge(0, 3, 1.0);
   g.AddEdge(1, 2, 10.0);
-  auto r = ExactSteinerTree(g, {{1}, {2}, {3}});
+  auto r = ExactSteinerTree(FrozenGraph(g), {{1}, {2}, {3}});
   ASSERT_TRUE(r.found);
   EXPECT_DOUBLE_EQ(r.weight, 3.0);
   EXPECT_EQ(r.tree.root, 0u);
@@ -133,7 +133,7 @@ TEST(SteinerTest, BackwardSearchNeverBeatsExact) {
         {static_cast<NodeId>(rng.Uniform(n))}};
     if (terms[0][0] == terms[1][0]) continue;
 
-    auto exact = ExactSteinerTree(g, terms);
+    auto exact = ExactSteinerTree(FrozenGraph(g), terms);
     ASSERT_TRUE(exact.found);
 
     DataGraph dg;
@@ -142,7 +142,7 @@ TEST(SteinerTest, BackwardSearchNeverBeatsExact) {
       dg.node_rid.push_back(rid);
       dg.rid_node.emplace(rid.Pack(), i);
     }
-    dg.graph = std::move(g);
+    dg.graph = FrozenGraph(g);
     SearchOptions options;
     options.exhaustive = true;
     BackwardSearch bs(dg, options);
