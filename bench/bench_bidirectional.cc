@@ -8,11 +8,17 @@
 // the selective terms' backward iterators and covers the metadata terms
 // with forward probes from candidate roots, expanding whichever frontier
 // is globally cheapest. The report compares iterator_visits (total
-// frontier expansions of any kind) and wall time.
+// frontier expansions of any kind) plus the streaming latencies: ttfa
+// (time to first answer out of the AnswerStream) and ttk (time until the
+// stream is drained, i.e. all k answers) — the §3 engine emits answers
+// incrementally, so ttfa << ttk wherever generation is spread out.
+// Forward search ranks its candidate roots only once the root budget is
+// spent, so its ttfa ~ ttk by design.
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.h"
+#include "core/answer_stream.h"
 #include "core/backward_search.h"
 #include "core/bidirectional_search.h"
 #include "core/forward_search.h"
@@ -24,7 +30,9 @@ using namespace banks::bench;
 namespace {
 
 struct StrategyRow {
-  double ms = 0;
+  double ttfa_ms = 0;  // time to first streamed answer
+  double ttk_ms = 0;   // time to all k answers (stream drained)
+  size_t first_visits = 0;  // iterator visits when the first answer surfaced
   size_t visits = 0;
   size_t answers = 0;
 };
@@ -35,12 +43,19 @@ StrategyRow RunOne(const DataGraph& dg, SearchStrategy strategy,
   SearchOptions options = base;
   options.strategy = strategy;
   auto search = CreateExpansionSearch(dg, options);
-  Timer t;
-  auto answers = search->Run(sets);
   StrategyRow row;
-  row.ms = t.Millis();
-  row.visits = search->stats().iterator_visits;
-  row.answers = answers.size();
+  Timer t;
+  search->Begin(sets);
+  AnswerStream stream(search.get());
+  while (auto answer = stream.Next()) {
+    if (answer->rank == 0) {
+      row.ttfa_ms = t.Millis();
+      row.first_visits = stream.stats().iterator_visits;
+    }
+    ++row.answers;
+  }
+  row.ttk_ms = t.Millis();
+  row.visits = stream.stats().iterator_visits;
   return row;
 }
 
@@ -63,12 +78,13 @@ int main() {
                            "paper transaction",  "author sunita paper",
                            "soumen sunita",      "seltzer sunita"};
 
-  std::printf("\n%-22s %8s | %10s %8s | %10s %8s | %10s %8s\n", "query",
-              "max|S|", "bwd-visit", "bwd-ms", "fwd-visit", "fwd-ms",
-              "bidi-visit", "bidi-ms");
+  std::printf("\n%-22s %7s | %9s %7s %7s | %9s %7s %7s | %9s %7s %7s\n",
+              "query", "max|S|", "bwd-vis", "b-ttfa", "b-ttk", "fwd-vis",
+              "f-ttfa", "f-ttk", "bidi-vis", "bd-ttfa", "bd-ttk");
   PrintRule();
 
   bool bidi_never_worse = true;
+  bool streams_early = false;
   for (const char* q : queries) {
     auto parsed = ParseQuery(q);
     KeywordResolver resolver(engine.db(), dg, engine.inverted_index(),
@@ -81,7 +97,7 @@ int main() {
       viable &= !s.empty();
     }
     if (!viable) {
-      std::printf("%-22s %8s\n", q, "(no match)");
+      std::printf("%-22s %7s\n", q, "(no match)");
       continue;
     }
 
@@ -90,22 +106,35 @@ int main() {
     StrategyRow fwd = RunOne(dg, SearchStrategy::kForward, base, sets);
     StrategyRow bidi = RunOne(dg, SearchStrategy::kBidirectional, base, sets);
     bidi_never_worse &= bidi.visits <= bwd.visits;
+    // Streaming invariant with teeth: on some multi-answer query the
+    // first answer must surface with strictly fewer visits than the full
+    // run needs (== everywhere would mean streaming degraded to batch;
+    // equality on individual queries is legitimate when the output heap
+    // only fills at the very end of the expansion).
+    streams_early |= bwd.answers > 1 && bwd.first_visits < bwd.visits;
+    streams_early |= bidi.answers > 1 && bidi.first_visits < bidi.visits;
 
     std::printf(
-        "%-22s %8zu | %10zu %8.1f | %10zu %8.1f | %10zu %8.1f\n", q, max_set,
-        bwd.visits, bwd.ms, fwd.visits, fwd.ms, bidi.visits, bidi.ms);
-    std::printf("%-22s %8s | answers: bwd=%zu fwd=%zu bidi=%zu\n", "", "",
-                bwd.answers, fwd.answers, bidi.answers);
+        "%-22s %7zu | %9zu %7.1f %7.1f | %9zu %7.1f %7.1f | %9zu %7.1f "
+        "%7.1f\n",
+        q, max_set, bwd.visits, bwd.ttfa_ms, bwd.ttk_ms, fwd.visits,
+        fwd.ttfa_ms, fwd.ttk_ms, bidi.visits, bidi.ttfa_ms, bidi.ttk_ms);
+    std::printf("%-22s %7s | answers: bwd=%zu fwd=%zu bidi=%zu  "
+                "first-answer visits: bwd=%zu bidi=%zu\n",
+                "", "", bwd.answers, fwd.answers, bidi.answers,
+                bwd.first_visits, bidi.first_visits);
   }
 
   PrintRule();
   std::printf(
       "bidirectional <= backward visits on every query: %s\n"
+      "first answer strictly cheaper than the full run somewhere: %s\n"
       "\nshape check: metadata keywords (\"author\", \"paper\") make "
       "backward search start one\niterator per matching tuple; "
       "bidirectional covers those terms with forward probes\nfrom candidate "
       "roots and matches plain backward search exactly when every term\nis "
-      "selective.\n",
-      bidi_never_worse ? "yes" : "NO");
-  return bidi_never_worse ? 0 : 1;
+      "selective. ttfa is the streaming time-to-first-answer; ttk drains "
+      "the stream.\n",
+      bidi_never_worse ? "yes" : "NO", streams_early ? "yes" : "NO");
+  return (bidi_never_worse && streams_early) ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 //   banks_cli <csv-dir>      load a database saved with SaveDatabase
 //   banks_cli --demo         use the built-in synthetic DBLP dataset
 //   ... [--strategy backward|forward|bidi]   expansion strategy
+//   ... [--first-k <n>]      streaming: stop each query after n answers
 //
 // Commands at the prompt:
 //   <keywords...>            run a keyword query (approx(N), attr:kw work)
@@ -15,6 +16,7 @@
 //   :lambda <x>              set the node-weight factor (0..1)
 //   :log on|off              toggle edge-weight log scaling
 //   :strategy <name>         expansion strategy (backward|forward|bidi)
+//   :stream on|off           print answers as they are generated
 //   :quit
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +29,7 @@
 #include "datagen/dblp_gen.h"
 #include "eval/workload.h"
 #include "storage/csv.h"
+#include "util/timer.h"
 
 using namespace banks;
 
@@ -89,6 +92,34 @@ void TupleCommand(const BanksEngine& engine, const std::string& table,
   std::printf("  <- %zu referencing tuple(s)\n", back.size());
 }
 
+/// Streaming query: answers print the moment the output heap releases
+/// them, each stamped with its arrival time. `first_k` > 0 cancels the
+/// search after that many answers — the rest of the graph is never
+/// expanded.
+void StreamQueryCommand(const BanksEngine& engine, const std::string& query,
+                        const SearchOptions& opts, size_t first_k) {
+  Timer timer;
+  auto session = engine.OpenSession(query, opts);
+  if (!session.ok()) {
+    std::printf("error: %s\n", session.status().ToString().c_str());
+    return;
+  }
+  QuerySession& live = session.value();
+  while (auto answer = live.Next()) {
+    std::printf("-- answer %zu (relevance %.4f, %.1f ms, %zu visits)\n",
+                answer->rank + 1, answer->tree.relevance, timer.Millis(),
+                live.stats().iterator_visits);
+    std::printf("%s", engine.Render(answer->tree).c_str());
+    std::fflush(stdout);
+    if (first_k > 0 && answer->rank + 1 >= first_k) {
+      live.Cancel();
+      std::printf("(first %zu answers shown; search cancelled)\n", first_k);
+      break;
+    }
+  }
+  if (live.answers_returned() == 0) std::printf("(no answers)\n");
+}
+
 void QueryCommand(const BanksEngine& engine, const std::string& query,
                   const SearchOptions& opts, bool structures) {
   auto result = engine.Search(query, opts);
@@ -122,9 +153,10 @@ void QueryCommand(const BanksEngine& engine, const std::string& query,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const char* usage =
+      "usage: %s (<csv-dir> | --demo) [--strategy <name>] [--first-k <n>]\n";
   if (argc < 2) {
-    std::printf("usage: %s (<csv-dir> | --demo) [--strategy <name>]\n",
-                argv[0]);
+    std::printf(usage, argv[0]);
     return 2;
   }
   // The first argument is the dataset; flags follow. Catch a leading flag
@@ -132,28 +164,47 @@ int main(int argc, char** argv) {
   if (std::string(argv[1]) != "--demo" && argv[1][0] == '-') {
     std::printf("first argument must be <csv-dir> or --demo, got '%s'\n",
                 argv[1]);
-    std::printf("usage: %s (<csv-dir> | --demo) [--strategy <name>]\n",
-                argv[0]);
+    std::printf(usage, argv[0]);
     return 2;
   }
   SearchStrategy strategy = SearchStrategy::kBackward;
+  size_t first_k = 0;
+  bool stream_mode = false;
   for (int a = 2; a < argc; ++a) {
-    if (std::string(argv[a]) != "--strategy") {
-      std::printf("unknown argument '%s'\n", argv[a]);
-      std::printf("usage: %s (<csv-dir> | --demo) [--strategy <name>]\n",
-                  argv[0]);
+    std::string arg = argv[a];
+    if (arg == "--strategy") {
+      if (a + 1 >= argc) {
+        std::printf("--strategy requires a value (valid: %s)\n",
+                    SearchStrategyNames());
+        return 2;
+      }
+      if (!ParseSearchStrategy(argv[a + 1], &strategy)) {
+        std::printf("unknown strategy '%s' (valid: %s)\n", argv[a + 1],
+                    SearchStrategyNames());
+        return 2;
+      }
+      ++a;  // consume the value
+    } else if (arg == "--first-k") {
+      if (a + 1 >= argc) {
+        std::printf("--first-k requires a positive number\n");
+        return 2;
+      }
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(argv[a + 1], &end, 10);
+      if (end == argv[a + 1] || *end != '\0' || argv[a + 1][0] == '-' ||
+          value == 0) {
+        std::printf("--first-k requires a positive number, got '%s'\n",
+                    argv[a + 1]);
+        return 2;
+      }
+      first_k = static_cast<size_t>(value);
+      stream_mode = true;  // printing the first k implies streaming
+      ++a;
+    } else {
+      std::printf("unknown argument '%s'\n", arg.c_str());
+      std::printf(usage, argv[0]);
       return 2;
     }
-    if (a + 1 >= argc) {
-      std::printf("--strategy requires a value (backward|forward|bidi)\n");
-      return 2;
-    }
-    if (!ParseSearchStrategy(argv[a + 1], &strategy)) {
-      std::printf("unknown strategy '%s' (backward|forward|bidi)\n",
-                  argv[a + 1]);
-      return 2;
-    }
-    ++a;  // consume the value
   }
 
   Database db;
@@ -201,7 +252,8 @@ int main(int argc, char** argv) {
           "  :tuple <table> <row>   one tuple\n"
           "  :structures <kw...>    group answers by structure\n"
           "  :k <n> | :lambda <x> | :log on|off | :quit\n"
-          "  :strategy backward|forward|bidi\n");
+          "  :strategy backward|forward|bidi\n"
+          "  :stream on|off         print answers as they are generated\n");
     } else if (cmd == ":tables") {
       PrintTablesCommand(engine);
     } else if (cmd == ":browse") {
@@ -231,9 +283,14 @@ int main(int argc, char** argv) {
         std::printf("strategy = %s\n",
                     SearchStrategyName(search.strategy));
       } else {
-        std::printf("unknown strategy '%s' (backward|forward|bidi)\n",
-                    name.c_str());
+        std::printf("unknown strategy '%s' (valid: %s)\n", name.c_str(),
+                    SearchStrategyNames());
       }
+    } else if (cmd == ":stream") {
+      std::string v;
+      ss >> v;
+      stream_mode = (v != "off");
+      std::printf("streaming = %s\n", stream_mode ? "on" : "off");
     } else if (cmd == ":log") {
       std::string v;
       ss >> v;
@@ -242,6 +299,8 @@ int main(int argc, char** argv) {
                   search.scoring.edge_log ? "on" : "off");
     } else if (cmd[0] == ':') {
       std::printf("unknown command %s (:help)\n", cmd.c_str());
+    } else if (stream_mode) {
+      StreamQueryCommand(engine, line, search, first_k);
     } else {
       QueryCommand(engine, line, search, /*structures=*/false);
     }

@@ -3,7 +3,8 @@
 // Shows the minimal BANKS workflow on a hand-built bibliographic database:
 //   1. create tables with primary and foreign keys,
 //   2. hand the database to BanksEngine (it builds indexes + the graph),
-//   3. type keywords, get ranked connection trees back.
+//   3. type keywords, get ranked connection trees back (batch), and
+//   4. stream answers incrementally through a QuerySession.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
@@ -69,6 +70,21 @@ int main() {
     }
     if (result.value().answers.empty()) std::printf("  (no answers)\n");
     std::printf("\n");
+  }
+
+  // --- 4. Streaming: the same search, one answer at a time. Each Next()
+  //        expands the graph only far enough to surface the next answer,
+  //        so the first answer arrives long before the search finishes —
+  //        and Cancel() (or just dropping the session) abandons the rest.
+  std::printf("==== streaming: \"sunita temporal\"\n");
+  auto session = engine.OpenSession("sunita temporal");
+  if (session.ok()) {
+    while (auto answer = session.value().Next()) {
+      std::printf("-- streamed answer %zu (relevance %.3f, %zu visits)\n",
+                  answer->rank + 1, answer->tree.relevance,
+                  session.value().stats().iterator_visits);
+      std::printf("%s", engine.Render(answer->tree).c_str());
+    }
   }
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "browse/answers_page.h"
 #include "browse/browser.h"
 #include "browse/html.h"
 #include "core/banks.h"
@@ -60,23 +61,25 @@ int main() {
   }
 
   // --- Keyword search over the same data (the §2.1 prestige example:
-  //     matching parts rank by how many orders reference them).
+  //     matching parts rank by how many orders reference them). Each
+  //     query's page is the *first page* of a streaming session: only the
+  //     first `page_size` answers are generated before rendering — the
+  //     rest of the search never runs.
   BanksEngine engine(std::move(db));
+  const size_t page_size = 5;
   HtmlWriter search_page;
   search_page.Heading(1, "Keyword search over the published database");
   for (const char* query : {"widget assembly", "supplier", "gear valve"}) {
-    search_page.Heading(2, std::string("query: ") + query);
-    auto result = engine.Search(query);
-    if (!result.ok()) continue;
-    search_page.OpenList();
-    for (const auto& tree : result.value().answers) {
-      std::string item = HtmlEscape(engine.RootLabel(tree)) +
-                         " (relevance " + std::to_string(tree.relevance) +
-                         ")<pre>" + HtmlEscape(engine.Render(tree)) +
-                         "</pre>";
-      search_page.ListItem(item);
-    }
-    search_page.CloseList();
+    auto session = engine.OpenSession(query);
+    if (!session.ok()) continue;
+    AnswersPage page;
+    page.query_text = query;
+    page.page_size = page_size;
+    page.answers = session.value().NextBatch(page_size);
+    page.has_more = session.value().HasNext();
+    search_page.Raw(
+        RenderAnswersPage(page, engine.data_graph(), engine.db()));
+    session.value().Cancel();  // abandon the rest of the stream
   }
   WriteFile(out_dir / "search.html", search_page.Page("BANKS search"));
 

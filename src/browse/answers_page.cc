@@ -1,0 +1,48 @@
+#include "browse/answers_page.h"
+
+#include <cstdio>
+
+#include "browse/html.h"
+#include "browse/hyperlink.h"
+
+namespace banks {
+
+std::string RenderAnswersPage(const AnswersPage& page, const DataGraph& dg,
+                              const Database& db) {
+  HtmlWriter out;
+  out.Heading(2, "query: " + page.query_text);
+  if (page.answers.empty()) {
+    out.Paragraph(page.page_index == 0 ? "(no answers)" : "(no more answers)");
+    return out.body();
+  }
+
+  out.OpenList();
+  for (size_t i = 0; i < page.answers.size(); ++i) {
+    const ConnectionTree& tree = page.answers[i];
+    const size_t rank = page.page_index * page.page_size + i + 1;
+    const Rid rid = dg.RidForNode(tree.root);
+    const Table* table = db.table(rid.table_id);
+
+    char prefix[64];
+    std::snprintf(prefix, sizeof(prefix), "#%zu (relevance %.4f) ", rank,
+                  tree.relevance);
+    std::string item = HtmlEscape(prefix);
+    const std::string label = NodeLabel(tree.root, dg, db);
+    if (table != nullptr) {
+      item += HtmlLink(TupleUri(table->name(), rid.row), label);
+    } else {
+      item += HtmlEscape(label);
+    }
+    item += "<pre>" + HtmlEscape(RenderAnswer(tree, dg, db)) + "</pre>";
+    out.ListItem(item);
+  }
+  out.CloseList();
+
+  if (page.has_more) {
+    out.Paragraph("more answers available — pull the next page (page " +
+                  std::to_string(page.page_index + 2) + ")");
+  }
+  return out.body();
+}
+
+}  // namespace banks

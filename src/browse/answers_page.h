@@ -1,0 +1,38 @@
+// HTML rendering of one page of search answers (§4 meets streaming).
+//
+// The browse layer publishes query results the same zero-effort way it
+// publishes tables: every answer's information node links into the
+// "banks:" tuple pages. Pages are designed around the streaming API — the
+// caller passes exactly the answers of one QuerySession::NextBatch() call
+// plus whether more are available, so the first page renders after the
+// first k answers are generated, not after the whole search drains.
+#ifndef BANKS_BROWSE_ANSWERS_PAGE_H_
+#define BANKS_BROWSE_ANSWERS_PAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/answer.h"
+#include "graph/graph_builder.h"
+#include "storage/database.h"
+
+namespace banks {
+
+/// One page of streamed answers.
+struct AnswersPage {
+  std::string query_text;               ///< the user's keyword query
+  std::vector<ConnectionTree> answers;  ///< one NextBatch() worth
+  size_t page_index = 0;                ///< 0-based page number
+  size_t page_size = 10;                ///< answers per page (for numbering)
+  bool has_more = false;                ///< session.HasNext() after the batch
+};
+
+/// Renders the page as a self-contained HTML fragment: rank + relevance +
+/// root label (hyperlinked to its "banks:" tuple page) + the Figure-2 tree
+/// rendering, with a next-page hint when the stream has more answers.
+std::string RenderAnswersPage(const AnswersPage& page, const DataGraph& dg,
+                              const Database& db);
+
+}  // namespace banks
+
+#endif  // BANKS_BROWSE_ANSWERS_PAGE_H_

@@ -1,0 +1,27 @@
+#include "core/answer_stream.h"
+
+namespace banks {
+
+bool AnswerStream::HasNext() {
+  if (search_ == nullptr || cancelled_) return false;
+  return search_->PumpUntilAnswer();
+}
+
+std::optional<ScoredAnswer> AnswerStream::Next() {
+  if (search_ == nullptr || cancelled_) return std::nullopt;
+  auto tree = search_->NextEmitted();
+  if (!tree.has_value()) return std::nullopt;
+  return ScoredAnswer{std::move(*tree), rank_++};
+}
+
+void AnswerStream::Cancel() {
+  if (search_ != nullptr && !cancelled_) search_->Abort();
+  cancelled_ = true;
+}
+
+const SearchStats& AnswerStream::stats() const {
+  static const SearchStats kEmpty{};
+  return search_ == nullptr ? kEmpty : search_->stats();
+}
+
+}  // namespace banks

@@ -1,0 +1,64 @@
+// Pull-based answer streaming over an expansion search.
+//
+// The §3 engine is inherently incremental: connection trees are generated
+// one at a time and a small reordering heap releases them in approximate
+// relevance order. AnswerStream exposes that as a cursor — each Next()
+// advances the underlying stepper (ExpansionSearchBase::PumpUntilAnswer)
+// only far enough to surface one more answer, so time-to-first-answer is a
+// fraction of full-run latency and abandoning a stream does not drain the
+// graph. The engine-level wrapper with keyword resolution, pagination and
+// budgets is QuerySession (core/query_session.h).
+#ifndef BANKS_CORE_ANSWER_STREAM_H_
+#define BANKS_CORE_ANSWER_STREAM_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "core/expansion_search_base.h"
+
+namespace banks {
+
+/// One streamed answer: the connection tree plus its emission rank.
+struct ScoredAnswer {
+  ConnectionTree tree;
+  size_t rank = 0;  ///< 0-based position in the stream's emission order
+};
+
+/// Cursor over the answers of one search run. Borrows a searcher on which
+/// Begin()/BeginScored() has been called; the searcher must outlive the
+/// stream. A default-constructed stream is empty.
+class AnswerStream {
+ public:
+  AnswerStream() = default;
+  explicit AnswerStream(ExpansionSearchBase* search) : search_(search) {}
+
+  /// True iff another answer is available. May perform expansion work (up
+  /// to the next emission or the end of the run).
+  bool HasNext();
+
+  /// Pulls the next answer, expanding only as far as needed (nullopt =
+  /// stream exhausted or cancelled).
+  std::optional<ScoredAnswer> Next();
+
+  /// Early termination: tears down the searcher's frontiers and iterators
+  /// without draining the graph. Subsequent Next() calls return nullopt.
+  void Cancel();
+  bool cancelled() const { return cancelled_; }
+
+  /// Live counters of the underlying run — valid mid-stream, so callers
+  /// can report incremental progress (visits so far, trees generated, any
+  /// budget truncation).
+  const SearchStats& stats() const;
+
+  /// Answers pulled so far.
+  size_t answers_returned() const { return rank_; }
+
+ private:
+  ExpansionSearchBase* search_ = nullptr;
+  size_t rank_ = 0;
+  bool cancelled_ = false;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_CORE_ANSWER_STREAM_H_

@@ -30,11 +30,12 @@ class BackwardSearch : public ExpansionSearchBase {
       : ExpansionSearchBase(dg, std::move(options)) {}
 
  protected:
-  std::vector<ConnectionTree> Execute(
+  void BeginExecute(
       const std::vector<std::vector<NodeId>>& keyword_nodes) override {
-    RunExpansionLoop(keyword_nodes, /*forward_term_mask=*/0);
-    return TakeResults();
+    PrepareExpansionLoop(keyword_nodes, /*forward_term_mask=*/0);
   }
+
+  bool ExecuteStep() override { return StepExpansionLoop(); }
 };
 
 }  // namespace banks

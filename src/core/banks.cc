@@ -19,8 +19,39 @@ BanksEngine::BanksEngine(Database db, BanksOptions options)
   }
 }
 
+Result<QuerySession> BanksEngine::OpenSession(
+    const std::string& query_text) const {
+  return OpenSessionImpl(query_text, options_.search, nullptr, Budget{});
+}
+
+Result<QuerySession> BanksEngine::OpenSession(const std::string& query_text,
+                                              SearchOptions search,
+                                              Budget budget) const {
+  return OpenSessionImpl(query_text, std::move(search), nullptr, budget);
+}
+
+Result<QuerySession> BanksEngine::OpenSessionAuthorized(
+    const std::string& query_text, const AuthPolicy& policy,
+    Budget budget) const {
+  return OpenSessionImpl(query_text, options_.search, &policy, budget);
+}
+
+Result<QuerySession> BanksEngine::OpenSessionAuthorized(
+    const std::string& query_text, const AuthPolicy& policy,
+    SearchOptions search, Budget budget) const {
+  return OpenSessionImpl(query_text, std::move(search), &policy, budget);
+}
+
 Result<QueryResult> BanksEngine::Search(const std::string& query_text) const {
   return Search(query_text, options_.search);
+}
+
+Result<QueryResult> BanksEngine::Search(const std::string& query_text,
+                                        SearchOptions search) const {
+  auto session = OpenSessionImpl(query_text, std::move(search), nullptr,
+                                 Budget{});
+  if (!session.ok()) return session.status();
+  return std::move(session).value().DrainToResult();
 }
 
 Result<QueryResult> BanksEngine::SearchAuthorized(
@@ -31,110 +62,93 @@ Result<QueryResult> BanksEngine::SearchAuthorized(
 Result<QueryResult> BanksEngine::SearchAuthorized(
     const std::string& query_text, const AuthPolicy& policy,
     SearchOptions search) const {
-  if (!policy.HidesAnything()) return Search(query_text, search);
-  auto hidden_ids = policy.HiddenTableIds(db_);
-
-  // Hidden tuples must not even be traversed: excluding their tables as
-  // roots is not enough (they could sit inside a path), so run the search
-  // and then drop any answer touching hidden data. Request extra answers
-  // to compensate for the filtered ones.
-  const size_t want = search.max_answers;
-  search.max_answers = want * 4;
-  auto result = Search(query_text, search);
-  if (!result.ok()) return result;
-
-  QueryResult qr = std::move(result).value();
-  // Keyword matches in hidden tables are invisible to the user.
-  for (auto& set : qr.keyword_matches) {
-    std::vector<KeywordMatch> kept;
-    for (const auto& m : set) {
-      if (!hidden_ids.count(dg_.RidForNode(m.node).table_id)) {
-        kept.push_back(m);
-      }
-    }
-    set = std::move(kept);
-  }
-  for (size_t i = 0; i < qr.keyword_nodes.size(); ++i) {
-    std::vector<NodeId> kept;
-    for (NodeId n : qr.keyword_nodes[i]) {
-      if (!hidden_ids.count(dg_.RidForNode(n).table_id)) kept.push_back(n);
-    }
-    qr.keyword_nodes[i] = std::move(kept);
-  }
-  qr.answers = policy.FilterAnswers(std::move(qr.answers), dg_, db_);
-  if (qr.answers.size() > want) qr.answers.resize(want);
-  return qr;
+  auto session = OpenSessionImpl(query_text, std::move(search), &policy,
+                                 Budget{});
+  if (!session.ok()) return session.status();
+  return std::move(session).value().DrainToResult();
 }
 
-Result<QueryResult> BanksEngine::Search(const std::string& query_text,
-                                        SearchOptions search) const {
+Result<QuerySession> BanksEngine::OpenSessionImpl(
+    const std::string& query_text, SearchOptions search,
+    const AuthPolicy* policy, Budget budget) const {
   // Merge engine-level root exclusions into the per-query options.
   for (uint32_t t : options_.search.excluded_root_tables) {
     search.excluded_root_tables.insert(t);
   }
+  if (policy != nullptr && !policy->HidesAnything()) policy = nullptr;
 
-  QueryResult result;
-  result.parsed = ParseQuery(query_text);
-  if (result.parsed.terms.empty()) {
+  QuerySessionInit init;
+  init.parsed = ParseQuery(query_text);
+  if (init.parsed.terms.empty()) {
     return Status::InvalidArgument("query contains no keywords: '" +
                                    query_text + "'");
   }
-  if (result.parsed.terms.size() > 64) {
+  if (init.parsed.terms.size() > 64) {
     return Status::InvalidArgument("too many keywords (max 64)");
   }
 
   KeywordResolver resolver(db_, dg_, index_, metadata_, &numeric_);
-  result.keyword_matches =
-      resolver.ResolveAllScored(result.parsed, options_.match);
-  result.keyword_nodes.reserve(result.keyword_matches.size());
-  for (const auto& set : result.keyword_matches) {
+  auto matches = resolver.ResolveAllScored(init.parsed, options_.match);
+
+  // Reported matches: under authorization, keyword matches in hidden
+  // tables are invisible to the user (the search itself still traverses
+  // them; answers touching hidden data are filtered by the session).
+  std::unordered_set<uint32_t> hidden_ids;
+  if (policy != nullptr) hidden_ids = policy->HiddenTableIds(db_);
+  init.keyword_matches = matches;
+  if (!hidden_ids.empty()) {
+    for (auto& set : init.keyword_matches) {
+      std::vector<KeywordMatch> kept;
+      for (const auto& m : set) {
+        if (!hidden_ids.count(dg_.RidForNode(m.node).table_id)) {
+          kept.push_back(m);
+        }
+      }
+      set = std::move(kept);
+    }
+  }
+  init.keyword_nodes.reserve(init.keyword_matches.size());
+  for (const auto& set : init.keyword_matches) {
     std::vector<NodeId> nodes;
     nodes.reserve(set.size());
     for (const auto& m : set) nodes.push_back(m.node);
-    result.keyword_nodes.push_back(std::move(nodes));
+    init.keyword_nodes.push_back(std::move(nodes));
   }
 
   // Partial matching: drop empty terms rather than failing the query.
-  std::vector<std::vector<KeywordMatch>> active_sets;
-  std::vector<size_t> active_terms;
-  for (size_t i = 0; i < result.keyword_matches.size(); ++i) {
-    if (result.keyword_matches[i].empty()) {
-      result.dropped_terms.push_back(i);
+  for (size_t i = 0; i < matches.size(); ++i) {
+    if (matches[i].empty()) {
+      init.dropped_terms.push_back(i);
     } else {
-      active_sets.push_back(result.keyword_matches[i]);
-      active_terms.push_back(i);
+      init.active_sets.push_back(std::move(matches[i]));
+      init.active_terms.push_back(i);
     }
   }
-  if (!options_.allow_partial_match && !result.dropped_terms.empty()) {
+  const bool viable =
+      !init.active_sets.empty() &&
+      (options_.allow_partial_match || init.dropped_terms.empty());
+  if (!viable) {
     // Mirror the strict model: no answers (every answer must contain at
-    // least one node per S_i, and some S_i is empty).
-    return result;
+    // least one node per S_i, and some S_i is empty). The session opens
+    // already exhausted but still reports the resolved matches.
+    return QuerySession(std::move(init));
   }
-  if (active_sets.empty()) return result;
 
+  init.dg = &dg_;
+  init.budget = budget;
+  if (policy != nullptr) {
+    // Hidden tuples must not reach the user, yet may sit inside connection
+    // trees: the session drops answers touching hidden data as the stream
+    // is consumed. Oversample so enough visible answers survive.
+    init.policy = *policy;
+    init.hidden_table_ids = std::move(hidden_ids);
+    init.deliver_cap = search.max_answers;
+    search.max_answers *= 4;
+  }
   // Strategy selection (§3 backward by default; forward / bidirectional
   // via SearchOptions::strategy).
-  auto searcher = CreateExpansionSearch(dg_, search);
-  result.answers = searcher->RunScored(active_sets);
-  result.stats = searcher->stats();
-
-  // Re-map leaf_for_term of each answer back to the original term indexes
-  // when terms were dropped.
-  if (!result.dropped_terms.empty()) {
-    for (auto& tree : result.answers) {
-      std::vector<NodeId> remapped(result.parsed.terms.size(), kInvalidNode);
-      std::vector<double> remapped_rel(result.parsed.terms.size(), 1.0);
-      for (size_t j = 0; j < tree.leaf_for_term.size(); ++j) {
-        remapped[active_terms[j]] = tree.leaf_for_term[j];
-        if (j < tree.leaf_relevance.size()) {
-          remapped_rel[active_terms[j]] = tree.leaf_relevance[j];
-        }
-      }
-      tree.leaf_for_term = std::move(remapped);
-      tree.leaf_relevance = std::move(remapped_rel);
-    }
-  }
-  return result;
+  init.searcher = CreateExpansionSearch(dg_, std::move(search));
+  return QuerySession(std::move(init));
 }
 
 std::string BanksEngine::Render(const ConnectionTree& tree) const {

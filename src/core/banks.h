@@ -2,13 +2,27 @@
 //
 // Owns a relational database plus every derived structure BANKS needs
 // (inverted index, metadata index, data graph) and answers keyword queries
-// end to end:
+// end to end. Two idioms:
+//
+// Batch — run the whole search, get every answer at once:
 //
 //   BanksEngine engine(std::move(db));
 //   auto result = engine.Search("soumen sunita");
 //   for (const auto& tree : result.value().answers)
 //     std::cout << engine.Render(tree);
 //
+// Streaming — open a session and pull answers as they are generated (the
+// §3 engine is incremental; time-to-first-answer is a fraction of full-run
+// latency), with pagination, per-session budgets and cancellation:
+//
+//   auto session = engine.OpenSession("soumen sunita");
+//   while (auto answer = session.value().Next())     // or NextBatch(k)
+//     std::cout << engine.Render(answer->tree);
+//   // session.value().Cancel() abandons the search without draining it;
+//   // OpenSession(text, options, Budget::WithTimeout(50ms)) bounds it.
+//
+// The batch Search overloads are thin wrappers that open a session and
+// drain it — both idioms return identical answers in identical order.
 #ifndef BANKS_CORE_BANKS_H_
 #define BANKS_CORE_BANKS_H_
 
@@ -17,9 +31,11 @@
 #include <vector>
 
 #include "core/answer.h"
+#include "core/answer_stream.h"
 #include "core/authorization.h"
 #include "core/backward_search.h"
 #include "core/query.h"
+#include "core/query_session.h"
 #include "graph/graph_builder.h"
 #include "index/inverted_index.h"
 #include "index/metadata_index.h"
@@ -44,22 +60,36 @@ struct BanksOptions {
   bool allow_partial_match = false;
 };
 
-/// Outcome of one query.
-struct QueryResult {
-  std::vector<ConnectionTree> answers;          ///< decreasing relevance
-  ParsedQuery parsed;                           ///< the interpreted query
-  std::vector<std::vector<NodeId>> keyword_nodes;  ///< per-term node sets
-  std::vector<std::vector<KeywordMatch>> keyword_matches;  ///< with scores
-  std::vector<size_t> dropped_terms;            ///< partial-match drops
-  SearchStats stats;
-};
-
 /// End-to-end keyword search engine over one database.
 class BanksEngine {
  public:
   /// Takes ownership of `db` and builds all derived structures.
   explicit BanksEngine(Database db, BanksOptions options = {});
 
+  // ---------------------------------------------------------- streaming
+  /// Opens a streaming query session with the engine's default search
+  /// options: keywords are resolved once, then answers are pulled
+  /// incrementally through the returned session.
+  Result<QuerySession> OpenSession(const std::string& query_text) const;
+
+  /// Per-query search options and an optional execution budget (deadline /
+  /// visit cap, enforced inside the expansion stepper).
+  Result<QuerySession> OpenSession(const std::string& query_text,
+                                   SearchOptions search,
+                                   Budget budget = {}) const;
+
+  /// Streaming under an authorization policy (§7): keywords never match
+  /// hidden tables and answers touching hidden tuples are skipped as the
+  /// stream is consumed.
+  Result<QuerySession> OpenSessionAuthorized(const std::string& query_text,
+                                             const AuthPolicy& policy,
+                                             Budget budget = {}) const;
+  Result<QuerySession> OpenSessionAuthorized(const std::string& query_text,
+                                             const AuthPolicy& policy,
+                                             SearchOptions search,
+                                             Budget budget = {}) const;
+
+  // --------------------------------------------------------------- batch
   /// Runs a keyword query with the engine's default search options.
   Result<QueryResult> Search(const std::string& query_text) const;
 
@@ -91,6 +121,13 @@ class BanksEngine {
   const BanksOptions& options() const { return options_; }
 
  private:
+  /// The one query code path: every Search / OpenSession overload lands
+  /// here (`policy` null = no authorization).
+  Result<QuerySession> OpenSessionImpl(const std::string& query_text,
+                                       SearchOptions search,
+                                       const AuthPolicy* policy,
+                                       Budget budget) const;
+
   Database db_;
   BanksOptions options_;
   InvertedIndex index_;

@@ -38,13 +38,14 @@ class BidirectionalSearch : public ExpansionSearchBase {
       size_t frontier_size_threshold);
 
  protected:
-  std::vector<ConnectionTree> Execute(
+  void BeginExecute(
       const std::vector<std::vector<NodeId>>& keyword_nodes) override {
-    RunExpansionLoop(keyword_nodes,
-                     ForwardTermMask(keyword_nodes,
-                                     options_.frontier_size_threshold));
-    return TakeResults();
+    PrepareExpansionLoop(keyword_nodes,
+                         ForwardTermMask(keyword_nodes,
+                                         options_.frontier_size_threshold));
   }
+
+  bool ExecuteStep() override { return StepExpansionLoop(); }
 };
 
 }  // namespace banks

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cctype>
 #include <cmath>
-#include <queue>
 
 #include "core/backward_search.h"
 #include "core/bidirectional_search.h"
@@ -20,12 +20,20 @@ const char* SearchStrategyName(SearchStrategy strategy) {
   return "unknown";
 }
 
+const char* SearchStrategyNames() {
+  return "backward|forward|bidirectional (alias: bidi)";
+}
+
 bool ParseSearchStrategy(const std::string& name, SearchStrategy* out) {
-  if (name == "backward") {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "backward") {
     *out = SearchStrategy::kBackward;
-  } else if (name == "forward") {
+  } else if (lower == "forward") {
     *out = SearchStrategy::kForward;
-  } else if (name == "bidirectional" || name == "bidi") {
+  } else if (lower == "bidirectional" || lower == "bidi") {
     *out = SearchStrategy::kBidirectional;
   } else {
     return false;
@@ -54,7 +62,23 @@ ExpansionSearchBase::ExpansionSearchBase(const DataGraph& dg,
       output_heap_(options_.exhaustive ? SIZE_MAX / 2
                                        : options_.output_heap_size) {}
 
+std::vector<ConnectionTree> ExpansionSearchBase::Run(
+    const std::vector<std::vector<NodeId>>& keyword_nodes) {
+  Begin(keyword_nodes);
+  std::vector<ConnectionTree> out;
+  while (auto tree = NextEmitted()) out.push_back(std::move(*tree));
+  return out;
+}
+
 std::vector<ConnectionTree> ExpansionSearchBase::RunScored(
+    const std::vector<std::vector<KeywordMatch>>& keyword_matches) {
+  BeginScored(keyword_matches);
+  std::vector<ConnectionTree> out;
+  while (auto tree = NextEmitted()) out.push_back(std::move(*tree));
+  return out;
+}
+
+void ExpansionSearchBase::BeginScored(
     const std::vector<std::vector<KeywordMatch>>& keyword_matches) {
   std::vector<std::vector<NodeId>> node_sets(keyword_matches.size());
   match_relevance_.assign(keyword_matches.size(), {});
@@ -66,7 +90,7 @@ std::vector<ConnectionTree> ExpansionSearchBase::RunScored(
     }
   }
   keep_match_relevance_ = true;
-  return Run(node_sets);
+  Begin(node_sets);
 }
 
 double ExpansionSearchBase::MatchRelevance(size_t term, NodeId node) const {
@@ -80,10 +104,12 @@ bool ExpansionSearchBase::RootExcluded(NodeId v) const {
   return options_.excluded_root_tables.count(dg_->RidForNode(v).table_id) > 0;
 }
 
-std::vector<ConnectionTree> ExpansionSearchBase::Run(
+void ExpansionSearchBase::Begin(
     const std::vector<std::vector<NodeId>>& keyword_nodes) {
   const size_t n = keyword_nodes.size();
+  num_terms_ = n;
   results_.clear();
+  cursor_ = 0;
   stats_ = SearchStats{};
   done_ = false;
   dedup_ = DedupTable{};
@@ -98,20 +124,112 @@ std::vector<ConnectionTree> ExpansionSearchBase::Run(
   pending_probes_.clear();
   forward_node_terms_.clear();
   forward_term_mask_ = 0;
+  frontier_heap_ = {};
   if (keep_match_relevance_) {
     keep_match_relevance_ = false;  // set by the scored overload
   } else {
     match_relevance_.clear();
   }
-  if (n == 0 || n > 64) return {};
+  phase_ = RunPhase::kDone;  // until proven otherwise: an empty stream
+  if (n == 0 || n > 64) return;
   for (const auto& set : keyword_nodes) {
-    if (set.empty()) return {};  // some keyword matches nothing
+    if (set.empty()) return;  // some keyword matches nothing
   }
   if (n == 1) {
     RunSingleTerm(keyword_nodes[0]);
-    return TakeResults();
+    EndExpansion(/*ran_strategy=*/false);
+    return;
   }
-  return Execute(keyword_nodes);
+  BeginExecute(keyword_nodes);
+  phase_ = RunPhase::kExpanding;
+}
+
+bool ExpansionSearchBase::PumpUntilAnswer() {
+  for (;;) {
+    if (cursor_ < results_.size()) return true;
+    switch (phase_) {
+      case RunPhase::kIdle:
+      case RunPhase::kDone:
+        return false;
+      case RunPhase::kExpanding:
+        if (!ExpansionBudgetOk() || !ExecuteStep()) {
+          EndExpansion(/*ran_strategy=*/true);
+        }
+        break;
+      case RunPhase::kDraining: {
+        const size_t want =
+            options_.exhaustive ? SIZE_MAX : options_.max_answers;
+        if (results_.size() >= want) {
+          phase_ = RunPhase::kDone;
+          break;
+        }
+        auto best = output_heap_.PopBest();
+        if (!best.has_value()) {
+          phase_ = RunPhase::kDone;
+          break;
+        }
+        Emit(std::move(*best));
+        break;
+      }
+    }
+  }
+}
+
+std::optional<ConnectionTree> ExpansionSearchBase::NextEmitted() {
+  if (!PumpUntilAnswer()) return std::nullopt;
+  return std::move(results_[cursor_++]);
+}
+
+void ExpansionSearchBase::Abort() {
+  phase_ = RunPhase::kDone;
+  frontier_heap_ = {};
+  iterators_.clear();
+  probes_.clear();
+  pending_probes_.clear();
+  vertex_lists_.clear();
+  origin_terms_.clear();
+  forward_node_terms_.clear();
+  output_heap_ = OutputHeap(1);
+  AbortExecute();
+}
+
+void ExpansionSearchBase::EndExpansion(bool ran_strategy) {
+  if (ran_strategy) FinishExecute();
+  if (options_.exhaustive) {
+    // Exhaustive mode holds everything in the (unbounded) heap: nothing was
+    // emitted early, so drain it all and exact-sort the result.
+    for (;;) {
+      auto best = output_heap_.PopBest();
+      if (!best.has_value()) break;
+      Emit(std::move(*best));
+    }
+    std::stable_sort(results_.begin(), results_.end(),
+                     [](const ConnectionTree& a, const ConnectionTree& b) {
+                       return a.relevance > b.relevance;
+                     });
+    phase_ = RunPhase::kDone;
+  } else {
+    phase_ = RunPhase::kDraining;
+  }
+}
+
+size_t ExpansionSearchBase::VisitCap() const {
+  return budget_.max_visits == 0
+             ? options_.max_visits
+             : std::min(options_.max_visits, budget_.max_visits);
+}
+
+bool ExpansionSearchBase::ExpansionBudgetOk() {
+  if (stats_.iterator_visits >= VisitCap()) {
+    stats_.truncation = Truncation::kVisitBudget;
+    return false;
+  }
+  if (budget_.HasDeadline() &&
+      std::chrono::steady_clock::now() >= budget_.deadline) {
+    stats_.truncation = Truncation::kDeadline;
+    return false;
+  }
+  return true;
 }
 
 // Single-term fast path: every answer is a single matching node (a tree
@@ -119,6 +237,10 @@ std::vector<ConnectionTree> ExpansionSearchBase::Run(
 // so the §3 pruning discards it). Skip graph expansion entirely.
 void ExpansionSearchBase::RunSingleTerm(const std::vector<NodeId>& nodes) {
   for (NodeId s : nodes) {
+    // Metadata keywords can match whole relations, so even the no-expansion
+    // path honours the budget (a deadline stops the scan mid-way with the
+    // truncation recorded; the answers scored so far still drain).
+    if (!ExpansionBudgetOk()) break;
     if (RootExcluded(s)) continue;  // §2.1: not a valid information node
     ConnectionTree tree;
     tree.root = s;
@@ -131,7 +253,7 @@ void ExpansionSearchBase::RunSingleTerm(const std::vector<NodeId>& nodes) {
   }
 }
 
-void ExpansionSearchBase::RunExpansionLoop(
+void ExpansionSearchBase::PrepareExpansionLoop(
     const std::vector<std::vector<NodeId>>& keyword_nodes,
     uint64_t forward_term_mask) {
   const size_t n = keyword_nodes.size();
@@ -162,64 +284,52 @@ void ExpansionSearchBase::RunExpansionLoop(
   }
   stats_.num_iterators = iterators_.size();
 
-  // Frontier heap over all expansion sources — backward iterators and
-  // forward probes — ordered on the distance of the next node each will
-  // output; ties break on kind then id for determinism.
-  enum : uint8_t { kBackwardFrontier = 0, kProbeFrontier = 1 };
-  struct Frontier {
-    double dist;
-    uint8_t kind;
-    NodeId id;  // iterator source node, or probe root
-    bool operator>(const Frontier& o) const {
-      if (dist != o.dist) return dist > o.dist;
-      if (kind != o.kind) return kind > o.kind;
-      return id > o.id;
-    }
-  };
-  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<Frontier>>
-      frontier_heap;
   for (auto& [node, it] : iterators_) {
     if (it->HasNext()) {
-      frontier_heap.push(Frontier{it->PeekDistance(), kBackwardFrontier, node});
+      frontier_heap_.push(
+          Frontier{it->PeekDistance(), kBackwardFrontier, node});
     }
   }
+}
 
+bool ExpansionSearchBase::StepExpansionLoop() {
   const size_t want = options_.exhaustive ? SIZE_MAX : options_.max_answers;
-  while (!frontier_heap.empty() && results_.size() < want &&
-         stats_.iterator_visits < options_.max_visits && !done_) {
-    Frontier top = frontier_heap.top();
-    frontier_heap.pop();
-    if (top.kind == kBackwardFrontier) {
-      ExpansionIterator* it = iterators_.at(top.id).get();
-      if (!it->HasNext()) continue;
-      ExpansionIterator::Visit visit = it->Next();
-      ++stats_.iterator_visits;
-      if (it->HasNext()) {
-        frontier_heap.push(
-            Frontier{it->PeekDistance(), kBackwardFrontier, top.id});
-      }
-      ProcessBackwardVisit(visit.node, top.id, n);
-    } else {
-      ExpansionIterator* it = probes_.at(top.id).get();
-      if (!it->HasNext()) continue;
-      ExpansionIterator::Visit visit = it->Next();
-      ++stats_.iterator_visits;
-      ++stats_.forward_expansions;
-      if (it->HasNext()) {
-        frontier_heap.push(Frontier{it->PeekDistance(), kProbeFrontier, top.id});
-      }
-      ProcessForwardVisit(top.id, visit.node, n);
+  if (frontier_heap_.empty() || done_ || results_.size() >= want) {
+    return false;
+  }
+  Frontier top = frontier_heap_.top();
+  frontier_heap_.pop();
+  if (top.kind == kBackwardFrontier) {
+    ExpansionIterator* it = iterators_.at(top.id).get();
+    if (!it->HasNext()) return true;
+    ExpansionIterator::Visit visit = it->Next();
+    ++stats_.iterator_visits;
+    if (it->HasNext()) {
+      frontier_heap_.push(
+          Frontier{it->PeekDistance(), kBackwardFrontier, top.id});
     }
-    // Probes spawned by the visit join the frontier.
-    while (!pending_probes_.empty()) {
-      NodeId root = pending_probes_.back();
-      pending_probes_.pop_back();
-      ExpansionIterator* it = probes_.at(root).get();
-      if (it->HasNext()) {
-        frontier_heap.push(Frontier{it->PeekDistance(), kProbeFrontier, root});
-      }
+    ProcessBackwardVisit(visit.node, top.id, num_terms_);
+  } else {
+    ExpansionIterator* it = probes_.at(top.id).get();
+    if (!it->HasNext()) return true;
+    ExpansionIterator::Visit visit = it->Next();
+    ++stats_.iterator_visits;
+    ++stats_.forward_expansions;
+    if (it->HasNext()) {
+      frontier_heap_.push(Frontier{it->PeekDistance(), kProbeFrontier, top.id});
+    }
+    ProcessForwardVisit(top.id, visit.node, num_terms_);
+  }
+  // Probes spawned by the visit join the frontier.
+  while (!pending_probes_.empty()) {
+    NodeId root = pending_probes_.back();
+    pending_probes_.pop_back();
+    ExpansionIterator* it = probes_.at(root).get();
+    if (it->HasNext()) {
+      frontier_heap_.push(Frontier{it->PeekDistance(), kProbeFrontier, root});
     }
   }
+  return true;
 }
 
 void ExpansionSearchBase::ProcessBackwardVisit(NodeId v, NodeId origin,
@@ -422,23 +532,6 @@ void ExpansionSearchBase::Emit(ConnectionTree tree) {
   dedup_.MarkOutput(tree.UndirectedSignature());
   ++stats_.answers_emitted;
   results_.push_back(std::move(tree));
-}
-
-std::vector<ConnectionTree> ExpansionSearchBase::TakeResults() {
-  const size_t want = options_.exhaustive ? SIZE_MAX : options_.max_answers;
-  // Drain the output heap in decreasing relevance.
-  while (results_.size() < want) {
-    auto best = output_heap_.PopBest();
-    if (!best.has_value()) break;
-    Emit(std::move(*best));
-  }
-  if (options_.exhaustive) {
-    std::stable_sort(results_.begin(), results_.end(),
-                     [](const ConnectionTree& a, const ConnectionTree& b) {
-                       return a.relevance > b.relevance;
-                     });
-  }
-  return std::move(results_);
 }
 
 }  // namespace banks

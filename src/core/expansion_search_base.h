@@ -21,12 +21,23 @@
 //
 // Strategy selection is a SearchOptions knob (`strategy`), threaded through
 // BanksEngine::Search and CreateExpansionSearch().
+//
+// Execution model: the engine is a *resumable stepper*. Begin() sets up a
+// run without expanding anything; each PumpUntilAnswer()/NextEmitted() call
+// advances the cheapest frontier only until the next answer is ready, so
+// callers can consume results incrementally (see AnswerStream in
+// core/answer_stream.h and QuerySession in core/query_session.h). The
+// batch Run()/RunScored() entry points are thin wrappers that begin a run
+// and drain it — batch behaviour and results are unchanged.
 #ifndef BANKS_CORE_EXPANSION_SEARCH_BASE_H_
 #define BANKS_CORE_EXPANSION_SEARCH_BASE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <optional>
+#include <queue>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -52,9 +63,14 @@ enum class SearchStrategy : uint8_t {
 /// Stable lowercase name ("backward", "forward", "bidirectional").
 const char* SearchStrategyName(SearchStrategy strategy);
 
-/// Parses a strategy name (as printed by SearchStrategyName, plus the
-/// shorthand "bidi"). Returns false on unknown input.
+/// Parses a strategy name, case-insensitively (as printed by
+/// SearchStrategyName, plus the shorthand "bidi"). Returns false on
+/// unknown input.
 bool ParseSearchStrategy(const std::string& name, SearchStrategy* out);
+
+/// Human-readable list of the accepted strategy names, for error messages
+/// ("backward|forward|bidirectional (alias: bidi)").
+const char* SearchStrategyNames();
 
 /// Search configuration, shared by every strategy.
 struct SearchOptions {
@@ -106,6 +122,46 @@ struct SearchOptions {
   size_t frontier_size_threshold = 256;
 };
 
+/// Per-run execution budget, checked inside the stepper between frontier
+/// expansions. Unlike SearchOptions::max_visits (an engine-wide safety
+/// valve), a Budget is a per-session serving knob: a query deadline or a
+/// work cap. When the budget runs out mid-expansion the run stops early,
+/// the answers generated so far are still drained in relevance order, and
+/// SearchStats::truncation records why.
+struct Budget {
+  /// Wall-clock deadline; time_point::max() = none.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+
+  /// Cap on total iterator visits for the run; 0 = unlimited.
+  size_t max_visits = 0;
+
+  bool HasDeadline() const {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
+  bool Unlimited() const { return !HasDeadline() && max_visits == 0; }
+
+  /// Budget expiring `timeout` from now.
+  static Budget WithTimeout(std::chrono::nanoseconds timeout) {
+    Budget b;
+    b.deadline = std::chrono::steady_clock::now() + timeout;
+    return b;
+  }
+  /// Budget of at most `visits` frontier expansions.
+  static Budget WithVisitCap(size_t visits) {
+    Budget b;
+    b.max_visits = visits;
+    return b;
+  }
+};
+
+/// Why a run stopped expanding before its natural end.
+enum class Truncation : uint8_t {
+  kNone = 0,      ///< ran to completion (frontier exhausted or answer cap)
+  kVisitBudget,   ///< hit Budget::max_visits or SearchOptions::max_visits
+  kDeadline,      ///< hit Budget::deadline
+};
+
 /// Instrumentation counters for benchmarks and tests.
 struct SearchStats {
   size_t iterator_visits = 0;      ///< total frontier expansions (all kinds)
@@ -117,11 +173,17 @@ struct SearchStats {
   size_t roots_tried = 0;          ///< forward: candidate roots examined
   size_t forward_expansions = 0;   ///< nodes settled by forward expansion
   size_t probes_spawned = 0;       ///< bidirectional: forward probes started
+
+  /// Why expansion stopped early, if it did (budget enforcement). Answers
+  /// returned after a truncation are partial: the best of what had been
+  /// generated when the budget ran out.
+  Truncation truncation = Truncation::kNone;
+  bool truncated() const { return truncation != Truncation::kNone; }
 };
 
 /// Shared base of all expansion-search strategies. One instance = one run
-/// configuration over one data graph; Run()/RunScored() may be called
-/// repeatedly.
+/// configuration over one data graph; runs (batch or streaming) may be
+/// started repeatedly — Begin() fully resets per-run state.
 class ExpansionSearchBase {
  public:
   ExpansionSearchBase(const DataGraph& dg, SearchOptions options);
@@ -138,15 +200,59 @@ class ExpansionSearchBase {
   std::vector<ConnectionTree> RunScored(
       const std::vector<std::vector<KeywordMatch>>& keyword_matches);
 
+  // --------------------------------------------------------- streaming API
+  // Prefer the AnswerStream wrapper (core/answer_stream.h) over calling
+  // these directly; the raw stepper is exposed for benches and tests.
+
+  /// Begins a streaming run: resets state and sets up the strategy without
+  /// expanding anything. Trivial cases (no terms, an empty term set, a
+  /// single term) are resolved immediately.
+  void Begin(const std::vector<std::vector<NodeId>>& keyword_nodes);
+  void BeginScored(
+      const std::vector<std::vector<KeywordMatch>>& keyword_matches);
+
+  /// Advances the run until at least one unconsumed answer is available or
+  /// the run is over. Returns true iff an answer is ready.
+  bool PumpUntilAnswer();
+
+  /// Consumes and returns the next answer, expanding only as far as needed
+  /// to produce it (nullopt = stream exhausted).
+  std::optional<ConnectionTree> NextEmitted();
+
+  /// Tears down frontiers, iterators and buffered state without draining
+  /// the graph; the stream is over. Begin() starts a fresh run afterwards.
+  void Abort();
+
+  /// Per-run execution budget (deadline / visit cap), checked between
+  /// frontier expansions. Persists across runs until replaced; pass a
+  /// default-constructed Budget to clear.
+  void set_budget(const Budget& budget) { budget_ = budget; }
+  const Budget& budget() const { return budget_; }
+
   const SearchStats& stats() const { return stats_; }
   const SearchOptions& options() const { return options_; }
 
  protected:
-  /// Strategy hook: multi-term search over non-empty node sets. The base
-  /// Run() has already reset state and handled the trivial cases (no terms,
-  /// empty term set, single term).
-  virtual std::vector<ConnectionTree> Execute(
+  /// Strategy hook: set up a multi-term run over non-empty node sets. The
+  /// base Begin() has already reset state and handled the trivial cases
+  /// (no terms, empty term set, single term).
+  virtual void BeginExecute(
       const std::vector<std::vector<NodeId>>& keyword_nodes) = 0;
+
+  /// Strategy hook: one unit of expansion work (one frontier pop for the
+  /// shared expansion loop; one candidate root for forward search).
+  /// Returns false once expansion is exhausted — further answers come only
+  /// from draining buffered state.
+  virtual bool ExecuteStep() = 0;
+
+  /// Strategy hook: called exactly once when expansion ends (naturally or
+  /// by budget), before the output heap drains. Forward search sorts and
+  /// releases its candidate buffer here.
+  virtual void FinishExecute() {}
+
+  /// Strategy hook: release strategy-owned run state on Abort() (forward
+  /// search drops its pivot iterator and candidate buffer).
+  virtual void AbortExecute() {}
 
   // ------------------------------------------------------------ machinery
   // Per-visited-vertex origin lists, one per search term.
@@ -157,18 +263,27 @@ class ExpansionSearchBase {
   /// True if `v` may not serve as an information node (§2.1 exclusions).
   bool RootExcluded(NodeId v) const;
 
-  /// Match relevance of `node` for `term` (1.0 unless RunScored supplied a
-  /// fuzzy/numeric relevance below 1).
+  /// Match relevance of `node` for `term` (1.0 unless a scored run
+  /// supplied a fuzzy/numeric relevance below 1).
   double MatchRelevance(size_t term, NodeId node) const;
 
-  /// The cheapest-frontier expansion loop shared by the backward and
-  /// bidirectional strategies. Terms in `forward_term_mask` are covered by
-  /// forward probes spawned at candidate roots (vertices whose origin
+  /// Sets up the cheapest-frontier expansion loop shared by the backward
+  /// and bidirectional strategies. Terms in `forward_term_mask` are covered
+  /// by forward probes spawned at candidate roots (vertices whose origin
   /// lists are non-empty for every backward term); all other terms get one
   /// backward iterator per keyword node. With mask 0 this is exactly the
   /// §3 backward expanding search.
-  void RunExpansionLoop(const std::vector<std::vector<NodeId>>& keyword_nodes,
-                        uint64_t forward_term_mask);
+  void PrepareExpansionLoop(
+      const std::vector<std::vector<NodeId>>& keyword_nodes,
+      uint64_t forward_term_mask);
+
+  /// One iteration of the shared expansion loop: pops the globally
+  /// cheapest frontier, processes the visit, and re-queues. Returns false
+  /// when the loop is over (frontier empty, answer cap reached).
+  bool StepExpansionLoop();
+
+  /// Effective visit cap: min(options_.max_visits, budget_.max_visits).
+  size_t VisitCap() const;
 
   /// Offers every generated tree through dedup + the output heap; Emit
   /// moves accepted trees into results_.
@@ -185,10 +300,6 @@ class ExpansionSearchBase {
                           const std::vector<NodeId>& chain,
                           const ExpansionIterator& it);
 
-  /// Drains the output heap into results_ and finishes the run (exhaustive
-  /// mode sorts by exact decreasing relevance). Returns results_.
-  std::vector<ConnectionTree> TakeResults();
-
   const DataGraph* dg_;
   SearchOptions options_;
   std::unique_ptr<Scorer> scorer_;
@@ -201,12 +312,24 @@ class ExpansionSearchBase {
   std::unordered_map<NodeId, VertexLists> vertex_lists_;
   OutputHeap output_heap_{1};
   DedupTable dedup_;
+  // Emission log of the current run: answers in emission order. A
+  // streaming consumer moves entries out through NextEmitted() (cursor_
+  // marks how many were consumed); batch Run() drains the whole log.
   std::vector<ConnectionTree> results_;
   SearchStats stats_;
   bool done_ = false;
 
  private:
+  /// Streaming state machine. kExpanding steps the strategy; kDraining
+  /// serves the output heap; kDone means the stream is exhausted.
+  enum class RunPhase : uint8_t { kIdle, kExpanding, kDraining, kDone };
+
   void RunSingleTerm(const std::vector<NodeId>& nodes);
+  // Transition out of kExpanding: strategy finalization, then either the
+  // exhaustive sort-everything path or incremental heap draining.
+  void EndExpansion(bool ran_strategy);
+  // False once the visit/deadline budget is exhausted (records why).
+  bool ExpansionBudgetOk();
   void ProcessBackwardVisit(NodeId v, NodeId origin, size_t num_terms);
   void ProcessForwardVisit(NodeId root, NodeId node, size_t num_terms);
   // Generates the new trees rooted at v contributed by `origin` arriving
@@ -223,13 +346,35 @@ class ExpansionSearchBase {
                       NodeId leaf);
   void MaybeSpawnProbe(NodeId v, const VertexLists& lists, size_t num_terms);
 
-  bool keep_match_relevance_ = false;  // scored Run -> node-list Run handoff
+  bool keep_match_relevance_ = false;  // scored Begin -> node-list handoff
   uint64_t forward_term_mask_ = 0;
   std::unordered_map<NodeId, uint64_t> forward_node_terms_;  // node -> mask
   // Forward probes by candidate root: one bounded forward Dijkstra each,
   // covering the forward-mask terms (bidirectional strategy).
   std::unordered_map<NodeId, std::unique_ptr<ExpansionIterator>> probes_;
   std::vector<NodeId> pending_probes_;  // spawned, not yet in the frontier
+
+  // Frontier heap over all expansion sources — backward iterators and
+  // forward probes — ordered on the distance of the next node each will
+  // output; ties break on kind then id for determinism.
+  enum : uint8_t { kBackwardFrontier = 0, kProbeFrontier = 1 };
+  struct Frontier {
+    double dist;
+    uint8_t kind;
+    NodeId id;  // iterator source node, or probe root
+    bool operator>(const Frontier& o) const {
+      if (dist != o.dist) return dist > o.dist;
+      if (kind != o.kind) return kind > o.kind;
+      return id > o.id;
+    }
+  };
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<Frontier>>
+      frontier_heap_;
+
+  RunPhase phase_ = RunPhase::kIdle;
+  size_t cursor_ = 0;      // results_ entries already consumed by the stream
+  size_t num_terms_ = 0;   // of the current run
+  Budget budget_;
 };
 
 /// Factory: the strategy named by `options.strategy` over `dg`.

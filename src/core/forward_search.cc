@@ -1,126 +1,134 @@
 #include "core/forward_search.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <unordered_set>
 
 namespace banks {
 
-std::vector<ConnectionTree> ForwardSearch::Execute(
+void ForwardSearch::BeginExecute(
     const std::vector<std::vector<NodeId>>& keyword_nodes) {
-  const size_t n_terms = keyword_nodes.size();  // >= 2: base handled n <= 1
-  const FrozenGraph& g = dg_->graph;
+  n_terms_ = keyword_nodes.size();  // >= 2: base handled n <= 1
 
   // Pivot = most selective term.
-  size_t pivot = 0;
-  for (size_t i = 1; i < n_terms; ++i) {
-    if (keyword_nodes[i].size() < keyword_nodes[pivot].size()) pivot = i;
+  pivot_ = 0;
+  for (size_t i = 1; i < n_terms_; ++i) {
+    if (keyword_nodes[i].size() < keyword_nodes[pivot_].size()) pivot_ = i;
   }
 
   // Node -> bitmask of non-pivot terms it satisfies.
-  std::unordered_map<NodeId, uint64_t> term_mask;
-  uint64_t all_other = 0;
-  for (size_t i = 0; i < n_terms; ++i) {
-    if (i == pivot) continue;
-    all_other |= (uint64_t{1} << i);
-    for (NodeId v : keyword_nodes[i]) term_mask[v] |= (uint64_t{1} << i);
+  term_mask_.clear();
+  all_other_ = 0;
+  for (size_t i = 0; i < n_terms_; ++i) {
+    if (i == pivot_) continue;
+    all_other_ |= (uint64_t{1} << i);
+    for (NodeId v : keyword_nodes[i]) term_mask_[v] |= (uint64_t{1} << i);
   }
 
   // Multi-source reverse Dijkstra from the pivot set: settles candidate
   // roots in increasing distance-to-pivot; parent chains give the forward
   // path root -> pivot node (parents point toward the sources).
-  ExpansionIterator rev(g, keyword_nodes[pivot], ExpandDirection::kBackward,
-                        options_.distance_cap);
+  rev_ = std::make_unique<ExpansionIterator>(dg_->graph, keyword_nodes[pivot_],
+                                             ExpandDirection::kBackward,
+                                             options_.distance_cap);
   stats_.num_iterators = 1;
 
-  const size_t root_budget =
+  root_budget_ =
       options_.max_answers * std::max<size_t>(options_.root_budget_factor, 1);
+  buffer_.clear();
+}
 
-  while (stats_.roots_tried < root_budget && rev.HasNext() &&
-         stats_.iterator_visits < options_.max_visits) {
-    ExpansionIterator::Visit settled = rev.Next();
-    ++stats_.iterator_visits;
-    NodeId root = settled.node;
-    if (RootExcluded(root)) continue;
-    ++stats_.roots_tried;
-
-    // Bounded forward Dijkstra from the candidate root until every other
-    // term is reached (or the frontier exhausts).
-    ExpansionIterator fwd(g, root, ExpandDirection::kForward,
-                          options_.distance_cap);
-    uint64_t covered = 0;
-    std::vector<NodeId> leaf_of_term(n_terms, kInvalidNode);
-    while (covered != all_other && fwd.HasNext() &&
-           stats_.iterator_visits < options_.max_visits) {
-      ExpansionIterator::Visit f = fwd.Next();
-      ++stats_.iterator_visits;
-      ++stats_.forward_expansions;
-      auto tm = term_mask.find(f.node);
-      if (tm != term_mask.end()) {
-        uint64_t fresh = tm->second & ~covered;
-        for (size_t i = 0; i < n_terms && fresh; ++i) {
-          if (fresh & (uint64_t{1} << i)) leaf_of_term[i] = f.node;
-        }
-        covered |= fresh;
-      }
-    }
-    if (covered != all_other) continue;  // root cannot reach every term
-
-    // Assemble: reverse-parent chain root -> pivot source, plus forward-
-    // parent chains root -> each other leaf.
-    ConnectionTree tree;
-    tree.root = root;
-    tree.leaf_for_term.assign(n_terms, kInvalidNode);
-    std::unordered_set<NodeId> in_tree{root};
-
-    {
-      // rev parents point from farther nodes toward the pivot sources, so
-      // the chain root ... nearest-pivot-source is the tree's pivot limb.
-      std::vector<NodeId> chain = rev.PathToSource(root);
-      AppendChain(&tree, &in_tree, chain, rev);
-      tree.leaf_for_term[pivot] = chain.back();
-    }
-    for (size_t i = 0; i < n_terms; ++i) {
-      if (i == pivot) continue;
-      // fwd parents point back toward the root; reversed they give the
-      // forward path root ... leaf.
-      std::vector<NodeId> chain = fwd.PathToSource(leaf_of_term[i]);
-      std::reverse(chain.begin(), chain.end());
-      AppendChain(&tree, &in_tree, chain, fwd);
-      tree.leaf_for_term[i] = leaf_of_term[i];
-    }
-    for (const auto& e : tree.edges) tree.tree_weight += e.weight;
-    tree.leaf_relevance.reserve(n_terms);
-    for (size_t i = 0; i < n_terms; ++i) {
-      tree.leaf_relevance.push_back(MatchRelevance(i, tree.leaf_for_term[i]));
-    }
-    ++stats_.trees_generated;
-    // Same pruning rule as §3 (keep single-child roots that are keyword
-    // leaves themselves).
-    bool root_is_leaf = false;
-    for (NodeId leaf : tree.leaf_for_term) root_is_leaf |= (leaf == root);
-    if (tree.RootChildCount() == 1 && !root_is_leaf) {
-      ++stats_.trees_pruned_root;
-      continue;
-    }
-    if (!dedup_.MarkGenerated(tree.UndirectedSignature())) {
-      ++stats_.duplicates_discarded;
-      continue;
-    }
-    scorer_->ScoreInPlace(&tree);
-    results_.push_back(std::move(tree));
-    if (results_.size() >= options_.max_answers * 2) break;
+bool ForwardSearch::ExecuteStep() {
+  const FrozenGraph& g = dg_->graph;
+  if (stats_.roots_tried >= root_budget_ || !rev_->HasNext() ||
+      buffer_.size() >= options_.max_answers * 2) {
+    return false;
   }
 
-  std::stable_sort(results_.begin(), results_.end(),
+  ExpansionIterator::Visit settled = rev_->Next();
+  ++stats_.iterator_visits;
+  NodeId root = settled.node;
+  if (RootExcluded(root)) return true;
+  ++stats_.roots_tried;
+
+  // Bounded forward Dijkstra from the candidate root until every other
+  // term is reached (or the frontier exhausts).
+  ExpansionIterator fwd(g, root, ExpandDirection::kForward,
+                        options_.distance_cap);
+  uint64_t covered = 0;
+  std::vector<NodeId> leaf_of_term(n_terms_, kInvalidNode);
+  while (covered != all_other_ && fwd.HasNext() &&
+         stats_.iterator_visits < VisitCap()) {
+    ExpansionIterator::Visit f = fwd.Next();
+    ++stats_.iterator_visits;
+    ++stats_.forward_expansions;
+    auto tm = term_mask_.find(f.node);
+    if (tm != term_mask_.end()) {
+      uint64_t fresh = tm->second & ~covered;
+      for (size_t i = 0; i < n_terms_ && fresh; ++i) {
+        if (fresh & (uint64_t{1} << i)) leaf_of_term[i] = f.node;
+      }
+      covered |= fresh;
+    }
+  }
+  if (covered != all_other_) return true;  // root cannot reach every term
+
+  // Assemble: reverse-parent chain root -> pivot source, plus forward-
+  // parent chains root -> each other leaf.
+  ConnectionTree tree;
+  tree.root = root;
+  tree.leaf_for_term.assign(n_terms_, kInvalidNode);
+  std::unordered_set<NodeId> in_tree{root};
+
+  {
+    // rev parents point from farther nodes toward the pivot sources, so
+    // the chain root ... nearest-pivot-source is the tree's pivot limb.
+    std::vector<NodeId> chain = rev_->PathToSource(root);
+    AppendChain(&tree, &in_tree, chain, *rev_);
+    tree.leaf_for_term[pivot_] = chain.back();
+  }
+  for (size_t i = 0; i < n_terms_; ++i) {
+    if (i == pivot_) continue;
+    // fwd parents point back toward the root; reversed they give the
+    // forward path root ... leaf.
+    std::vector<NodeId> chain = fwd.PathToSource(leaf_of_term[i]);
+    std::reverse(chain.begin(), chain.end());
+    AppendChain(&tree, &in_tree, chain, fwd);
+    tree.leaf_for_term[i] = leaf_of_term[i];
+  }
+  for (const auto& e : tree.edges) tree.tree_weight += e.weight;
+  tree.leaf_relevance.reserve(n_terms_);
+  for (size_t i = 0; i < n_terms_; ++i) {
+    tree.leaf_relevance.push_back(MatchRelevance(i, tree.leaf_for_term[i]));
+  }
+  ++stats_.trees_generated;
+  // Same pruning rule as §3 (keep single-child roots that are keyword
+  // leaves themselves).
+  bool root_is_leaf = false;
+  for (NodeId leaf : tree.leaf_for_term) root_is_leaf |= (leaf == root);
+  if (tree.RootChildCount() == 1 && !root_is_leaf) {
+    ++stats_.trees_pruned_root;
+    return true;
+  }
+  if (!dedup_.MarkGenerated(tree.UndirectedSignature())) {
+    ++stats_.duplicates_discarded;
+    return true;
+  }
+  scorer_->ScoreInPlace(&tree);
+  buffer_.push_back(std::move(tree));
+  return true;
+}
+
+void ForwardSearch::FinishExecute() {
+  std::stable_sort(buffer_.begin(), buffer_.end(),
                    [](const ConnectionTree& a, const ConnectionTree& b) {
                      return a.relevance > b.relevance;
                    });
-  if (results_.size() > options_.max_answers) {
-    results_.resize(options_.max_answers);
+  if (buffer_.size() > options_.max_answers) {
+    buffer_.resize(options_.max_answers);
   }
-  stats_.answers_emitted = results_.size();
-  return std::move(results_);
+  for (auto& tree : buffer_) Emit(std::move(tree));
+  buffer_.clear();
+  rev_.reset();
 }
 
 }  // namespace banks

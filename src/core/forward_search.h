@@ -17,6 +17,8 @@
 #ifndef BANKS_CORE_FORWARD_SEARCH_H_
 #define BANKS_CORE_FORWARD_SEARCH_H_
 
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/expansion_search_base.h"
@@ -42,8 +44,31 @@ class ForwardSearch : public ExpansionSearchBase {
       : ExpansionSearchBase(dg, std::move(options)) {}
 
  protected:
-  std::vector<ConnectionTree> Execute(
+  void BeginExecute(
       const std::vector<std::vector<NodeId>>& keyword_nodes) override;
+  /// One step = one candidate root: settle it off the pivot's reverse
+  /// Dijkstra, run its bounded forward probe, maybe buffer a tree. The
+  /// pivot algorithm ranks candidates only at the end, so answers stream
+  /// out after the root budget is spent (or the run's Budget expires),
+  /// not one per step.
+  bool ExecuteStep() override;
+  void FinishExecute() override;
+  void AbortExecute() override {
+    rev_.reset();
+    term_mask_.clear();
+    buffer_.clear();
+  }
+
+ private:
+  // One-run state, set up by BeginExecute.
+  size_t n_terms_ = 0;
+  size_t pivot_ = 0;
+  uint64_t all_other_ = 0;
+  std::unordered_map<NodeId, uint64_t> term_mask_;  // non-pivot terms by node
+  std::unique_ptr<ExpansionIterator> rev_;          // multi-source, from pivot
+  size_t root_budget_ = 0;
+  // Candidate answers, ranked and truncated by FinishExecute.
+  std::vector<ConnectionTree> buffer_;
 };
 
 }  // namespace banks

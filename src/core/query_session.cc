@@ -1,0 +1,116 @@
+#include "core/query_session.h"
+
+#include <utility>
+
+namespace banks {
+
+QuerySession::QuerySession(QuerySessionInit init)
+    : searcher_(std::move(init.searcher)),
+      parsed_(std::move(init.parsed)),
+      keyword_matches_(std::move(init.keyword_matches)),
+      keyword_nodes_(std::move(init.keyword_nodes)),
+      dropped_terms_(std::move(init.dropped_terms)),
+      active_terms_(std::move(init.active_terms)),
+      dg_(init.dg),
+      policy_(std::move(init.policy)),
+      hidden_table_ids_(std::move(init.hidden_table_ids)),
+      deliver_cap_(init.deliver_cap) {
+  if (searcher_ != nullptr) {
+    searcher_->set_budget(init.budget);
+    searcher_->BeginScored(init.active_sets);
+    stream_ = AnswerStream(searcher_.get());
+  }
+}
+
+bool QuerySession::Visible(const ConnectionTree& tree) const {
+  if (hidden_table_ids_.empty()) return true;
+  return policy_.AnswerVisible(tree, *dg_, hidden_table_ids_);
+}
+
+// Re-maps leaf_for_term of one answer back to the original term indexes
+// when terms were dropped (partial matching): dropped slots stay
+// kInvalidNode so callers see one slot per query term.
+void QuerySession::RemapDroppedTerms(ConnectionTree* tree) const {
+  if (dropped_terms_.empty()) return;
+  std::vector<NodeId> remapped(parsed_.terms.size(), kInvalidNode);
+  std::vector<double> remapped_rel(parsed_.terms.size(), 1.0);
+  for (size_t j = 0; j < tree->leaf_for_term.size(); ++j) {
+    remapped[active_terms_[j]] = tree->leaf_for_term[j];
+    if (j < tree->leaf_relevance.size()) {
+      remapped_rel[active_terms_[j]] = tree->leaf_relevance[j];
+    }
+  }
+  tree->leaf_for_term = std::move(remapped);
+  tree->leaf_relevance = std::move(remapped_rel);
+}
+
+// Only ever called with lookahead_ empty; the delivered count and rank are
+// assigned at delivery (in Next()), not here, so an answer held in the
+// lookahead slot and then discarded by Cancel() is never counted.
+std::optional<ScoredAnswer> QuerySession::PullFiltered() {
+  if (delivered_ >= deliver_cap_) return std::nullopt;
+  while (auto answer = stream_.Next()) {
+    if (!Visible(answer->tree)) continue;  // auth: skip hidden answers
+    RemapDroppedTerms(&answer->tree);
+    return answer;
+  }
+  return std::nullopt;
+}
+
+std::optional<ScoredAnswer> QuerySession::Next() {
+  std::optional<ScoredAnswer> answer;
+  if (lookahead_.has_value()) {
+    answer = std::move(lookahead_);
+    lookahead_.reset();
+  } else {
+    answer = PullFiltered();
+  }
+  if (answer.has_value()) answer->rank = delivered_++;
+  return answer;
+}
+
+bool QuerySession::HasNext() {
+  // Auth filtering means the stream having emissions left does not imply a
+  // *visible* answer is left, so look ahead by one and hold it.
+  if (!lookahead_.has_value()) lookahead_ = PullFiltered();
+  return lookahead_.has_value();
+}
+
+std::vector<ConnectionTree> QuerySession::NextBatch(size_t k) {
+  std::vector<ConnectionTree> page;
+  page.reserve(k);
+  while (page.size() < k) {
+    auto answer = Next();
+    if (!answer.has_value()) break;
+    page.push_back(std::move(answer->tree));
+  }
+  return page;
+}
+
+std::vector<ConnectionTree> QuerySession::Drain() {
+  std::vector<ConnectionTree> rest;
+  while (auto answer = Next()) rest.push_back(std::move(answer->tree));
+  return rest;
+}
+
+QueryResult QuerySession::DrainToResult() {
+  QueryResult result;
+  result.answers = Drain();
+  result.parsed = std::move(parsed_);
+  result.keyword_nodes = std::move(keyword_nodes_);
+  result.keyword_matches = std::move(keyword_matches_);
+  result.dropped_terms = dropped_terms_;
+  result.stats = stats();
+  return result;
+}
+
+void QuerySession::Cancel() {
+  lookahead_.reset();
+  stream_.Cancel();
+}
+
+void QuerySession::set_budget(const Budget& budget) {
+  if (searcher_ != nullptr) searcher_->set_budget(budget);
+}
+
+}  // namespace banks

@@ -1,0 +1,140 @@
+// QuerySession — one open streaming query against a BanksEngine.
+//
+// BanksEngine::OpenSession resolves the query's keywords once and hands
+// back a session holding the live answer stream. Callers then pull answers
+// incrementally (Next), a page at a time (NextBatch), or all at once
+// (Drain); attach a per-session Budget (deadline / visit cap) enforced
+// inside the expansion stepper; and Cancel() to abandon the search without
+// draining the graph. The batch BanksEngine::Search overloads are thin
+// wrappers that open a session and drain it, so batch behaviour and
+// results are unchanged.
+#ifndef BANKS_CORE_QUERY_SESSION_H_
+#define BANKS_CORE_QUERY_SESSION_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/answer_stream.h"
+#include "core/authorization.h"
+#include "core/expansion_search_base.h"
+#include "core/query.h"
+#include "graph/graph_builder.h"
+
+namespace banks {
+
+/// Outcome of one (fully drained) query.
+struct QueryResult {
+  std::vector<ConnectionTree> answers;          ///< decreasing relevance
+  ParsedQuery parsed;                           ///< the interpreted query
+  std::vector<std::vector<NodeId>> keyword_nodes;  ///< per-term node sets
+  std::vector<std::vector<KeywordMatch>> keyword_matches;  ///< with scores
+  std::vector<size_t> dropped_terms;            ///< partial-match drops
+  SearchStats stats;
+};
+
+/// Everything a session needs, assembled by BanksEngine::OpenSession.
+/// Callers never build one of these by hand.
+struct QuerySessionInit {
+  /// The live searcher (null = the query has no viable terms: the session
+  /// is open but immediately exhausted, mirroring a no-answer batch run).
+  std::unique_ptr<ExpansionSearchBase> searcher;
+  ParsedQuery parsed;
+  /// Matches as reported to the caller (auth-filtered under a policy).
+  std::vector<std::vector<KeywordMatch>> keyword_matches;
+  std::vector<std::vector<NodeId>> keyword_nodes;
+  /// Matches the searcher actually runs on (non-empty terms only).
+  std::vector<std::vector<KeywordMatch>> active_sets;
+  std::vector<size_t> dropped_terms;
+  std::vector<size_t> active_terms;  ///< original index of each active term
+  const DataGraph* dg = nullptr;
+  /// Authorization (§7): answers touching hidden tuples are skipped as
+  /// they stream out; the searcher oversamples to compensate.
+  AuthPolicy policy;
+  std::unordered_set<uint32_t> hidden_table_ids;
+  /// Cap on answers served to the caller (under auth the searcher's
+  /// max_answers is larger than this, to absorb filtered answers).
+  size_t deliver_cap = SIZE_MAX;
+  Budget budget;
+};
+
+/// One open query: resolved keywords + the live answer stream.
+class QuerySession {
+ public:
+  /// An exhausted session (needed by Result<QuerySession>).
+  QuerySession() = default;
+  explicit QuerySession(QuerySessionInit init);
+
+  QuerySession(QuerySession&&) = default;
+  QuerySession& operator=(QuerySession&&) = default;
+  QuerySession(const QuerySession&) = delete;
+  QuerySession& operator=(const QuerySession&) = delete;
+
+  /// Pulls the next answer, expanding only as far as needed. Dropped-term
+  /// remapping and authorization filtering are applied per answer.
+  std::optional<ScoredAnswer> Next();
+
+  /// True iff Next() would return an answer. May perform expansion work.
+  bool HasNext();
+
+  /// Pagination: up to `k` further answers, in relevance-stream order. An
+  /// empty vector means the stream is exhausted.
+  std::vector<ConnectionTree> NextBatch(size_t k);
+
+  /// Pulls everything left in the stream.
+  std::vector<ConnectionTree> Drain();
+
+  /// Batch compatibility: drains the remaining stream into a QueryResult
+  /// (answers already delivered through Next/NextBatch are not replayed).
+  QueryResult DrainToResult();
+
+  /// Early termination: tears down the search without draining the graph.
+  void Cancel();
+  bool cancelled() const { return stream_.cancelled(); }
+
+  /// Replaces the per-session budget mid-stream (e.g. a fresh deadline for
+  /// the next page).
+  void set_budget(const Budget& budget);
+
+  /// Live counters of the underlying run (incremental mid-stream).
+  const SearchStats& stats() const { return stream_.stats(); }
+
+  const ParsedQuery& parsed() const { return parsed_; }
+  const std::vector<std::vector<KeywordMatch>>& keyword_matches() const {
+    return keyword_matches_;
+  }
+  const std::vector<std::vector<NodeId>>& keyword_nodes() const {
+    return keyword_nodes_;
+  }
+  /// Terms that matched nothing (dropped under allow_partial_match; fatal
+  /// otherwise — the session opens exhausted).
+  const std::vector<size_t>& dropped_terms() const { return dropped_terms_; }
+
+  /// Answers delivered to the caller so far.
+  size_t answers_returned() const { return delivered_; }
+
+ private:
+  bool Visible(const ConnectionTree& tree) const;
+  void RemapDroppedTerms(ConnectionTree* tree) const;
+  std::optional<ScoredAnswer> PullFiltered();
+
+  std::unique_ptr<ExpansionSearchBase> searcher_;
+  std::optional<ScoredAnswer> lookahead_;  // filled by HasNext()
+  AnswerStream stream_;
+  ParsedQuery parsed_;
+  std::vector<std::vector<KeywordMatch>> keyword_matches_;
+  std::vector<std::vector<NodeId>> keyword_nodes_;
+  std::vector<size_t> dropped_terms_;
+  std::vector<size_t> active_terms_;
+  const DataGraph* dg_ = nullptr;
+  AuthPolicy policy_;
+  std::unordered_set<uint32_t> hidden_table_ids_;
+  size_t deliver_cap_ = SIZE_MAX;
+  size_t delivered_ = 0;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_CORE_QUERY_SESSION_H_

@@ -1,0 +1,327 @@
+// Streaming-API equivalence and budget tests (core level).
+//
+// The pull-based stepper must be a faithful re-factoring of the batch
+// expansion loop: draining an AnswerStream yields exactly the answers —
+// same trees, same order — as Run()/Search() for every strategy on the
+// DBLP and thesis workloads; pulling the first answer performs at most
+// the full run's expansion work; a Budget (visit cap / deadline) stops a
+// pathological query early with partial results and the truncation
+// recorded; and one searcher can be reused across consecutive streamed
+// runs.
+#include "core/answer_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/banks.h"
+#include "eval/workload.h"
+
+namespace banks {
+namespace {
+
+DblpConfig SmallDblp() {
+  DblpConfig config;
+  config.num_authors = 60;
+  config.num_papers = 120;
+  config.seed = 42;
+  return config;
+}
+
+ThesisConfig SmallThesis() {
+  ThesisConfig config;
+  config.num_faculty = 30;
+  config.num_students = 120;
+  config.seed = 7;
+  return config;
+}
+
+const EvalWorkload& Workload() {
+  static EvalWorkload* workload =
+      new EvalWorkload(SmallDblp(), SmallThesis());
+  return *workload;
+}
+
+std::vector<std::vector<NodeId>> ResolveSets(const BanksEngine& engine,
+                                             const std::string& text) {
+  KeywordResolver resolver(engine.db(), engine.data_graph(),
+                           engine.inverted_index(), engine.metadata_index());
+  return resolver.ResolveAll(ParseQuery(text), engine.options().match);
+}
+
+void ExpectSameAnswers(const std::vector<ConnectionTree>& a,
+                       const std::vector<ConnectionTree>& b,
+                       const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].UndirectedSignature(), b[i].UndirectedSignature())
+        << label << " rank " << i;
+    EXPECT_EQ(a[i].root, b[i].root) << label << " rank " << i;
+    EXPECT_DOUBLE_EQ(a[i].relevance, b[i].relevance) << label << " rank " << i;
+  }
+}
+
+constexpr SearchStrategy kAllStrategies[] = {SearchStrategy::kBackward,
+                                             SearchStrategy::kForward,
+                                             SearchStrategy::kBidirectional};
+
+TEST(AnswerStreamTest, DrainMatchesBatchForAllStrategiesAndQueries) {
+  for (SearchStrategy strategy : kAllStrategies) {
+    for (const EvalQuery& q : Workload().queries()) {
+      const BanksEngine& engine = Workload().engine_for(q);
+      SearchOptions options = engine.options().search;
+      options.strategy = strategy;
+      auto sets = ResolveSets(engine, q.text);
+
+      auto batch_searcher = CreateExpansionSearch(engine.data_graph(), options);
+      auto batch = batch_searcher->Run(sets);
+
+      auto stream_searcher =
+          CreateExpansionSearch(engine.data_graph(), options);
+      stream_searcher->Begin(sets);
+      AnswerStream stream(stream_searcher.get());
+      std::vector<ConnectionTree> streamed;
+      // Interleave HasNext to exercise the pump/cursor paths.
+      while (stream.HasNext()) {
+        auto answer = stream.Next();
+        ASSERT_TRUE(answer.has_value());
+        EXPECT_EQ(answer->rank, streamed.size());
+        streamed.push_back(std::move(answer->tree));
+      }
+      EXPECT_FALSE(stream.Next().has_value());
+
+      ExpectSameAnswers(streamed, batch,
+                        std::string(SearchStrategyName(strategy)) + "/" +
+                            q.name);
+      // Identical work too: the stream performed the same expansion.
+      EXPECT_EQ(stream.stats().iterator_visits,
+                batch_searcher->stats().iterator_visits)
+          << SearchStrategyName(strategy) << "/" << q.name;
+    }
+  }
+}
+
+TEST(AnswerStreamTest, FirstAnswerNeedsAtMostFullRunVisits) {
+  for (SearchStrategy strategy : kAllStrategies) {
+    for (const EvalQuery& q : Workload().queries()) {
+      const BanksEngine& engine = Workload().engine_for(q);
+      SearchOptions options = engine.options().search;
+      options.strategy = strategy;
+      auto sets = ResolveSets(engine, q.text);
+
+      auto full = CreateExpansionSearch(engine.data_graph(), options);
+      size_t full_answers = full->Run(sets).size();
+      const size_t full_visits = full->stats().iterator_visits;
+
+      auto partial = CreateExpansionSearch(engine.data_graph(), options);
+      partial->Begin(sets);
+      AnswerStream stream(partial.get());
+      auto first = stream.Next();
+      ASSERT_EQ(first.has_value(), full_answers > 0)
+          << SearchStrategyName(strategy) << "/" << q.name;
+      EXPECT_LE(stream.stats().iterator_visits, full_visits)
+          << SearchStrategyName(strategy) << "/" << q.name;
+    }
+  }
+}
+
+TEST(AnswerStreamTest, BackwardStreamsBeforeFullDrain) {
+  // The incremental claim with teeth: on at least one workload query the
+  // backward strategy must surface its first answer with strictly fewer
+  // visits than the full run needs (otherwise "streaming" is a fiction).
+  bool some_query_streams_early = false;
+  for (const EvalQuery& q : Workload().queries()) {
+    const BanksEngine& engine = Workload().engine_for(q);
+    SearchOptions options = engine.options().search;
+    auto sets = ResolveSets(engine, q.text);
+
+    auto full = CreateExpansionSearch(engine.data_graph(), options);
+    if (full->Run(sets).empty()) continue;
+    const size_t full_visits = full->stats().iterator_visits;
+
+    auto partial = CreateExpansionSearch(engine.data_graph(), options);
+    partial->Begin(sets);
+    AnswerStream stream(partial.get());
+    if (stream.Next().has_value() &&
+        stream.stats().iterator_visits < full_visits) {
+      some_query_streams_early = true;
+    }
+  }
+  EXPECT_TRUE(some_query_streams_early);
+}
+
+TEST(AnswerStreamTest, SearcherReuseAcrossStreamedRuns) {
+  const BanksEngine& engine = Workload().dblp_engine();
+  SearchOptions options = engine.options().search;
+  auto sets_a = ResolveSets(engine, "soumen sunita");
+  auto sets_b = ResolveSets(engine, "author soumen");
+
+  auto reference = CreateExpansionSearch(engine.data_graph(), options);
+  auto batch_a = reference->Run(sets_a);
+  auto batch_b = reference->Run(sets_b);
+  ASSERT_FALSE(batch_a.empty());
+
+  // One searcher, three consecutive streamed runs: abandoned mid-stream,
+  // then drained, then a different query — every Begin() resets state.
+  auto reused = CreateExpansionSearch(engine.data_graph(), options);
+  reused->Begin(sets_a);
+  AnswerStream first_run(reused.get());
+  ASSERT_TRUE(first_run.Next().has_value());  // consume one, abandon the rest
+
+  reused->Begin(sets_a);
+  AnswerStream second_run(reused.get());
+  std::vector<ConnectionTree> drained;
+  while (auto answer = second_run.Next()) drained.push_back(std::move(answer->tree));
+  ExpectSameAnswers(drained, batch_a, "reuse after abandoned stream");
+
+  reused->Begin(sets_b);
+  AnswerStream third_run(reused.get());
+  drained.clear();
+  while (auto answer = third_run.Next()) drained.push_back(std::move(answer->tree));
+  ExpectSameAnswers(drained, batch_b, "reuse with a different query");
+}
+
+TEST(AnswerStreamTest, CancelTearsDownWithoutDraining) {
+  const BanksEngine& engine = Workload().dblp_engine();
+  SearchOptions options = engine.options().search;
+  auto sets = ResolveSets(engine, "soumen sunita");
+
+  auto searcher = CreateExpansionSearch(engine.data_graph(), options);
+  auto full = searcher->Run(sets);
+  ASSERT_GT(full.size(), 1u);
+  const size_t full_visits = searcher->stats().iterator_visits;
+
+  searcher->Begin(sets);
+  AnswerStream stream(searcher.get());
+  ASSERT_TRUE(stream.Next().has_value());
+  const size_t visits_at_cancel = stream.stats().iterator_visits;
+  stream.Cancel();
+  EXPECT_TRUE(stream.cancelled());
+  EXPECT_FALSE(stream.Next().has_value());
+  EXPECT_FALSE(stream.HasNext());
+  // No further expansion happened after the cancel.
+  EXPECT_EQ(searcher->stats().iterator_visits, visits_at_cancel);
+  EXPECT_LE(visits_at_cancel, full_visits);
+}
+
+TEST(AnswerStreamTest, VisitBudgetTruncatesPathologicalQuery) {
+  const BanksEngine& engine = Workload().dblp_engine();
+  SearchOptions options = engine.options().search;
+  // Metadata keywords: "author" matches every Author tuple, "paper" every
+  // Paper — the §7 pathological case for backward search.
+  auto sets = ResolveSets(engine, "author paper");
+  ASSERT_EQ(sets.size(), 2u);
+  ASSERT_FALSE(sets[0].empty());
+  ASSERT_FALSE(sets[1].empty());
+
+  auto unlimited = CreateExpansionSearch(engine.data_graph(), options);
+  auto full = unlimited->Run(sets);
+  const size_t full_visits = unlimited->stats().iterator_visits;
+  EXPECT_FALSE(unlimited->stats().truncated());
+
+  const size_t cap = 100;
+  ASSERT_LT(cap, full_visits) << "query not pathological enough for the test";
+  auto capped = CreateExpansionSearch(engine.data_graph(), options);
+  capped->set_budget(Budget::WithVisitCap(cap));
+  capped->Begin(sets);
+  AnswerStream stream(capped.get());
+  std::vector<ConnectionTree> partial;
+  while (auto answer = stream.Next()) partial.push_back(std::move(answer->tree));
+
+  EXPECT_EQ(stream.stats().truncation, Truncation::kVisitBudget);
+  EXPECT_LE(stream.stats().iterator_visits, cap);
+  EXPECT_LE(partial.size(), full.size());
+  for (const auto& tree : partial) EXPECT_TRUE(tree.IsValidTree());
+}
+
+TEST(AnswerStreamTest, ExpiredDeadlineTruncatesImmediately) {
+  const BanksEngine& engine = Workload().dblp_engine();
+  SearchOptions options = engine.options().search;
+  auto sets = ResolveSets(engine, "author paper");
+
+  auto searcher = CreateExpansionSearch(engine.data_graph(), options);
+  Budget budget;
+  budget.deadline = std::chrono::steady_clock::now();  // already passed
+  searcher->set_budget(budget);
+  searcher->Begin(sets);
+  AnswerStream stream(searcher.get());
+  while (stream.Next().has_value()) {
+  }
+  EXPECT_EQ(stream.stats().truncation, Truncation::kDeadline);
+  EXPECT_EQ(stream.stats().iterator_visits, 0u);
+}
+
+TEST(AnswerStreamTest, ExpiredDeadlineTruncatesSingleTermScan) {
+  // The single-term fast path does no graph expansion but can still scan a
+  // whole relation (metadata keywords); the deadline must stop it too.
+  const BanksEngine& engine = Workload().dblp_engine();
+  SearchOptions options = engine.options().search;
+  auto sets = ResolveSets(engine, "author");
+  ASSERT_EQ(sets.size(), 1u);
+  ASSERT_GT(sets[0].size(), 1u);
+
+  auto searcher = CreateExpansionSearch(engine.data_graph(), options);
+  Budget budget;
+  budget.deadline = std::chrono::steady_clock::now();  // already passed
+  searcher->set_budget(budget);
+  auto answers = searcher->Run(sets);
+  EXPECT_EQ(searcher->stats().truncation, Truncation::kDeadline);
+  EXPECT_TRUE(answers.empty());
+
+  // Clearing the budget restores the full scan on the same searcher.
+  searcher->set_budget(Budget{});
+  answers = searcher->Run(sets);
+  EXPECT_FALSE(searcher->stats().truncated());
+  EXPECT_FALSE(answers.empty());
+}
+
+TEST(AnswerStreamTest, ForwardStrategyCancelAndReuse) {
+  // Cancel() must release forward-search run state (pivot iterator,
+  // candidate buffer) and leave the searcher reusable.
+  const BanksEngine& engine = Workload().dblp_engine();
+  SearchOptions options = engine.options().search;
+  options.strategy = SearchStrategy::kForward;
+  auto sets = ResolveSets(engine, "soumen sunita");
+
+  auto reference = CreateExpansionSearch(engine.data_graph(), options);
+  auto batch = reference->Run(sets);
+  ASSERT_FALSE(batch.empty());
+
+  auto searcher = CreateExpansionSearch(engine.data_graph(), options);
+  searcher->Begin(sets);
+  AnswerStream first_run(searcher.get());
+  ASSERT_TRUE(first_run.Next().has_value());
+  first_run.Cancel();
+  EXPECT_FALSE(first_run.Next().has_value());
+
+  searcher->Begin(sets);
+  AnswerStream second_run(searcher.get());
+  std::vector<ConnectionTree> drained;
+  while (auto answer = second_run.Next()) drained.push_back(std::move(answer->tree));
+  ExpectSameAnswers(drained, batch, "forward reuse after cancel");
+}
+
+TEST(AnswerStreamTest, FutureDeadlineDoesNotTruncateSmallQuery) {
+  const BanksEngine& engine = Workload().dblp_engine();
+  SearchOptions options = engine.options().search;
+  auto sets = ResolveSets(engine, "soumen sunita");
+
+  auto searcher = CreateExpansionSearch(engine.data_graph(), options);
+  searcher->set_budget(Budget::WithTimeout(std::chrono::hours(1)));
+  auto answers = searcher->Run(sets);
+  EXPECT_FALSE(searcher->stats().truncated());
+  EXPECT_FALSE(answers.empty());
+}
+
+TEST(AnswerStreamTest, DefaultStreamIsEmpty) {
+  AnswerStream stream;
+  EXPECT_FALSE(stream.HasNext());
+  EXPECT_FALSE(stream.Next().has_value());
+  EXPECT_EQ(stream.stats().iterator_visits, 0u);
+  stream.Cancel();
+  EXPECT_TRUE(stream.cancelled());
+}
+
+}  // namespace
+}  // namespace banks

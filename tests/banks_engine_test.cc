@@ -158,6 +158,59 @@ TEST(EnginePartialMatchTest, DroppedTermStillAnswersWhenAllowed) {
   EXPECT_EQ(result.value().answers[0].leaf_for_term[1], kInvalidNode);
 }
 
+TEST(EnginePartialMatchTest, MultipleDroppedTermsReported) {
+  DblpConfig config;
+  config.num_authors = 40;
+  config.num_papers = 60;
+  DblpDataset ds = GenerateDblp(config);
+  BanksOptions options;
+  options.allow_partial_match = true;
+  BanksEngine engine(std::move(ds.db), options);
+  auto result = engine.Search("zzzznothing soumen qqqqnothing");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().dropped_terms.size(), 2u);
+  EXPECT_EQ(result.value().dropped_terms[0], 0u);
+  EXPECT_EQ(result.value().dropped_terms[1], 2u);
+  // The surviving term still answers; every leaf slot exists.
+  ASSERT_FALSE(result.value().answers.empty());
+  for (const auto& tree : result.value().answers) {
+    ASSERT_EQ(tree.leaf_for_term.size(), 3u);
+    EXPECT_EQ(tree.leaf_for_term[0], kInvalidNode);
+    EXPECT_NE(tree.leaf_for_term[1], kInvalidNode);
+    EXPECT_EQ(tree.leaf_for_term[2], kInvalidNode);
+  }
+}
+
+TEST(EnginePartialMatchTest, AllTermsDroppedYieldsNoAnswers) {
+  DblpConfig config;
+  config.num_authors = 40;
+  config.num_papers = 60;
+  DblpDataset ds = GenerateDblp(config);
+  BanksOptions options;
+  options.allow_partial_match = true;
+  BanksEngine engine(std::move(ds.db), options);
+  auto result = engine.Search("zzzznothing qqqqnothing");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().answers.empty());
+  EXPECT_EQ(result.value().dropped_terms.size(), 2u);
+}
+
+TEST(EnginePartialMatchTest, StrictModeReportsEveryDroppedTerm) {
+  DblpConfig config;
+  config.num_authors = 40;
+  config.num_papers = 60;
+  DblpDataset ds = GenerateDblp(config);
+  BanksEngine engine(std::move(ds.db));  // allow_partial_match = false
+  auto result = engine.Search("zzzznothing soumen qqqqnothing");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().answers.empty());
+  ASSERT_EQ(result.value().dropped_terms.size(), 2u);
+  EXPECT_EQ(result.value().dropped_terms[0], 0u);
+  EXPECT_EQ(result.value().dropped_terms[1], 2u);
+  // Matches for the surviving term are still reported.
+  EXPECT_FALSE(result.value().keyword_matches[1].empty());
+}
+
 TEST(EngineExclusionTest, ExcludedRootTablesByName) {
   DblpConfig config;
   config.num_authors = 40;

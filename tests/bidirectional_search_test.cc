@@ -238,5 +238,24 @@ TEST(StrategyNameTest, RoundTrips) {
   EXPECT_FALSE(ParseSearchStrategy("sideways", &parsed));
 }
 
+TEST(StrategyNameTest, ParseIsCaseInsensitive) {
+  SearchStrategy parsed;
+  EXPECT_TRUE(ParseSearchStrategy("BACKWARD", &parsed));
+  EXPECT_EQ(parsed, SearchStrategy::kBackward);
+  EXPECT_TRUE(ParseSearchStrategy("Forward", &parsed));
+  EXPECT_EQ(parsed, SearchStrategy::kForward);
+  EXPECT_TRUE(ParseSearchStrategy("BiDi", &parsed));
+  EXPECT_EQ(parsed, SearchStrategy::kBidirectional);
+  EXPECT_TRUE(ParseSearchStrategy("Bidirectional", &parsed));
+  EXPECT_EQ(parsed, SearchStrategy::kBidirectional);
+  EXPECT_FALSE(ParseSearchStrategy("", &parsed));
+  // The error-message helper names every accepted spelling.
+  std::string names = SearchStrategyNames();
+  EXPECT_NE(names.find("backward"), std::string::npos);
+  EXPECT_NE(names.find("forward"), std::string::npos);
+  EXPECT_NE(names.find("bidirectional"), std::string::npos);
+  EXPECT_NE(names.find("bidi"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace banks

@@ -1,0 +1,225 @@
+// QuerySession tests: pagination, cancellation, budgets, authorization
+// and partial matching through the engine's streaming entry point — plus
+// the compatibility guarantee that the batch Search overloads (now thin
+// wrappers over QuerySession) return the same answers as a drained
+// session.
+#include "core/query_session.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/banks.h"
+#include "datagen/dblp_gen.h"
+
+namespace banks {
+namespace {
+
+class QuerySessionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DblpConfig config;
+    config.num_authors = 80;
+    config.num_papers = 160;
+    config.seed = 5;
+    DblpDataset ds = GenerateDblp(config);
+    engine_ = new BanksEngine(std::move(ds.db));
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+  static BanksEngine* engine_;
+};
+
+BanksEngine* QuerySessionTest::engine_ = nullptr;
+
+void ExpectSameAnswers(const std::vector<ConnectionTree>& a,
+                       const std::vector<ConnectionTree>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].UndirectedSignature(), b[i].UndirectedSignature())
+        << "rank " << i;
+    EXPECT_DOUBLE_EQ(a[i].relevance, b[i].relevance) << "rank " << i;
+  }
+}
+
+TEST_F(QuerySessionTest, DrainMatchesBatchSearch) {
+  auto batch = engine_->Search("soumen sunita");
+  ASSERT_TRUE(batch.ok());
+  ASSERT_FALSE(batch.value().answers.empty());
+
+  auto session = engine_->OpenSession("soumen sunita");
+  ASSERT_TRUE(session.ok());
+  auto streamed = session.value().Drain();
+  ExpectSameAnswers(streamed, batch.value().answers);
+}
+
+TEST_F(QuerySessionTest, NextBatchPaginatesInOrder) {
+  auto batch = engine_->Search("soumen sunita");
+  ASSERT_TRUE(batch.ok());
+  const auto& all = batch.value().answers;
+  ASSERT_GT(all.size(), 2u);
+
+  auto session = engine_->OpenSession("soumen sunita");
+  ASSERT_TRUE(session.ok());
+  QuerySession& live = session.value();
+
+  auto page1 = live.NextBatch(2);
+  ASSERT_EQ(page1.size(), 2u);
+  EXPECT_EQ(live.answers_returned(), 2u);
+  auto rest = live.Drain();
+
+  std::vector<ConnectionTree> combined;
+  for (auto& t : page1) combined.push_back(std::move(t));
+  for (auto& t : rest) combined.push_back(std::move(t));
+  ExpectSameAnswers(combined, all);
+  // Exhausted: further pages are empty.
+  EXPECT_TRUE(live.NextBatch(2).empty());
+  EXPECT_FALSE(live.HasNext());
+}
+
+TEST_F(QuerySessionTest, RanksAreSequential) {
+  auto session = engine_->OpenSession("soumen sunita");
+  ASSERT_TRUE(session.ok());
+  size_t expected_rank = 0;
+  while (auto answer = session.value().Next()) {
+    EXPECT_EQ(answer->rank, expected_rank++);
+  }
+  EXPECT_GT(expected_rank, 0u);
+}
+
+TEST_F(QuerySessionTest, CancelStopsTheStream) {
+  auto session = engine_->OpenSession("soumen sunita");
+  ASSERT_TRUE(session.ok());
+  QuerySession& live = session.value();
+  ASSERT_TRUE(live.Next().has_value());
+  // A lookahead answer held by HasNext() but never delivered must not
+  // count as returned once the session is cancelled.
+  ASSERT_TRUE(live.HasNext());
+  live.Cancel();
+  EXPECT_TRUE(live.cancelled());
+  EXPECT_EQ(live.answers_returned(), 1u);
+  EXPECT_FALSE(live.Next().has_value());
+  EXPECT_FALSE(live.HasNext());
+  EXPECT_TRUE(live.Drain().empty());
+}
+
+TEST_F(QuerySessionTest, HasNextLookaheadLosesNoAnswer) {
+  auto batch = engine_->Search("soumen sunita");
+  ASSERT_TRUE(batch.ok());
+
+  auto session = engine_->OpenSession("soumen sunita");
+  ASSERT_TRUE(session.ok());
+  QuerySession& live = session.value();
+  std::vector<ConnectionTree> streamed;
+  while (live.HasNext()) {
+    EXPECT_TRUE(live.HasNext());  // idempotent
+    auto answer = live.Next();
+    ASSERT_TRUE(answer.has_value());
+    streamed.push_back(std::move(answer->tree));
+  }
+  ExpectSameAnswers(streamed, batch.value().answers);
+}
+
+TEST_F(QuerySessionTest, EmptyQueryIsInvalid) {
+  auto session = engine_->OpenSession("   ");
+  EXPECT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(QuerySessionTest, StrictModeUnmatchedTermOpensExhausted) {
+  auto session = engine_->OpenSession("soumen zzzzunmatchable");
+  ASSERT_TRUE(session.ok());
+  QuerySession& live = session.value();
+  ASSERT_EQ(live.dropped_terms().size(), 1u);
+  EXPECT_EQ(live.dropped_terms()[0], 1u);
+  EXPECT_FALSE(live.HasNext());
+  EXPECT_TRUE(live.Drain().empty());
+  // Resolved matches are still reported (for "did you mean" style UIs).
+  EXPECT_EQ(live.keyword_matches().size(), 2u);
+  EXPECT_FALSE(live.keyword_matches()[0].empty());
+}
+
+TEST_F(QuerySessionTest, VisitBudgetYieldsPartialResultsAndTruncationStats) {
+  SearchOptions options = engine_->options().search;
+  auto full = engine_->Search("author paper", options);
+  ASSERT_TRUE(full.ok());
+  const size_t full_visits = full.value().stats.iterator_visits;
+  ASSERT_GT(full_visits, 200u);
+
+  auto session =
+      engine_->OpenSession("author paper", options, Budget::WithVisitCap(200));
+  ASSERT_TRUE(session.ok());
+  auto partial = session.value().Drain();
+  EXPECT_EQ(session.value().stats().truncation, Truncation::kVisitBudget);
+  EXPECT_LE(session.value().stats().iterator_visits, 200u);
+  EXPECT_LE(partial.size(), full.value().answers.size());
+  for (const auto& tree : partial) EXPECT_TRUE(tree.IsValidTree());
+}
+
+TEST_F(QuerySessionTest, DeadlineBudgetTruncates) {
+  SearchOptions options = engine_->options().search;
+  Budget budget;
+  budget.deadline = std::chrono::steady_clock::now();  // already expired
+  auto session = engine_->OpenSession("author paper", options, budget);
+  ASSERT_TRUE(session.ok());
+  EXPECT_TRUE(session.value().Drain().empty());
+  EXPECT_EQ(session.value().stats().truncation, Truncation::kDeadline);
+}
+
+TEST(QuerySessionAuthTest, AuthorizedSessionMatchesBatchAndHidesTables) {
+  DblpConfig config;
+  config.num_authors = 40;
+  config.num_papers = 80;
+  config.seed = 11;
+  DblpDataset ds = GenerateDblp(config);
+  BanksEngine engine(std::move(ds.db));
+  AuthPolicy policy;
+  policy.HideTable("Cites");
+
+  auto batch = engine.SearchAuthorized("soumen sunita", policy);
+  ASSERT_TRUE(batch.ok());
+
+  auto session = engine.OpenSessionAuthorized("soumen sunita", policy);
+  ASSERT_TRUE(session.ok());
+  auto streamed = session.value().Drain();
+  ExpectSameAnswers(streamed, batch.value().answers);
+
+  // No answer touches the hidden table; reported matches exclude it.
+  const Table* cites = engine.db().table("Cites");
+  ASSERT_NE(cites, nullptr);
+  for (const auto& tree : streamed) {
+    for (NodeId n : tree.Nodes()) {
+      EXPECT_NE(engine.data_graph().RidForNode(n).table_id, cites->id());
+    }
+  }
+}
+
+TEST(QuerySessionPartialTest, DroppedTermsRemappedPerStreamedAnswer) {
+  DblpConfig config;
+  config.num_authors = 40;
+  config.num_papers = 60;
+  DblpDataset ds = GenerateDblp(config);
+  BanksOptions options;
+  options.allow_partial_match = true;
+  BanksEngine engine(std::move(ds.db), options);
+
+  auto session = engine.OpenSession("soumen zzzzunmatchable");
+  ASSERT_TRUE(session.ok());
+  QuerySession& live = session.value();
+  ASSERT_EQ(live.dropped_terms().size(), 1u);
+  size_t seen = 0;
+  while (auto answer = live.Next()) {
+    ++seen;
+    // One leaf slot per original query term; the dropped term's slot is
+    // kInvalidNode.
+    ASSERT_EQ(answer->tree.leaf_for_term.size(), 2u);
+    EXPECT_NE(answer->tree.leaf_for_term[0], kInvalidNode);
+    EXPECT_EQ(answer->tree.leaf_for_term[1], kInvalidNode);
+  }
+  EXPECT_GT(seen, 0u);
+}
+
+}  // namespace
+}  // namespace banks
