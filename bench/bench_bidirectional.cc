@@ -61,9 +61,11 @@ StrategyRow RunOne(const DataGraph& dg, SearchStrategy strategy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("bench_bidirectional — backward vs forward vs bidirectional",
               "§3 backward search, §7 forward search, BANKS-II bidirectional");
+  const std::string json_path = BenchReport::JsonPathFromArgs(argc, argv);
+  BenchReport report("bench_bidirectional");
 
   DblpConfig config = EvalDblpConfig();
   config.num_authors = 2'000;
@@ -106,6 +108,16 @@ int main() {
     StrategyRow fwd = RunOne(dg, SearchStrategy::kForward, base, sets);
     StrategyRow bidi = RunOne(dg, SearchStrategy::kBidirectional, base, sets);
     bidi_never_worse &= bidi.visits <= bwd.visits;
+    const StrategyRow* rows[] = {&bwd, &fwd, &bidi};
+    const char* names[] = {"backward", "forward", "bidirectional"};
+    for (int s = 0; s < 3; ++s) {
+      const std::string prefix = std::string(q) + "/" + names[s] + "/";
+      report.Counter(prefix + "visits", double(rows[s]->visits));
+      report.Counter(prefix + "first_visits", double(rows[s]->first_visits));
+      report.Counter(prefix + "answers", double(rows[s]->answers));
+      report.Info(prefix + "ttfa_ms", rows[s]->ttfa_ms);
+      report.Info(prefix + "ttk_ms", rows[s]->ttk_ms);
+    }
     // Streaming invariant with teeth: on some multi-answer query the
     // first answer must surface with strictly fewer visits than the full
     // run needs (== everywhere would mean streaming degraded to batch;
@@ -136,5 +148,6 @@ int main() {
       "selective. ttfa is the streaming time-to-first-answer; ttk drains "
       "the stream.\n",
       bidi_never_worse ? "yes" : "NO", streams_early ? "yes" : "NO");
+  if (!json_path.empty() && !report.WriteJson(json_path)) return 1;
   return (bidi_never_worse && streams_early) ? 0 : 1;
 }

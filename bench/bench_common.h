@@ -1,11 +1,14 @@
-// Shared helpers for the experiment benches: a fixed evaluation scale and
-// simple table printing. Every bench prints a deterministic, self-describing
-// report mapping back to the paper's figures (see DESIGN.md §4).
+// Shared helpers for the experiment benches: a fixed evaluation scale,
+// simple table printing, and machine-readable BENCH_*.json reports for
+// the CI regression gate. Every bench prints a deterministic,
+// self-describing report mapping back to the paper's figures (see
+// DESIGN.md §4).
 #ifndef BANKS_BENCH_BENCH_COMMON_H_
 #define BANKS_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "eval/workload.h"
@@ -54,6 +57,70 @@ inline void PrintHeader(const std::string& title, const std::string& paper_ref) 
   std::printf("reproduces: %s\n", paper_ref.c_str());
   PrintRule('=');
 }
+
+/// Machine-readable bench report, written as BENCH_<name>.json for CI.
+///
+/// Two metric classes:
+///   Counter — deterministic (iterator visits, answer counts): compared
+///             against the checked-in baseline by
+///             tools/check_bench_regression.py, which fails the job on a
+///             >10% regression.
+///   Info    — timing / throughput (ttfa, ttk, qps): uploaded for trend
+///             inspection but never gated (they vary with the machine).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void Counter(const std::string& key, double value) {
+    counters_.emplace_back(key, value);
+  }
+  void Info(const std::string& key, double value) {
+    info_.emplace_back(key, value);
+  }
+
+  /// Writes {"bench":..., "counters":{...}, "info":{...}}. Returns false
+  /// (with a message on stderr) if the file cannot be written.
+  bool WriteJson(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", name_.c_str());
+    WriteSection(f, "counters", counters_, /*trailing_comma=*/true);
+    WriteSection(f, "info", info_, /*trailing_comma=*/false);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+  /// Handles the conventional trailing `--json <path>` bench argument:
+  /// returns the path or "" when absent/malformed.
+  static std::string JsonPathFromArgs(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") return argv[i + 1];
+    }
+    return "";
+  }
+
+ private:
+  using Entries = std::vector<std::pair<std::string, double>>;
+
+  static void WriteSection(std::FILE* f, const char* section,
+                           const Entries& entries, bool trailing_comma) {
+    std::fprintf(f, "  \"%s\": {", section);
+    for (size_t i = 0; i < entries.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %.6g", i == 0 ? "" : ",",
+                   entries[i].first.c_str(), entries[i].second);
+    }
+    std::fprintf(f, "\n  }%s\n", trailing_comma ? "," : "");
+  }
+
+  std::string name_;
+  Entries counters_;
+  Entries info_;
+};
 
 }  // namespace banks::bench
 

@@ -1,0 +1,276 @@
+// bench_concurrent_sessions — SessionPool throughput, latency and
+// deadline behaviour on the DBLP workload.
+//
+// Three sections:
+//   1. Equivalence: every pooled session must render byte-identical
+//      answers to its serial OpenSession+drain run — concurrency is
+//      transparent (shared immutable snapshot, confined steppers). This
+//      is a hard failure if violated.
+//   2. Scaling: the same query list through pools of 1/2/4/8 workers,
+//      submitted and drained by 4 submitter threads. Reports throughput
+//      (queries/s), speedup over serial draining, and per-query p50/p99
+//      submit-to-drained latency. With 8 workers the pool must sustain
+//      >= 4x serial throughput (scaled down when the machine has fewer
+//      than 8 hardware threads).
+//   3. Overload: more deadline-carrying sessions than the admission cap
+//      admits at once; reports the deadline-miss rate (sessions truncated
+//      by their Budget deadline) under the EDF scheduler.
+//
+// --json <path> writes BENCH_concurrent_sessions-style counters for the
+// CI regression gate (deterministic counters only; timings are info).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/banks.h"
+#include "server/session_pool.h"
+#include "util/timer.h"
+
+using namespace banks;
+using namespace banks::bench;
+
+namespace {
+
+constexpr const char* kQueryTexts[] = {"author soumen",     "author mohan",
+                                       "paper transaction", "author sunita paper",
+                                       "soumen sunita",     "seltzer sunita"};
+constexpr size_t kDistinct = sizeof(kQueryTexts) / sizeof(kQueryTexts[0]);
+constexpr size_t kRepeat = 8;  // query instances = kDistinct * kRepeat
+constexpr size_t kSubmitters = 4;
+
+std::vector<std::string> QueryList() {
+  std::vector<std::string> queries;
+  queries.reserve(kDistinct * kRepeat);
+  for (size_t r = 0; r < kRepeat; ++r) {
+    for (size_t i = 0; i < kDistinct; ++i) queries.push_back(kQueryTexts[i]);
+  }
+  return queries;
+}
+
+std::string RenderAll(const BanksEngine& engine,
+                      const std::vector<ConnectionTree>& answers) {
+  std::string out;
+  for (const auto& tree : answers) out += engine.Render(tree);
+  return out;
+}
+
+struct RunResult {
+  double wall_s = 0;
+  std::vector<double> latency_ms;       // per query, submit -> drained
+  std::vector<std::string> rendered;    // per query, full transcript
+  size_t answers = 0;
+};
+
+RunResult RunSerial(const BanksEngine& engine,
+                    const std::vector<std::string>& queries) {
+  RunResult result;
+  result.latency_ms.resize(queries.size());
+  result.rendered.resize(queries.size());
+  Timer wall;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Timer t;
+    auto session = engine.OpenSession(queries[i]);
+    std::vector<ConnectionTree> answers;
+    if (session.ok()) answers = session.value().Drain();
+    result.latency_ms[i] = t.Millis();
+    result.rendered[i] = RenderAll(engine, answers);
+    result.answers += answers.size();
+  }
+  result.wall_s = wall.Seconds();
+  return result;
+}
+
+RunResult RunPool(const BanksEngine& engine,
+                  const std::vector<std::string>& queries, size_t workers) {
+  server::PoolOptions popts;
+  popts.num_workers = workers;
+  popts.step_quantum = 8192;
+  // The admission cap is the serving-side working-set bound: ~2 runnable
+  // sessions per worker keeps caches warm (fair round-robin over dozens
+  // of heavy frontiers would thrash), the rest wait FIFO.
+  popts.max_active = workers * 2;
+  popts.max_waiting = 4096;
+  server::SessionPool pool(engine, popts);
+
+  RunResult result;
+  result.latency_ms.resize(queries.size());
+  result.rendered.resize(queries.size());
+  std::vector<size_t> counts(kSubmitters, 0);
+  Timer wall;
+  {
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (size_t t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&, t] {
+        // Each submitter owns the stripe i % kSubmitters == t: it fires
+        // the whole stripe, then drains handle by handle — so many
+        // sessions are in flight per thread and the pool decides order.
+        std::vector<size_t> mine;
+        std::vector<server::SessionHandle> handles;
+        std::vector<Timer> start;
+        for (size_t i = t; i < queries.size(); i += kSubmitters) {
+          mine.push_back(i);
+          start.emplace_back();
+          auto submitted = pool.Submit(queries[i]);
+          handles.push_back(submitted.ok()
+                                ? std::move(submitted).value()
+                                : server::SessionHandle{});
+        }
+        for (size_t j = 0; j < mine.size(); ++j) {
+          auto answers = handles[j].Drain();
+          result.latency_ms[mine[j]] = start[j].Millis();
+          result.rendered[mine[j]] = RenderAll(engine, answers);
+          counts[t] += answers.size();
+        }
+      });
+    }
+    for (auto& s : submitters) s.join();
+  }
+  result.wall_s = wall.Seconds();
+  for (size_t c : counts) result.answers += c;
+  return result;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t idx = std::min(values.size() - 1,
+                        static_cast<size_t>(p * double(values.size())));
+  return values[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintHeader("bench_concurrent_sessions — SessionPool scaling",
+              "serving-side extension: concurrent sessions over one "
+              "immutable snapshot");
+  const std::string json_path = BenchReport::JsonPathFromArgs(argc, argv);
+  BenchReport report("bench_concurrent_sessions");
+
+  DblpConfig config = EvalDblpConfig();
+  config.num_authors = 2'000;
+  config.num_papers = 4'000;
+  DblpDataset ds = GenerateDblp(config);
+  BanksEngine engine(std::move(ds.db), EvalWorkload::DefaultOptions());
+  std::printf("graph: %zu nodes / %zu edges\n",
+              engine.data_graph().graph.num_nodes(),
+              engine.data_graph().graph.num_edges());
+
+  const auto queries = QueryList();
+  std::printf("%zu query instances (%zu distinct x %zu), %zu submitter "
+              "threads, %u hardware threads\n\n",
+              queries.size(), kDistinct, kRepeat, kSubmitters,
+              std::thread::hardware_concurrency());
+
+  RunResult serial = RunSerial(engine, queries);
+  const double serial_qps = double(queries.size()) / serial.wall_s;
+  std::printf("%-10s %8s %9s %9s %9s %9s  %s\n", "mode", "workers", "qps",
+              "speedup", "p50-ms", "p99-ms", "answers");
+  PrintRule();
+  std::printf("%-10s %8s %9.1f %9s %9.2f %9.2f  %zu\n", "serial", "-",
+              serial_qps, "1.00x", Percentile(serial.latency_ms, 0.5),
+              Percentile(serial.latency_ms, 0.99), serial.answers);
+
+  report.Counter("serial/answers", double(serial.answers));
+  report.Info("serial/qps", serial_qps);
+  report.Info("serial/p50_ms", Percentile(serial.latency_ms, 0.5));
+  report.Info("serial/p99_ms", Percentile(serial.latency_ms, 0.99));
+
+  bool identical = true;
+  double speedup8 = 0;
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    RunResult pooled = RunPool(engine, queries, workers);
+    const double qps = double(queries.size()) / pooled.wall_s;
+    const double speedup = qps / serial_qps;
+    if (workers == 8) speedup8 = speedup;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (pooled.rendered[i] != serial.rendered[i]) {
+        identical = false;
+        std::printf("!! divergence: workers=%zu query #%zu '%s'\n", workers,
+                    i, queries[i].c_str());
+      }
+    }
+    std::printf("%-10s %8zu %9.1f %8.2fx %9.2f %9.2f  %zu\n", "pool",
+                workers, qps, speedup, Percentile(pooled.latency_ms, 0.5),
+                Percentile(pooled.latency_ms, 0.99), pooled.answers);
+    const std::string prefix = "pool_w" + std::to_string(workers) + "/";
+    report.Counter(prefix + "answers", double(pooled.answers));
+    report.Info(prefix + "qps", qps);
+    report.Info(prefix + "speedup", speedup);
+    report.Info(prefix + "p50_ms", Percentile(pooled.latency_ms, 0.5));
+    report.Info(prefix + "p99_ms", Percentile(pooled.latency_ms, 0.99));
+  }
+
+  // ------------------------------------------------------------- overload
+  // Twice the admission cap's worth of deadline-carrying sessions, two
+  // workers: EDF keeps feasible deadlines; the rest truncate. The miss
+  // rate is machine-dependent (info, not gated).
+  {
+    server::PoolOptions popts;
+    popts.num_workers = 2;
+    popts.step_quantum = 1024;
+    popts.max_active = 8;
+    popts.max_waiting = 4096;
+    server::SessionPool pool(engine, popts);
+    std::vector<server::SessionHandle> handles;
+    const size_t overload_n = 64;
+    for (size_t i = 0; i < overload_n; ++i) {
+      Budget budget = Budget::WithTimeout(std::chrono::milliseconds(
+          i % 2 == 0 ? 5 : 50));
+      auto submitted = pool.Submit(queries[i % queries.size()],
+                                   engine.options().search, budget);
+      if (submitted.ok()) handles.push_back(std::move(submitted).value());
+    }
+    size_t missed = 0, delivered = 0;
+    for (auto& handle : handles) {
+      delivered += handle.Drain().size();
+      handle.Wait();
+      if (handle.stats().truncation == Truncation::kDeadline) ++missed;
+    }
+    const double miss_rate = double(missed) / double(handles.size());
+    std::printf("\noverload: %zu sessions (5ms/50ms deadlines) over "
+                "max_active=8, 2 workers:\n  deadline-miss rate %.0f%%, "
+                "%zu answers delivered before truncation\n",
+                handles.size(), miss_rate * 100, delivered);
+    report.Info("overload/miss_rate", miss_rate);
+    report.Info("overload/answers", double(delivered));
+  }
+
+  PrintRule();
+  // Hardware-aware acceptance floor: 4x with 8 workers wherever the
+  // machine has >= 8 threads, proportionally lower with fewer cores; a
+  // machine without real parallelism (< 2 threads) can only check
+  // equivalence — a cooperative pool cannot out-run serial on one core.
+  const unsigned hw = std::thread::hardware_concurrency();
+  double floor = 0.0;
+  if (hw >= 8) {
+    floor = 4.0;
+  } else if (hw >= 2) {
+    floor = 0.5 * double(hw);  // perfect scaling is hw; require half
+  }
+  std::printf("results byte-identical to serial on every run: %s\n",
+              identical ? "yes" : "NO");
+  if (floor > 0) {
+    std::printf("8-worker speedup %.2fx (required floor %.2fx on %u "
+                "hardware threads)\n", speedup8, floor, hw);
+  } else {
+    std::printf("8-worker speedup %.2fx (no floor enforced: %u hardware "
+                "thread(s), throughput scaling unmeasurable)\n",
+                speedup8, hw);
+  }
+  if (!json_path.empty() && !report.WriteJson(json_path)) return 1;
+  // BENCH_SOFT_SPEEDUP=1 (set by CI, whose shared runners have noisy
+  // throughput) demotes a floor miss to a warning; the byte-identical
+  // equivalence check is always hard.
+  bool floor_ok = speedup8 >= floor;
+  if (!floor_ok && std::getenv("BENCH_SOFT_SPEEDUP") != nullptr) {
+    std::printf("WARNING: speedup floor missed (soft mode; not failing)\n");
+    floor_ok = true;
+  }
+  return (identical && floor_ok) ? 0 : 1;
+}

@@ -17,17 +17,22 @@
 //   :log on|off              toggle edge-weight log scaling
 //   :strategy <name>         expansion strategy (backward|forward|bidi)
 //   :stream on|off           print answers as they are generated
+//   :parallel <N> <file>     fire a query file at a session pool of N
+//                            worker threads (concurrent serving demo)
 //   :quit
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/banks.h"
 #include "core/summarize.h"
 #include "datagen/dblp_gen.h"
 #include "eval/workload.h"
+#include "server/session_pool.h"
 #include "storage/csv.h"
 #include "util/timer.h"
 
@@ -118,6 +123,58 @@ void StreamQueryCommand(const BanksEngine& engine, const std::string& query,
     }
   }
   if (live.answers_returned() == 0) std::printf("(no answers)\n");
+}
+
+/// Concurrent serving demo: fires every query of a file at a session
+/// pool with `workers` worker threads and drains the handles as the
+/// workers pump them — the CLI-level face of engine.pool()/SubmitQuery.
+void ParallelCommand(const BanksEngine& engine, size_t workers,
+                     const std::string& path, const SearchOptions& opts) {
+  std::ifstream file(path);
+  if (!file) {
+    std::printf("cannot read query file '%s'\n", path.c_str());
+    return;
+  }
+  std::vector<std::string> queries;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (!line.empty() && line[0] != '#') queries.push_back(line);
+  }
+  if (queries.empty()) {
+    std::printf("no queries in '%s'\n", path.c_str());
+    return;
+  }
+
+  server::PoolOptions popts;
+  popts.num_workers = workers;
+  server::SessionPool pool(engine, popts);
+  Timer wall;
+  std::vector<server::SessionHandle> handles(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto submitted = pool.Submit(queries[i], opts);
+    if (submitted.ok()) {
+      handles[i] = std::move(submitted).value();
+    } else {
+      std::printf("%3zu  %-32s  error: %s\n", i + 1, queries[i].c_str(),
+                  submitted.status().ToString().c_str());
+    }
+  }
+  std::printf("%3s  %-32s %8s %9s %8s\n", "#", "query", "answers", "visits",
+              "top-rel");
+  size_t total_answers = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!handles[i].valid()) continue;
+    auto answers = handles[i].Drain();  // blocks while workers pump
+    total_answers += answers.size();
+    std::printf("%3zu  %-32s %8zu %9zu %8.4f\n", i + 1, queries[i].c_str(),
+                answers.size(), handles[i].stats().iterator_visits,
+                answers.empty() ? 0.0 : answers.front().relevance);
+  }
+  auto stats = pool.stats();
+  std::printf("%zu queries, %zu answers in %.1f ms over %zu workers "
+              "(%zu scheduling slices)\n",
+              queries.size(), total_answers, wall.Millis(),
+              pool.num_workers(), stats.slices);
 }
 
 void QueryCommand(const BanksEngine& engine, const std::string& query,
@@ -253,7 +310,9 @@ int main(int argc, char** argv) {
           "  :structures <kw...>    group answers by structure\n"
           "  :k <n> | :lambda <x> | :log on|off | :quit\n"
           "  :strategy backward|forward|bidi\n"
-          "  :stream on|off         print answers as they are generated\n");
+          "  :stream on|off         print answers as they are generated\n"
+          "  :parallel <N> <file>   fire a query file at a pool of N "
+          "workers\n");
     } else if (cmd == ":tables") {
       PrintTablesCommand(engine);
     } else if (cmd == ":browse") {
@@ -285,6 +344,15 @@ int main(int argc, char** argv) {
       } else {
         std::printf("unknown strategy '%s' (valid: %s)\n", name.c_str(),
                     SearchStrategyNames());
+      }
+    } else if (cmd == ":parallel") {
+      size_t workers = 0;
+      std::string path;
+      ss >> workers >> path;
+      if (workers == 0 || path.empty()) {
+        std::printf("usage: :parallel <N workers> <query file>\n");
+      } else {
+        ParallelCommand(engine, workers, path, search);
       }
     } else if (cmd == ":stream") {
       std::string v;

@@ -14,6 +14,18 @@ std::optional<ScoredAnswer> AnswerStream::Next() {
   return ScoredAnswer{std::move(*tree), rank_++};
 }
 
+PumpOutcome AnswerStream::TryNext(size_t max_steps,
+                                  std::optional<ScoredAnswer>* out) {
+  out->reset();
+  if (search_ == nullptr || cancelled_) return PumpOutcome::kExhausted;
+  PumpOutcome outcome = search_->PumpSlice(max_steps);
+  if (outcome == PumpOutcome::kAnswerReady) {
+    auto tree = search_->NextEmitted();
+    *out = ScoredAnswer{std::move(*tree), rank_++};
+  }
+  return outcome;
+}
+
 void AnswerStream::Cancel() {
   if (search_ != nullptr && !cancelled_) search_->Abort();
   cancelled_ = true;

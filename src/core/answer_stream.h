@@ -40,6 +40,17 @@ class AnswerStream {
   /// stream exhausted or cancelled).
   std::optional<ScoredAnswer> Next();
 
+  /// Bounded pull for cooperative schedulers: advances the stepper by at
+  /// most `max_steps` iterations. On kAnswerReady `*out` holds the answer;
+  /// on kYielded the slice ran out with expansion work remaining (`*out`
+  /// is reset); kExhausted ends the stream.
+  PumpOutcome TryNext(size_t max_steps, std::optional<ScoredAnswer>* out);
+
+  /// Stepper iterations consumed by the underlying run (slice accounting).
+  size_t pump_steps() const {
+    return search_ == nullptr ? 0 : search_->pump_steps();
+  }
+
   /// Early termination: tears down the searcher's frontiers and iterators
   /// without draining the graph. Subsequent Next() calls return nullopt.
   void Cancel();

@@ -2,14 +2,18 @@
 
 #include <utility>
 
+#include "server/session_pool.h"
+
 namespace banks {
 
 BanksEngine::BanksEngine(Database db, BanksOptions options)
     : db_(std::move(db)), options_(std::move(options)) {
+  // Everything built here is immutable afterwards (the inverted index is
+  // finalized inside Build), so the const query path is thread-safe.
   index_.Build(db_);
   metadata_.Build(db_);
   numeric_.Build(db_);
-  dg_ = BuildDataGraph(db_, options_.graph);
+  dg_ = std::make_shared<const DataGraph>(BuildDataGraph(db_, options_.graph));
   // Resolve excluded root tables to ids once.
   for (const auto& name : options_.excluded_root_tables) {
     const Table* t = db_.table(name);
@@ -17,6 +21,31 @@ BanksEngine::BanksEngine(Database db, BanksOptions options)
       options_.search.excluded_root_tables.insert(t->id());
     }
   }
+}
+
+BanksEngine::~BanksEngine() = default;
+
+server::SessionPool& BanksEngine::pool() const {
+  return pool(server::PoolOptions{});
+}
+
+server::SessionPool& BanksEngine::pool(
+    const server::PoolOptions& options) const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<server::SessionPool>(*this, options);
+  }
+  return *pool_;
+}
+
+Result<server::SessionHandle> BanksEngine::SubmitQuery(
+    const std::string& query_text) const {
+  return pool().Submit(query_text);
+}
+
+Result<server::SessionHandle> BanksEngine::SubmitQuery(
+    const std::string& query_text, SearchOptions search, Budget budget) const {
+  return pool().Submit(query_text, std::move(search), budget);
 }
 
 Result<QuerySession> BanksEngine::OpenSession(
@@ -87,7 +116,7 @@ Result<QuerySession> BanksEngine::OpenSessionImpl(
     return Status::InvalidArgument("too many keywords (max 64)");
   }
 
-  KeywordResolver resolver(db_, dg_, index_, metadata_, &numeric_);
+  KeywordResolver resolver(db_, *dg_, index_, metadata_, &numeric_);
   auto matches = resolver.ResolveAllScored(init.parsed, options_.match);
 
   // Reported matches: under authorization, keyword matches in hidden
@@ -100,7 +129,7 @@ Result<QuerySession> BanksEngine::OpenSessionImpl(
     for (auto& set : init.keyword_matches) {
       std::vector<KeywordMatch> kept;
       for (const auto& m : set) {
-        if (!hidden_ids.count(dg_.RidForNode(m.node).table_id)) {
+        if (!hidden_ids.count(dg_->RidForNode(m.node).table_id)) {
           kept.push_back(m);
         }
       }
@@ -134,7 +163,7 @@ Result<QuerySession> BanksEngine::OpenSessionImpl(
     return QuerySession(std::move(init));
   }
 
-  init.dg = &dg_;
+  init.dg = dg_;
   init.budget = budget;
   if (policy != nullptr) {
     // Hidden tuples must not reach the user, yet may sit inside connection
@@ -147,16 +176,16 @@ Result<QuerySession> BanksEngine::OpenSessionImpl(
   }
   // Strategy selection (§3 backward by default; forward / bidirectional
   // via SearchOptions::strategy).
-  init.searcher = CreateExpansionSearch(dg_, std::move(search));
+  init.searcher = CreateExpansionSearch(*dg_, std::move(search));
   return QuerySession(std::move(init));
 }
 
 std::string BanksEngine::Render(const ConnectionTree& tree) const {
-  return RenderAnswer(tree, dg_, db_);
+  return RenderAnswer(tree, *dg_, db_);
 }
 
 std::string BanksEngine::RootLabel(const ConnectionTree& tree) const {
-  return NodeLabel(tree.root, dg_, db_);
+  return NodeLabel(tree.root, *dg_, db_);
 }
 
 }  // namespace banks

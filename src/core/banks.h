@@ -27,6 +27,7 @@
 #define BANKS_CORE_BANKS_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,12 @@
 #include "util/status.h"
 
 namespace banks {
+
+namespace server {
+class SessionPool;
+class SessionHandle;
+struct PoolOptions;
+}  // namespace server
 
 /// Engine-wide configuration.
 struct BanksOptions {
@@ -65,6 +72,29 @@ class BanksEngine {
  public:
   /// Takes ownership of `db` and builds all derived structures.
   explicit BanksEngine(Database db, BanksOptions options = {});
+  ~BanksEngine();  // defined where server::SessionPool is complete
+
+  // ------------------------------------------------- concurrent serving
+  // Threading model: the database, indexes and graph snapshot are
+  // immutable after construction, so every const method here is safe to
+  // call from any thread. Each QuerySession's mutable search state is
+  // confined to whichever thread is driving it; the pool gives every
+  // submitted query a SessionHandle whose methods are thread-safe.
+
+  /// The engine's session pool, started lazily on first use. `options`
+  /// takes effect only on the call that starts the pool. Thread-safe.
+  server::SessionPool& pool() const;
+  server::SessionPool& pool(const server::PoolOptions& options) const;
+
+  /// Submits a query for concurrent execution on the pool's worker
+  /// threads and returns a thread-safe handle: NextBatch/Next block until
+  /// workers produce answers, Cancel() aborts from any thread. Errors
+  /// (bad query, pool overload) surface through the Result.
+  Result<server::SessionHandle> SubmitQuery(const std::string& query_text)
+      const;
+  Result<server::SessionHandle> SubmitQuery(const std::string& query_text,
+                                            SearchOptions search,
+                                            Budget budget = {}) const;
 
   // ---------------------------------------------------------- streaming
   /// Opens a streaming query session with the engine's default search
@@ -114,7 +144,13 @@ class BanksEngine {
   std::string RootLabel(const ConnectionTree& tree) const;
 
   const Database& db() const { return db_; }
-  const DataGraph& data_graph() const { return dg_; }
+  const DataGraph& data_graph() const { return *dg_; }
+
+  /// The engine's current immutable graph snapshot. Every session holds a
+  /// reference to the snapshot it was opened on, so a future refreeze can
+  /// swap the engine's snapshot atomically without invalidating in-flight
+  /// queries.
+  DataGraphSnapshot graph_snapshot() const { return dg_; }
   const InvertedIndex& inverted_index() const { return index_; }
   const MetadataIndex& metadata_index() const { return metadata_; }
   const NumericIndex& numeric_index() const { return numeric_; }
@@ -133,7 +169,12 @@ class BanksEngine {
   InvertedIndex index_;
   MetadataIndex metadata_;
   NumericIndex numeric_;
-  DataGraph dg_;
+  DataGraphSnapshot dg_;
+
+  // Lazily started session pool (see pool()); mutable because serving is
+  // logically const.
+  mutable std::mutex pool_mu_;
+  mutable std::unique_ptr<server::SessionPool> pool_;
 };
 
 }  // namespace banks

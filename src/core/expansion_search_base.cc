@@ -110,6 +110,7 @@ void ExpansionSearchBase::Begin(
   num_terms_ = n;
   results_.clear();
   cursor_ = 0;
+  pump_steps_ = 0;
   stats_ = SearchStats{};
   done_ = false;
   dedup_ = DedupTable{};
@@ -145,18 +146,24 @@ void ExpansionSearchBase::Begin(
 }
 
 bool ExpansionSearchBase::PumpUntilAnswer() {
-  for (;;) {
-    if (cursor_ < results_.size()) return true;
+  return PumpSlice(SIZE_MAX) == PumpOutcome::kAnswerReady;
+}
+
+PumpOutcome ExpansionSearchBase::PumpSlice(size_t max_steps) {
+  for (size_t step = 0; step < max_steps; ++step) {
+    if (cursor_ < results_.size()) return PumpOutcome::kAnswerReady;
     switch (phase_) {
       case RunPhase::kIdle:
       case RunPhase::kDone:
-        return false;
+        return PumpOutcome::kExhausted;
       case RunPhase::kExpanding:
+        ++pump_steps_;
         if (!ExpansionBudgetOk() || !ExecuteStep()) {
           EndExpansion(/*ran_strategy=*/true);
         }
         break;
       case RunPhase::kDraining: {
+        ++pump_steps_;
         const size_t want =
             options_.exhaustive ? SIZE_MAX : options_.max_answers;
         if (results_.size() >= want) {
@@ -173,6 +180,12 @@ bool ExpansionSearchBase::PumpUntilAnswer() {
       }
     }
   }
+  if (cursor_ < results_.size()) return PumpOutcome::kAnswerReady;
+  // Also correct for max_steps == 0 on an idle/finished run.
+  if (phase_ == RunPhase::kIdle || phase_ == RunPhase::kDone) {
+    return PumpOutcome::kExhausted;
+  }
+  return PumpOutcome::kYielded;
 }
 
 std::optional<ConnectionTree> ExpansionSearchBase::NextEmitted() {

@@ -128,6 +128,17 @@ struct SearchOptions {
 /// work cap. When the budget runs out mid-expansion the run stops early,
 /// the answers generated so far are still drained in relevance order, and
 /// SearchStats::truncation records why.
+///
+/// Overshoot contract: the deadline (and the visit cap) is re-checked
+/// *between* steps, never inside one, so a run may overshoot its deadline
+/// by at most one step of work: one frontier expansion plus the tree
+/// generation that visit triggers (for forward search, ranking one
+/// candidate root). A deadline already in the past therefore yields zero
+/// expansion work and zero answers — Begin() itself never expands — with
+/// SearchStats::truncation set to Truncation::kDeadline on the first pump.
+/// Tree generation is the unbounded part of a step (a visit's cross
+/// product can be large on adversarial graphs); callers needing hard
+/// bounds should pair the deadline with a visit cap.
 struct Budget {
   /// Wall-clock deadline; time_point::max() = none.
   std::chrono::steady_clock::time_point deadline =
@@ -153,6 +164,15 @@ struct Budget {
     b.max_visits = visits;
     return b;
   }
+};
+
+/// Outcome of one bounded stepper slice (PumpSlice). Cooperative
+/// schedulers use this to multiplex many sessions over a few threads: a
+/// kYielded session goes back to the run queue, the others retire.
+enum class PumpOutcome : uint8_t {
+  kAnswerReady,  ///< at least one unconsumed answer is buffered
+  kExhausted,    ///< the run is over and nothing is buffered
+  kYielded,      ///< the step bound was hit; expansion work remains
 };
 
 /// Why a run stopped expanding before its natural end.
@@ -215,6 +235,17 @@ class ExpansionSearchBase {
   /// the run is over. Returns true iff an answer is ready.
   bool PumpUntilAnswer();
 
+  /// Bounded variant for cooperative scheduling: advances the run by at
+  /// most `max_steps` stepper iterations (each one strategy step or one
+  /// output-heap pop) and reports why it stopped. A pool worker pumps a
+  /// slice, then requeues the session if it yielded — so one heavy query
+  /// cannot monopolise a worker thread.
+  PumpOutcome PumpSlice(size_t max_steps);
+
+  /// Total stepper iterations consumed by the current run (the unit
+  /// `PumpSlice` counts in). Monotone within a run; reset by Begin().
+  size_t pump_steps() const { return pump_steps_; }
+
   /// Consumes and returns the next answer, expanding only as far as needed
   /// to produce it (nullopt = stream exhausted).
   std::optional<ConnectionTree> NextEmitted();
@@ -228,6 +259,11 @@ class ExpansionSearchBase {
   /// default-constructed Budget to clear.
   void set_budget(const Budget& budget) { budget_ = budget; }
   const Budget& budget() const { return budget_; }
+
+  /// Thread-safety: an ExpansionSearchBase confines all mutable run state
+  /// to itself — concurrent runs over one (const) DataGraph are safe as
+  /// long as each searcher is driven by one thread at a time. The graph,
+  /// scorer inputs and options are never written after construction.
 
   const SearchStats& stats() const { return stats_; }
   const SearchOptions& options() const { return options_; }
@@ -374,6 +410,7 @@ class ExpansionSearchBase {
   RunPhase phase_ = RunPhase::kIdle;
   size_t cursor_ = 0;      // results_ entries already consumed by the stream
   size_t num_terms_ = 0;   // of the current run
+  size_t pump_steps_ = 0;  // stepper iterations consumed (PumpSlice unit)
   Budget budget_;
 };
 

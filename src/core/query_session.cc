@@ -11,7 +11,7 @@ QuerySession::QuerySession(QuerySessionInit init)
       keyword_nodes_(std::move(init.keyword_nodes)),
       dropped_terms_(std::move(init.dropped_terms)),
       active_terms_(std::move(init.active_terms)),
-      dg_(init.dg),
+      dg_(std::move(init.dg)),
       policy_(std::move(init.policy)),
       hidden_table_ids_(std::move(init.hidden_table_ids)),
       deliver_cap_(init.deliver_cap) {
@@ -76,6 +76,29 @@ bool QuerySession::HasNext() {
   return lookahead_.has_value();
 }
 
+PumpOutcome QuerySession::PumpSlice(size_t max_steps,
+                                    std::optional<ScoredAnswer>* out) {
+  out->reset();
+  if (lookahead_.has_value()) {  // HasNext() may have buffered one
+    *out = std::move(lookahead_);
+    lookahead_.reset();
+    (*out)->rank = delivered_++;
+    return PumpOutcome::kAnswerReady;
+  }
+  if (delivered_ >= deliver_cap_) return PumpOutcome::kExhausted;
+  PumpOutcome outcome = stream_.TryNext(max_steps, out);
+  if (outcome != PumpOutcome::kAnswerReady) return outcome;
+  if (!Visible((*out)->tree)) {
+    // One hidden answer consumed (part of) the slice; yield so a
+    // cooperative scheduler re-evaluates before more work happens here.
+    out->reset();
+    return PumpOutcome::kYielded;
+  }
+  RemapDroppedTerms(&(*out)->tree);
+  (*out)->rank = delivered_++;
+  return PumpOutcome::kAnswerReady;
+}
+
 std::vector<ConnectionTree> QuerySession::NextBatch(size_t k) {
   std::vector<ConnectionTree> page;
   page.reserve(k);
@@ -111,6 +134,11 @@ void QuerySession::Cancel() {
 
 void QuerySession::set_budget(const Budget& budget) {
   if (searcher_ != nullptr) searcher_->set_budget(budget);
+}
+
+const Budget& QuerySession::budget() const {
+  static const Budget kUnlimited{};
+  return searcher_ == nullptr ? kUnlimited : searcher_->budget();
 }
 
 }  // namespace banks

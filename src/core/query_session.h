@@ -49,7 +49,9 @@ struct QuerySessionInit {
   std::vector<std::vector<KeywordMatch>> active_sets;
   std::vector<size_t> dropped_terms;
   std::vector<size_t> active_terms;  ///< original index of each active term
-  const DataGraph* dg = nullptr;
+  /// Immutable graph snapshot the session reads. Holding the shared_ptr
+  /// (not a raw pointer) lets sessions outlive an engine-side refreeze.
+  DataGraphSnapshot dg;
   /// Authorization (§7): answers touching hidden tuples are skipped as
   /// they stream out; the searcher oversamples to compensate.
   AuthPolicy policy;
@@ -83,6 +85,18 @@ class QuerySession {
   /// empty vector means the stream is exhausted.
   std::vector<ConnectionTree> NextBatch(size_t k);
 
+  /// Bounded pull for cooperative schedulers (see server/session_pool.h):
+  /// advances the search by at most `max_steps` stepper iterations.
+  /// kAnswerReady fills `*out` (visibility-filtered, terms remapped);
+  /// kYielded means the slice ran out — or one auth-filtered answer was
+  /// discarded — with work remaining; kExhausted ends the session's
+  /// stream. Not thread-safe: one driver at a time, like every other
+  /// QuerySession method (SessionHandle provides the thread-safe facade).
+  PumpOutcome PumpSlice(size_t max_steps, std::optional<ScoredAnswer>* out);
+
+  /// Stepper iterations consumed so far (the PumpSlice accounting unit).
+  size_t pump_steps() const { return stream_.pump_steps(); }
+
   /// Pulls everything left in the stream.
   std::vector<ConnectionTree> Drain();
 
@@ -97,6 +111,9 @@ class QuerySession {
   /// Replaces the per-session budget mid-stream (e.g. a fresh deadline for
   /// the next page).
   void set_budget(const Budget& budget);
+
+  /// The budget currently governing the run (the scheduler's EDF key).
+  const Budget& budget() const;
 
   /// Live counters of the underlying run (incremental mid-stream).
   const SearchStats& stats() const { return stream_.stats(); }
@@ -128,7 +145,7 @@ class QuerySession {
   std::vector<std::vector<NodeId>> keyword_nodes_;
   std::vector<size_t> dropped_terms_;
   std::vector<size_t> active_terms_;
-  const DataGraph* dg_ = nullptr;
+  DataGraphSnapshot dg_;
   AuthPolicy policy_;
   std::unordered_set<uint32_t> hidden_table_ids_;
   size_t deliver_cap_ = SIZE_MAX;

@@ -7,6 +7,7 @@
 #ifndef BANKS_GRAPH_GRAPH_BUILDER_H_
 #define BANKS_GRAPH_GRAPH_BUILDER_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -54,6 +55,13 @@ struct DataGraph {
   /// Estimated bytes for the in-memory structures (§5.2 experiment).
   size_t MemoryBytes() const;
 };
+
+/// Shared immutable snapshot of one frozen data graph. Concurrent readers
+/// (sessions, pool workers) each hold a reference; a future refreeze swaps
+/// the engine's snapshot atomically while in-flight sessions keep serving
+/// from the graph they started on. The const element type makes the
+/// no-writes-after-freeze rule a compile-time property.
+using DataGraphSnapshot = std::shared_ptr<const DataGraph>;
 
 /// Builds the data graph. The database's reverse index is built as a side
 /// effect. Node ids are assigned in (table, row) order — deterministic.

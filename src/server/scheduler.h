@@ -1,0 +1,71 @@
+// Deadline-aware run queue of the session pool.
+//
+// Scheduling policy (cooperative, slice-based):
+//   1. earliest deadline first — a session whose Budget carries a
+//      wall-clock deadline outranks every session with a later (or no)
+//      deadline, so tight-deadline queries cut ahead of batch work;
+//   2. least attained service — among equal deadlines the session that
+//      has consumed the fewest stepper iterations runs next, so a heavy
+//      query cannot starve cheap ones (each slice re-sorts the heavy
+//      query behind the light ones it has outspent);
+//   3. admission order — the final tie-break keeps the order total and
+//      deterministic.
+//
+// The queue is a plain data structure, synchronised externally by the
+// pool's scheduler lock; it never blocks and never touches the tasks.
+#ifndef BANKS_SERVER_SCHEDULER_H_
+#define BANKS_SERVER_SCHEDULER_H_
+
+#include <cstddef>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "server/session_handle.h"
+
+namespace banks::server {
+
+/// One runnable task plus the priority key it was enqueued with. The key
+/// is frozen at push time (deadline and seq never change; steps advance
+/// only while a worker owns the task, and the task re-enters the queue
+/// with its refreshed step count).
+struct RunnableTask {
+  std::chrono::steady_clock::time_point deadline;
+  size_t steps = 0;
+  uint64_t seq = 0;
+  std::shared_ptr<ServerTask> task;
+
+  bool operator>(const RunnableTask& o) const {
+    if (deadline != o.deadline) return deadline > o.deadline;
+    if (steps != o.steps) return steps > o.steps;
+    return seq > o.seq;
+  }
+};
+
+/// Min-priority run queue over RunnableTask (see policy above).
+class EdfRunQueue {
+ public:
+  void Push(std::shared_ptr<ServerTask> task) {
+    heap_.push(RunnableTask{task->deadline, task->steps, task->seq,
+                            std::move(task)});
+  }
+
+  /// Pops the highest-priority runnable task (queue must be non-empty).
+  std::shared_ptr<ServerTask> Pop() {
+    std::shared_ptr<ServerTask> task = heap_.top().task;
+    heap_.pop();
+    return task;
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+ private:
+  std::priority_queue<RunnableTask, std::vector<RunnableTask>,
+                      std::greater<RunnableTask>>
+      heap_;
+};
+
+}  // namespace banks::server
+
+#endif  // BANKS_SERVER_SCHEDULER_H_

@@ -1,0 +1,77 @@
+#include "server/session_handle.h"
+
+#include <utility>
+
+namespace banks::server {
+
+std::optional<ScoredAnswer> SessionHandle::Next() {
+  if (task_ == nullptr) return std::nullopt;
+  std::unique_lock<std::mutex> lock(task_->mu);
+  task_->cv.wait(lock, [&] {
+    return !task_->ready.empty() || task_->finished ||
+           task_->cancel_requested.load(std::memory_order_acquire);
+  });
+  if (task_->ready.empty()) return std::nullopt;
+  ScoredAnswer answer = std::move(task_->ready.front());
+  task_->ready.pop_front();
+  return answer;
+}
+
+std::optional<ScoredAnswer> SessionHandle::TryNext() {
+  if (task_ == nullptr) return std::nullopt;
+  std::lock_guard<std::mutex> lock(task_->mu);
+  if (task_->ready.empty()) return std::nullopt;
+  ScoredAnswer answer = std::move(task_->ready.front());
+  task_->ready.pop_front();
+  return answer;
+}
+
+std::vector<ConnectionTree> SessionHandle::NextBatch(size_t k) {
+  std::vector<ConnectionTree> page;
+  page.reserve(k);
+  while (page.size() < k) {
+    auto answer = Next();
+    if (!answer.has_value()) break;
+    page.push_back(std::move(answer->tree));
+  }
+  return page;
+}
+
+std::vector<ConnectionTree> SessionHandle::Drain() {
+  std::vector<ConnectionTree> rest;
+  while (auto answer = Next()) rest.push_back(std::move(answer->tree));
+  return rest;
+}
+
+void SessionHandle::Cancel() {
+  if (task_ == nullptr) return;
+  // Flag first (workers check it at slice boundaries), then drop what was
+  // already buffered and wake any blocked consumer — it will observe the
+  // flag through the wait predicate and return empty-handed.
+  task_->cancel_requested.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(task_->mu);
+  task_->ready.clear();
+  task_->cv.notify_all();
+}
+
+bool SessionHandle::Done() const {
+  if (task_ == nullptr) return true;
+  std::lock_guard<std::mutex> lock(task_->mu);
+  return task_->ready.empty() &&
+         (task_->finished ||
+          task_->cancel_requested.load(std::memory_order_acquire));
+}
+
+void SessionHandle::Wait() const {
+  if (task_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(task_->mu);
+  task_->cv.wait(lock, [&] { return task_->finished; });
+}
+
+SearchStats SessionHandle::stats() const {
+  if (task_ == nullptr) return SearchStats{};
+  std::lock_guard<std::mutex> lock(task_->mu);
+  return task_->stats;
+}
+
+}  // namespace banks::server

@@ -1,0 +1,128 @@
+// SessionHandle — the thread-safe face of one pooled query.
+//
+// SessionPool::Submit wraps a QuerySession in a ServerTask and returns a
+// SessionHandle. The session itself stays *confined*: only the worker
+// thread currently holding the task pumps its stepper. The handle and the
+// workers meet exclusively through the task's mutex-guarded answer buffer,
+// so every handle method is safe to call from any thread — including
+// concurrently with the workers and with other handle calls (e.g. one
+// thread blocked in NextBatch while another calls Cancel).
+#ifndef BANKS_SERVER_SESSION_HANDLE_H_
+#define BANKS_SERVER_SESSION_HANDLE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/query_session.h"
+
+namespace banks::server {
+
+/// State shared between the submitter (through SessionHandle) and the
+/// pool's workers. Lifetime is shared_ptr-managed: a handle may outlive
+/// the pool and vice versa. Three ownership domains:
+///   - immutable after Submit: seq, deadline, parsed, dropped_terms
+///   - confined to the worker currently running the task (handed between
+///     workers through the pool's scheduler lock): session, steps
+///   - shared, guarded by mu: everything else
+struct ServerTask {
+  // ----------------------------------------------- immutable after Submit
+  uint64_t seq = 0;  ///< admission order (scheduler tie-break)
+  /// EDF key, taken from the session's Budget (max() = no deadline).
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  ParsedQuery parsed;                 ///< copied out of the session
+  std::vector<size_t> dropped_terms;  ///< copied out of the session
+
+  // ------------------------------------------------------ worker-confined
+  /// The live query. Only the worker that popped this task from the run
+  /// queue may touch it; handles never do. Once `finished` is set no
+  /// thread touches it again.
+  QuerySession session;
+  /// Stepper iterations consumed so far — the scheduler's fairness key.
+  /// Written by the owning worker between slices, read by the pool while
+  /// the task sits in the run queue (handoff through the pool lock).
+  size_t steps = 0;
+
+  // ------------------------------------------------- shared, guarded by mu
+  mutable std::mutex mu;
+  std::condition_variable cv;     ///< answers arrived / task finished
+  std::deque<ScoredAnswer> ready; ///< produced, not yet consumed
+  SearchStats stats;              ///< refreshed after every slice
+  bool finished = false;   ///< workers will never touch `session` again
+  bool cancelled = false;  ///< finished by cancellation (not exhaustion)
+
+  /// Set by SessionHandle::Cancel; observed by the worker at its next
+  /// slice boundary (atomic so the handle never needs the pool's lock).
+  std::atomic<bool> cancel_requested{false};
+};
+
+/// Thread-safe cursor over one pooled query's answers. Copyable — copies
+/// share the underlying task, so one thread can consume answers while
+/// another cancels. A default-constructed handle is empty (Done() true).
+class SessionHandle {
+ public:
+  SessionHandle() = default;
+
+  /// Blocks until the workers produce the next answer, the stream is
+  /// exhausted, or the session is cancelled (nullopt = no more answers).
+  std::optional<ScoredAnswer> Next();
+
+  /// Non-blocking: an answer if one is already buffered.
+  std::optional<ScoredAnswer> TryNext();
+
+  /// Blocks until `k` further answers arrived or the stream ended. An
+  /// empty vector means no answers are left.
+  std::vector<ConnectionTree> NextBatch(size_t k);
+
+  /// Blocks until the stream ends; returns everything left.
+  std::vector<ConnectionTree> Drain();
+
+  /// Requests cancellation: buffered answers are dropped, subsequent
+  /// Next/NextBatch calls return nothing (waiters wake immediately), and
+  /// the worker tears the search down at its next slice boundary. Safe
+  /// from any thread; idempotent.
+  void Cancel();
+
+  /// True when no further answer will ever be delivered and the buffer is
+  /// empty. Non-blocking.
+  bool Done() const;
+
+  /// Blocks until the worker side is finished with the session (stream
+  /// exhausted, cancelled, or pool shut down).
+  void Wait() const;
+
+  /// Snapshot of the underlying run's counters (refreshed per slice).
+  SearchStats stats() const;
+
+  /// True iff this handle carries a session.
+  bool valid() const { return task_ != nullptr; }
+
+  /// The interpreted query (immutable; safe without synchronisation).
+  const ParsedQuery& parsed() const {
+    static const ParsedQuery kEmpty{};
+    return task_ == nullptr ? kEmpty : task_->parsed;
+  }
+  /// Terms dropped by partial matching (immutable).
+  const std::vector<size_t>& dropped_terms() const {
+    static const std::vector<size_t> kNone{};
+    return task_ == nullptr ? kNone : task_->dropped_terms;
+  }
+
+ private:
+  friend class SessionPool;
+  explicit SessionHandle(std::shared_ptr<ServerTask> task)
+      : task_(std::move(task)) {}
+
+  std::shared_ptr<ServerTask> task_;
+};
+
+}  // namespace banks::server
+
+#endif  // BANKS_SERVER_SESSION_HANDLE_H_

@@ -1,0 +1,218 @@
+#include "server/session_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/banks.h"
+
+namespace banks::server {
+
+namespace {
+
+PoolOptions Normalize(PoolOptions options) {
+  if (options.num_workers == 0) {
+    options.num_workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  options.step_quantum = std::max<size_t>(1, options.step_quantum);
+  options.max_active = std::max<size_t>(1, options.max_active);
+  return options;
+}
+
+}  // namespace
+
+SessionPool::SessionPool(const BanksEngine& engine, PoolOptions options)
+    : engine_(&engine), options_(Normalize(options)) {
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+SessionPool::~SessionPool() { Shutdown(); }
+
+Result<SessionHandle> SessionPool::Submit(const std::string& query_text) {
+  return Submit(query_text, engine_->options().search, Budget{});
+}
+
+Result<SessionHandle> SessionPool::Submit(const std::string& query_text,
+                                          SearchOptions search,
+                                          Budget budget) {
+  // Keyword resolution runs on the submitting thread (a pure read of the
+  // engine's immutable indexes), so workers only ever pump steppers.
+  auto session = engine_->OpenSession(query_text, std::move(search), budget);
+  if (!session.ok()) return session.status();
+  return Submit(std::move(session).value());
+}
+
+Result<SessionHandle> SessionPool::Submit(QuerySession session) {
+  auto task = std::make_shared<ServerTask>();
+  task->deadline = session.budget().deadline;
+  task->parsed = session.parsed();
+  task->dropped_terms = session.dropped_terms();
+  task->session = std::move(session);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) {
+    ++counters_.rejected;
+    return Status::FailedPrecondition("session pool is shut down");
+  }
+  task->seq = next_seq_++;
+  if (active_ < options_.max_active) {
+    ++active_;
+    ++counters_.submitted;
+    ready_.Push(task);
+    work_cv_.notify_one();
+  } else if (waiting_.size() < options_.max_waiting) {
+    ++counters_.submitted;
+    waiting_.push_back(task);
+  } else {
+    ++counters_.rejected;
+    return Status::FailedPrecondition(
+        "session pool overloaded: admission queue full (" +
+        std::to_string(options_.max_active) + " active + " +
+        std::to_string(options_.max_waiting) + " waiting)");
+  }
+  return SessionHandle(std::move(task));
+}
+
+void SessionPool::AdmitLocked() {
+  while (active_ < options_.max_active && !waiting_.empty()) {
+    std::shared_ptr<ServerTask> task = std::move(waiting_.front());
+    waiting_.pop_front();
+    ++active_;
+    ready_.Push(std::move(task));
+    work_cv_.notify_one();
+  }
+}
+
+void SessionPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stopping_ || !ready_.empty(); });
+    if (stopping_) return;
+    std::shared_ptr<ServerTask> task = ready_.Pop();
+    ++counters_.slices;
+    lock.unlock();
+
+    SliceResult result = RunSlice(*task);
+
+    lock.lock();
+    if (stopping_ && !result.finished) {
+      // Shutdown raced this slice: the task must not be requeued (the run
+      // queue is being drained), so retire it as cancelled.
+      result.finished = true;
+      result.cancelled = true;
+    }
+    if (result.finished) {
+      // Counters first, then the task-visible finished flag — so once a
+      // handle's Wait() returns, stats() already reflects this session.
+      --active_;
+      ++counters_.completed;
+      if (result.cancelled) ++counters_.cancelled;
+      if (result.deadline_truncated) ++counters_.deadline_truncated;
+      AdmitLocked();
+      lock.unlock();
+      FinishTask(*task, result.cancelled);
+      lock.lock();
+    } else {
+      ready_.Push(std::move(task));
+      work_cv_.notify_one();
+    }
+  }
+}
+
+SessionPool::SliceResult SessionPool::RunSlice(ServerTask& task) {
+  SliceResult result;
+  if (task.cancel_requested.load(std::memory_order_acquire)) {
+    task.session.Cancel();  // confined teardown; WorkerLoop retires us
+    result.finished = true;
+    result.cancelled = true;
+    return result;
+  }
+
+  const size_t quantum = options_.step_quantum;
+  size_t used = 0;
+  std::vector<ScoredAnswer> produced;
+  bool exhausted = false;
+  while (used < quantum) {
+    const size_t before = task.session.pump_steps();
+    std::optional<ScoredAnswer> answer;
+    PumpOutcome outcome = task.session.PumpSlice(quantum - used, &answer);
+    const size_t after = task.session.pump_steps();
+    // Buffered answers cost no stepper work; still count one unit so a
+    // slice always terminates.
+    used += std::max<size_t>(1, after - before);
+    if (answer.has_value()) produced.push_back(std::move(*answer));
+    if (outcome == PumpOutcome::kExhausted) {
+      exhausted = true;
+      break;
+    }
+  }
+  task.steps = task.session.pump_steps();
+  if (exhausted &&
+      task.session.stats().truncation == Truncation::kDeadline) {
+    result.deadline_truncated = true;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(task.mu);
+    // A cancel may have landed mid-slice; honour it rather than publish.
+    if (task.cancel_requested.load(std::memory_order_acquire)) {
+      produced.clear();
+    } else {
+      for (auto& a : produced) task.ready.push_back(std::move(a));
+    }
+    task.stats = task.session.stats();
+    if (!task.ready.empty()) task.cv.notify_all();
+  }
+  // The finished flag is set by WorkerLoop (via FinishTask) after the
+  // pool counters are final, so Wait()+stats() never race.
+  result.finished = exhausted;
+  return result;
+}
+
+void SessionPool::FinishTask(ServerTask& task, bool cancelled) {
+  std::lock_guard<std::mutex> lock(task.mu);
+  task.stats = task.session.stats();
+  task.finished = true;
+  task.cancelled = cancelled;
+  task.cv.notify_all();
+}
+
+void SessionPool::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  std::vector<std::shared_ptr<ServerTask>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    // Tasks still owned by a worker mid-slice are retired by that worker
+    // (it observes stopping_ when its slice ends) — only queued ones are
+    // drained here. active_ stays consistent: queued tasks give theirs
+    // back now, running ones when their worker retires them.
+    while (!ready_.empty()) {
+      orphans.push_back(ready_.Pop());
+      --active_;
+    }
+    for (auto& task : waiting_) orphans.push_back(std::move(task));
+    waiting_.clear();
+    counters_.cancelled += orphans.size();
+    counters_.completed += orphans.size();
+    work_cv_.notify_all();
+  }
+  // No worker owns these tasks any more (they were still queued), so the
+  // sessions are safe to retire from here.
+  for (auto& task : orphans) FinishTask(*task, /*cancelled=*/true);
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+PoolStats SessionPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PoolStats snapshot = counters_;
+  snapshot.active = active_;
+  snapshot.waiting = waiting_.size();
+  return snapshot;
+}
+
+}  // namespace banks::server

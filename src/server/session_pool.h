@@ -1,0 +1,155 @@
+// SessionPool — concurrent query serving over one immutable graph snapshot.
+//
+// BANKS is an interactive system: many users fire keyword queries at one
+// database at once. PR 2 made every search a resumable stepper with a
+// per-run Budget; the pool multiplexes an unbounded set of those steppers
+// over a fixed set of worker threads, cooperatively:
+//
+//   auto& pool = engine.pool();                  // starts workers lazily
+//   auto handle = pool.Submit("soumen sunita",
+//                             engine.options().search,
+//                             Budget::WithTimeout(50ms));
+//   for (const auto& tree : handle.value().NextBatch(10))
+//     std::cout << engine.Render(tree);          // blocks as workers pump
+//
+// Scheduling: workers repeatedly pop the best runnable session from an
+// EDF run queue (earliest deadline, then least attained service, then
+// admission order — see scheduler.h), pump its stepper for one
+// `step_quantum` slice, publish any answers to the session's handle, and
+// requeue it. Slices keep one heavy query from starving cheap ones;
+// deadlines are enforced twice — as scheduling priority here and as hard
+// Budget truncation inside the stepper.
+//
+// Admission: at most `max_active` sessions are runnable at once; the next
+// `max_waiting` wait in FIFO order; beyond that Submit rejects. The caps
+// bound memory and keep latency predictable under overload.
+//
+// Thread-safety: the pool relies on the engine's read path being
+// immutable after construction (database, indexes, frozen graph). Each
+// QuerySession holds a shared_ptr to the DataGraph snapshot and confines
+// its mutable stepper state to one worker at a time, handed off through
+// the scheduler lock. Concurrent execution therefore returns *exactly*
+// the answers a serial run returns.
+#ifndef BANKS_SERVER_SESSION_POOL_H_
+#define BANKS_SERVER_SESSION_POOL_H_
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/scheduler.h"
+#include "server/session_handle.h"
+#include "util/status.h"
+
+namespace banks {
+class BanksEngine;
+}  // namespace banks
+
+namespace banks::server {
+
+/// Pool sizing and scheduling knobs.
+struct PoolOptions {
+  /// Worker threads pumping sessions. 0 = hardware concurrency.
+  size_t num_workers = 0;
+
+  /// Stepper iterations one worker spends on a session before the
+  /// scheduler re-evaluates (the preemption granularity). Small = fairer
+  /// and more deadline-responsive; large = less scheduling overhead.
+  size_t step_quantum = 4096;
+
+  /// Admission cap: sessions runnable at once. Bounds the working set.
+  size_t max_active = 64;
+
+  /// Bounded FIFO wait queue behind the admission cap; a Submit beyond
+  /// both caps is rejected with FailedPrecondition ("overloaded").
+  size_t max_waiting = 1024;
+};
+
+/// Monotone counters plus instantaneous gauges (active/waiting).
+struct PoolStats {
+  size_t submitted = 0;   ///< sessions accepted by Submit
+  size_t rejected = 0;    ///< Submits refused (queue full / shut down)
+  size_t completed = 0;   ///< sessions finished (any reason)
+  size_t cancelled = 0;   ///< ... of which by Cancel or shutdown
+  size_t deadline_truncated = 0;  ///< ... of which stopped by their deadline
+  size_t slices = 0;      ///< scheduling quanta executed
+  size_t active = 0;      ///< currently runnable or running
+  size_t waiting = 0;     ///< currently queued behind the admission cap
+};
+
+/// Fixed set of worker threads multiplexing concurrent QuerySessions.
+class SessionPool {
+ public:
+  /// Starts `options.num_workers` workers. The engine must outlive the
+  /// pool (BanksEngine::pool() ties the two lifetimes together).
+  explicit SessionPool(const BanksEngine& engine, PoolOptions options = {});
+
+  /// Cancels every outstanding session and joins the workers.
+  ~SessionPool();
+
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  /// Opens a session (keyword resolution runs on the calling thread) and
+  /// schedules it. Fails on bad queries and on overload.
+  Result<SessionHandle> Submit(const std::string& query_text);
+  Result<SessionHandle> Submit(const std::string& query_text,
+                               SearchOptions search, Budget budget = {});
+
+  /// Schedules a pre-opened session (its Budget's deadline becomes the
+  /// scheduling priority). Fails on overload.
+  Result<SessionHandle> Submit(QuerySession session);
+
+  /// Cancels outstanding sessions, wakes every blocked handle, joins the
+  /// workers. Idempotent; also safe to call concurrently.
+  void Shutdown();
+
+  size_t num_workers() const { return workers_.size(); }
+  const PoolOptions& options() const { return options_; }
+
+  /// Snapshot of the pool counters.
+  PoolStats stats() const;
+
+ private:
+  void WorkerLoop();
+
+  /// Outcome of one scheduling slice, classified for the counters.
+  struct SliceResult {
+    bool finished = false;
+    bool cancelled = false;
+    bool deadline_truncated = false;
+  };
+
+  /// Pumps `task` for one quantum without holding the scheduler lock;
+  /// publishes answers / completion to the task's handle side.
+  SliceResult RunSlice(ServerTask& task);
+
+  /// Marks a task finished (optionally as cancelled) and wakes waiters.
+  static void FinishTask(ServerTask& task, bool cancelled);
+
+  /// Moves waiting sessions into the run queue while capacity remains.
+  /// Caller holds mu_.
+  void AdmitLocked();
+
+  const BanksEngine* engine_;
+  PoolOptions options_;
+
+  mutable std::mutex mu_;        // scheduler state below
+  std::condition_variable work_cv_;
+  EdfRunQueue ready_;
+  std::deque<std::shared_ptr<ServerTask>> waiting_;
+  size_t active_ = 0;
+  uint64_t next_seq_ = 0;
+  bool stopping_ = false;
+  PoolStats counters_;
+
+  std::mutex shutdown_mu_;       // serialises Shutdown callers (join once)
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace banks::server
+
+#endif  // BANKS_SERVER_SESSION_POOL_H_

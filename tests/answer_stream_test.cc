@@ -314,6 +314,83 @@ TEST(AnswerStreamTest, FutureDeadlineDoesNotTruncateSmallQuery) {
   EXPECT_FALSE(answers.empty());
 }
 
+TEST(AnswerStreamTest, ExpiredDeadlineYieldsZeroAnswersForAllStrategies) {
+  // The documented overshoot contract (expansion_search_base.h): budgets
+  // are checked between steps, so a deadline already in the past must
+  // stop every strategy before any expansion work — zero answers, zero
+  // visits, truncation recorded.
+  const BanksEngine& engine = Workload().dblp_engine();
+  auto sets = ResolveSets(engine, "author paper");
+  for (SearchStrategy strategy : kAllStrategies) {
+    SearchOptions options = engine.options().search;
+    options.strategy = strategy;
+    auto searcher = CreateExpansionSearch(engine.data_graph(), options);
+    Budget budget;
+    budget.deadline =
+        std::chrono::steady_clock::now() - std::chrono::seconds(1);
+    searcher->set_budget(budget);
+    auto answers = searcher->Run(sets);
+    EXPECT_TRUE(answers.empty()) << SearchStrategyName(strategy);
+    EXPECT_EQ(searcher->stats().truncation, Truncation::kDeadline)
+        << SearchStrategyName(strategy);
+    EXPECT_EQ(searcher->stats().iterator_visits, 0u)
+        << SearchStrategyName(strategy);
+  }
+}
+
+TEST(AnswerStreamTest, PumpSliceSingleStepMatchesBatch) {
+  // Driving the stepper one iteration at a time (the finest scheduling
+  // quantum the session pool can use) must reproduce the batch answers
+  // exactly, yielding in between.
+  for (SearchStrategy strategy : kAllStrategies) {
+    const BanksEngine& engine = Workload().dblp_engine();
+    SearchOptions options = engine.options().search;
+    options.strategy = strategy;
+    auto sets = ResolveSets(engine, "soumen sunita");
+
+    auto reference = CreateExpansionSearch(engine.data_graph(), options);
+    auto batch = reference->Run(sets);
+    ASSERT_FALSE(batch.empty());
+
+    auto sliced = CreateExpansionSearch(engine.data_graph(), options);
+    sliced->Begin(sets);
+    AnswerStream stream(sliced.get());
+    std::vector<ConnectionTree> streamed;
+    size_t yields = 0;
+    size_t last_steps = 0;
+    for (;;) {
+      std::optional<ScoredAnswer> answer;
+      PumpOutcome outcome = stream.TryNext(1, &answer);
+      EXPECT_GE(stream.pump_steps(), last_steps);  // monotone accounting
+      last_steps = stream.pump_steps();
+      if (outcome == PumpOutcome::kExhausted) break;
+      if (outcome == PumpOutcome::kYielded) {
+        ++yields;
+        ASSERT_FALSE(answer.has_value());
+        continue;
+      }
+      ASSERT_TRUE(answer.has_value());
+      streamed.push_back(std::move(answer->tree));
+    }
+    ExpectSameAnswers(streamed, batch,
+                      std::string("pump-slice/") + SearchStrategyName(strategy));
+    EXPECT_GT(yields, 0u) << SearchStrategyName(strategy);
+    EXPECT_GT(stream.pump_steps(), streamed.size())
+        << SearchStrategyName(strategy);
+  }
+}
+
+TEST(AnswerStreamTest, PumpSliceZeroStepsIsSafe) {
+  const BanksEngine& engine = Workload().dblp_engine();
+  auto sets = ResolveSets(engine, "soumen sunita");
+  auto searcher =
+      CreateExpansionSearch(engine.data_graph(), engine.options().search);
+  EXPECT_EQ(searcher->PumpSlice(0), PumpOutcome::kExhausted);  // idle run
+  searcher->Begin(sets);
+  EXPECT_EQ(searcher->PumpSlice(0), PumpOutcome::kYielded);  // no work done
+  EXPECT_EQ(searcher->pump_steps(), 0u);
+}
+
 TEST(AnswerStreamTest, DefaultStreamIsEmpty) {
   AnswerStream stream;
   EXPECT_FALSE(stream.HasNext());

@@ -1,0 +1,162 @@
+// SessionPool stress test: many submitter threads hammer one pool with
+// mixed budgets (unlimited, visit-capped, tight deadlines, expired
+// deadlines) and mixed consumption patterns (full drain, paginate then
+// cancel, cancel immediately), over a tiny scheduling quantum so sessions
+// are preempted constantly. This is the primary ThreadSanitizer workload:
+// it exercises every handoff — submit -> scheduler -> worker -> handle —
+// under contention. Correctness teeth: unbudgeted full drains must still
+// equal the serial batch answers exactly, and the pool must account for
+// every accepted session.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/banks.h"
+#include "eval/workload.h"
+#include "server/session_pool.h"
+
+namespace banks {
+namespace {
+
+const BanksEngine& Engine() {
+  static BanksEngine* engine = [] {
+    DblpConfig config;
+    config.num_authors = 60;
+    config.num_papers = 120;
+    config.seed = 42;
+    return new BanksEngine(GenerateDblp(config).db,
+                           EvalWorkload::DefaultOptions());
+  }();
+  return *engine;
+}
+
+constexpr const char* kQueries[] = {
+    "author soumen", "soumen sunita", "author paper",
+    "paper transaction", "sunita", "author mohan paper",
+};
+constexpr size_t kNumQueries = sizeof(kQueries) / sizeof(kQueries[0]);
+
+TEST(SessionPoolStressTest, MixedBudgetsAndCancellations) {
+  const BanksEngine& engine = Engine();
+
+  // Serial ground truth for the unbudgeted full-drain sessions.
+  std::vector<std::string> serial(kNumQueries);
+  for (size_t i = 0; i < kNumQueries; ++i) {
+    auto result = engine.Search(kQueries[i]);
+    ASSERT_TRUE(result.ok()) << kQueries[i];
+    for (const auto& tree : result.value().answers) {
+      serial[i] += engine.Render(tree);
+    }
+  }
+
+  server::PoolOptions popts;
+  popts.num_workers = 4;
+  popts.step_quantum = 16;  // constant preemption
+  popts.max_active = 8;     // smaller than the offered load
+  popts.max_waiting = 4096; // large enough that nothing is rejected
+  server::SessionPool pool(engine, popts);
+
+  constexpr size_t kSubmitters = 8;
+  constexpr size_t kPerThread = 12;
+  std::atomic<size_t> accepted{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (size_t t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        const size_t qi = (t * kPerThread + i) % kNumQueries;
+        Budget budget;           // variant 0: unlimited
+        switch (i % 4) {
+          case 1:
+            budget = Budget::WithVisitCap(50);
+            break;
+          case 2:  // tight but live deadline
+            budget = Budget::WithTimeout(std::chrono::microseconds(200));
+            break;
+          case 3:  // already expired
+            budget.deadline = std::chrono::steady_clock::now() -
+                              std::chrono::milliseconds(1);
+            break;
+          default:
+            break;
+        }
+        auto submitted =
+            pool.Submit(kQueries[qi], engine.options().search, budget);
+        ASSERT_TRUE(submitted.ok()) << kQueries[qi];
+        accepted.fetch_add(1, std::memory_order_relaxed);
+        server::SessionHandle handle = std::move(submitted).value();
+
+        switch (i % 3) {
+          case 0: {  // drain fully; unbudgeted drains must match serial
+            std::string rendered;
+            size_t count = 0;
+            size_t last_rank = 0;
+            while (auto answer = handle.Next()) {
+              EXPECT_GE(answer->rank, last_rank) << kQueries[qi];
+              last_rank = answer->rank;
+              rendered += engine.Render(answer->tree);
+              ++count;
+            }
+            EXPECT_LE(count, engine.options().search.max_answers);
+            if (budget.Unlimited()) {
+              EXPECT_EQ(rendered, serial[qi]) << kQueries[qi];
+            }
+            break;
+          }
+          case 1: {  // paginate, then abandon mid-stream
+            auto page = handle.NextBatch(2);
+            EXPECT_LE(page.size(), 2u);
+            handle.Cancel();
+            break;
+          }
+          default: {  // race a cancel against the very first slice
+            handle.TryNext();
+            handle.Cancel();
+            break;
+          }
+        }
+        handle.Wait();
+        EXPECT_TRUE(handle.Done());
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.submitted, accepted.load());
+  EXPECT_EQ(stats.completed, accepted.load());
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.active, 0u);
+  EXPECT_EQ(stats.waiting, 0u);
+  EXPECT_GT(stats.slices, stats.completed);  // preemption really happened
+}
+
+TEST(SessionPoolStressTest, SubmitDuringShutdownIsClean) {
+  const BanksEngine& engine = Engine();
+  for (int round = 0; round < 4; ++round) {
+    server::PoolOptions popts;
+    popts.num_workers = 2;
+    popts.step_quantum = 16;
+    auto pool = std::make_unique<server::SessionPool>(engine, popts);
+
+    std::atomic<bool> stop{false};
+    std::thread submitter([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto handle = pool->Submit("author soumen");
+        if (!handle.ok()) break;  // pool shut down under us — expected
+        handle.value().TryNext();
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    pool->Shutdown();
+    stop.store(true, std::memory_order_release);
+    submitter.join();
+    pool.reset();
+  }
+}
+
+}  // namespace
+}  // namespace banks

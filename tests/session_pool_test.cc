@@ -1,0 +1,302 @@
+// SessionPool / SessionHandle unit tests (server level).
+//
+// The contract under test: concurrent execution is *transparent* — N
+// sessions multiplexed over the pool's workers return exactly the answers
+// serial runs return (same trees, same order, byte-identical rendering),
+// because the graph snapshot is immutable and each session's stepper is
+// confined to one worker at a time. Plus the serving semantics: handles
+// are safe to consume and cancel from different threads, admission is
+// capped with a bounded wait queue, expired deadlines surface as
+// truncation, and shutdown wakes every blocked consumer.
+#include "server/session_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/banks.h"
+#include "eval/workload.h"
+
+namespace banks {
+namespace {
+
+DblpConfig SmallDblp() {
+  DblpConfig config;
+  config.num_authors = 60;
+  config.num_papers = 120;
+  config.seed = 42;
+  return config;
+}
+
+ThesisConfig SmallThesis() {
+  ThesisConfig config;
+  config.num_faculty = 30;
+  config.num_students = 120;
+  config.seed = 7;
+  return config;
+}
+
+const EvalWorkload& Workload() {
+  static EvalWorkload* workload =
+      new EvalWorkload(SmallDblp(), SmallThesis());
+  return *workload;
+}
+
+/// Byte-exact transcript of a full answer list.
+std::string RenderAll(const BanksEngine& engine,
+                      const std::vector<ConnectionTree>& answers) {
+  std::string out;
+  for (const auto& tree : answers) out += engine.Render(tree);
+  return out;
+}
+
+/// Options that keep a worker busy for a while on the "author paper"
+/// query: metadata keywords make every Author and Paper tuple relevant,
+/// and the raised answer cap keeps the expansion loop running long past
+/// the default 10 answers (still bounded — no exhaustive blow-up).
+SearchOptions HeavyOptions(const BanksEngine& engine) {
+  SearchOptions options = engine.options().search;
+  options.max_answers = 10'000;
+  return options;
+}
+
+TEST(SessionPoolTest, ConcurrentAnswersMatchSerialOnBothWorkloads) {
+  // Every workload query, three copies each, multiplexed over 4 workers
+  // with a tiny quantum (lots of preemption) — the concurrent transcript
+  // must be byte-identical to the serial one.
+  for (bool thesis : {false, true}) {
+    const BanksEngine& engine =
+        thesis ? Workload().thesis_engine() : Workload().dblp_engine();
+
+    std::vector<std::string> texts;
+    for (const EvalQuery& q : Workload().queries()) {
+      if (q.on_thesis == thesis) texts.push_back(q.text);
+    }
+    ASSERT_FALSE(texts.empty());
+
+    std::vector<std::string> serial;
+    for (const auto& text : texts) {
+      auto result = engine.Search(text);
+      ASSERT_TRUE(result.ok()) << text;
+      serial.push_back(RenderAll(engine, result.value().answers));
+    }
+
+    server::PoolOptions popts;
+    popts.num_workers = 4;
+    popts.step_quantum = 32;
+    server::SessionPool pool(engine, popts);
+
+    constexpr int kCopies = 3;
+    std::vector<server::SessionHandle> handles;
+    std::vector<size_t> expect;
+    for (int copy = 0; copy < kCopies; ++copy) {
+      for (size_t i = 0; i < texts.size(); ++i) {
+        auto handle = pool.Submit(texts[i]);
+        ASSERT_TRUE(handle.ok()) << texts[i];
+        handles.push_back(std::move(handle).value());
+        expect.push_back(i);
+      }
+    }
+    for (size_t h = 0; h < handles.size(); ++h) {
+      // Alternate the consumption idiom: full drain vs. page-at-a-time.
+      std::vector<ConnectionTree> answers;
+      if (h % 2 == 0) {
+        answers = handles[h].Drain();
+      } else {
+        for (;;) {
+          auto page = handles[h].NextBatch(3);
+          if (page.empty()) break;
+          for (auto& tree : page) answers.push_back(std::move(tree));
+        }
+      }
+      EXPECT_EQ(RenderAll(engine, answers), serial[expect[h]])
+          << (thesis ? "thesis" : "dblp") << " query #" << expect[h];
+      EXPECT_TRUE(handles[h].Done());
+    }
+
+    auto stats = pool.stats();
+    EXPECT_EQ(stats.submitted, handles.size());
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_EQ(stats.waiting, 0u);
+  }
+}
+
+TEST(SessionPoolTest, EngineFacadeSubmitQuery) {
+  const BanksEngine& engine = Workload().dblp_engine();
+  auto serial = engine.Search("soumen sunita");
+  ASSERT_TRUE(serial.ok());
+
+  auto handle = engine.SubmitQuery("soumen sunita");
+  ASSERT_TRUE(handle.ok());
+  auto answers = handle.value().Drain();
+  EXPECT_EQ(RenderAll(engine, answers),
+            RenderAll(engine, serial.value().answers));
+
+  // parsed()/dropped_terms() are readable without synchronisation.
+  EXPECT_EQ(handle.value().parsed().terms.size(), 2u);
+  EXPECT_TRUE(handle.value().dropped_terms().empty());
+
+  // The pool is started once and reused.
+  EXPECT_EQ(&engine.pool(), &engine.pool());
+
+  auto bad = engine.SubmitQuery("");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(SessionPoolTest, ConcurrentCancelVsNextBatch) {
+  // One consumer thread pages answers while the submitting thread
+  // cancels: no deadlock, no crash, and the consumer unblocks. Run a few
+  // rounds to widen the race window (TSan checks the rest).
+  const BanksEngine& engine = Workload().dblp_engine();
+  server::PoolOptions popts;
+  popts.num_workers = 2;
+  popts.step_quantum = 16;
+  server::SessionPool pool(engine, popts);
+
+  for (int round = 0; round < 8; ++round) {
+    auto submitted = pool.Submit("author paper", HeavyOptions(engine));
+    ASSERT_TRUE(submitted.ok());
+    server::SessionHandle handle = std::move(submitted).value();
+
+    std::thread consumer([&handle] {
+      size_t total = 0;
+      for (;;) {
+        auto page = handle.NextBatch(2);
+        if (page.empty()) break;
+        total += page.size();
+      }
+      // Cancellation bounds the stream; it must never deliver more than
+      // the exhaustive run could.
+      EXPECT_LE(total, 10'000u);
+    });
+    if (round % 2 == 0) std::this_thread::yield();
+    handle.Cancel();
+    consumer.join();
+    handle.Wait();
+    EXPECT_TRUE(handle.Done());
+  }
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.completed, 8u);
+}
+
+TEST(SessionPoolTest, AdmissionCapRejectsWhenQueueFull) {
+  const BanksEngine& engine = Workload().dblp_engine();
+  server::PoolOptions popts;
+  popts.num_workers = 1;
+  popts.step_quantum = 8;  // the heavy session yields often, finishes late
+  popts.max_active = 1;
+  popts.max_waiting = 0;
+  server::SessionPool pool(engine, popts);
+
+  auto first = pool.Submit("author paper", HeavyOptions(engine));
+  ASSERT_TRUE(first.ok());
+  auto second = pool.Submit("soumen sunita");
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+
+  first.value().Cancel();
+  first.value().Wait();
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.submitted, 1u);
+
+  // With the heavy session retired the pool accepts again.
+  auto third = pool.Submit("soumen sunita");
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third.value().Drain().empty());
+}
+
+TEST(SessionPoolTest, BoundedWaitQueueAdmitsAfterCompletion) {
+  const BanksEngine& engine = Workload().dblp_engine();
+  server::PoolOptions popts;
+  popts.num_workers = 1;
+  popts.max_active = 1;
+  popts.max_waiting = 4;
+  server::SessionPool pool(engine, popts);
+
+  // Saturate: one active + several waiting; all must eventually complete
+  // with correct answers (FIFO admission behind the cap).
+  auto serial = engine.Search("soumen sunita");
+  ASSERT_TRUE(serial.ok());
+  std::vector<server::SessionHandle> handles;
+  for (int i = 0; i < 5; ++i) {
+    auto handle = pool.Submit("soumen sunita");
+    ASSERT_TRUE(handle.ok()) << "submit #" << i;
+    handles.push_back(std::move(handle).value());
+  }
+  for (auto& handle : handles) {
+    EXPECT_EQ(RenderAll(engine, handle.Drain()),
+              RenderAll(engine, serial.value().answers));
+  }
+}
+
+TEST(SessionPoolTest, ExpiredDeadlineSurfacesAsTruncation) {
+  const BanksEngine& engine = Workload().dblp_engine();
+  server::PoolOptions popts;
+  popts.num_workers = 2;
+  server::SessionPool pool(engine, popts);
+
+  Budget late;
+  late.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  auto handle =
+      pool.Submit("author paper", engine.options().search, late);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_TRUE(handle.value().Drain().empty());
+  handle.value().Wait();
+  EXPECT_EQ(handle.value().stats().truncation, Truncation::kDeadline);
+  EXPECT_EQ(handle.value().stats().iterator_visits, 0u);
+  EXPECT_GE(pool.stats().deadline_truncated, 1u);
+}
+
+TEST(SessionPoolTest, ShutdownWakesWaitingConsumers) {
+  const BanksEngine& engine = Workload().dblp_engine();
+  auto pool = std::make_unique<server::SessionPool>(
+      engine, server::PoolOptions{.num_workers = 1,
+                                  .step_quantum = 8,
+                                  .max_active = 1,
+                                  .max_waiting = 4});
+  auto heavy = pool->Submit("author paper", HeavyOptions(engine));
+  auto queued = pool->Submit("soumen sunita");  // stuck behind the cap
+  ASSERT_TRUE(heavy.ok());
+  ASSERT_TRUE(queued.ok());
+
+  std::thread consumer([&] {
+    // Blocks until shutdown retires the queued session.
+    queued.value().Wait();
+  });
+  pool->Shutdown();
+  consumer.join();
+  EXPECT_TRUE(queued.value().Done());
+  EXPECT_TRUE(queued.value().Drain().empty());
+
+  // Submitting after shutdown is rejected, not crashed.
+  auto refused = pool->Submit("soumen sunita");
+  EXPECT_FALSE(refused.ok());
+
+  // Handles stay valid after the pool object is gone. The heavy session
+  // may have finished normally (answers still buffered) or been retired
+  // by the shutdown — either way it is finished, and consuming the
+  // buffer makes it Done.
+  pool.reset();
+  heavy.value().Wait();
+  heavy.value().Drain();
+  EXPECT_TRUE(heavy.value().Done());
+  EXPECT_TRUE(queued.value().Done());
+}
+
+TEST(SessionPoolTest, DefaultHandleIsEmpty) {
+  server::SessionHandle handle;
+  EXPECT_FALSE(handle.valid());
+  EXPECT_TRUE(handle.Done());
+  EXPECT_FALSE(handle.Next().has_value());
+  EXPECT_FALSE(handle.TryNext().has_value());
+  EXPECT_TRUE(handle.NextBatch(3).empty());
+  handle.Cancel();  // no-op
+  handle.Wait();    // no-op
+  EXPECT_EQ(handle.stats().iterator_visits, 0u);
+}
+
+}  // namespace
+}  // namespace banks

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Gate bench counters against checked-in baselines.
+
+Usage:
+    check_bench_regression.py <baseline.json> <current.json> [--threshold 0.10]
+
+Both files are BENCH_*.json reports written by the benches (see
+bench/bench_common.h BenchReport). Only the "counters" section is gated —
+deterministic work metrics such as iterator visits and answer counts. The
+"info" section (timings, throughput) varies with the machine and is never
+compared.
+
+Rules, per baseline counter key:
+  - missing from current           -> FAIL (a bench silently dropped a metric)
+  - *visits* grew  > threshold     -> FAIL (the search does more work)
+  - *answers* shrank > threshold   -> FAIL (the search finds less)
+  - otherwise                      -> OK (improvements and new keys pass)
+
+Exit code: 0 clean, 1 regression(s), 2 usage/parse error.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    counters = data.get("counters")
+    if not isinstance(counters, dict):
+        print(f"error: {path} has no 'counters' object", file=sys.stderr)
+        sys.exit(2)
+    return data.get("bench", "?"), counters
+
+
+def main(argv):
+    args = []
+    threshold = 0.10
+    rest = argv[1:]
+    while rest:
+        a = rest.pop(0)
+        if a.startswith("--threshold"):
+            if "=" in a:
+                threshold = float(a.split("=", 1)[1])
+            elif rest:
+                threshold = float(rest.pop(0))
+            else:
+                print("error: --threshold needs a value", file=sys.stderr)
+                return 2
+        else:
+            args.append(a)
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    base_name, base = load(args[0])
+    cur_name, cur = load(args[1])
+    if base_name != cur_name:
+        print(f"error: bench name mismatch: baseline '{base_name}' vs "
+              f"current '{cur_name}'", file=sys.stderr)
+        return 2
+
+    failures = []
+    for key, base_value in sorted(base.items()):
+        if key not in cur:
+            failures.append(f"{key}: missing from current report")
+            continue
+        cur_value = cur[key]
+        if "visits" in key and cur_value > base_value * (1 + threshold):
+            failures.append(
+                f"{key}: visits regressed {base_value:g} -> {cur_value:g} "
+                f"(+{(cur_value / base_value - 1) * 100:.1f}%)")
+        elif "answers" in key and cur_value < base_value * (1 - threshold):
+            failures.append(
+                f"{key}: answers regressed {base_value:g} -> {cur_value:g} "
+                f"(-{(1 - cur_value / max(base_value, 1e-12)) * 100:.1f}%)")
+
+    print(f"{cur_name}: {len(base)} baseline counters checked against "
+          f"{args[1]} (threshold {threshold:.0%})")
+    if failures:
+        print(f"{len(failures)} regression(s):")
+        for f in failures:
+            print(f"  FAIL {f}")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
