@@ -19,7 +19,16 @@
 //   :stream on|off           print answers as they are generated
 //   :parallel <N> <file>     fire a query file at a session pool of N
 //                            worker threads (concurrent serving demo)
+//   :insert <table> <csv>    append a row (searchable before any refreeze)
+//   :delete <table> <row>    tombstone a row (stops matching immediately)
+//   :refreeze                rebuild the frozen snapshot + swap epochs
 //   :quit
+//
+// The three mutation commands drive the live-ingestion subsystem
+// (src/update/): mutations land in delta overlays that queries consult
+// next to the frozen snapshot, and :refreeze folds them into a fresh CSR.
+// They work from :parallel script files too, so a mixed query/mutation
+// workload is scriptable.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -125,22 +134,165 @@ void StreamQueryCommand(const BanksEngine& engine, const std::string& query,
   if (live.answers_returned() == 0) std::printf("(no answers)\n");
 }
 
+/// Parses one CSV field into a typed Value per the column definition.
+/// Empty fields are NULL; bad numerics fail with a message.
+bool ParseFieldValue(const std::string& field, const ColumnDef& col,
+                     Value* out) {
+  if (field.empty()) {
+    *out = Value::Null();
+    return true;
+  }
+  char* end = nullptr;
+  switch (col.type) {
+    case ValueType::kInt: {
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (end == field.c_str() || *end != '\0') {
+        std::printf("column '%s': '%s' is not an int\n", col.name.c_str(),
+                    field.c_str());
+        return false;
+      }
+      *out = Value(static_cast<int64_t>(v));
+      return true;
+    }
+    case ValueType::kDouble: {
+      double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') {
+        std::printf("column '%s': '%s' is not a double\n", col.name.c_str(),
+                    field.c_str());
+        return false;
+      }
+      *out = Value(v);
+      return true;
+    }
+    default:
+      *out = Value(field);
+      return true;
+  }
+}
+
+/// :insert <table> <csv-row> — the row is searchable immediately (delta
+/// overlay); the next :refreeze folds it into the frozen snapshot.
+void InsertCommand(BanksEngine& engine, const std::string& table,
+                   const std::string& csv_row) {
+  const Table* t = engine.db().table(table);
+  if (t == nullptr) {
+    std::printf("no such table '%s'\n", table.c_str());
+    return;
+  }
+  std::vector<std::string> fields = ParseCsvLine(csv_row);
+  if (fields.size() != t->schema().num_columns()) {
+    std::printf("expected %zu values for %s, got %zu\n",
+                t->schema().num_columns(), table.c_str(), fields.size());
+    return;
+  }
+  std::vector<Value> values(fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (!ParseFieldValue(fields[i], t->schema().columns()[i], &values[i])) {
+      return;
+    }
+  }
+  auto rid = engine.InsertTuple(table, Tuple(std::move(values)));
+  if (!rid.ok()) {
+    std::printf("insert failed: %s\n", rid.status().ToString().c_str());
+    return;
+  }
+  std::printf("inserted %s row %u (epoch %llu, %llu pending delta(s))\n",
+              table.c_str(), rid.value().row,
+              static_cast<unsigned long long>(engine.epoch()),
+              static_cast<unsigned long long>(engine.pending_mutations()));
+}
+
+/// :delete <table> <row> — tombstones the tuple; it stops matching
+/// keywords at once and leaves the snapshot at the next :refreeze.
+void DeleteCommand(BanksEngine& engine, const std::string& table,
+                   uint32_t row) {
+  const Table* t = engine.db().table(table);
+  if (t == nullptr) {
+    std::printf("no such table '%s'\n", table.c_str());
+    return;
+  }
+  Status s = engine.DeleteTuple(Rid{t->id(), row});
+  if (!s.ok()) {
+    std::printf("delete failed: %s\n", s.ToString().c_str());
+    return;
+  }
+  std::printf("deleted %s row %u (%llu pending delta(s))\n", table.c_str(),
+              row,
+              static_cast<unsigned long long>(engine.pending_mutations()));
+}
+
+/// :refreeze — rebuilds the CSR + indexes off the serving path and swaps
+/// the snapshot; in-flight sessions finish on the epoch they opened with.
+void RefreezeCommand(BanksEngine& engine) {
+  auto stats = engine.Refreeze();
+  if (!stats.ok()) {
+    std::printf("refreeze failed: %s\n", stats.status().ToString().c_str());
+    return;
+  }
+  std::printf(
+      "epoch %llu: absorbed %llu mutation(s) into %zu nodes / %zu edges "
+      "in %.1f ms\n",
+      static_cast<unsigned long long>(stats.value().epoch),
+      static_cast<unsigned long long>(stats.value().mutations_absorbed),
+      stats.value().nodes, stats.value().edges, stats.value().rebuild_ms);
+}
+
+/// Dispatches one mutation line (":insert ...", ":delete ...",
+/// ":refreeze") shared by the prompt and :parallel script files. Returns
+/// false if the line is not a mutation command.
+bool DispatchMutation(BanksEngine& engine, const std::string& line) {
+  std::istringstream ss(line);
+  std::string cmd;
+  ss >> cmd;
+  if (cmd == ":insert") {
+    std::string table;
+    ss >> table;
+    std::string rest;
+    std::getline(ss, rest);
+    size_t start = rest.find_first_not_of(' ');
+    rest = start == std::string::npos ? "" : rest.substr(start);
+    if (table.empty() || rest.empty()) {
+      std::printf("usage: :insert <table> <csv-row>\n");
+    } else {
+      InsertCommand(engine, table, rest);
+    }
+    return true;
+  }
+  if (cmd == ":delete") {
+    std::string table;
+    uint32_t row = 0;
+    if (ss >> table >> row) {
+      DeleteCommand(engine, table, row);
+    } else {
+      std::printf("usage: :delete <table> <row>\n");
+    }
+    return true;
+  }
+  if (cmd == ":refreeze") {
+    RefreezeCommand(engine);
+    return true;
+  }
+  return false;
+}
+
 /// Concurrent serving demo: fires every query of a file at a session
 /// pool with `workers` worker threads and drains the handles as the
 /// workers pump them — the CLI-level face of engine.pool()/SubmitQuery.
-void ParallelCommand(const BanksEngine& engine, size_t workers,
+/// Mutation lines (:insert/:delete/:refreeze) apply in file order between
+/// submissions, so a script can exercise live ingestion under load.
+void ParallelCommand(BanksEngine& engine, size_t workers,
                      const std::string& path, const SearchOptions& opts) {
   std::ifstream file(path);
   if (!file) {
     std::printf("cannot read query file '%s'\n", path.c_str());
     return;
   }
-  std::vector<std::string> queries;
+  std::vector<std::string> lines;
   std::string line;
   while (std::getline(file, line)) {
-    if (!line.empty() && line[0] != '#') queries.push_back(line);
+    if (!line.empty() && line[0] != '#') lines.push_back(line);
   }
-  if (queries.empty()) {
+  if (lines.empty()) {
     std::printf("no queries in '%s'\n", path.c_str());
     return;
   }
@@ -149,13 +301,23 @@ void ParallelCommand(const BanksEngine& engine, size_t workers,
   popts.num_workers = workers;
   server::SessionPool pool(engine, popts);
   Timer wall;
-  std::vector<server::SessionHandle> handles(queries.size());
-  for (size_t i = 0; i < queries.size(); ++i) {
-    auto submitted = pool.Submit(queries[i], opts);
+  std::vector<std::string> queries;
+  std::vector<server::SessionHandle> handles;
+  for (const auto& entry : lines) {
+    if (entry[0] == ':') {
+      // Mutations interleave with in-flight queries: sessions already
+      // submitted keep their snapshot; later ones see the new data.
+      if (!DispatchMutation(engine, entry)) {
+        std::printf("unknown command '%s' in script\n", entry.c_str());
+      }
+      continue;
+    }
+    auto submitted = pool.Submit(entry, opts);
     if (submitted.ok()) {
-      handles[i] = std::move(submitted).value();
+      queries.push_back(entry);
+      handles.push_back(std::move(submitted).value());
     } else {
-      std::printf("%3zu  %-32s  error: %s\n", i + 1, queries[i].c_str(),
+      std::printf("     %-32s  error: %s\n", entry.c_str(),
                   submitted.status().ToString().c_str());
     }
   }
@@ -172,38 +334,46 @@ void ParallelCommand(const BanksEngine& engine, size_t workers,
   }
   auto stats = pool.stats();
   std::printf("%zu queries, %zu answers in %.1f ms over %zu workers "
-              "(%zu scheduling slices)\n",
+              "(%zu scheduling slices; epoch %llu, %llu pending delta(s))\n",
               queries.size(), total_answers, wall.Millis(),
-              pool.num_workers(), stats.slices);
+              pool.num_workers(), stats.slices,
+              static_cast<unsigned long long>(stats.engine_epoch),
+              static_cast<unsigned long long>(stats.pending_mutations));
 }
 
 void QueryCommand(const BanksEngine& engine, const std::string& query,
                   const SearchOptions& opts, bool structures) {
-  auto result = engine.Search(query, opts);
-  if (!result.ok()) {
-    std::printf("error: %s\n", result.status().ToString().c_str());
+  auto session = engine.OpenSession(query, opts);
+  if (!session.ok()) {
+    std::printf("error: %s\n", session.status().ToString().c_str());
     return;
   }
-  if (result.value().answers.empty()) {
+  // Group and render against the snapshot the answers were generated on:
+  // NodeIds are per-epoch, so with concurrent mutations the engine's
+  // *current* graph may not be the one these trees refer to.
+  DataGraphSnapshot snapshot = session.value().graph_snapshot();
+  DeltaSnapshot delta = session.value().delta();
+  QueryResult result = session.value().DrainToResult();
+  if (result.answers.empty()) {
     std::printf("(no answers)\n");
     return;
   }
   if (structures) {
-    auto groups = GroupByStructure(result.value().answers,
-                                   engine.data_graph(), engine.db());
+    auto groups = GroupByStructure(result.answers, *snapshot, engine.db());
     for (const auto& g : groups) {
       std::printf("== %zu answer(s) with structure %s\n",
                   g.answer_indexes.size(), g.structure.c_str());
-      std::printf("%s",
-                  engine.Render(result.value().answers[g.answer_indexes[0]])
-                      .c_str());
+      std::printf("%s", RenderAnswer(result.answers[g.answer_indexes[0]],
+                                     *snapshot, engine.db(), delta.get())
+                            .c_str());
     }
     return;
   }
   int rank = 1;
-  for (const auto& tree : result.value().answers) {
+  for (const auto& tree : result.answers) {
     std::printf("-- answer %d (relevance %.4f)\n", rank++, tree.relevance);
-    std::printf("%s", engine.Render(tree).c_str());
+    std::printf("%s",
+                RenderAnswer(tree, *snapshot, engine.db(), delta.get()).c_str());
   }
 }
 
@@ -312,7 +482,10 @@ int main(int argc, char** argv) {
           "  :strategy backward|forward|bidi\n"
           "  :stream on|off         print answers as they are generated\n"
           "  :parallel <N> <file>   fire a query file at a pool of N "
-          "workers\n");
+          "workers\n"
+          "  :insert <table> <csv>  append a row (searchable immediately)\n"
+          "  :delete <table> <row>  tombstone a row\n"
+          "  :refreeze              rebuild + swap the frozen snapshot\n");
     } else if (cmd == ":tables") {
       PrintTablesCommand(engine);
     } else if (cmd == ":browse") {
@@ -366,7 +539,9 @@ int main(int argc, char** argv) {
       std::printf("edge log scaling = %s\n",
                   search.scoring.edge_log ? "on" : "off");
     } else if (cmd[0] == ':') {
-      std::printf("unknown command %s (:help)\n", cmd.c_str());
+      if (!DispatchMutation(engine, line)) {
+        std::printf("unknown command %s (:help)\n", cmd.c_str());
+      }
     } else if (stream_mode) {
       StreamQueryCommand(engine, line, search, first_k);
     } else {

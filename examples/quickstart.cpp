@@ -111,5 +111,43 @@ int main() {
     std::printf("-- \"%s\": %zu answer(s), %zu visits\n", pooled[i], n,
                 handles[i].stats().iterator_visits);
   }
+
+  // --- 6. Live updates: mutate -> the query sees the delta -> refreeze
+  //        swaps the snapshot. InsertTuple records a RID-level delta; the
+  //        new tuple matches keywords *immediately* via the delta overlays
+  //        (no rebuild), while sessions already open keep their frozen
+  //        snapshot. Refreeze() then rebuilds the CSR + indexes off the
+  //        serving path and swaps the engine's state atomically.
+  std::printf("\n==== live updates: ingest a paper, search, refreeze\n");
+  auto rid = engine.InsertTuple(
+      "Paper", Tuple({Value("ChakrabartiSD99"),
+                      Value("Focused Crawling a New Approach")}));
+  if (!rid.ok()) {
+    std::printf("insert error: %s\n", rid.status().ToString().c_str());
+    return 1;
+  }
+  engine.InsertTuple("Writes", Tuple({Value("SoumenC"),
+                                      Value("ChakrabartiSD99")}));
+  auto live = engine.Search("soumen crawling");  // delta overlay, epoch 0
+  if (live.ok() && !live.value().answers.empty()) {
+    std::printf("-- before refreeze (epoch %llu, %llu pending):\n%s",
+                static_cast<unsigned long long>(engine.epoch()),
+                static_cast<unsigned long long>(engine.pending_mutations()),
+                engine.Render(live.value().answers[0]).c_str());
+  }
+  auto refreeze = engine.Refreeze();  // fold the delta into a fresh CSR
+  if (refreeze.ok()) {
+    std::printf("-- refreeze: epoch %llu, %llu mutation(s) -> %zu nodes "
+                "in %.1f ms\n",
+                static_cast<unsigned long long>(refreeze.value().epoch),
+                static_cast<unsigned long long>(
+                    refreeze.value().mutations_absorbed),
+                refreeze.value().nodes, refreeze.value().rebuild_ms);
+  }
+  live = engine.Search("soumen crawling");  // same answer, frozen-only path
+  if (live.ok() && !live.value().answers.empty()) {
+    std::printf("-- after refreeze:\n%s",
+                engine.Render(live.value().answers[0]).c_str());
+  }
   return 0;
 }

@@ -69,6 +69,11 @@ int main() {
   const size_t page_size = 5;
   HtmlWriter search_page;
   search_page.Heading(1, "Keyword search over the published database");
+  // The render pass holds the graph snapshot the answers were generated
+  // on: with live updates enabled a refreeze swap between NextBatch and
+  // RenderAnswersPage would otherwise hand the renderer a different (or
+  // freed) graph.
+  DataGraphSnapshot snapshot = engine.graph_snapshot();
   for (const char* query : {"widget assembly", "supplier", "gear valve"}) {
     auto session = engine.OpenSession(query);
     if (!session.ok()) continue;
@@ -77,8 +82,7 @@ int main() {
     page.page_size = page_size;
     page.answers = session.value().NextBatch(page_size);
     page.has_more = session.value().HasNext();
-    search_page.Raw(
-        RenderAnswersPage(page, engine.data_graph(), engine.db()));
+    search_page.Raw(RenderAnswersPage(page, *snapshot, engine.db()));
     session.value().Cancel();  // abandon the rest of the stream
   }
   WriteFile(out_dir / "search.html", search_page.Page("BANKS search"));

@@ -67,8 +67,9 @@ bool ConnectionTree::IsValidTree() const {
   return true;
 }
 
-std::string NodeLabel(NodeId node, const DataGraph& dg, const Database& db) {
-  Rid rid = dg.RidForNode(node);
+std::string NodeLabel(NodeId node, const DataGraph& dg, const Database& db,
+                      const DeltaGraph* delta) {
+  Rid rid = ResolveRidForNode(dg, delta, node);
   const Table* t = db.table(rid.table_id);
   if (t == nullptr) return "?" + rid.ToString();
   std::string label = t->name();
@@ -87,8 +88,9 @@ std::string NodeLabel(NodeId node, const DataGraph& dg, const Database& db) {
 
 namespace {
 
-std::string NodeDetail(NodeId node, const DataGraph& dg, const Database& db) {
-  Rid rid = dg.RidForNode(node);
+std::string NodeDetail(NodeId node, const DataGraph& dg, const Database& db,
+                       const DeltaGraph* delta) {
+  Rid rid = ResolveRidForNode(dg, delta, node);
   const Table* t = db.table(rid.table_id);
   const Tuple* tuple = db.Get(rid);
   if (t == nullptr || tuple == nullptr) return "?";
@@ -107,7 +109,7 @@ std::string NodeDetail(NodeId node, const DataGraph& dg, const Database& db) {
 }  // namespace
 
 std::string RenderAnswer(const ConnectionTree& tree, const DataGraph& dg,
-                         const Database& db) {
+                         const Database& db, const DeltaGraph* delta) {
   // Children adjacency from the edge list.
   std::unordered_map<NodeId, std::vector<NodeId>> children;
   for (const auto& e : tree.edges) children[e.from].push_back(e.to);
@@ -126,7 +128,7 @@ std::string RenderAnswer(const ConnectionTree& tree, const DataGraph& dg,
     stack.pop_back();
     out.append(static_cast<size_t>(f.depth) * 2, ' ');
     if (keyword_nodes.count(f.node)) out += "* ";
-    out += NodeDetail(f.node, dg, db);
+    out += NodeDetail(f.node, dg, db, delta);
     out += "\n";
     auto it = children.find(f.node);
     if (it != children.end()) {

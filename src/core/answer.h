@@ -14,6 +14,7 @@
 #include "graph/graph.h"
 #include "graph/graph_builder.h"
 #include "storage/database.h"
+#include "update/delta_graph.h"
 
 namespace banks {
 
@@ -72,12 +73,15 @@ struct ConnectionTree {
 
 /// Renders an answer in the indented Figure-2 style, resolving node ids to
 /// "Table: (col=value, ...)" lines via the database. Keyword leaves are
-/// marked with '*'.
+/// marked with '*'. Pass the snapshot's live-update overlay (`delta`) when
+/// the answer may contain nodes added after the snapshot froze.
 std::string RenderAnswer(const ConnectionTree& tree, const DataGraph& dg,
-                         const Database& db);
+                         const Database& db,
+                         const DeltaGraph* delta = nullptr);
 
 /// One-line summary "Table(pk)" for a node. Helper for rendering and logs.
-std::string NodeLabel(NodeId node, const DataGraph& dg, const Database& db);
+std::string NodeLabel(NodeId node, const DataGraph& dg, const Database& db,
+                      const DeltaGraph* delta = nullptr);
 
 }  // namespace banks
 

@@ -23,10 +23,13 @@ std::unordered_set<uint32_t> AuthPolicy::HiddenTableIds(
 
 bool AuthPolicy::AnswerVisible(
     const ConnectionTree& tree, const DataGraph& dg,
-    const std::unordered_set<uint32_t>& hidden_ids) const {
+    const std::unordered_set<uint32_t>& hidden_ids,
+    const DeltaGraph* delta) const {
   if (hidden_ids.empty()) return true;
   for (NodeId n : tree.Nodes()) {
-    if (hidden_ids.count(dg.RidForNode(n).table_id)) return false;
+    if (hidden_ids.count(ResolveRidForNode(dg, delta, n).table_id)) {
+      return false;
+    }
   }
   return true;
 }

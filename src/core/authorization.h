@@ -44,9 +44,11 @@ class AuthPolicy {
   /// Resolves hidden table names against a catalog.
   std::unordered_set<uint32_t> HiddenTableIds(const Database& db) const;
 
-  /// True if the answer touches no hidden tuple.
+  /// True if the answer touches no hidden tuple. `delta` resolves nodes
+  /// added by the snapshot's live-update overlay, if any.
   bool AnswerVisible(const ConnectionTree& tree, const DataGraph& dg,
-                     const std::unordered_set<uint32_t>& hidden_ids) const;
+                     const std::unordered_set<uint32_t>& hidden_ids,
+                     const DeltaGraph* delta = nullptr) const;
 
   /// Drops answers containing hidden tuples.
   std::vector<ConnectionTree> FilterAnswers(

@@ -26,8 +26,9 @@ namespace banks {
 /// One run of the backward expanding search over a data graph.
 class BackwardSearch : public ExpansionSearchBase {
  public:
-  BackwardSearch(const DataGraph& dg, SearchOptions options)
-      : ExpansionSearchBase(dg, std::move(options)) {}
+  BackwardSearch(const DataGraph& dg, SearchOptions options,
+                 const DeltaGraph* delta = nullptr)
+      : ExpansionSearchBase(dg, std::move(options), delta) {}
 
  protected:
   void BeginExecute(

@@ -3,17 +3,12 @@
 #include <utility>
 
 #include "server/session_pool.h"
+#include "util/timer.h"
 
 namespace banks {
 
 BanksEngine::BanksEngine(Database db, BanksOptions options)
     : db_(std::move(db)), options_(std::move(options)) {
-  // Everything built here is immutable afterwards (the inverted index is
-  // finalized inside Build), so the const query path is thread-safe.
-  index_.Build(db_);
-  metadata_.Build(db_);
-  numeric_.Build(db_);
-  dg_ = std::make_shared<const DataGraph>(BuildDataGraph(db_, options_.graph));
   // Resolve excluded root tables to ids once.
   for (const auto& name : options_.excluded_root_tables) {
     const Table* t = db_.table(name);
@@ -21,9 +16,20 @@ BanksEngine::BanksEngine(Database db, BanksOptions options)
       options_.search.excluded_root_tables.insert(t->id());
     }
   }
+  // Epoch 0: the initial frozen state. Everything inside a published
+  // LiveState is immutable, so the concurrent query path is thread-safe;
+  // mutations publish new states instead of touching this one.
+  updater_ = std::make_unique<RefreezeCoordinator>(&db_, &options_);
+  state_ = updater_->Rebuild(/*epoch=*/0);
+  updater_->BeginEpoch(state_->dg);
 }
 
 BanksEngine::~BanksEngine() = default;
+
+LiveStateSnapshot BanksEngine::state() const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return state_;
+}
 
 server::SessionPool& BanksEngine::pool() const {
   return pool(server::PoolOptions{});
@@ -47,6 +53,97 @@ Result<server::SessionHandle> BanksEngine::SubmitQuery(
     const std::string& query_text, SearchOptions search, Budget budget) const {
   return pool().Submit(query_text, std::move(search), budget);
 }
+
+// ---------------------------------------------------------- live updates
+
+Result<Rid> BanksEngine::InsertTuple(const std::string& table, Tuple tuple) {
+  return Apply(Mutation::Insert(table, std::move(tuple)));
+}
+
+Status BanksEngine::DeleteTuple(Rid rid) {
+  return Apply(Mutation::Delete(rid)).status();
+}
+
+Status BanksEngine::UpdateValue(Rid rid, const std::string& column,
+                                Value value) {
+  return Apply(Mutation::Update(rid, column, std::move(value))).status();
+}
+
+Result<Rid> BanksEngine::Apply(Mutation mutation) {
+  std::lock_guard<std::mutex> serialize(update_mu_);
+  Result<Rid> applied = [&] {
+    // Database writes and state publication happen under the exclusive
+    // state lock: a concurrent OpenSession/Render sees either the old
+    // state with the old rows or the new state with the new rows, never a
+    // half-applied pair.
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    Result<Rid> r = updater_->Apply(std::move(mutation));
+    if (!r.ok()) return r;
+    auto next = std::make_shared<LiveState>(*state_);
+    next->delta = updater_->delta();
+    next->index_delta = updater_->index_delta();
+    next->pending_mutations = updater_->pending();
+    state_ = std::move(next);
+    return r;
+  }();
+  if (applied.ok() && updater_->ShouldRefreeze()) {
+    RefreezeLocked();  // update_mu_ still held; queries keep serving
+  }
+  return applied;
+}
+
+Result<RefreezeStats> BanksEngine::Refreeze(bool force) {
+  std::lock_guard<std::mutex> serialize(update_mu_);
+  if (!force && updater_->pending() == 0) {
+    RefreezeStats stats;
+    {
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      stats.epoch = state_->epoch;
+      stats.nodes = state_->dg->graph.num_nodes();
+      stats.edges = state_->dg->graph.num_edges();
+    }
+    return stats;  // nothing to absorb
+  }
+  return RefreezeLocked();
+}
+
+RefreezeStats BanksEngine::RefreezeLocked() {
+  // Off the serving path: the rebuild reads the database with *no* state
+  // lock held. update_mu_ excludes every writer, so the database is
+  // quiescent; concurrent readers only ever read it. Sessions keep
+  // opening on the current state until the swap below.
+  Timer timer;
+  RefreezeStats stats;
+  stats.mutations_absorbed = updater_->pending();
+  const uint64_t next_epoch = state()->epoch + 1;
+  LiveStateSnapshot fresh = updater_->Rebuild(next_epoch);
+  stats.rebuild_ms = timer.Millis();
+  stats.epoch = next_epoch;
+  stats.nodes = fresh->dg->graph.num_nodes();
+  stats.edges = fresh->dg->graph.num_edges();
+  {
+    // The atomic swap: in-flight sessions hold the pieces of the state
+    // they opened on and are untouched; new sessions land on the fresh
+    // epoch, delta-free.
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    state_ = std::move(fresh);
+  }
+  updater_->BeginEpoch(state()->dg);
+  return stats;
+}
+
+uint64_t BanksEngine::epoch() const { return state()->epoch; }
+
+uint64_t BanksEngine::pending_mutations() const {
+  return state()->pending_mutations;
+}
+
+uint64_t BanksEngine::total_mutations() const {
+  std::lock_guard<std::mutex> serialize(update_mu_);
+  return updater_->log().total();
+}
+
+// ------------------------------------------------------------- queries
 
 Result<QuerySession> BanksEngine::OpenSession(
     const std::string& query_text) const {
@@ -116,24 +213,47 @@ Result<QuerySession> BanksEngine::OpenSessionImpl(
     return Status::InvalidArgument("too many keywords (max 64)");
   }
 
-  KeywordResolver resolver(db_, *dg_, index_, metadata_, &numeric_);
-  auto matches = resolver.ResolveAllScored(init.parsed, options_.match);
+  // Keyword resolution reads the database (attribute checks, metadata
+  // expansion), so it runs under the shared state lock: the captured
+  // state and the rows it reads are a consistent pair even while writers
+  // publish mutations. Everything after the lock drops touches only the
+  // immutable pieces captured in `st`.
+  LiveStateSnapshot st;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    st = state_;
 
-  // Reported matches: under authorization, keyword matches in hidden
-  // tables are invisible to the user (the search itself still traverses
-  // them; answers touching hidden data are filtered by the session).
-  std::unordered_set<uint32_t> hidden_ids;
-  if (policy != nullptr) hidden_ids = policy->HiddenTableIds(db_);
-  init.keyword_matches = matches;
-  if (!hidden_ids.empty()) {
-    for (auto& set : init.keyword_matches) {
-      std::vector<KeywordMatch> kept;
-      for (const auto& m : set) {
-        if (!hidden_ids.count(dg_->RidForNode(m.node).table_id)) {
-          kept.push_back(m);
+    KeywordResolver resolver(db_, *st->dg, *st->index, *st->metadata,
+                             st->numeric.get(), st->delta.get(),
+                             st->index_delta.get());
+    auto matches = resolver.ResolveAllScored(init.parsed, options_.match);
+
+    // Reported matches: under authorization, keyword matches in hidden
+    // tables are invisible to the user (the search itself still traverses
+    // them; answers touching hidden data are filtered by the session).
+    std::unordered_set<uint32_t> hidden_ids;
+    if (policy != nullptr) hidden_ids = policy->HiddenTableIds(db_);
+    init.keyword_matches = matches;
+    if (!hidden_ids.empty()) {
+      for (auto& set : init.keyword_matches) {
+        std::vector<KeywordMatch> kept;
+        for (const auto& m : set) {
+          Rid rid = ResolveRidForNode(*st->dg, st->delta.get(), m.node);
+          if (!hidden_ids.count(rid.table_id)) kept.push_back(m);
         }
+        set = std::move(kept);
       }
-      set = std::move(kept);
+    }
+    init.hidden_table_ids = std::move(hidden_ids);
+
+    // Partial matching: drop empty terms rather than failing the query.
+    for (size_t i = 0; i < matches.size(); ++i) {
+      if (matches[i].empty()) {
+        init.dropped_terms.push_back(i);
+      } else {
+        init.active_sets.push_back(std::move(matches[i]));
+        init.active_terms.push_back(i);
+      }
     }
   }
   init.keyword_nodes.reserve(init.keyword_matches.size());
@@ -144,48 +264,48 @@ Result<QuerySession> BanksEngine::OpenSessionImpl(
     init.keyword_nodes.push_back(std::move(nodes));
   }
 
-  // Partial matching: drop empty terms rather than failing the query.
-  for (size_t i = 0; i < matches.size(); ++i) {
-    if (matches[i].empty()) {
-      init.dropped_terms.push_back(i);
-    } else {
-      init.active_sets.push_back(std::move(matches[i]));
-      init.active_terms.push_back(i);
-    }
-  }
   const bool viable =
       !init.active_sets.empty() &&
       (options_.allow_partial_match || init.dropped_terms.empty());
   if (!viable) {
     // Mirror the strict model: no answers (every answer must contain at
     // least one node per S_i, and some S_i is empty). The session opens
-    // already exhausted but still reports the resolved matches.
+    // already exhausted but still reports the resolved matches — and
+    // still carries its snapshot so graph_snapshot() is always valid.
+    init.hidden_table_ids.clear();
+    init.dg = st->dg;
+    init.delta = st->delta;
     return QuerySession(std::move(init));
   }
 
-  init.dg = dg_;
+  init.dg = st->dg;
+  init.delta = st->delta;
   init.budget = budget;
   if (policy != nullptr) {
     // Hidden tuples must not reach the user, yet may sit inside connection
     // trees: the session drops answers touching hidden data as the stream
     // is consumed. Oversample so enough visible answers survive.
     init.policy = *policy;
-    init.hidden_table_ids = std::move(hidden_ids);
     init.deliver_cap = search.max_answers;
     search.max_answers *= 4;
+  } else {
+    init.hidden_table_ids.clear();
   }
   // Strategy selection (§3 backward by default; forward / bidirectional
   // via SearchOptions::strategy).
-  init.searcher = CreateExpansionSearch(*dg_, std::move(search));
+  init.searcher =
+      CreateExpansionSearch(*st->dg, std::move(search), st->delta.get());
   return QuerySession(std::move(init));
 }
 
 std::string BanksEngine::Render(const ConnectionTree& tree) const {
-  return RenderAnswer(tree, *dg_, db_);
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return RenderAnswer(tree, *state_->dg, db_, state_->delta.get());
 }
 
 std::string BanksEngine::RootLabel(const ConnectionTree& tree) const {
-  return NodeLabel(tree.root, *dg_, db_);
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return NodeLabel(tree.root, *state_->dg, db_, state_->delta.get());
 }
 
 }  // namespace banks

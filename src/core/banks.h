@@ -2,7 +2,7 @@
 //
 // Owns a relational database plus every derived structure BANKS needs
 // (inverted index, metadata index, data graph) and answers keyword queries
-// end to end. Two idioms:
+// end to end. Three idioms:
 //
 // Batch — run the whole search, get every answer at once:
 //
@@ -21,6 +21,14 @@
 //   // session.value().Cancel() abandons the search without draining it;
 //   // OpenSession(text, options, Budget::WithTimeout(50ms)) bounds it.
 //
+// Live updates — mutate the database while serving; queries see the delta
+// immediately and a refreeze re-bases the snapshot without interrupting
+// in-flight sessions (src/update/):
+//
+//   engine.InsertTuple("Paper", MakeTuple(...));   // searchable right away
+//   auto result = engine.Search("fresh keyword");  // hits the delta overlay
+//   engine.Refreeze();                             // re-freeze + atomic swap
+//
 // The batch Search overloads are thin wrappers that open a session and
 // drain it — both idioms return identical answers in identical order.
 #ifndef BANKS_CORE_BANKS_H_
@@ -28,6 +36,7 @@
 
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -41,6 +50,9 @@
 #include "index/inverted_index.h"
 #include "index/metadata_index.h"
 #include "storage/database.h"
+#include "update/live_state.h"
+#include "update/mutation.h"
+#include "update/refreeze.h"
 #include "util/status.h"
 
 namespace banks {
@@ -51,11 +63,20 @@ class SessionHandle;
 struct PoolOptions;
 }  // namespace server
 
+/// Live-ingestion knobs (src/update/).
+struct UpdateOptions {
+  /// Mutations absorbed into delta overlays before Apply() triggers an
+  /// automatic refreeze (synchronously, on the writer's thread — queries
+  /// keep serving). 0 = manual Refreeze() only.
+  size_t auto_refreeze_mutations = 0;
+};
+
 /// Engine-wide configuration.
 struct BanksOptions {
   GraphBuildOptions graph;   ///< §2.2 graph model knobs
   SearchOptions search;      ///< default search settings (§2.3, §3)
   MatchOptions match;        ///< keyword matching knobs
+  UpdateOptions update;      ///< live-ingestion knobs (refreeze trigger)
 
   /// Tables excluded as information nodes, by name (resolved to ids at
   /// engine construction; merged into search.excluded_root_tables).
@@ -75,11 +96,14 @@ class BanksEngine {
   ~BanksEngine();  // defined where server::SessionPool is complete
 
   // ------------------------------------------------- concurrent serving
-  // Threading model: the database, indexes and graph snapshot are
-  // immutable after construction, so every const method here is safe to
-  // call from any thread. Each QuerySession's mutable search state is
-  // confined to whichever thread is driving it; the pool gives every
-  // submitted query a SessionHandle whose methods are thread-safe.
+  // Threading model: queries read one immutable LiveState (graph snapshot,
+  // indexes, delta overlays) captured atomically at session open, so every
+  // const method here is safe to call from any thread — including
+  // concurrently with the mutation API below, which publishes a *new*
+  // state instead of touching the one readers hold. Each QuerySession's
+  // mutable search state is confined to whichever thread is driving it;
+  // the pool gives every submitted query a SessionHandle whose methods are
+  // thread-safe.
 
   /// The engine's session pool, started lazily on first use. `options`
   /// takes effect only on the call that starts the pool. Thread-safe.
@@ -95,6 +119,44 @@ class BanksEngine {
   Result<server::SessionHandle> SubmitQuery(const std::string& query_text,
                                             SearchOptions search,
                                             Budget budget = {}) const;
+
+  // -------------------------------------------------------- live updates
+  // Writers are serialized against each other; readers never block. Every
+  // mutation is recorded as a RID-level delta (update/mutation.h), folded
+  // into copy-on-write overlays (DeltaGraph + InvertedIndexDelta), and
+  // visible to sessions opened afterwards — *before* any refreeze.
+  // Sessions already open keep their snapshot and finish unchanged.
+
+  /// Appends a tuple; it is searchable immediately. Returns its Rid.
+  Result<Rid> InsertTuple(const std::string& table, Tuple tuple);
+
+  /// Tombstones a tuple: it stops matching keywords and appearing in new
+  /// answers at once; storage is reclaimed at the next refreeze.
+  Status DeleteTuple(Rid rid);
+
+  /// Overwrites one non-PK column. New text is searchable immediately; an
+  /// FK retarget rewires the graph overlay. (Stale postings of the old
+  /// value survive until the next refreeze, and numeric-range `approx(N)`
+  /// probes see new INT/DOUBLE values only after it — the NumericIndex
+  /// has no delta counterpart.)
+  Status UpdateValue(Rid rid, const std::string& column, Value value);
+
+  /// Generic form of the three calls above.
+  Result<Rid> Apply(Mutation mutation);
+
+  /// Rebuilds the frozen snapshot + indexes from the database off the
+  /// serving path and swaps the engine's state atomically. In-flight
+  /// sessions finish byte-identically on the snapshot they opened with;
+  /// sessions opened afterwards run delta-free on the new epoch. No-op
+  /// (cheap) when nothing is pending unless `force` is set.
+  Result<RefreezeStats> Refreeze(bool force = false);
+
+  /// Refreeze generation of the current state (0 until the first swap).
+  uint64_t epoch() const;
+  /// Mutations folded into overlays since the last refreeze.
+  uint64_t pending_mutations() const;
+  /// Mutations applied over the engine's lifetime.
+  uint64_t total_mutations() const;
 
   // ---------------------------------------------------------- streaming
   /// Opens a streaming query session with the engine's default search
@@ -137,23 +199,40 @@ class BanksEngine {
                                        const AuthPolicy& policy,
                                        SearchOptions search) const;
 
-  /// Figure-2 style rendering of one answer.
+  /// Figure-2 style rendering of one answer against the *current* state.
+  /// NodeIds are per-epoch: a tree produced before a refreeze renders
+  /// correctly through its session instead —
+  ///   RenderAnswer(tree, *session.graph_snapshot(), engine.db(),
+  ///                session.delta().get());
+  /// (cross-epoch ids degrade to "?" labels here rather than crashing).
   std::string Render(const ConnectionTree& tree) const;
 
   /// Short "Table(pk)" label of an answer's root (its information node).
   std::string RootLabel(const ConnectionTree& tree) const;
 
+  /// Direct storage access. NOT synchronized with the mutation API: the
+  /// engine's query surfaces lock internally, but code that walks tables
+  /// or reverse references through this accessor (the browse layer, CLI
+  /// table commands) must not run concurrently with writers.
   const Database& db() const { return db_; }
-  const DataGraph& data_graph() const { return *dg_; }
 
-  /// The engine's current immutable graph snapshot. Every session holds a
-  /// reference to the snapshot it was opened on, so a future refreeze can
-  /// swap the engine's snapshot atomically without invalidating in-flight
-  /// queries.
-  DataGraphSnapshot graph_snapshot() const { return dg_; }
-  const InvertedIndex& inverted_index() const { return index_; }
-  const MetadataIndex& metadata_index() const { return metadata_; }
-  const NumericIndex& numeric_index() const { return numeric_; }
+  /// The engine's current immutable state. Every session holds the pieces
+  /// of the state it was opened on, so a refreeze can swap the engine's
+  /// state atomically without invalidating in-flight queries. Callers that
+  /// read the graph across multiple statements must hold a snapshot (see
+  /// graph_snapshot()) rather than re-fetching references mid-operation.
+  LiveStateSnapshot state() const;
+
+  /// The current graph snapshot (shared; safe across a refreeze swap).
+  DataGraphSnapshot graph_snapshot() const { return state()->dg; }
+
+  /// Borrowed references into the *current* state: valid until the next
+  /// refreeze publishes a new one. Prefer state()/graph_snapshot() in
+  /// code that may run concurrently with mutations.
+  const DataGraph& data_graph() const { return *state()->dg; }
+  const InvertedIndex& inverted_index() const { return *state()->index; }
+  const MetadataIndex& metadata_index() const { return *state()->metadata; }
+  const NumericIndex& numeric_index() const { return *state()->numeric; }
   const BanksOptions& options() const { return options_; }
 
  private:
@@ -164,12 +243,25 @@ class BanksEngine {
                                        const AuthPolicy* policy,
                                        Budget budget) const;
 
+  /// Rebuild + swap; caller holds update_mu_.
+  RefreezeStats RefreezeLocked();
+
   Database db_;
   BanksOptions options_;
-  InvertedIndex index_;
-  MetadataIndex metadata_;
-  NumericIndex numeric_;
-  DataGraphSnapshot dg_;
+
+  // Swappable read state (update/live_state.h). Readers load the pointer
+  // under a shared lock; writers publish a new state under the exclusive
+  // lock. The same lock guards the database *content* for readers that
+  // dereference it while resolving keywords or rendering.
+  mutable std::shared_mutex state_mu_;
+  LiveStateSnapshot state_;
+
+  // Serializes the mutation/refreeze side: Apply and Refreeze take this
+  // first, so a refreeze can rebuild from a quiescent database with no
+  // state lock held (queries keep opening and pumping throughout).
+  // Mutable so const observers (total_mutations) can read the log.
+  mutable std::mutex update_mu_;
+  std::unique_ptr<RefreezeCoordinator> updater_;
 
   // Lazily started session pool (see pool()); mutable because serving is
   // logically const.

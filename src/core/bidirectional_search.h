@@ -27,8 +27,9 @@ namespace banks {
 /// One run of the bidirectional expansion search over a data graph.
 class BidirectionalSearch : public ExpansionSearchBase {
  public:
-  BidirectionalSearch(const DataGraph& dg, SearchOptions options)
-      : ExpansionSearchBase(dg, std::move(options)) {}
+  BidirectionalSearch(const DataGraph& dg, SearchOptions options,
+                      const DeltaGraph* delta = nullptr)
+      : ExpansionSearchBase(dg, std::move(options), delta) {}
 
   /// Terms whose node sets exceed the threshold are covered by forward
   /// probes; at least one term (the most selective) always stays backward

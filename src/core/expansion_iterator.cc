@@ -7,20 +7,27 @@ namespace banks {
 ExpansionIterator::ExpansionIterator(const FrozenGraph& graph, NodeId source,
                                      ExpandDirection direction,
                                      double distance_cap,
-                                     double initial_distance)
-    : graph_(&graph), source_(source), direction_(direction),
+                                     double initial_distance,
+                                     const DeltaGraph* delta)
+    : graph_(&graph), delta_(delta), source_(source), direction_(direction),
       cap_(distance_cap) {
-  Relax(initial_distance, source, kInvalidNode);
+  if (delta_ == nullptr || !delta_->NodeDead(source)) {
+    Relax(initial_distance, source, kInvalidNode);
+  }
   Advance();
 }
 
 ExpansionIterator::ExpansionIterator(const FrozenGraph& graph,
                                      const std::vector<NodeId>& sources,
                                      ExpandDirection direction,
-                                     double distance_cap)
-    : graph_(&graph), source_(kInvalidNode), direction_(direction),
-      cap_(distance_cap) {
-  for (NodeId s : sources) Relax(0.0, s, kInvalidNode);
+                                     double distance_cap,
+                                     const DeltaGraph* delta)
+    : graph_(&graph), delta_(delta), source_(kInvalidNode),
+      direction_(direction), cap_(distance_cap) {
+  for (NodeId s : sources) {
+    if (delta_ != nullptr && delta_->NodeDead(s)) continue;
+    Relax(0.0, s, kInvalidNode);
+  }
   Advance();
 }
 
@@ -48,19 +55,46 @@ void ExpansionIterator::Advance() {
   }
 }
 
+// Backward: relax along *incoming* edges — predecessor w of `node` has a
+// forward edge (w -> node), so dist(w -> source) <= weight + dist(node).
+// Forward: relax outgoing edges symmetrically. With a live-update overlay,
+// base CSR edges may be masked by tombstones and the overlay contributes
+// side-list edges; without one the loop is the frozen-only fast path.
+void ExpansionIterator::RelaxNeighbours(NodeId node, double dist) {
+  const bool forward = direction_ == ExpandDirection::kForward;
+  if (delta_ == nullptr) {
+    for (const auto& e : graph_->Edges(node, forward)) {
+      if (settled_dist_.count(e.to)) continue;
+      Relax(dist + e.weight, e.to, node);
+    }
+    return;
+  }
+  if (node < delta_->base_nodes()) {
+    const bool check_edges = delta_->HasEdgeTombstones();
+    for (const auto& e : graph_->Edges(node, forward)) {
+      if (settled_dist_.count(e.to) || delta_->NodeDead(e.to)) continue;
+      // The CSR stores the neighbour as e.to in both spans; the directed
+      // graph edge behind an in-span entry runs e.to -> node.
+      if (check_edges && (forward ? delta_->EdgeDead(node, e.to)
+                                  : delta_->EdgeDead(e.to, node))) {
+        continue;
+      }
+      Relax(dist + e.weight, e.to, node);
+    }
+  }
+  if (const auto* extra = delta_->ExtraEdges(node, forward)) {
+    for (const auto& e : *extra) {
+      if (settled_dist_.count(e.to) || delta_->NodeDead(e.to)) continue;
+      Relax(dist + e.weight, e.to, node);
+    }
+  }
+}
+
 ExpansionIterator::Visit ExpansionIterator::Next() {
   HeapEntry cur = pending_;
   settled_dist_.emplace(cur.node, cur.dist);
   if (cur.parent != kInvalidNode) parent_.emplace(cur.node, cur.parent);
-
-  // Backward: relax along *incoming* edges — predecessor w of cur has a
-  // forward edge (w -> cur), so dist(w -> source) <= weight + dist(cur).
-  // Forward: relax outgoing edges symmetrically.
-  const bool forward = direction_ == ExpandDirection::kForward;
-  for (const auto& e : graph_->Edges(cur.node, forward)) {
-    if (settled_dist_.count(e.to)) continue;
-    Relax(cur.dist + e.weight, e.to, cur.node);
-  }
+  RelaxNeighbours(cur.node, cur.dist);
   Advance();
   return Visit{cur.node, cur.dist};
 }

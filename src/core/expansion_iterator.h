@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "graph/frozen_graph.h"
+#include "update/delta_graph.h"
 
 namespace banks {
 
@@ -43,16 +44,22 @@ class ExpansionIterator {
   /// start offset, so its iterator runs ahead of the others). The offset is
   /// uniform within one iterator, so path-weight reconstruction from
   /// distance differences is unaffected.
+  /// `delta`: optional live-update overlay (see update/delta_graph.h).
+  /// Null keeps the frozen-only hot path; non-null makes every expansion
+  /// also relax overlay edges and skip tombstoned nodes/edges, so answers
+  /// reflect mutations applied since the snapshot froze.
   ExpansionIterator(const FrozenGraph& graph, NodeId source,
                     ExpandDirection direction = ExpandDirection::kBackward,
                     double distance_cap = kNoCap,
-                    double initial_distance = 0.0);
+                    double initial_distance = 0.0,
+                    const DeltaGraph* delta = nullptr);
 
   /// Multi-source iterator: every source starts at distance 0; parent
   /// chains lead back to the nearest source.
   ExpansionIterator(const FrozenGraph& graph, const std::vector<NodeId>& sources,
                     ExpandDirection direction,
-                    double distance_cap = kNoCap);
+                    double distance_cap = kNoCap,
+                    const DeltaGraph* delta = nullptr);
 
   /// The single source (kInvalidNode for a multi-source iterator).
   NodeId source() const { return source_; }
@@ -90,6 +97,7 @@ class ExpansionIterator {
 
  private:
   void Advance();  // pops the frontier until a fresh node or exhaustion
+  void RelaxNeighbours(NodeId node, double dist);
 
   struct HeapEntry {
     double dist;
@@ -104,6 +112,7 @@ class ExpansionIterator {
   void Relax(double dist, NodeId node, NodeId parent);
 
   const FrozenGraph* graph_;
+  const DeltaGraph* delta_;  // null = frozen-only (zero-overhead) path
   NodeId source_;
   ExpandDirection direction_;
   double cap_;

@@ -42,23 +42,26 @@ bool ParseSearchStrategy(const std::string& name, SearchStrategy* out) {
 }
 
 std::unique_ptr<ExpansionSearchBase> CreateExpansionSearch(
-    const DataGraph& dg, SearchOptions options) {
+    const DataGraph& dg, SearchOptions options, const DeltaGraph* delta) {
   switch (options.strategy) {
     case SearchStrategy::kForward:
-      return std::make_unique<ForwardSearch>(dg, std::move(options));
+      return std::make_unique<ForwardSearch>(dg, std::move(options), delta);
     case SearchStrategy::kBidirectional:
-      return std::make_unique<BidirectionalSearch>(dg, std::move(options));
+      return std::make_unique<BidirectionalSearch>(dg, std::move(options),
+                                                   delta);
     case SearchStrategy::kBackward:
       break;
   }
-  return std::make_unique<BackwardSearch>(dg, std::move(options));
+  return std::make_unique<BackwardSearch>(dg, std::move(options), delta);
 }
 
 ExpansionSearchBase::ExpansionSearchBase(const DataGraph& dg,
-                                         SearchOptions options)
+                                         SearchOptions options,
+                                         const DeltaGraph* delta)
     : dg_(&dg),
+      delta_(delta),
       options_(std::move(options)),
-      scorer_(std::make_unique<Scorer>(dg.graph, options_.scoring)),
+      scorer_(std::make_unique<Scorer>(dg.graph, options_.scoring, delta)),
       output_heap_(options_.exhaustive ? SIZE_MAX / 2
                                        : options_.output_heap_size) {}
 
@@ -101,7 +104,7 @@ double ExpansionSearchBase::MatchRelevance(size_t term, NodeId node) const {
 
 bool ExpansionSearchBase::RootExcluded(NodeId v) const {
   if (options_.excluded_root_tables.empty()) return false;
-  return options_.excluded_root_tables.count(dg_->RidForNode(v).table_id) > 0;
+  return options_.excluded_root_tables.count(RidOf(v).table_id) > 0;
 }
 
 void ExpansionSearchBase::Begin(
@@ -284,16 +287,17 @@ void ExpansionSearchBase::PrepareExpansionLoop(
       }
     }
   }
-  const double max_w = dg_->graph.MaxNodeWeight();
+  const double max_w = delta_ != nullptr ? delta_->MaxNodeWeight()
+                                         : dg_->graph.MaxNodeWeight();
   for (const auto& [node, _] : origin_terms_) {
     double initial = 0.0;
     if (options_.keyword_prestige_bias > 0 && max_w > 0) {
       initial = options_.keyword_prestige_bias *
-                (1.0 - dg_->graph.node_weight(node) / max_w);
+                (1.0 - NodeWeightOf(node) / max_w);
     }
     iterators_.emplace(node, std::make_unique<ExpansionIterator>(
                                  dg_->graph, node, ExpandDirection::kBackward,
-                                 options_.distance_cap, initial));
+                                 options_.distance_cap, initial, delta_));
   }
   stats_.num_iterators = iterators_.size();
 
@@ -388,7 +392,8 @@ void ExpansionSearchBase::MaybeSpawnProbe(NodeId v, const VertexLists& lists,
   // (see ROADMAP: probe budgeting/offsets for strict BANKS-II ordering).
   probes_.emplace(v, std::make_unique<ExpansionIterator>(
                          dg_->graph, v, ExpandDirection::kForward,
-                         options_.distance_cap));
+                         options_.distance_cap, /*initial_distance=*/0.0,
+                         delta_));
   pending_probes_.push_back(v);
   ++stats_.probes_spawned;
   ++stats_.roots_tried;

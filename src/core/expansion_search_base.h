@@ -204,9 +204,15 @@ struct SearchStats {
 /// Shared base of all expansion-search strategies. One instance = one run
 /// configuration over one data graph; runs (batch or streaming) may be
 /// started repeatedly — Begin() fully resets per-run state.
+///
+/// `delta` (optional) is the live-update overlay captured with the
+/// snapshot: expansion then also walks overlay edges, skips tombstoned
+/// nodes, and resolves overlay-added NodeIds. Null (the default, and the
+/// state right after a refreeze) keeps the frozen-only hot path.
 class ExpansionSearchBase {
  public:
-  ExpansionSearchBase(const DataGraph& dg, SearchOptions options);
+  ExpansionSearchBase(const DataGraph& dg, SearchOptions options,
+                      const DeltaGraph* delta = nullptr);
   virtual ~ExpansionSearchBase() = default;
 
   /// keyword_nodes[i] = nodes relevant to search term i. Terms with empty
@@ -299,6 +305,16 @@ class ExpansionSearchBase {
   /// True if `v` may not serve as an information node (§2.1 exclusions).
   bool RootExcluded(NodeId v) const;
 
+  /// Rid of `v` across base + overlay (overlay-added nodes have ids past
+  /// the frozen node count, where DataGraph::RidForNode would be UB).
+  Rid RidOf(NodeId v) const { return ResolveRidForNode(*dg_, delta_, v); }
+
+  /// Prestige weight of `v` across base + overlay.
+  double NodeWeightOf(NodeId v) const {
+    return delta_ != nullptr ? delta_->NodeWeight(v)
+                             : dg_->graph.node_weight(v);
+  }
+
   /// Match relevance of `node` for `term` (1.0 unless a scored run
   /// supplied a fuzzy/numeric relevance below 1).
   double MatchRelevance(size_t term, NodeId node) const;
@@ -337,6 +353,7 @@ class ExpansionSearchBase {
                           const ExpansionIterator& it);
 
   const DataGraph* dg_;
+  const DeltaGraph* delta_;  // null = frozen-only snapshot
   SearchOptions options_;
   std::unique_ptr<Scorer> scorer_;
 
@@ -414,9 +431,12 @@ class ExpansionSearchBase {
   Budget budget_;
 };
 
-/// Factory: the strategy named by `options.strategy` over `dg`.
+/// Factory: the strategy named by `options.strategy` over `dg`, optionally
+/// layered with a live-update overlay (which must outlive the searcher —
+/// sessions hold the owning DeltaSnapshot).
 std::unique_ptr<ExpansionSearchBase> CreateExpansionSearch(
-    const DataGraph& dg, SearchOptions options);
+    const DataGraph& dg, SearchOptions options,
+    const DeltaGraph* delta = nullptr);
 
 }  // namespace banks
 

@@ -29,7 +29,7 @@ void ForwardSearch::BeginExecute(
   // path root -> pivot node (parents point toward the sources).
   rev_ = std::make_unique<ExpansionIterator>(dg_->graph, keyword_nodes[pivot_],
                                              ExpandDirection::kBackward,
-                                             options_.distance_cap);
+                                             options_.distance_cap, delta_);
   stats_.num_iterators = 1;
 
   root_budget_ =
@@ -53,7 +53,8 @@ bool ForwardSearch::ExecuteStep() {
   // Bounded forward Dijkstra from the candidate root until every other
   // term is reached (or the frontier exhausts).
   ExpansionIterator fwd(g, root, ExpandDirection::kForward,
-                        options_.distance_cap);
+                        options_.distance_cap, /*initial_distance=*/0.0,
+                        delta_);
   uint64_t covered = 0;
   std::vector<NodeId> leaf_of_term(n_terms_, kInvalidNode);
   while (covered != all_other_ && fwd.HasNext() &&

@@ -40,8 +40,9 @@ using ForwardSearchStats = SearchStats;
 /// exhaustive baselines.
 class ForwardSearch : public ExpansionSearchBase {
  public:
-  ForwardSearch(const DataGraph& dg, SearchOptions options)
-      : ExpansionSearchBase(dg, std::move(options)) {}
+  ForwardSearch(const DataGraph& dg, SearchOptions options,
+                const DeltaGraph* delta = nullptr)
+      : ExpansionSearchBase(dg, std::move(options), delta) {}
 
  protected:
   void BeginExecute(

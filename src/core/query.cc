@@ -142,12 +142,18 @@ std::vector<KeywordMatch> KeywordResolver::ResolveNumeric(
   if (ihi >= ilo && ihi - ilo <= 10'000) {
     for (int64_t k = ilo; k <= ihi; ++k) {
       std::string token = std::to_string(k);
-      for (Rid rid : index_->Lookup(token)) {
-        if (!term.attribute.empty() &&
-            !TupleColumnContains(rid, term.attribute, token)) {
-          continue;
+      auto add_hits = [&](const std::vector<Rid>& postings) {
+        for (Rid rid : postings) {
+          if (!term.attribute.empty() &&
+              !TupleColumnContains(rid, term.attribute, token)) {
+            continue;
+          }
+          hits.emplace_back(rid, relevance_of(static_cast<double>(k)));
         }
-        hits.emplace_back(rid, relevance_of(static_cast<double>(k)));
+      };
+      add_hits(index_->Lookup(token));
+      if (index_delta_ != nullptr) {
+        if (const auto* extra = index_delta_->Lookup(token)) add_hits(*extra);
       }
     }
   }
@@ -157,7 +163,7 @@ std::vector<KeywordMatch> KeywordResolver::ResolveNumeric(
   std::sort(hits.begin(), hits.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   for (const auto& [rid, rel] : hits) {
-    NodeId n = dg_->NodeForRid(rid);
+    NodeId n = NodeOf(rid);
     if (n == kInvalidNode) continue;
     if (!matches.empty() && matches.back().node == n) {
       matches.back().relevance = std::max(matches.back().relevance, rel);
@@ -196,15 +202,23 @@ std::vector<KeywordMatch> KeywordResolver::ResolveScored(
                 ? 1.0 / (1.0 + d)
                 : 0.7;  // prefix expansion
     }
-    const auto& postings = index_->Lookup(kw);
-    if (term.attribute.empty()) {
-      for (Rid rid : postings) hits.emplace_back(rid, rel);
-    } else {
-      for (Rid rid : postings) {
-        if (TupleColumnContains(rid, term.attribute, kw)) {
-          hits.emplace_back(rid, rel);
+    auto add_hits = [&](const std::vector<Rid>& postings) {
+      if (term.attribute.empty()) {
+        for (Rid rid : postings) hits.emplace_back(rid, rel);
+      } else {
+        for (Rid rid : postings) {
+          if (TupleColumnContains(rid, term.attribute, kw)) {
+            hits.emplace_back(rid, rel);
+          }
         }
       }
+    };
+    add_hits(index_->Lookup(kw));
+    // Tuples written after the snapshot froze are searchable through the
+    // delta postings before any refreeze. (Approx expansion only sees the
+    // base vocabulary; exact hits on fresh keywords still land here.)
+    if (index_delta_ != nullptr) {
+      if (const auto* extra = index_delta_->Lookup(kw)) add_hits(*extra);
     }
   }
 
@@ -219,8 +233,8 @@ std::vector<KeywordMatch> KeywordResolver::ResolveScored(
             [](const auto& a, const auto& b) { return a.first < b.first; });
   std::vector<KeywordMatch> matches;
   for (const auto& [rid, rel] : hits) {
-    NodeId n = dg_->NodeForRid(rid);
-    if (n == kInvalidNode) continue;
+    NodeId n = NodeOf(rid);
+    if (n == kInvalidNode) continue;  // unknown, or tombstoned by a delete
     if (!matches.empty() && matches.back().node == n) {
       matches.back().relevance = std::max(matches.back().relevance, rel);
     } else {

@@ -16,6 +16,8 @@
 #include "index/metadata_index.h"
 #include "index/numeric_index.h"
 #include "storage/database.h"
+#include "update/delta_graph.h"
+#include "update/index_delta.h"
 
 namespace banks {
 
@@ -67,16 +69,26 @@ struct KeywordMatch {
 };
 
 /// Resolves query terms to graph-node sets.
+///
+/// The optional live-update overlays make post-freeze writes visible at
+/// resolution time: `index_delta` contributes postings for tuples inserted
+/// or updated since the snapshot froze, and `delta` maps their Rids to
+/// overlay NodeIds while filtering tuples tombstoned by a delete. Both
+/// null (the default) resolves against the frozen snapshot alone.
 class KeywordResolver {
  public:
   KeywordResolver(const Database& db, const DataGraph& dg,
                   const InvertedIndex& index, const MetadataIndex& metadata,
-                  const NumericIndex* numeric = nullptr)
+                  const NumericIndex* numeric = nullptr,
+                  const DeltaGraph* delta = nullptr,
+                  const InvertedIndexDelta* index_delta = nullptr)
       : db_(&db),
         dg_(&dg),
         index_(&index),
         metadata_(&metadata),
-        numeric_(numeric) {}
+        numeric_(numeric),
+        delta_(delta),
+        index_delta_(index_delta) {}
 
   /// Scored matches for one term (sorted by node, deduplicated keeping the
   /// best relevance per node).
@@ -103,11 +115,19 @@ class KeywordResolver {
   std::vector<KeywordMatch> ResolveNumeric(const QueryTerm& term,
                                            const MatchOptions& options) const;
 
+  /// NodeId of `rid` across snapshot + overlay (kInvalidNode if unknown
+  /// or tombstoned by a post-freeze delete).
+  NodeId NodeOf(Rid rid) const {
+    return ResolveNodeForRid(*dg_, delta_, rid);
+  }
+
   const Database* db_;
   const DataGraph* dg_;
   const InvertedIndex* index_;
   const MetadataIndex* metadata_;
   const NumericIndex* numeric_;  ///< optional; approx() still uses tokens
+  const DeltaGraph* delta_;              ///< optional live-update overlay
+  const InvertedIndexDelta* index_delta_;  ///< optional delta postings
 };
 
 }  // namespace banks

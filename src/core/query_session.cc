@@ -12,6 +12,7 @@ QuerySession::QuerySession(QuerySessionInit init)
       dropped_terms_(std::move(init.dropped_terms)),
       active_terms_(std::move(init.active_terms)),
       dg_(std::move(init.dg)),
+      delta_(std::move(init.delta)),
       policy_(std::move(init.policy)),
       hidden_table_ids_(std::move(init.hidden_table_ids)),
       deliver_cap_(init.deliver_cap) {
@@ -24,7 +25,7 @@ QuerySession::QuerySession(QuerySessionInit init)
 
 bool QuerySession::Visible(const ConnectionTree& tree) const {
   if (hidden_table_ids_.empty()) return true;
-  return policy_.AnswerVisible(tree, *dg_, hidden_table_ids_);
+  return policy_.AnswerVisible(tree, *dg_, hidden_table_ids_, delta_.get());
 }
 
 // Re-maps leaf_for_term of one answer back to the original term indexes

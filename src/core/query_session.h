@@ -52,6 +52,9 @@ struct QuerySessionInit {
   /// Immutable graph snapshot the session reads. Holding the shared_ptr
   /// (not a raw pointer) lets sessions outlive an engine-side refreeze.
   DataGraphSnapshot dg;
+  /// Live-update overlay captured with the snapshot (null = none). The
+  /// session owns the reference; the searcher holds only a raw pointer.
+  DeltaSnapshot delta;
   /// Authorization (§7): answers touching hidden tuples are skipped as
   /// they stream out; the searcher oversamples to compensate.
   AuthPolicy policy;
@@ -132,6 +135,16 @@ class QuerySession {
   /// Answers delivered to the caller so far.
   size_t answers_returned() const { return delivered_; }
 
+  /// The immutable snapshot this session's answers belong to. Render
+  /// against *this* pair — not the engine's current state — when the
+  /// engine may have refrozen since the session opened (NodeIds are
+  /// per-epoch):
+  ///   RenderAnswer(tree, *session.graph_snapshot(), engine.db(),
+  ///                session.delta().get());
+  const DataGraphSnapshot& graph_snapshot() const { return dg_; }
+  /// The live-update overlay captured with the snapshot (null = none).
+  const DeltaSnapshot& delta() const { return delta_; }
+
  private:
   bool Visible(const ConnectionTree& tree) const;
   void RemapDroppedTerms(ConnectionTree* tree) const;
@@ -146,6 +159,7 @@ class QuerySession {
   std::vector<size_t> dropped_terms_;
   std::vector<size_t> active_terms_;
   DataGraphSnapshot dg_;
+  DeltaSnapshot delta_;
   AuthPolicy policy_;
   std::unordered_set<uint32_t> hidden_table_ids_;
   size_t deliver_cap_ = SIZE_MAX;

@@ -17,11 +17,15 @@ std::string ScoringParams::Name() const {
   return n;
 }
 
-Scorer::Scorer(const FrozenGraph& graph, ScoringParams params)
+Scorer::Scorer(const FrozenGraph& graph, ScoringParams params,
+               const DeltaGraph* delta)
     : graph_(&graph),
+      delta_(delta),
       params_(params),
-      min_edge_weight_(graph.MinEdgeWeight()),
-      max_node_weight_(graph.MaxNodeWeight()) {
+      min_edge_weight_(delta != nullptr ? delta->MinEdgeWeight()
+                                        : graph.MinEdgeWeight()),
+      max_node_weight_(delta != nullptr ? delta->MaxNodeWeight()
+                                        : graph.MaxNodeWeight()) {
   if (!std::isfinite(min_edge_weight_) || min_edge_weight_ <= 0) {
     min_edge_weight_ = 1.0;  // edgeless graph: any positive normaliser works
   }
@@ -49,11 +53,11 @@ double Scorer::TreeNodeScore(const ConnectionTree& tree) const {
   // containing multiple terms is counted with that multiplicity (§2.3).
   // Approximate matches contribute their node score damped by the leaf's
   // match relevance (§2.3 node relevances).
-  double sum = NodeScore(graph_->node_weight(tree.root));
+  double sum = NodeScore(WeightOf(tree.root));
   size_t count = 1;
   for (size_t i = 0; i < tree.leaf_for_term.size(); ++i) {
     double rel = i < tree.leaf_relevance.size() ? tree.leaf_relevance[i] : 1.0;
-    sum += rel * NodeScore(graph_->node_weight(tree.leaf_for_term[i]));
+    sum += rel * NodeScore(WeightOf(tree.leaf_for_term[i]));
     ++count;
   }
   return sum / static_cast<double>(count);

@@ -16,6 +16,7 @@
 
 #include "core/answer.h"
 #include "graph/frozen_graph.h"
+#include "update/delta_graph.h"
 
 namespace banks {
 
@@ -38,9 +39,12 @@ struct ScoringParams {
 };
 
 /// Computes answer relevance against a fixed graph (captures w_min, n_max).
+/// With a live-update overlay the normalisers cover base + delta and node
+/// weights of overlay-added nodes resolve through the overlay.
 class Scorer {
  public:
-  Scorer(const FrozenGraph& graph, ScoringParams params);
+  Scorer(const FrozenGraph& graph, ScoringParams params,
+         const DeltaGraph* delta = nullptr);
   // The scorer keeps a pointer to the graph: temporaries are a bug.
   Scorer(FrozenGraph&& graph, ScoringParams params) = delete;
 
@@ -62,7 +66,15 @@ class Scorer {
   const ScoringParams& params() const { return params_; }
 
  private:
+  /// Prestige weight of `n` across base + overlay.
+  double WeightOf(NodeId n) const {
+    return delta_ != nullptr && n >= graph_->num_nodes()
+               ? delta_->NodeWeight(n)
+               : graph_->node_weight(n);
+  }
+
   const FrozenGraph* graph_;
+  const DeltaGraph* delta_;
   ScoringParams params_;
   double min_edge_weight_;
   double max_node_weight_;

@@ -124,11 +124,15 @@ double EvalWorkload::ScaledError(const EvalQuery& query,
   SearchOptions search = engine.options().search;
   search.scoring = scoring;
   search.max_answers = k;
-  auto result = engine.Search(query.text, search);
-  if (!result.ok()) return 100.0;
-  auto ranks = IdealRanks(result.value().answers, query.ideals,
-                          engine.data_graph(), engine.db(),
-                          static_cast<int>(k) + 1);
+  // Open a session and keep *its* snapshot for the scoring pass: the
+  // answers' NodeIds belong to the epoch the session captured, not to
+  // whatever engine.data_graph() returns after a concurrent refreeze.
+  auto session = engine.OpenSession(query.text, search);
+  if (!session.ok()) return 100.0;
+  DataGraphSnapshot snapshot = session.value().graph_snapshot();
+  QueryResult result = session.value().DrainToResult();
+  auto ranks = IdealRanks(result.answers, query.ideals, *snapshot,
+                          engine.db(), static_cast<int>(k) + 1);
   return ScaledErrorScore(ranks, static_cast<int>(k) + 1);
 }
 

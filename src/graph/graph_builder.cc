@@ -19,13 +19,16 @@ DataGraph BuildDataGraph(const Database& db, const GraphBuildOptions& options) {
   DataGraph dg;
   Graph g;  // mutable build graph; frozen into dg.graph at the end
 
-  // 1. Nodes, in deterministic (table id, row) order.
+  // 1. Nodes, in deterministic (table id, row) order. Tombstoned rows are
+  //    skipped: a refreeze after deletes compacts the node id space (Rids
+  //    stay stable; NodeIds are per-snapshot).
   size_t total = db.TotalRows();
   dg.node_rid.reserve(total);
   dg.rid_node.reserve(total);
   for (const auto& name : db.table_names()) {
     const Table* t = db.table(name);
     for (uint32_t r = 0; r < t->num_rows(); ++r) {
+      if (t->IsDeleted(r)) continue;
       Rid rid{t->id(), r};
       NodeId id = g.AddNode(0.0);
       dg.node_rid.push_back(rid);
@@ -45,6 +48,7 @@ DataGraph BuildDataGraph(const Database& db, const GraphBuildOptions& options) {
     const Table* from_t = db.table(fk.table);
     if (from_t == nullptr) continue;
     for (uint32_t r = 0; r < from_t->num_rows(); ++r) {
+      if (from_t->IsDeleted(r)) continue;
       Rid from{from_t->id(), r};
       auto to = db.ResolveFk(fk, from);
       if (!to.has_value()) continue;
@@ -60,6 +64,7 @@ DataGraph BuildDataGraph(const Database& db, const GraphBuildOptions& options) {
     const Table* from_t = db.table(ind.table);
     if (from_t == nullptr) continue;
     for (uint32_t r = 0; r < from_t->num_rows(); ++r) {
+      if (from_t->IsDeleted(r)) continue;
       Rid from{from_t->id(), r};
       NodeId fn = dg.NodeForRid(from);
       if (fn == kInvalidNode) continue;

@@ -24,6 +24,7 @@ void InvertedIndex::Build(const Database& db) {
     }
     if (text_cols.empty()) continue;
     for (uint32_t r = 0; r < t->num_rows(); ++r) {
+      if (t->IsDeleted(r)) continue;
       Rid rid{t->id(), r};
       for (size_t c : text_cols) {
         const Value& v = t->row(r).at(c);

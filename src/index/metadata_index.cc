@@ -46,6 +46,7 @@ std::vector<Rid> MetadataIndex::LookupRids(const Database& db,
     const Table* t = db.table(m.table);
     if (t == nullptr) continue;
     for (uint32_t r = 0; r < t->num_rows(); ++r) {
+      if (t->IsDeleted(r)) continue;  // tombstoned since the last refreeze
       rids.push_back(Rid{t->id(), r});
     }
   }

@@ -18,6 +18,7 @@ void NumericIndex::Build(const Database& db) {
     }
     if (numeric_cols.empty()) continue;
     for (uint32_t r = 0; r < t->num_rows(); ++r) {
+      if (t->IsDeleted(r)) continue;
       for (size_t c : numeric_cols) {
         const Value& v = t->row(r).at(c);
         if (v.is_null()) continue;

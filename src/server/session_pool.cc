@@ -208,10 +208,17 @@ void SessionPool::Shutdown() {
 }
 
 PoolStats SessionPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  PoolStats snapshot = counters_;
-  snapshot.active = active_;
-  snapshot.waiting = waiting_.size();
+  PoolStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = counters_;
+    snapshot.active = active_;
+    snapshot.waiting = waiting_.size();
+  }
+  // Engine state is sampled outside mu_ (it takes the engine's state
+  // lock; never nest the two).
+  snapshot.engine_epoch = engine_->epoch();
+  snapshot.pending_mutations = engine_->pending_mutations();
   return snapshot;
 }
 

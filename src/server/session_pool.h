@@ -24,12 +24,14 @@
 // `max_waiting` wait in FIFO order; beyond that Submit rejects. The caps
 // bound memory and keep latency predictable under overload.
 //
-// Thread-safety: the pool relies on the engine's read path being
-// immutable after construction (database, indexes, frozen graph). Each
-// QuerySession holds a shared_ptr to the DataGraph snapshot and confines
-// its mutable stepper state to one worker at a time, handed off through
-// the scheduler lock. Concurrent execution therefore returns *exactly*
-// the answers a serial run returns.
+// Thread-safety: the pool relies on the engine's read path being an
+// immutable snapshot per session — each QuerySession captures the
+// LiveState pieces (graph snapshot + delta overlays) it was opened on and
+// confines its mutable stepper state to one worker at a time, handed off
+// through the scheduler lock. Concurrent execution therefore returns
+// *exactly* the answers a serial run returns, and an engine-side mutation
+// or refreeze swap mid-run never perturbs sessions already open (see
+// src/update/): PoolStats reports the epoch new submissions land on.
 #ifndef BANKS_SERVER_SESSION_POOL_H_
 #define BANKS_SERVER_SESSION_POOL_H_
 
@@ -78,6 +80,13 @@ struct PoolStats {
   size_t slices = 0;      ///< scheduling quanta executed
   size_t active = 0;      ///< currently runnable or running
   size_t waiting = 0;     ///< currently queued behind the admission cap
+
+  // Live-update gauges (src/update/), sampled from the engine at stats()
+  // time: which snapshot generation new submissions land on, and how much
+  // delta they carry. Sessions already running may span older epochs —
+  // they finish on the snapshot they opened with.
+  uint64_t engine_epoch = 0;       ///< current refreeze generation
+  uint64_t pending_mutations = 0;  ///< deltas awaiting the next refreeze
 };
 
 /// Fixed set of worker threads multiplexing concurrent QuerySessions.

@@ -109,10 +109,11 @@ std::vector<Rid> Database::ResolveInclusion(const InclusionDependency& ind,
   const Value& v = from_table->row(from.row).at(*col);
   if (v.is_null()) return out;
 
-  // Lazily build the value index for this dependency.
+  // Lazily build the value index for this dependency (live rows only).
   auto& index = inclusion_index_[ind.name];
   if (index.empty()) {
     for (uint32_t r = 0; r < to_table->num_rows(); ++r) {
+      if (to_table->IsDeleted(r)) continue;
       const Value& rv = to_table->row(r).at(*ref_col);
       if (rv.is_null()) continue;
       index[EncodeValuesKey({rv})].push_back(r);
@@ -133,8 +134,57 @@ Result<Rid> Database::Insert(const std::string& table_name, Tuple tuple) {
   Result<uint32_t> row = t->Insert(std::move(tuple));
   if (!row.ok()) return row.status();
   reverse_ready_ = false;
-  inclusion_index_.clear();
+  // Inclusion indexes cover the *referred* side only, so an insert merely
+  // appends the new row to already-built indexes on its table — no O(rows)
+  // rebuild on the ingest path (deletes/updates still invalidate).
+  for (const auto& ind : inds_) {
+    if (ind.ref_table != table_name) continue;
+    auto built = inclusion_index_.find(ind.name);
+    if (built == inclusion_index_.end() || built->second.empty()) continue;
+    auto ref_col = t->schema().ColumnIndex(ind.ref_column);
+    if (!ref_col.has_value()) continue;
+    const Value& rv = t->row(row.value()).at(*ref_col);
+    if (!rv.is_null()) {
+      built->second[EncodeValuesKey({rv})].push_back(row.value());
+    }
+  }
   return Rid{t->id(), row.value()};
+}
+
+Status Database::Delete(Rid rid) {
+  Table* t = rid.table_id < tables_.size() ? tables_[rid.table_id].get()
+                                           : nullptr;
+  if (t == nullptr) {
+    return Status::NotFound("no table #" + std::to_string(rid.table_id));
+  }
+  Status s = t->Delete(rid.row);
+  if (!s.ok()) return s;
+  reverse_ready_ = false;
+  inclusion_index_.clear();
+  return Status::OK();
+}
+
+bool Database::IsDeleted(Rid rid) const {
+  const Table* t = table(rid.table_id);
+  return t != nullptr && t->IsDeleted(rid.row);
+}
+
+Status Database::UpdateValue(Rid rid, const std::string& column, Value value) {
+  Table* t = rid.table_id < tables_.size() ? tables_[rid.table_id].get()
+                                           : nullptr;
+  if (t == nullptr) {
+    return Status::NotFound("no table #" + std::to_string(rid.table_id));
+  }
+  auto col = t->schema().ColumnIndex(column);
+  if (!col.has_value()) {
+    return Status::InvalidArgument("table '" + t->name() +
+                                   "' has no column '" + column + "'");
+  }
+  Status s = t->UpdateValue(rid.row, *col, std::move(value));
+  if (!s.ok()) return s;
+  reverse_ready_ = false;
+  inclusion_index_.clear();
+  return Status::OK();
 }
 
 const Table* Database::table(const std::string& name) const {
@@ -219,6 +269,7 @@ void Database::BuildReverseIndex() const {
     const Table* from_table = table(fk.table);
     if (from_table == nullptr) continue;
     for (uint32_t r = 0; r < from_table->num_rows(); ++r) {
+      if (from_table->IsDeleted(r)) continue;
       Rid from{from_table->id(), r};
       auto to = ResolveFk(fk, from);
       if (to.has_value()) {

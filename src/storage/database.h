@@ -61,6 +61,17 @@ class Database {
   /// Inserts a row; returns its Rid.
   Result<Rid> Insert(const std::string& table, Tuple tuple);
 
+  /// Tombstones a row (see Table::Delete): the slot keeps its data so
+  /// graph snapshots frozen before the delete still render, but the tuple
+  /// stops resolving as an FK target and a refreeze drops it.
+  Status Delete(Rid rid);
+
+  /// True if `rid` names a tombstoned row.
+  bool IsDeleted(Rid rid) const;
+
+  /// Overwrites one column of a live row (PK columns are rejected).
+  Status UpdateValue(Rid rid, const std::string& column, Value value);
+
   size_t num_tables() const { return tables_.size(); }
   const Table* table(const std::string& name) const;
   const Table* table(uint32_t id) const;

@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include <utility>
+
 namespace banks {
 
 Result<uint32_t> Table::Insert(Tuple tuple) {
@@ -31,6 +33,50 @@ Result<uint32_t> Table::Insert(Tuple tuple) {
   rows_.push_back(std::move(tuple));
   if (schema_.has_primary_key()) pk_index_.emplace(std::move(pk_key), row);
   return row;
+}
+
+Status Table::Delete(uint32_t row) {
+  if (row >= rows_.size()) {
+    return Status::NotFound("table '" + name() + "': no row " +
+                            std::to_string(row));
+  }
+  if (IsDeleted(row)) {
+    return Status::NotFound("table '" + name() + "': row " +
+                            std::to_string(row) + " already deleted");
+  }
+  if (deleted_.size() < rows_.size()) deleted_.resize(rows_.size(), false);
+  deleted_[row] = true;
+  ++num_deleted_;
+  if (schema_.has_primary_key()) {
+    pk_index_.erase(rows_[row].EncodeKey(schema_.primary_key()));
+  }
+  return Status::OK();
+}
+
+Status Table::UpdateValue(uint32_t row, size_t column, Value value) {
+  if (row >= rows_.size() || IsDeleted(row)) {
+    return Status::NotFound("table '" + name() + "': no live row " +
+                            std::to_string(row));
+  }
+  if (column >= schema_.num_columns()) {
+    return Status::InvalidArgument("table '" + name() + "': no column #" +
+                                   std::to_string(column));
+  }
+  for (size_t pk_col : schema_.primary_key()) {
+    if (pk_col == column) {
+      return Status::InvalidArgument(
+          "table '" + name() + "': cannot update primary-key column '" +
+          schema_.columns()[column].name + "'");
+    }
+  }
+  if (!value.is_null() && value.type() != schema_.columns()[column].type) {
+    return Status::InvalidArgument(
+        "table '" + name() + "' column '" + schema_.columns()[column].name +
+        "': expected " + ValueTypeName(schema_.columns()[column].type) +
+        ", got " + ValueTypeName(value.type()));
+  }
+  rows_[row].at(column) = std::move(value);
+  return Status::OK();
 }
 
 std::optional<uint32_t> Table::LookupPk(

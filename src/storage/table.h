@@ -16,9 +16,11 @@ namespace banks {
 
 /// An in-memory relation: schema + append-only rows + PK index.
 ///
-/// Rows are addressed by dense index (the `row` half of a Rid). BANKS never
-/// updates or deletes tuples during search, so the store is append-only; the
-/// browsing layer reads rows by index and the graph builder scans them once.
+/// Rows are addressed by dense index (the `row` half of a Rid), so row slots
+/// are never reused: Delete marks a tombstone (the PK is released, the data
+/// stays readable so graph snapshots frozen before the delete still render),
+/// and Insert always appends. The update/ subsystem records the live/dead
+/// transition; a refreeze rebuilds the derived structures over live rows.
 class Table {
  public:
   Table(uint32_t id, TableSchema schema)
@@ -28,7 +30,10 @@ class Table {
   const TableSchema& schema() const { return schema_; }
   const std::string& name() const { return schema_.name(); }
 
+  /// Row slots ever allocated, tombstoned ones included.
   size_t num_rows() const { return rows_.size(); }
+  /// Rows not tombstoned (what a refreeze materialises).
+  size_t num_live_rows() const { return rows_.size() - num_deleted_; }
   const Tuple& row(size_t i) const { return rows_[i]; }
   const std::vector<Tuple>& rows() const { return rows_; }
 
@@ -36,6 +41,17 @@ class Table {
   /// allowed in any column), or duplicate primary key. On success returns
   /// the new row index.
   Result<uint32_t> Insert(Tuple tuple);
+
+  /// Tombstones a row: its PK entry is released (a later Insert may reuse
+  /// the key) but the slot keeps its data so pre-delete snapshots render.
+  Status Delete(uint32_t row);
+  bool IsDeleted(uint32_t row) const {
+    return row < deleted_.size() && deleted_[row];
+  }
+
+  /// Overwrites one column value in place. PK columns cannot be updated
+  /// (delete + insert instead — the Rid identity would change anyway).
+  Status UpdateValue(uint32_t row, size_t column, Value value);
 
   /// Looks up a row by primary-key values (in PK column order).
   std::optional<uint32_t> LookupPk(const std::vector<Value>& pk_values) const;
@@ -47,6 +63,8 @@ class Table {
   uint32_t id_;
   TableSchema schema_;
   std::vector<Tuple> rows_;
+  std::vector<bool> deleted_;  // lazily grown; empty = nothing deleted
+  size_t num_deleted_ = 0;
   std::unordered_map<std::string, uint32_t> pk_index_;
 };
 

@@ -1,0 +1,90 @@
+#include "update/delta_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace banks {
+
+DeltaGraph::DeltaGraph(DataGraphSnapshot base)
+    : base_(std::move(base)),
+      base_nodes_(base_->graph.num_nodes()),
+      min_extra_edge_weight_(std::numeric_limits<double>::infinity()) {
+  assert(base_ != nullptr);
+}
+
+NodeId DeltaGraph::NodeForRid(Rid rid) const {
+  auto it = added_by_rid_.find(rid.Pack());
+  NodeId n = it != added_by_rid_.end() ? it->second : base_->NodeForRid(rid);
+  if (n == kInvalidNode || NodeDead(n)) return kInvalidNode;
+  return n;
+}
+
+double DeltaGraph::MaxNodeWeight() const {
+  return std::max(base_->graph.MaxNodeWeight(), max_added_weight_);
+}
+
+double DeltaGraph::MinEdgeWeight() const {
+  return std::min(base_->graph.MinEdgeWeight(), min_extra_edge_weight_);
+}
+
+NodeId DeltaGraph::AddNode(Rid rid, double weight) {
+  NodeId id = static_cast<NodeId>(base_nodes_ + added_rid_.size());
+  added_rid_.push_back(rid);
+  added_weight_.push_back(weight);
+  added_by_rid_.emplace(rid.Pack(), id);
+  max_added_weight_ = std::max(max_added_weight_, weight);
+  return id;
+}
+
+void DeltaGraph::AddEdge(NodeId u, NodeId v, double weight) {
+  extra_out_[u].push_back(GraphEdge{v, weight});
+  extra_in_[v].push_back(GraphEdge{u, weight});
+  ++added_edges_;
+  min_extra_edge_weight_ = std::min(min_extra_edge_weight_, weight);
+  dead_edges_.erase(PairKey(u, v));  // a re-added edge is live again
+}
+
+void DeltaGraph::KillNode(NodeId n) { dead_nodes_.insert(n); }
+
+void DeltaGraph::KillEdge(NodeId u, NodeId v) {
+  dead_edges_.insert(PairKey(u, v));
+  // Overlay edges are removed outright (cheap: side lists are short);
+  // the tombstone set only needs to mask *base* CSR edges.
+  auto drop = [](std::vector<GraphEdge>* edges, NodeId to) {
+    if (edges == nullptr) return;
+    edges->erase(std::remove_if(edges->begin(), edges->end(),
+                                [to](const GraphEdge& e) { return e.to == to; }),
+                 edges->end());
+  };
+  auto out = extra_out_.find(u);
+  if (out != extra_out_.end()) drop(&out->second, v);
+  auto in = extra_in_.find(v);
+  if (in != extra_in_.end()) drop(&in->second, u);
+}
+
+void DeltaGraph::BumpNodeWeight(NodeId n, double delta) {
+  if (n < base_nodes_) return;  // base prestige is frozen until refreeze
+  double& w = added_weight_[n - base_nodes_];
+  w += delta;
+  max_added_weight_ = std::max(max_added_weight_, w);
+}
+
+size_t DeltaGraph::MemoryBytes() const {
+  size_t bytes = added_rid_.capacity() * sizeof(Rid) +
+                 added_weight_.capacity() * sizeof(double);
+  bytes += added_by_rid_.size() *
+           (sizeof(uint64_t) + sizeof(NodeId) + 2 * sizeof(void*));
+  for (const auto* side : {&extra_out_, &extra_in_}) {
+    for (const auto& [_, edges] : *side) {
+      bytes += sizeof(NodeId) + edges.capacity() * sizeof(GraphEdge) +
+               2 * sizeof(void*);
+    }
+  }
+  bytes += (dead_nodes_.size() + dead_edges_.size()) *
+           (sizeof(uint64_t) + 2 * sizeof(void*));
+  return bytes;
+}
+
+}  // namespace banks

@@ -1,0 +1,179 @@
+// Delta overlay over one frozen DataGraph snapshot.
+//
+// The CSR FrozenGraph cannot absorb a node or edge without a full rebuild,
+// so mutations between refreezes live here: added nodes get NodeIds past
+// the base node count, added edges hang off per-node side lists, and
+// deleted tuples become node tombstones (their base edges die with them).
+// The expansion machinery consults the overlay through a sentinel-cheap
+// check — a null DeltaGraph* restores the exact pre-update hot path, and a
+// non-null one adds one branch per visit plus a hash probe only where the
+// overlay is non-trivial.
+//
+// Publication model: overlays are copy-on-write. The RefreezeCoordinator
+// clones the current overlay, applies one mutation, and publishes the
+// clone as a shared_ptr<const DeltaGraph>; sessions capture the pointer at
+// open, so a session's view never changes mid-run and pre-mutation
+// sessions stay byte-identical to a serial run on their snapshot. The
+// overlay holds the DataGraphSnapshot it extends, so holding the overlay
+// keeps the base alive across an engine-side refreeze swap.
+//
+// Weight fidelity (documented approximation, exact again after refreeze):
+//   - a delta backward edge weights IN(v) by *total* indegree (base CSR +
+//     overlay) rather than the §2.2 per-relation indegree;
+//   - base edges keep their frozen weights even when new links change the
+//     indegrees that derived them;
+//   - added nodes accrue indegree prestige only from overlay links.
+#ifndef BANKS_UPDATE_DELTA_GRAPH_H_
+#define BANKS_UPDATE_DELTA_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace banks {
+
+/// Added/tombstoned nodes and edges layered over an immutable CSR base.
+class DeltaGraph {
+ public:
+  /// An empty overlay over `base` (non-null).
+  explicit DeltaGraph(DataGraphSnapshot base);
+
+  // Copyable: the coordinator clones before applying each mutation.
+
+  const DataGraphSnapshot& base() const { return base_; }
+  size_t base_nodes() const { return base_nodes_; }
+  /// Base + added nodes (tombstoned slots still count; ids are stable).
+  size_t TotalNodes() const { return base_nodes_ + added_rid_.size(); }
+
+  bool empty() const {
+    return added_rid_.empty() && dead_nodes_.empty() && dead_edges_.empty();
+  }
+
+  // ------------------------------------------------------------ hot path
+  /// True if `n` was tombstoned by a delete.
+  bool NodeDead(NodeId n) const { return dead_nodes_.count(n) > 0; }
+
+  /// True if some update retargeted an FK away from this directed edge.
+  /// Callers may skip the probe when HasEdgeTombstones() is false.
+  bool HasEdgeTombstones() const { return !dead_edges_.empty(); }
+  bool EdgeDead(NodeId from, NodeId to) const {
+    return dead_edges_.count(PairKey(from, to)) > 0;
+  }
+
+  /// Overlay adjacency of `n` in the given direction (forward = out-edges,
+  /// matching FrozenGraph::Edges), or nullptr when the overlay adds none.
+  const std::vector<GraphEdge>* ExtraEdges(NodeId n, bool forward) const {
+    const auto& side = forward ? extra_out_ : extra_in_;
+    auto it = side.find(n);
+    return it == side.end() ? nullptr : &it->second;
+  }
+
+  // ------------------------------------------------- combined-view lookups
+  /// NodeId for a tuple across base + overlay; kInvalidNode for unknown or
+  /// tombstoned tuples (a deleted tuple stops matching keywords).
+  NodeId NodeForRid(Rid rid) const;
+
+  /// Rid of any node, added ones included. Precondition: n < TotalNodes().
+  Rid RidForNode(NodeId n) const {
+    return n < base_nodes_ ? base_->RidForNode(n)
+                           : added_rid_[n - base_nodes_];
+  }
+
+  /// Prestige weight of any node (added nodes carry overlay indegree).
+  double NodeWeight(NodeId n) const {
+    return n < base_nodes_ ? base_->graph.node_weight(n)
+                           : added_weight_[n - base_nodes_];
+  }
+
+  /// Normalisers for scoring over the combined view.
+  double MaxNodeWeight() const;
+  double MinEdgeWeight() const;
+
+  // ------------------------------------------------------- mutation side
+  // Called only by the RefreezeCoordinator on a private clone, never on a
+  // published overlay.
+
+  /// Registers a freshly inserted tuple; returns its overlay NodeId.
+  NodeId AddNode(Rid rid, double weight);
+
+  /// Adds directed edge u -> v (either endpoint may be a base node). Also
+  /// clears a matching tombstone, so a retarget back to an old FK target
+  /// revives the link.
+  void AddEdge(NodeId u, NodeId v, double weight);
+
+  /// Tombstones a node (deleted tuple). Its incident base and overlay
+  /// edges are ignored by expansion through the endpoint check.
+  void KillNode(NodeId n);
+
+  /// Tombstones directed edge u -> v (FK retarget away from v).
+  void KillEdge(NodeId u, NodeId v);
+
+  /// Adjusts an *added* node's prestige (overlay indegree accrual). Base
+  /// node weights are frozen until refreeze; calls for base ids no-op.
+  void BumpNodeWeight(NodeId n, double delta);
+
+  // ------------------------------------------------------------ counters
+  size_t added_nodes() const { return added_rid_.size(); }
+  size_t added_edges() const { return added_edges_; }
+  size_t dead_node_count() const { return dead_nodes_.size(); }
+  size_t dead_edge_count() const { return dead_edges_.size(); }
+
+  /// Estimated heap footprint of the overlay structures.
+  size_t MemoryBytes() const;
+
+ private:
+  static uint64_t PairKey(NodeId a, NodeId b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  DataGraphSnapshot base_;
+  size_t base_nodes_ = 0;
+
+  std::vector<Rid> added_rid_;      // overlay id - base_nodes_ -> Rid
+  std::vector<double> added_weight_;
+  std::unordered_map<uint64_t, NodeId> added_by_rid_;  // packed Rid -> id
+
+  std::unordered_map<NodeId, std::vector<GraphEdge>> extra_out_;
+  std::unordered_map<NodeId, std::vector<GraphEdge>> extra_in_;
+  size_t added_edges_ = 0;
+
+  std::unordered_set<NodeId> dead_nodes_;
+  std::unordered_set<uint64_t> dead_edges_;  // directed PairKey(from, to)
+
+  double min_extra_edge_weight_;  // +inf until an edge is added
+  double max_added_weight_ = 0.0;
+};
+
+/// Shared immutable view of one published overlay generation.
+using DeltaSnapshot = std::shared_ptr<const DeltaGraph>;
+
+/// Rid of `n` across snapshot + optional overlay — the one shared helper
+/// every render/filter path uses (`delta` null = frozen-only). Bounds-safe:
+/// a NodeId from a *different* epoch (e.g. an answer rendered after a
+/// refreeze compacted the id space) resolves to an invalid Rid that labels
+/// as "?" instead of indexing out of bounds.
+inline Rid ResolveRidForNode(const DataGraph& dg, const DeltaGraph* delta,
+                             NodeId n) {
+  if (delta != nullptr) {
+    return n < delta->TotalNodes() ? delta->RidForNode(n)
+                                   : Rid{kInvalidNode, kInvalidNode};
+  }
+  return n < dg.node_rid.size() ? dg.RidForNode(n)
+                                : Rid{kInvalidNode, kInvalidNode};
+}
+
+/// NodeId of `rid` across snapshot + optional overlay (kInvalidNode when
+/// unknown or tombstoned by a post-freeze delete).
+inline NodeId ResolveNodeForRid(const DataGraph& dg, const DeltaGraph* delta,
+                                Rid rid) {
+  return delta != nullptr ? delta->NodeForRid(rid) : dg.NodeForRid(rid);
+}
+
+}  // namespace banks
+
+#endif  // BANKS_UPDATE_DELTA_GRAPH_H_

@@ -1,0 +1,48 @@
+// The engine's swappable read state: one epoch of derived structures.
+//
+// Everything a query touches after parsing — graph snapshot, indexes, and
+// the delta overlays accumulated since the last refreeze — is bundled into
+// one immutable LiveState. BanksEngine publishes states through a single
+// shared_ptr (mutations publish a new state sharing the frozen parts and
+// replacing the overlays; a refreeze publishes a fully rebuilt state with
+// null overlays), and every session captures the state's pieces at open.
+// Swapping the pointer is therefore the *only* synchronization the read
+// path needs: in-flight sessions keep the epoch they started on alive and
+// finish byte-identically on it.
+#ifndef BANKS_UPDATE_LIVE_STATE_H_
+#define BANKS_UPDATE_LIVE_STATE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/graph_builder.h"
+#include "index/inverted_index.h"
+#include "index/metadata_index.h"
+#include "index/numeric_index.h"
+#include "update/delta_graph.h"
+#include "update/index_delta.h"
+
+namespace banks {
+
+/// One immutable epoch of the engine's derived read structures.
+struct LiveState {
+  DataGraphSnapshot dg;
+  std::shared_ptr<const InvertedIndex> index;
+  std::shared_ptr<const MetadataIndex> metadata;
+  std::shared_ptr<const NumericIndex> numeric;
+
+  /// Overlays for writes since the snapshot froze; null = none pending.
+  DeltaSnapshot delta;
+  IndexDeltaSnapshot index_delta;
+
+  /// Refreeze generation: 0 at construction, +1 per snapshot rebuild.
+  uint64_t epoch = 0;
+  /// Mutations folded into the overlays of this state.
+  uint64_t pending_mutations = 0;
+};
+
+using LiveStateSnapshot = std::shared_ptr<const LiveState>;
+
+}  // namespace banks
+
+#endif  // BANKS_UPDATE_LIVE_STATE_H_

@@ -1,0 +1,92 @@
+// RID-level mutations and the log that records them.
+//
+// The serving stack (PRs 1-3) answers queries over an immutable snapshot:
+// a frozen CSR graph plus finalized indexes. Mutations cannot touch those
+// structures in place — instead every write is recorded here as a Mutation
+// and folded into small copy-on-write delta overlays (DeltaGraph,
+// InvertedIndexDelta) that the read path consults next to the frozen base.
+// A refreeze replays nothing: the Database is the source of truth, the log
+// only drives the refreeze trigger and observability.
+#ifndef BANKS_UPDATE_MUTATION_H_
+#define BANKS_UPDATE_MUTATION_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "storage/rid.h"
+#include "storage/tuple.h"
+#include "storage/value.h"
+
+namespace banks {
+
+/// One database write, in the form the engine's Apply() consumes.
+struct Mutation {
+  enum class Kind : uint8_t {
+    kInsert,  ///< append `tuple` to `table`
+    kDelete,  ///< tombstone the row named by `rid`
+    kUpdate,  ///< overwrite `column` of `rid` with `value`
+  };
+
+  Kind kind = Kind::kInsert;
+  std::string table;   ///< insert: target relation
+  Rid rid;             ///< delete/update target (set on insert after apply)
+  Tuple tuple;         ///< insert payload
+  std::string column;  ///< update: column name
+  Value value;         ///< update: new value
+
+  static Mutation Insert(std::string table, Tuple tuple) {
+    Mutation m;
+    m.kind = Kind::kInsert;
+    m.table = std::move(table);
+    m.tuple = std::move(tuple);
+    return m;
+  }
+  static Mutation Delete(Rid rid) {
+    Mutation m;
+    m.kind = Kind::kDelete;
+    m.rid = rid;
+    return m;
+  }
+  static Mutation Update(Rid rid, std::string column, Value value) {
+    Mutation m;
+    m.kind = Kind::kUpdate;
+    m.rid = rid;
+    m.column = std::move(column);
+    m.value = std::move(value);
+    return m;
+  }
+};
+
+/// Append-only record of applied mutations. `pending` counts mutations
+/// absorbed into delta overlays but not yet refrozen — the refreeze
+/// trigger; `total` never resets. Externally synchronized (the engine
+/// serializes writers through its update mutex).
+class MutationLog {
+ public:
+  /// Records an applied mutation; returns its sequence number (1-based,
+  /// monotone across refreezes).
+  uint64_t Append(Mutation m) {
+    entries_.push_back(std::move(m));
+    return ++total_;
+  }
+
+  /// Mutations applied since the last Checkpoint (= since last refreeze).
+  size_t pending() const { return entries_.size(); }
+
+  /// Mutations applied over the engine's lifetime.
+  uint64_t total() const { return total_; }
+
+  const std::deque<Mutation>& entries() const { return entries_; }
+
+  /// Marks everything recorded so far as absorbed by a refreeze.
+  void Checkpoint() { entries_.clear(); }
+
+ private:
+  std::deque<Mutation> entries_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_UPDATE_MUTATION_H_

@@ -1,0 +1,193 @@
+#include "update/refreeze.h"
+
+#include <utility>
+
+#include "core/banks.h"
+#include "graph/edge_weight.h"
+
+namespace banks {
+
+RefreezeCoordinator::RefreezeCoordinator(Database* db,
+                                         const BanksOptions* options)
+    : db_(db), options_(options) {}
+
+void RefreezeCoordinator::BeginEpoch(DataGraphSnapshot base) {
+  base_ = std::move(base);
+  delta_.reset();
+  index_delta_.reset();
+  log_.Checkpoint();
+}
+
+bool RefreezeCoordinator::ShouldRefreeze() const {
+  const size_t threshold = options_->update.auto_refreeze_mutations;
+  return threshold > 0 && log_.pending() >= threshold;
+}
+
+Result<Rid> RefreezeCoordinator::Apply(Mutation m) {
+  switch (m.kind) {
+    case Mutation::Kind::kInsert:
+      return ApplyInsert(&m);
+    case Mutation::Kind::kDelete:
+      return ApplyDelete(m);
+    case Mutation::Kind::kUpdate:
+      return ApplyUpdate(m);
+  }
+  return Status::InvalidArgument("unknown mutation kind");
+}
+
+size_t RefreezeCoordinator::ApproxInDegree(const DeltaGraph& d,
+                                           NodeId n) const {
+  size_t in = 0;
+  if (n < d.base_nodes()) in += d.base()->graph.InDegree(n);
+  if (const auto* extra = d.ExtraEdges(n, /*forward=*/false)) {
+    in += extra->size();
+  }
+  return in;
+}
+
+void RefreezeCoordinator::AddLink(DeltaGraph* d, NodeId from, NodeId to,
+                                  const std::string& from_table,
+                                  const std::string& to_table) {
+  const GraphBuildOptions& g = options_->graph;
+  const double fwd = g.similarity.Get(from_table, to_table);
+  const double back_sim = g.similarity.Get(to_table, from_table);
+  const double back =
+      g.unit_backward_edges
+          ? back_sim
+          : BackwardEdgeWeight(back_sim, ApproxInDegree(*d, to) + 1);
+  d->AddEdge(from, to, fwd);
+  d->AddEdge(to, from, back);
+  if (g.indegree_prestige) d->BumpNodeWeight(to, 1.0);
+}
+
+Result<Rid> RefreezeCoordinator::ApplyInsert(Mutation* m) {
+  Result<Rid> inserted = db_->Insert(m->table, std::move(m->tuple));
+  if (!inserted.ok()) return inserted.status();
+  const Rid rid = inserted.value();
+  m->rid = rid;
+
+  auto nd = delta_ != nullptr ? std::make_shared<DeltaGraph>(*delta_)
+                              : std::make_shared<DeltaGraph>(base_);
+  auto nix = index_delta_ != nullptr
+                 ? std::make_shared<InvertedIndexDelta>(*index_delta_)
+                 : std::make_shared<InvertedIndexDelta>();
+  nix->AddTuple(*db_, rid);
+
+  const NodeId node = nd->AddNode(rid, 0.0);
+  // Every resolved outgoing reference of the new tuple becomes a §2.2 edge
+  // pair. Pre-existing dangling references that the new tuple would now
+  // resolve are deferred to the next refreeze (finding them would cost a
+  // reverse-index rebuild per insert).
+  for (const Reference& ref : db_->References(rid)) {
+    const NodeId to = nd->NodeForRid(ref.to);
+    if (to == kInvalidNode || to == node) continue;
+    const Table* to_t = db_->table(ref.to.table_id);
+    if (to_t == nullptr) continue;
+    AddLink(nd.get(), node, to, m->table, to_t->name());
+  }
+  for (const auto& ind : db_->inclusion_dependencies()) {
+    if (ind.table != m->table) continue;
+    for (const Rid to_rid : db_->ResolveInclusion(ind, rid)) {
+      const NodeId to = nd->NodeForRid(to_rid);
+      if (to == kInvalidNode || to == node) continue;
+      AddLink(nd.get(), node, to, ind.table, ind.ref_table);
+    }
+  }
+
+  delta_ = std::move(nd);
+  index_delta_ = std::move(nix);
+  log_.Append(std::move(*m));
+  return rid;
+}
+
+Result<Rid> RefreezeCoordinator::ApplyDelete(const Mutation& m) {
+  auto nd = delta_ != nullptr ? std::make_shared<DeltaGraph>(*delta_)
+                              : std::make_shared<DeltaGraph>(base_);
+  // Resolve the node before the tombstone lands in storage.
+  const NodeId node = nd->NodeForRid(m.rid);
+  Status s = db_->Delete(m.rid);
+  if (!s.ok()) return s;
+  if (node != kInvalidNode) nd->KillNode(node);
+  delta_ = std::move(nd);
+  log_.Append(m);
+  return m.rid;
+}
+
+Result<Rid> RefreezeCoordinator::ApplyUpdate(const Mutation& m) {
+  const Table* t = db_->table(m.rid.table_id);
+  if (t == nullptr) {
+    return Status::NotFound("no table #" + std::to_string(m.rid.table_id));
+  }
+  // FKs whose referencing columns include the updated one: capture the old
+  // targets so the overlay can retarget the edges.
+  struct FkDiff {
+    const ForeignKey* fk;
+    std::optional<Rid> old_to;
+  };
+  std::vector<FkDiff> diffs;
+  for (const ForeignKey* fk : db_->OutgoingFks(t->name())) {
+    bool uses_column = false;
+    for (const auto& c : fk->columns) uses_column |= (c == m.column);
+    if (uses_column) diffs.push_back(FkDiff{fk, db_->ResolveFk(*fk, m.rid)});
+  }
+
+  Status s = db_->UpdateValue(m.rid, m.column, m.value);
+  if (!s.ok()) return s;
+
+  auto nd = delta_ != nullptr ? std::make_shared<DeltaGraph>(*delta_)
+                              : std::make_shared<DeltaGraph>(base_);
+  auto nix = index_delta_ != nullptr
+                 ? std::make_shared<InvertedIndexDelta>(*index_delta_)
+                 : std::make_shared<InvertedIndexDelta>();
+  if (m.value.type() == ValueType::kString) {
+    // New tokens are searchable immediately; the old value's base postings
+    // stay until the refreeze rebuilds the index (stale recall only).
+    nix->AddText(m.value.AsString(), m.rid);
+  }
+
+  const NodeId node = nd->NodeForRid(m.rid);
+  if (node != kInvalidNode) {
+    for (const FkDiff& diff : diffs) {
+      const std::optional<Rid> new_to = db_->ResolveFk(*diff.fk, m.rid);
+      if (diff.old_to == new_to) continue;
+      if (diff.old_to.has_value()) {
+        const NodeId old_node = nd->NodeForRid(*diff.old_to);
+        if (old_node != kInvalidNode) {
+          nd->KillEdge(node, old_node);
+          nd->KillEdge(old_node, node);
+        }
+      }
+      if (new_to.has_value()) {
+        const NodeId new_node = nd->NodeForRid(*new_to);
+        if (new_node != kInvalidNode && new_node != node) {
+          AddLink(nd.get(), node, new_node, diff.fk->table,
+                  diff.fk->ref_table);
+        }
+      }
+    }
+  }
+
+  delta_ = std::move(nd);
+  index_delta_ = std::move(nix);
+  log_.Append(m);
+  return m.rid;
+}
+
+LiveStateSnapshot RefreezeCoordinator::Rebuild(uint64_t epoch) const {
+  auto state = std::make_shared<LiveState>();
+  auto index = std::make_shared<InvertedIndex>();
+  index->Build(*db_);
+  auto metadata = std::make_shared<MetadataIndex>();
+  metadata->Build(*db_);
+  auto numeric = std::make_shared<NumericIndex>();
+  numeric->Build(*db_);
+  state->index = std::move(index);
+  state->metadata = std::move(metadata);
+  state->numeric = std::move(numeric);
+  state->dg = std::make_shared<const DataGraph>(
+      BuildDataGraph(*db_, options_->graph));
+  state->epoch = epoch;
+  return state;
+}
+
+}  // namespace banks

@@ -1,0 +1,100 @@
+// RefreezeCoordinator — folds mutations into delta overlays and rebuilds
+// the frozen snapshot when the delta grows past its threshold.
+//
+// Division of labour with BanksEngine: the engine owns the Database and
+// the locks (writers are serialized through one update mutex; the state
+// pointer swap takes the state lock exclusively, readers take it shared);
+// the coordinator owns the mutation mechanics — validating and applying a
+// write to storage, deriving the overlay changes (new node, FK edges with
+// §2.2 weights, tombstones, delta postings), publishing copy-on-write
+// overlay generations, and building a fresh fully-frozen LiveState off the
+// serving path. "Off the serving path" is literal: a rebuild runs with no
+// state lock held at all — concurrent sessions keep opening and pumping on
+// the current state; only other *writers* wait.
+#ifndef BANKS_UPDATE_REFREEZE_H_
+#define BANKS_UPDATE_REFREEZE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/database.h"
+#include "update/delta_graph.h"
+#include "update/index_delta.h"
+#include "update/live_state.h"
+#include "update/mutation.h"
+#include "util/status.h"
+
+namespace banks {
+
+struct BanksOptions;  // core/banks.h; carries GraphBuildOptions + UpdateOptions
+
+/// Outcome of one snapshot rebuild.
+struct RefreezeStats {
+  uint64_t epoch = 0;            ///< epoch of the freshly published state
+  uint64_t mutations_absorbed = 0;  ///< delta entries folded into the CSR
+  size_t nodes = 0;              ///< node count of the new frozen graph
+  size_t edges = 0;              ///< edge count of the new frozen graph
+  double rebuild_ms = 0.0;       ///< wall time of the off-path rebuild
+};
+
+/// Serialized-writer mutation applier + snapshot rebuilder.
+class RefreezeCoordinator {
+ public:
+  /// `db` and `options` must outlive the coordinator (the engine owns all
+  /// three). The engine calls BeginEpoch with the initial snapshot.
+  RefreezeCoordinator(Database* db, const BanksOptions* options);
+
+  /// Starts a new overlay generation over `base` (engine construction and
+  /// every refreeze). Clears the pending log.
+  void BeginEpoch(DataGraphSnapshot base);
+
+  /// Applies one mutation to storage and publishes new overlay snapshots.
+  /// Returns the affected Rid (the fresh one for inserts). On error the
+  /// database and overlays are unchanged. Caller serializes writers.
+  Result<Rid> Apply(Mutation m);
+
+  /// True once pending mutations reached the configured auto-refreeze
+  /// threshold (never true when the threshold is 0 = manual only).
+  bool ShouldRefreeze() const;
+
+  /// Rebuilds every derived structure from the database into a fresh
+  /// LiveState with the given epoch and no overlays. Pure read of the
+  /// database: caller guarantees no concurrent writer (readers are fine).
+  LiveStateSnapshot Rebuild(uint64_t epoch) const;
+
+  /// Current overlay generation (null when nothing is pending).
+  const DeltaSnapshot& delta() const { return delta_; }
+  const IndexDeltaSnapshot& index_delta() const { return index_delta_; }
+
+  const MutationLog& log() const { return log_; }
+  size_t pending() const { return log_.pending(); }
+
+ private:
+  Result<Rid> ApplyInsert(Mutation* m);
+  Result<Rid> ApplyDelete(const Mutation& m);
+  Result<Rid> ApplyUpdate(const Mutation& m);
+
+  /// Overlay view helper: NodeId of `rid` in base + working overlay.
+  NodeId NodeOf(const DeltaGraph& d, Rid rid) const { return d.NodeForRid(rid); }
+
+  /// Adds the §2.2 edge pair for DB link from -> to into the working
+  /// overlay (forward similarity edge + indegree-weighted backward edge).
+  void AddLink(DeltaGraph* d, NodeId from, NodeId to,
+               const std::string& from_table, const std::string& to_table);
+
+  /// Total (base CSR + overlay) indegree of `n` — the delta approximation
+  /// of the per-relation indegree IN_R(v).
+  size_t ApproxInDegree(const DeltaGraph& d, NodeId n) const;
+
+  Database* db_;
+  const BanksOptions* options_;
+  DataGraphSnapshot base_;
+  DeltaSnapshot delta_;            // published generations (COW)
+  IndexDeltaSnapshot index_delta_;
+  MutationLog log_;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_UPDATE_REFREEZE_H_

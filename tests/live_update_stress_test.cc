@@ -1,0 +1,199 @@
+// Live ingestion under concurrent serving: N sessions stream answers
+// while a writer thread applies mutations and triggers an online
+// refreeze. Assertions:
+//   - sessions opened before the swap return byte-identical answers to a
+//     serial run on the old snapshot (same trees, same order, same
+//     scores), no matter how the swap interleaves with their pumping;
+//   - sessions opened after the swap see the ingested data;
+//   - the whole interleaving is data-race-free (this file is part of the
+//     TSan CI matrix, repeated like the session-pool stress tests).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/banks.h"
+#include "datagen/dblp_gen.h"
+#include "server/session_pool.h"
+
+namespace banks {
+namespace {
+
+std::vector<std::pair<std::string, double>> TreeKeys(
+    const std::vector<ConnectionTree>& answers) {
+  std::vector<std::pair<std::string, double>> keys;
+  keys.reserve(answers.size());
+  for (const auto& t : answers) {
+    keys.emplace_back(t.UndirectedSignature(), t.relevance);
+  }
+  return keys;
+}
+
+TEST(LiveUpdateStress, RefreezeUnderActiveSessionPool) {
+  DblpConfig config;
+  config.num_authors = 150;
+  config.num_papers = 300;
+  config.seed = 23;
+  DblpDataset ds = GenerateDblp(config);
+  const std::string soumen = ds.planted.soumen;
+  const std::string sunita = ds.planted.sunita;
+  BanksEngine engine(std::move(ds.db));
+
+  const std::vector<std::string> queries = {
+      "soumen sunita", "gray transaction", "mohan recovery",
+      "stonebraker sunita", "jim gray reuter",
+  };
+
+  // Serial ground truth on the pre-mutation snapshot.
+  std::vector<std::vector<std::pair<std::string, double>>> expected;
+  for (const auto& q : queries) {
+    auto result = engine.Search(q);
+    ASSERT_TRUE(result.ok());
+    expected.push_back(TreeKeys(result.value().answers));
+  }
+
+  server::PoolOptions popts;
+  popts.num_workers = 4;
+  popts.step_quantum = 64;  // frequent handoffs: maximal interleaving
+  server::SessionPool pool(engine, popts);
+
+  // Pre-swap sessions: opened (snapshot captured) before any mutation,
+  // pumped by the pool *while* the writer mutates and refreezes.
+  constexpr int kRounds = 6;
+  std::vector<server::SessionHandle> pre_swap;
+  std::vector<size_t> pre_swap_query;
+  for (int round = 0; round < kRounds; ++round) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      auto session = engine.OpenSession(queries[qi]);
+      ASSERT_TRUE(session.ok());
+      auto handle = pool.Submit(std::move(session).value());
+      ASSERT_TRUE(handle.ok());
+      pre_swap.push_back(std::move(handle).value());
+      pre_swap_query.push_back(qi);
+    }
+  }
+
+  // Writer: ingest papers co-authored by the planted pair (they *would*
+  // perturb the "soumen sunita" answers if a pre-swap session saw them),
+  // refreezing twice along the way.
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 24; ++i) {
+      const std::string pid = "P_live" + std::to_string(i);
+      ASSERT_TRUE(engine
+                      .InsertTuple(kPaperTable,
+                                   Tuple({Value(pid),
+                                          Value("Freshly Ingested Corpus " +
+                                                std::to_string(i))}))
+                      .ok());
+      ASSERT_TRUE(engine
+                      .InsertTuple(kWritesTable,
+                                   Tuple({Value(soumen), Value(pid)}))
+                      .ok());
+      ASSERT_TRUE(engine
+                      .InsertTuple(kWritesTable,
+                                   Tuple({Value(sunita), Value(pid)}))
+                      .ok());
+      if (i == 11 || i == 19) {
+        auto stats = engine.Refreeze();
+        ASSERT_TRUE(stats.ok());
+        EXPECT_GT(stats.value().mutations_absorbed, 0u);
+      }
+    }
+    writer_done.store(true);
+  });
+
+  // Reader threads drain the pre-swap handles concurrently with the
+  // writer; every handle must reproduce the serial ground truth exactly.
+  std::vector<std::thread> readers;
+  std::atomic<int> mismatches{0};
+  const size_t per_reader = pre_swap.size() / 3;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      const size_t begin = r * per_reader;
+      const size_t end = r == 2 ? pre_swap.size() : begin + per_reader;
+      for (size_t i = begin; i < end; ++i) {
+        auto answers = pre_swap[i].Drain();
+        if (TreeKeys(answers) != expected[pre_swap_query[i]]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  writer.join();
+  EXPECT_EQ(mismatches.load(), 0)
+      << "pre-swap sessions diverged from the serial run on their snapshot";
+  ASSERT_TRUE(writer_done.load());
+
+  // Post-swap: a final refreeze folds the tail of the delta, new sessions
+  // see every ingested paper, and the pool reports the new epoch.
+  ASSERT_TRUE(engine.Refreeze().ok());
+  EXPECT_GE(engine.epoch(), 3u);
+  auto handle = pool.Submit("ingested corpus");
+  ASSERT_TRUE(handle.ok());
+  EXPECT_FALSE(handle.value().Drain().empty());
+  auto fresh = engine.Search("soumen sunita ingested");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh.value().answers.empty());
+  EXPECT_EQ(pool.stats().engine_epoch, engine.epoch());
+  EXPECT_EQ(pool.stats().pending_mutations, 0u);
+}
+
+// Mutations racing session *opens* (not just pumping): every opened
+// session must observe a consistent state — either pre- or post-publish —
+// and never crash or mix epochs. TSan gates the interleavings.
+TEST(LiveUpdateStress, ConcurrentOpensDuringIngestAndRefreeze) {
+  DblpConfig config;
+  config.num_authors = 80;
+  config.num_papers = 160;
+  config.seed = 31;
+  DblpDataset ds = GenerateDblp(config);
+  BanksEngine engine(std::move(ds.db));
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 60; ++i) {
+      const std::string pid = "P_race" + std::to_string(i);
+      ASSERT_TRUE(engine
+                      .InsertTuple(kPaperTable,
+                                   Tuple({Value(pid), Value("Racy Snapshot " +
+                                                            std::to_string(i))}))
+                      .ok());
+      if (i % 20 == 19) {
+        ASSERT_TRUE(engine.Refreeze().ok());
+      }
+    }
+    stop.store(true);
+  });
+
+  std::vector<std::thread> openers;
+  for (int r = 0; r < 3; ++r) {
+    openers.emplace_back([&] {
+      size_t last = 0;
+      // At least one probe even if the writer finishes first.
+      do {
+        auto result = engine.Search("racy snapshot");
+        ASSERT_TRUE(result.ok());
+        // Visibility is monotone: once a probe saw k ingested papers,
+        // later probes see at least as many matches (inserts only).
+        const size_t seen = result.value().keyword_nodes[0].size();
+        EXPECT_GE(seen, last);
+        last = seen;
+      } while (!stop.load());
+    });
+  }
+  for (auto& t : openers) t.join();
+  writer.join();
+
+  ASSERT_TRUE(engine.Refreeze().ok());
+  auto result = engine.Search("racy");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().keyword_matches[0].size(), 60u);
+}
+
+}  // namespace
+}  // namespace banks
