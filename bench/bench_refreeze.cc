@@ -1,9 +1,11 @@
-// Live-ingestion cost model (src/update/): delta-overlay query overhead
-// and online refreeze latency as functions of delta size, on DBLP.
+// Live-ingestion cost model (src/update/): delta-overlay query overhead,
+// online refreeze latency, and the bulk-ingest path (ApplyBatch +
+// merge-refreeze) as functions of delta size, on DBLP.
 //
-// For each delta size D the bench rebuilds a fresh engine, ingests D
-// mutations (a new paper plus a Writes link to an existing author per
-// pair, so the overlay grows nodes *and* cross-boundary edges), then
+// Section 1 — overlay overhead (delta sizes {0, 64, 256, 1024}): for each
+// delta size D the bench rebuilds a fresh engine, ingests D mutations (a
+// new paper plus a Writes link to an existing author per pair, so the
+// overlay grows nodes *and* cross-boundary edges), then
 //   - runs a fixed query mix and reports iterator visits (deterministic,
 //     CI-gated) and wall latency (info) — the price queries pay for
 //     consulting the overlay instead of a pure frozen CSR;
@@ -13,12 +15,24 @@
 // The D=0 row is the frozen-only baseline: its visits pin the sentinel
 // cost of the null-overlay hot path (byte-identical work to pre-update
 // builds, enforced by the checked-in baseline).
+//
+// Section 2 — bulk ingest (delta sizes {64, 1024, 8192}): one engine
+// ingests D mutations through a single ApplyBatch (one overlay clone) and
+// merge-refreezes (O(base + delta) link-table patch); a twin engine
+// ingests the same batch and full-rebuilds. Gated counters: the merge
+// path ran (mergeD/merged) and its snapshot is byte-identical to the full
+// rebuild (mergeD/identical, via LiveStatesIdentical). Info: batch-apply
+// vs serial-apply wall time (linear vs quadratic overlay cloning; serial
+// is skipped past 1024 where the quadratic cost dominates the bench) and
+// merge vs full refreeze latency (delta-bound vs database-bound).
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/banks.h"
+#include "update/state_compare.h"
 #include "util/timer.h"
 
 using namespace banks;
@@ -54,6 +68,37 @@ QueryTotals RunQueryMix(const BanksEngine& engine, int repeats) {
   totals.visits /= repeats;
   totals.answers /= repeats;
   return totals;
+}
+
+/// Section-2 scale: ~10x the evaluation dataset (~40K rows), so the
+/// largest delta (8192) is still a fraction of the base and the
+/// delta-bound vs database-bound refreeze costs separate cleanly.
+DblpConfig BulkDblpConfig() {
+  DblpConfig config;
+  config.num_authors = 4000;
+  config.num_papers = 8000;
+  config.seed = 42;
+  return config;
+}
+
+/// The section-2 ingest burst: papers + authorship links, "ingested
+/// corpus" keywords so the query mix touches the new rows.
+std::vector<Mutation> MakeIngestBatch(size_t delta,
+                                      const std::string& coauthor) {
+  std::vector<Mutation> batch;
+  batch.reserve(delta);
+  for (size_t i = 0; i < delta; i += 2) {
+    const std::string pid = "P_ing" + std::to_string(i);
+    batch.push_back(Mutation::Insert(
+        kPaperTable,
+        Tuple({Value(pid),
+               Value("Ingested Corpus Volume " + std::to_string(i))})));
+    if (i + 1 < delta) {
+      batch.push_back(Mutation::Insert(
+          kWritesTable, Tuple({Value(coauthor), Value(pid)})));
+    }
+  }
+  return batch;
 }
 
 }  // namespace
@@ -128,6 +173,109 @@ int main(int argc, char** argv) {
     std::printf("%8zu %12zu %10zu %10.2f %12.2f %12.2f %12zu\n", delta,
                 mix.visits, mix.answers, apply_ms, mix.ms, refreeze_ms,
                 stats.value().nodes);
+  }
+
+  // ------------------------------------------- section 2: bulk ingest
+  PrintRule();
+  std::printf("bulk ingest: ApplyBatch + merge-refreeze vs serial Apply + "
+              "full rebuild\n");
+  std::printf("%8s %10s %10s %10s %10s %10s %10s\n", "delta", "batch_ms",
+              "serial_ms", "merge_ms", "full_ms", "merged", "identical");
+  const size_t kBulkSizes[] = {64, 1024, 8192};
+  for (size_t delta : kBulkSizes) {
+    DblpDataset merge_ds = GenerateDblp(BulkDblpConfig());
+    const std::string coauthor = merge_ds.planted.soumen;
+    BanksOptions merge_opts = EvalWorkload::DefaultOptions();
+    merge_opts.update.merge_refreeze = true;
+    BanksEngine merge_engine(std::move(merge_ds.db), merge_opts);
+
+    // One overlay clone for the whole burst.
+    Timer batch_timer;
+    auto batch_results = merge_engine.ApplyBatch(MakeIngestBatch(delta, coauthor));
+    const double batch_ms = batch_timer.Millis();
+    for (const auto& r : batch_results) {
+      if (!r.ok()) {
+        std::fprintf(stderr, "batch insert failed: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+    }
+    Timer merge_timer;
+    auto merge_stats = merge_engine.Refreeze(/*force=*/true);
+    const double merge_ms = merge_timer.Millis();
+    if (!merge_stats.ok()) {
+      std::fprintf(stderr, "merge refreeze failed\n");
+      return 1;
+    }
+
+    // The oracle twin: same data, same batch, full rebuild.
+    DblpDataset full_ds = GenerateDblp(BulkDblpConfig());
+    BanksOptions full_opts = EvalWorkload::DefaultOptions();
+    full_opts.update.merge_refreeze = false;
+    BanksEngine full_engine(std::move(full_ds.db), full_opts);
+    for (const auto& r : full_engine.ApplyBatch(MakeIngestBatch(delta, coauthor))) {
+      if (!r.ok()) {
+        std::fprintf(stderr, "twin insert failed\n");
+        return 1;
+      }
+    }
+    Timer full_timer;
+    auto full_stats = full_engine.Refreeze(/*force=*/true);
+    const double full_ms = full_timer.Millis();
+    if (!full_stats.ok()) {
+      std::fprintf(stderr, "full refreeze failed\n");
+      return 1;
+    }
+
+    // Serial Apply throughput, the quadratic baseline the batch replaces.
+    // Skipped past 1024: the per-mutation overlay clone makes it O(K²).
+    double serial_ms = -1.0;
+    if (delta <= 1024) {
+      DblpDataset serial_ds = GenerateDblp(BulkDblpConfig());
+      BanksEngine serial_engine(std::move(serial_ds.db),
+                                EvalWorkload::DefaultOptions());
+      Timer serial_timer;
+      for (Mutation& m : MakeIngestBatch(delta, coauthor)) {
+        if (!serial_engine.Apply(std::move(m)).ok()) {
+          std::fprintf(stderr, "serial insert failed\n");
+          return 1;
+        }
+      }
+      serial_ms = serial_timer.Millis();
+    }
+
+    std::string diff;
+    const bool identical =
+        LiveStatesIdentical(*merge_engine.state(), *full_engine.state(), &diff);
+    if (!identical || !merge_stats.value().merged) {
+      // Hard failure, not just a counter: byte-identity of the merge path
+      // is this bench's contract with CI.
+      std::fprintf(stderr, "merge refreeze broke its contract at delta %zu: "
+                   "merged=%d identical=%d %s\n",
+                   delta, merge_stats.value().merged ? 1 : 0, identical ? 1 : 0,
+                   diff.c_str());
+      return 1;
+    }
+    QueryTotals post = RunQueryMix(merge_engine, 1);
+
+    const std::string key = "merge" + std::to_string(delta);
+    report.Counter(key + "/merged",
+                   merge_stats.value().merged ? 1.0 : 0.0);
+    report.Counter(key + "/identical", identical ? 1.0 : 0.0);
+    report.Counter(key + "/absorbed",
+                   static_cast<double>(merge_stats.value().mutations_absorbed));
+    report.Counter(key + "/post_refreeze_answers",
+                   static_cast<double>(post.answers));
+    report.Info(key + "/batch_apply_ms", batch_ms);
+    report.Info(key + "/serial_apply_ms", serial_ms);
+    report.Info(key + "/merge_refreeze_ms", merge_ms);
+    report.Info(key + "/full_refreeze_ms", full_ms);
+    report.Info(key + "/batch_mutations_per_s",
+                batch_ms > 0 ? delta / (batch_ms / 1000.0) : 0.0);
+
+    std::printf("%8zu %10.2f %10.2f %10.2f %10.2f %10d %10d\n", delta,
+                batch_ms, serial_ms, merge_ms, full_ms,
+                merge_stats.value().merged ? 1 : 0, identical ? 1 : 0);
   }
 
   if (!json_path.empty() && !report.WriteJson(json_path)) return 1;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "server/session_pool.h"
+#include "update/state_compare.h"
 #include "util/timer.h"
 
 namespace banks {
@@ -70,26 +71,40 @@ Status BanksEngine::UpdateValue(Rid rid, const std::string& column,
 }
 
 Result<Rid> BanksEngine::Apply(Mutation mutation) {
+  // A single mutation is a batch of one — identical locking, publication
+  // and refreeze-trigger semantics, one code path to maintain.
+  std::vector<Mutation> one;
+  one.push_back(std::move(mutation));
+  return std::move(ApplyBatch(std::move(one)).front());
+}
+
+std::vector<Result<Rid>> BanksEngine::ApplyBatch(
+    std::vector<Mutation> mutations) {
   std::lock_guard<std::mutex> serialize(update_mu_);
-  Result<Rid> applied = [&] {
-    // Database writes and state publication happen under the exclusive
-    // state lock: a concurrent OpenSession/Render sees either the old
-    // state with the old rows or the new state with the new rows, never a
+  std::vector<Result<Rid>> results;
+  bool any_applied = false;
+  {
+    // Database writes and state publication happen under one exclusive
+    // state-lock window for the whole batch: a concurrent
+    // OpenSession/Render sees either the pre-batch state with the old
+    // rows or the fully-applied state with the new ones, never a
     // half-applied pair.
     std::unique_lock<std::shared_mutex> lock(state_mu_);
-    Result<Rid> r = updater_->Apply(std::move(mutation));
-    if (!r.ok()) return r;
-    auto next = std::make_shared<LiveState>(*state_);
-    next->delta = updater_->delta();
-    next->index_delta = updater_->index_delta();
-    next->pending_mutations = updater_->pending();
-    state_ = std::move(next);
-    return r;
-  }();
-  if (applied.ok() && updater_->ShouldRefreeze()) {
-    RefreezeLocked();  // update_mu_ still held; queries keep serving
+    results = updater_->ApplyBatch(std::move(mutations));
+    for (const auto& r : results) any_applied |= r.ok();
+    if (any_applied) {
+      auto next = std::make_shared<LiveState>(*state_);
+      next->delta = updater_->delta();
+      next->index_delta = updater_->index_delta();
+      next->pending_mutations = updater_->pending();
+      state_ = std::move(next);
+    }
   }
-  return applied;
+  if (any_applied && updater_->ShouldRefreeze()) {
+    RefreezeLocked();  // once per batch (update_mu_ still held; queries
+                       // keep serving)
+  }
+  return results;
 }
 
 Result<RefreezeStats> BanksEngine::Refreeze(bool force) {
@@ -115,8 +130,26 @@ RefreezeStats BanksEngine::RefreezeLocked() {
   Timer timer;
   RefreezeStats stats;
   stats.mutations_absorbed = updater_->pending();
-  const uint64_t next_epoch = state()->epoch + 1;
-  LiveStateSnapshot fresh = updater_->Rebuild(next_epoch);
+  const LiveStateSnapshot current = state();
+  const uint64_t next_epoch = current->epoch + 1;
+  LiveStateSnapshot fresh;
+  if (options_.update.merge_refreeze && updater_->CanMergeRefreeze()) {
+    fresh = updater_->MergeRebuild(next_epoch, *current);
+    stats.merged = true;
+    if (options_.update.verify_merge_refreeze) {
+      // Oracle mode: the from-scratch rebuild must be byte-identical; on
+      // disagreement the (always-correct) full rebuild is what ships.
+      stats.verified = true;
+      LiveStateSnapshot full = updater_->Rebuild(next_epoch);
+      if (!LiveStatesIdentical(*fresh, *full)) {
+        fresh = std::move(full);
+        stats.merged = false;
+        stats.verify_mismatch = true;
+      }
+    }
+  } else {
+    fresh = updater_->Rebuild(next_epoch);
+  }
   stats.rebuild_ms = timer.Millis();
   stats.epoch = next_epoch;
   stats.nodes = fresh->dg->graph.num_nodes();

@@ -65,10 +65,26 @@ struct PoolOptions;
 
 /// Live-ingestion knobs (src/update/).
 struct UpdateOptions {
-  /// Mutations absorbed into delta overlays before Apply() triggers an
-  /// automatic refreeze (synchronously, on the writer's thread — queries
-  /// keep serving). 0 = manual Refreeze() only.
+  /// Mutations absorbed into delta overlays before Apply()/ApplyBatch()
+  /// triggers an automatic refreeze (synchronously, on the writer's thread
+  /// — queries keep serving). A batch counts as one trigger check, at its
+  /// end. 0 = manual Refreeze() only.
   size_t auto_refreeze_mutations = 0;
+
+  /// Refreeze via the O(base + delta) merge path when the epoch's
+  /// mutations allow it: the cached link table is patched (only dirty rows
+  /// re-resolve their FKs), the CSR is re-materialised from the patched
+  /// link sequence, and the inverted/numeric indexes are patched from the
+  /// mutation log — no database-wide FK re-resolution or re-tokenization.
+  /// Byte-identical to the full rebuild, which remains the fallback for
+  /// ineligible bursts (updates touching inclusion-dependency columns).
+  bool merge_refreeze = true;
+
+  /// Equivalence oracle: run BOTH refreeze paths, cross-check with
+  /// LiveStatesIdentical (update/state_compare.h), and publish the full
+  /// rebuild on mismatch (RefreezeStats::verify_mismatch reports it).
+  /// Costs a full rebuild per refreeze — for tests and benches.
+  bool verify_merge_refreeze = false;
 };
 
 /// Engine-wide configuration.
@@ -143,6 +159,15 @@ class BanksEngine {
 
   /// Generic form of the three calls above.
   Result<Rid> Apply(Mutation mutation);
+
+  /// Bulk ingest: applies the whole batch through ONE copy-on-write
+  /// overlay clone and ONE state publication — O(batch), where a loop of
+  /// Apply() pays O(batch²) in overlay clones. Result slot i reports
+  /// mutation i (failed mutations leave storage untouched; later ones
+  /// still apply — same net state as the loop). Searchability is batch-
+  /// atomic: sessions see either none or all of the batch. The
+  /// auto-refreeze threshold is checked once, after the batch.
+  std::vector<Result<Rid>> ApplyBatch(std::vector<Mutation> mutations);
 
   /// Rebuilds the frozen snapshot + indexes from the database off the
   /// serving path and swaps the engine's state atomically. In-flight

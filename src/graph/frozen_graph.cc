@@ -27,6 +27,25 @@ FrozenGraph::FrozenGraph(const Graph& g) {
   assert(out_edges_.size() == in_edges_.size());
 }
 
+FrozenGraph::FrozenGraph(std::vector<uint32_t> out_offsets,
+                         std::vector<GraphEdge> out_edges,
+                         std::vector<uint32_t> in_offsets,
+                         std::vector<GraphEdge> in_edges,
+                         std::vector<double> node_weights)
+    : out_offsets_(std::move(out_offsets)),
+      in_offsets_(std::move(in_offsets)),
+      out_edges_(std::move(out_edges)),
+      in_edges_(std::move(in_edges)),
+      node_weight_(std::move(node_weights)) {
+  assert(out_offsets_.size() == node_weight_.size() + 1);
+  assert(in_offsets_.size() == node_weight_.size() + 1);
+  assert(out_edges_.size() == in_edges_.size());
+  max_node_weight_ = MaxNodeWeightOf(node_weight_);
+  for (const auto& e : out_edges_) {
+    min_edge_weight_ = std::min(min_edge_weight_, e.weight);
+  }
+}
+
 void FrozenGraph::set_node_weight(NodeId n, double w) {
   const double old = node_weight_[n];
   node_weight_[n] = w;

@@ -37,6 +37,15 @@ class FrozenGraph {
   /// graph frozen twice yields identical adjacency.
   explicit FrozenGraph(const Graph& g);
 
+  /// Adopts pre-assembled CSR arrays (the merge-refreeze splice path,
+  /// graph/graph_splice.h). Offsets carry num_nodes+1 entries; edges of
+  /// node n occupy [offsets[n], offsets[n+1]) in both arrays. The
+  /// MaxNodeWeight/MinEdgeWeight invariants are recomputed here.
+  FrozenGraph(std::vector<uint32_t> out_offsets,
+              std::vector<GraphEdge> out_edges,
+              std::vector<uint32_t> in_offsets, std::vector<GraphEdge> in_edges,
+              std::vector<double> node_weights);
+
   size_t num_nodes() const { return node_weight_.size(); }
   size_t num_edges() const { return out_edges_.size(); }
 

@@ -1,8 +1,7 @@
 #include "graph/graph_builder.h"
 
+#include <algorithm>
 #include <utility>
-
-#include "util/hash.h"
 
 namespace banks {
 
@@ -15,7 +14,78 @@ size_t DataGraph::MemoryBytes() const {
   return bytes;
 }
 
-DataGraph BuildDataGraph(const Database& db, const GraphBuildOptions& options) {
+std::string DanglingFkKey(uint32_t fk_ordinal, const std::string& value_key) {
+  return std::to_string(fk_ordinal) + '\x1f' + value_key;
+}
+
+LinkTable ResolveLinkTable(const Database& db, bool with_merge_aids) {
+  LinkTable out;
+  const auto& fks = db.foreign_keys();
+  const auto& inds = db.inclusion_dependencies();
+  if (with_merge_aids) out.referrers.resize(inds.size());
+
+  // FK links: one target per (constraint, referencing row). Resolution is
+  // inlined (rather than db.ResolveFk) so the encoded key is available for
+  // the dangling side table.
+  for (uint32_t fi = 0; fi < fks.size(); ++fi) {
+    const ForeignKey& fk = fks[fi];
+    const Table* from_t = db.table(fk.table);
+    const Table* to_t = db.table(fk.ref_table);
+    if (from_t == nullptr || to_t == nullptr) continue;
+    std::vector<size_t> cols;
+    cols.reserve(fk.columns.size());
+    for (const auto& c : fk.columns) {
+      cols.push_back(*from_t->schema().ColumnIndex(c));
+    }
+    for (uint32_t r = 0; r < from_t->num_rows(); ++r) {
+      if (from_t->IsDeleted(r)) continue;
+      const Tuple& row = from_t->row(r);
+      bool has_null = false;
+      for (size_t c : cols) has_null |= row.at(c).is_null();
+      if (has_null) continue;  // NULL FK: no reference
+      const Rid from{from_t->id(), r};
+      const std::string key = row.EncodeKey(cols);
+      auto to_row = to_t->LookupPkKey(key);
+      if (to_row.has_value()) {
+        const Rid to{to_t->id(), *to_row};
+        if (to != from) out.links.push_back(ResolvedLink{fi, from, to});
+      } else if (with_merge_aids) {
+        out.dangling[DanglingFkKey(fi, key)].push_back(from);
+      }
+    }
+  }
+
+  // Inclusion dependencies (§2.1): one link per matched referred tuple —
+  // the referred column need not be a key.
+  for (uint32_t ii = 0; ii < inds.size(); ++ii) {
+    const InclusionDependency& ind = inds[ii];
+    const Table* from_t = db.table(ind.table);
+    if (from_t == nullptr) continue;
+    auto col = from_t->schema().ColumnIndex(ind.column);
+    for (uint32_t r = 0; r < from_t->num_rows(); ++r) {
+      if (from_t->IsDeleted(r)) continue;
+      const Rid from{from_t->id(), r};
+      if (with_merge_aids && col.has_value()) {
+        const Value& v = from_t->row(r).at(*col);
+        if (!v.is_null()) {
+          out.referrers[ii][EncodeValuesKey({v})].push_back(from);
+        }
+      }
+      for (Rid to : db.ResolveInclusion(ind, from)) {
+        if (to != from) {
+          out.links.push_back(
+              ResolvedLink{static_cast<uint32_t>(fks.size()) + ii, from, to});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+DataGraph MaterializeDataGraph(const Database& db,
+                               const std::vector<ResolvedLink>& links,
+                               const GraphBuildOptions& options,
+                               std::vector<uint32_t>* in_by_relation) {
   DataGraph dg;
   Graph g;  // mutable build graph; frozen into dg.graph at the end
 
@@ -36,58 +106,56 @@ DataGraph BuildDataGraph(const Database& db, const GraphBuildOptions& options) {
     }
   }
 
-  // 2. Resolve every FK link once: (from node, to node, from table, to table).
+  // 2. Per-constraint metadata: the relation names the §2.2 similarity
+  //    lookups need, and the source relation's table id for the
+  //    per-relation indegree key.
+  struct SrcMeta {
+    const std::string* from_table;
+    const std::string* to_table;
+    uint32_t from_table_id;
+  };
+  std::vector<SrcMeta> srcs;
+  srcs.reserve(db.foreign_keys().size() + db.inclusion_dependencies().size());
+  for (const auto& fk : db.foreign_keys()) {
+    const Table* from_t = db.table(fk.table);
+    srcs.push_back(SrcMeta{&fk.table, &fk.ref_table,
+                           from_t != nullptr ? from_t->id() : 0});
+  }
+  for (const auto& ind : db.inclusion_dependencies()) {
+    const Table* from_t = db.table(ind.table);
+    srcs.push_back(SrcMeta{&ind.table, &ind.ref_table,
+                           from_t != nullptr ? from_t->id() : 0});
+  }
+
+  // Node-space view of the links. Endpoints that fail to resolve
+  // (tombstoned rows) and self-links are skipped, matching what a
+  // from-scratch discovery would produce.
   struct Link {
     NodeId from;
     NodeId to;
-    const std::string* from_table;
-    const std::string* to_table;
+    uint32_t src;
   };
-  std::vector<Link> links;
-  for (const auto& fk : db.foreign_keys()) {
-    const Table* from_t = db.table(fk.table);
-    if (from_t == nullptr) continue;
-    for (uint32_t r = 0; r < from_t->num_rows(); ++r) {
-      if (from_t->IsDeleted(r)) continue;
-      Rid from{from_t->id(), r};
-      auto to = db.ResolveFk(fk, from);
-      if (!to.has_value()) continue;
-      NodeId fn = dg.NodeForRid(from);
-      NodeId tn = dg.NodeForRid(*to);
-      if (fn == kInvalidNode || tn == kInvalidNode || fn == tn) continue;
-      links.push_back(Link{fn, tn, &fk.table, &fk.ref_table});
-    }
-  }
-  // Inclusion dependencies (§2.1): one link per matched referred tuple —
-  // the referred column need not be a key.
-  for (const auto& ind : db.inclusion_dependencies()) {
-    const Table* from_t = db.table(ind.table);
-    if (from_t == nullptr) continue;
-    for (uint32_t r = 0; r < from_t->num_rows(); ++r) {
-      if (from_t->IsDeleted(r)) continue;
-      Rid from{from_t->id(), r};
-      NodeId fn = dg.NodeForRid(from);
-      if (fn == kInvalidNode) continue;
-      for (Rid to : db.ResolveInclusion(ind, from)) {
-        NodeId tn = dg.NodeForRid(to);
-        if (tn == kInvalidNode || fn == tn) continue;
-        links.push_back(Link{fn, tn, &ind.table, &ind.ref_table});
-      }
-    }
+  std::vector<Link> live;
+  live.reserve(links.size());
+  for (const ResolvedLink& l : links) {
+    if (l.src >= srcs.size()) continue;
+    NodeId fn = dg.NodeForRid(l.from);
+    NodeId tn = dg.NodeForRid(l.to);
+    if (fn == kInvalidNode || tn == kInvalidNode || fn == tn) continue;
+    live.push_back(Link{fn, tn, l.src});
   }
 
   // 3. Per-relation indegree of each node: IN_R(v) = #links into v whose
   //    source tuple belongs to relation R. Needed for backward weights.
-  //    Key: (node, table id of source relation).
-  std::unordered_map<uint64_t, uint32_t> in_by_relation;
+  //    Flat [node * num_tables + source table id] — table ids are dense.
+  const size_t num_tables = db.num_tables();
+  std::vector<uint32_t> in_by_rel(g.num_nodes() * num_tables, 0);
   std::vector<uint32_t> indegree(g.num_nodes(), 0);
-  auto rel_key = [&db](NodeId v, const std::string& table) {
-    uint64_t h = v;
-    HashCombine(&h, db.table(table)->id());
-    return h;
+  auto rel_key = [num_tables](NodeId v, uint32_t from_table_id) {
+    return static_cast<size_t>(v) * num_tables + from_table_id;
   };
-  for (const auto& l : links) {
-    ++in_by_relation[rel_key(l.to, *l.from_table)];
+  for (const auto& l : live) {
+    ++in_by_rel[rel_key(l.to, srcs[l.src].from_table_id)];
     ++indegree[l.to];
   }
 
@@ -110,16 +178,17 @@ DataGraph BuildDataGraph(const Database& db, const GraphBuildOptions& options) {
     }
   };
 
-  for (const auto& l : links) {
-    double fwd = options.similarity.Get(*l.from_table, *l.to_table);
+  for (const auto& l : live) {
+    const SrcMeta& src = srcs[l.src];
+    double fwd = options.similarity.Get(*src.from_table, *src.to_table);
     propose(l.from, l.to, fwd);
 
-    double back_sim = options.similarity.Get(*l.to_table, *l.from_table);
+    double back_sim = options.similarity.Get(*src.to_table, *src.from_table);
     double back =
         options.unit_backward_edges
             ? back_sim
             : BackwardEdgeWeight(back_sim,
-                                 in_by_relation[rel_key(l.to, *l.from_table)]);
+                                 in_by_rel[rel_key(l.to, src.from_table_id)]);
     propose(l.to, l.from, back);
   }
 
@@ -132,7 +201,7 @@ DataGraph BuildDataGraph(const Database& db, const GraphBuildOptions& options) {
     emitted[key] = true;
     g.AddEdge(a, b, pair_weight.at(key));
   };
-  for (const auto& l : links) {
+  for (const auto& l : live) {
     emit(l.from, l.to);
     emit(l.to, l.from);
   }
@@ -146,7 +215,13 @@ DataGraph BuildDataGraph(const Database& db, const GraphBuildOptions& options) {
 
   // 7. Freeze into the CSR layout every search-time consumer runs over.
   dg.graph = FrozenGraph(g);
+  if (in_by_relation != nullptr) *in_by_relation = std::move(in_by_rel);
   return dg;
+}
+
+DataGraph BuildDataGraph(const Database& db, const GraphBuildOptions& options) {
+  return MaterializeDataGraph(
+      db, ResolveLinkTable(db, /*with_merge_aids=*/false).links, options);
 }
 
 }  // namespace banks

@@ -1,0 +1,266 @@
+#include "graph/graph_splice.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "graph/edge_weight.h"
+
+namespace banks {
+
+namespace {
+
+/// Per-constraint metadata, as in MaterializeDataGraph step 2.
+struct SrcMeta {
+  const std::string* from_table;
+  const std::string* to_table;
+  uint32_t from_table_id;
+};
+
+std::vector<SrcMeta> ConstraintMeta(const Database& db) {
+  std::vector<SrcMeta> srcs;
+  srcs.reserve(db.foreign_keys().size() + db.inclusion_dependencies().size());
+  for (const auto& fk : db.foreign_keys()) {
+    const Table* from_t = db.table(fk.table);
+    srcs.push_back(SrcMeta{&fk.table, &fk.ref_table,
+                           from_t != nullptr ? from_t->id() : 0});
+  }
+  for (const auto& ind : db.inclusion_dependencies()) {
+    const Table* from_t = db.table(ind.table);
+    srcs.push_back(SrcMeta{&ind.table, &ind.ref_table,
+                           from_t != nullptr ? from_t->id() : 0});
+  }
+  return srcs;
+}
+
+}  // namespace
+
+DataGraph SpliceDataGraph(const Database& db, const DataGraph& old_dg,
+                          const std::vector<ResolvedLink>& merged_links,
+                          const GraphSpliceDelta& delta,
+                          const std::vector<uint32_t>& old_counts,
+                          const GraphBuildOptions& options,
+                          std::vector<uint32_t>* new_counts) {
+  const size_t num_tables = db.num_tables();
+  const size_t old_n = old_dg.graph.num_nodes();
+  const std::vector<SrcMeta> srcs = ConstraintMeta(db);
+
+  // 1. New node enumeration, exactly as MaterializeDataGraph assigns ids:
+  //    (table id, row) order over live rows. Both the old and the new
+  //    node_rid sequences ascend in that order (deletes drop entries,
+  //    inserts append rows), so one two-pointer pass yields the remap.
+  DataGraph dg;
+  const size_t total = db.TotalRows();
+  dg.node_rid.reserve(total);
+  dg.rid_node.reserve(total);
+  for (const auto& name : db.table_names()) {
+    const Table* t = db.table(name);
+    for (uint32_t r = 0; r < t->num_rows(); ++r) {
+      if (t->IsDeleted(r)) continue;
+      Rid rid{t->id(), r};
+      dg.rid_node.emplace(rid.Pack(),
+                          static_cast<NodeId>(dg.node_rid.size()));
+      dg.node_rid.push_back(rid);
+    }
+  }
+  const size_t new_n = dg.node_rid.size();
+
+  std::vector<NodeId> old_to_new(old_n, kInvalidNode);
+  std::vector<NodeId> new_to_old(new_n, kInvalidNode);
+  for (size_t i = 0, j = 0; i < old_n && j < new_n;) {
+    const Rid a = old_dg.node_rid[i];
+    const Rid b = dg.node_rid[j];
+    if (a == b) {
+      old_to_new[i] = static_cast<NodeId>(j);
+      new_to_old[j] = static_cast<NodeId>(i);
+      ++i;
+      ++j;
+    } else if (a < b) {
+      ++i;  // deleted old row: no new id
+    } else {
+      ++j;  // inserted new row: no old id
+    }
+  }
+
+  // 2. Patched per-(node, source-relation) indegree counts: remap the old
+  //    rows, then apply the removed/added link deltas. Every old-table
+  //    link was counted (its endpoints were live at the old freeze), so
+  //    decrements match; added links resolve among live rows only.
+  std::vector<uint32_t> counts(new_n * num_tables, 0);
+  for (size_t i = 0; i < old_n; ++i) {
+    const NodeId n = old_to_new[i];
+    if (n == kInvalidNode) continue;
+    for (size_t t = 0; t < num_tables; ++t) {
+      counts[n * num_tables + t] = old_counts[i * num_tables + t];
+    }
+  }
+  auto node_of = [&dg](Rid r) { return dg.NodeForRid(r); };
+  for (const ResolvedLink& l : delta.removed) {
+    const NodeId tn = node_of(l.to);
+    if (tn != kInvalidNode && l.src < srcs.size()) {
+      --counts[tn * num_tables + srcs[l.src].from_table_id];
+    }
+  }
+  for (const ResolvedLink& l : delta.added) {
+    const NodeId tn = node_of(l.to);
+    if (tn != kInvalidNode && l.src < srcs.size()) {
+      ++counts[tn * num_tables + srcs[l.src].from_table_id];
+    }
+  }
+
+  // 3. Touched nodes: everything whose adjacency content or order can
+  //    differ from a straight remap of the old CSR —
+  //      - endpoints of removed/added links (pair sets or weights change),
+  //      - inserted rows (new nodes),
+  //      - the old partner fan of every removed/added target: its
+  //        per-relation indegree may have changed, and §2.2 backward
+  //        weights toward ALL its partners derive from that count.
+  std::vector<char> touched(new_n, 0);
+  auto touch = [&](Rid r) {
+    const NodeId n = node_of(r);
+    if (n != kInvalidNode) touched[n] = 1;
+  };
+  std::unordered_set<NodeId> fan_targets;  // old ids, deduplicated
+  auto note_target = [&](Rid to) {
+    const NodeId tn = node_of(to);
+    if (tn == kInvalidNode) return;
+    const NodeId old_id = new_to_old[tn];
+    if (old_id != kInvalidNode) fan_targets.insert(old_id);
+  };
+  for (const ResolvedLink& l : delta.removed) {
+    touch(l.from);
+    touch(l.to);
+    note_target(l.to);
+  }
+  for (const ResolvedLink& l : delta.added) {
+    touch(l.from);
+    touch(l.to);
+    note_target(l.to);
+  }
+  for (const Rid rid : delta.inserted) touch(rid);
+  for (const NodeId old_id : fan_targets) {
+    // Every link between two nodes emits both directed edges, so the old
+    // out-neighbour span IS the partner set.
+    for (const auto& e : old_dg.graph.OutEdges(old_id)) {
+      const NodeId pn = old_to_new[e.to];
+      if (pn != kInvalidNode) touched[pn] = 1;
+    }
+  }
+
+  // 4. Re-materialise the touched subgraph from its incident links, with
+  //    MaterializeDataGraph's exact fold and emission order. A touched
+  //    node's incident links are all present in the filtered sequence (in
+  //    merged order), so per-node relative order is preserved; pairs
+  //    between two untouched nodes keep candidates, counts and fold order
+  //    unchanged and are never recomputed.
+  struct Link {
+    NodeId from;
+    NodeId to;
+    uint32_t src;
+  };
+  std::vector<Link> tl;
+  for (const ResolvedLink& l : merged_links) {
+    if (l.src >= srcs.size()) continue;
+    const NodeId fn = node_of(l.from);
+    const NodeId tn = node_of(l.to);
+    if (fn == kInvalidNode || tn == kInvalidNode || fn == tn) continue;
+    if (touched[fn] == 0 && touched[tn] == 0) continue;
+    tl.push_back(Link{fn, tn, l.src});
+  }
+
+  std::unordered_map<uint64_t, double> pair_weight;
+  pair_weight.reserve(tl.size() * 2);
+  auto pair_key = [](NodeId a, NodeId b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  };
+  auto propose = [&](NodeId a, NodeId b, double w) {
+    uint64_t key = pair_key(a, b);
+    auto it = pair_weight.find(key);
+    if (it == pair_weight.end()) {
+      pair_weight.emplace(key, w);
+    } else {
+      it->second = CombineBothLinks(it->second, w, options.both_link_combine);
+    }
+  };
+  for (const auto& l : tl) {
+    const SrcMeta& src = srcs[l.src];
+    propose(l.from, l.to, options.similarity.Get(*src.from_table,
+                                                 *src.to_table));
+    const double back_sim =
+        options.similarity.Get(*src.to_table, *src.from_table);
+    const double back =
+        options.unit_backward_edges
+            ? back_sim
+            : BackwardEdgeWeight(
+                  back_sim,
+                  counts[l.to * num_tables + src.from_table_id]);
+    propose(l.to, l.from, back);
+  }
+
+  struct Adj {
+    std::vector<GraphEdge> out;
+    std::vector<GraphEdge> in;
+  };
+  std::unordered_map<NodeId, Adj> rebuilt;
+  std::unordered_set<uint64_t> emitted;
+  emitted.reserve(tl.size() * 2);
+  auto emit = [&](NodeId a, NodeId b) {
+    if (!emitted.insert(pair_key(a, b)).second) return;
+    const double w = pair_weight.at(pair_key(a, b));
+    if (touched[a] != 0) rebuilt[a].out.push_back(GraphEdge{b, w});
+    if (touched[b] != 0) rebuilt[b].in.push_back(GraphEdge{a, w});
+  };
+  for (const auto& l : tl) {
+    emit(l.from, l.to);
+    emit(l.to, l.from);
+  }
+
+  // 5. Prestige: indegree is the row sum of the patched counts.
+  std::vector<double> weights(new_n, 0.0);
+  if (options.indegree_prestige) {
+    for (size_t n = 0; n < new_n; ++n) {
+      uint32_t d = 0;
+      for (size_t t = 0; t < num_tables; ++t) d += counts[n * num_tables + t];
+      weights[n] = static_cast<double>(d);
+    }
+  }
+
+  // 6. Assemble the CSR arrays: untouched spans are copied with remapped
+  //    neighbour ids (a dead or re-weighted neighbour would have made the
+  //    node touched); touched nodes take their rebuilt adjacency.
+  std::vector<uint32_t> out_offsets(new_n + 1, 0);
+  std::vector<uint32_t> in_offsets(new_n + 1, 0);
+  std::vector<GraphEdge> out_edges;
+  std::vector<GraphEdge> in_edges;
+  out_edges.reserve(old_dg.graph.num_edges() + 2 * delta.added.size());
+  in_edges.reserve(old_dg.graph.num_edges() + 2 * delta.added.size());
+  static const Adj kEmptyAdj;
+  for (size_t n = 0; n < new_n; ++n) {
+    if (touched[n] != 0) {
+      auto it = rebuilt.find(static_cast<NodeId>(n));
+      const Adj& adj = it != rebuilt.end() ? it->second : kEmptyAdj;
+      out_edges.insert(out_edges.end(), adj.out.begin(), adj.out.end());
+      in_edges.insert(in_edges.end(), adj.in.begin(), adj.in.end());
+    } else {
+      const NodeId old_id = new_to_old[n];
+      for (const auto& e : old_dg.graph.OutEdges(old_id)) {
+        assert(old_to_new[e.to] != kInvalidNode);
+        out_edges.push_back(GraphEdge{old_to_new[e.to], e.weight});
+      }
+      for (const auto& e : old_dg.graph.InEdges(old_id)) {
+        in_edges.push_back(GraphEdge{old_to_new[e.to], e.weight});
+      }
+    }
+    out_offsets[n + 1] = static_cast<uint32_t>(out_edges.size());
+    in_offsets[n + 1] = static_cast<uint32_t>(in_edges.size());
+  }
+
+  dg.graph = FrozenGraph(std::move(out_offsets), std::move(out_edges),
+                         std::move(in_offsets), std::move(in_edges),
+                         std::move(weights));
+  if (new_counts != nullptr) *new_counts = std::move(counts);
+  return dg;
+}
+
+}  // namespace banks

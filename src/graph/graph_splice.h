@@ -1,0 +1,56 @@
+// O(base + delta) CSR splice — the merge-refreeze fast path for stage B.
+//
+// MaterializeDataGraph re-folds every §2.2 pair weight and re-emits every
+// edge from the link list: correct, but linear in the graph with heavy
+// per-link work (hash folds, per-pair combines). After a small mutation
+// burst almost all of that reproduces the old CSR verbatim, so the splice
+// computes the SAME graph — byte-identical arrays, enforced by the
+// equivalence oracle and property tests — by
+//   - enumerating the compacted NodeId space and remapping the old ids
+//     (deletes compact, inserts append; monotone two-pointer pass);
+//   - patching the cached per-(node, relation) indegree counts with the
+//     removed/added link deltas, instead of recounting;
+//   - re-materialising ONLY the delta-bound "touched" nodes — endpoints
+//     of removed/added links, inserted rows, and the partner fan of nodes
+//     whose per-relation indegree changed (their backward-edge weights
+//     derive from those counts) — from their incident links, with exactly
+//     the fold/emission order MaterializeDataGraph uses;
+//   - copying every untouched node's adjacency span with NodeIds remapped
+//     and weights bit-identical.
+// The remaining whole-graph work is memcpy-grade (span copies, id remaps,
+// invariant scans); everything per-link-expensive is delta-bound.
+#ifndef BANKS_GRAPH_GRAPH_SPLICE_H_
+#define BANKS_GRAPH_GRAPH_SPLICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace banks {
+
+/// The link-level difference between the old epoch's table and the merged
+/// one, in Rid space. Deleted rows are implicit: old nodes whose row is
+/// tombstoned in the database vanish from the new enumeration.
+struct GraphSpliceDelta {
+  std::vector<ResolvedLink> removed;  ///< old links dropped by the merge
+  std::vector<ResolvedLink> added;    ///< links (re-)resolved this epoch
+  std::vector<Rid> inserted;          ///< rows born this epoch (live ones)
+};
+
+/// Splices `delta` into `old_dg`, producing a DataGraph byte-identical to
+/// MaterializeDataGraph(db, merged_links, options). `merged_links` must be
+/// the old table minus `removed` plus `added` (in LinkOrder), and
+/// `old_counts` the in_by_relation export of the build that produced
+/// `old_dg`. `new_counts` receives the counts of the new graph, keyed by
+/// its node ids — the next epoch's `old_counts`.
+DataGraph SpliceDataGraph(const Database& db, const DataGraph& old_dg,
+                          const std::vector<ResolvedLink>& merged_links,
+                          const GraphSpliceDelta& delta,
+                          const std::vector<uint32_t>& old_counts,
+                          const GraphBuildOptions& options,
+                          std::vector<uint32_t>* new_counts);
+
+}  // namespace banks
+
+#endif  // BANKS_GRAPH_GRAPH_SPLICE_H_

@@ -42,6 +42,36 @@ void InvertedIndex::AddText(const std::string& text, Rid rid) {
   finalized_ = false;
 }
 
+void InvertedIndex::PatchPostings(const std::string& keyword,
+                                  std::vector<Rid> add,
+                                  std::vector<Rid> remove) {
+  Finalize();  // patching assumes (and preserves) sorted postings
+  std::sort(add.begin(), add.end());
+  add.erase(std::unique(add.begin(), add.end()), add.end());
+  std::sort(remove.begin(), remove.end());
+  remove.erase(std::unique(remove.begin(), remove.end()), remove.end());
+
+  auto entry = postings_.find(keyword);
+  const std::vector<Rid> empty;
+  const std::vector<Rid>& list = entry != postings_.end() ? entry->second
+                                                          : empty;
+  std::vector<Rid> kept;
+  kept.reserve(list.size());
+  std::set_difference(list.begin(), list.end(), remove.begin(), remove.end(),
+                      std::back_inserter(kept));
+  std::vector<Rid> merged;
+  merged.reserve(kept.size() + add.size());
+  std::set_union(kept.begin(), kept.end(), add.begin(), add.end(),
+                 std::back_inserter(merged));
+  if (merged.empty()) {
+    if (entry != postings_.end()) postings_.erase(entry);
+  } else if (entry != postings_.end()) {
+    entry->second = std::move(merged);
+  } else {
+    postings_.emplace(keyword, std::move(merged));
+  }
+}
+
 void InvertedIndex::Finalize() const {
   if (finalized_) return;
   for (auto& [kw, list] : postings_) {

@@ -30,6 +30,20 @@ class InvertedIndex {
   /// Adds the tokens of a single value (used for incremental maintenance).
   void AddText(const std::string& text, Rid rid);
 
+  /// Incremental patch entry point, used by the merge-refreeze path
+  /// (update/refreeze.cc) to bring a *copy* of a finalized index up to
+  /// date in O(postings touched) instead of re-tokenizing the whole
+  /// database: one linear merge pass per keyword, however many rids a
+  /// burst adds (a per-rid sorted insert would go quadratic on bursts
+  /// sharing a keyword). Removals apply first, then additions; duplicates
+  /// are no-ops; a posting list emptied by the patch is dropped entirely,
+  /// as Build would never have created it — so a patched index is
+  /// indistinguishable from a freshly built one. `keyword` must already
+  /// be a normalised token (Tokenize output); `add`/`remove` need not be
+  /// sorted.
+  void PatchPostings(const std::string& keyword, std::vector<Rid> add,
+                     std::vector<Rid> remove);
+
   /// Tuples containing `keyword` (already-normalised or raw; it is
   /// normalised internally). Sorted by Rid for determinism.
   const std::vector<Rid>& Lookup(const std::string& keyword) const;

@@ -32,6 +32,14 @@ std::vector<MetadataMatch> MetadataIndex::Lookup(
   return it->second;
 }
 
+std::vector<std::string> MetadataIndex::AllTokens() const {
+  std::vector<std::string> out;
+  out.reserve(matches_.size());
+  for (const auto& [tok, _] : matches_) out.push_back(tok);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 std::vector<Rid> MetadataIndex::LookupRids(const Database& db,
                                            const std::string& keyword) const {
   std::vector<Rid> rids;

@@ -19,6 +19,10 @@ namespace banks {
 struct MetadataMatch {
   std::string table;            ///< the relation matched (always set)
   std::string column;           ///< non-empty if a column name matched
+
+  bool operator==(const MetadataMatch& o) const {
+    return table == o.table && column == o.column;
+  }
 };
 
 /// Maps normalised tokens of table/column names to the tables whose tuples
@@ -29,6 +33,10 @@ class MetadataIndex {
 
   /// Matches for `keyword` (tokens of relation and column names).
   std::vector<MetadataMatch> Lookup(const std::string& keyword) const;
+
+  /// All indexed tokens, sorted (for diagnostics and the snapshot
+  /// equivalence checks in update/state_compare.h).
+  std::vector<std::string> AllTokens() const;
 
   /// Expands metadata matches to the RIDs of every tuple of the matched
   /// tables. This is what makes "author" relevant to all Author tuples.

@@ -35,6 +35,34 @@ void NumericIndex::Build(const Database& db) {
   }
 }
 
+void NumericIndex::PatchValue(double value, std::vector<Rid> add,
+                              std::vector<Rid> remove) {
+  std::sort(add.begin(), add.end());
+  add.erase(std::unique(add.begin(), add.end()), add.end());
+  std::sort(remove.begin(), remove.end());
+  remove.erase(std::unique(remove.begin(), remove.end()), remove.end());
+
+  auto entry = by_value_.find(value);
+  const std::vector<Rid> empty;
+  const std::vector<Rid>& list = entry != by_value_.end() ? entry->second
+                                                          : empty;
+  std::vector<Rid> kept;
+  kept.reserve(list.size());
+  std::set_difference(list.begin(), list.end(), remove.begin(), remove.end(),
+                      std::back_inserter(kept));
+  std::vector<Rid> merged;
+  merged.reserve(kept.size() + add.size());
+  std::set_union(kept.begin(), kept.end(), add.begin(), add.end(),
+                 std::back_inserter(merged));
+  if (merged.empty()) {
+    if (entry != by_value_.end()) by_value_.erase(entry);
+  } else if (entry != by_value_.end()) {
+    entry->second = std::move(merged);
+  } else {
+    by_value_.emplace(value, std::move(merged));
+  }
+}
+
 std::vector<NumericIndex::Match> NumericIndex::LookupRange(double lo,
                                                            double hi) const {
   std::vector<Match> out;

@@ -31,6 +31,14 @@ class NumericIndex {
   };
   std::vector<Match> LookupRange(double lo, double hi) const;
 
+  /// Incremental patch entry point (merge-refreeze, update/refreeze.cc):
+  /// one linear merge pass over the value's rid list — removals first,
+  /// then additions; duplicates are no-ops; entries emptied by the patch
+  /// are dropped. Preserves Build's sorted/deduplicated per-value lists,
+  /// so a patched index matches a from-scratch rebuild. `add`/`remove`
+  /// need not be sorted.
+  void PatchValue(double value, std::vector<Rid> add, std::vector<Rid> remove);
+
   size_t num_values() const { return by_value_.size(); }
   size_t num_entries() const;
 

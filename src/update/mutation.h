@@ -34,6 +34,9 @@ struct Mutation {
   Tuple tuple;         ///< insert payload
   std::string column;  ///< update: column name
   Value value;         ///< update: new value
+  Value old_value;     ///< update: overwritten value, captured at apply time
+                       ///< (lets a merge-refreeze un-index the old tokens /
+                       ///< numeric entries without a full index rebuild)
 
   static Mutation Insert(std::string table, Tuple tuple) {
     Mutation m;

@@ -11,12 +11,26 @@
 // serving path. "Off the serving path" is literal: a rebuild runs with no
 // state lock held at all — concurrent sessions keep opening and pumping on
 // the current state; only other *writers* wait.
+//
+// Two rebuild paths:
+//   Rebuild()      — from scratch: re-resolve every FK/inclusion link,
+//                    re-tokenize every attribute, rebuild every index.
+//                    O(database). Always correct; the merge path's oracle.
+//   MergeRebuild() — O(base + delta): patch the cached per-epoch LinkTable
+//                    with the mutation log (re-resolving only dirty rows),
+//                    rerun the deterministic stage-B materialisation, and
+//                    patch copies of the inverted/numeric indexes from the
+//                    log's old/new values. Byte-identical to Rebuild() by
+//                    construction — stage B is the same code consuming the
+//                    same link sequence — and verifiable at runtime via
+//                    UpdateOptions::verify_merge_refreeze.
 #ifndef BANKS_UPDATE_REFREEZE_H_
 #define BANKS_UPDATE_REFREEZE_H_
 
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "storage/database.h"
 #include "update/delta_graph.h"
@@ -36,6 +50,9 @@ struct RefreezeStats {
   size_t nodes = 0;              ///< node count of the new frozen graph
   size_t edges = 0;              ///< edge count of the new frozen graph
   double rebuild_ms = 0.0;       ///< wall time of the off-path rebuild
+  bool merged = false;           ///< snapshot came from the merge path
+  bool verified = false;         ///< the equivalence oracle ran
+  bool verify_mismatch = false;  ///< oracle disagreed; full rebuild published
 };
 
 /// Serialized-writer mutation applier + snapshot rebuilder.
@@ -46,13 +63,23 @@ class RefreezeCoordinator {
   RefreezeCoordinator(Database* db, const BanksOptions* options);
 
   /// Starts a new overlay generation over `base` (engine construction and
-  /// every refreeze). Clears the pending log.
+  /// every refreeze). Clears the pending log; the link cache a preceding
+  /// Rebuild/MergeRebuild stored is kept — it describes the same epoch.
   void BeginEpoch(DataGraphSnapshot base);
 
   /// Applies one mutation to storage and publishes new overlay snapshots.
   /// Returns the affected Rid (the fresh one for inserts). On error the
   /// database and overlays are unchanged. Caller serializes writers.
   Result<Rid> Apply(Mutation m);
+
+  /// Applies a whole batch through ONE overlay clone: the working overlay
+  /// is cloned once, every mutation folds into it, and one generation is
+  /// published at the end — O(batch) instead of the O(batch²) a loop of
+  /// Apply() pays for per-mutation copy-on-write clones. Failed mutations
+  /// report their status in the matching result slot and leave storage and
+  /// the working overlay untouched; later mutations still apply (same net
+  /// state as a loop of Apply). Caller serializes writers.
+  std::vector<Result<Rid>> ApplyBatch(std::vector<Mutation> mutations);
 
   /// True once pending mutations reached the configured auto-refreeze
   /// threshold (never true when the threshold is 0 = manual only).
@@ -61,7 +88,20 @@ class RefreezeCoordinator {
   /// Rebuilds every derived structure from the database into a fresh
   /// LiveState with the given epoch and no overlays. Pure read of the
   /// database: caller guarantees no concurrent writer (readers are fine).
-  LiveStateSnapshot Rebuild(uint64_t epoch) const;
+  /// Also re-caches the link table for the next epoch's merge.
+  LiveStateSnapshot Rebuild(uint64_t epoch);
+
+  /// True when every pending mutation is expressible as a link-table patch
+  /// (everything except updates that touch inclusion-dependency columns,
+  /// whose value-match semantics need a referred-side rescan) and a link
+  /// cache exists for the current epoch.
+  bool CanMergeRefreeze() const;
+
+  /// The O(base + delta) merge path. `current` is the state the epoch
+  /// started from (its immutable index objects seed the patched copies).
+  /// Preconditions: CanMergeRefreeze(), and `current` belongs to this
+  /// coordinator's epoch. Same caller contract as Rebuild().
+  LiveStateSnapshot MergeRebuild(uint64_t epoch, const LiveState& current);
 
   /// Current overlay generation (null when nothing is pending).
   const DeltaSnapshot& delta() const { return delta_; }
@@ -71,12 +111,22 @@ class RefreezeCoordinator {
   size_t pending() const { return log_.pending(); }
 
  private:
-  Result<Rid> ApplyInsert(Mutation* m);
-  Result<Rid> ApplyDelete(const Mutation& m);
-  Result<Rid> ApplyUpdate(const Mutation& m);
+  /// The private pre-publication overlay pair one Apply/ApplyBatch call
+  /// mutates before its single copy-on-write publication.
+  struct WorkingOverlays {
+    std::shared_ptr<DeltaGraph> delta;
+    std::shared_ptr<InvertedIndexDelta> index;
+  };
 
-  /// Overlay view helper: NodeId of `rid` in base + working overlay.
-  NodeId NodeOf(const DeltaGraph& d, Rid rid) const { return d.NodeForRid(rid); }
+  WorkingOverlays CloneOverlays() const;
+  void PublishOverlays(WorkingOverlays w);
+
+  /// Dispatches one mutation into `w` (storage write + overlay fold + log
+  /// append). On error nothing — storage, overlays, log — changed.
+  Result<Rid> ApplyOne(WorkingOverlays* w, Mutation* m);
+  Result<Rid> ApplyInsert(WorkingOverlays* w, Mutation* m);
+  Result<Rid> ApplyDelete(WorkingOverlays* w, Mutation* m);
+  Result<Rid> ApplyUpdate(WorkingOverlays* w, Mutation* m);
 
   /// Adds the §2.2 edge pair for DB link from -> to into the working
   /// overlay (forward similarity edge + indegree-weighted backward edge).
@@ -93,6 +143,11 @@ class RefreezeCoordinator {
   DeltaSnapshot delta_;            // published generations (COW)
   IndexDeltaSnapshot index_delta_;
   MutationLog log_;
+
+  /// Stage-A link cache for the current epoch: what MergeRebuild patches
+  /// instead of re-resolving the database. Null until the first Rebuild
+  /// (or when merge aids are disabled).
+  std::shared_ptr<const LinkTable> links_;
 };
 
 }  // namespace banks

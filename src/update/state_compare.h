@@ -1,0 +1,55 @@
+// Deep structural equality of derived read state — the merge-refreeze
+// equivalence oracle.
+//
+// The merge path (update/refreeze.h) promises a snapshot *byte-identical*
+// to a from-scratch rebuild: same CSR arrays in the same order, same exact
+// §2.2 edge weights, same Rid<->NodeId maps, same index contents. These
+// comparators check that promise; they are used by
+// UpdateOptions::verify_merge_refreeze (run both paths, cross-check,
+// publish the full rebuild on mismatch), by the property tests, and by
+// bench_refreeze's merge-vs-full gate.
+//
+// Everything compared is deterministic (no timings, no capacities, no
+// pointer identity), and floating-point weights are compared exactly —
+// the merge path recomputes weights with the same code over the same
+// inputs, so even one ULP of drift is a bug.
+#ifndef BANKS_UPDATE_STATE_COMPARE_H_
+#define BANKS_UPDATE_STATE_COMPARE_H_
+
+#include <string>
+
+#include "graph/graph_builder.h"
+#include "index/inverted_index.h"
+#include "index/metadata_index.h"
+#include "index/numeric_index.h"
+#include "update/live_state.h"
+
+namespace banks {
+
+/// CSR topology + exact weights + both Rid<->NodeId maps.
+bool DataGraphsIdentical(const DataGraph& a, const DataGraph& b,
+                         std::string* diff = nullptr);
+
+/// Same keywords, same posting lists in the same order.
+bool InvertedIndexesIdentical(const InvertedIndex& a, const InvertedIndex& b,
+                              std::string* diff = nullptr);
+
+/// Same tokens, same matches in the same order.
+bool MetadataIndexesIdentical(const MetadataIndex& a, const MetadataIndex& b,
+                              std::string* diff = nullptr);
+
+/// Same values, same rid lists in the same order.
+bool NumericIndexesIdentical(const NumericIndex& a, const NumericIndex& b,
+                             std::string* diff = nullptr);
+
+/// All of the above over two LiveStates (overlays and epoch numbers are
+/// intentionally NOT compared — a merge-refrozen state and a full-rebuild
+/// state of the same database must agree on the derived structures only).
+/// On mismatch, `diff` (if non-null) receives a short human-readable
+/// description of the first difference found.
+bool LiveStatesIdentical(const LiveState& a, const LiveState& b,
+                         std::string* diff = nullptr);
+
+}  // namespace banks
+
+#endif  // BANKS_UPDATE_STATE_COMPARE_H_

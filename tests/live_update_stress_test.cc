@@ -195,5 +195,71 @@ TEST(LiveUpdateStress, ConcurrentOpensDuringIngestAndRefreeze) {
   EXPECT_EQ(result.value().keyword_matches[0].size(), 60u);
 }
 
+// Bulk ingest under concurrent serving: ApplyBatch bursts (one overlay
+// publish per burst) trip the auto-refreeze threshold at batch end, and
+// every refreeze takes the merge path with the equivalence oracle enabled
+// — so TSan gates the interleavings while the oracle gates byte-identity
+// of merge vs full rebuild under live traffic.
+TEST(LiveUpdateStress, BatchIngestAndMergeRefreezeUnderQueries) {
+  DblpConfig config;
+  config.num_authors = 80;
+  config.num_papers = 160;
+  config.seed = 37;
+  DblpDataset ds = GenerateDblp(config);
+  const std::string soumen = ds.planted.soumen;
+  BanksOptions options;
+  options.update.auto_refreeze_mutations = 24;  // == one burst
+  options.update.merge_refreeze = true;
+  options.update.verify_merge_refreeze = true;
+  BanksEngine engine(std::move(ds.db), options);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int burst = 0; burst < 5; ++burst) {
+      std::vector<Mutation> batch;
+      for (int i = 0; i < 12; ++i) {
+        const std::string pid =
+            "P_bulk" + std::to_string(burst) + "_" + std::to_string(i);
+        batch.push_back(Mutation::Insert(
+            kPaperTable, Tuple({Value(pid), Value("Bulk Ingested Volume " +
+                                                  std::to_string(i))})));
+        batch.push_back(Mutation::Insert(
+            kWritesTable, Tuple({Value(soumen), Value(pid)})));
+      }
+      auto results = engine.ApplyBatch(std::move(batch));
+      for (const auto& r : results) {
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+      }
+      // The batch crossed the threshold: the refreeze ran inside
+      // ApplyBatch, on the merge path, and the oracle agreed.
+      ASSERT_EQ(engine.pending_mutations(), 0u);
+    }
+    stop.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      size_t last = 0;
+      do {
+        auto result = engine.Search("bulk ingested");
+        ASSERT_TRUE(result.ok());
+        // Batches publish atomically: a probe sees whole bursts only, and
+        // visibility is monotone (inserts only).
+        const size_t seen = result.value().keyword_nodes[0].size();
+        EXPECT_GE(seen, last);
+        last = seen;
+      } while (!stop.load());
+    });
+  }
+  for (auto& t : readers) t.join();
+  writer.join();
+
+  EXPECT_EQ(engine.epoch(), 5u);
+  auto result = engine.Search("bulk soumen");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().answers.empty());
+}
+
 }  // namespace
 }  // namespace banks

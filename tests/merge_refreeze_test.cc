@@ -1,0 +1,505 @@
+// Merge-refreeze (O(base + delta) snapshot rebuild) and ApplyBatch (one
+// overlay clone per burst): equivalence against the from-scratch oracle.
+//
+// The core property: after ANY mergeable mutation burst, a merge-refrozen
+// snapshot is byte-identical — CSR arrays, exact §2.2 weights, Rid<->NodeId
+// maps, inverted/metadata/numeric index contents — to a full rebuild of the
+// same database. The property test drives randomized insert/delete/update
+// bursts (dangling FKs, PK reuse, FK retargets, text and numeric updates)
+// through a merge engine and a full-rebuild engine in lockstep, across
+// several refreeze epochs so the patched link cache itself is re-patched.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/banks.h"
+#include "datagen/dblp_gen.h"
+#include "update/state_compare.h"
+
+namespace banks {
+namespace {
+
+// ------------------------------------------------------------ fixtures
+
+/// Author/Paper/Writes schema with a numeric column and FK links in both
+/// library directions — small enough to cross-check exhaustively, rich
+/// enough to exercise every mutation kind the merge path models.
+Database MakeBibliographyDb() {
+  Database db;
+  EXPECT_TRUE(db.CreateTable(TableSchema("Author",
+                                         {{"AuthorId", ValueType::kString},
+                                          {"Name", ValueType::kString}},
+                                         {"AuthorId"}))
+                  .ok());
+  EXPECT_TRUE(db.CreateTable(TableSchema("Paper",
+                                         {{"PaperId", ValueType::kString},
+                                          {"Title", ValueType::kString},
+                                          {"Year", ValueType::kInt}},
+                                         {"PaperId"}))
+                  .ok());
+  EXPECT_TRUE(db.CreateTable(TableSchema("Writes",
+                                         {{"WId", ValueType::kString},
+                                          {"AuthorId", ValueType::kString},
+                                          {"PaperId", ValueType::kString}},
+                                         {"WId"}))
+                  .ok());
+  EXPECT_TRUE(db.AddForeignKey(ForeignKey{"w_author", "Writes", {"AuthorId"},
+                                          "Author", {"AuthorId"}})
+                  .ok());
+  EXPECT_TRUE(db.AddForeignKey(ForeignKey{"w_paper", "Writes", {"PaperId"},
+                                          "Paper", {"PaperId"}})
+                  .ok());
+  const char* names[] = {"alice", "bobby", "carol", "dave", "erin", "frank"};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(db.Insert("Author", Tuple({Value("A" + std::to_string(i)),
+                                           Value(std::string(names[i]))}))
+                    .ok());
+  }
+  const char* words[] = {"graphs", "joins", "keyword", "search", "banks",
+                         "proximity"};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(db.Insert("Paper", Tuple({Value("P" + std::to_string(i)),
+                                          Value(std::string(words[i % 6]) +
+                                                " volume " +
+                                                std::to_string(i)),
+                                          Value(int64_t{1990 + i})}))
+                    .ok());
+  }
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_TRUE(
+        db.Insert("Writes", Tuple({Value("W" + std::to_string(i)),
+                                   Value("A" + std::to_string(i % 6)),
+                                   Value("P" + std::to_string(i % 10))}))
+            .ok());
+  }
+  return db;
+}
+
+/// Generates one random mutation. Tracks enough state to aim deletes and
+/// updates at live rows and to reuse freed PKs (the merge path's hardest
+/// cases: dangling references resolved epochs later, PK takeover after a
+/// delete, FK retargets to rows that do not exist yet).
+class BurstGen {
+ public:
+  explicit BurstGen(uint32_t seed) : rng_(seed) {}
+
+  Mutation Next(const BanksEngine& engine) {
+    const int roll = static_cast<int>(rng_() % 100);
+    if (roll < 22) return InsertPaper();
+    if (roll < 32) return InsertAuthor();
+    if (roll < 55) return InsertWrites(engine);
+    if (roll < 70) return DeleteLive(engine);
+    if (roll < 85) return UpdatePaper(engine);
+    return UpdateWritesFk(engine);
+  }
+
+ private:
+  std::string RandWord() {
+    static const char* kWords[] = {"graphs", "joins",  "keyword", "search",
+                                   "banks",  "merge",  "delta",   "ingest",
+                                   "frozen", "splice"};
+    return kWords[rng_() % 10];
+  }
+
+  /// A PaperId: usually fresh, sometimes a previously deleted one (PK
+  /// reuse), sometimes one that does not exist yet (dangling until a later
+  /// insert creates it).
+  std::string SomePaperId() {
+    const int roll = static_cast<int>(rng_() % 100);
+    if (roll < 60 || paper_ids_.empty()) {
+      return "P" + std::to_string(rng_() % (10 + inserts_));
+    }
+    return paper_ids_[rng_() % paper_ids_.size()];
+  }
+
+  Mutation InsertPaper() {
+    ++inserts_;
+    std::string pk;
+    if (!freed_paper_pks_.empty() && rng_() % 3 == 0) {
+      pk = freed_paper_pks_.back();  // take over a freed PK
+      freed_paper_pks_.pop_back();
+    } else {
+      pk = "P" + std::to_string(10 + inserts_);
+    }
+    paper_ids_.push_back(pk);
+    return Mutation::Insert(
+        "Paper", Tuple({Value(pk), Value(RandWord() + " " + RandWord()),
+                        Value(int64_t{1980 + static_cast<int>(rng_() % 50)})}));
+  }
+
+  Mutation InsertAuthor() {
+    ++inserts_;
+    return Mutation::Insert("Author",
+                            Tuple({Value("A" + std::to_string(6 + inserts_)),
+                                   Value(RandWord())}));
+  }
+
+  Mutation InsertWrites(const BanksEngine& engine) {
+    ++inserts_;
+    const Table* authors = engine.db().table("Author");
+    const uint32_t author_slot =
+        static_cast<uint32_t>(rng_() % authors->num_rows());
+    // Referencing a tombstoned author's id (or an id never inserted) is a
+    // deliberately dangling reference.
+    const std::string author_id = authors->row(author_slot).at(0).AsString();
+    return Mutation::Insert(
+        "Writes", Tuple({Value("W" + std::to_string(12 + inserts_)),
+                         Value(author_id), Value(SomePaperId())}));
+  }
+
+  Mutation DeleteLive(const BanksEngine& engine) {
+    const char* tables[] = {"Author", "Paper", "Writes"};
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const Table* t = engine.db().table(tables[rng_() % 3]);
+      const uint32_t row = static_cast<uint32_t>(rng_() % t->num_rows());
+      if (t->IsDeleted(row)) continue;
+      if (t->name() == "Paper") {
+        freed_paper_pks_.push_back(t->row(row).at(0).AsString());
+      }
+      return Mutation::Delete(Rid{t->id(), row});
+    }
+    return InsertPaper();  // everything sampled was dead; insert instead
+  }
+
+  Mutation UpdatePaper(const BanksEngine& engine) {
+    const Table* t = engine.db().table("Paper");
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const uint32_t row = static_cast<uint32_t>(rng_() % t->num_rows());
+      if (t->IsDeleted(row)) continue;
+      const Rid rid{t->id(), row};
+      if (rng_() % 2 == 0) {
+        return Mutation::Update(rid, "Title",
+                                Value(RandWord() + " revised " + RandWord()));
+      }
+      return Mutation::Update(
+          rid, "Year", Value(int64_t{1980 + static_cast<int>(rng_() % 50)}));
+    }
+    return InsertPaper();
+  }
+
+  Mutation UpdateWritesFk(const BanksEngine& engine) {
+    const Table* t = engine.db().table("Writes");
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const uint32_t row = static_cast<uint32_t>(rng_() % t->num_rows());
+      if (t->IsDeleted(row)) continue;
+      return Mutation::Update(Rid{t->id(), row}, "PaperId",
+                              Value(SomePaperId()));
+    }
+    return InsertPaper();
+  }
+
+  std::mt19937 rng_;
+  int inserts_ = 0;
+  std::vector<std::string> paper_ids_;
+  std::vector<std::string> freed_paper_pks_;
+};
+
+std::vector<std::string> RenderedAnswers(const BanksEngine& engine,
+                                         const std::string& query) {
+  std::vector<std::string> out;
+  auto result = engine.Search(query);
+  if (!result.ok()) {
+    // Identical snapshots must produce the identical error (e.g. a term
+    // every matching tuple of which was deleted).
+    out.push_back(result.status().ToString());
+    return out;
+  }
+  for (const auto& tree : result.value().answers) {
+    out.push_back(engine.Render(tree));
+  }
+  return out;
+}
+
+// ------------------------------------------------- the core property
+
+TEST(MergeRefreezeTest, RandomBurstsMatchFullRebuildAcrossEpochs) {
+  for (uint32_t seed : {11u, 23u, 47u}) {
+    BanksOptions merge_opts;
+    merge_opts.update.merge_refreeze = true;
+    BanksOptions full_opts;
+    full_opts.update.merge_refreeze = false;
+    BanksEngine merged(MakeBibliographyDb(), merge_opts);
+    BanksEngine scratch(MakeBibliographyDb(), full_opts);
+
+    // Identical mutation streams: both generators sample from engines with
+    // identical storage, so the streams stay in lockstep.
+    BurstGen gen_a(seed);
+    BurstGen gen_b(seed);
+    for (int epoch = 1; epoch <= 3; ++epoch) {
+      for (int i = 0; i < 40; ++i) {
+        Mutation ma = gen_a.Next(merged);
+        Mutation mb = gen_b.Next(scratch);
+        auto ra = merged.Apply(std::move(ma));
+        auto rb = scratch.Apply(std::move(mb));
+        ASSERT_EQ(ra.ok(), rb.ok()) << "seed " << seed << " epoch " << epoch
+                                    << " op " << i;
+      }
+      auto sa = merged.Refreeze(/*force=*/true);
+      auto sb = scratch.Refreeze(/*force=*/true);
+      ASSERT_TRUE(sa.ok());
+      ASSERT_TRUE(sb.ok());
+      // The whole point: the merge path actually ran (and keeps running on
+      // its own patched link cache in later epochs) while the oracle
+      // engine rebuilt from scratch.
+      EXPECT_TRUE(sa.value().merged) << "seed " << seed << " epoch " << epoch;
+      EXPECT_FALSE(sb.value().merged);
+
+      std::string diff;
+      ASSERT_TRUE(LiveStatesIdentical(*merged.state(), *scratch.state(), &diff))
+          << "seed " << seed << " epoch " << epoch << ": " << diff;
+      // End-to-end: identical snapshots serve identical answers.
+      for (const char* q : {"alice graphs", "keyword search", "merge delta"}) {
+        EXPECT_EQ(RenderedAnswers(merged, q), RenderedAnswers(scratch, q))
+            << "seed " << seed << " epoch " << epoch << " query " << q;
+      }
+    }
+  }
+}
+
+TEST(MergeRefreezeTest, VerifyOracleRunsCleanOnRandomBursts) {
+  BanksOptions opts;
+  opts.update.merge_refreeze = true;
+  opts.update.verify_merge_refreeze = true;  // engine cross-checks each swap
+  BanksEngine engine(MakeBibliographyDb(), opts);
+  BurstGen gen(97);
+  for (int epoch = 1; epoch <= 2; ++epoch) {
+    for (int i = 0; i < 30; ++i) {
+      (void)engine.Apply(gen.Next(engine));
+    }
+    auto stats = engine.Refreeze(/*force=*/true);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_TRUE(stats.value().verified);
+    EXPECT_TRUE(stats.value().merged);
+    EXPECT_FALSE(stats.value().verify_mismatch);
+  }
+}
+
+// ------------------------------------------------ targeted regressions
+
+TEST(MergeRefreezeTest, DanglingFkResolvedByInsertEpochsLater) {
+  BanksOptions merge_opts;
+  BanksOptions full_opts;
+  full_opts.update.merge_refreeze = false;
+  BanksEngine merged(MakeBibliographyDb(), merge_opts);
+  BanksEngine scratch(MakeBibliographyDb(), full_opts);
+
+  auto apply_both = [&](Mutation m) {
+    Mutation copy = m;
+    ASSERT_TRUE(merged.Apply(std::move(m)).ok());
+    ASSERT_TRUE(scratch.Apply(std::move(copy)).ok());
+  };
+  // Epoch 1: a Writes row referencing a paper that does not exist yet.
+  apply_both(Mutation::Insert(
+      "Writes", Tuple({Value("W_d"), Value("A0"), Value("P_future")})));
+  ASSERT_TRUE(merged.Refreeze(true).ok());
+  ASSERT_TRUE(scratch.Refreeze(true).ok());
+  // Epoch 2: the paper arrives; the dangling reference must become a real
+  // §2.2 edge pair in the merged snapshot too.
+  apply_both(Mutation::Insert(
+      "Paper",
+      Tuple({Value("P_future"), Value("futuristic ideas"), Value(int64_t{2025})})));
+  auto stats = merged.Refreeze(true);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats.value().merged);
+  ASSERT_TRUE(scratch.Refreeze(true).ok());
+
+  std::string diff;
+  EXPECT_TRUE(LiveStatesIdentical(*merged.state(), *scratch.state(), &diff))
+      << diff;
+  // The author joins the new paper through the once-dangling Writes row.
+  EXPECT_FALSE(RenderedAnswers(merged, "alice futuristic").empty());
+}
+
+TEST(MergeRefreezeTest, PkReuseAfterDeleteRetargetsBaseLinks) {
+  BanksOptions merge_opts;
+  BanksOptions full_opts;
+  full_opts.update.merge_refreeze = false;
+  BanksEngine merged(MakeBibliographyDb(), merge_opts);
+  BanksEngine scratch(MakeBibliographyDb(), full_opts);
+
+  const Table* papers = merged.db().table("Paper");
+  const Rid victim{papers->id(), 0};  // P0, referenced by base Writes rows
+  auto apply_both = [&](Mutation m) {
+    Mutation copy = m;
+    ASSERT_TRUE(merged.Apply(std::move(m)).ok());
+    ASSERT_TRUE(scratch.Apply(std::move(copy)).ok());
+  };
+  apply_both(Mutation::Delete(victim));
+  ASSERT_TRUE(merged.Refreeze(true).ok());
+  ASSERT_TRUE(scratch.Refreeze(true).ok());
+  // The freed PK is taken over by a brand-new row: Writes rows that
+  // referenced the dead P0 must re-resolve to the newcomer.
+  apply_both(Mutation::Insert(
+      "Paper",
+      Tuple({Value("P0"), Value("phoenix edition"), Value(int64_t{2024})})));
+  auto stats = merged.Refreeze(true);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats.value().merged);
+  ASSERT_TRUE(scratch.Refreeze(true).ok());
+
+  std::string diff;
+  EXPECT_TRUE(LiveStatesIdentical(*merged.state(), *scratch.state(), &diff))
+      << diff;
+  EXPECT_FALSE(RenderedAnswers(merged, "alice phoenix").empty());
+}
+
+TEST(MergeRefreezeTest, InclusionColumnUpdateFallsBackToFullRebuild) {
+  auto make_db = [] {
+    Database db;
+    EXPECT_TRUE(db.CreateTable(TableSchema("Tag",
+                                           {{"TagId", ValueType::kString},
+                                            {"Label", ValueType::kString}},
+                                           {"TagId"}))
+                    .ok());
+    EXPECT_TRUE(db.CreateTable(TableSchema("Item",
+                                           {{"ItemId", ValueType::kString},
+                                            {"Label", ValueType::kString}},
+                                           {"ItemId"}))
+                    .ok());
+    EXPECT_TRUE(db.AddInclusionDependency(InclusionDependency{
+                      "item_tag", "Item", "Label", "Tag", "Label"})
+                    .ok());
+    EXPECT_TRUE(db.Insert("Tag", Tuple({Value("T1"), Value("red")})).ok());
+    EXPECT_TRUE(db.Insert("Tag", Tuple({Value("T2"), Value("blue")})).ok());
+    EXPECT_TRUE(db.Insert("Item", Tuple({Value("I1"), Value("red")})).ok());
+    return db;
+  };
+  BanksOptions merge_opts;
+  BanksOptions full_opts;
+  full_opts.update.merge_refreeze = false;
+  BanksEngine merged(make_db(), merge_opts);
+  BanksEngine scratch(make_db(), full_opts);
+
+  // Retagging the item changes value-match (not key-based) links — outside
+  // the merge model, so the engine must take the full-rebuild fallback and
+  // still produce the right snapshot.
+  const Table* items = merged.db().table("Item");
+  const Rid item{items->id(), 0};
+  ASSERT_TRUE(merged.UpdateValue(item, "Label", Value("blue")).ok());
+  ASSERT_TRUE(scratch.UpdateValue(item, "Label", Value("blue")).ok());
+  auto stats = merged.Refreeze(true);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats.value().merged);  // fallback taken
+  ASSERT_TRUE(scratch.Refreeze(true).ok());
+
+  std::string diff;
+  EXPECT_TRUE(LiveStatesIdentical(*merged.state(), *scratch.state(), &diff))
+      << diff;
+  // Inclusion *inserts* stay on the merge path.
+  ASSERT_TRUE(merged.InsertTuple("Item", Tuple({Value("I2"), Value("blue")}))
+                  .ok());
+  ASSERT_TRUE(scratch.InsertTuple("Item", Tuple({Value("I2"), Value("blue")}))
+                  .ok());
+  stats = merged.Refreeze(true);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats.value().merged);
+  ASSERT_TRUE(scratch.Refreeze(true).ok());
+  EXPECT_TRUE(LiveStatesIdentical(*merged.state(), *scratch.state(), &diff))
+      << diff;
+}
+
+// -------------------------------------------------------- ApplyBatch
+
+TEST(MergeRefreezeTest, ApplyBatchEquivalentToSerialApply) {
+  DblpConfig config;
+  config.num_authors = 40;
+  config.num_papers = 80;
+  config.seed = 5;
+  DblpDataset ds_a = GenerateDblp(config);
+  DblpDataset ds_b = GenerateDblp(config);
+  const std::string coauthor = ds_a.planted.soumen;
+  BanksEngine batched(std::move(ds_a.db));
+  BanksEngine serial(std::move(ds_b.db));
+
+  auto make_burst = [&] {
+    std::vector<Mutation> burst;
+    for (int i = 0; i < 20; ++i) {
+      const std::string pid = "P_b" + std::to_string(i);
+      burst.push_back(Mutation::Insert(
+          kPaperTable,
+          Tuple({Value(pid), Value("Batchology part " + std::to_string(i))})));
+      burst.push_back(Mutation::Insert(
+          kWritesTable, Tuple({Value(coauthor), Value(pid)})));
+    }
+    // A failing slot mid-batch: duplicate PK. Later slots must still apply.
+    burst.insert(burst.begin() + 7,
+                 Mutation::Insert(kPaperTable, Tuple({Value("P_b0"),
+                                                      Value("dup pk")})));
+    return burst;
+  };
+
+  auto batch_results = batched.ApplyBatch(make_burst());
+  std::vector<Result<Rid>> serial_results;
+  for (Mutation& m : make_burst()) {
+    serial_results.push_back(serial.Apply(std::move(m)));
+  }
+  ASSERT_EQ(batch_results.size(), serial_results.size());
+  for (size_t i = 0; i < batch_results.size(); ++i) {
+    EXPECT_EQ(batch_results[i].ok(), serial_results[i].ok()) << "slot " << i;
+    if (batch_results[i].ok()) {
+      EXPECT_EQ(batch_results[i].value(), serial_results[i].value());
+    }
+  }
+  EXPECT_EQ(batched.pending_mutations(), serial.pending_mutations());
+
+  // Same pre-refreeze answers through the overlays...
+  EXPECT_EQ(RenderedAnswers(batched, "batchology soumen"),
+            RenderedAnswers(serial, "batchology soumen"));
+  // ...and byte-identical snapshots after both refreeze.
+  ASSERT_TRUE(batched.Refreeze().ok());
+  ASSERT_TRUE(serial.Refreeze().ok());
+  std::string diff;
+  EXPECT_TRUE(LiveStatesIdentical(*batched.state(), *serial.state(), &diff))
+      << diff;
+}
+
+TEST(MergeRefreezeTest, ApplyBatchChecksAutoRefreezeOnceAtBatchEnd) {
+  DblpConfig config;
+  config.num_authors = 20;
+  config.num_papers = 40;
+  config.seed = 9;
+  DblpDataset ds = GenerateDblp(config);
+  BanksOptions options;
+  options.update.auto_refreeze_mutations = 3;
+  BanksEngine engine(std::move(ds.db), options);
+
+  std::vector<Mutation> burst;
+  for (int i = 0; i < 5; ++i) {
+    burst.push_back(Mutation::Insert(
+        kPaperTable, Tuple({Value("P_t" + std::to_string(i)),
+                            Value("Threshold Probe")})));
+  }
+  auto results = engine.ApplyBatch(std::move(burst));
+  for (const auto& r : results) EXPECT_TRUE(r.ok());
+  // One refreeze for the whole batch (a serial loop would have triggered
+  // at the 3rd mutation and left 2 pending).
+  EXPECT_EQ(engine.epoch(), 1u);
+  EXPECT_EQ(engine.pending_mutations(), 0u);
+  EXPECT_EQ(engine.Search("threshold").value().answers.size(), 5u);
+}
+
+TEST(MergeRefreezeTest, ApplyBatchAllFailuresPublishesNothing) {
+  DblpConfig config;
+  config.num_authors = 20;
+  config.num_papers = 40;
+  config.seed = 9;
+  DblpDataset ds = GenerateDblp(config);
+  BanksEngine engine(std::move(ds.db));
+
+  std::vector<Mutation> burst;
+  burst.push_back(Mutation::Insert("NoSuchTable", Tuple({Value("x")})));
+  burst.push_back(Mutation::Delete(Rid{99, 0}));
+  auto results = engine.ApplyBatch(std::move(burst));
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_EQ(engine.pending_mutations(), 0u);
+  EXPECT_EQ(engine.state()->delta, nullptr);
+}
+
+}  // namespace
+}  // namespace banks

@@ -11,15 +11,25 @@ deterministic work metrics such as iterator visits and answer counts. The
 compared.
 
 Rules, per baseline counter key:
-  - missing from current           -> FAIL (a bench silently dropped a metric)
+  - missing from current           -> FAIL (a bench silently dropped or
+                                     renamed a metric; renames must update
+                                     the baseline in the same change)
+  - not a number in current        -> FAIL (corrupt report)
+  - */identical or */merged moved  -> FAIL (boolean invariants — e.g. the
+                                     merge-refreeze byte-identity check —
+                                     must match the baseline exactly)
   - *visits* grew  > threshold     -> FAIL (the search does more work)
   - *answers* shrank > threshold   -> FAIL (the search finds less)
-  - otherwise                      -> OK (improvements and new keys pass)
+  - otherwise                      -> OK (improvements pass)
+Counters present only in the current report are listed as NEW (informational,
+never a failure) so an accidentally-renamed key is visible as a
+missing-baseline FAIL plus a matching NEW line.
 
 Exit code: 0 clean, 1 regression(s), 2 usage/parse error.
 """
 
 import json
+import numbers
 import sys
 
 
@@ -70,6 +80,16 @@ def main(argv):
             failures.append(f"{key}: missing from current report")
             continue
         cur_value = cur[key]
+        if not isinstance(cur_value, numbers.Real) or isinstance(
+                cur_value, bool):
+            failures.append(f"{key}: non-numeric value {cur_value!r} "
+                            "in current report")
+            continue
+        if key.rsplit("/", 1)[-1] in ("identical", "merged"):
+            if cur_value != base_value:
+                failures.append(f"{key}: invariant counter changed "
+                                f"{base_value:g} -> {cur_value:g}")
+            continue
         if "visits" in key and cur_value > base_value * (1 + threshold):
             failures.append(
                 f"{key}: visits regressed {base_value:g} -> {cur_value:g} "
@@ -79,8 +99,12 @@ def main(argv):
                 f"{key}: answers regressed {base_value:g} -> {cur_value:g} "
                 f"(-{(1 - cur_value / max(base_value, 1e-12)) * 100:.1f}%)")
 
+    new_keys = sorted(k for k in cur if k not in base)
     print(f"{cur_name}: {len(base)} baseline counters checked against "
           f"{args[1]} (threshold {threshold:.0%})")
+    for key in new_keys:
+        print(f"  NEW  {key} = {cur[key]!r} (not in baseline; add it via "
+              "tools/update_bench_baselines.py to gate it)")
     if failures:
         print(f"{len(failures)} regression(s):")
         for f in failures:

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench_regression.py (stdlib only; wired into CTest).
+
+The regression gate is itself gated: most importantly, a counter that is
+present in the baseline but missing from the new report MUST fail — that is
+what stops a renamed bench key from silently dodging the gate.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_bench_regression  # noqa: E402
+
+
+def write_report(directory, name, counters, bench="bench_x"):
+    path = os.path.join(directory, name)
+    with open(path, "w") as f:
+        json.dump({"bench": bench, "counters": counters, "info": {}}, f)
+    return path
+
+
+class CheckBenchRegressionTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.dir = self._tmp.name
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def run_gate(self, baseline, current, extra_args=()):
+        return check_bench_regression.main(
+            ["check_bench_regression.py", baseline, current, *extra_args])
+
+    def test_identical_reports_pass(self):
+        counters = {"q1/visits": 100, "q1/answers": 10}
+        base = write_report(self.dir, "base.json", counters)
+        cur = write_report(self.dir, "cur.json", counters)
+        self.assertEqual(self.run_gate(base, cur), 0)
+
+    def test_removed_counter_fails(self):
+        # The satellite case: a key deliberately dropped from the current
+        # report (e.g. a rename) must FAIL, not silently pass.
+        base = write_report(self.dir, "base.json",
+                            {"q1/visits": 100, "q1/answers": 10})
+        cur = write_report(self.dir, "cur.json", {"q1/visits": 100})
+        self.assertEqual(self.run_gate(base, cur), 1)
+
+    def test_renamed_counter_fails_even_with_new_name_present(self):
+        base = write_report(self.dir, "base.json", {"old/visits": 100})
+        cur = write_report(self.dir, "cur.json", {"new/visits": 100})
+        self.assertEqual(self.run_gate(base, cur), 1)
+
+    def test_new_counter_is_reported_but_passes(self):
+        base = write_report(self.dir, "base.json", {"q1/visits": 100})
+        cur = write_report(self.dir, "cur.json",
+                           {"q1/visits": 100, "q2/merged": 1})
+        self.assertEqual(self.run_gate(base, cur), 0)
+
+    def test_visits_regression_fails_and_improvement_passes(self):
+        base = write_report(self.dir, "base.json", {"q1/visits": 100})
+        worse = write_report(self.dir, "worse.json", {"q1/visits": 120})
+        better = write_report(self.dir, "better.json", {"q1/visits": 50})
+        self.assertEqual(self.run_gate(base, worse), 1)
+        self.assertEqual(self.run_gate(base, better), 0)
+
+    def test_answers_regression_fails(self):
+        base = write_report(self.dir, "base.json", {"q1/answers": 10})
+        cur = write_report(self.dir, "cur.json", {"q1/answers": 5})
+        self.assertEqual(self.run_gate(base, cur), 1)
+
+    def test_threshold_is_respected(self):
+        base = write_report(self.dir, "base.json", {"q1/visits": 100})
+        cur = write_report(self.dir, "cur.json", {"q1/visits": 120})
+        self.assertEqual(self.run_gate(base, cur, ("--threshold", "0.5")), 0)
+
+    def test_invariant_counter_must_match_exactly(self):
+        # */identical and */merged are boolean invariants (e.g. "the
+        # merge-refrozen snapshot is byte-identical to a full rebuild");
+        # any movement fails regardless of threshold.
+        base = write_report(self.dir, "base.json",
+                            {"merge64/identical": 1, "merge64/merged": 1})
+        broken = write_report(self.dir, "broken.json",
+                              {"merge64/identical": 0, "merge64/merged": 1})
+        self.assertEqual(self.run_gate(base, broken), 1)
+        self.assertEqual(
+            self.run_gate(base, broken, ("--threshold", "0.9")), 1)
+        same = write_report(self.dir, "same.json",
+                            {"merge64/identical": 1, "merge64/merged": 1})
+        self.assertEqual(self.run_gate(base, same), 0)
+
+    def test_non_numeric_counter_fails(self):
+        base = write_report(self.dir, "base.json", {"q1/visits": 100})
+        cur = write_report(self.dir, "cur.json", {"q1/visits": "lots"})
+        self.assertEqual(self.run_gate(base, cur), 1)
+
+    def test_bench_name_mismatch_is_usage_error(self):
+        base = write_report(self.dir, "base.json", {"q1/visits": 1},
+                            bench="bench_a")
+        cur = write_report(self.dir, "cur.json", {"q1/visits": 1},
+                           bench="bench_b")
+        self.assertEqual(self.run_gate(base, cur), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

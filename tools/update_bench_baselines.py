@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Rerun the CI-gated benches and rewrite bench/baselines/*.json.
+
+Usage:
+    update_bench_baselines.py [--build-dir build] [--bench name ...] [--dry-run]
+
+For every gated bench (the ones check_bench_regression.py compares in CI),
+runs `<build-dir>/<bench> --json <tmp>` and, if the bench exits cleanly and
+the report parses, replaces bench/baselines/BENCH_<name>.json with it —
+so baseline bumps are regenerated output, never hand-edited numbers. A
+summary of counter changes is printed for the commit message / PR review.
+
+Only deterministic counters are gated in CI; the info section (timings)
+rides along for trend inspection and is machine-specific, which is fine.
+
+Options:
+    --build-dir DIR   where the Release bench binaries live (default: build)
+    --bench NAME      restrict to one bench (repeatable); NAME is the
+                      binary name, e.g. bench_refreeze
+    --dry-run         run benches and print the counter diff, write nothing
+
+Exit code: 0 on success, 1 if any bench failed to run, 2 on usage errors.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+#: Benches whose BENCH_*.json reports CI gates against bench/baselines/.
+GATED_BENCHES = [
+    "bench_bidirectional",
+    "bench_concurrent_sessions",
+    "bench_refreeze",
+]
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def baseline_path(bench):
+    name = bench[len("bench_"):] if bench.startswith("bench_") else bench
+    return os.path.join(repo_root(), "bench", "baselines",
+                        f"BENCH_{name}.json")
+
+
+def diff_counters(old, new):
+    lines = []
+    for key in sorted(set(old) | set(new)):
+        if key not in old:
+            lines.append(f"  + {key} = {new[key]:g} (new counter)")
+        elif key not in new:
+            lines.append(f"  - {key} (removed; was {old[key]:g})")
+        elif old[key] != new[key]:
+            lines.append(f"  ~ {key}: {old[key]:g} -> {new[key]:g}")
+    return lines
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--bench", action="append", default=None,
+                        help="restrict to this bench binary (repeatable)")
+    parser.add_argument("--dry-run", action="store_true")
+    args = parser.parse_args(argv[1:])
+
+    benches = args.bench if args.bench else GATED_BENCHES
+    unknown = [b for b in benches if b not in GATED_BENCHES]
+    if unknown:
+        print(f"error: not a gated bench: {', '.join(unknown)} "
+              f"(gated: {', '.join(GATED_BENCHES)})", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for bench in benches:
+        binary = os.path.join(args.build_dir, bench)
+        if not os.path.exists(binary):
+            print(f"error: {binary} not found — build Release benches first "
+                  f"(cmake --build {args.build_dir} --target {bench})",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+            report_path = tmp.name
+        try:
+            print(f"== {bench}")
+            env = dict(os.environ, BENCH_SOFT_SPEEDUP="1")
+            proc = subprocess.run([binary, "--json", report_path], env=env)
+            if proc.returncode != 0:
+                print(f"error: {bench} exited {proc.returncode}",
+                      file=sys.stderr)
+                failures += 1
+                continue
+            try:
+                with open(report_path) as f:
+                    report = json.load(f)
+            except (OSError, json.JSONDecodeError) as e:
+                print(f"error: {bench} wrote an unreadable report: {e}",
+                      file=sys.stderr)
+                failures += 1
+                continue
+            if not isinstance(report.get("counters"), dict):
+                print(f"error: {bench} report has no counters", file=sys.stderr)
+                failures += 1
+                continue
+
+            target = baseline_path(bench)
+            old_counters = {}
+            if os.path.exists(target):
+                try:
+                    with open(target) as f:
+                        old_counters = json.load(f).get("counters", {})
+                except (OSError, json.JSONDecodeError):
+                    pass
+            changes = diff_counters(old_counters, report["counters"])
+            if changes:
+                print(f"{os.path.relpath(target, repo_root())}:")
+                for line in changes:
+                    print(line)
+            else:
+                print(f"{os.path.relpath(target, repo_root())}: "
+                      "counters unchanged (timings refreshed)")
+            if not args.dry_run:
+                with open(report_path) as src, open(target, "w") as dst:
+                    dst.write(src.read())
+        finally:
+            os.unlink(report_path)
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
