@@ -416,11 +416,18 @@ void ParallelCommand(BanksEngine& engine, size_t workers,
   }
   auto stats = pool.stats();
   std::printf("%zu queries, %zu answers in %.1f ms over %zu workers "
-              "(%zu scheduling slices; epoch %llu, %llu pending delta(s))\n",
+              "(epoch %llu, %llu pending delta(s))\n",
               queries.size(), total_answers, wall.Millis(),
-              pool.num_workers(), stats.slices,
+              pool.num_workers(),
               static_cast<unsigned long long>(stats.engine_epoch),
               static_cast<unsigned long long>(stats.pending_mutations));
+  std::printf("scheduler: %zu slices (%zu local + %zu stolen), avg quantum "
+              "%.0f, %zu answers in %zu publish batches\n",
+              stats.slices, stats.local_pops, stats.steals,
+              stats.slices == 0
+                  ? 0.0
+                  : double(stats.quantum_steps) / double(stats.slices),
+              stats.answers_published, stats.publishes);
 }
 
 void QueryCommand(const BanksEngine& engine, const std::string& query,

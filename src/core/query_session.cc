@@ -100,6 +100,37 @@ PumpOutcome QuerySession::PumpSlice(size_t max_steps,
   return PumpOutcome::kAnswerReady;
 }
 
+PumpOutcome QuerySession::PumpMany(size_t max_steps,
+                                   std::vector<ScoredAnswer>* out) {
+  if (lookahead_.has_value()) {  // HasNext() may have buffered one
+    lookahead_->rank = delivered_++;
+    out->push_back(std::move(*lookahead_));
+    lookahead_.reset();
+  }
+  size_t used = 0;
+  for (;;) {
+    if (delivered_ >= deliver_cap_) return PumpOutcome::kExhausted;
+    const size_t before = stream_.pump_steps();
+    std::optional<ScoredAnswer> one;
+    PumpOutcome outcome = stream_.TryNext(max_steps - used, &one);
+    // Buffered answers cost no stepper work; still count one unit so a
+    // slice always terminates.
+    used += std::max<size_t>(1, stream_.pump_steps() - before);
+    if (outcome == PumpOutcome::kAnswerReady) {
+      // Hidden (auth-filtered) answers are simply skipped within the
+      // slice; the searcher oversamples to compensate (see deliver_cap_).
+      if (Visible(one->tree)) {
+        RemapDroppedTerms(&one->tree);
+        one->rank = delivered_++;
+        out->push_back(std::move(*one));
+      }
+    } else if (outcome == PumpOutcome::kExhausted) {
+      return PumpOutcome::kExhausted;
+    }
+    if (used >= max_steps) return PumpOutcome::kYielded;
+  }
+}
+
 std::vector<ConnectionTree> QuerySession::NextBatch(size_t k) {
   std::vector<ConnectionTree> page;
   page.reserve(k);

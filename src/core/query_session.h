@@ -97,6 +97,16 @@ class QuerySession {
   /// QuerySession method (SessionHandle provides the thread-safe facade).
   PumpOutcome PumpSlice(size_t max_steps, std::optional<ScoredAnswer>* out);
 
+  /// Whole-slice pump for cooperative schedulers: advances the search by
+  /// at most `max_steps` stepper iterations and appends *every* answer the
+  /// slice produces (visibility-filtered, terms remapped, ranks assigned)
+  /// to `*out` — emission is buffered caller-locally so a scheduler can
+  /// publish the slice's answers in one batch instead of re-entering the
+  /// stepper per answer. Never returns kAnswerReady: the slice either ran
+  /// out (kYielded, possibly with answers in `*out`) or the stream ended
+  /// (kExhausted, ditto). Not thread-safe, like PumpSlice.
+  PumpOutcome PumpMany(size_t max_steps, std::vector<ScoredAnswer>* out);
+
   /// Stepper iterations consumed so far (the PumpSlice accounting unit).
   size_t pump_steps() const { return stream_.pump_steps(); }
 

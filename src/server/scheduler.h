@@ -1,23 +1,53 @@
-// Deadline-aware run queue of the session pool.
+// Work-stealing deadline-aware scheduler of the session pool.
 //
-// Scheduling policy (cooperative, slice-based):
+// The pool's first scheduler was a single mutex-guarded EDF heap; every
+// scheduling slice crossed that one lock twice (pop + requeue), which the
+// concurrent-sessions bench showed swamping the actual search work. This
+// replacement shards the run queue per worker:
+//
+//   - each worker owns a local deadline-ordered queue (its *shard*) and
+//     pops/requeues through the shard's own lock — uncontended on the
+//     steady-state slice path;
+//   - sessions are *worker-affine*: a requeued session goes back to the
+//     shard of the worker that just ran it, so a long query keeps its
+//     frontier state hot in one core's cache instead of round-robining
+//     across the pool;
+//   - an idle worker steals the most-urgent runnable session from the
+//     most-loaded peer shard (approximate EDF: globally the next-deadline
+//     task is not guaranteed to run next, but within every shard the order
+//     is exact and steals always take a victim's *best* task, so an urgent
+//     session is picked up as soon as any worker frees up);
+//   - admission (SessionPool::Submit) pushes to the least-loaded shard,
+//     scanning approximate per-shard load counters from a rotating start
+//     index so ties don't pile onto shard 0.
+//
+// Per-shard scheduling policy (unchanged from the global queue):
 //   1. earliest deadline first — a session whose Budget carries a
 //      wall-clock deadline outranks every session with a later (or no)
 //      deadline, so tight-deadline queries cut ahead of batch work;
 //   2. least attained service — among equal deadlines the session that
 //      has consumed the fewest stepper iterations runs next, so a heavy
-//      query cannot starve cheap ones (each slice re-sorts the heavy
-//      query behind the light ones it has outspent);
-//   3. admission order — the final tie-break keeps the order total and
-//      deterministic.
+//      query cannot starve cheap ones;
+//   3. admission order — the final tie-break keeps each shard's order
+//      total and deterministic.
 //
-// The queue is a plain data structure, synchronised externally by the
-// pool's scheduler lock; it never blocks and never touches the tasks.
+// Confinement: only one worker holds a task between a Pop/Steal and the
+// matching Push, and the shard mutexes order the handoff (the previous
+// owner's writes to the session happen-before the next owner's reads,
+// including across shards on a steal) — stealing migrates a session
+// wholly, it never shares one.
+//
+// Stop protocol: RequestStop() makes every subsequent Push fail *under
+// the shard lock*, so a worker requeueing a task races cleanly with
+// DrainAll() — the task is either drained by the shutdown path or handed
+// back to the worker to retire, never lost in a dead queue.
 #ifndef BANKS_SERVER_SCHEDULER_H_
 #define BANKS_SERVER_SCHEDULER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <vector>
 
@@ -27,8 +57,8 @@ namespace banks::server {
 
 /// One runnable task plus the priority key it was enqueued with. The key
 /// is frozen at push time (deadline and seq never change; steps advance
-/// only while a worker owns the task, and the task re-enters the queue
-/// with its refreshed step count).
+/// only while a worker owns the task, and the task re-enters a shard with
+/// its refreshed step count).
 struct RunnableTask {
   std::chrono::steady_clock::time_point deadline;
   size_t steps = 0;
@@ -42,28 +72,131 @@ struct RunnableTask {
   }
 };
 
-/// Min-priority run queue over RunnableTask (see policy above).
-class EdfRunQueue {
+/// Sharded run queue: one deadline-ordered shard per worker, work stealing
+/// across shards (see file comment). All methods are thread-safe; the
+/// heavy-path methods (Push/PopLocal/Steal) take only the one shard lock
+/// they operate on.
+class WorkStealingScheduler {
  public:
-  void Push(std::shared_ptr<ServerTask> task) {
-    heap_.push(RunnableTask{task->deadline, task->steps, task->seq,
-                            std::move(task)});
+  explicit WorkStealingScheduler(size_t num_shards) {
+    shards_.reserve(num_shards == 0 ? 1 : num_shards);
+    for (size_t i = 0; i < (num_shards == 0 ? 1 : num_shards); ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
   }
 
-  /// Pops the highest-priority runnable task (queue must be non-empty).
-  std::shared_ptr<ServerTask> Pop() {
-    std::shared_ptr<ServerTask> task = heap_.top().task;
-    heap_.pop();
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Enqueues on `shard` (the requeue path: a worker gives a still-running
+  /// session back to its own shard). Fails — leaving `task` untouched for
+  /// the caller to retire — once RequestStop() has been called.
+  bool Push(size_t shard, const std::shared_ptr<ServerTask>& task) {
+    Shard& s = *shards_[shard];
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (stopping_.load(std::memory_order_relaxed)) return false;
+    s.heap.push(RunnableTask{task->deadline, task->steps, task->seq, task});
+    s.load.store(s.heap.size(), std::memory_order_relaxed);
+    total_load_.fetch_add(1);  // seq_cst: pairs with the pool's sleep check
+    return true;
+  }
+
+  /// Admission path: enqueues on the least-loaded shard (ties broken from
+  /// a rotating start index). Returns the shard used, or `num_shards()`
+  /// if the scheduler is stopping.
+  size_t PushBalanced(const std::shared_ptr<ServerTask>& task) {
+    const size_t n = shards_.size();
+    const size_t start = rr_.fetch_add(1, std::memory_order_relaxed) % n;
+    size_t best = start;
+    size_t best_load = SIZE_MAX;
+    for (size_t k = 0; k < n; ++k) {
+      const size_t i = (start + k) % n;
+      const size_t load = shards_[i]->load.load(std::memory_order_relaxed);
+      if (load < best_load) {
+        best_load = load;
+        best = i;
+      }
+    }
+    return Push(best, task) ? best : n;
+  }
+
+  /// Pops the most urgent task of the worker's own shard (null if empty).
+  std::shared_ptr<ServerTask> PopLocal(size_t shard) {
+    return PopShard(*shards_[shard]);
+  }
+
+  /// Steals the most urgent task from the most-loaded shard other than
+  /// `thief`'s own (null if no peer has runnable work). Load counters are
+  /// approximate, so a raced-empty victim triggers a rescan.
+  std::shared_ptr<ServerTask> Steal(size_t thief) {
+    const size_t n = shards_.size();
+    for (size_t attempt = 0; attempt < n; ++attempt) {
+      size_t best = n;
+      size_t best_load = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (i == thief) continue;
+        const size_t load = shards_[i]->load.load(std::memory_order_relaxed);
+        if (load > best_load) {
+          best_load = load;
+          best = i;
+        }
+      }
+      if (best == n) return nullptr;
+      if (auto task = PopShard(*shards_[best])) return task;
+    }
+    return nullptr;
+  }
+
+  /// Makes every subsequent Push fail. Settled under the shard locks, so
+  /// after RequestStop() + DrainAll() no task can be left in a shard.
+  void RequestStop() { stopping_.store(true, std::memory_order_relaxed); }
+
+  /// Removes and returns every queued task (the shutdown path).
+  std::vector<std::shared_ptr<ServerTask>> DrainAll() {
+    std::vector<std::shared_ptr<ServerTask>> drained;
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      while (!shard->heap.empty()) {
+        drained.push_back(shard->heap.top().task);
+        shard->heap.pop();
+        total_load_.fetch_sub(1);
+      }
+      shard->load.store(0, std::memory_order_relaxed);
+    }
+    return drained;
+  }
+
+  /// Approximate queued-task count of one shard / of the whole scheduler.
+  /// total_load() is exact at quiescence and is the pool's "any work?"
+  /// sleep predicate.
+  size_t load(size_t shard) const {
+    return shards_[shard]->load.load(std::memory_order_relaxed);
+  }
+  size_t total_load() const { return total_load_.load(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::priority_queue<RunnableTask, std::vector<RunnableTask>,
+                        std::greater<RunnableTask>>
+        heap;
+    /// Heap size mirror, readable without the lock (victim/target choice).
+    std::atomic<size_t> load{0};
+  };
+
+  std::shared_ptr<ServerTask> PopShard(Shard& s) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.heap.empty()) return nullptr;
+    std::shared_ptr<ServerTask> task = s.heap.top().task;
+    s.heap.pop();
+    s.load.store(s.heap.size(), std::memory_order_relaxed);
+    total_load_.fetch_sub(1);
     return task;
   }
 
-  bool empty() const { return heap_.empty(); }
-  size_t size() const { return heap_.size(); }
-
- private:
-  std::priority_queue<RunnableTask, std::vector<RunnableTask>,
-                      std::greater<RunnableTask>>
-      heap_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<size_t> total_load_{0};
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> rr_{0};  ///< rotating tie-break for PushBalanced
 };
 
 }  // namespace banks::server

@@ -28,20 +28,29 @@ std::optional<ScoredAnswer> SessionHandle::TryNext() {
 
 std::vector<ConnectionTree> SessionHandle::NextBatch(size_t k) {
   std::vector<ConnectionTree> page;
-  page.reserve(k);
-  while (page.size() < k) {
-    auto answer = Next();
-    if (!answer.has_value()) break;
-    page.push_back(std::move(answer->tree));
+  if (task_ == nullptr || k == 0) return page;
+  // Take whole publication batches under one lock hold instead of
+  // re-locking per answer — the consumer-side half of batched answer
+  // publication (workers publish once per slice, see RunSlice).
+  std::unique_lock<std::mutex> lock(task_->mu);
+  for (;;) {
+    task_->cv.wait(lock, [&] {
+      return !task_->ready.empty() || task_->finished ||
+             task_->cancel_requested.load(std::memory_order_acquire);
+    });
+    while (page.size() < k && !task_->ready.empty()) {
+      page.push_back(std::move(task_->ready.front().tree));
+      task_->ready.pop_front();
+    }
+    if (page.size() >= k) return page;
+    if (task_->finished ||
+        task_->cancel_requested.load(std::memory_order_acquire)) {
+      return page;  // buffer drained and no more answers are coming
+    }
   }
-  return page;
 }
 
-std::vector<ConnectionTree> SessionHandle::Drain() {
-  std::vector<ConnectionTree> rest;
-  while (auto answer = Next()) rest.push_back(std::move(answer->tree));
-  return rest;
-}
+std::vector<ConnectionTree> SessionHandle::Drain() { return NextBatch(SIZE_MAX); }
 
 void SessionHandle::Cancel() {
   if (task_ == nullptr) return;

@@ -41,14 +41,20 @@ struct ServerTask {
   std::vector<size_t> dropped_terms;  ///< copied out of the session
 
   // ------------------------------------------------------ worker-confined
-  /// The live query. Only the worker that popped this task from the run
-  /// queue may touch it; handles never do. Once `finished` is set no
+  /// The live query. Only the worker that popped this task from a run
+  /// queue shard may touch it; handles never do. Once `finished` is set no
   /// thread touches it again.
   QuerySession session;
   /// Stepper iterations consumed so far — the scheduler's fairness key.
   /// Written by the owning worker between slices, read by the pool while
-  /// the task sits in the run queue (handoff through the pool lock).
+  /// the task sits in a shard (handoff through the shard lock).
   size_t steps = 0;
+  /// Adaptive scheduling quantum for the *next* slice: starts at
+  /// PoolOptions::initial_quantum (fast first answer) and grows
+  /// geometrically up to PoolOptions::step_quantum while the session keeps
+  /// running, amortizing scheduling overhead over long queries. Owned like
+  /// `steps`.
+  size_t quantum = 0;
 
   // ------------------------------------------------- shared, guarded by mu
   mutable std::mutex mu;
@@ -78,10 +84,12 @@ class SessionHandle {
   std::optional<ScoredAnswer> TryNext();
 
   /// Blocks until `k` further answers arrived or the stream ended. An
-  /// empty vector means no answers are left.
+  /// empty vector means no answers are left. Consumes the buffer in
+  /// batches — one lock crossing per producer wakeup, not per answer.
   std::vector<ConnectionTree> NextBatch(size_t k);
 
-  /// Blocks until the stream ends; returns everything left.
+  /// Blocks until the stream ends; returns everything left (batched like
+  /// NextBatch).
   std::vector<ConnectionTree> Drain();
 
   /// Requests cancellation: buffered answers are dropped, subsequent

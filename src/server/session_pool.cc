@@ -14,6 +14,9 @@ PoolOptions Normalize(PoolOptions options) {
     options.num_workers = std::max(1u, std::thread::hardware_concurrency());
   }
   options.step_quantum = std::max<size_t>(1, options.step_quantum);
+  options.initial_quantum = std::max<size_t>(
+      1, std::min(options.initial_quantum, options.step_quantum));
+  options.quantum_growth = std::max<size_t>(1, options.quantum_growth);
   options.max_active = std::max<size_t>(1, options.max_active);
   return options;
 }
@@ -21,10 +24,13 @@ PoolOptions Normalize(PoolOptions options) {
 }  // namespace
 
 SessionPool::SessionPool(const BanksEngine& engine, PoolOptions options)
-    : engine_(&engine), options_(Normalize(options)) {
+    : engine_(&engine),
+      options_(Normalize(options)),
+      sched_(options_.num_workers),
+      worker_counters_(options_.num_workers) {
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -50,75 +56,113 @@ Result<SessionHandle> SessionPool::Submit(QuerySession session) {
   task->parsed = session.parsed();
   task->dropped_terms = session.dropped_terms();
   task->session = std::move(session);
+  task->quantum = options_.initial_quantum;
 
-  std::lock_guard<std::mutex> lock(mu_);
-  if (stopping_) {
-    ++counters_.rejected;
-    return Status::FailedPrecondition("session pool is shut down");
-  }
-  task->seq = next_seq_++;
-  if (active_ < options_.max_active) {
-    ++active_;
-    ++counters_.submitted;
-    ready_.Push(task);
-    work_cv_.notify_one();
-  } else if (waiting_.size() < options_.max_waiting) {
-    ++counters_.submitted;
-    waiting_.push_back(task);
-  } else {
-    ++counters_.rejected;
-    return Status::FailedPrecondition(
-        "session pool overloaded: admission queue full (" +
-        std::to_string(options_.max_active) + " active + " +
-        std::to_string(options_.max_waiting) + " waiting)");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ++counters_.rejected;
+      return Status::FailedPrecondition("session pool is shut down");
+    }
+    task->seq = next_seq_++;
+    if (active_ < options_.max_active) {
+      ++active_;
+      ++counters_.submitted;
+      sched_.PushBalanced(task);  // cannot fail: sched stops under mu_ too
+      work_cv_.notify_one();
+    } else if (waiting_.size() < options_.max_waiting) {
+      ++counters_.submitted;
+      waiting_.push_back(task);
+    } else {
+      ++counters_.rejected;
+      return Status::FailedPrecondition(
+          "session pool overloaded: admission queue full (" +
+          std::to_string(options_.max_active) + " active + " +
+          std::to_string(options_.max_waiting) + " waiting)");
+    }
   }
   return SessionHandle(std::move(task));
 }
 
 void SessionPool::AdmitLocked() {
+  if (stopping_) return;  // Shutdown owns the waiting queue now
   while (active_ < options_.max_active && !waiting_.empty()) {
     std::shared_ptr<ServerTask> task = std::move(waiting_.front());
     waiting_.pop_front();
     ++active_;
-    ready_.Push(std::move(task));
+    sched_.PushBalanced(task);
     work_cv_.notify_one();
   }
 }
 
-void SessionPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+void SessionPool::WakeOneIfSleeping() {
+  if (sleepers_.load() == 0) return;  // seq_cst: pairs with total_load push
+  // Tap the mutex so a worker between its predicate check and its block
+  // cannot miss the notify (it either sees the new load or is fully
+  // waiting by the time we notify).
+  { std::lock_guard<std::mutex> lock(mu_); }
+  work_cv_.notify_one();
+}
+
+void SessionPool::WorkerLoop(size_t me) {
+  WorkerCounters& wc = worker_counters_[me];
   for (;;) {
-    work_cv_.wait(lock, [&] { return stopping_ || !ready_.empty(); });
-    if (stopping_) return;
-    std::shared_ptr<ServerTask> task = ready_.Pop();
-    ++counters_.slices;
-    lock.unlock();
+    std::shared_ptr<ServerTask> task = sched_.PopLocal(me);
+    bool stolen = false;
+    if (task == nullptr) {
+      task = sched_.Steal(me);
+      stolen = task != nullptr;
+    }
+    if (task == nullptr) {
+      std::unique_lock<std::mutex> lock(mu_);
+      sleepers_.fetch_add(1);  // seq_cst: see WakeOneIfSleeping
+      work_cv_.wait(lock,
+                    [&] { return stopping_ || sched_.total_load() > 0; });
+      sleepers_.fetch_sub(1);
+      if (stopping_) return;
+      continue;
+    }
+
+    wc.slices.fetch_add(1, std::memory_order_relaxed);
+    (stolen ? wc.steals : wc.local_pops)
+        .fetch_add(1, std::memory_order_relaxed);
+    wc.quantum_steps.fetch_add(task->quantum, std::memory_order_relaxed);
 
     SliceResult result = RunSlice(*task);
+    if (result.answers_published > 0) {
+      wc.publishes.fetch_add(1, std::memory_order_relaxed);
+      wc.answers_published.fetch_add(result.answers_published,
+                                     std::memory_order_relaxed);
+    }
 
-    lock.lock();
-    if (stopping_ && !result.finished) {
-      // Shutdown raced this slice: the task must not be requeued (the run
-      // queue is being drained), so retire it as cancelled.
+    if (!result.finished) {
+      // Requeue on our own shard: the session stays affine to this worker
+      // until a peer steals it. A failed push means Shutdown drained the
+      // scheduler under us — the task is ours to retire as cancelled.
+      if (sched_.Push(me, task)) {
+        if (sched_.load(me) > 1) WakeOneIfSleeping();  // stealable backlog
+        continue;
+      }
       result.finished = true;
       result.cancelled = true;
     }
-    if (result.finished) {
-      // Counters first, then the task-visible finished flag — so once a
-      // handle's Wait() returns, stats() already reflects this session.
-      --active_;
-      ++counters_.completed;
-      if (result.cancelled) ++counters_.cancelled;
-      if (result.deadline_truncated) ++counters_.deadline_truncated;
-      AdmitLocked();
-      lock.unlock();
-      FinishTask(*task, result.cancelled);
-      lock.lock();
-    } else {
-      ready_.Push(std::move(task));
-      work_cv_.notify_one();
-    }
+    RetireTask(task, result);
   }
+}
+
+void SessionPool::RetireTask(const std::shared_ptr<ServerTask>& task,
+                             const SliceResult& result) {
+  {
+    // Counters first, then the task-visible finished flag — so once a
+    // handle's Wait() returns, stats() already reflects this session.
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_;
+    ++counters_.completed;
+    if (result.cancelled) ++counters_.cancelled;
+    if (result.deadline_truncated) ++counters_.deadline_truncated;
+    AdmitLocked();
+  }
+  FinishTask(*task, result.cancelled);
 }
 
 SessionPool::SliceResult SessionPool::RunSlice(ServerTask& task) {
@@ -130,25 +174,15 @@ SessionPool::SliceResult SessionPool::RunSlice(ServerTask& task) {
     return result;
   }
 
-  const size_t quantum = options_.step_quantum;
-  size_t used = 0;
+  // One core-side call pumps the whole quantum and buffers every answer
+  // the slice produces (see QuerySession::PumpMany) — the publication
+  // below is the slice's only handle-lock crossing.
   std::vector<ScoredAnswer> produced;
-  bool exhausted = false;
-  while (used < quantum) {
-    const size_t before = task.session.pump_steps();
-    std::optional<ScoredAnswer> answer;
-    PumpOutcome outcome = task.session.PumpSlice(quantum - used, &answer);
-    const size_t after = task.session.pump_steps();
-    // Buffered answers cost no stepper work; still count one unit so a
-    // slice always terminates.
-    used += std::max<size_t>(1, after - before);
-    if (answer.has_value()) produced.push_back(std::move(*answer));
-    if (outcome == PumpOutcome::kExhausted) {
-      exhausted = true;
-      break;
-    }
-  }
+  PumpOutcome outcome = task.session.PumpMany(task.quantum, &produced);
   task.steps = task.session.pump_steps();
+  task.quantum =
+      std::min(options_.step_quantum, task.quantum * options_.quantum_growth);
+  const bool exhausted = outcome == PumpOutcome::kExhausted;
   if (exhausted &&
       task.session.stats().truncation == Truncation::kDeadline) {
     result.deadline_truncated = true;
@@ -160,6 +194,7 @@ SessionPool::SliceResult SessionPool::RunSlice(ServerTask& task) {
     if (task.cancel_requested.load(std::memory_order_acquire)) {
       produced.clear();
     } else {
+      result.answers_published = produced.size();
       for (auto& a : produced) task.ready.push_back(std::move(a));
     }
     task.stats = task.session.stats();
@@ -185,14 +220,13 @@ void SessionPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
-    // Tasks still owned by a worker mid-slice are retired by that worker
-    // (it observes stopping_ when its slice ends) — only queued ones are
-    // drained here. active_ stays consistent: queued tasks give theirs
-    // back now, running ones when their worker retires them.
-    while (!ready_.empty()) {
-      orphans.push_back(ready_.Pop());
-      --active_;
-    }
+    // Stop the scheduler first (under mu_, so no Submit can interleave),
+    // then drain it: a worker mid-slice either requeued before the drain
+    // (its task is in `orphans`) or its requeue fails and it retires the
+    // task itself. active_ stays consistent either way.
+    sched_.RequestStop();
+    orphans = sched_.DrainAll();
+    active_ -= orphans.size();
     for (auto& task : waiting_) orphans.push_back(std::move(task));
     waiting_.clear();
     counters_.cancelled += orphans.size();
@@ -214,6 +248,16 @@ PoolStats SessionPool::stats() const {
     snapshot = counters_;
     snapshot.active = active_;
     snapshot.waiting = waiting_.size();
+  }
+  for (const WorkerCounters& wc : worker_counters_) {
+    snapshot.slices += wc.slices.load(std::memory_order_relaxed);
+    snapshot.local_pops += wc.local_pops.load(std::memory_order_relaxed);
+    snapshot.steals += wc.steals.load(std::memory_order_relaxed);
+    snapshot.publishes += wc.publishes.load(std::memory_order_relaxed);
+    snapshot.answers_published +=
+        wc.answers_published.load(std::memory_order_relaxed);
+    snapshot.quantum_steps +=
+        wc.quantum_steps.load(std::memory_order_relaxed);
   }
   // Engine state is sampled outside mu_ (it takes the engine's state
   // lock; never nest the two).

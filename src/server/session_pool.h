@@ -12,13 +12,18 @@
 //   for (const auto& tree : handle.value().NextBatch(10))
 //     std::cout << engine.Render(tree);          // blocks as workers pump
 //
-// Scheduling: workers repeatedly pop the best runnable session from an
-// EDF run queue (earliest deadline, then least attained service, then
-// admission order — see scheduler.h), pump its stepper for one
-// `step_quantum` slice, publish any answers to the session's handle, and
-// requeue it. Slices keep one heavy query from starving cheap ones;
-// deadlines are enforced twice — as scheduling priority here and as hard
-// Budget truncation inside the stepper.
+// Scheduling: every worker owns a deadline-ordered shard of the run queue
+// (WorkStealingScheduler). A worker pops the best runnable session from
+// its own shard — stealing the most urgent one from the most-loaded peer
+// when its shard is empty — pumps the session's stepper for one adaptive
+// quantum, publishes the slice's answers to the session's handle in one
+// batch, and requeues it on its own shard (sessions are worker-affine:
+// a long query keeps its frontier hot in one core's cache). Quanta start
+// small (`initial_quantum`, fast first answer) and grow geometrically to
+// `step_quantum` while a session keeps running, so cheap queries stay
+// snappy and long queries amortize scheduling to near zero. Deadlines are
+// enforced twice — as shard-local scheduling priority and as hard Budget
+// truncation inside the stepper.
 //
 // Admission: at most `max_active` sessions are runnable at once; the next
 // `max_waiting` wait in FIFO order; beyond that Submit rejects. The caps
@@ -28,13 +33,15 @@
 // immutable snapshot per session — each QuerySession captures the
 // LiveState pieces (graph snapshot + delta overlays) it was opened on and
 // confines its mutable stepper state to one worker at a time, handed off
-// through the scheduler lock. Concurrent execution therefore returns
-// *exactly* the answers a serial run returns, and an engine-side mutation
-// or refreeze swap mid-run never perturbs sessions already open (see
+// through the scheduler's shard locks (a steal migrates a session wholly;
+// it never shares one). Concurrent execution therefore returns *exactly*
+// the answers a serial run returns, and an engine-side mutation or
+// refreeze swap mid-run never perturbs sessions already open (see
 // src/update/): PoolStats reports the epoch new submissions land on.
 #ifndef BANKS_SERVER_SESSION_POOL_H_
 #define BANKS_SERVER_SESSION_POOL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <deque>
 #include <memory>
@@ -57,10 +64,23 @@ struct PoolOptions {
   /// Worker threads pumping sessions. 0 = hardware concurrency.
   size_t num_workers = 0;
 
-  /// Stepper iterations one worker spends on a session before the
-  /// scheduler re-evaluates (the preemption granularity). Small = fairer
-  /// and more deadline-responsive; large = less scheduling overhead.
-  size_t step_quantum = 4096;
+  /// *Maximum* stepper iterations one worker spends on a session before
+  /// the scheduler re-evaluates. A session's quantum starts at
+  /// `initial_quantum` and grows by `quantum_growth` per consecutive
+  /// slice up to this cap, so this knob bounds the preemption (and
+  /// cancellation) latency for long-running sessions. Setting it at or
+  /// below `initial_quantum` yields a fixed quantum (what tests use to
+  /// force constant preemption).
+  size_t step_quantum = 65536;
+
+  /// First-slice quantum: small, so a fresh session reaches its first
+  /// answer (and its first deadline check) quickly. Clamped to
+  /// `step_quantum`.
+  size_t initial_quantum = 512;
+
+  /// Geometric per-slice quantum growth factor for sessions that keep
+  /// running (1 = fixed quantum).
+  size_t quantum_growth = 4;
 
   /// Admission cap: sessions runnable at once. Bounds the working set.
   size_t max_active = 64;
@@ -80,6 +100,14 @@ struct PoolStats {
   size_t slices = 0;      ///< scheduling quanta executed
   size_t active = 0;      ///< currently runnable or running
   size_t waiting = 0;     ///< currently queued behind the admission cap
+
+  // Scheduler counters (slices == local_pops + steals): how the sharded
+  // run queue behaved, and what the batched answer path amortized.
+  size_t local_pops = 0;  ///< slices whose task came from the worker's shard
+  size_t steals = 0;      ///< slices whose task was stolen from a peer shard
+  size_t publishes = 0;   ///< answer-buffer publications (>=1 answer each)
+  size_t answers_published = 0;  ///< answers published (/publishes = batch)
+  uint64_t quantum_steps = 0;    ///< granted quanta summed (/slices = avg)
 
   // Live-update gauges (src/update/), sampled from the engine at stats()
   // time: which snapshot generation new submissions land on, and how much
@@ -123,37 +151,65 @@ class SessionPool {
   PoolStats stats() const;
 
  private:
-  void WorkerLoop();
+  /// Per-worker counters, written only by the owning worker (relaxed
+  /// atomics so stats() may read concurrently), cache-line padded so two
+  /// workers' hot increments never share a line.
+  struct alignas(64) WorkerCounters {
+    std::atomic<uint64_t> slices{0};
+    std::atomic<uint64_t> local_pops{0};
+    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> publishes{0};
+    std::atomic<uint64_t> answers_published{0};
+    std::atomic<uint64_t> quantum_steps{0};
+  };
+
+  void WorkerLoop(size_t me);
 
   /// Outcome of one scheduling slice, classified for the counters.
   struct SliceResult {
     bool finished = false;
     bool cancelled = false;
     bool deadline_truncated = false;
+    size_t answers_published = 0;
   };
 
-  /// Pumps `task` for one quantum without holding the scheduler lock;
-  /// publishes answers / completion to the task's handle side.
+  /// Pumps `task` for one quantum without holding any scheduler lock;
+  /// publishes the slice's answers to the task's handle side in one batch
+  /// and grows the task's quantum.
   SliceResult RunSlice(ServerTask& task);
 
   /// Marks a task finished (optionally as cancelled) and wakes waiters.
   static void FinishTask(ServerTask& task, bool cancelled);
 
+  /// Retires a finished/cancelled slice: admission bookkeeping under mu_,
+  /// then FinishTask.
+  void RetireTask(const std::shared_ptr<ServerTask>& task,
+                  const SliceResult& result);
+
   /// Moves waiting sessions into the run queue while capacity remains.
   /// Caller holds mu_.
   void AdmitLocked();
 
+  /// Wakes one sleeping worker if any (the push-side half of the
+  /// lost-wakeup handshake; see WorkerLoop's idle path).
+  void WakeOneIfSleeping();
+
   const BanksEngine* engine_;
   PoolOptions options_;
 
-  mutable std::mutex mu_;        // scheduler state below
+  WorkStealingScheduler sched_;
+  std::vector<WorkerCounters> worker_counters_;
+
+  mutable std::mutex mu_;        // admission + completion state below
   std::condition_variable work_cv_;
-  EdfRunQueue ready_;
   std::deque<std::shared_ptr<ServerTask>> waiting_;
   size_t active_ = 0;
   uint64_t next_seq_ = 0;
   bool stopping_ = false;
   PoolStats counters_;
+  /// Workers currently blocked on work_cv_. seq_cst ops pair with the
+  /// scheduler's total_load so a push never misses a sleeper.
+  std::atomic<size_t> sleepers_{0};
 
   std::mutex shutdown_mu_;       // serialises Shutdown callers (join once)
   std::vector<std::thread> workers_;

@@ -1,0 +1,178 @@
+// WorkStealingScheduler unit tests (server level, no pool).
+//
+// The contract under test: each shard is an exact EDF queue (deadline,
+// then least attained service, then admission order); PushBalanced
+// spreads admissions to the least-loaded shard without piling ties onto
+// shard 0; Steal takes the most urgent task from the most-loaded peer
+// shard and never the thief's own; and the stop protocol settles the
+// requeue/drain race — after RequestStop every Push fails and DrainAll
+// returns everything still queued, so no task can be lost in a dead
+// queue.
+#include "server/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+namespace banks::server {
+namespace {
+
+using std::chrono::steady_clock;
+
+std::shared_ptr<ServerTask> MakeTask(uint64_t seq, size_t steps = 0,
+                                     steady_clock::time_point deadline =
+                                         steady_clock::time_point::max()) {
+  auto task = std::make_shared<ServerTask>();
+  task->seq = seq;
+  task->steps = steps;
+  task->deadline = deadline;
+  return task;
+}
+
+TEST(WorkStealingSchedulerTest, ShardPopsInEdfOrder) {
+  WorkStealingScheduler sched(1);
+  const auto now = steady_clock::now();
+  auto no_deadline = MakeTask(0);
+  auto late = MakeTask(1, /*steps=*/0, now + std::chrono::seconds(60));
+  auto soon = MakeTask(2, /*steps=*/0, now + std::chrono::seconds(1));
+  ASSERT_TRUE(sched.Push(0, no_deadline));
+  ASSERT_TRUE(sched.Push(0, late));
+  ASSERT_TRUE(sched.Push(0, soon));
+
+  EXPECT_EQ(sched.PopLocal(0), soon);
+  EXPECT_EQ(sched.PopLocal(0), late);
+  EXPECT_EQ(sched.PopLocal(0), no_deadline);
+  EXPECT_EQ(sched.PopLocal(0), nullptr);
+}
+
+TEST(WorkStealingSchedulerTest, EqualDeadlinesFavourLeastAttainedService) {
+  WorkStealingScheduler sched(1);
+  auto heavy = MakeTask(0, /*steps=*/5000);
+  auto light = MakeTask(1, /*steps=*/10);
+  ASSERT_TRUE(sched.Push(0, heavy));
+  ASSERT_TRUE(sched.Push(0, light));
+
+  EXPECT_EQ(sched.PopLocal(0), light);
+  EXPECT_EQ(sched.PopLocal(0), heavy);
+}
+
+TEST(WorkStealingSchedulerTest, FullTiesFallBackToAdmissionOrder) {
+  WorkStealingScheduler sched(1);
+  auto first = MakeTask(1);
+  auto second = MakeTask(2);
+  ASSERT_TRUE(sched.Push(0, second));
+  ASSERT_TRUE(sched.Push(0, first));
+
+  EXPECT_EQ(sched.PopLocal(0), first);
+  EXPECT_EQ(sched.PopLocal(0), second);
+}
+
+TEST(WorkStealingSchedulerTest, PushBalancedSpreadsAcrossShards) {
+  WorkStealingScheduler sched(4);
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_LT(sched.PushBalanced(MakeTask(i)), sched.num_shards());
+  }
+  // Four admissions into four empty shards must land one per shard: the
+  // rotating tie-break means an all-empty scan never reuses a shard.
+  for (size_t shard = 0; shard < 4; ++shard) {
+    EXPECT_EQ(sched.load(shard), 1u) << "shard " << shard;
+  }
+  EXPECT_EQ(sched.total_load(), 4u);
+}
+
+TEST(WorkStealingSchedulerTest, PushBalancedPrefersLeastLoadedShard) {
+  WorkStealingScheduler sched(2);
+  ASSERT_TRUE(sched.Push(0, MakeTask(0)));
+  ASSERT_TRUE(sched.Push(0, MakeTask(1)));
+  ASSERT_TRUE(sched.Push(0, MakeTask(2)));
+  // Shard 1 is strictly less loaded, so every balanced push lands there
+  // regardless of where the rotating start index points.
+  EXPECT_EQ(sched.PushBalanced(MakeTask(3)), 1u);
+  EXPECT_EQ(sched.load(1), 1u);
+}
+
+TEST(WorkStealingSchedulerTest, StealTakesMostUrgentFromMostLoadedPeer) {
+  WorkStealingScheduler sched(3);
+  const auto now = steady_clock::now();
+  // Shard 1: one task. Shard 2 (most loaded): two tasks, one urgent.
+  ASSERT_TRUE(sched.Push(1, MakeTask(0)));
+  auto urgent = MakeTask(1, /*steps=*/0, now + std::chrono::seconds(1));
+  ASSERT_TRUE(sched.Push(2, MakeTask(2)));
+  ASSERT_TRUE(sched.Push(2, urgent));
+
+  EXPECT_EQ(sched.Steal(/*thief=*/0), urgent);
+  EXPECT_EQ(sched.load(2), 1u);
+  EXPECT_EQ(sched.total_load(), 2u);
+}
+
+TEST(WorkStealingSchedulerTest, StealNeverTakesFromOwnShard) {
+  WorkStealingScheduler sched(2);
+  auto task = MakeTask(0);
+  ASSERT_TRUE(sched.Push(0, task));
+  // Shard 0 is the only non-empty shard; worker 0 must not steal from it
+  // (PopLocal is the path for one's own shard) — but worker 1 may.
+  EXPECT_EQ(sched.Steal(/*thief=*/0), nullptr);
+  EXPECT_EQ(sched.Steal(/*thief=*/1), task);
+}
+
+TEST(WorkStealingSchedulerTest, StealFromEmptySchedulerIsNull) {
+  WorkStealingScheduler sched(4);
+  for (size_t thief = 0; thief < 4; ++thief) {
+    EXPECT_EQ(sched.Steal(thief), nullptr);
+  }
+}
+
+TEST(WorkStealingSchedulerTest, PushFailsAfterRequestStop) {
+  WorkStealingScheduler sched(2);
+  auto task = MakeTask(0);
+  sched.RequestStop();
+  EXPECT_FALSE(sched.Push(0, task));
+  EXPECT_EQ(sched.PushBalanced(task), sched.num_shards());
+  EXPECT_EQ(sched.total_load(), 0u);
+}
+
+TEST(WorkStealingSchedulerTest, DrainAllReturnsEveryQueuedTask) {
+  WorkStealingScheduler sched(3);
+  std::vector<std::shared_ptr<ServerTask>> pushed;
+  for (uint64_t i = 0; i < 7; ++i) {
+    pushed.push_back(MakeTask(i));
+    ASSERT_LT(sched.PushBalanced(pushed.back()), sched.num_shards());
+  }
+  sched.RequestStop();
+  auto drained = sched.DrainAll();
+  EXPECT_EQ(drained.size(), pushed.size());
+  for (const auto& task : pushed) {
+    EXPECT_NE(std::find(drained.begin(), drained.end(), task), drained.end());
+  }
+  EXPECT_EQ(sched.total_load(), 0u);
+  for (size_t shard = 0; shard < sched.num_shards(); ++shard) {
+    EXPECT_EQ(sched.load(shard), 0u);
+    EXPECT_EQ(sched.PopLocal(shard), nullptr);
+  }
+}
+
+TEST(WorkStealingSchedulerTest, LoadCountersTrackPushAndPop) {
+  WorkStealingScheduler sched(2);
+  EXPECT_EQ(sched.total_load(), 0u);
+  ASSERT_TRUE(sched.Push(0, MakeTask(0)));
+  ASSERT_TRUE(sched.Push(1, MakeTask(1)));
+  EXPECT_EQ(sched.load(0), 1u);
+  EXPECT_EQ(sched.load(1), 1u);
+  EXPECT_EQ(sched.total_load(), 2u);
+  ASSERT_NE(sched.PopLocal(0), nullptr);
+  EXPECT_EQ(sched.load(0), 0u);
+  EXPECT_EQ(sched.total_load(), 1u);
+}
+
+TEST(WorkStealingSchedulerTest, ZeroShardsClampsToOne) {
+  WorkStealingScheduler sched(0);
+  EXPECT_EQ(sched.num_shards(), 1u);
+  ASSERT_TRUE(sched.Push(0, MakeTask(0)));
+  EXPECT_NE(sched.PopLocal(0), nullptr);
+}
+
+}  // namespace
+}  // namespace banks::server

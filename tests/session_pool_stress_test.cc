@@ -134,6 +134,82 @@ TEST(SessionPoolStressTest, MixedBudgetsAndCancellations) {
   EXPECT_GT(stats.slices, stats.completed);  // preemption really happened
 }
 
+TEST(SessionPoolStressTest, WorkStealingUnderContention) {
+  // The TSan workload for the sharded scheduler specifically: more
+  // workers than submitters so shards drain unevenly and idle workers
+  // must steal, mixed budgets so sessions retire at wildly different
+  // times, and mid-stream cancellations racing against steals (a cancel
+  // can land while the task sits in a victim shard or mid-migration).
+  // Accounting teeth: every slice is either a local pop or a steal, and
+  // the pool retires every accepted session.
+  const BanksEngine& engine = Engine();
+
+  server::PoolOptions popts;
+  popts.num_workers = 8;
+  popts.initial_quantum = 8;  // small growing quanta: frequent rebalancing
+  popts.quantum_growth = 2;
+  popts.step_quantum = 128;
+  popts.max_active = 32;  // plenty of runnable sessions to migrate
+  popts.max_waiting = 4096;
+
+  // Stealing depends on scheduling timing, so one quiet round is not a
+  // failure — but several rounds of 8 uneven shards with zero steals
+  // would mean the steal path never engages.
+  size_t total_steals = 0;
+  for (int round = 0; round < 5 && total_steals == 0; ++round) {
+    server::SessionPool pool(engine, popts);
+    constexpr size_t kSubmitters = 3;  // < num_workers: shards go idle
+    constexpr size_t kPerThread = 16;
+    std::atomic<size_t> accepted{0};
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (size_t t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&, t] {
+        for (size_t i = 0; i < kPerThread; ++i) {
+          const size_t qi = (t * kPerThread + i) % kNumQueries;
+          Budget budget;  // default: unlimited
+          if (i % 3 == 1) budget = Budget::WithVisitCap(40);
+          if (i % 3 == 2) {
+            budget = Budget::WithTimeout(std::chrono::milliseconds(5));
+          }
+          auto submitted =
+              pool.Submit(kQueries[qi], engine.options().search, budget);
+          ASSERT_TRUE(submitted.ok()) << kQueries[qi];
+          accepted.fetch_add(1, std::memory_order_relaxed);
+          server::SessionHandle handle = std::move(submitted).value();
+          if (i % 4 == 3) {
+            handle.NextBatch(1);  // consume a little...
+            handle.Cancel();      // ...then cancel mid-steal-window
+          } else {
+            handle.Drain();
+          }
+          handle.Wait();
+          EXPECT_TRUE(handle.Done());
+        }
+      });
+    }
+    for (auto& s : submitters) s.join();
+
+    auto stats = pool.stats();
+    EXPECT_EQ(stats.submitted, accepted.load());
+    EXPECT_EQ(stats.completed, accepted.load());
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_EQ(stats.active, 0u);
+    EXPECT_EQ(stats.waiting, 0u);
+    // Every slice came off a shard exactly one way.
+    EXPECT_EQ(stats.slices, stats.local_pops + stats.steals);
+    // Batched publication: no more publications than slices, and every
+    // published answer belongs to some publication.
+    EXPECT_LE(stats.publishes, stats.slices);
+    if (stats.answers_published > 0) {
+      EXPECT_GT(stats.publishes, 0u);
+    }
+    total_steals += stats.steals;
+  }
+  EXPECT_GT(total_steals, 0u)
+      << "8 uneven shards never stole across 5 rounds";
+}
+
 TEST(SessionPoolStressTest, SubmitDuringShutdownIsClean) {
   const BanksEngine& engine = Engine();
   for (int round = 0; round < 4; ++round) {

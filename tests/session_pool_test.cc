@@ -286,6 +286,60 @@ TEST(SessionPoolTest, ShutdownWakesWaitingConsumers) {
   EXPECT_TRUE(queued.value().Done());
 }
 
+TEST(SessionPoolTest, DeterministicUnderStealingAndAdaptiveQuanta) {
+  // Byte-identity must survive the scheduler's two sources of execution
+  // variety: work stealing (sessions migrate between workers mid-run) and
+  // adaptive quanta (slice sizes differ run to run). A tiny growing
+  // quantum maximises both — every session is preempted many times and
+  // rebalanced across 4 workers — yet each session's stepper is confined
+  // to one worker at a time, so the transcript must match serial exactly.
+  const BanksEngine& engine = Workload().dblp_engine();
+  std::vector<std::string> texts;
+  for (const EvalQuery& q : Workload().queries()) {
+    if (!q.on_thesis) texts.push_back(q.text);
+  }
+  ASSERT_FALSE(texts.empty());
+
+  std::vector<std::string> serial;
+  for (const auto& text : texts) {
+    auto result = engine.Search(text);
+    ASSERT_TRUE(result.ok()) << text;
+    serial.push_back(RenderAll(engine, result.value().answers));
+  }
+
+  server::PoolOptions popts;
+  popts.num_workers = 4;
+  popts.initial_quantum = 1;  // first slice: a single stepper iteration
+  popts.quantum_growth = 2;
+  popts.step_quantum = 64;    // growth cap stays tiny: constant preemption
+  popts.max_active = 16;
+  server::SessionPool pool(engine, popts);
+
+  constexpr int kCopies = 4;
+  std::vector<server::SessionHandle> handles;
+  std::vector<size_t> expect;
+  for (int copy = 0; copy < kCopies; ++copy) {
+    for (size_t i = 0; i < texts.size(); ++i) {
+      auto handle = pool.Submit(texts[i]);
+      ASSERT_TRUE(handle.ok()) << texts[i];
+      handles.push_back(std::move(handle).value());
+      expect.push_back(i);
+    }
+  }
+  for (size_t h = 0; h < handles.size(); ++h) {
+    EXPECT_EQ(RenderAll(engine, handles[h].Drain()), serial[expect[h]])
+        << "query #" << expect[h];
+  }
+
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.slices, stats.local_pops + stats.steals);
+  // The growth schedule really ran: with quanta in [1, 64] the average
+  // granted quantum cannot reach the production default of 512+.
+  ASSERT_GT(stats.slices, 0u);
+  EXPECT_LE(stats.quantum_steps / stats.slices, 64u);
+  EXPECT_GT(stats.slices, stats.completed);  // preemption really happened
+}
+
 TEST(SessionPoolTest, DefaultHandleIsEmpty) {
   server::SessionHandle handle;
   EXPECT_FALSE(handle.valid());

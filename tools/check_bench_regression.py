@@ -7,8 +7,10 @@ Usage:
 Both files are BENCH_*.json reports written by the benches (see
 bench/bench_common.h BenchReport). Only the "counters" section is gated —
 deterministic work metrics such as iterator visits and answer counts. The
-"info" section (timings, throughput) varies with the machine and is never
-compared.
+"info" section (timings, throughput, scheduler counters such as steals and
+publish batches) varies with the machine, so it is *displayed* — current
+value plus the drift against the baseline where one exists — but never
+gated.
 
 Rules, per baseline counter key:
   - missing from current           -> FAIL (a bench silently dropped or
@@ -44,7 +46,10 @@ def load(path):
     if not isinstance(counters, dict):
         print(f"error: {path} has no 'counters' object", file=sys.stderr)
         sys.exit(2)
-    return data.get("bench", "?"), counters
+    info = data.get("info")
+    if not isinstance(info, dict):
+        info = {}
+    return data.get("bench", "?"), counters, info
 
 
 def main(argv):
@@ -67,8 +72,8 @@ def main(argv):
         print(__doc__, file=sys.stderr)
         return 2
 
-    base_name, base = load(args[0])
-    cur_name, cur = load(args[1])
+    base_name, base, base_info = load(args[0])
+    cur_name, cur, cur_info = load(args[1])
     if base_name != cur_name:
         print(f"error: bench name mismatch: baseline '{base_name}' vs "
               f"current '{cur_name}'", file=sys.stderr)
@@ -105,6 +110,18 @@ def main(argv):
     for key in new_keys:
         print(f"  NEW  {key} = {cur[key]!r} (not in baseline; add it via "
               "tools/update_bench_baselines.py to gate it)")
+    if cur_info:
+        print("info (machine-dependent; displayed, never gated):")
+        for key in sorted(cur_info):
+            value = cur_info[key]
+            line = f"  INFO {key} = {value!r}"
+            ref = base_info.get(key)
+            if (isinstance(value, numbers.Real) and
+                    isinstance(ref, numbers.Real) and
+                    not isinstance(value, bool) and
+                    not isinstance(ref, bool) and ref != 0):
+                line += f" (baseline {ref:g}, {(value / ref - 1) * 100:+.1f}%)"
+            print(line)
     if failures:
         print(f"{len(failures)} regression(s):")
         for f in failures:

@@ -16,10 +16,11 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import check_bench_regression  # noqa: E402
 
 
-def write_report(directory, name, counters, bench="bench_x"):
+def write_report(directory, name, counters, bench="bench_x", info=None):
     path = os.path.join(directory, name)
     with open(path, "w") as f:
-        json.dump({"bench": bench, "counters": counters, "info": {}}, f)
+        json.dump({"bench": bench, "counters": counters,
+                   "info": info or {}}, f)
     return path
 
 
@@ -96,6 +97,42 @@ class CheckBenchRegressionTest(unittest.TestCase):
         base = write_report(self.dir, "base.json", {"q1/visits": 100})
         cur = write_report(self.dir, "cur.json", {"q1/visits": "lots"})
         self.assertEqual(self.run_gate(base, cur), 1)
+
+    def test_info_fields_are_displayed_but_never_gated(self):
+        # Machine-dependent info (qps, steals, publish batches...) may move
+        # arbitrarily — even keys matching the gated patterns ("visits",
+        # "answers") — without failing the gate; it is display-only.
+        base = write_report(self.dir, "base.json", {"q1/visits": 100},
+                            info={"pool_w8/qps": 50.0,
+                                  "pool_w8/steals": 4,
+                                  "serial/visits": 10})
+        cur = write_report(self.dir, "cur.json", {"q1/visits": 100},
+                           info={"pool_w8/qps": 5.0,
+                                 "pool_w8/steals": 400,
+                                 "serial/visits": 99999,
+                                 "pool_w8/avg_quantum": 18688.0})
+        import contextlib
+        import io
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            self.assertEqual(self.run_gate(base, cur), 0)
+        printed = out.getvalue()
+        # Every current info key is shown, with drift where a baseline
+        # value exists.
+        self.assertIn("INFO pool_w8/qps = 5.0 (baseline 50, -90.0%)",
+                      printed)
+        self.assertIn("INFO pool_w8/steals = 400 (baseline 4, +9900.0%)",
+                      printed)
+        self.assertIn("INFO pool_w8/avg_quantum = 18688.0", printed)
+        self.assertNotIn("avg_quantum = 18688.0 (baseline", printed)
+
+    def test_missing_info_section_is_tolerated(self):
+        base_path = os.path.join(self.dir, "base.json")
+        with open(base_path, "w") as f:
+            json.dump({"bench": "bench_x", "counters": {"q1/visits": 1}}, f)
+        cur = write_report(self.dir, "cur.json", {"q1/visits": 1},
+                           info={"pool_w8/qps": 5.0})
+        self.assertEqual(self.run_gate(base_path, cur), 0)
 
     def test_bench_name_mismatch_is_usage_error(self):
         base = write_report(self.dir, "base.json", {"q1/visits": 1},
