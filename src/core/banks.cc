@@ -9,8 +9,11 @@
 namespace banks {
 
 BanksEngine::BanksEngine(Database db, BanksOptions options)
-    : db_(std::move(db)), options_(std::move(options)) {
-  // Resolve excluded root tables to ids once.
+    : db_(std::move(db)),
+      options_(std::move(options)),
+      updater_(&db_, &options_) {
+  // Resolve excluded root tables to ids once (the coordinator only holds
+  // a pointer to options_, so mutating it here is still safe).
   for (const auto& name : options_.excluded_root_tables) {
     const Table* t = db_.table(name);
     if (t != nullptr) {
@@ -19,16 +22,19 @@ BanksEngine::BanksEngine(Database db, BanksOptions options)
   }
   // Epoch 0: the initial frozen state. Everything inside a published
   // LiveState is immutable, so the concurrent query path is thread-safe;
-  // mutations publish new states instead of touching this one.
-  updater_ = std::make_unique<RefreezeCoordinator>(&db_, &options_);
-  state_ = updater_->Rebuild(/*epoch=*/0);
-  updater_->BeginEpoch(state_->dg);
+  // mutations publish new states instead of touching this one. No thread
+  // can contend yet, but the locks are taken anyway: they cost nothing
+  // and keep the constructor inside the annotated locking discipline.
+  util::MutexLock serialize(updater_.mu());
+  util::WriterMutexLock lock(&state_mu_);
+  state_ = updater_.Rebuild(/*epoch=*/0);
+  updater_.BeginEpoch(state_->dg);
 }
 
 BanksEngine::~BanksEngine() = default;
 
 LiveStateSnapshot BanksEngine::state() const {
-  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  util::ReaderMutexLock lock(&state_mu_);
   return state_;
 }
 
@@ -38,7 +44,7 @@ server::SessionPool& BanksEngine::pool() const {
 
 server::SessionPool& BanksEngine::pool(
     const server::PoolOptions& options) const {
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  util::MutexLock lock(&pool_mu_);
   if (pool_ == nullptr) {
     pool_ = std::make_unique<server::SessionPool>(*this, options);
   }
@@ -80,7 +86,7 @@ Result<Rid> BanksEngine::Apply(Mutation mutation) {
 
 std::vector<Result<Rid>> BanksEngine::ApplyBatch(
     std::vector<Mutation> mutations) {
-  std::lock_guard<std::mutex> serialize(update_mu_);
+  util::MutexLock serialize(updater_.mu());
   std::vector<Result<Rid>> results;
   bool any_applied = false;
   {
@@ -89,30 +95,30 @@ std::vector<Result<Rid>> BanksEngine::ApplyBatch(
     // OpenSession/Render sees either the pre-batch state with the old
     // rows or the fully-applied state with the new ones, never a
     // half-applied pair.
-    std::unique_lock<std::shared_mutex> lock(state_mu_);
-    results = updater_->ApplyBatch(std::move(mutations));
+    util::WriterMutexLock lock(&state_mu_);
+    results = updater_.ApplyBatch(std::move(mutations));
     for (const auto& r : results) any_applied |= r.ok();
     if (any_applied) {
       auto next = std::make_shared<LiveState>(*state_);
-      next->delta = updater_->delta();
-      next->index_delta = updater_->index_delta();
-      next->pending_mutations = updater_->pending();
+      next->delta = updater_.delta();
+      next->index_delta = updater_.index_delta();
+      next->pending_mutations = updater_.pending();
       state_ = std::move(next);
     }
   }
-  if (any_applied && updater_->ShouldRefreeze()) {
-    RefreezeLocked();  // once per batch (update_mu_ still held; queries
+  if (any_applied && updater_.ShouldRefreeze()) {
+    RefreezeLocked();  // once per batch (update mutex still held; queries
                        // keep serving)
   }
   return results;
 }
 
 Result<RefreezeStats> BanksEngine::Refreeze(bool force) {
-  std::lock_guard<std::mutex> serialize(update_mu_);
-  if (!force && updater_->pending() == 0) {
+  util::MutexLock serialize(updater_.mu());
+  if (!force && updater_.pending() == 0) {
     RefreezeStats stats;
     {
-      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      util::ReaderMutexLock lock(&state_mu_);
       stats.epoch = state_->epoch;
       stats.nodes = state_->dg->graph.num_nodes();
       stats.edges = state_->dg->graph.num_edges();
@@ -124,23 +130,24 @@ Result<RefreezeStats> BanksEngine::Refreeze(bool force) {
 
 RefreezeStats BanksEngine::RefreezeLocked() {
   // Off the serving path: the rebuild reads the database with *no* state
-  // lock held. update_mu_ excludes every writer, so the database is
-  // quiescent; concurrent readers only ever read it. Sessions keep
-  // opening on the current state until the swap below.
+  // lock held. The update mutex (held here, by contract) excludes every
+  // writer, so the database is quiescent; concurrent readers only ever
+  // read it. Sessions keep opening on the current state until the swap
+  // below.
   Timer timer;
   RefreezeStats stats;
-  stats.mutations_absorbed = updater_->pending();
+  stats.mutations_absorbed = updater_.pending();
   const LiveStateSnapshot current = state();
   const uint64_t next_epoch = current->epoch + 1;
   LiveStateSnapshot fresh;
-  if (options_.update.merge_refreeze && updater_->CanMergeRefreeze()) {
-    fresh = updater_->MergeRebuild(next_epoch, *current);
+  if (options_.update.merge_refreeze && updater_.CanMergeRefreeze()) {
+    fresh = updater_.MergeRebuild(next_epoch, *current);
     stats.merged = true;
     if (options_.update.verify_merge_refreeze) {
       // Oracle mode: the from-scratch rebuild must be byte-identical; on
       // disagreement the (always-correct) full rebuild is what ships.
       stats.verified = true;
-      LiveStateSnapshot full = updater_->Rebuild(next_epoch);
+      LiveStateSnapshot full = updater_.Rebuild(next_epoch);
       if (!LiveStatesIdentical(*fresh, *full)) {
         fresh = std::move(full);
         stats.merged = false;
@@ -148,7 +155,7 @@ RefreezeStats BanksEngine::RefreezeLocked() {
       }
     }
   } else {
-    fresh = updater_->Rebuild(next_epoch);
+    fresh = updater_.Rebuild(next_epoch);
   }
   stats.rebuild_ms = timer.Millis();
   stats.epoch = next_epoch;
@@ -158,10 +165,10 @@ RefreezeStats BanksEngine::RefreezeLocked() {
     // The atomic swap: in-flight sessions hold the pieces of the state
     // they opened on and are untouched; new sessions land on the fresh
     // epoch, delta-free.
-    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    util::WriterMutexLock lock(&state_mu_);
     state_ = std::move(fresh);
   }
-  updater_->BeginEpoch(state()->dg);
+  updater_.BeginEpoch(state()->dg);
   return stats;
 }
 
@@ -172,8 +179,8 @@ uint64_t BanksEngine::pending_mutations() const {
 }
 
 uint64_t BanksEngine::total_mutations() const {
-  std::lock_guard<std::mutex> serialize(update_mu_);
-  return updater_->log().total();
+  util::MutexLock serialize(updater_.mu());
+  return updater_.log().total();
 }
 
 // ------------------------------------------------------------- queries
@@ -253,7 +260,7 @@ Result<QuerySession> BanksEngine::OpenSessionImpl(
   // immutable pieces captured in `st`.
   LiveStateSnapshot st;
   {
-    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    util::ReaderMutexLock lock(&state_mu_);
     st = state_;
 
     KeywordResolver resolver(db_, *st->dg, *st->index, *st->metadata,
@@ -332,12 +339,12 @@ Result<QuerySession> BanksEngine::OpenSessionImpl(
 }
 
 std::string BanksEngine::Render(const ConnectionTree& tree) const {
-  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  util::ReaderMutexLock lock(&state_mu_);
   return RenderAnswer(tree, *state_->dg, db_, state_->delta.get());
 }
 
 std::string BanksEngine::RootLabel(const ConnectionTree& tree) const {
-  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  util::ReaderMutexLock lock(&state_mu_);
   return NodeLabel(tree.root, *state_->dg, db_, state_->delta.get());
 }
 

@@ -35,8 +35,6 @@
 #define BANKS_CORE_BANKS_H_
 
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -54,6 +52,7 @@
 #include "update/mutation.h"
 #include "update/refreeze.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace banks {
 
@@ -268,30 +267,35 @@ class BanksEngine {
                                        const AuthPolicy* policy,
                                        Budget budget) const;
 
-  /// Rebuild + swap; caller holds update_mu_.
-  RefreezeStats RefreezeLocked();
+  /// Rebuild + swap. The REQUIRES turns "caller holds the update mutex"
+  /// into a compile-time contract under Clang (-Wthread-safety).
+  RefreezeStats RefreezeLocked() BANKS_REQUIRES(updater_.mu());
 
   Database db_;
   BanksOptions options_;
 
   // Swappable read state (update/live_state.h). Readers load the pointer
-  // under a shared lock; writers publish a new state under the exclusive
-  // lock. The same lock guards the database *content* for readers that
-  // dereference it while resolving keywords or rendering.
-  mutable std::shared_mutex state_mu_;
-  LiveStateSnapshot state_;
+  // under the shared lock; writers publish a new state under the
+  // exclusive lock. The same lock guards the database *content* for
+  // readers that dereference it while resolving keywords or rendering.
+  // Lock ordering: writers take updater_.mu() first, then state_mu_;
+  // never the reverse.
+  mutable util::SharedMutex state_mu_;
+  LiveStateSnapshot state_ BANKS_GUARDED_BY(state_mu_);
 
-  // Serializes the mutation/refreeze side: Apply and Refreeze take this
-  // first, so a refreeze can rebuild from a quiescent database with no
-  // state lock held (queries keep opening and pumping throughout).
-  // Mutable so const observers (total_mutations) can read the log.
-  mutable std::mutex update_mu_;
-  std::unique_ptr<RefreezeCoordinator> updater_;
+  // The mutation/refreeze side is serialized by the coordinator's own
+  // mutex (updater_.mu()): Apply and Refreeze lock it first, so a
+  // refreeze can rebuild from a quiescent database with no state lock
+  // held (queries keep opening and pumping throughout). The coordinator's
+  // methods all REQUIRE that mutex, so forgetting the lock is a compile
+  // error under Clang rather than a race.
+  RefreezeCoordinator updater_;
 
   // Lazily started session pool (see pool()); mutable because serving is
   // logically const.
-  mutable std::mutex pool_mu_;
-  mutable std::unique_ptr<server::SessionPool> pool_;
+  mutable util::Mutex pool_mu_;
+  mutable std::unique_ptr<server::SessionPool> pool_
+      BANKS_GUARDED_BY(pool_mu_);
 };
 
 }  // namespace banks

@@ -8,6 +8,16 @@
 // draining the graph. The batch BanksEngine::Search overloads are thin
 // wrappers that open a session and drain it, so batch behaviour and
 // results are unchanged.
+//
+// Threading contract: a QuerySession is deliberately mutex-free — its
+// mutable stepper state is *thread-confined*, owned by exactly one thread
+// at a time. Single-threaded callers drive it directly; the session pool
+// migrates whole sessions between workers through the scheduler's
+// annotated shard locks (src/server/scheduler.h), which is what makes the
+// handoff safe without a lock here. The only shared inputs are the
+// immutable snapshot pieces (dg/delta below) captured at open. Adding a
+// field that two threads could touch concurrently belongs on ServerTask
+// (guarded, src/server/session_handle.h), not here.
 #ifndef BANKS_CORE_QUERY_SESSION_H_
 #define BANKS_CORE_QUERY_SESSION_H_
 

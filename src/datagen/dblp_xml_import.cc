@@ -14,10 +14,10 @@ namespace banks {
 namespace {
 
 const std::unordered_set<std::string>& PublicationTags() {
-  static const auto* tags = new std::unordered_set<std::string>{
+  static const std::unordered_set<std::string> tags{
       "article",       "inproceedings", "proceedings", "book",
       "incollection",  "phdthesis",     "mastersthesis", "www"};
-  return *tags;
+  return tags;
 }
 
 // DBLP-style author id: "Jim Gray" -> "JimGray". Collisions collapse to

@@ -2,10 +2,13 @@
 
 namespace banks {
 
-namespace {
+// The pools are function-local static *values* (not leaky `new`
+// singletons): initialised once, thread-safe under C++11 magic statics,
+// destroyed at exit, and free of raw allocation (tools/banks_lint.py
+// forbids raw new/delete in src/).
 
-const std::vector<std::string>* MakeFirstNames() {
-  return new std::vector<std::string>{
+const std::vector<std::string>& NamePool::FirstNames() {
+  static const std::vector<std::string> pool{
       "James",  "Mary",    "Robert",  "Patricia", "John",    "Jennifer",
       "Michael","Linda",   "David",   "Elizabeth","William", "Barbara",
       "Richard","Susan",   "Joseph",  "Jessica",  "Thomas",  "Sarah",
@@ -14,10 +17,11 @@ const std::vector<std::string>* MakeFirstNames() {
       "Carlos", "Lucia",   "Ivan",    "Olga",     "Ahmed",   "Fatima",
       "Li",     "Mei",     "Arun",    "Divya",    "Stefan",  "Ingrid",
       "Paolo",  "Chiara",  "Erik",    "Astrid",   "Javier",  "Elena"};
+  return pool;
 }
 
-const std::vector<std::string>* MakeLastNames() {
-  return new std::vector<std::string>{
+const std::vector<std::string>& NamePool::LastNames() {
+  static const std::vector<std::string> pool{
       "Smith",    "Johnson",  "Williams", "Brown",   "Jones",   "Garcia",
       "Miller",   "Davis",    "Rodriguez","Martinez","Hernandez","Lopez",
       "Gonzalez", "Wilson",   "Anderson", "Lee",     "Kumar",   "Sharma",
@@ -26,10 +30,11 @@ const std::vector<std::string>* MakeLastNames() {
       "Fischer",  "Weber",    "Rossi",    "Russo",   "Ivanov",  "Petrov",
       "Kim",      "Park",     "Nguyen",   "Tran",    "Haas",    "Widom",
       "Ullman",   "Codd",     "Astrahan", "Selinger","Bernstein","Ceri"};
+  return pool;
 }
 
-const std::vector<std::string>* MakeTitleWords() {
-  return new std::vector<std::string>{
+const std::vector<std::string>& NamePool::TitleWords() {
+  static const std::vector<std::string> pool{
       "query",       "optimization", "database",    "relational",
       "distributed", "parallel",     "index",       "storage",
       "concurrency", "control",      "recovery",    "logging",
@@ -42,23 +47,7 @@ const std::vector<std::string>* MakeTitleWords() {
       "view",        "materialized", "cache",       "buffer",
       "xml",         "web",          "hypertext",   "crawling",
       "sampling",    "histogram",    "selectivity", "estimation"};
-}
-
-}  // namespace
-
-const std::vector<std::string>& NamePool::FirstNames() {
-  static const auto* pool = MakeFirstNames();
-  return *pool;
-}
-
-const std::vector<std::string>& NamePool::LastNames() {
-  static const auto* pool = MakeLastNames();
-  return *pool;
-}
-
-const std::vector<std::string>& NamePool::TitleWords() {
-  static const auto* pool = MakeTitleWords();
-  return *pool;
+  return pool;
 }
 
 std::string NamePool::PersonName(Rng* rng) {

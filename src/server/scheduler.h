@@ -47,11 +47,11 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <vector>
 
 #include "server/session_handle.h"
+#include "util/thread_annotations.h"
 
 namespace banks::server {
 
@@ -92,7 +92,7 @@ class WorkStealingScheduler {
   /// the caller to retire — once RequestStop() has been called.
   bool Push(size_t shard, const std::shared_ptr<ServerTask>& task) {
     Shard& s = *shards_[shard];
-    std::lock_guard<std::mutex> lock(s.mu);
+    util::MutexLock lock(&s.mu);
     if (stopping_.load(std::memory_order_relaxed)) return false;
     s.heap.push(RunnableTask{task->deadline, task->steps, task->seq, task});
     s.load.store(s.heap.size(), std::memory_order_relaxed);
@@ -154,7 +154,7 @@ class WorkStealingScheduler {
   std::vector<std::shared_ptr<ServerTask>> DrainAll() {
     std::vector<std::shared_ptr<ServerTask>> drained;
     for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      util::MutexLock lock(&shard->mu);
       while (!shard->heap.empty()) {
         drained.push_back(shard->heap.top().task);
         shard->heap.pop();
@@ -175,16 +175,19 @@ class WorkStealingScheduler {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
+    mutable util::Mutex mu;
+    /// The shard's exact-EDF queue. The compiler rejects any access that
+    /// does not hold the shard lock — the machine-checked half of the
+    /// session-affinity invariant (handoffs are ordered by shard locks).
     std::priority_queue<RunnableTask, std::vector<RunnableTask>,
                         std::greater<RunnableTask>>
-        heap;
+        heap BANKS_GUARDED_BY(mu);
     /// Heap size mirror, readable without the lock (victim/target choice).
     std::atomic<size_t> load{0};
   };
 
   std::shared_ptr<ServerTask> PopShard(Shard& s) {
-    std::lock_guard<std::mutex> lock(s.mu);
+    util::MutexLock lock(&s.mu);
     if (s.heap.empty()) return nullptr;
     std::shared_ptr<ServerTask> task = s.heap.top().task;
     s.heap.pop();

@@ -4,13 +4,20 @@
 
 namespace banks::server {
 
+// Wait predicates are written as explicit `while (!cond) cv.wait(...)`
+// loops rather than the lambda-predicate overload: Clang's thread-safety
+// analysis treats a lambda as a separate function holding no locks, so a
+// predicate reading the guarded fields could not be verified. The loop
+// form keeps every guarded access inside the MutexLock scope — same
+// semantics, checkable.
+
 std::optional<ScoredAnswer> SessionHandle::Next() {
   if (task_ == nullptr) return std::nullopt;
-  std::unique_lock<std::mutex> lock(task_->mu);
-  task_->cv.wait(lock, [&] {
-    return !task_->ready.empty() || task_->finished ||
-           task_->cancel_requested.load(std::memory_order_acquire);
-  });
+  util::MutexLock lock(&task_->mu);
+  while (task_->ready.empty() && !task_->finished &&
+         !task_->cancel_requested.load(std::memory_order_acquire)) {
+    task_->cv.wait(lock.native());
+  }
   if (task_->ready.empty()) return std::nullopt;
   ScoredAnswer answer = std::move(task_->ready.front());
   task_->ready.pop_front();
@@ -19,7 +26,7 @@ std::optional<ScoredAnswer> SessionHandle::Next() {
 
 std::optional<ScoredAnswer> SessionHandle::TryNext() {
   if (task_ == nullptr) return std::nullopt;
-  std::lock_guard<std::mutex> lock(task_->mu);
+  util::MutexLock lock(&task_->mu);
   if (task_->ready.empty()) return std::nullopt;
   ScoredAnswer answer = std::move(task_->ready.front());
   task_->ready.pop_front();
@@ -32,12 +39,12 @@ std::vector<ConnectionTree> SessionHandle::NextBatch(size_t k) {
   // Take whole publication batches under one lock hold instead of
   // re-locking per answer — the consumer-side half of batched answer
   // publication (workers publish once per slice, see RunSlice).
-  std::unique_lock<std::mutex> lock(task_->mu);
+  util::MutexLock lock(&task_->mu);
   for (;;) {
-    task_->cv.wait(lock, [&] {
-      return !task_->ready.empty() || task_->finished ||
-             task_->cancel_requested.load(std::memory_order_acquire);
-    });
+    while (task_->ready.empty() && !task_->finished &&
+           !task_->cancel_requested.load(std::memory_order_acquire)) {
+      task_->cv.wait(lock.native());
+    }
     while (page.size() < k && !task_->ready.empty()) {
       page.push_back(std::move(task_->ready.front().tree));
       task_->ready.pop_front();
@@ -58,14 +65,14 @@ void SessionHandle::Cancel() {
   // already buffered and wake any blocked consumer — it will observe the
   // flag through the wait predicate and return empty-handed.
   task_->cancel_requested.store(true, std::memory_order_release);
-  std::lock_guard<std::mutex> lock(task_->mu);
+  util::MutexLock lock(&task_->mu);
   task_->ready.clear();
   task_->cv.notify_all();
 }
 
 bool SessionHandle::Done() const {
   if (task_ == nullptr) return true;
-  std::lock_guard<std::mutex> lock(task_->mu);
+  util::MutexLock lock(&task_->mu);
   return task_->ready.empty() &&
          (task_->finished ||
           task_->cancel_requested.load(std::memory_order_acquire));
@@ -73,13 +80,13 @@ bool SessionHandle::Done() const {
 
 void SessionHandle::Wait() const {
   if (task_ == nullptr) return;
-  std::unique_lock<std::mutex> lock(task_->mu);
-  task_->cv.wait(lock, [&] { return task_->finished; });
+  util::MutexLock lock(&task_->mu);
+  while (!task_->finished) task_->cv.wait(lock.native());
 }
 
 SearchStats SessionHandle::stats() const {
   if (task_ == nullptr) return SearchStats{};
-  std::lock_guard<std::mutex> lock(task_->mu);
+  util::MutexLock lock(&task_->mu);
   return task_->stats;
 }
 

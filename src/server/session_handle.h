@@ -16,11 +16,11 @@
 #include <cstddef>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "core/query_session.h"
+#include "util/thread_annotations.h"
 
 namespace banks::server {
 
@@ -41,6 +41,12 @@ struct ServerTask {
   std::vector<size_t> dropped_terms;  ///< copied out of the session
 
   // ------------------------------------------------------ worker-confined
+  // These fields carry no BANKS_GUARDED_BY: their protection is dynamic
+  // ownership (exactly one worker holds the task between a scheduler pop
+  // and the matching requeue, handoffs ordered by the shard locks), which
+  // Clang's analysis cannot express as a static capability. The shard
+  // heap itself *is* annotated (scheduler.h), so the handoff edges are
+  // still machine-checked; TSan covers the confined accesses.
   /// The live query. Only the worker that popped this task from a run
   /// queue shard may touch it; handles never do. Once `finished` is set no
   /// thread touches it again.
@@ -57,12 +63,16 @@ struct ServerTask {
   size_t quantum = 0;
 
   // ------------------------------------------------- shared, guarded by mu
-  mutable std::mutex mu;
+  mutable util::Mutex mu;
   std::condition_variable cv;     ///< answers arrived / task finished
-  std::deque<ScoredAnswer> ready; ///< produced, not yet consumed
-  SearchStats stats;              ///< refreshed after every slice
-  bool finished = false;   ///< workers will never touch `session` again
-  bool cancelled = false;  ///< finished by cancellation (not exhaustion)
+  /// Produced, not yet consumed.
+  std::deque<ScoredAnswer> ready BANKS_GUARDED_BY(mu);
+  /// Refreshed after every slice.
+  SearchStats stats BANKS_GUARDED_BY(mu);
+  /// Workers will never touch `session` again.
+  bool finished BANKS_GUARDED_BY(mu) = false;
+  /// Finished by cancellation (not exhaustion).
+  bool cancelled BANKS_GUARDED_BY(mu) = false;
 
   /// Set by SessionHandle::Cancel; observed by the worker at its next
   /// slice boundary (atomic so the handle never needs the pool's lock).

@@ -59,7 +59,7 @@ Result<SessionHandle> SessionPool::Submit(QuerySession session) {
   task->quantum = options_.initial_quantum;
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (stopping_) {
       ++counters_.rejected;
       return Status::FailedPrecondition("session pool is shut down");
@@ -100,7 +100,7 @@ void SessionPool::WakeOneIfSleeping() {
   // Tap the mutex so a worker between its predicate check and its block
   // cannot miss the notify (it either sees the new load or is fully
   // waiting by the time we notify).
-  { std::lock_guard<std::mutex> lock(mu_); }
+  { util::MutexLock lock(&mu_); }
   work_cv_.notify_one();
 }
 
@@ -114,10 +114,14 @@ void SessionPool::WorkerLoop(size_t me) {
       stolen = task != nullptr;
     }
     if (task == nullptr) {
-      std::unique_lock<std::mutex> lock(mu_);
+      // Explicit wait loop (not the lambda-predicate overload) so the
+      // thread-safety analysis sees the guarded `stopping_` read under
+      // mu_; see the note atop session_handle.cc.
+      util::MutexLock lock(&mu_);
       sleepers_.fetch_add(1);  // seq_cst: see WakeOneIfSleeping
-      work_cv_.wait(lock,
-                    [&] { return stopping_ || sched_.total_load() > 0; });
+      while (!stopping_ && sched_.total_load() == 0) {
+        work_cv_.wait(lock.native());
+      }
       sleepers_.fetch_sub(1);
       if (stopping_) return;
       continue;
@@ -155,7 +159,7 @@ void SessionPool::RetireTask(const std::shared_ptr<ServerTask>& task,
   {
     // Counters first, then the task-visible finished flag — so once a
     // handle's Wait() returns, stats() already reflects this session.
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     --active_;
     ++counters_.completed;
     if (result.cancelled) ++counters_.cancelled;
@@ -189,7 +193,7 @@ SessionPool::SliceResult SessionPool::RunSlice(ServerTask& task) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(task.mu);
+    util::MutexLock lock(&task.mu);
     // A cancel may have landed mid-slice; honour it rather than publish.
     if (task.cancel_requested.load(std::memory_order_acquire)) {
       produced.clear();
@@ -207,7 +211,7 @@ SessionPool::SliceResult SessionPool::RunSlice(ServerTask& task) {
 }
 
 void SessionPool::FinishTask(ServerTask& task, bool cancelled) {
-  std::lock_guard<std::mutex> lock(task.mu);
+  util::MutexLock lock(&task.mu);
   task.stats = task.session.stats();
   task.finished = true;
   task.cancelled = cancelled;
@@ -215,10 +219,10 @@ void SessionPool::FinishTask(ServerTask& task, bool cancelled) {
 }
 
 void SessionPool::Shutdown() {
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  util::MutexLock shutdown_lock(&shutdown_mu_);
   std::vector<std::shared_ptr<ServerTask>> orphans;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     stopping_ = true;
     // Stop the scheduler first (under mu_, so no Submit can interleave),
     // then drain it: a worker mid-slice either requeued before the drain
@@ -244,7 +248,7 @@ void SessionPool::Shutdown() {
 PoolStats SessionPool::stats() const {
   PoolStats snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     snapshot = counters_;
     snapshot.active = active_;
     snapshot.waiting = waiting_.size();

@@ -42,6 +42,7 @@
 #define BANKS_SERVER_SESSION_POOL_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <memory>
@@ -52,6 +53,7 @@
 #include "server/scheduler.h"
 #include "server/session_handle.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace banks {
 class BanksEngine;
@@ -187,12 +189,12 @@ class SessionPool {
                   const SliceResult& result);
 
   /// Moves waiting sessions into the run queue while capacity remains.
-  /// Caller holds mu_.
-  void AdmitLocked();
+  void AdmitLocked() BANKS_REQUIRES(mu_);
 
   /// Wakes one sleeping worker if any (the push-side half of the
-  /// lost-wakeup handshake; see WorkerLoop's idle path).
-  void WakeOneIfSleeping();
+  /// lost-wakeup handshake; see WorkerLoop's idle path). Taps mu_, so the
+  /// caller must not hold it.
+  void WakeOneIfSleeping() BANKS_EXCLUDES(mu_);
 
   const BanksEngine* engine_;
   PoolOptions options_;
@@ -200,18 +202,21 @@ class SessionPool {
   WorkStealingScheduler sched_;
   std::vector<WorkerCounters> worker_counters_;
 
-  mutable std::mutex mu_;        // admission + completion state below
+  /// Admission + completion state. Ordering: mu_ may be held while taking
+  /// a scheduler shard lock (Submit/Shutdown push and drain under mu_);
+  /// never the reverse — workers requeue without holding mu_.
+  mutable util::Mutex mu_;
   std::condition_variable work_cv_;
-  std::deque<std::shared_ptr<ServerTask>> waiting_;
-  size_t active_ = 0;
-  uint64_t next_seq_ = 0;
-  bool stopping_ = false;
-  PoolStats counters_;
+  std::deque<std::shared_ptr<ServerTask>> waiting_ BANKS_GUARDED_BY(mu_);
+  size_t active_ BANKS_GUARDED_BY(mu_) = 0;
+  uint64_t next_seq_ BANKS_GUARDED_BY(mu_) = 0;
+  bool stopping_ BANKS_GUARDED_BY(mu_) = false;
+  PoolStats counters_ BANKS_GUARDED_BY(mu_);
   /// Workers currently blocked on work_cv_. seq_cst ops pair with the
   /// scheduler's total_load so a push never misses a sleeper.
   std::atomic<size_t> sleepers_{0};
 
-  std::mutex shutdown_mu_;       // serialises Shutdown callers (join once)
+  util::Mutex shutdown_mu_;      // serialises Shutdown callers (join once)
   std::vector<std::thread> workers_;
 };
 

@@ -25,6 +25,17 @@
 namespace banks {
 
 /// One immutable epoch of the engine's derived read structures.
+///
+/// Thread-safety: the fields carry no BANKS_GUARDED_BY on purpose — a
+/// LiveState is frozen before publication and publication is the only
+/// synchronised step. What *is* guarded is the engine's pointer to the
+/// current state (BanksEngine::state_, GUARDED_BY(state_mu_)): writers
+/// swap it under the exclusive lock, readers copy it under the shared
+/// lock, and from then on every access goes through an immutable
+/// shared_ptr that needs no capability. Code must never mutate a
+/// LiveState a snapshot pointer can already reach; tools/banks_lint.py
+/// enforces the index-side half of that rule (no index mutation outside
+/// src/update/ and src/index/ build paths).
 struct LiveState {
   DataGraphSnapshot dg;
   std::shared_ptr<const InvertedIndex> index;

@@ -1,16 +1,18 @@
 // RefreezeCoordinator — folds mutations into delta overlays and rebuilds
 // the frozen snapshot when the delta grows past its threshold.
 //
-// Division of labour with BanksEngine: the engine owns the Database and
-// the locks (writers are serialized through one update mutex; the state
-// pointer swap takes the state lock exclusively, readers take it shared);
-// the coordinator owns the mutation mechanics — validating and applying a
-// write to storage, deriving the overlay changes (new node, FK edges with
-// §2.2 weights, tombstones, delta postings), publishing copy-on-write
-// overlay generations, and building a fresh fully-frozen LiveState off the
-// serving path. "Off the serving path" is literal: a rebuild runs with no
-// state lock held at all — concurrent sessions keep opening and pumping on
-// the current state; only other *writers* wait.
+// Division of labour with BanksEngine: the coordinator owns the update
+// mutex (mu()) that serializes writers, plus the mutation mechanics —
+// validating and applying a write to storage, deriving the overlay
+// changes (new node, FK edges with §2.2 weights, tombstones, delta
+// postings), publishing copy-on-write overlay generations, and building a
+// fresh fully-frozen LiveState off the serving path. The engine owns the
+// Database and the state lock (the pointer swap takes it exclusively,
+// readers take it shared). Every mutating method here REQUIRES mu(), so
+// "caller serializes writers" is a compile-time contract under Clang
+// (-Wthread-safety), not a comment. "Off the serving path" is literal: a
+// rebuild runs with no state lock held at all — concurrent sessions keep
+// opening and pumping on the current state; only other *writers* wait.
 //
 // Two rebuild paths:
 //   Rebuild()      — from scratch: re-resolve every FK/inclusion link,
@@ -38,6 +40,7 @@
 #include "update/live_state.h"
 #include "update/mutation.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace banks {
 
@@ -58,19 +61,24 @@ struct RefreezeStats {
 /// Serialized-writer mutation applier + snapshot rebuilder.
 class RefreezeCoordinator {
  public:
-  /// `db` and `options` must outlive the coordinator (the engine owns all
-  /// three). The engine calls BeginEpoch with the initial snapshot.
+  /// `db` and `options` must outlive the coordinator (the engine owns
+  /// both). The engine calls BeginEpoch with the initial snapshot.
   RefreezeCoordinator(Database* db, const BanksOptions* options);
+
+  /// The update mutex: serializes writers (Apply/ApplyBatch/refreeze).
+  /// The engine locks it around every mutation; the analysis equates the
+  /// returned pointer with mu_, so the REQUIRES contracts below bind.
+  util::Mutex* mu() const BANKS_RETURN_CAPABILITY(mu_) { return &mu_; }
 
   /// Starts a new overlay generation over `base` (engine construction and
   /// every refreeze). Clears the pending log; the link cache a preceding
   /// Rebuild/MergeRebuild stored is kept — it describes the same epoch.
-  void BeginEpoch(DataGraphSnapshot base);
+  void BeginEpoch(DataGraphSnapshot base) BANKS_REQUIRES(mu_);
 
   /// Applies one mutation to storage and publishes new overlay snapshots.
   /// Returns the affected Rid (the fresh one for inserts). On error the
   /// database and overlays are unchanged. Caller serializes writers.
-  Result<Rid> Apply(Mutation m);
+  Result<Rid> Apply(Mutation m) BANKS_REQUIRES(mu_);
 
   /// Applies a whole batch through ONE overlay clone: the working overlay
   /// is cloned once, every mutation folds into it, and one generation is
@@ -79,36 +87,40 @@ class RefreezeCoordinator {
   /// report their status in the matching result slot and leave storage and
   /// the working overlay untouched; later mutations still apply (same net
   /// state as a loop of Apply). Caller serializes writers.
-  std::vector<Result<Rid>> ApplyBatch(std::vector<Mutation> mutations);
+  std::vector<Result<Rid>> ApplyBatch(std::vector<Mutation> mutations)
+      BANKS_REQUIRES(mu_);
 
   /// True once pending mutations reached the configured auto-refreeze
   /// threshold (never true when the threshold is 0 = manual only).
-  bool ShouldRefreeze() const;
+  bool ShouldRefreeze() const BANKS_REQUIRES(mu_);
 
   /// Rebuilds every derived structure from the database into a fresh
   /// LiveState with the given epoch and no overlays. Pure read of the
   /// database: caller guarantees no concurrent writer (readers are fine).
   /// Also re-caches the link table for the next epoch's merge.
-  LiveStateSnapshot Rebuild(uint64_t epoch);
+  LiveStateSnapshot Rebuild(uint64_t epoch) BANKS_REQUIRES(mu_);
 
   /// True when every pending mutation is expressible as a link-table patch
   /// (everything except updates that touch inclusion-dependency columns,
   /// whose value-match semantics need a referred-side rescan) and a link
   /// cache exists for the current epoch.
-  bool CanMergeRefreeze() const;
+  bool CanMergeRefreeze() const BANKS_REQUIRES(mu_);
 
   /// The O(base + delta) merge path. `current` is the state the epoch
   /// started from (its immutable index objects seed the patched copies).
   /// Preconditions: CanMergeRefreeze(), and `current` belongs to this
   /// coordinator's epoch. Same caller contract as Rebuild().
-  LiveStateSnapshot MergeRebuild(uint64_t epoch, const LiveState& current);
+  LiveStateSnapshot MergeRebuild(uint64_t epoch, const LiveState& current)
+      BANKS_REQUIRES(mu_);
 
   /// Current overlay generation (null when nothing is pending).
-  const DeltaSnapshot& delta() const { return delta_; }
-  const IndexDeltaSnapshot& index_delta() const { return index_delta_; }
+  const DeltaSnapshot& delta() const BANKS_REQUIRES(mu_) { return delta_; }
+  const IndexDeltaSnapshot& index_delta() const BANKS_REQUIRES(mu_) {
+    return index_delta_;
+  }
 
-  const MutationLog& log() const { return log_; }
-  size_t pending() const { return log_.pending(); }
+  const MutationLog& log() const BANKS_REQUIRES(mu_) { return log_; }
+  size_t pending() const BANKS_REQUIRES(mu_) { return log_.pending(); }
 
  private:
   /// The private pre-publication overlay pair one Apply/ApplyBatch call
@@ -118,15 +130,18 @@ class RefreezeCoordinator {
     std::shared_ptr<InvertedIndexDelta> index;
   };
 
-  WorkingOverlays CloneOverlays() const;
-  void PublishOverlays(WorkingOverlays w);
+  WorkingOverlays CloneOverlays() const BANKS_REQUIRES(mu_);
+  void PublishOverlays(WorkingOverlays w) BANKS_REQUIRES(mu_);
 
   /// Dispatches one mutation into `w` (storage write + overlay fold + log
   /// append). On error nothing — storage, overlays, log — changed.
-  Result<Rid> ApplyOne(WorkingOverlays* w, Mutation* m);
-  Result<Rid> ApplyInsert(WorkingOverlays* w, Mutation* m);
-  Result<Rid> ApplyDelete(WorkingOverlays* w, Mutation* m);
-  Result<Rid> ApplyUpdate(WorkingOverlays* w, Mutation* m);
+  Result<Rid> ApplyOne(WorkingOverlays* w, Mutation* m) BANKS_REQUIRES(mu_);
+  Result<Rid> ApplyInsert(WorkingOverlays* w, Mutation* m)
+      BANKS_REQUIRES(mu_);
+  Result<Rid> ApplyDelete(WorkingOverlays* w, Mutation* m)
+      BANKS_REQUIRES(mu_);
+  Result<Rid> ApplyUpdate(WorkingOverlays* w, Mutation* m)
+      BANKS_REQUIRES(mu_);
 
   /// Adds the §2.2 edge pair for DB link from -> to into the working
   /// overlay (forward similarity edge + indegree-weighted backward edge).
@@ -137,17 +152,29 @@ class RefreezeCoordinator {
   /// of the per-relation indegree IN_R(v).
   size_t ApproxInDegree(const DeltaGraph& d, NodeId n) const;
 
+  /// Serializes writers. mutable so const observers (e.g. the engine's
+  /// total_mutations) can lock through the const accessor.
+  mutable util::Mutex mu_;
+
+  /// Database content follows a two-mutex protocol the analysis cannot
+  /// express ("writers hold mu_ AND the engine's state lock; readers hold
+  /// either"): writes happen under both (ApplyBatch), while Rebuild reads
+  /// it under mu_ alone — mu_ excludes every writer, so the database is
+  /// quiescent for the rebuild even though queries read it concurrently
+  /// under the engine's shared state lock. Left unannotated; TSan covers
+  /// it.
   Database* db_;
   const BanksOptions* options_;
-  DataGraphSnapshot base_;
-  DeltaSnapshot delta_;            // published generations (COW)
-  IndexDeltaSnapshot index_delta_;
-  MutationLog log_;
+  DataGraphSnapshot base_ BANKS_GUARDED_BY(mu_);
+  /// Published generations (COW).
+  DeltaSnapshot delta_ BANKS_GUARDED_BY(mu_);
+  IndexDeltaSnapshot index_delta_ BANKS_GUARDED_BY(mu_);
+  MutationLog log_ BANKS_GUARDED_BY(mu_);
 
   /// Stage-A link cache for the current epoch: what MergeRebuild patches
   /// instead of re-resolving the database. Null until the first Rebuild
   /// (or when merge aids are disabled).
-  std::shared_ptr<const LinkTable> links_;
+  std::shared_ptr<const LinkTable> links_ BANKS_GUARDED_BY(mu_);
 };
 
 }  // namespace banks

@@ -1,0 +1,192 @@
+// Compile-time race detection: Clang Thread Safety Analysis plumbing.
+//
+// The concurrency stack's correctness rests on locking and confinement
+// invariants (writer serialization in RefreezeCoordinator, the session
+// pool's shard-lock handoffs, mutex-guarded answer buffers) that used to
+// live only in comments and whatever interleavings TSan happened to hit.
+// This header turns them into compiler-checked contracts:
+//
+//   - BANKS_GUARDED_BY(mu) on a field makes every unlocked access a
+//     compile error under Clang (-Wthread-safety, a hard -Werror in CI);
+//   - BANKS_REQUIRES(mu) on a function makes callers prove they hold the
+//     lock at every call site;
+//   - util::Mutex / util::SharedMutex are drop-in std::mutex /
+//     std::shared_mutex wrappers carrying the CAPABILITY annotation the
+//     analysis needs, with scoped lockers (MutexLock, ReaderMutexLock,
+//     WriterMutexLock) annotated as scoped capabilities.
+//
+// Everything compiles to plain std::mutex operations; on non-Clang
+// compilers the macros expand to nothing, so GCC builds are unaffected.
+//
+// The negative compile test (tests/static/thread_annotations_negative.cc,
+// wired into CTest on Clang builds) proves the gate actually rejects an
+// unlocked access — so this header cannot silently rot into no-ops.
+#ifndef BANKS_UTIL_THREAD_ANNOTATIONS_H_
+#define BANKS_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+// Clang exposes the analysis through attributes; every other compiler
+// sees empty macros. (The guard also covers clang-based tooling such as
+// clang-tidy, which understands the attributes.)
+#if defined(__clang__)
+#define BANKS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BANKS_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a class to be a lockable capability ("mutex", "role", ...).
+#define BANKS_CAPABILITY(x) BANKS_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires on construction, releases on
+/// destruction.
+#define BANKS_SCOPED_CAPABILITY BANKS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read/written while holding `x` (reads additionally
+/// allow a shared hold).
+#define BANKS_GUARDED_BY(x) BANKS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is guarded by `x`.
+#define BANKS_PT_GUARDED_BY(x) BANKS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declared lock-ordering edges (deadlock detection).
+#define BANKS_ACQUIRED_BEFORE(...) \
+  BANKS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define BANKS_ACQUIRED_AFTER(...) \
+  BANKS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the capability exclusively / at least shared.
+#define BANKS_REQUIRES(...) \
+  BANKS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define BANKS_REQUIRES_SHARED(...) \
+  BANKS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the capability (not held on entry).
+#define BANKS_ACQUIRE(...) \
+  BANKS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define BANKS_ACQUIRE_SHARED(...) \
+  BANKS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define BANKS_RELEASE(...) \
+  BANKS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define BANKS_RELEASE_SHARED(...) \
+  BANKS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define BANKS_RELEASE_GENERIC(...) \
+  BANKS_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define BANKS_TRY_ACQUIRE(...) \
+  BANKS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrancy / deadlock guard).
+#define BANKS_EXCLUDES(...) BANKS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime-checked assertion that the capability is held.
+#define BANKS_ASSERT_CAPABILITY(x) \
+  BANKS_THREAD_ANNOTATION(assert_capability(x))
+
+/// Accessor returns (an alias of) the given capability, so callers can
+/// lock `obj.mu()` and the analysis equates it with the private member.
+#define BANKS_RETURN_CAPABILITY(x) BANKS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. The repo
+/// invariant linter (tools/banks_lint.py) enforces that every use carries
+/// an adjacent `rationale:` comment and that at most 3 exist repo-wide —
+/// suppression is for the genuinely inexpressible, not the inconvenient.
+#define BANKS_NO_THREAD_SAFETY_ANALYSIS \
+  BANKS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace banks::util {
+
+/// std::mutex with the CAPABILITY annotation the analysis tracks.
+class BANKS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() BANKS_ACQUIRE() { mu_.lock(); }
+  void Unlock() BANKS_RELEASE() { mu_.unlock(); }
+  bool TryLock() BANKS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for std::condition_variable interop (see
+  /// MutexLock::native()). Waiting releases and reacquires the lock
+  /// invisibly to the analysis, which is sound: the capability is held
+  /// again by the time the wait returns.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped locker over Mutex (the std::lock_guard/std::unique_lock of the
+/// annotated world). Holds a std::unique_lock internally so callers can
+/// block on a std::condition_variable through native().
+class BANKS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) BANKS_ACQUIRE(mu) : lock_(mu->native()) {}
+  ~MutexLock() BANKS_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// For `cv.wait(lock.native())` wait loops. The analysis treats the
+  /// capability as held across the wait; re-check guarded predicates in a
+  /// while loop, as condition variables require anyway.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::shared_mutex with the CAPABILITY annotation (exclusive writers,
+/// shared readers).
+class BANKS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() BANKS_ACQUIRE() { mu_.lock(); }
+  void Unlock() BANKS_RELEASE() { mu_.unlock(); }
+  void LockShared() BANKS_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() BANKS_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive locker over SharedMutex (publication side).
+class BANKS_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) BANKS_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() BANKS_RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// Scoped shared locker over SharedMutex (read side).
+class BANKS_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) BANKS_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderMutexLock() BANKS_RELEASE() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+}  // namespace banks::util
+
+#endif  // BANKS_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,35 @@
+// Negative half of the thread-safety compile-test pair: this file contains
+// a textbook race — a BANKS_GUARDED_BY field written with no lock held —
+// and therefore MUST FAIL to compile under -Wthread-safety
+// -Werror=thread-safety. CTest runs it with WILL_FAIL TRUE: if this file
+// ever compiles, the analysis has been silently disabled (macro rot,
+// dropped flags) and CI goes red. Keep it structurally identical to
+// thread_annotations_positive.cc so the only difference is the missing
+// lock.
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG (on purpose): guarded field touched without mu_. This is the line
+  // the analysis must reject.
+  void Increment() { ++value_; }
+
+  int Read() const BANKS_EXCLUDES(mu_) {
+    banks::util::MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  mutable banks::util::Mutex mu_;
+  int value_ BANKS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Read() == 0 ? 1 : 0;
+}

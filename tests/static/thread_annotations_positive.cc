@@ -1,0 +1,65 @@
+// Positive half of the thread-safety compile-test pair: identical shape to
+// thread_annotations_negative.cc, except every guarded access here holds
+// the right lock — so this file must compile clean under
+// -Wthread-safety -Werror=thread-safety. Together the pair proves the
+// analysis is live: if the macros ever degrade to no-ops under Clang (or
+// the CI flags go missing), the negative test starts "passing" to compile
+// and the WILL_FAIL CTest entry flags it.
+//
+// Build: ${CXX} -std=c++20 -fsyntax-only -Wthread-safety
+//        -Werror=thread-safety -I src tests/static/...cc  (see CMakeLists)
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() BANKS_EXCLUDES(mu_) {
+    banks::util::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int Read() const BANKS_EXCLUDES(mu_) {
+    banks::util::MutexLock lock(&mu_);
+    return value_;
+  }
+
+  void IncrementLocked() BANKS_REQUIRES(mu_) { ++value_; }
+
+  void IncrementViaContract() BANKS_EXCLUDES(mu_) {
+    banks::util::MutexLock lock(&mu_);
+    IncrementLocked();  // contract satisfied: mu_ is held
+  }
+
+ private:
+  mutable banks::util::Mutex mu_;
+  int value_ BANKS_GUARDED_BY(mu_) = 0;
+};
+
+class SharedCounter {
+ public:
+  void Publish(int v) BANKS_EXCLUDES(mu_) {
+    banks::util::WriterMutexLock lock(&mu_);
+    value_ = v;
+  }
+
+  int Snapshot() const BANKS_EXCLUDES(mu_) {
+    banks::util::ReaderMutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  mutable banks::util::SharedMutex mu_;
+  int value_ BANKS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  c.IncrementViaContract();
+  SharedCounter s;
+  s.Publish(c.Read());
+  return s.Snapshot() == 0 ? 1 : 0;
+}
