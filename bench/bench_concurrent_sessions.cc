@@ -34,12 +34,27 @@
 //      unless the pool degrades badly). The deadline-miss rate must
 //      therefore sit strictly inside (0,1) — a pinned 0.0 or 1.0 means
 //      the scenario measures a constant, not degradation.
+//   4. Query cache: the epoch-keyed query/answer cache
+//      (src/server/query_cache.h) under Zipf(s=1.0)-repeated traffic — a
+//      second engine over an identically generated dataset runs with the
+//      cache on, the cache-off engine provides reference transcripts.
+//      Warm every distinct query (misses), pump 512 Zipf-skewed pooled
+//      submissions (hits), apply an identical insert burst to both
+//      engines (answer entries invalidate; resolutions of untouched
+//      terms survive the journal), refreeze both (dead-epoch purge),
+//      re-query twice (misses, then hits). Byte-identity of cache-on vs
+//      cache-off transcripts is checked at every phase (always hard);
+//      the probe counters are deterministic, so the >= 90% hit-rate
+//      floor is hard too. Cache-on vs cache-off qps is reported and
+//      soft-gated like the speedup floors.
 //
 // --json <path> writes BENCH_concurrent_sessions-style counters for the
 // CI regression gate (deterministic counters only; timings and scheduler
-// counters are info). BENCH_SOFT_SPEEDUP=1 demotes the speedup-floor and
-// miss-rate-bounds failures to warnings (shared CI runners are noisy);
-// the byte-identity equivalence check is always hard.
+// counters are info), plus a sibling BENCH_query_cache.json carrying the
+// cache scenario's counters. BENCH_SOFT_SPEEDUP=1 demotes the
+// speedup-floor, miss-rate-bounds and cache-qps failures to warnings
+// (shared CI runners are noisy); the byte-identity equivalence checks
+// and the deterministic cache-counter floors are always hard.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +64,8 @@
 
 #include "bench_common.h"
 #include "core/banks.h"
+#include "datagen/dblp_gen.h"
+#include "server/query_cache.h"
 #include "server/session_pool.h"
 #include "util/timer.h"
 
@@ -335,6 +352,179 @@ int main(int argc, char** argv) {
     report.Info("overload/answers", double(delivered));
   }
 
+  // ---------------------------------------------------------- query cache
+  // Section 4 (see the file comment): Zipfian repetition against the
+  // epoch-keyed cache, byte-identity against the cache-off engine at every
+  // phase, invalidation via an identical insert burst, purge via refreeze.
+  BenchReport cache_report("bench_query_cache");
+  double cache_hit_rate = 0;
+  bool cache_identical = true;
+  bool cache_floors_ok = true;
+  double cache_qps_on = 0, cache_qps_off = 0;
+  uint64_t cache_purged = 0;
+  server::QueryCacheStats cache_stats;
+  {
+    DblpDataset ds_on = GenerateDblp(config);  // same config => same graph
+    BanksOptions cache_options = EvalWorkload::DefaultOptions();
+    cache_options.cache.enabled = true;
+    BanksEngine cached(std::move(ds_on.db), cache_options);
+
+    size_t divergences = 0;
+    auto note_divergence = [&](const char* phase, const std::string& query) {
+      cache_identical = false;
+      if (++divergences <= 4) {
+        std::printf("!! cache divergence: phase=%s query '%s'\n", phase,
+                    query.c_str());
+      }
+    };
+    // One serial pass over the distinct queries on both engines, comparing
+    // transcripts. Each pass costs exactly kDistinct answer probes on the
+    // cached engine; what they classify as (miss/hit/invalidation) depends
+    // on where the pass sits in the protocol.
+    auto serial_round = [&](const char* phase) {
+      for (size_t i = 0; i < kDistinct; ++i) {
+        std::string on, off;
+        auto on_session = cached.OpenSession(kQueryTexts[i]);
+        if (on_session.ok()) on = RenderAll(cached, on_session.value().Drain());
+        auto off_session = engine.OpenSession(kQueryTexts[i]);
+        if (off_session.ok()) {
+          off = RenderAll(engine, off_session.value().Drain());
+        }
+        if (on != off || on_session.ok() != off_session.ok()) {
+          note_divergence(phase, kQueryTexts[i]);
+        }
+      }
+    };
+
+    serial_round("warm");  // kDistinct cold misses fill the cache
+
+    // Zipf(s=1.0) over the distinct queries: weight 1/(rank+1), sampled
+    // with a fixed-seed LCG so the workload (and the counters) are
+    // deterministic. Skew means the head query dominates — the regime the
+    // cache exists for.
+    constexpr size_t kZipfQueries = 512;
+    std::vector<std::string> zipf;
+    zipf.reserve(kZipfQueries);
+    {
+      double weight[kDistinct];
+      double total = 0;
+      for (size_t i = 0; i < kDistinct; ++i) {
+        weight[i] = 1.0 / double(i + 1);
+        total += weight[i];
+      }
+      uint64_t lcg = 0x9e3779b97f4a7c15ull;
+      for (size_t n = 0; n < kZipfQueries; ++n) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        double u = double(lcg >> 33) / double(1ull << 31) * total;
+        size_t pick = 0;
+        while (pick + 1 < kDistinct && u >= weight[pick]) {
+          u -= weight[pick];
+          ++pick;
+        }
+        zipf.push_back(kQueryTexts[pick]);
+      }
+    }
+    RunResult zipf_on = RunPool(cached, zipf, /*workers=*/4);
+    RunResult zipf_off = RunPool(engine, zipf, /*workers=*/4);
+    cache_qps_on = double(zipf.size()) / zipf_on.wall_s;
+    cache_qps_off = double(zipf.size()) / zipf_off.wall_s;
+    for (size_t i = 0; i < zipf.size(); ++i) {
+      if (zipf_on.rendered[i] != zipf_off.rendered[i]) {
+        note_divergence("zipf", zipf[i]);
+      }
+    }
+
+    // Identical insert burst on both engines: the pending bump invalidates
+    // every answer entry; the burst's tokens overlap some query terms
+    // (transaction/soumen/sunita) but not others (author/mohan/seltzer),
+    // so the journal keeps the untouched resolutions alive.
+    auto burst = [&](BanksEngine& target) {
+      std::vector<Mutation> batch;
+      batch.push_back(Mutation::Insert(
+          kPaperTable, Tuple({Value(std::string("P_cache0")),
+                              Value(std::string("caching transaction"))})));
+      batch.push_back(Mutation::Insert(
+          kPaperTable, Tuple({Value(std::string("P_cache1")),
+                              Value(std::string("soumen caching results"))})));
+      batch.push_back(Mutation::Insert(
+          kPaperTable, Tuple({Value(std::string("P_cache2")),
+                              Value(std::string("sunita caching results"))})));
+      for (auto& applied : target.ApplyBatch(std::move(batch))) {
+        if (!applied.ok()) cache_floors_ok = false;
+      }
+    };
+    burst(cached);
+    burst(engine);
+    serial_round("after-burst");  // kDistinct answer invalidations
+
+    auto refrozen_on = cached.Refreeze();
+    auto refrozen_off = engine.Refreeze();
+    if (!refrozen_on.ok() || !refrozen_off.ok()) {
+      cache_floors_ok = false;
+    } else {
+      cache_purged = refrozen_on.value().cache_entries_purged;
+    }
+    serial_round("after-refreeze");  // kDistinct misses (dead epoch purged)
+    serial_round("steady");          // kDistinct hits again
+
+    cache_stats = cached.query_cache_stats();
+  }
+
+  // Every answer probe classifies as exactly one of hit/miss/invalidation;
+  // resolution invalidations share the invalidation counter, which only
+  // makes this denominator (and the floor) conservative.
+  const double classified = double(cache_stats.hits + cache_stats.misses +
+                                   cache_stats.invalidations);
+  cache_hit_rate = classified == 0 ? 0 : double(cache_stats.hits) / classified;
+  std::printf("\nquery cache: Zipf(s=1.0) x %d pooled + 4 serial rounds over "
+              "%zu distinct queries\n  hits %llu, misses %llu, invalidations "
+              "%llu, hit rate %.1f%% (floor 90%%)\n  resolutions: %llu reused "
+              "/ %llu resolved; refreeze purged %llu entries\n  qps cache-on "
+              "%.1f vs cache-off %.1f (%.2fx)\n",
+              512, kDistinct,
+              static_cast<unsigned long long>(cache_stats.hits),
+              static_cast<unsigned long long>(cache_stats.misses),
+              static_cast<unsigned long long>(cache_stats.invalidations),
+              cache_hit_rate * 100,
+              static_cast<unsigned long long>(cache_stats.resolution_hits),
+              static_cast<unsigned long long>(cache_stats.resolution_misses),
+              static_cast<unsigned long long>(cache_purged), cache_qps_on,
+              cache_qps_off, Ratio(cache_qps_on, cache_qps_off));
+  // Deterministic floors (hard): the protocol constructs >= 90% hits, at
+  // least kDistinct invalidations, resolution reuse across the burst, and
+  // a non-empty refreeze purge. A miss here is a cache behaviour change,
+  // not machine noise.
+  if (cache_hit_rate < 0.9) {
+    cache_floors_ok = false;
+    std::printf("!! cache hit rate %.1f%% below the 90%% floor\n",
+                cache_hit_rate * 100);
+  }
+  if (cache_stats.invalidations < kDistinct || cache_stats.resolution_hits == 0 ||
+      cache_purged == 0) {
+    cache_floors_ok = false;
+    std::printf("!! cache lifecycle counters missed their floors\n");
+  }
+  bool cache_qps_ok = cache_qps_on > cache_qps_off;
+  if (!cache_qps_ok) {
+    std::printf("!! cache-on qps did not beat cache-off qps\n");
+  }
+  cache_report.Counter("cache/identical", cache_identical ? 1.0 : 0.0);
+  cache_report.Counter("cache/hits", double(cache_stats.hits));
+  cache_report.Counter("cache/misses", double(cache_stats.misses));
+  cache_report.Counter("cache/invalidations",
+                       double(cache_stats.invalidations));
+  cache_report.Counter("cache/resolution_hits",
+                       double(cache_stats.resolution_hits));
+  cache_report.Counter("cache/resolution_misses",
+                       double(cache_stats.resolution_misses));
+  cache_report.Counter("cache/purged", double(cache_purged));
+  cache_report.Counter("cache/hit_rate_pct", cache_hit_rate * 100);
+  cache_report.Info("cache/qps_on", cache_qps_on);
+  cache_report.Info("cache/qps_off", cache_qps_off);
+  cache_report.Info("cache/speedup", Ratio(cache_qps_on, cache_qps_off));
+  cache_report.Info("cache/insertions", double(cache_stats.insertions));
+  cache_report.Info("cache/evictions", double(cache_stats.evictions));
+
   PrintRule();
   std::printf("results byte-identical to serial on every run: %s\n",
               identical ? "yes" : "NO");
@@ -344,12 +534,26 @@ int main(int argc, char** argv) {
   const bool miss_rate_in_bounds = miss_rate > 0.0 && miss_rate < 1.0;
   std::printf("overload miss rate %.2f strictly inside (0,1): %s\n",
               miss_rate, miss_rate_in_bounds ? "yes" : "NO");
-  if (!json_path.empty() && !report.WriteJson(json_path)) return 1;
-  bool gates_ok = floors_ok && miss_rate_in_bounds;
+  std::printf("cache-on transcripts byte-identical to cache-off: %s; "
+              "hit rate %.1f%%, deterministic floors: %s\n",
+              cache_identical ? "yes" : "NO", cache_hit_rate * 100,
+              cache_floors_ok ? "met" : "MISSED");
+  if (!json_path.empty()) {
+    if (!report.WriteJson(json_path)) return 1;
+    // The cache scenario reports next to the pool report so the CI smoke
+    // loop and the baseline refresher pick both up from one binary run.
+    const size_t slash = json_path.find_last_of('/');
+    const std::string cache_json =
+        (slash == std::string::npos ? std::string()
+                                    : json_path.substr(0, slash + 1)) +
+        "BENCH_query_cache.json";
+    if (!cache_report.WriteJson(cache_json)) return 1;
+  }
+  bool gates_ok = floors_ok && miss_rate_in_bounds && cache_qps_ok;
   if (!gates_ok && soft) {
-    std::printf("WARNING: speedup floor / miss-rate bounds missed (soft "
-                "mode; not failing)\n");
+    std::printf("WARNING: speedup floor / miss-rate bounds / cache qps "
+                "missed (soft mode; not failing)\n");
     gates_ok = true;
   }
-  return (identical && gates_ok) ? 0 : 1;
+  return (identical && cache_identical && cache_floors_ok && gates_ok) ? 0 : 1;
 }

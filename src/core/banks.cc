@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "server/query_cache.h"
 #include "server/session_pool.h"
 #include "update/state_compare.h"
 #include "util/timer.h"
@@ -25,8 +26,15 @@ BanksEngine::BanksEngine(Database db, BanksOptions options)
   // mutations publish new states instead of touching this one. No thread
   // can contend yet, but the locks are taken anyway: they cost nothing
   // and keep the constructor inside the annotated locking discipline.
+  if (options_.cache.enabled) {
+    cache_ = std::make_unique<server::QueryCache>(options_.cache.max_bytes,
+                                                  options_.cache.shards);
+  }
   util::MutexLock serialize(updater_.mu());
   util::WriterMutexLock lock(&state_mu_);
+  // Attach the cache before the first epoch begins so the coordinator's
+  // invalidation hooks cover every mutation the engine ever applies.
+  updater_.AttachCache(cache_.get());
   state_ = updater_.Rebuild(/*epoch=*/0);
   updater_.BeginEpoch(state_->dg);
 }
@@ -168,8 +176,15 @@ RefreezeStats BanksEngine::RefreezeLocked() {
     util::WriterMutexLock lock(&state_mu_);
     state_ = std::move(fresh);
   }
-  updater_.BeginEpoch(state()->dg);
+  // BeginEpoch also purges dead-epoch query-cache entries: sessions opened
+  // from here on see the new epoch, so entries of the old one can never
+  // validate again.
+  stats.cache_entries_purged = updater_.BeginEpoch(state()->dg);
   return stats;
+}
+
+server::QueryCacheStats BanksEngine::query_cache_stats() const {
+  return cache_ == nullptr ? server::QueryCacheStats{} : cache_->stats();
 }
 
 uint64_t BanksEngine::epoch() const { return state()->epoch; }
@@ -258,41 +273,81 @@ Result<QuerySession> BanksEngine::OpenSessionImpl(
   // state and the rows it reads are a consistent pair even while writers
   // publish mutations. Everything after the lock drops touches only the
   // immutable pieces captured in `st`.
+  // Answer-cache eligibility: auth results are never cached (§7 answers
+  // depend on the policy, and the oversampling below changes the run), and
+  // budgeted runs may truncate, so neither probes nor fills the cache.
+  const bool cacheable =
+      cache_ != nullptr && policy == nullptr && budget.Unlimited();
+  std::string answer_key;
+  bool cache_hit = false;
+
   LiveStateSnapshot st;
   {
     util::ReaderMutexLock lock(&state_mu_);
     st = state_;
 
-    KeywordResolver resolver(db_, *st->dg, *st->index, *st->metadata,
-                             st->numeric.get(), st->delta.get(),
-                             st->index_delta.get());
-    auto matches = resolver.ResolveAllScored(init.parsed, options_.match);
-
-    // Reported matches: under authorization, keyword matches in hidden
-    // tables are invisible to the user (the search itself still traverses
-    // them; answers touching hidden data are filtered by the session).
-    std::unordered_set<uint32_t> hidden_ids;
-    if (policy != nullptr) hidden_ids = policy->HiddenTableIds(db_);
-    init.keyword_matches = matches;
-    if (!hidden_ids.empty()) {
-      for (auto& set : init.keyword_matches) {
-        std::vector<KeywordMatch> kept;
-        for (const auto& m : set) {
-          Rid rid = ResolveRidForNode(*st->dg, st->delta.get(), m.node);
-          if (!hidden_ids.count(rid.table_id)) kept.push_back(m);
-        }
-        set = std::move(kept);
+    if (cacheable) {
+      answer_key =
+          server::QueryCache::AnswerKey(init.parsed, search, options_.match);
+      if (auto hit = cache_->FindAnswers(answer_key, st->epoch,
+                                         st->pending_mutations)) {
+        // Full hit: replay the cached run. The answers were stored at
+        // delivery (ranks re-assigned on replay), and the entry was
+        // validated against this exact (epoch, pending), so the replay is
+        // byte-identical to a live run on this state.
+        init.keyword_matches = hit->keyword_matches;
+        init.dropped_terms = hit->dropped_terms;
+        init.prefilled = hit->answers;
+        init.prefilled_stats = hit->stats;
+        init.prefilled_mode = true;
+        cache_hit = true;
       }
     }
-    init.hidden_table_ids = std::move(hidden_ids);
-
-    // Partial matching: drop empty terms rather than failing the query.
-    for (size_t i = 0; i < matches.size(); ++i) {
-      if (matches[i].empty()) {
-        init.dropped_terms.push_back(i);
+    if (!cache_hit) {
+      KeywordResolver resolver(db_, *st->dg, *st->index, *st->metadata,
+                               st->numeric.get(), st->delta.get(),
+                               st->index_delta.get());
+      std::vector<std::vector<KeywordMatch>> matches;
+      if (cache_ != nullptr) {
+        // Read-through resolution: a partial-overlap hit (same keyword in
+        // a different query, or a changed non-resolution option) skips the
+        // index lookups; the journal guarantees exactness.
+        matches.reserve(init.parsed.terms.size());
+        for (const auto& term : init.parsed.terms) {
+          matches.push_back(cache_->ResolveThrough(resolver, term,
+                                                   options_.match, st->epoch,
+                                                   st->pending_mutations));
+        }
       } else {
-        init.active_sets.push_back(std::move(matches[i]));
-        init.active_terms.push_back(i);
+        matches = resolver.ResolveAllScored(init.parsed, options_.match);
+      }
+
+      // Reported matches: under authorization, keyword matches in hidden
+      // tables are invisible to the user (the search itself still traverses
+      // them; answers touching hidden data are filtered by the session).
+      std::unordered_set<uint32_t> hidden_ids;
+      if (policy != nullptr) hidden_ids = policy->HiddenTableIds(db_);
+      init.keyword_matches = matches;
+      if (!hidden_ids.empty()) {
+        for (auto& set : init.keyword_matches) {
+          std::vector<KeywordMatch> kept;
+          for (const auto& m : set) {
+            Rid rid = ResolveRidForNode(*st->dg, st->delta.get(), m.node);
+            if (!hidden_ids.count(rid.table_id)) kept.push_back(m);
+          }
+          set = std::move(kept);
+        }
+      }
+      init.hidden_table_ids = std::move(hidden_ids);
+
+      // Partial matching: drop empty terms rather than failing the query.
+      for (size_t i = 0; i < matches.size(); ++i) {
+        if (matches[i].empty()) {
+          init.dropped_terms.push_back(i);
+        } else {
+          init.active_sets.push_back(std::move(matches[i]));
+          init.active_terms.push_back(i);
+        }
       }
     }
   }
@@ -302,6 +357,12 @@ Result<QuerySession> BanksEngine::OpenSessionImpl(
     nodes.reserve(set.size());
     for (const auto& m : set) nodes.push_back(m.node);
     init.keyword_nodes.push_back(std::move(nodes));
+  }
+  if (cache_hit) {
+    // No searcher: the session replays the cached answers verbatim.
+    init.dg = st->dg;
+    init.delta = st->delta;
+    return QuerySession(std::move(init));
   }
 
   const bool viable =
@@ -330,6 +391,14 @@ Result<QuerySession> BanksEngine::OpenSessionImpl(
     search.max_answers *= 4;
   } else {
     init.hidden_table_ids.clear();
+    if (cacheable) {
+      // Viable, policy-free, unlimited: admit the run's answers if it
+      // finishes naturally (the session drops the sink on Cancel or any
+      // budget truncation attached mid-stream).
+      init.cache_sink = cache_->MakeAnswerFill(
+          std::move(answer_key), st->epoch, st->pending_mutations,
+          init.keyword_matches, init.dropped_terms);
+    }
   }
   // Strategy selection (§3 backward by default; forward / bidirectional
   // via SearchOptions::strategy).

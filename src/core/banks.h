@@ -60,6 +60,8 @@ namespace server {
 class SessionPool;
 class SessionHandle;
 struct PoolOptions;
+class QueryCache;        // server/query_cache.h
+struct QueryCacheStats;  // aggregate counters; returned by value below
 }  // namespace server
 
 /// Live-ingestion knobs (src/update/).
@@ -86,12 +88,25 @@ struct UpdateOptions {
   bool verify_merge_refreeze = false;
 };
 
+/// Epoch-keyed query/answer cache knobs (src/server/query_cache.h).
+struct QueryCacheOptions {
+  /// Off by default: serial single-shot workloads gain nothing from the
+  /// cache, and benches comparing serial vs. pooled must not let the
+  /// serial pass warm answers for the pooled one.
+  bool enabled = false;
+  /// Total payload budget across all shards; LRU-by-bytes eviction.
+  size_t max_bytes = 64ull << 20;
+  /// Mutex shards (rounded up to a power of two).
+  size_t shards = 8;
+};
+
 /// Engine-wide configuration.
 struct BanksOptions {
   GraphBuildOptions graph;   ///< §2.2 graph model knobs
   SearchOptions search;      ///< default search settings (§2.3, §3)
   MatchOptions match;        ///< keyword matching knobs
   UpdateOptions update;      ///< live-ingestion knobs (refreeze trigger)
+  QueryCacheOptions cache;   ///< epoch-keyed query/answer cache
 
   /// Tables excluded as information nodes, by name (resolved to ids at
   /// engine construction; merged into search.excluded_root_tables).
@@ -259,6 +274,16 @@ class BanksEngine {
   const NumericIndex& numeric_index() const { return *state()->numeric; }
   const BanksOptions& options() const { return options_; }
 
+  /// Aggregate counters of the epoch-keyed query cache (all zero when the
+  /// cache is disabled). Thread-safe; defined in banks.cc where
+  /// server::QueryCacheStats is complete.
+  server::QueryCacheStats query_cache_stats() const;
+
+  /// The engine's query cache (null when QueryCacheOptions::enabled is
+  /// false). Exposed for tests and the session pool's stats sampling; the
+  /// cache's own methods are thread-safe.
+  server::QueryCache* query_cache() const { return cache_.get(); }
+
  private:
   /// The one query code path: every Search / OpenSession overload lands
   /// here (`policy` null = no authorization).
@@ -273,6 +298,13 @@ class BanksEngine {
 
   Database db_;
   BanksOptions options_;
+
+  // Epoch-keyed query/answer cache (null = disabled). Created before the
+  // coordinator's first BeginEpoch and attached to it, so every mutation
+  // and refreeze journals invalidations through the serialized writer
+  // path. Internally synchronized; read-side probes run under the shared
+  // state lock only to pin the (epoch, pending) pair they validate with.
+  std::unique_ptr<server::QueryCache> cache_;
 
   // Swappable read state (update/live_state.h). Readers load the pointer
   // under the shared lock; writers publish a new state under the

@@ -55,6 +55,21 @@ struct MatchOptions {
   ApproxMatchOptions approx;
 };
 
+/// Why a term resolved to its node set — the inputs a cached resolution
+/// depends on, used by the query cache's mutation journal to decide
+/// whether a stored resolution is still exact after mid-epoch deltas:
+///   - `tokens`: the expanded index tokens looked up (approx expansion
+///     only sees the base vocabulary, so this list is epoch-static);
+///   - `tables`: ids of metadata-matched tables (every live row of those
+///     tables is a match, so any row change there perturbs the set);
+///   - `numeric`: the term read live column values (numeric terms); such
+///     resolutions are never reusable across pending deltas.
+struct ResolutionProvenance {
+  std::vector<std::string> tokens;
+  std::vector<uint32_t> tables;
+  bool numeric = false;
+};
+
 /// A keyword node with its match relevance in (0, 1]. Exact matches score
 /// 1; fuzzy-expanded and numeric-approx matches score less, which the
 /// scorer folds into answer relevance (§2.3 "extending the model to
@@ -92,8 +107,11 @@ class KeywordResolver {
 
   /// Scored matches for one term (sorted by node, deduplicated keeping the
   /// best relevance per node).
-  std::vector<KeywordMatch> ResolveScored(const QueryTerm& term,
-                                          const MatchOptions& options) const;
+  /// `provenance`, when non-null, receives the inputs the resolution
+  /// depends on (see ResolutionProvenance) for cache revalidation.
+  std::vector<KeywordMatch> ResolveScored(
+      const QueryTerm& term, const MatchOptions& options,
+      ResolutionProvenance* provenance = nullptr) const;
 
   /// Nodes relevant to one term (sorted, deduplicated; drops relevances).
   std::vector<NodeId> Resolve(const QueryTerm& term,

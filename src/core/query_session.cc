@@ -15,7 +15,11 @@ QuerySession::QuerySession(QuerySessionInit init)
       delta_(std::move(init.delta)),
       policy_(std::move(init.policy)),
       hidden_table_ids_(std::move(init.hidden_table_ids)),
-      deliver_cap_(init.deliver_cap) {
+      deliver_cap_(init.deliver_cap),
+      cache_sink_(std::move(init.cache_sink)),
+      prefilled_(std::move(init.prefilled)),
+      prefilled_stats_(init.prefilled_stats),
+      prefilled_mode_(init.prefilled_mode) {
   if (searcher_ != nullptr) {
     searcher_->set_budget(init.budget);
     searcher_->BeginScored(init.active_sets);
@@ -50,12 +54,41 @@ void QuerySession::RemapDroppedTerms(ConnectionTree* tree) const {
 // lookahead slot and then discarded by Cancel() is never counted.
 std::optional<ScoredAnswer> QuerySession::PullFiltered() {
   if (delivered_ >= deliver_cap_) return std::nullopt;
+  if (prefilled_mode_) {
+    // Cache-hit replay: the answers were stored post-filter/post-remap by
+    // an identical run, so re-filtering/re-remapping would corrupt them.
+    if (prefilled_pos_ >= prefilled_.size()) return std::nullopt;
+    return std::move(prefilled_[prefilled_pos_++]);
+  }
   while (auto answer = stream_.Next()) {
     if (!Visible(answer->tree)) continue;  // auth: skip hidden answers
     RemapDroppedTerms(&answer->tree);
     return answer;
   }
+  MaybePublishFill();  // natural exhaustion: the run completed
   return std::nullopt;
+}
+
+// Copies each delivered answer (rank already assigned) into the pending
+// cache fill. No-op without a sink.
+void QuerySession::RecordDelivery(const ScoredAnswer& answer) {
+  if (cache_sink_ != nullptr) fill_.push_back(answer);
+}
+
+// Admits the run to the cache iff it finished naturally: not cancelled,
+// not truncated by a budget (a deadline attached mid-stream via
+// set_budget can truncate even an open-unlimited session). At most once:
+// the sink is consumed either way.
+void QuerySession::MaybePublishFill() {
+  if (cache_sink_ == nullptr) return;
+  std::shared_ptr<AnswerCacheSink> sink = std::move(cache_sink_);
+  cache_sink_.reset();
+  if (stream_.cancelled() || stats().truncated()) {
+    fill_.clear();
+    return;
+  }
+  sink->Publish(std::move(fill_), stats());
+  fill_.clear();
 }
 
 std::optional<ScoredAnswer> QuerySession::Next() {
@@ -66,7 +99,10 @@ std::optional<ScoredAnswer> QuerySession::Next() {
   } else {
     answer = PullFiltered();
   }
-  if (answer.has_value()) answer->rank = delivered_++;
+  if (answer.has_value()) {
+    answer->rank = delivered_++;
+    RecordDelivery(*answer);
+  }
   return answer;
 }
 
@@ -84,11 +120,22 @@ PumpOutcome QuerySession::PumpSlice(size_t max_steps,
     *out = std::move(lookahead_);
     lookahead_.reset();
     (*out)->rank = delivered_++;
+    RecordDelivery(**out);
     return PumpOutcome::kAnswerReady;
   }
   if (delivered_ >= deliver_cap_) return PumpOutcome::kExhausted;
+  if (prefilled_mode_) {
+    std::optional<ScoredAnswer> answer = PullFiltered();
+    if (!answer.has_value()) return PumpOutcome::kExhausted;
+    *out = std::move(answer);
+    (*out)->rank = delivered_++;
+    return PumpOutcome::kAnswerReady;
+  }
   PumpOutcome outcome = stream_.TryNext(max_steps, out);
-  if (outcome != PumpOutcome::kAnswerReady) return outcome;
+  if (outcome != PumpOutcome::kAnswerReady) {
+    if (outcome == PumpOutcome::kExhausted) MaybePublishFill();
+    return outcome;
+  }
   if (!Visible((*out)->tree)) {
     // One hidden answer consumed (part of) the slice; yield so a
     // cooperative scheduler re-evaluates before more work happens here.
@@ -97,6 +144,7 @@ PumpOutcome QuerySession::PumpSlice(size_t max_steps,
   }
   RemapDroppedTerms(&(*out)->tree);
   (*out)->rank = delivered_++;
+  RecordDelivery(**out);
   return PumpOutcome::kAnswerReady;
 }
 
@@ -104,8 +152,20 @@ PumpOutcome QuerySession::PumpMany(size_t max_steps,
                                    std::vector<ScoredAnswer>* out) {
   if (lookahead_.has_value()) {  // HasNext() may have buffered one
     lookahead_->rank = delivered_++;
+    RecordDelivery(*lookahead_);
     out->push_back(std::move(*lookahead_));
     lookahead_.reset();
+  }
+  if (prefilled_mode_) {
+    // Each replayed answer counts one slice unit so a slice terminates.
+    for (size_t used = 0; used < max_steps; ++used) {
+      if (delivered_ >= deliver_cap_) return PumpOutcome::kExhausted;
+      std::optional<ScoredAnswer> one = PullFiltered();
+      if (!one.has_value()) return PumpOutcome::kExhausted;
+      one->rank = delivered_++;
+      out->push_back(std::move(*one));
+    }
+    return PumpOutcome::kYielded;
   }
   size_t used = 0;
   for (;;) {
@@ -122,9 +182,11 @@ PumpOutcome QuerySession::PumpMany(size_t max_steps,
       if (Visible(one->tree)) {
         RemapDroppedTerms(&one->tree);
         one->rank = delivered_++;
+        RecordDelivery(*one);
         out->push_back(std::move(*one));
       }
     } else if (outcome == PumpOutcome::kExhausted) {
+      MaybePublishFill();
       return PumpOutcome::kExhausted;
     }
     if (used >= max_steps) return PumpOutcome::kYielded;
@@ -161,6 +223,8 @@ QueryResult QuerySession::DrainToResult() {
 
 void QuerySession::Cancel() {
   lookahead_.reset();
+  cache_sink_.reset();  // an abandoned run is never admitted to the cache
+  fill_.clear();
   stream_.Cancel();
 }
 

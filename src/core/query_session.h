@@ -45,6 +45,17 @@ struct QueryResult {
   SearchStats stats;
 };
 
+/// Receives the complete answer list of a run that finished naturally —
+/// uncancelled, untruncated, every answer delivered. The session calls
+/// Publish() at most once, from the thread driving it at exhaustion time;
+/// implementations (src/server/query_cache.cc) synchronize internally.
+class AnswerCacheSink {
+ public:
+  virtual ~AnswerCacheSink() = default;
+  virtual void Publish(std::vector<ScoredAnswer> answers,
+                       const SearchStats& stats) = 0;
+};
+
 /// Everything a session needs, assembled by BanksEngine::OpenSession.
 /// Callers never build one of these by hand.
 struct QuerySessionInit {
@@ -73,6 +84,16 @@ struct QuerySessionInit {
   /// max_answers is larger than this, to absorb filtered answers).
   size_t deliver_cap = SIZE_MAX;
   Budget budget;
+
+  /// Query-cache integration (both null/empty for uncached sessions).
+  /// `cache_sink` admits this run's answers on natural exhaustion;
+  /// `prefilled` replays a cached run instead of searching: the answers
+  /// are stored post-filter/post-remap, so the session serves them
+  /// verbatim (prefilled sessions are only ever created policy-free).
+  std::shared_ptr<AnswerCacheSink> cache_sink;
+  std::vector<ScoredAnswer> prefilled;
+  SearchStats prefilled_stats;
+  bool prefilled_mode = false;
 };
 
 /// One open query: resolved keywords + the live answer stream.
@@ -138,8 +159,11 @@ class QuerySession {
   /// The budget currently governing the run (the scheduler's EDF key).
   const Budget& budget() const;
 
-  /// Live counters of the underlying run (incremental mid-stream).
-  const SearchStats& stats() const { return stream_.stats(); }
+  /// Live counters of the underlying run (incremental mid-stream). A
+  /// prefilled (cache-hit) session reports the cached run's final stats.
+  const SearchStats& stats() const {
+    return prefilled_mode_ ? prefilled_stats_ : stream_.stats();
+  }
 
   const ParsedQuery& parsed() const { return parsed_; }
   const std::vector<std::vector<KeywordMatch>>& keyword_matches() const {
@@ -169,6 +193,8 @@ class QuerySession {
   bool Visible(const ConnectionTree& tree) const;
   void RemapDroppedTerms(ConnectionTree* tree) const;
   std::optional<ScoredAnswer> PullFiltered();
+  void RecordDelivery(const ScoredAnswer& answer);
+  void MaybePublishFill();
 
   std::unique_ptr<ExpansionSearchBase> searcher_;
   std::optional<ScoredAnswer> lookahead_;  // filled by HasNext()
@@ -184,6 +210,16 @@ class QuerySession {
   std::unordered_set<uint32_t> hidden_table_ids_;
   size_t deliver_cap_ = SIZE_MAX;
   size_t delivered_ = 0;
+
+  // Query-cache state (thread-confined like everything above). The sink
+  // is dropped on Cancel() and on any truncated finish, so only complete
+  // natural runs are ever admitted to the cache.
+  std::shared_ptr<AnswerCacheSink> cache_sink_;
+  std::vector<ScoredAnswer> fill_;       // delivered answers, post-remap
+  std::vector<ScoredAnswer> prefilled_;  // cache-hit replay source
+  size_t prefilled_pos_ = 0;
+  SearchStats prefilled_stats_;
+  bool prefilled_mode_ = false;
 };
 
 }  // namespace banks

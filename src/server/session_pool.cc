@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/banks.h"
+#include "server/query_cache.h"
 
 namespace banks::server {
 
@@ -267,6 +268,11 @@ PoolStats SessionPool::stats() const {
   // lock; never nest the two).
   snapshot.engine_epoch = engine_->epoch();
   snapshot.pending_mutations = engine_->pending_mutations();
+  const QueryCacheStats cache = engine_->query_cache_stats();
+  snapshot.cache_hits = cache.hits;
+  snapshot.cache_misses = cache.misses;
+  snapshot.cache_invalidations = cache.invalidations;
+  snapshot.cache_resolution_hits = cache.resolution_hits;
   return snapshot;
 }
 

@@ -117,6 +117,13 @@ struct PoolStats {
   // they finish on the snapshot they opened with.
   uint64_t engine_epoch = 0;       ///< current refreeze generation
   uint64_t pending_mutations = 0;  ///< deltas awaiting the next refreeze
+
+  // Query-cache gauges (src/server/query_cache.h), sampled from the engine
+  // at stats() time; all zero when the cache is disabled.
+  uint64_t cache_hits = 0;             ///< answer-entry hits (prefilled)
+  uint64_t cache_misses = 0;           ///< answer probes with no entry
+  uint64_t cache_invalidations = 0;    ///< stale entries dropped on probe
+  uint64_t cache_resolution_hits = 0;  ///< keyword-resolution reuse
 };
 
 /// Fixed set of worker threads multiplexing concurrent QuerySessions.

@@ -46,6 +46,10 @@ namespace banks {
 
 struct BanksOptions;  // core/banks.h; carries GraphBuildOptions + UpdateOptions
 
+namespace server {
+class QueryCache;  // server/query_cache.h; invalidation hooks below
+}  // namespace server
+
 /// Outcome of one snapshot rebuild.
 struct RefreezeStats {
   uint64_t epoch = 0;            ///< epoch of the freshly published state
@@ -56,6 +60,7 @@ struct RefreezeStats {
   bool merged = false;           ///< snapshot came from the merge path
   bool verified = false;         ///< the equivalence oracle ran
   bool verify_mismatch = false;  ///< oracle disagreed; full rebuild published
+  size_t cache_entries_purged = 0;  ///< query-cache entries of dead epochs
 };
 
 /// Serialized-writer mutation applier + snapshot rebuilder.
@@ -70,10 +75,16 @@ class RefreezeCoordinator {
   /// returned pointer with mu_, so the REQUIRES contracts below bind.
   util::Mutex* mu() const BANKS_RETURN_CAPABILITY(mu_) { return &mu_; }
 
+  /// Attaches the engine's query cache (null = none) so mutation/refreeze
+  /// invalidation hooks fire from the serialized writer path. Called once
+  /// at engine construction, before the first Rebuild/BeginEpoch.
+  void AttachCache(server::QueryCache* cache) BANKS_REQUIRES(mu_);
+
   /// Starts a new overlay generation over `base` (engine construction and
   /// every refreeze). Clears the pending log; the link cache a preceding
   /// Rebuild/MergeRebuild stored is kept — it describes the same epoch.
-  void BeginEpoch(DataGraphSnapshot base) BANKS_REQUIRES(mu_);
+  /// Purges dead-epoch query-cache entries and returns how many.
+  size_t BeginEpoch(DataGraphSnapshot base) BANKS_REQUIRES(mu_);
 
   /// Applies one mutation to storage and publishes new overlay snapshots.
   /// Returns the affected Rid (the fresh one for inserts). On error the
@@ -133,6 +144,13 @@ class RefreezeCoordinator {
   WorkingOverlays CloneOverlays() const BANKS_REQUIRES(mu_);
   void PublishOverlays(WorkingOverlays w) BANKS_REQUIRES(mu_);
 
+  /// Journals the tokens/tables touched by the last `applied` log entries
+  /// into the query cache. Runs BEFORE the engine publishes the new
+  /// LiveState (we're still inside the Apply/ApplyBatch critical section),
+  /// so a reader can never validate a stale entry against a journal that
+  /// has not seen its state yet — journal-ahead is conservatively sound.
+  void NotifyCacheApplied(size_t applied) BANKS_REQUIRES(mu_);
+
   /// Dispatches one mutation into `w` (storage write + overlay fold + log
   /// append). On error nothing — storage, overlays, log — changed.
   Result<Rid> ApplyOne(WorkingOverlays* w, Mutation* m) BANKS_REQUIRES(mu_);
@@ -175,6 +193,11 @@ class RefreezeCoordinator {
   /// instead of re-resolving the database. Null until the first Rebuild
   /// (or when merge aids are disabled).
   std::shared_ptr<const LinkTable> links_ BANKS_GUARDED_BY(mu_);
+
+  /// The engine's query cache (null = caching disabled) and the epoch the
+  /// last Rebuild/MergeRebuild produced, used to key invalidation hooks.
+  server::QueryCache* cache_ BANKS_GUARDED_BY(mu_) = nullptr;
+  uint64_t epoch_ BANKS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace banks

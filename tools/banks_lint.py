@@ -18,6 +18,18 @@ type system cannot see:
       only be called from src/index/ (construction) and src/update/ (the
       refreeze paths, which mutate private pre-publication copies).
 
+  cache-mutation-confinement
+      The epoch-keyed query cache (src/server/query_cache.h) is only
+      sound because every write to it happens on the engine's serving and
+      refreeze paths, which hold the epoch discipline: src/server/ stores
+      and probes, src/update/ journals mutations and purges dead epochs.
+      Everything else (the rest of src/, benches, examples) must treat
+      the cache as read-only telemetry — a stray StoreAnswers() or
+      OnRefreeze() from an unsynchronized path corrupts the exact
+      (epoch, pending) keying that makes hits byte-identical to misses.
+      Tests are exempt: they drive the mutator surface directly to prove
+      the invalidation contract.
+
   no-raw-new-delete
       src/ owns memory through containers and smart pointers; a raw
       `new`/`delete` expression is either a leak-by-design or a double-
@@ -58,6 +70,12 @@ INDEX_MUTATORS = ("Build", "AddText", "AddTuple", "PatchPostings",
 INDEX_MUTATOR_CALL = re.compile(
     r"(?:\.|->)(" + "|".join(INDEX_MUTATORS) + r")\s*\(")
 INDEX_MUTATION_ALLOWED = ("src/index/", "src/update/")
+
+CACHE_MUTATORS = ("StoreAnswers", "StoreResolution", "OnMutationsApplied",
+                  "OnRefreeze")
+CACHE_MUTATOR_CALL = re.compile(
+    r"(?:\.|->)(" + "|".join(CACHE_MUTATORS) + r")\s*\(")
+CACHE_MUTATION_ALLOWED = ("src/server/", "src/update/")
 
 RAW_NEW = re.compile(r"\bnew\b\s*(?:\(|[A-Za-z_:<])")
 RAW_DELETE = re.compile(r"\bdelete\b(?:\s*\[\s*\])?\s*[A-Za-z_(*]")
@@ -163,6 +181,22 @@ class Linter:
                     "src/index/: published indexes are immutable after "
                     "Build")
 
+    def check_cache_mutations(self, rel: str, code_lines: list[str]) -> None:
+        # Scanned everywhere the linter walks except tests/ (which prove
+        # the invalidation contract by driving the mutators directly).
+        if rel.startswith("tests/"):
+            return
+        if rel.startswith(CACHE_MUTATION_ALLOWED):
+            return
+        for lineno, line in enumerate(code_lines, 1):
+            m = CACHE_MUTATOR_CALL.search(line)
+            if m:
+                self.report(
+                    rel, lineno, "cache-mutation-confinement",
+                    f"query-cache mutator {m.group(1)}() outside "
+                    "src/server/ and src/update/: only the serving and "
+                    "refreeze paths may write the epoch-keyed cache")
+
     def check_raw_new_delete(self, rel: str, code_lines: list[str],
                              raw_lines: list[str]) -> None:
         if not rel.startswith("src/"):
@@ -222,6 +256,7 @@ class Linter:
         code_lines = strip_comments_and_strings(text).splitlines()
         self.check_db_calls(rel, code_lines)
         self.check_index_mutations(rel, code_lines)
+        self.check_cache_mutations(rel, code_lines)
         self.check_raw_new_delete(rel, code_lines, raw_lines)
         self.check_suppressions(rel, code_lines, raw_lines)
 

@@ -94,6 +94,48 @@ class IndexMutationTest(LintFixture):
         self.assertEqual(self.lint(), [])
 
 
+class CacheMutationTest(LintFixture):
+    def test_mutator_outside_server_update_flagged(self):
+        self.write("src/core/engine.cc",
+                   "void F() { cache->StoreAnswers(key, answers); }\n")
+        violations = self.lint()
+        self.assertEqual(len(violations), 1)
+        self.assertIn("cache-mutation-confinement", violations[0])
+
+    def test_mutator_in_bench_and_examples_flagged(self):
+        self.write("bench/bench_cache.cc",
+                   "void F() { cache.OnRefreeze(epoch); }\n")
+        self.write("examples/demo.cc",
+                   "void F() { cache->OnMutationsApplied(e, p, t, b); }\n")
+        violations = self.lint()
+        self.assertEqual(len(violations), 2)
+        self.assertTrue(all("cache-mutation-confinement" in v
+                            for v in violations))
+
+    def test_mutator_in_server_and_update_ok(self):
+        self.write("src/server/query_cache.cc",
+                   "void F() { self->StoreResolution(key, value); }\n")
+        self.write("src/update/refreeze.cc",
+                   "void F() { cache_->OnRefreeze(epoch); }\n")
+        self.assertEqual(self.lint(), [])
+
+    def test_mutator_in_tests_ok(self):
+        self.write("tests/query_cache_test.cc",
+                   "void F() { cache.OnMutationsApplied(e, p, t, b); }\n")
+        self.assertEqual(self.lint(), [])
+
+    def test_read_through_surface_ok(self):
+        self.write("src/core/engine.cc",
+                   "void F() { cache->FindAnswers(key, e, p);\n"
+                   "           cache->ResolveThrough(r, t, m, e, p); }\n")
+        self.assertEqual(self.lint(), [])
+
+    def test_mutator_mention_in_comment_ok(self):
+        self.write("src/core/engine.cc",
+                   "// cache->OnRefreeze(epoch) happens in src/update/\n")
+        self.assertEqual(self.lint(), [])
+
+
 class RawNewDeleteTest(LintFixture):
     def test_raw_new_flagged(self):
         self.write("src/datagen/x.cc", "auto* p = new std::vector<int>{1};\n")

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Single source of truth for the CI-gated benches.
+
+One bench *binary* can write more than one BENCH_*.json report: the
+primary report goes to the path passed via --json, and any extra reports
+land as siblings next to it (bench_concurrent_sessions also writes
+BENCH_query_cache.json this way). Before this manifest existed, the
+binary list and the report list were duplicated across ci.yml,
+nightly-bench.yml, refresh-baselines.yml and two tools — and a bench
+that grew a second report silently dropped out of the baseline refresh.
+
+Everything that runs or gates benches derives its lists from here:
+  - tools/update_bench_baselines.py   runs binaries, refreshes every report
+  - tools/check_bench_regression.py   --all mode gates every report
+  - .github/workflows/*.yml           shell out to the CLI below
+
+CLI (for workflow steps):
+    bench_manifest.py --binaries   # gated binary names, one per line
+    bench_manifest.py --reports    # gated report file names, one per line
+"""
+
+import sys
+
+#: Gated benches: binary name -> the BENCH_*.json reports it writes.
+#: reports[0] is the primary report (the --json argument); the rest are
+#: written next to it by the binary itself.
+GATED_BENCHES = [
+    {
+        "binary": "bench_bidirectional",
+        "reports": ["BENCH_bidirectional.json"],
+    },
+    {
+        "binary": "bench_concurrent_sessions",
+        "reports": [
+            "BENCH_concurrent_sessions.json",
+            "BENCH_query_cache.json",  # sibling: epoch-keyed cache scenario
+        ],
+    },
+    {
+        "binary": "bench_refreeze",
+        "reports": ["BENCH_refreeze.json"],
+    },
+]
+
+
+def binaries():
+    """Gated bench binary names, in run order."""
+    return [entry["binary"] for entry in GATED_BENCHES]
+
+
+def reports():
+    """Every gated report file name, in run order."""
+    return [report for entry in GATED_BENCHES for report in entry["reports"]]
+
+
+def reports_for(binary):
+    """The report file names `binary` writes ([] if not gated)."""
+    for entry in GATED_BENCHES:
+        if entry["binary"] == binary:
+            return list(entry["reports"])
+    return []
+
+
+def primary_report(binary):
+    """The report passed as `--json` (None if not gated)."""
+    found = reports_for(binary)
+    return found[0] if found else None
+
+
+def main(argv):
+    if argv[1:] == ["--binaries"]:
+        print("\n".join(binaries()))
+        return 0
+    if argv[1:] == ["--reports"]:
+        print("\n".join(reports()))
+        return 0
+    print(__doc__, file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,6 +3,14 @@
 
 Usage:
     check_bench_regression.py <baseline.json> <current.json> [--threshold 0.10]
+    check_bench_regression.py --all <current-dir> [--threshold 0.10]
+                              [--baseline-dir bench/baselines]
+
+--all gates every report in the manifest (tools/bench_manifest.py):
+<current-dir>/<report> against <baseline-dir>/<report> (default: the
+repo's bench/baselines/), so the workflows cannot drift from the
+gated-bench list — a bench added to the manifest is gated everywhere in
+the same change. A missing report on either side is a failure.
 
 Both files are BENCH_*.json reports written by the benches (see
 bench/bench_common.h BenchReport). Only the "counters" section is gated —
@@ -55,6 +63,8 @@ def load(path):
 def main(argv):
     args = []
     threshold = 0.10
+    check_all = False
+    baseline_dir = None
     rest = argv[1:]
     while rest:
         a = rest.pop(0)
@@ -66,14 +76,43 @@ def main(argv):
             else:
                 print("error: --threshold needs a value", file=sys.stderr)
                 return 2
+        elif a == "--all":
+            check_all = True
+        elif a == "--baseline-dir":
+            if not rest:
+                print("error: --baseline-dir needs a value", file=sys.stderr)
+                return 2
+            baseline_dir = rest.pop(0)
         else:
             args.append(a)
+
+    if check_all:
+        if len(args) != 1:
+            print(__doc__, file=sys.stderr)
+            return 2
+        import os
+
+        import bench_manifest
+        if baseline_dir is None:
+            baseline_dir = os.path.join(
+                os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                "bench", "baselines")
+        worst = 0
+        for report in bench_manifest.reports():
+            code = check_pair(os.path.join(baseline_dir, report),
+                              os.path.join(args[0], report), threshold)
+            worst = max(worst, code)
+        return worst
+
     if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 2
+    return check_pair(args[0], args[1], threshold)
 
-    base_name, base, base_info = load(args[0])
-    cur_name, cur, cur_info = load(args[1])
+
+def check_pair(baseline_path, current_path, threshold):
+    base_name, base, base_info = load(baseline_path)
+    cur_name, cur, cur_info = load(current_path)
     if base_name != cur_name:
         print(f"error: bench name mismatch: baseline '{base_name}' vs "
               f"current '{cur_name}'", file=sys.stderr)
@@ -106,7 +145,7 @@ def main(argv):
 
     new_keys = sorted(k for k in cur if k not in base)
     print(f"{cur_name}: {len(base)} baseline counters checked against "
-          f"{args[1]} (threshold {threshold:.0%})")
+          f"{current_path} (threshold {threshold:.0%})")
     for key in new_keys:
         print(f"  NEW  {key} = {cur[key]!r} (not in baseline; add it via "
               "tools/update_bench_baselines.py to gate it)")

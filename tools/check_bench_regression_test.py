@@ -134,6 +134,64 @@ class CheckBenchRegressionTest(unittest.TestCase):
                            info={"pool_w8/qps": 5.0})
         self.assertEqual(self.run_gate(base_path, cur), 0)
 
+    def test_all_mode_gates_every_manifest_report(self):
+        # --all walks the manifest: sibling reports (a binary writing two
+        # BENCH_*.json files) are gated exactly like primary ones.
+        import bench_manifest
+        base_dir = os.path.join(self.dir, "baselines")
+        cur_dir = os.path.join(self.dir, "current")
+        os.makedirs(base_dir)
+        os.makedirs(cur_dir)
+        saved = bench_manifest.GATED_BENCHES
+        bench_manifest.GATED_BENCHES = [
+            {"binary": "bench_a", "reports": ["BENCH_a.json"]},
+            {"binary": "bench_b",
+             "reports": ["BENCH_b.json", "BENCH_b_sibling.json"]},
+        ]
+        try:
+            for name, bench in (("BENCH_a.json", "bench_a"),
+                                ("BENCH_b.json", "bench_b"),
+                                ("BENCH_b_sibling.json", "bench_b_sibling")):
+                write_report(base_dir, name, {"q/visits": 100}, bench=bench)
+                write_report(cur_dir, name, {"q/visits": 100}, bench=bench)
+            ok = check_bench_regression.main(
+                ["check_bench_regression.py", "--all", cur_dir,
+                 "--baseline-dir", base_dir])
+            self.assertEqual(ok, 0)
+            # A regression in the *sibling* report alone must fail --all.
+            write_report(cur_dir, "BENCH_b_sibling.json", {"q/visits": 200},
+                         bench="bench_b_sibling")
+            bad = check_bench_regression.main(
+                ["check_bench_regression.py", "--all", cur_dir,
+                 "--baseline-dir", base_dir])
+            self.assertEqual(bad, 1)
+        finally:
+            bench_manifest.GATED_BENCHES = saved
+
+    def test_all_mode_missing_report_is_an_error(self):
+        import bench_manifest
+        base_dir = os.path.join(self.dir, "baselines")
+        cur_dir = os.path.join(self.dir, "current")
+        os.makedirs(base_dir)
+        os.makedirs(cur_dir)
+        saved = bench_manifest.GATED_BENCHES
+        bench_manifest.GATED_BENCHES = [
+            {"binary": "bench_a", "reports": ["BENCH_a.json"]},
+        ]
+        try:
+            write_report(base_dir, "BENCH_a.json", {"q/visits": 1},
+                         bench="bench_a")
+            # load() exits the process on a missing current report — that
+            # is the contract: a bench silently not writing its report
+            # must not pass the gate.
+            with self.assertRaises(SystemExit) as ctx:
+                check_bench_regression.main(
+                    ["check_bench_regression.py", "--all", cur_dir,
+                     "--baseline-dir", base_dir])
+            self.assertEqual(ctx.exception.code, 2)
+        finally:
+            bench_manifest.GATED_BENCHES = saved
+
     def test_bench_name_mismatch_is_usage_error(self):
         base = write_report(self.dir, "base.json", {"q1/visits": 1},
                             bench="bench_a")

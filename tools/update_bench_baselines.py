@@ -4,11 +4,15 @@
 Usage:
     update_bench_baselines.py [--build-dir build] [--bench name ...] [--dry-run]
 
-For every gated bench (the ones check_bench_regression.py compares in CI),
-runs `<build-dir>/<bench> --json <tmp>` and, if the bench exits cleanly and
-the report parses, replaces bench/baselines/BENCH_<name>.json with it —
-so baseline bumps are regenerated output, never hand-edited numbers. A
-summary of counter changes is printed for the commit message / PR review.
+For every gated bench binary (tools/bench_manifest.py — the same list
+check_bench_regression.py gates in CI), runs `<build-dir>/<bench> --json
+<tmpdir>/<primary report>` and collects *every* report the binary writes
+(a binary may emit sibling reports next to its primary one, e.g.
+bench_concurrent_sessions also writes BENCH_query_cache.json). If the
+bench exits cleanly and each report parses, the matching
+bench/baselines/ file is replaced — so baseline bumps are regenerated
+output, never hand-edited numbers. A summary of counter changes is
+printed for the commit message / PR review.
 
 Only deterministic counters are gated in CI; the info section (timings)
 rides along for trend inspection and is machine-specific, which is fine.
@@ -19,7 +23,7 @@ Options:
                       binary name, e.g. bench_refreeze
     --dry-run         run benches and print the counter diff, write nothing
 
-Exit code: 0 on success, 1 if any bench failed to run, 2 on usage errors.
+Exit code: 0 on success, 1 if any bench or report failed, 2 on usage errors.
 """
 
 import argparse
@@ -29,22 +33,15 @@ import subprocess
 import sys
 import tempfile
 
-#: Benches whose BENCH_*.json reports CI gates against bench/baselines/.
-GATED_BENCHES = [
-    "bench_bidirectional",
-    "bench_concurrent_sessions",
-    "bench_refreeze",
-]
+import bench_manifest
 
 
 def repo_root():
     return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
-def baseline_path(bench):
-    name = bench[len("bench_"):] if bench.startswith("bench_") else bench
-    return os.path.join(repo_root(), "bench", "baselines",
-                        f"BENCH_{name}.json")
+def baseline_path(report):
+    return os.path.join(repo_root(), "bench", "baselines", report)
 
 
 def diff_counters(old, new):
@@ -59,6 +56,41 @@ def diff_counters(old, new):
     return lines
 
 
+def refresh_report(report_path, report_name, dry_run):
+    """Diffs one written report against its baseline; returns True on
+    success (report readable, baseline updated unless dry-run)."""
+    try:
+        with open(report_path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: unreadable report {report_name}: {e}", file=sys.stderr)
+        return False
+    if not isinstance(report.get("counters"), dict):
+        print(f"error: {report_name} has no counters", file=sys.stderr)
+        return False
+
+    target = baseline_path(report_name)
+    old_counters = {}
+    if os.path.exists(target):
+        try:
+            with open(target) as f:
+                old_counters = json.load(f).get("counters", {})
+        except (OSError, json.JSONDecodeError):
+            pass
+    changes = diff_counters(old_counters, report["counters"])
+    if changes:
+        print(f"{os.path.relpath(target, repo_root())}:")
+        for line in changes:
+            print(line)
+    else:
+        print(f"{os.path.relpath(target, repo_root())}: "
+              "counters unchanged (timings refreshed)")
+    if not dry_run:
+        with open(report_path) as src, open(target, "w") as dst:
+            dst.write(src.read())
+    return True
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -68,11 +100,12 @@ def main(argv):
     parser.add_argument("--dry-run", action="store_true")
     args = parser.parse_args(argv[1:])
 
-    benches = args.bench if args.bench else GATED_BENCHES
-    unknown = [b for b in benches if b not in GATED_BENCHES]
+    gated = bench_manifest.binaries()
+    benches = args.bench if args.bench else gated
+    unknown = [b for b in benches if b not in gated]
     if unknown:
         print(f"error: not a gated bench: {', '.join(unknown)} "
-              f"(gated: {', '.join(GATED_BENCHES)})", file=sys.stderr)
+              f"(gated: {', '.join(gated)})", file=sys.stderr)
         return 2
 
     failures = 0
@@ -84,51 +117,29 @@ def main(argv):
                   file=sys.stderr)
             failures += 1
             continue
-        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
-            report_path = tmp.name
-        try:
-            print(f"== {bench}")
+        print(f"== {bench}")
+        expected = bench_manifest.reports_for(bench)
+        with tempfile.TemporaryDirectory() as out_dir:
+            # The binary writes its primary report to the --json path and
+            # any sibling reports next to it — collecting the whole
+            # directory is what keeps multi-report benches refreshed.
+            primary = os.path.join(out_dir, expected[0])
             env = dict(os.environ, BENCH_SOFT_SPEEDUP="1")
-            proc = subprocess.run([binary, "--json", report_path], env=env)
+            proc = subprocess.run([binary, "--json", primary], env=env)
             if proc.returncode != 0:
                 print(f"error: {bench} exited {proc.returncode}",
                       file=sys.stderr)
                 failures += 1
                 continue
-            try:
-                with open(report_path) as f:
-                    report = json.load(f)
-            except (OSError, json.JSONDecodeError) as e:
-                print(f"error: {bench} wrote an unreadable report: {e}",
-                      file=sys.stderr)
-                failures += 1
-                continue
-            if not isinstance(report.get("counters"), dict):
-                print(f"error: {bench} report has no counters", file=sys.stderr)
-                failures += 1
-                continue
-
-            target = baseline_path(bench)
-            old_counters = {}
-            if os.path.exists(target):
-                try:
-                    with open(target) as f:
-                        old_counters = json.load(f).get("counters", {})
-                except (OSError, json.JSONDecodeError):
-                    pass
-            changes = diff_counters(old_counters, report["counters"])
-            if changes:
-                print(f"{os.path.relpath(target, repo_root())}:")
-                for line in changes:
-                    print(line)
-            else:
-                print(f"{os.path.relpath(target, repo_root())}: "
-                      "counters unchanged (timings refreshed)")
-            if not args.dry_run:
-                with open(report_path) as src, open(target, "w") as dst:
-                    dst.write(src.read())
-        finally:
-            os.unlink(report_path)
+            for report_name in expected:
+                report_path = os.path.join(out_dir, report_name)
+                if not os.path.exists(report_path):
+                    print(f"error: {bench} did not write {report_name}",
+                          file=sys.stderr)
+                    failures += 1
+                    continue
+                if not refresh_report(report_path, report_name, args.dry_run):
+                    failures += 1
 
     return 1 if failures else 0
 
