@@ -1,0 +1,196 @@
+// Snapshot persistence cost model (src/snapshot/): cold-start latency
+// from CSV storage vs from a snapshot file, at the bulk scale (~40K
+// rows, the same dataset bench_refreeze uses for its merge section).
+//
+// Both cold starts begin from bytes on disk and end at the first
+// answered query; they share the CSV storage load (tuples must be in
+// memory either way), and differ only in how the derived state appears:
+//   - CSV path:      LoadDatabase + BanksEngine(db)   — full graph +
+//                    index build.
+//   - snapshot path: LoadDatabase + FromSnapshot(db)  — mmap the file,
+//                    point views at it, zero per-element copies.
+//
+// Gated counters (deterministic):
+//   derive_speedup_10x_floor — 1 iff the derive phase (build vs open) is
+//                              at least 10x faster from the snapshot.
+//                              The observed ratio (info) runs far above
+//                              the floor, so the gate is stable.
+//   identical                — the loaded LiveState is byte-identical to
+//                              the built one (LiveStatesIdentical).
+//   mapped_views             — graph + inverted + numeric readers all
+//                              serve from the mapping (is_view), i.e.
+//                              the zero-copy contract held.
+//   nodes / edges            — scale fingerprint of the dataset.
+// Info: phase timings, file size, write/open throughput, end-to-end
+// ratio (machine-dependent, never gated).
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "bench_common.h"
+#include "core/banks.h"
+#include "snapshot/snapshot.h"
+#include "storage/csv.h"
+#include "update/state_compare.h"
+#include "util/timer.h"
+
+using namespace banks;
+using namespace banks::bench;
+
+namespace {
+
+/// The bench_refreeze bulk scale: ~40K rows once Writes/Cites links are
+/// counted, big enough that a full derive visibly costs and the
+/// mmap-vs-rebuild gap is unmistakable.
+DblpConfig SnapshotScaleConfig() {
+  DblpConfig config;
+  config.num_authors = 4000;
+  config.num_papers = 8000;
+  config.seed = 42;
+  return config;
+}
+
+constexpr const char* kFirstQuery = "soumen sunita";
+
+size_t FirstQueryAnswers(const BanksEngine& engine) {
+  auto result = engine.Search(kFirstQuery);
+  return result.ok() ? result.value().answers.size() : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintHeader("bench_snapshot — cold start: CSV rebuild vs mmap'd snapshot",
+              "snapshot persistence: src/snapshot/ (single-file arena "
+              "format)");
+  const std::string json_path = BenchReport::JsonPathFromArgs(argc, argv);
+  BenchReport report("bench_snapshot");
+
+  const std::string csv_dir = "bench_snapshot_data";
+  const std::string snap_path = "bench_snapshot_state.banks";
+
+  // ---- stage the on-disk artifacts: CSV storage + one snapshot file.
+  DblpDataset ds = GenerateDblp(SnapshotScaleConfig());
+  const size_t total_rows = ds.db.TotalRows();
+  Status saved_csv = SaveDatabase(ds.db, csv_dir);
+  if (!saved_csv.ok()) {
+    std::fprintf(stderr, "SaveDatabase failed: %s\n",
+                 saved_csv.ToString().c_str());
+    return 1;
+  }
+  BanksEngine builder(std::move(ds.db), EvalWorkload::DefaultOptions());
+  Timer write_timer;
+  auto written = builder.SaveSnapshot(snap_path);
+  const double snapshot_write_ms = write_timer.Millis();
+  if (!written.ok()) {
+    std::fprintf(stderr, "SaveSnapshot failed: %s\n",
+                 written.status().ToString().c_str());
+    return 1;
+  }
+  const double file_mb =
+      static_cast<double>(written.value().file_bytes) / (1024.0 * 1024.0);
+
+  // ---- cold start A: CSV storage, full derive.
+  Timer csv_total;
+  Timer csv_load_timer;
+  auto csv_db = LoadDatabase(csv_dir);
+  const double csv_load_ms = csv_load_timer.Millis();
+  if (!csv_db.ok()) {
+    std::fprintf(stderr, "LoadDatabase failed: %s\n",
+                 csv_db.status().ToString().c_str());
+    return 1;
+  }
+  Timer build_timer;
+  BanksEngine rebuilt(std::move(csv_db).value(),
+                      EvalWorkload::DefaultOptions());
+  const double build_ms = build_timer.Millis();
+  const size_t csv_answers = FirstQueryAnswers(rebuilt);
+  const double csv_total_ms = csv_total.Millis();
+
+  // ---- cold start B: CSV storage, snapshot-mapped derive.
+  Timer snap_total;
+  Timer snap_load_timer;
+  auto snap_db = LoadDatabase(csv_dir);
+  const double snap_load_ms = snap_load_timer.Millis();
+  if (!snap_db.ok()) {
+    std::fprintf(stderr, "LoadDatabase failed: %s\n",
+                 snap_db.status().ToString().c_str());
+    return 1;
+  }
+  Timer open_timer;
+  auto restarted =
+      BanksEngine::FromSnapshot(std::move(snap_db).value(), snap_path,
+                                EvalWorkload::DefaultOptions());
+  const double open_ms = open_timer.Millis();
+  if (!restarted.ok()) {
+    std::fprintf(stderr, "FromSnapshot failed: %s\n",
+                 restarted.status().ToString().c_str());
+    return 1;
+  }
+  BanksEngine& loaded = *restarted.value();
+  const size_t snap_answers = FirstQueryAnswers(loaded);
+  const double snap_total_ms = snap_total.Millis();
+
+  // ---- contracts: byte identity, zero-copy views, identical answers.
+  std::string diff;
+  const bool identical =
+      LiveStatesIdentical(*builder.state(), *loaded.state(), &diff);
+  if (!identical) {
+    std::fprintf(stderr, "loaded state differs from built state: %s\n",
+                 diff.c_str());
+    return 1;
+  }
+  const bool mapped_views = loaded.state()->dg->graph.is_view() &&
+                            loaded.state()->index->is_view() &&
+                            loaded.state()->numeric->is_view();
+  if (csv_answers != snap_answers) {
+    std::fprintf(stderr, "answer mismatch: csv=%zu snapshot=%zu\n",
+                 csv_answers, snap_answers);
+    return 1;
+  }
+
+  const double derive_speedup = open_ms > 0 ? build_ms / open_ms : 0.0;
+  const double total_speedup =
+      snap_total_ms > 0 ? csv_total_ms / snap_total_ms : 0.0;
+
+  std::printf("%zu rows, %zu nodes / %zu edges; snapshot %.1f MB "
+              "(written in %.1f ms, %.0f MB/s)\n",
+              total_rows, builder.data_graph().graph.num_nodes(),
+              builder.data_graph().graph.num_edges(), file_mb,
+              snapshot_write_ms,
+              snapshot_write_ms > 0 ? file_mb / (snapshot_write_ms / 1000.0)
+                                    : 0.0);
+  std::printf("%-22s %12s %12s %12s %12s\n", "cold start", "csv_load_ms",
+              "derive_ms", "query_ans", "total_ms");
+  std::printf("%-22s %12.1f %12.1f %12zu %12.1f\n", "csv (full build)",
+              csv_load_ms, build_ms, csv_answers, csv_total_ms);
+  std::printf("%-22s %12.1f %12.1f %12zu %12.1f\n", "snapshot (mmap)",
+              snap_load_ms, open_ms, snap_answers, snap_total_ms);
+  std::printf("derive speedup %.0fx (gate floor 10x), end-to-end %.1fx, "
+              "identical=%d, mapped_views=%d\n",
+              derive_speedup, total_speedup, identical ? 1 : 0,
+              mapped_views ? 1 : 0);
+
+  report.Counter("derive_speedup_10x_floor", derive_speedup >= 10.0 ? 1 : 0);
+  report.Counter("identical", identical ? 1 : 0);
+  report.Counter("mapped_views", mapped_views ? 1 : 0);
+  report.Counter("first_query_answers", static_cast<double>(csv_answers));
+  report.Counter("nodes",
+                 static_cast<double>(builder.data_graph().graph.num_nodes()));
+  report.Counter("edges",
+                 static_cast<double>(builder.data_graph().graph.num_edges()));
+  report.Info("rows", static_cast<double>(total_rows));
+  report.Info("snapshot_file_mb", file_mb);
+  report.Info("snapshot_write_ms", snapshot_write_ms);
+  report.Info("csv_load_ms", csv_load_ms);
+  report.Info("build_ms", build_ms);
+  report.Info("open_ms", open_ms);
+  report.Info("csv_total_ms", csv_total_ms);
+  report.Info("snapshot_total_ms", snap_total_ms);
+  report.Info("derive_speedup", derive_speedup);
+  report.Info("total_speedup", total_speedup);
+
+  std::remove(snap_path.c_str());
+  if (!json_path.empty() && !report.WriteJson(json_path)) return 1;
+  return 0;
+}

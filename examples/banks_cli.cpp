@@ -5,6 +5,10 @@
 //   banks_cli --demo         use the built-in synthetic DBLP dataset
 //   ... [--strategy backward|forward|bidi]   expansion strategy
 //   ... [--first-k <n>]      streaming: stop each query after n answers
+//   ... [--snapshot <path>]  restart from a snapshot file (instant: the
+//                            derived state is mmapped, not rebuilt); falls
+//                            back to a full build if the file is missing
+//                            or does not match the loaded data
 //
 // Commands at the prompt:
 //   <keywords...>            run a keyword query (approx(N), attr:kw work)
@@ -24,6 +28,9 @@
 //                            (one overlay publish for the whole file)
 //   :delete <table> <row>    tombstone a row (stops matching immediately)
 //   :refreeze                rebuild the frozen snapshot + swap epochs
+//   :save <path>             persist the current state to a snapshot file
+//                            (folds pending mutations first); restart with
+//                            --snapshot <path> to skip the rebuild
 //   :quit
 //
 // The mutation commands drive the live-ingestion subsystem (src/update/):
@@ -36,6 +43,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -310,9 +318,25 @@ void RefreezeCommand(BanksEngine& engine) {
       stats.value().nodes, stats.value().edges, stats.value().rebuild_ms);
 }
 
+/// :save <path> — folds any pending mutations (one refreeze) and writes
+/// the whole derived state to a snapshot file; a later run started with
+/// --snapshot <path> maps it back in instead of rebuilding.
+void SaveCommand(BanksEngine& engine, const std::string& path) {
+  auto written = engine.SaveSnapshot(path);
+  if (!written.ok()) {
+    std::printf("save failed: %s\n", written.status().ToString().c_str());
+    return;
+  }
+  std::printf("saved epoch %llu to '%s' (%llu bytes, %.1f ms)\n",
+              static_cast<unsigned long long>(written.value().epoch),
+              path.c_str(),
+              static_cast<unsigned long long>(written.value().file_bytes),
+              written.value().write_ms);
+}
+
 /// Dispatches one mutation line (":insert ...", ":delete ...",
-/// ":refreeze") shared by the prompt and :parallel script files. Returns
-/// false if the line is not a mutation command.
+/// ":refreeze", ":save ...") shared by the prompt and :parallel script
+/// files. Returns false if the line is not a mutation command.
 bool DispatchMutation(BanksEngine& engine, const std::string& line) {
   std::istringstream ss(line);
   std::string cmd;
@@ -352,6 +376,15 @@ bool DispatchMutation(BanksEngine& engine, const std::string& line) {
   }
   if (cmd == ":refreeze") {
     RefreezeCommand(engine);
+    return true;
+  }
+  if (cmd == ":save") {
+    std::string path;
+    if (ss >> path) {
+      SaveCommand(engine, path);
+    } else {
+      std::printf("usage: :save <path>\n");
+    }
     return true;
   }
   return false;
@@ -470,7 +503,8 @@ void QueryCommand(const BanksEngine& engine, const std::string& query,
 
 int main(int argc, char** argv) {
   const char* usage =
-      "usage: %s (<csv-dir> | --demo) [--strategy <name>] [--first-k <n>]\n";
+      "usage: %s (<csv-dir> | --demo) [--strategy <name>] [--first-k <n>] "
+      "[--snapshot <path>]\n";
   if (argc < 2) {
     std::printf(usage, argv[0]);
     return 2;
@@ -486,6 +520,7 @@ int main(int argc, char** argv) {
   SearchStrategy strategy = SearchStrategy::kBackward;
   size_t first_k = 0;
   bool stream_mode = false;
+  std::string snapshot_path;
   for (int a = 2; a < argc; ++a) {
     std::string arg = argv[a];
     if (arg == "--strategy") {
@@ -516,6 +551,13 @@ int main(int argc, char** argv) {
       first_k = static_cast<size_t>(value);
       stream_mode = true;  // printing the first k implies streaming
       ++a;
+    } else if (arg == "--snapshot") {
+      if (a + 1 >= argc) {
+        std::printf("--snapshot requires a file path\n");
+        return 2;
+      }
+      snapshot_path = argv[a + 1];
+      ++a;
     } else {
       std::printf("unknown argument '%s'\n", arg.c_str());
       std::printf(usage, argv[0]);
@@ -523,26 +565,58 @@ int main(int argc, char** argv) {
     }
   }
 
-  Database db;
-  if (std::string(argv[1]) == "--demo") {
-    std::printf("loading built-in synthetic DBLP...\n");
-    DblpConfig config;
-    config.num_authors = 400;
-    config.num_papers = 800;
-    db = GenerateDblp(config).db;
-  } else {
-    auto loaded = LoadDatabase(argv[1]);
-    if (!loaded.ok()) {
-      std::printf("load failed: %s\n", loaded.status().ToString().c_str());
-      return 1;
+  // FromSnapshot consumes the Database even when it rejects the file, so
+  // the fallback path reloads through the same closure.
+  auto load_db = [&]() -> Result<Database> {
+    if (std::string(argv[1]) == "--demo") {
+      std::printf("loading built-in synthetic DBLP...\n");
+      DblpConfig config;
+      config.num_authors = 400;
+      config.num_papers = 800;
+      return GenerateDblp(config).db;
     }
-    db = std::move(loaded).value();
+    return LoadDatabase(argv[1]);
+  };
+  auto loaded = load_db();
+  if (!loaded.ok()) {
+    std::printf("load failed: %s\n", loaded.status().ToString().c_str());
+    return 1;
   }
+  Database db = std::move(loaded).value();
 
   BanksOptions options = EvalWorkload::DefaultOptions();
   options.match.approx.enable = true;
   options.allow_partial_match = true;
-  BanksEngine engine(std::move(db), options);
+
+  std::unique_ptr<BanksEngine> engine_ptr;
+  if (!snapshot_path.empty()) {
+    Timer restart;
+    auto restarted =
+        BanksEngine::FromSnapshot(std::move(db), snapshot_path, options);
+    if (restarted.ok()) {
+      engine_ptr = std::move(restarted).value();
+      std::printf("restarted from snapshot '%s' in %.1f ms (epoch %llu, "
+                  "%llu bytes mapped)\n",
+                  snapshot_path.c_str(), restart.Millis(),
+                  static_cast<unsigned long long>(engine_ptr->snapshot_epoch()),
+                  static_cast<unsigned long long>(engine_ptr->snapshot_bytes()));
+    } else {
+      std::printf("snapshot '%s' unusable (%s); building from data instead\n",
+                  snapshot_path.c_str(),
+                  restarted.status().ToString().c_str());
+      auto reloaded = load_db();
+      if (!reloaded.ok()) {
+        std::printf("load failed: %s\n",
+                    reloaded.status().ToString().c_str());
+        return 1;
+      }
+      db = std::move(reloaded).value();
+    }
+  }
+  if (engine_ptr == nullptr) {
+    engine_ptr = std::make_unique<BanksEngine>(std::move(db), options);
+  }
+  BanksEngine& engine = *engine_ptr;
   SearchOptions search = engine.options().search;
   search.strategy = strategy;
   std::printf("expansion strategy: %s\n", SearchStrategyName(strategy));
@@ -575,7 +649,8 @@ int main(int argc, char** argv) {
           "  :insert <table> <csv>  append a row (searchable immediately)\n"
           "  :load <table> <file>   bulk-ingest a CSV file (one batch)\n"
           "  :delete <table> <row>  tombstone a row\n"
-          "  :refreeze              rebuild + swap the frozen snapshot\n");
+          "  :refreeze              rebuild + swap the frozen snapshot\n"
+          "  :save <path>           persist state to a snapshot file\n");
     } else if (cmd == ":tables") {
       PrintTablesCommand(engine);
     } else if (cmd == ":browse") {

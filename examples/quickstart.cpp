@@ -4,18 +4,28 @@
 //   1. create tables with primary and foreign keys,
 //   2. hand the database to BanksEngine (it builds indexes + the graph),
 //   3. type keywords, get ranked connection trees back (batch),
-//   4. stream answers incrementally through a QuerySession, and
-//   5. serve queries concurrently through the engine's session pool.
+//   4. stream answers incrementally through a QuerySession,
+//   5. serve queries concurrently through the engine's session pool,
+//   6. apply live updates (delta overlays + refreeze),
+//   7. bulk-ingest a batch through one overlay publish, and
+//   8. save a snapshot file and restart from it with no rebuild.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
+#include <string>
 
 #include "core/banks.h"
 #include "server/session_pool.h"
 
 using namespace banks;
 
-int main() {
+namespace {
+
+// Builds the Figure 1 fragment (ChakrabartiSD98 and its authors). A
+// function rather than inline in main so §8 can construct the identical
+// database a second time — FromSnapshot pairs a snapshot file with the
+// storage it was derived from.
+Database BuildDatabase() {
   // --- 1. Schema: the paper's Figure 1 (Author / Paper / Writes / Cites).
   Database db;
   Status s = db.CreateTable(TableSchema(
@@ -37,7 +47,7 @@ int main() {
       ForeignKey{"writes_paper", "Writes", {"PaperId"}, "Paper", {"PaperId"}});
   if (!s.ok()) {
     std::printf("schema error: %s\n", s.ToString().c_str());
-    return 1;
+    return db;
   }
 
   // --- 2. Data: the Figure 1 fragment (ChakrabartiSD98 and its authors).
@@ -54,9 +64,14 @@ int main() {
   insert("Writes", {Value("SoumenC"), Value("ChakrabartiSD98")});
   insert("Writes", {Value("SunitaS"), Value("ChakrabartiSD98")});
   insert("Writes", {Value("ByronD"), Value("ChakrabartiSD98")});
+  return db;
+}
 
+}  // namespace
+
+int main() {
   // --- 3. Search. The engine owns the database from here on.
-  BanksEngine engine(std::move(db));
+  BanksEngine engine(BuildDatabase());
 
   for (const char* query : {"sunita temporal", "soumen sunita", "byron"}) {
     std::printf("==== query: \"%s\"\n", query);
@@ -181,5 +196,36 @@ int main() {
     std::printf("-- \"bulk loaded\": %zu answer(s) post-refreeze\n",
                 bulk.value().answers.size());
   }
+
+  // --- 8. Snapshot persistence: build -> save -> instant restart. The
+  //        whole derived state (CSR graph, inverted/metadata/numeric
+  //        indexes, node maps) lands in one checksummed file; FromSnapshot
+  //        mmaps it and serves straight off the mapping — no rebuild. The
+  //        file is fingerprint-paired with its database, so it must be
+  //        opened against the same storage it was derived from.
+  std::printf("\n==== snapshot: build -> save -> instant restart\n");
+  BanksEngine fresh(BuildDatabase());
+  const std::string snap_path = "quickstart.banks";
+  auto saved = fresh.SaveSnapshot(snap_path);
+  if (!saved.ok()) {
+    std::printf("save error: %s\n", saved.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("-- saved epoch %llu to %s (%llu bytes, %.1f ms)\n",
+              static_cast<unsigned long long>(saved.value().epoch),
+              snap_path.c_str(),
+              static_cast<unsigned long long>(saved.value().file_bytes),
+              saved.value().write_ms);
+  auto restarted = BanksEngine::FromSnapshot(BuildDatabase(), snap_path);
+  if (!restarted.ok()) {
+    std::printf("restart error: %s\n",
+                restarted.status().ToString().c_str());
+    return 1;
+  }
+  auto again = restarted.value()->Search("sunita temporal");
+  std::printf("-- restarted engine answers \"sunita temporal\" with %zu "
+              "tree(s), zero rebuild work\n",
+              again.ok() ? again.value().answers.size() : 0);
+  std::remove(snap_path.c_str());
   return 0;
 }

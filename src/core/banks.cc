@@ -39,6 +39,68 @@ BanksEngine::BanksEngine(Database db, BanksOptions options)
   updater_.BeginEpoch(state_->dg);
 }
 
+BanksEngine::BanksEngine(FromSnapshotTag, Database db, BanksOptions options,
+                         LiveStateSnapshot loaded)
+    : db_(std::move(db)),
+      options_(std::move(options)),
+      updater_(&db_, &options_) {
+  for (const auto& name : options_.excluded_root_tables) {
+    const Table* t = db_.table(name);
+    if (t != nullptr) {
+      options_.search.excluded_root_tables.insert(t->id());
+    }
+  }
+  if (options_.cache.enabled) {
+    cache_ = std::make_unique<server::QueryCache>(options_.cache.max_bytes,
+                                                  options_.cache.shards);
+  }
+  util::MutexLock serialize(updater_.mu());
+  util::WriterMutexLock lock(&state_mu_);
+  updater_.AttachCache(cache_.get());
+  // Adopt the mapped state instead of deriving one: the coordinator
+  // records the loaded epoch (cache invalidation keys off it) and begins
+  // its overlay generation on the mapped graph. The merge path's link
+  // cache is not persisted, so the first refreeze falls back to a full
+  // rebuild — correct, just not O(delta).
+  state_ = std::move(loaded);
+  updater_.AdoptEpoch(state_->epoch);
+  updater_.BeginEpoch(state_->dg);
+}
+
+Result<std::unique_ptr<BanksEngine>> BanksEngine::FromSnapshot(
+    Database db, const std::string& path, BanksOptions options) {
+  snapshot::SnapshotOpenOptions open_options;
+  open_options.expect_db_fingerprint = snapshot::DatabaseFingerprint(db);
+  auto opened = snapshot::OpenSnapshot(path, open_options);
+  if (!opened.ok()) return opened.status();
+  auto engine = std::unique_ptr<BanksEngine>(
+      // make_unique cannot reach the private tag constructor.
+      new BanksEngine(FromSnapshotTag{},  // banks-lint: allow(raw-new)
+                      std::move(db), std::move(options),
+                      opened.value().state));
+  engine->snapshot_epoch_.store(opened.value().epoch,
+                                std::memory_order_relaxed);
+  engine->snapshot_bytes_.store(opened.value().file_bytes,
+                                std::memory_order_relaxed);
+  return engine;
+}
+
+Result<snapshot::SnapshotWriteStats> BanksEngine::SaveSnapshot(
+    const std::string& path) {
+  util::MutexLock serialize(updater_.mu());
+  if (updater_.pending() > 0) {
+    RefreezeLocked();  // a snapshot always captures a complete epoch
+  }
+  auto stats = snapshot::WriteSnapshot(*state(), path,
+                                       snapshot::DatabaseFingerprint(db_));
+  if (stats.ok()) {
+    snapshot_epoch_.store(stats.value().epoch, std::memory_order_relaxed);
+    snapshot_bytes_.store(stats.value().file_bytes,
+                          std::memory_order_relaxed);
+  }
+  return stats;
+}
+
 BanksEngine::~BanksEngine() = default;
 
 LiveStateSnapshot BanksEngine::state() const {
@@ -180,6 +242,25 @@ RefreezeStats BanksEngine::RefreezeLocked() {
   // from here on see the new epoch, so entries of the old one can never
   // validate again.
   stats.cache_entries_purged = updater_.BeginEpoch(state()->dg);
+  if (!options_.update.snapshot_path.empty()) {
+    // Epoch rotation: persist the just-published state. Still off the
+    // serving path (only the update mutex is held); the writer lands the
+    // file with tmp-write + atomic rename, so a crash mid-write leaves
+    // the previous epoch's file intact. A failed write never fails the
+    // refreeze — serving already moved on.
+    auto written = snapshot::WriteSnapshot(*state(),
+                                           options_.update.snapshot_path,
+                                           snapshot::DatabaseFingerprint(db_));
+    if (written.ok()) {
+      stats.snapshot_write_ms = written.value().write_ms;
+      stats.snapshot_bytes = written.value().file_bytes;
+      snapshot_epoch_.store(written.value().epoch, std::memory_order_relaxed);
+      snapshot_bytes_.store(written.value().file_bytes,
+                            std::memory_order_relaxed);
+    } else {
+      stats.snapshot_failed = true;
+    }
+  }
   return stats;
 }
 
@@ -394,10 +475,15 @@ Result<QuerySession> BanksEngine::OpenSessionImpl(
     if (cacheable) {
       // Viable, policy-free, unlimited: admit the run's answers if it
       // finishes naturally (the session drops the sink on Cancel or any
-      // budget truncation attached mid-stream).
-      init.cache_sink = cache_->MakeAnswerFill(
-          std::move(answer_key), st->epoch, st->pending_mutations,
-          init.keyword_matches, init.dropped_terms);
+      // budget truncation attached mid-stream). Concurrent identical
+      // misses coalesce here — the first opener leads and fills the
+      // cache, later ones follow its flight instead of searching.
+      auto join = cache_->JoinFlight(std::move(answer_key), st->epoch,
+                                     st->pending_mutations,
+                                     init.keyword_matches,
+                                     init.dropped_terms);
+      init.cache_sink = std::move(join.sink);
+      init.flight = std::move(join.flight);
     }
   }
   // Strategy selection (§3 backward by default; forward / bidirectional

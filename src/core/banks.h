@@ -34,6 +34,7 @@
 #ifndef BANKS_CORE_BANKS_H_
 #define BANKS_CORE_BANKS_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +48,7 @@
 #include "graph/graph_builder.h"
 #include "index/inverted_index.h"
 #include "index/metadata_index.h"
+#include "snapshot/snapshot.h"
 #include "storage/database.h"
 #include "update/live_state.h"
 #include "update/mutation.h"
@@ -86,6 +88,16 @@ struct UpdateOptions {
   /// rebuild on mismatch (RefreezeStats::verify_mismatch reports it).
   /// Costs a full rebuild per refreeze — for tests and benches.
   bool verify_merge_refreeze = false;
+
+  /// When non-empty, every refreeze writes the fresh epoch to this path
+  /// after publishing it (off the serving path: readers are already on the
+  /// new state, and the write lands via `<path>.tmp` + atomic rename — see
+  /// src/snapshot/snapshot.h). A crash between refreeze and rename simply
+  /// leaves the previous epoch's file; restart with
+  /// BanksEngine::FromSnapshot picks up whichever epoch last completed.
+  /// Write failures are reported in RefreezeStats::snapshot_failed and
+  /// never fail the refreeze itself.
+  std::string snapshot_path;
 };
 
 /// Epoch-keyed query/answer cache knobs (src/server/query_cache.h).
@@ -124,6 +136,31 @@ class BanksEngine {
   /// Takes ownership of `db` and builds all derived structures.
   explicit BanksEngine(Database db, BanksOptions options = {});
   ~BanksEngine();  // defined where server::SessionPool is complete
+
+  /// Constructs an engine from a snapshot file instead of deriving the
+  /// state from `db` (O(ms) instead of O(database) — the CSR and posting
+  /// arrays are served straight from the mapping; see src/snapshot/).
+  /// `db` must be the database the snapshot was written against: the
+  /// stored fingerprint is checked and a mismatch fails cleanly. The
+  /// engine starts at the snapshot's epoch; the first refreeze takes the
+  /// full-rebuild path (the merge path's link cache is not persisted).
+  static Result<std::unique_ptr<BanksEngine>> FromSnapshot(
+      Database db, const std::string& path, BanksOptions options = {});
+
+  /// Writes the current state to `path` (snapshot::WriteSnapshot with this
+  /// database's fingerprint). Pending overlays are refrozen first so the
+  /// file always captures a complete epoch. Thread-safe against queries;
+  /// serialized against writers.
+  Result<snapshot::SnapshotWriteStats> SaveSnapshot(const std::string& path);
+
+  /// Epoch and size of the last snapshot file written or loaded by this
+  /// engine (0/0 when snapshotting is unused). Thread-safe.
+  uint64_t snapshot_epoch() const {
+    return snapshot_epoch_.load(std::memory_order_relaxed);
+  }
+  uint64_t snapshot_bytes() const {
+    return snapshot_bytes_.load(std::memory_order_relaxed);
+  }
 
   // ------------------------------------------------- concurrent serving
   // Threading model: queries read one immutable LiveState (graph snapshot,
@@ -285,6 +322,12 @@ class BanksEngine {
   server::QueryCache* query_cache() const { return cache_.get(); }
 
  private:
+  /// Tag-dispatched constructor for FromSnapshot: adopts `loaded` as the
+  /// initial state instead of running Rebuild(0).
+  struct FromSnapshotTag {};
+  BanksEngine(FromSnapshotTag, Database db, BanksOptions options,
+              LiveStateSnapshot loaded);
+
   /// The one query code path: every Search / OpenSession overload lands
   /// here (`policy` null = no authorization).
   Result<QuerySession> OpenSessionImpl(const std::string& query_text,
@@ -328,6 +371,11 @@ class BanksEngine {
   mutable util::Mutex pool_mu_;
   mutable std::unique_ptr<server::SessionPool> pool_
       BANKS_GUARDED_BY(pool_mu_);
+
+  // Last snapshot file written or loaded (gauges for PoolStats; atomics
+  // because the pool samples them without the update mutex).
+  std::atomic<uint64_t> snapshot_epoch_{0};
+  std::atomic<uint64_t> snapshot_bytes_{0};
 };
 
 }  // namespace banks

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <span>
 
 #include "index/tokenizer.h"
 #include "util/string_util.h"
@@ -142,7 +143,7 @@ std::vector<KeywordMatch> KeywordResolver::ResolveNumeric(
   if (ihi >= ilo && ihi - ilo <= 10'000) {
     for (int64_t k = ilo; k <= ihi; ++k) {
       std::string token = std::to_string(k);
-      auto add_hits = [&](const std::vector<Rid>& postings) {
+      auto add_hits = [&](std::span<const Rid> postings) {
         for (Rid rid : postings) {
           if (!term.attribute.empty() &&
               !TupleColumnContains(rid, term.attribute, token)) {
@@ -207,7 +208,7 @@ std::vector<KeywordMatch> KeywordResolver::ResolveScored(
                 ? 1.0 / (1.0 + d)
                 : 0.7;  // prefix expansion
     }
-    auto add_hits = [&](const std::vector<Rid>& postings) {
+    auto add_hits = [&](std::span<const Rid> postings) {
       if (term.attribute.empty()) {
         for (Rid rid : postings) hits.emplace_back(rid, rel);
       } else {

@@ -46,7 +46,38 @@ FrozenGraph::FrozenGraph(std::vector<uint32_t> out_offsets,
   }
 }
 
+FrozenGraph::FrozenGraph(std::span<const uint32_t> out_offsets,
+                         EdgeSpan out_edges,
+                         std::span<const uint32_t> in_offsets,
+                         EdgeSpan in_edges, std::span<const double> node_weights,
+                         double max_node_weight, double min_edge_weight,
+                         std::shared_ptr<const void> arena)
+    : v_out_offsets_(out_offsets),
+      v_in_offsets_(in_offsets),
+      v_out_edges_(out_edges),
+      v_in_edges_(in_edges),
+      v_node_weight_(node_weights),
+      arena_(std::move(arena)),
+      max_node_weight_(max_node_weight),
+      min_edge_weight_(min_edge_weight) {
+  assert(arena_ != nullptr);
+  assert(v_out_offsets_.size() == v_node_weight_.size() + 1);
+  assert(v_in_offsets_.size() == v_node_weight_.size() + 1);
+  assert(v_out_edges_.size() == v_in_edges_.size());
+  // The default-constructed offsets sentinels would shadow the views
+  // (accessors prefer owned storage when non-empty).
+  out_offsets_.clear();
+  in_offsets_.clear();
+}
+
+void FrozenGraph::DetachWeights() {
+  if (!arena_ || !node_weight_.empty() || v_node_weight_.empty()) return;
+  node_weight_.assign(v_node_weight_.begin(), v_node_weight_.end());
+  v_node_weight_ = {};
+}
+
 void FrozenGraph::set_node_weight(NodeId n, double w) {
+  DetachWeights();
   const double old = node_weight_[n];
   node_weight_[n] = w;
   if (w >= max_node_weight_) {
@@ -58,6 +89,7 @@ void FrozenGraph::set_node_weight(NodeId n, double w) {
 }
 
 void FrozenGraph::SetNodeWeights(const std::vector<double>& weights) {
+  DetachWeights();
   const size_t n = std::min(weights.size(), node_weight_.size());
   for (size_t i = 0; i < n; ++i) node_weight_[i] = weights[i];
   max_node_weight_ = MaxNodeWeightOf(node_weight_);
@@ -84,6 +116,11 @@ size_t FrozenGraph::MemoryBytes() const {
   bytes += in_offsets_.capacity() * sizeof(uint32_t);
   bytes += out_edges_.capacity() * sizeof(GraphEdge);
   bytes += in_edges_.capacity() * sizeof(GraphEdge);
+  if (arena_) {
+    bytes += v_node_weight_.size_bytes() + v_out_offsets_.size_bytes() +
+             v_in_offsets_.size_bytes() + v_out_edges_.size_bytes() +
+             v_in_edges_.size_bytes();
+  }
   return bytes;
 }
 

@@ -8,9 +8,31 @@
 
 namespace banks {
 
-const std::vector<Rid> InvertedIndex::kEmpty;
+void InvertedIndex::Detach() {
+  if (!arena_) return;
+  postings_.clear();
+  postings_.reserve(views_.size());
+  for (const auto& [kw, span] : views_) {
+    postings_.emplace(kw, std::vector<Rid>(span.begin(), span.end()));
+  }
+  views_.clear();
+  arena_.reset();
+  finalized_ = true;  // view lists are finalized by contract
+}
+
+void InvertedIndex::AttachViews(
+    std::vector<std::pair<std::string, std::span<const Rid>>> entries,
+    std::shared_ptr<const void> arena) {
+  postings_.clear();
+  views_.clear();
+  views_.reserve(entries.size());
+  for (auto& [kw, span] : entries) views_.emplace(std::move(kw), span);
+  arena_ = std::move(arena);
+  finalized_ = true;
+}
 
 void InvertedIndex::Build(const Database& db) {
+  Detach();
   postings_.clear();
   for (const auto& name : db.table_names()) {
     if (!name.empty() && name[0] == '_') continue;  // system tables
@@ -36,6 +58,7 @@ void InvertedIndex::Build(const Database& db) {
 }
 
 void InvertedIndex::AddText(const std::string& text, Rid rid) {
+  Detach();
   for (auto& tok : Tokenize(text)) {
     postings_[tok].push_back(rid);
   }
@@ -45,6 +68,7 @@ void InvertedIndex::AddText(const std::string& text, Rid rid) {
 void InvertedIndex::PatchPostings(const std::string& keyword,
                                   std::vector<Rid> add,
                                   std::vector<Rid> remove) {
+  Detach();
   Finalize();  // patching assumes (and preserves) sorted postings
   std::sort(add.begin(), add.end());
   add.erase(std::unique(add.begin(), add.end()), add.end());
@@ -81,11 +105,15 @@ void InvertedIndex::Finalize() const {
   finalized_ = true;
 }
 
-const std::vector<Rid>& InvertedIndex::Lookup(
-    const std::string& keyword) const {
+std::span<const Rid> InvertedIndex::Lookup(const std::string& keyword) const {
+  if (arena_) {
+    auto it = views_.find(NormalizeKeyword(keyword));
+    if (it == views_.end()) return {};
+    return it->second;
+  }
   Finalize();
   auto it = postings_.find(NormalizeKeyword(keyword));
-  if (it == postings_.end()) return kEmpty;
+  if (it == postings_.end()) return {};
   return it->second;
 }
 
@@ -93,8 +121,14 @@ std::vector<std::string> InvertedIndex::KeywordsWithPrefix(
     const std::string& prefix) const {
   std::string p = NormalizeKeyword(prefix);
   std::vector<std::string> out;
-  for (const auto& [kw, _] : postings_) {
-    if (StartsWith(kw, p)) out.push_back(kw);
+  if (arena_) {
+    for (const auto& [kw, _] : views_) {
+      if (StartsWith(kw, p)) out.push_back(kw);
+    }
+  } else {
+    for (const auto& [kw, _] : postings_) {
+      if (StartsWith(kw, p)) out.push_back(kw);
+    }
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -102,15 +136,23 @@ std::vector<std::string> InvertedIndex::KeywordsWithPrefix(
 
 std::vector<std::string> InvertedIndex::AllKeywords() const {
   std::vector<std::string> out;
-  out.reserve(postings_.size());
-  for (const auto& [kw, _] : postings_) out.push_back(kw);
+  out.reserve(num_keywords());
+  if (arena_) {
+    for (const auto& [kw, _] : views_) out.push_back(kw);
+  } else {
+    for (const auto& [kw, _] : postings_) out.push_back(kw);
+  }
   std::sort(out.begin(), out.end());
   return out;
 }
 
 size_t InvertedIndex::num_postings() const {
   size_t n = 0;
-  for (const auto& [_, list] : postings_) n += list.size();
+  if (arena_) {
+    for (const auto& [_, span] : views_) n += span.size();
+  } else {
+    for (const auto& [_, list] : postings_) n += list.size();
+  }
   return n;
 }
 
@@ -121,7 +163,7 @@ Status InvertedIndex::Save(const std::string& path) const {
   // Sorted for determinism.
   for (const auto& kw : AllKeywords()) {
     out << kw << '\t';
-    const auto& list = postings_.at(kw);
+    const auto list = Lookup(kw);
     for (size_t i = 0; i < list.size(); ++i) {
       if (i) out << ',';
       out << list[i].Pack();
@@ -134,6 +176,7 @@ Status InvertedIndex::Save(const std::string& path) const {
 Status InvertedIndex::Load(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot read '" + path + "'");
+  Detach();
   postings_.clear();
   std::string line;
   while (std::getline(in, line)) {

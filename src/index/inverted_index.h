@@ -4,9 +4,24 @@
 // This index is built in memory by scanning every textual attribute of every
 // table, and can be serialised to / loaded from a flat file so that large
 // deployments keep only the graph in RAM.
+//
+// Storage modes:
+//   - Owning (default): each posting list is a member vector, as produced
+//     by Build/AddText/Load.
+//   - View: posting lists are spans into externally-owned storage (the
+//     mapped snapshot file, src/snapshot/), attached via AttachViews with a
+//     type-erased arena keep-alive. The keyword hash map itself is owned
+//     (it must be rebuilt at load anyway); only the Rid arrays — the hot
+//     per-element data — stay mapped. Any mutation (Build/AddText/
+//     PatchPostings/Load) first detaches: posting lists are copied into
+//     owned vectors, which is exactly the copy the merge-refreeze path
+//     already paid for a fresh index, so patching a mapped index costs the
+//     same as patching a built one.
 #ifndef BANKS_INDEX_INVERTED_INDEX_H_
 #define BANKS_INDEX_INVERTED_INDEX_H_
 
+#include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -44,9 +59,21 @@ class InvertedIndex {
   void PatchPostings(const std::string& keyword, std::vector<Rid> add,
                      std::vector<Rid> remove);
 
+  /// Replaces the contents with views over externally-owned posting
+  /// lists (the snapshot mmap path). Each entry maps an already-normalised
+  /// keyword to a sorted, deduplicated span of rids living in `arena`-kept
+  /// storage; the spans are adopted without copying an element. Lists are
+  /// trusted as finalized (the snapshot writer only serialises finalized
+  /// indexes, and section checksums guard the bytes).
+  void AttachViews(
+      std::vector<std::pair<std::string, std::span<const Rid>>> entries,
+      std::shared_ptr<const void> arena);
+
   /// Tuples containing `keyword` (already-normalised or raw; it is
-  /// normalised internally). Sorted by Rid for determinism.
-  const std::vector<Rid>& Lookup(const std::string& keyword) const;
+  /// normalised internally). Sorted by Rid for determinism. The span is
+  /// valid as long as this index (or, in view mode, its arena) lives and
+  /// no mutating call intervenes.
+  std::span<const Rid> Lookup(const std::string& keyword) const;
 
   /// All keywords with `prefix` (used by approximate matching).
   std::vector<std::string> KeywordsWithPrefix(const std::string& prefix) const;
@@ -54,8 +81,14 @@ class InvertedIndex {
   /// Iterates all distinct keywords (sorted). For diagnostics/benchmarks.
   std::vector<std::string> AllKeywords() const;
 
-  size_t num_keywords() const { return postings_.size(); }
+  size_t num_keywords() const {
+    return arena_ ? views_.size() : postings_.size();
+  }
   size_t num_postings() const;
+
+  /// True when posting lists are views into externally-owned storage
+  /// (the bench zero-copy gate checks this).
+  bool is_view() const { return arena_ != nullptr; }
 
   /// Flat-file persistence: "keyword<TAB>packed_rid,packed_rid,...".
   Status Save(const std::string& path) const;
@@ -63,10 +96,15 @@ class InvertedIndex {
 
  private:
   void Finalize() const;  // sorts + dedups postings lazily
+  void Detach();          // copies view spans into owned posting lists
 
   mutable std::unordered_map<std::string, std::vector<Rid>> postings_;
   mutable bool finalized_ = true;
-  static const std::vector<Rid> kEmpty;
+
+  // View mode (active iff arena_ set): keyword -> mapped span. Copies of
+  // the index share the arena, so refreeze's copy-then-patch stays safe.
+  std::unordered_map<std::string, std::span<const Rid>> views_;
+  std::shared_ptr<const void> arena_;
 };
 
 }  // namespace banks

@@ -25,6 +25,15 @@ void MetadataIndex::Build(const Database& db) {
   }
 }
 
+void MetadataIndex::Restore(
+    std::vector<std::pair<std::string, std::vector<MetadataMatch>>> entries) {
+  matches_.clear();
+  matches_.reserve(entries.size());
+  for (auto& [tok, ms] : entries) {
+    matches_.emplace(std::move(tok), std::move(ms));
+  }
+}
+
 std::vector<MetadataMatch> MetadataIndex::Lookup(
     const std::string& keyword) const {
   auto it = matches_.find(NormalizeKeyword(keyword));

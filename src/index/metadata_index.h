@@ -9,6 +9,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "storage/database.h"
@@ -30,6 +31,13 @@ struct MetadataMatch {
 class MetadataIndex {
  public:
   void Build(const Database& db);
+
+  /// Replaces the contents with pre-tokenised records (the snapshot load
+  /// path, src/snapshot/). Each entry maps an already-normalised token to
+  /// its matches, exactly as Build would have produced them. The index is
+  /// tiny (schema-sized), so it is rebuilt owning rather than mapped.
+  void Restore(
+      std::vector<std::pair<std::string, std::vector<MetadataMatch>>> entries);
 
   /// Matches for `keyword` (tokens of relation and column names).
   std::vector<MetadataMatch> Lookup(const std::string& keyword) const;

@@ -4,7 +4,33 @@
 
 namespace banks {
 
+void NumericIndex::Detach() {
+  if (!arena_) return;
+  by_value_.clear();
+  for (size_t i = 0; i < v_values_.size(); ++i) {
+    by_value_.emplace(v_values_[i],
+                      std::vector<Rid>(v_rids_.begin() + v_offsets_[i],
+                                       v_rids_.begin() + v_offsets_[i + 1]));
+  }
+  v_values_ = {};
+  v_offsets_ = {};
+  v_rids_ = {};
+  arena_.reset();
+}
+
+void NumericIndex::AttachViews(std::span<const double> values,
+                               std::span<const uint64_t> offsets,
+                               std::span<const Rid> rids,
+                               std::shared_ptr<const void> arena) {
+  by_value_.clear();
+  v_values_ = values;
+  v_offsets_ = offsets;
+  v_rids_ = rids;
+  arena_ = std::move(arena);
+}
+
 void NumericIndex::Build(const Database& db) {
+  Detach();
   by_value_.clear();
   for (const auto& name : db.table_names()) {
     if (!name.empty() && name[0] == '_') continue;  // system tables
@@ -37,6 +63,7 @@ void NumericIndex::Build(const Database& db) {
 
 void NumericIndex::PatchValue(double value, std::vector<Rid> add,
                               std::vector<Rid> remove) {
+  Detach();
   std::sort(add.begin(), add.end());
   add.erase(std::unique(add.begin(), add.end()), add.end());
   std::sort(remove.begin(), remove.end());
@@ -66,6 +93,17 @@ void NumericIndex::PatchValue(double value, std::vector<Rid> add,
 std::vector<NumericIndex::Match> NumericIndex::LookupRange(double lo,
                                                            double hi) const {
   std::vector<Match> out;
+  if (arena_) {
+    const auto first =
+        std::lower_bound(v_values_.begin(), v_values_.end(), lo);
+    for (size_t i = first - v_values_.begin();
+         i < v_values_.size() && v_values_[i] <= hi; ++i) {
+      for (uint64_t j = v_offsets_[i]; j < v_offsets_[i + 1]; ++j) {
+        out.push_back(Match{v_rids_[j], v_values_[i]});
+      }
+    }
+    return out;
+  }
   for (auto it = by_value_.lower_bound(lo);
        it != by_value_.end() && it->first <= hi; ++it) {
     for (Rid rid : it->second) out.push_back(Match{rid, it->first});
@@ -74,6 +112,7 @@ std::vector<NumericIndex::Match> NumericIndex::LookupRange(double lo,
 }
 
 size_t NumericIndex::num_entries() const {
+  if (arena_) return v_rids_.size();
   size_t n = 0;
   for (const auto& [value, rids] : by_value_) n += rids.size();
   return n;

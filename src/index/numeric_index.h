@@ -5,10 +5,22 @@
 // published around 1988." Numeric attributes (INT/DOUBLE columns) are
 // indexed by value so range probes are cheap; numeric tokens inside string
 // attributes are covered separately by the inverted index.
+//
+// Storage modes:
+//   - Owning (default): a value -> rid-vector ordered map, as built by
+//     Build/PatchValue.
+//   - View: three parallel mapped arrays (sorted distinct values, per-value
+//     offsets into a flat rid array) attached via AttachViews from the
+//     snapshot reader, probed by binary search. PatchValue on a view first
+//     detaches (rebuilds the owning map from the arrays), matching what the
+//     merge-refreeze copy already costs.
 #ifndef BANKS_INDEX_NUMERIC_INDEX_H_
 #define BANKS_INDEX_NUMERIC_INDEX_H_
 
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "storage/database.h"
@@ -39,12 +51,34 @@ class NumericIndex {
   /// need not be sorted.
   void PatchValue(double value, std::vector<Rid> add, std::vector<Rid> remove);
 
-  size_t num_values() const { return by_value_.size(); }
+  /// Replaces the contents with views over externally-owned arrays (the
+  /// snapshot mmap path): `values` sorted ascending and distinct; the rids
+  /// of values[i] occupy rids[offsets[i], offsets[i+1]) sorted and
+  /// deduplicated; offsets has values.size()+1 entries. Nothing is copied;
+  /// `arena` keeps the storage alive.
+  void AttachViews(std::span<const double> values,
+                   std::span<const uint64_t> offsets, std::span<const Rid> rids,
+                   std::shared_ptr<const void> arena);
+
+  size_t num_values() const {
+    return arena_ ? v_values_.size() : by_value_.size();
+  }
   size_t num_entries() const;
 
+  /// True when contents are views into externally-owned storage.
+  bool is_view() const { return arena_ != nullptr; }
+
  private:
+  void Detach();  // rebuilds the owning map from the view arrays
+
   // Ordered by value for range scans.
   std::map<double, std::vector<Rid>> by_value_;
+
+  // View mode (active iff arena_ set).
+  std::span<const double> v_values_;
+  std::span<const uint64_t> v_offsets_;
+  std::span<const Rid> v_rids_;
+  std::shared_ptr<const void> arena_;
 };
 
 }  // namespace banks

@@ -81,29 +81,94 @@ size_t EstimateBytes(const CachedResolution& v) {
   return bytes;
 }
 
-// Admits one completed run. Constructed by QueryCache::MakeAnswerFill so
-// the engine never touches the store surface directly.
-class AnswerFill final : public AnswerCacheSink {
+}  // namespace
+
+// One in-flight coalesced computation. The leader sink writes it exactly
+// once (published or aborted); any number of followers poll it. Followers
+// keep their own shared_ptr, so the state outlives its table entry.
+struct FlightState {
+  enum class State { kRunning, kPublished, kAborted };
+  util::Mutex mu;
+  State state BANKS_GUARDED_BY(mu) = State::kRunning;
+  std::vector<ScoredAnswer> answers BANKS_GUARDED_BY(mu);
+  SearchStats stats BANKS_GUARDED_BY(mu);
+};
+
+namespace {
+
+// The follower's view of a flight (core-facing AnswerFlight).
+class FlightFollower final : public AnswerFlight {
  public:
-  AnswerFill(QueryCache* cache, std::string key, uint64_t epoch,
+  explicit FlightFollower(std::shared_ptr<FlightState> flight)
+      : flight_(std::move(flight)) {}
+
+  State Poll(std::vector<ScoredAnswer>* answers,
+             SearchStats* stats) override {
+    util::MutexLock lock(&flight_->mu);
+    switch (flight_->state) {
+      case FlightState::State::kRunning:
+        return State::kRunning;
+      case FlightState::State::kPublished:
+        *answers = flight_->answers;  // copy: every follower adopts its own
+        *stats = flight_->stats;
+        return State::kPublished;
+      case FlightState::State::kAborted:
+        return State::kAborted;
+    }
+    return State::kAborted;
+  }
+
+ private:
+  std::shared_ptr<FlightState> flight_;
+};
+
+// The leader's sink: admits one completed run to the cache AND publishes
+// it to the flight's followers. Destruction without a publication (the
+// session cancelled or truncated) aborts the flight so followers fall
+// back to their own searchers — a flight can never wedge.
+class FlightFill final : public AnswerCacheSink {
+ public:
+  FlightFill(QueryCache* cache, std::string key, uint64_t epoch,
              uint64_t pending,
              std::vector<std::vector<KeywordMatch>> keyword_matches,
-             std::vector<size_t> dropped_terms)
+             std::vector<size_t> dropped_terms,
+             std::shared_ptr<FlightState> flight, std::string flight_key)
       : cache_(cache),
         key_(std::move(key)),
         epoch_(epoch),
         pending_(pending),
         keyword_matches_(std::move(keyword_matches)),
-        dropped_terms_(std::move(dropped_terms)) {}
+        dropped_terms_(std::move(dropped_terms)),
+        flight_(std::move(flight)),
+        flight_key_(std::move(flight_key)) {}
+
+  ~FlightFill() override {
+    if (published_) return;
+    {
+      util::MutexLock lock(&flight_->mu);
+      flight_->state = FlightState::State::kAborted;
+    }
+    cache_->FinishFlight(flight_key_);
+  }
 
   void Publish(std::vector<ScoredAnswer> answers,
                const SearchStats& stats) override {
+    published_ = true;
+    {
+      // Followers first (copy), then the cache (move): a reader landing
+      // between the two steps finds the result one way or the other.
+      util::MutexLock lock(&flight_->mu);
+      flight_->state = FlightState::State::kPublished;
+      flight_->answers = answers;
+      flight_->stats = stats;
+    }
     CachedAnswers value;
     value.answers = std::move(answers);
     value.stats = stats;
     value.keyword_matches = std::move(keyword_matches_);
     value.dropped_terms = std::move(dropped_terms_);
     cache_->StoreAnswers(key_, epoch_, pending_, std::move(value));
+    cache_->FinishFlight(flight_key_);
   }
 
  private:
@@ -113,6 +178,9 @@ class AnswerFill final : public AnswerCacheSink {
   uint64_t pending_;
   std::vector<std::vector<KeywordMatch>> keyword_matches_;
   std::vector<size_t> dropped_terms_;
+  std::shared_ptr<FlightState> flight_;
+  std::string flight_key_;
+  bool published_ = false;
 };
 
 }  // namespace
@@ -244,13 +312,38 @@ std::vector<KeywordMatch> QueryCache::ResolveThrough(
   return matches;
 }
 
-std::shared_ptr<AnswerCacheSink> QueryCache::MakeAnswerFill(
+QueryCache::FlightJoin QueryCache::JoinFlight(
     std::string key, uint64_t epoch, uint64_t pending,
     std::vector<std::vector<KeywordMatch>> keyword_matches,
     std::vector<size_t> dropped_terms) {
-  return std::make_shared<AnswerFill>(this, std::move(key), epoch, pending,
-                                      std::move(keyword_matches),
-                                      std::move(dropped_terms));
+  // The flight key binds the computation to one exact publication: a
+  // mutation bumping `pending` mid-flight simply opens a fresh flight,
+  // and the stale one drains out when its leader finishes.
+  std::string flight_key = key;
+  flight_key.push_back('@');
+  flight_key.append(std::to_string(epoch));
+  flight_key.push_back('/');
+  flight_key.append(std::to_string(pending));
+
+  FlightJoin join;
+  util::MutexLock lock(&flights_mu_);
+  auto it = flights_.find(flight_key);
+  if (it != flights_.end()) {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    join.flight = std::make_shared<FlightFollower>(it->second);
+    return join;
+  }
+  auto flight = std::make_shared<FlightState>();
+  flights_.emplace(flight_key, flight);
+  join.sink = std::make_shared<FlightFill>(
+      this, std::move(key), epoch, pending, std::move(keyword_matches),
+      std::move(dropped_terms), std::move(flight), std::move(flight_key));
+  return join;
+}
+
+void QueryCache::FinishFlight(const std::string& flight_key) {
+  util::MutexLock lock(&flights_mu_);
+  flights_.erase(flight_key);
 }
 
 void QueryCache::StoreAnswers(const std::string& key, uint64_t epoch,
@@ -392,6 +485,7 @@ QueryCacheStats QueryCache::stats() const {
     out.insertions += c.insertions.load(std::memory_order_relaxed);
     out.purged += c.purged.load(std::memory_order_relaxed);
   }
+  out.coalesced = coalesced_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
     util::MutexLock lock(&shard.mu);
     out.bytes += shard.bytes;

@@ -61,6 +61,8 @@
 
 namespace banks::server {
 
+struct FlightState;  // query_cache.cc: one in-flight coalesced computation
+
 /// Aggregated cache counters (one snapshot; see PoolStats for the serving
 /// view). Probes are classified exclusively: a hit, a miss (no entry), or
 /// an invalidation (an entry existed but could not be proven valid).
@@ -73,6 +75,7 @@ struct QueryCacheStats {
   uint64_t evictions = 0;          ///< LRU-by-bytes evictions
   uint64_t insertions = 0;         ///< entries admitted
   uint64_t purged = 0;             ///< dead-epoch entries purged at refreeze
+  uint64_t coalesced = 0;  ///< concurrent identical misses joined in-flight
   size_t bytes = 0;                ///< resident payload estimate
   size_t entries = 0;              ///< resident entry count
 };
@@ -134,13 +137,25 @@ class QueryCache {
                                            const MatchOptions& match,
                                            uint64_t epoch, uint64_t pending);
 
-  /// A sink that admits a completed run's answers under `key` (bound to
-  /// the open-time epoch/pending and keyword-match metadata). The session
-  /// publishes into it only on natural, untruncated exhaustion.
-  std::shared_ptr<AnswerCacheSink> MakeAnswerFill(
-      std::string key, uint64_t epoch, uint64_t pending,
-      std::vector<std::vector<KeywordMatch>> keyword_matches,
-      std::vector<size_t> dropped_terms);
+  /// Join result of one cacheable miss: exactly one side is set. `sink`
+  /// means this session LEADS the computation — publishing into it admits
+  /// the run to the cache AND completes the flight; dropping it
+  /// unpublished (cancel, truncation) aborts the flight. `flight` means
+  /// an identical run is already in flight on the same (epoch, pending):
+  /// the session follows it instead of searching.
+  struct FlightJoin {
+    std::shared_ptr<AnswerCacheSink> sink;
+    std::shared_ptr<AnswerFlight> flight;
+  };
+
+  /// Registers a cacheable miss in the in-flight table (keyed by
+  /// key+epoch+pending, so flights never cross publications) and returns
+  /// the leader sink or the follower flight. The leader publishes only on
+  /// natural, untruncated exhaustion — identical semantics to the former
+  /// MakeAnswerFill, plus flight completion.
+  FlightJoin JoinFlight(std::string key, uint64_t epoch, uint64_t pending,
+                        std::vector<std::vector<KeywordMatch>> keyword_matches,
+                        std::vector<size_t> dropped_terms);
 
   // ---------------------------------------- writers (lint-confined names)
   // banks_lint confines calls to these to src/server/ + src/update/: the
@@ -164,6 +179,10 @@ class QueryCache {
   /// Epoch hook: purges entries not keyed to `epoch` (normally all of
   /// them) and rebinds the journal. Returns the number purged.
   size_t OnRefreeze(uint64_t epoch);
+
+  /// Removes one in-flight entry (leader publication/abort). Called by the
+  /// sink JoinFlight built; sessions never call this.
+  void FinishFlight(const std::string& flight_key);
 
   /// Counter snapshot (lock-free for the counters; shard locks are taken
   /// briefly for bytes/entries).
@@ -214,6 +233,15 @@ class QueryCache {
   const size_t shard_mask_;
   std::vector<Shard> shards_;
   std::vector<Counters> counters_;
+
+  // In-flight answer computations keyed by key+epoch+pending. Entries are
+  // created by JoinFlight's leader side and erased by the leader sink on
+  // publication or abort; followers hold their own shared_ptr to the
+  // state, so a finished flight stays pollable after its table entry dies.
+  mutable util::Mutex flights_mu_;
+  std::unordered_map<std::string, std::shared_ptr<FlightState>> flights_
+      BANKS_GUARDED_BY(flights_mu_);
+  std::atomic<uint64_t> coalesced_{0};
 
   // Per-epoch mutation journal: last pending count at which each token /
   // table id was touched. Bound to one epoch at a time; a probe whose

@@ -183,11 +183,19 @@ SessionPool::SliceResult SessionPool::RunSlice(ServerTask& task) {
   // the slice produces (see QuerySession::PumpMany) — the publication
   // below is the slice's only handle-lock crossing.
   std::vector<ScoredAnswer> produced;
+  const size_t steps_before = task.steps;
   PumpOutcome outcome = task.session.PumpMany(task.quantum, &produced);
   task.steps = task.session.pump_steps();
+  const bool exhausted = outcome == PumpOutcome::kExhausted;
+  if (!exhausted && task.steps <= steps_before) {
+    // Zero-progress yield: a follower parked on an in-flight identical
+    // run does no stepper work, so charge the granted quantum anyway —
+    // otherwise the least-attained-service tiebreak keeps scheduling the
+    // parked session ahead of the leader it is waiting on.
+    task.steps = steps_before + task.quantum;
+  }
   task.quantum =
       std::min(options_.step_quantum, task.quantum * options_.quantum_growth);
-  const bool exhausted = outcome == PumpOutcome::kExhausted;
   if (exhausted &&
       task.session.stats().truncation == Truncation::kDeadline) {
     result.deadline_truncated = true;
@@ -273,6 +281,9 @@ PoolStats SessionPool::stats() const {
   snapshot.cache_misses = cache.misses;
   snapshot.cache_invalidations = cache.invalidations;
   snapshot.cache_resolution_hits = cache.resolution_hits;
+  snapshot.cache_coalesced = cache.coalesced;
+  snapshot.snapshot_epoch = engine_->snapshot_epoch();
+  snapshot.snapshot_bytes = engine_->snapshot_bytes();
   return snapshot;
 }
 

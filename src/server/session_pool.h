@@ -124,6 +124,14 @@ struct PoolStats {
   uint64_t cache_misses = 0;           ///< answer probes with no entry
   uint64_t cache_invalidations = 0;    ///< stale entries dropped on probe
   uint64_t cache_resolution_hits = 0;  ///< keyword-resolution reuse
+  uint64_t cache_coalesced = 0;  ///< concurrent misses joined onto one run
+
+  // Snapshot persistence gauges (src/snapshot/), sampled from the engine:
+  // the last epoch file written (SaveSnapshot / refreeze rotation) or
+  // loaded (BanksEngine::FromSnapshot) and its size. Zero when snapshot
+  // persistence is not in use.
+  uint64_t snapshot_epoch = 0;
+  uint64_t snapshot_bytes = 0;
 };
 
 /// Fixed set of worker threads multiplexing concurrent QuerySessions.

@@ -1,0 +1,120 @@
+// On-disk layout of a BANKS snapshot file (single-file arena format).
+//
+//   [SnapshotHeader][SectionEntry x section_count][payload sections...]
+//
+// Every payload section starts at an 8-byte-aligned offset and carries its
+// own checksum (SnapshotChecksum below) in the section table; the table
+// itself is checksummed in the header. All integers are little-endian native — the header records
+// an endianness marker and a format version, and OpenSnapshot refuses files
+// whose marker or version does not match the running build (snapshots are a
+// same-architecture restart/replication format, not an interchange format).
+//
+// The hot arrays (CSR offsets/edges, node weights, rid map, posting lists,
+// numeric arrays) are stored exactly as their in-memory layout so the
+// reader can hand out spans into the mapping without touching an element.
+// GraphEdge is 16 bytes with 4 bytes of internal padding; the writer zeroes
+// the padding so files are byte-deterministic and checksums reproducible.
+#ifndef BANKS_SNAPSHOT_SNAPSHOT_FORMAT_H_
+#define BANKS_SNAPSHOT_SNAPSHOT_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace banks {
+namespace snapshot {
+
+/// Word-at-a-time FNV-1a over the payload bytes (length mixed in up
+/// front, tail bytes zero-extended into one final word). Checksumming
+/// every section dominates OpenSnapshot's cold-start cost, so this runs
+/// at ~8x the byte-at-a-time rate; writer and reader must agree on it,
+/// which is why it lives in the format header.
+inline uint64_t SnapshotChecksum(const void* data, size_t size) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 14695981039346656037ull ^ (size * kPrime);
+  size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = (h ^ w) * kPrime;
+  }
+  if (i < size) {
+    uint64_t w = 0;
+    std::memcpy(&w, p + i, size - i);
+    h = (h ^ w) * kPrime;
+  }
+  return h;
+}
+
+inline constexpr char kMagic[8] = {'B', 'N', 'K', 'S', 'N', 'A', 'P', '1'};
+inline constexpr uint32_t kVersion = 1;
+/// Written as a native uint32; reads back as 0x01020304 only on a machine
+/// with the same byte order.
+inline constexpr uint32_t kEndianMarker = 0x01020304u;
+inline constexpr uint64_t kSectionAlignment = 8;
+
+/// Section kinds, in on-disk order. Exactly one section of each kind.
+enum SectionKind : uint32_t {
+  kMeta = 1,            // SnapshotMeta
+  kOutOffsets = 2,      // uint32[num_nodes + 1]
+  kInOffsets = 3,       // uint32[num_nodes + 1]
+  kOutEdges = 4,        // GraphEdge[num_edges], padding zeroed
+  kInEdges = 5,         // GraphEdge[num_edges], padding zeroed
+  kNodeWeights = 6,     // double[num_nodes]
+  kNodeRids = 7,        // Rid[num_nodes] (NodeId -> Rid, node order)
+  kKeywordBlob = 8,     // concatenated keyword bytes, sorted keyword order
+  kKeywordOffsets = 9,  // uint64[num_keywords + 1] into kKeywordBlob
+  kPostingOffsets = 10, // uint64[num_keywords + 1] into kPostings
+  kPostings = 11,       // Rid[num_postings], flat sorted per keyword
+  kMetadataBlob = 12,   // token\t table\t column\n records (tiny; parsed)
+  kNumericValues = 13,  // double[num_numeric_values], ascending
+  kNumericOffsets = 14, // uint64[num_numeric_values + 1] into kNumericRids
+  kNumericRids = 15,    // Rid[num_numeric_entries]
+};
+inline constexpr uint32_t kNumSections = 15;
+
+struct SnapshotHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t endian;
+  uint64_t epoch;
+  uint64_t file_bytes;      // total file size; must match on open
+  uint32_t section_count;
+  uint32_t reserved;        // zero
+  uint64_t table_checksum;  // SnapshotChecksum over the section table
+};
+static_assert(sizeof(SnapshotHeader) == 48, "on-disk layout is fixed");
+
+struct SectionEntry {
+  uint32_t kind;      // SectionKind
+  uint32_t reserved;  // zero
+  uint64_t offset;    // from file start; multiple of kSectionAlignment
+  uint64_t size;      // payload bytes (unpadded)
+  uint64_t checksum;  // SnapshotChecksum over the payload bytes
+};
+static_assert(sizeof(SectionEntry) == 32, "on-disk layout is fixed");
+
+/// Fixed-size metadata section: element counts (cross-checked against
+/// section sizes on open) and the FrozenGraph invariants, stored so the
+/// reader reconstructs them without rescanning the arrays.
+struct SnapshotMeta {
+  uint64_t num_nodes;
+  uint64_t num_edges;
+  uint64_t num_keywords;
+  uint64_t num_postings;
+  uint64_t num_numeric_values;
+  uint64_t num_numeric_entries;
+  double max_node_weight;
+  double min_edge_weight;
+  /// DatabaseFingerprint(db) of the database the state derived from, or 0
+  /// if the writer had no database at hand (0 disables the open-time
+  /// pairing check).
+  uint64_t db_fingerprint;
+};
+static_assert(sizeof(SnapshotMeta) == 72, "on-disk layout is fixed");
+
+}  // namespace snapshot
+}  // namespace banks
+
+#endif  // BANKS_SNAPSHOT_SNAPSHOT_FORMAT_H_

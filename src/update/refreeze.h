@@ -61,6 +61,9 @@ struct RefreezeStats {
   bool verified = false;         ///< the equivalence oracle ran
   bool verify_mismatch = false;  ///< oracle disagreed; full rebuild published
   size_t cache_entries_purged = 0;  ///< query-cache entries of dead epochs
+  double snapshot_write_ms = 0.0;  ///< epoch-file write time (0 = no file)
+  uint64_t snapshot_bytes = 0;     ///< size of the written epoch file
+  bool snapshot_failed = false;    ///< the write failed; serving unaffected
 };
 
 /// Serialized-writer mutation applier + snapshot rebuilder.
@@ -85,6 +88,12 @@ class RefreezeCoordinator {
   /// Rebuild/MergeRebuild stored is kept — it describes the same epoch.
   /// Purges dead-epoch query-cache entries and returns how many.
   size_t BeginEpoch(DataGraphSnapshot base) BANKS_REQUIRES(mu_);
+
+  /// Adopts an externally-built epoch (the snapshot load path): records
+  /// its number so cache invalidation and the next refreeze key off the
+  /// loaded state. The link cache stays empty, so the first refreeze
+  /// after a snapshot load takes the full-rebuild path.
+  void AdoptEpoch(uint64_t epoch) BANKS_REQUIRES(mu_) { epoch_ = epoch; }
 
   /// Applies one mutation to storage and publishes new overlay snapshots.
   /// Returns the affected Rid (the fresh one for inserts). On error the

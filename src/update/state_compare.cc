@@ -1,6 +1,8 @@
 #include "update/state_compare.h"
 
+#include <algorithm>
 #include <limits>
+#include <span>
 #include <vector>
 
 namespace banks {
@@ -74,7 +76,9 @@ bool InvertedIndexesIdentical(const InvertedIndex& a, const InvertedIndex& b,
   // Equal counts + every a-keyword present with identical postings in b
   // implies full map equality.
   for (const auto& kw : a.AllKeywords()) {
-    if (a.Lookup(kw) != b.Lookup(kw)) {
+    const std::span<const Rid> pa = a.Lookup(kw);
+    const std::span<const Rid> pb = b.Lookup(kw);
+    if (!std::equal(pa.begin(), pa.end(), pb.begin(), pb.end())) {
       SetDiff(diff, "postings differ for keyword '" + kw + "'");
       return false;
     }

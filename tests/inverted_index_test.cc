@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 
 namespace banks {
@@ -103,7 +104,11 @@ TEST(InvertedIndexTest, SaveLoadRoundTrip) {
   ASSERT_TRUE(idx2.Load(path.string()).ok());
   EXPECT_EQ(idx2.num_keywords(), idx.num_keywords());
   EXPECT_EQ(idx2.num_postings(), idx.num_postings());
-  EXPECT_EQ(idx2.Lookup("search"), idx.Lookup("search"));
+  {
+    const auto lhs = idx2.Lookup("search");
+    const auto rhs = idx.Lookup("search");
+    EXPECT_TRUE(std::equal(lhs.begin(), lhs.end(), rhs.begin(), rhs.end()));
+  }
   EXPECT_EQ(idx2.AllKeywords(), idx.AllKeywords());
   std::filesystem::remove(path);
 }

@@ -573,5 +573,152 @@ TEST(QueryCacheStress, ConcurrentHitMissEvictUnderMutations) {
   EXPECT_LE(s.bytes, opts.cache.max_bytes);
 }
 
+// ------------------------------------------- in-flight miss coalescing
+
+// Two sessions opened on the same key before either finishes: the second
+// must join the first's flight (counter), park without searching, and on
+// the leader's completion adopt the identical answers.
+TEST(QueryCacheCoalesce, FollowerAdoptsTheLeadersRun) {
+  DblpConfig config;
+  config.num_authors = 60;
+  config.num_papers = 120;
+  config.seed = 21;
+  DblpDataset ds = GenerateDblp(config);
+  BanksEngine engine(std::move(ds.db), CachedOptions());
+
+  auto leader = engine.OpenSession("soumen sunita");
+  auto follower = engine.OpenSession("soumen sunita");
+  ASSERT_TRUE(leader.ok() && follower.ok());
+  EXPECT_EQ(engine.query_cache_stats().coalesced, 1u);
+
+  // The follower must idle (kYielded, zero answers) while the flight runs.
+  std::vector<ScoredAnswer> early;
+  EXPECT_EQ(follower.value().PumpMany(1 << 20, &early),
+            PumpOutcome::kYielded);
+  EXPECT_TRUE(early.empty());
+  EXPECT_EQ(follower.value().stats().iterator_visits, 0u)
+      << "a parked follower must not expand the graph";
+
+  std::vector<ConnectionTree> led = leader.value().Drain();
+  ASSERT_FALSE(led.empty());
+
+  // Published: the next pump adopts and replays the whole run.
+  std::vector<ScoredAnswer> adopted;
+  PumpOutcome outcome = PumpOutcome::kYielded;
+  while (outcome == PumpOutcome::kYielded) {
+    outcome = follower.value().PumpMany(64, &adopted);
+  }
+  EXPECT_EQ(outcome, PumpOutcome::kExhausted);
+  ASSERT_EQ(adopted.size(), led.size());
+  for (size_t i = 0; i < led.size(); ++i) {
+    EXPECT_EQ(adopted[i].tree.UndirectedSignature(),
+              led[i].UndirectedSignature())
+        << i;
+  }
+  EXPECT_EQ(follower.value().stats().iterator_visits,
+            leader.value().stats().iterator_visits)
+      << "adoption replays the leader's final stats";
+}
+
+TEST(QueryCacheCoalesce, BlockingFollowerFallsBackImmediately) {
+  DblpConfig config;
+  config.num_authors = 60;
+  config.num_papers = 120;
+  config.seed = 22;
+  DblpDataset ds = GenerateDblp(config);
+  BanksEngine engine(std::move(ds.db), CachedOptions());
+
+  auto leader = engine.OpenSession("gray transaction");
+  auto follower = engine.OpenSession("gray transaction");
+  ASSERT_TRUE(leader.ok() && follower.ok());
+  EXPECT_EQ(engine.query_cache_stats().coalesced, 1u);
+
+  // A blocking Drain cannot poll; the follower searches for itself and
+  // must produce the answers an independent run produces.
+  std::vector<ConnectionTree> followed = follower.value().Drain();
+  std::vector<ConnectionTree> led = leader.value().Drain();
+  EXPECT_EQ(TreeKeys(followed), TreeKeys(led));
+}
+
+TEST(QueryCacheCoalesce, LeaderCancelAbortsTheFlight) {
+  DblpConfig config;
+  config.num_authors = 60;
+  config.num_papers = 120;
+  config.seed = 23;
+  DblpDataset ds = GenerateDblp(config);
+  BanksEngine engine(std::move(ds.db), CachedOptions());
+
+  auto leader = engine.OpenSession("seltzer sunita");
+  auto follower = engine.OpenSession("seltzer sunita");
+  auto reference = engine.OpenSession("mohan");  // unrelated key: no flight
+  ASSERT_TRUE(leader.ok() && follower.ok() && reference.ok());
+
+  std::vector<ScoredAnswer> parked;
+  EXPECT_EQ(follower.value().PumpMany(1 << 20, &parked),
+            PumpOutcome::kYielded);
+  EXPECT_TRUE(parked.empty());
+
+  leader.value().Cancel();  // drops the sink -> the flight aborts
+
+  // The follower detects the abort on its next pump and runs the search
+  // itself: an independent engine-equivalent answer stream.
+  std::vector<ScoredAnswer> recovered;
+  PumpOutcome outcome = PumpOutcome::kYielded;
+  while (outcome == PumpOutcome::kYielded) {
+    outcome = follower.value().PumpMany(1 << 20, &recovered);
+  }
+  EXPECT_EQ(outcome, PumpOutcome::kExhausted);
+  auto independent = engine.Search("seltzer sunita");
+  ASSERT_TRUE(independent.ok());
+  ASSERT_EQ(recovered.size(), independent.value().answers.size());
+  for (size_t i = 0; i < recovered.size(); ++i) {
+    EXPECT_EQ(recovered[i].tree.UndirectedSignature(),
+              independent.value().answers[i].UndirectedSignature())
+        << i;
+  }
+}
+
+TEST(QueryCacheCoalesce, PoolSurfacesCoalescedCounter) {
+  DblpConfig config;
+  config.num_authors = 60;
+  config.num_papers = 120;
+  config.seed = 24;
+  DblpDataset ds = GenerateDblp(config);
+  BanksEngine engine(std::move(ds.db), CachedOptions());
+  server::PoolOptions popts;
+  popts.num_workers = 2;
+  server::SessionPool pool(engine, popts);
+
+  // Submit the same query from many threads at once: every concurrent
+  // duplicate miss must either hit the cache (a racing leader finished
+  // first) or coalesce onto a flight — never expand the graph twice for
+  // nothing. The exact split is timing-dependent; the sum is not.
+  constexpr int kThreads = 8;
+  std::vector<std::thread> submitters;
+  std::atomic<int> failures{0};
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&] {
+      auto handle = pool.Submit("soumen sunita");
+      if (!handle.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      if (handle.value().Drain().empty()) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const server::PoolStats ps = pool.stats();
+  const QueryCacheStats cs = engine.query_cache_stats();
+  EXPECT_EQ(ps.cache_coalesced, cs.coalesced);
+  EXPECT_EQ(cs.hits + cs.misses, static_cast<uint64_t>(kThreads));
+  // Deterministic floor: at most one session can be the leader of the
+  // first flight, so with every session opened before any completes the
+  // rest are hits or coalesced. At minimum the counters are consistent.
+  EXPECT_LE(cs.coalesced, static_cast<uint64_t>(kThreads - 1));
+}
+
 }  // namespace
 }  // namespace banks

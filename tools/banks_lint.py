@@ -30,6 +30,14 @@ type system cannot see:
       Tests are exempt: they drive the mutator surface directly to prove
       the invalidation contract.
 
+  snapshot-io-confinement
+      Raw memory-mapped IO (the mmap/munmap/mremap/madvise family) is
+      confined to src/snapshot/: the snapshot reader owns the single
+      mapping whose lifetime backs every view-mode graph and index
+      (arena keep-alive via shared_ptr), and a second mapping site
+      would mean a second, unaudited lifetime contract. Everything else
+      reaches mapped state through OpenSnapshot.
+
   no-raw-new-delete
       src/ owns memory through containers and smart pointers; a raw
       `new`/`delete` expression is either a leak-by-design or a double-
@@ -76,6 +84,10 @@ CACHE_MUTATORS = ("StoreAnswers", "StoreResolution", "OnMutationsApplied",
 CACHE_MUTATOR_CALL = re.compile(
     r"(?:\.|->)(" + "|".join(CACHE_MUTATORS) + r")\s*\(")
 CACHE_MUTATION_ALLOWED = ("src/server/", "src/update/")
+
+MMAP_FAMILY = ("mmap", "munmap", "mremap", "madvise")
+MMAP_CALL = re.compile(r"\b(" + "|".join(MMAP_FAMILY) + r")\s*\(")
+SNAPSHOT_IO_ALLOWED = "src/snapshot/"
 
 RAW_NEW = re.compile(r"\bnew\b\s*(?:\(|[A-Za-z_:<])")
 RAW_DELETE = re.compile(r"\bdelete\b(?:\s*\[\s*\])?\s*[A-Za-z_(*]")
@@ -197,6 +209,18 @@ class Linter:
                     "src/server/ and src/update/: only the serving and "
                     "refreeze paths may write the epoch-keyed cache")
 
+    def check_snapshot_io(self, rel: str, code_lines: list[str]) -> None:
+        if rel.startswith(SNAPSHOT_IO_ALLOWED):
+            return
+        for lineno, line in enumerate(code_lines, 1):
+            m = MMAP_CALL.search(line)
+            if m:
+                self.report(
+                    rel, lineno, "snapshot-io-confinement",
+                    f"{m.group(1)}() outside src/snapshot/: the snapshot "
+                    "reader owns the only mapping; reach mapped state "
+                    "through OpenSnapshot")
+
     def check_raw_new_delete(self, rel: str, code_lines: list[str],
                              raw_lines: list[str]) -> None:
         if not rel.startswith("src/"):
@@ -257,6 +281,7 @@ class Linter:
         self.check_db_calls(rel, code_lines)
         self.check_index_mutations(rel, code_lines)
         self.check_cache_mutations(rel, code_lines)
+        self.check_snapshot_io(rel, code_lines)
         self.check_raw_new_delete(rel, code_lines, raw_lines)
         self.check_suppressions(rel, code_lines, raw_lines)
 

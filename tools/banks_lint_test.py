@@ -136,6 +136,40 @@ class CacheMutationTest(LintFixture):
         self.assertEqual(self.lint(), [])
 
 
+class SnapshotIoTest(LintFixture):
+    def test_mmap_outside_snapshot_flagged(self):
+        self.write("src/core/engine.cc",
+                   "void F() { void* p = mmap(nullptr, n, PROT_READ, "
+                   "MAP_PRIVATE, fd, 0); }\n")
+        violations = self.lint()
+        self.assertEqual(len(violations), 1)
+        self.assertIn("snapshot-io-confinement", violations[0])
+
+    def test_whole_family_flagged_everywhere_walked(self):
+        self.write("src/index/reader.cc", "void F() { munmap(p, n); }\n")
+        self.write("bench/bench_io.cc", "void F() { mremap(p, n, m, 0); }\n")
+        self.write("examples/demo.cc",
+                   "void F() { madvise(p, n, MADV_WILLNEED); }\n")
+        self.write("tests/io_test.cc", "void F() { mmap(0, n, 0, 0, fd, 0); }\n")
+        violations = self.lint()
+        self.assertEqual(len(violations), 4)
+        self.assertTrue(all("snapshot-io-confinement" in v
+                            for v in violations))
+
+    def test_mmap_in_snapshot_dir_ok(self):
+        self.write("src/snapshot/snapshot_reader.cc",
+                   "void F() { void* p = mmap(nullptr, n, PROT_READ, "
+                   "MAP_PRIVATE, fd, 0); munmap(p, n); }\n")
+        self.assertEqual(self.lint(), [])
+
+    def test_mention_in_comment_and_identifier_ok(self):
+        self.write("src/core/engine.cc",
+                   "// mmap(2) lives in src/snapshot/ only\n"
+                   "void MappedFile(int unmmapped);\n"
+                   "bool use_mmap_backing = true;\n")
+        self.assertEqual(self.lint(), [])
+
+
 class RawNewDeleteTest(LintFixture):
     def test_raw_new_flagged(self):
         self.write("src/datagen/x.cc", "auto* p = new std::vector<int>{1};\n")

@@ -40,6 +40,10 @@ GATED_BENCHES = [
         "binary": "bench_refreeze",
         "reports": ["BENCH_refreeze.json"],
     },
+    {
+        "binary": "bench_snapshot",
+        "reports": ["BENCH_snapshot.json"],
+    },
 ]
 
 

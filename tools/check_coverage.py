@@ -6,9 +6,10 @@ Usage:
 
 Reads an lcov trace (llvm-cov export -format=lcov in CI; anything
 emitting SF:/DA: records works) and computes aggregate line coverage
-over src/update/ and src/server/ — the subsystems where a silently
-untested branch means a stale cache entry or a lost mutation rather
-than a wrong score. Fails (exit 1) if the percentage drops below the
+over src/update/, src/server/ and src/snapshot/ — the subsystems where
+a silently untested branch means a stale cache entry, a lost mutation,
+or a corrupt-file code path that crashes instead of returning a Status.
+Fails (exit 1) if the percentage drops below the
 floor checked into tools/coverage_floor.txt, so coverage can only be
 ratcheted deliberately.
 
@@ -20,7 +21,7 @@ import os
 import sys
 
 #: Subsystems the floor covers, matched as path substrings of SF records.
-GATED_DIRS = ("src/update/", "src/server/")
+GATED_DIRS = ("src/update/", "src/server/", "src/snapshot/")
 
 
 def parse_lcov(path):
