@@ -30,7 +30,7 @@ void RunQuery(const BanksEngine& engine, const std::string& query,
               const std::vector<std::pair<std::string, std::string>>&
                   expectations) {
   std::printf("\nquery: \"%s\"\n", query.c_str());
-  auto result = engine.Search(query);
+  auto result = engine.Search({.text = query});
   if (!result.ok()) {
     std::printf("  FAILED: %s\n", result.status().ToString().c_str());
     return;

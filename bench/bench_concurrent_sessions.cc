@@ -114,7 +114,7 @@ RunResult RunSerial(const BanksEngine& engine,
   Timer wall;
   for (size_t i = 0; i < queries.size(); ++i) {
     Timer t;
-    auto session = engine.OpenSession(queries[i]);
+    auto session = engine.OpenSession({.text = queries[i]});
     if (session.ok()) answers[i] = session.value().Drain();
     result.latency_ms[i] = t.Millis();
   }
@@ -159,7 +159,7 @@ RunResult RunPool(const BanksEngine& engine,
         for (size_t i = t; i < queries.size(); i += kSubmitters) {
           mine.push_back(i);
           start.emplace_back();
-          auto submitted = pool.Submit(queries[i]);
+          auto submitted = pool.Submit({.text = queries[i]});
           handles.push_back(submitted.ok()
                                 ? std::move(submitted).value()
                                 : server::SessionHandle{});
@@ -333,8 +333,7 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < overload_n; ++i) {
       Budget budget = Budget::WithTimeout(std::chrono::milliseconds(
           i % 2 == 0 ? 5 : 3000));
-      auto submitted = pool.Submit(queries[i % queries.size()],
-                                   engine.options().search, budget);
+      auto submitted = pool.Submit({.text = queries[i % queries.size()], .search = engine.options().search, .budget = budget});
       if (submitted.ok()) handles.push_back(std::move(submitted).value());
     }
     size_t missed = 0, delivered = 0;
@@ -384,9 +383,9 @@ int main(int argc, char** argv) {
     auto serial_round = [&](const char* phase) {
       for (size_t i = 0; i < kDistinct; ++i) {
         std::string on, off;
-        auto on_session = cached.OpenSession(kQueryTexts[i]);
+        auto on_session = cached.OpenSession({.text = kQueryTexts[i]});
         if (on_session.ok()) on = RenderAll(cached, on_session.value().Drain());
-        auto off_session = engine.OpenSession(kQueryTexts[i]);
+        auto off_session = engine.OpenSession({.text = kQueryTexts[i]});
         if (off_session.ok()) {
           off = RenderAll(engine, off_session.value().Drain());
         }

@@ -23,7 +23,7 @@ int main() {
   size_t total_gen = 0, total_pruned = 0, total_dup = 0, total_emit = 0;
   for (const auto& q : workload.queries()) {
     const BanksEngine& engine = workload.engine_for(q);
-    auto result = engine.Search(q.text);
+    auto result = engine.Search({.text = q.text});
     if (!result.ok()) continue;
     const SearchStats& st = result.value().stats;
     std::printf("%-22s %10zu %12zu %12zu %10zu\n", q.name.c_str(),

@@ -18,7 +18,7 @@ int main() {
   EvalWorkload workload(EvalDblpConfig(), EvalThesisConfig());
   const BanksEngine& engine = workload.dblp_engine();
 
-  auto result = engine.Search("soumen sunita");
+  auto result = engine.Search({.text = "soumen sunita"});
   if (!result.ok()) {
     std::printf("query failed: %s\n", result.status().ToString().c_str());
     return 1;

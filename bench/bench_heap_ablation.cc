@@ -44,7 +44,7 @@ int main() {
       const BanksEngine& engine = workload.engine_for(q);
       SearchOptions opts = engine.options().search;
       opts.output_heap_size = heap;
-      auto result = engine.Search(q.text, opts);
+      auto result = engine.Search({.text = q.text, .search = opts});
       if (!result.ok()) continue;
       inv_sum += InversionFraction(result.value().answers);
       auto ranks = IdealRanks(result.value().answers, q.ideals,

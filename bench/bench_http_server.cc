@@ -1,0 +1,370 @@
+// bench_http_server — the HTTP serving tier measured end-to-end over
+// loopback TCP: in-process HttpServer + BanksService, real sockets, real
+// chunked streaming.
+//
+// Three sections:
+//   1. Equivalence (hard): for every distinct query, the NDJSON answer
+//      lines streamed by POST /query must be byte-identical — roots,
+//      scores, order — to serializing the serial engine.Search() run
+//      through the same BanksService::AnswerJson. This is the streaming
+//      §3 contract carried over the wire; any divergence fails the bench.
+//   2. Throughput: persistent keep-alive connections at widths {1,4,16},
+//      each firing round-robin queries; reports qps and p50/p99
+//      time-to-first-byte (send to status line). Machine-dependent, so
+//      info-only.
+//   3. Overload (hard): a tight pool (1 worker, max_active=1,
+//      max_waiting=0) holds its only slot on a heavy streaming query
+//      while cheap queries arrive — every one of them must come back as
+//      a typed 429 with StatusCode kOverloaded in the JSON error body.
+//      The rejection count is deterministic by construction and gated.
+//
+// --json <path> writes BENCH_http_server.json for the CI regression gate
+// (deterministic counters: stream identity, answer counts, 429 counts;
+// qps/TTFB are info).
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/banks.h"
+#include "datagen/dblp_gen.h"
+#include "server/net/banks_service.h"
+#include "server/net/http_server.h"
+#include "server/net/socket.h"
+#include "util/timer.h"
+
+using namespace banks;
+using namespace banks::bench;
+using banks::server::net::BanksService;
+using banks::server::net::BanksServiceOptions;
+using banks::server::net::HttpRequest;
+using banks::server::net::HttpResponseWriter;
+using banks::server::net::HttpServer;
+using banks::server::net::HttpServerOptions;
+using banks::server::net::Socket;
+using banks::server::PoolOptions;
+
+namespace {
+
+constexpr const char* kQueryTexts[] = {"author soumen",     "author mohan",
+                                       "paper transaction", "author sunita paper",
+                                       "soumen sunita",     "seltzer sunita"};
+constexpr size_t kDistinct = sizeof(kQueryTexts) / sizeof(kQueryTexts[0]);
+
+/// Minimal blocking HTTP client over the repo Socket wrapper (the lint
+/// rule confines raw socket syscalls to src/server/net/socket.cc).
+class BenchClient {
+ public:
+  explicit BenchClient(uint16_t port) {
+    auto sock = Socket::ConnectLoopback(port);
+    if (sock.ok()) sock_ = std::move(sock).value();
+  }
+
+  bool connected() const { return sock_.valid(); }
+
+  bool Send(const std::string& target, const std::string& body) {
+    std::string request = "POST " + target +
+                          " HTTP/1.1\r\nHost: localhost\r\nContent-Length: " +
+                          std::to_string(body.size()) + "\r\n\r\n" + body;
+    return sock_.SendAll(request);
+  }
+
+  /// Reads status line + headers; body bytes stay in the carry buffer.
+  bool ReadHead(int* status, bool* chunked) {
+    size_t head_end;
+    while ((head_end = carry_.find("\r\n\r\n")) == std::string::npos) {
+      if (!Fill()) return false;
+    }
+    std::string head = carry_.substr(0, head_end);
+    carry_.erase(0, head_end + 4);
+    size_t sp = head.find(' ');
+    if (sp == std::string::npos) return false;
+    *status = std::atoi(head.c_str() + sp + 1);
+    *chunked = head.find("Transfer-Encoding: chunked") != std::string::npos;
+    size_t cl = head.find("Content-Length: ");
+    content_length_ =
+        cl == std::string::npos
+            ? 0
+            : std::strtoul(head.c_str() + cl + 16, nullptr, 10);
+    return true;
+  }
+
+  bool ReadBody(bool chunked, std::string* body) {
+    body->clear();
+    if (!chunked) {
+      while (carry_.size() < content_length_) {
+        if (!Fill()) return false;
+      }
+      body->assign(carry_, 0, content_length_);
+      carry_.erase(0, content_length_);
+      return true;
+    }
+    for (;;) {
+      size_t line_end;
+      while ((line_end = carry_.find("\r\n")) == std::string::npos) {
+        if (!Fill()) return false;
+      }
+      size_t size = std::strtoul(carry_.c_str(), nullptr, 16);
+      carry_.erase(0, line_end + 2);
+      if (size == 0) {
+        while (carry_.size() < 2) {
+          if (!Fill()) return false;
+        }
+        carry_.erase(0, 2);
+        return true;
+      }
+      while (carry_.size() < size + 2) {
+        if (!Fill()) return false;
+      }
+      body->append(carry_, 0, size);
+      carry_.erase(0, size + 2);
+    }
+  }
+
+  /// One full exchange; returns the HTTP status (0 on transport failure)
+  /// and, via `ttfb_ms`, the send-to-status-line latency.
+  int Query(const std::string& body, std::string* response_body,
+            double* ttfb_ms = nullptr) {
+    Timer t;
+    if (!Send("/query", body)) return 0;
+    int status = 0;
+    bool chunked = false;
+    if (!ReadHead(&status, &chunked)) return 0;
+    if (ttfb_ms != nullptr) *ttfb_ms = t.Millis();
+    if (!ReadBody(chunked, response_body)) return 0;
+    return status;
+  }
+
+ private:
+  bool Fill() {
+    char buf[8192];
+    long n = sock_.Recv(buf, sizeof(buf));
+    if (n <= 0) return false;
+    carry_.append(buf, static_cast<size_t>(n));
+    return true;
+  }
+
+  Socket sock_;
+  std::string carry_;
+  size_t content_length_ = 0;
+};
+
+/// Engine + service + server bundle on a kernel-assigned port.
+struct Server {
+  explicit Server(PoolOptions pool_options = {}) {
+    DblpDataset ds = GenerateDblp(EvalDblpConfig());
+    BanksOptions options = EvalWorkload::DefaultOptions();
+    engine = std::make_unique<BanksEngine>(std::move(ds.db), options);
+    BanksServiceOptions service_options;
+    service_options.pool = pool_options;
+    service =
+        std::make_unique<BanksService>(engine.get(), service_options);
+    // One worker per benched connection: persistent keep-alive
+    // connections pin their worker, so fewer threads than connections
+    // would measure accept-queue waiting, not the serving tier.
+    HttpServerOptions server_options;
+    server_options.num_threads = 16;
+    server = std::make_unique<HttpServer>(
+        server_options,
+        [this](const HttpRequest& request, HttpResponseWriter& writer) {
+          service->Handle(request, writer);
+        });
+    ok = server->Start().ok();
+  }
+  ~Server() { server->Stop(); }
+
+  std::unique_ptr<BanksEngine> engine;
+  std::unique_ptr<BanksService> service;
+  std::unique_ptr<HttpServer> server;
+  bool ok = false;
+};
+
+/// Strips the trailing `{"done":...}` summary line off an NDJSON body.
+std::vector<std::string> AnswerLines(const std::string& body) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t nl = body.find('\n', pos);
+    if (nl == std::string::npos) break;
+    lines.push_back(body.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  if (!lines.empty()) lines.pop_back();  // the summary line
+  return lines;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t idx = std::min(values.size() - 1,
+                        static_cast<size_t>(p * double(values.size())));
+  return values[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintHeader("bench_http_server — HTTP/JSON streaming tier over loopback",
+              "serving-side extension: §3 streaming carried over chunked "
+              "HTTP");
+  const std::string json_path = BenchReport::JsonPathFromArgs(argc, argv);
+  BenchReport report("bench_http_server");
+
+  Server server;
+  if (!server.ok) {
+    std::fprintf(stderr, "cannot start the bench server\n");
+    return 1;
+  }
+  const uint16_t port = server.server->port();
+  std::printf("serving %zu tables on loopback port %u\n\n",
+              server.engine->db().num_tables(), port);
+
+  // ---------------------------------------------------------- equivalence
+  // Every distinct query over the wire vs. the serial engine run through
+  // the one shared serializer. Hard gate: any byte of divergence fails.
+  bool identical = true;
+  size_t streamed_answers = 0;
+  {
+    BenchClient client(port);
+    for (size_t i = 0; i < kDistinct; ++i) {
+      auto serial = server.engine->Search({.text = kQueryTexts[i]});
+      if (!serial.ok()) {
+        std::printf("!! serial search failed: %s\n", kQueryTexts[i]);
+        identical = false;
+        continue;
+      }
+      std::string body;
+      int status = client.Query(
+          std::string("{\"text\":\"") + kQueryTexts[i] + "\"}", &body);
+      std::vector<std::string> lines = AnswerLines(body);
+      const auto& answers = serial.value().answers;
+      bool match = status == 200 && lines.size() == answers.size();
+      for (size_t r = 0; match && r < answers.size(); ++r) {
+        match = lines[r] == BanksService::AnswerJson(*server.engine,
+                                                     answers[r], r, false);
+      }
+      if (!match) {
+        identical = false;
+        std::printf("!! stream diverges from drained serial run: '%s'\n",
+                    kQueryTexts[i]);
+      }
+      streamed_answers += lines.size();
+    }
+  }
+  std::printf("equivalence: %zu queries, %zu streamed answers, "
+              "byte-identical to drained serial runs: %s\n\n",
+              kDistinct, streamed_answers, identical ? "yes" : "NO");
+  report.Counter("http/stream_equals_drained", identical ? 1.0 : 0.0);
+  report.Counter("http/streamed_answers", double(streamed_answers));
+
+  // ----------------------------------------------------------- throughput
+  // Persistent connections at widths {1,4,16}, round-robin queries.
+  constexpr size_t kWidths[] = {1, 4, 16};
+  constexpr size_t kRequestsPerConn = 32;
+  std::printf("%-12s %10s %10s %10s %10s\n", "connections", "requests",
+              "qps", "p50-ttfb", "p99-ttfb");
+  PrintRule();
+  for (size_t width : kWidths) {
+    std::vector<double> ttfb(width * kRequestsPerConn, 0.0);
+    std::atomic<size_t> failures{0};
+    Timer wall;
+    {
+      std::vector<std::thread> clients;
+      clients.reserve(width);
+      for (size_t c = 0; c < width; ++c) {
+        clients.emplace_back([&, c] {
+          BenchClient client(port);
+          if (!client.connected()) {
+            failures += kRequestsPerConn;
+            return;
+          }
+          for (size_t r = 0; r < kRequestsPerConn; ++r) {
+            std::string body;
+            const char* text = kQueryTexts[(c + r) % kDistinct];
+            int status =
+                client.Query(std::string("{\"text\":\"") + text + "\"}",
+                             &body, &ttfb[c * kRequestsPerConn + r]);
+            if (status != 200) ++failures;
+          }
+        });
+      }
+      for (auto& c : clients) c.join();
+    }
+    const double seconds = wall.Seconds();
+    const size_t total = width * kRequestsPerConn;
+    const double qps = double(total - failures.load()) / seconds;
+    std::printf("%-12zu %10zu %10.1f %9.2fms %9.2fms\n", width, total, qps,
+                Percentile(ttfb, 0.5), Percentile(ttfb, 0.99));
+    const std::string prefix = "conn" + std::to_string(width) + "/";
+    report.Counter(prefix + "failures", double(failures.load()));
+    report.Info(prefix + "qps", qps);
+    report.Info(prefix + "p50_ttfb_ms", Percentile(ttfb, 0.5));
+    report.Info(prefix + "p99_ttfb_ms", Percentile(ttfb, 0.99));
+  }
+
+  // -------------------------------------------------------------- overload
+  // A dedicated tier with one worker, one active slot, no wait queue. The
+  // heavy query holds the slot (proved by its 200 head arriving — the
+  // head is sent strictly after admission); every cheap query fired while
+  // it streams must be a typed 429. Deterministic by construction.
+  constexpr size_t kOverloadProbes = 20;
+  size_t rejected_429 = 0;
+  size_t typed_overloaded = 0;
+  {
+    PoolOptions pool_options;
+    pool_options.num_workers = 1;
+    pool_options.step_quantum = 8;
+    pool_options.max_active = 1;
+    pool_options.max_waiting = 0;
+    Server tight(pool_options);
+    if (!tight.ok) {
+      std::fprintf(stderr, "cannot start the overload server\n");
+      return 1;
+    }
+    BenchClient heavy(tight.server->port());
+    int status = 0;
+    bool chunked = false;
+    if (!heavy.Send("/query",
+                    R"({"text":"author paper","max_answers":10000})") ||
+        !heavy.ReadHead(&status, &chunked) || status != 200) {
+      std::fprintf(stderr, "heavy query did not start streaming\n");
+      return 1;
+    }
+    for (size_t i = 0; i < kOverloadProbes; ++i) {
+      BenchClient probe(tight.server->port());
+      std::string body;
+      int probe_status =
+          probe.Query(R"({"text":"soumen sunita"})", &body);
+      if (probe_status == 429) ++rejected_429;
+      if (body.find("\"Overloaded\"") != std::string::npos) {
+        ++typed_overloaded;
+      }
+    }
+    std::string heavy_body;
+    heavy.ReadBody(chunked, &heavy_body);  // drain before shutdown
+  }
+  const double rejection_rate =
+      double(rejected_429) / double(kOverloadProbes);
+  std::printf("\noverload: %zu probes against a held single-slot pool: "
+              "%zu x HTTP 429 (%zu typed kOverloaded), rejection rate "
+              "%.0f%%\n",
+              kOverloadProbes, rejected_429, typed_overloaded,
+              rejection_rate * 100);
+  report.Counter("overload/rejected_429", double(rejected_429));
+  report.Counter("overload/typed_overloaded", double(typed_overloaded));
+  report.Info("overload/rejection_rate", rejection_rate);
+
+  PrintRule();
+  const bool overload_ok = rejected_429 == kOverloadProbes &&
+                           typed_overloaded == kOverloadProbes;
+  std::printf("stream equals drained serial run: %s; overload rejections "
+              "all typed 429: %s\n",
+              identical ? "yes" : "NO", overload_ok ? "yes" : "NO");
+  if (!json_path.empty() && !report.WriteJson(json_path)) return 1;
+  return (identical && overload_ok) ? 0 : 1;
+}

@@ -30,13 +30,13 @@ int main() {
       SearchOptions incremental = engine.options().search;
       incremental.max_answers = k;
       Timer ti;
-      auto ri = engine.Search(q, incremental);
+      auto ri = engine.Search({.text = q, .search = incremental});
       double incr_ms = ti.Millis();
 
       SearchOptions exhaustive = engine.options().search;
       exhaustive.exhaustive = true;
       Timer te;
-      auto re = engine.Search(q, exhaustive);
+      auto re = engine.Search({.text = q, .search = exhaustive});
       double exh_ms = te.Millis();
 
       if (!ri.ok() || !re.ok()) continue;

@@ -82,7 +82,7 @@ BENCHMARK(BM_ExpansionIteratorFullSweep)->Unit(benchmark::kMillisecond);
 void BM_QueryTwoKeywords(benchmark::State& state) {
   const BanksEngine& engine = SharedEngine();
   for (auto _ : state) {
-    auto result = engine.Search("soumen sunita");
+    auto result = engine.Search({.text = "soumen sunita"});
     benchmark::DoNotOptimize(result.ok());
   }
 }
@@ -91,7 +91,7 @@ BENCHMARK(BM_QueryTwoKeywords)->Unit(benchmark::kMillisecond);
 void BM_QuerySingleKeywordPrestige(benchmark::State& state) {
   const BanksEngine& engine = SharedEngine();
   for (auto _ : state) {
-    auto result = engine.Search("mohan");
+    auto result = engine.Search({.text = "mohan"});
     benchmark::DoNotOptimize(result.ok());
   }
 }

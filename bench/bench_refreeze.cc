@@ -56,7 +56,7 @@ QueryTotals RunQueryMix(const BanksEngine& engine, int repeats) {
   Timer t;
   for (int r = 0; r < repeats; ++r) {
     for (const char* q : kQueries) {
-      auto result = engine.Search(q);
+      auto result = engine.Search({.text = q});
       if (!result.ok()) continue;
       totals.visits += result.value().stats.iterator_visits;
       totals.answers += result.value().answers.size();

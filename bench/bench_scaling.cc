@@ -43,7 +43,7 @@ int main() {
     size_t total_visits = 0;
     for (const char* q : queries) {
       Timer t;
-      auto result = engine.Search(q);
+      auto result = engine.Search({.text = q});
       total_ms += t.Millis();
       if (result.ok()) total_visits += result.value().stats.iterator_visits;
     }

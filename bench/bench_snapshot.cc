@@ -53,7 +53,7 @@ DblpConfig SnapshotScaleConfig() {
 constexpr const char* kFirstQuery = "soumen sunita";
 
 size_t FirstQueryAnswers(const BanksEngine& engine) {
-  auto result = engine.Search(kFirstQuery);
+  auto result = engine.Search({.text = kFirstQuery});
   return result.ok() ? result.value().answers.size() : 0;
 }
 

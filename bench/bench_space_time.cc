@@ -48,7 +48,7 @@ int main() {
               "time(ms)", "visits", "trees");
   for (const char* q : queries) {
     Timer t;
-    auto result = engine.Search(q);
+    auto result = engine.Search({.text = q});
     double ms = t.Millis();
     if (!result.ok()) {
       std::printf("%-24s %10s\n", q, "ERROR");

@@ -58,10 +58,10 @@ int main() {
               "xml(ms)", "ans");
   for (const char* q : {"soumen sunita", "transaction", "gray transaction"}) {
     Timer tr;
-    auto rel_result = relational.Search(q);
+    auto rel_result = relational.Search({.text = q});
     double rel_ms = tr.Millis();
     Timer tx;
-    auto xml_result = xml_engine.Search(q);
+    auto xml_result = xml_engine.Search({.text = q});
     double xml_ms = tx.Millis();
     std::printf("%-22s | %10.1f %8zu | %10.1f %8zu\n", q, rel_ms,
                 rel_result.ok() ? rel_result.value().answers.size() : 0,

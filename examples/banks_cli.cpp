@@ -9,6 +9,10 @@
 //                            derived state is mmapped, not rebuilt); falls
 //                            back to a full build if the file is missing
 //                            or does not match the loaded data
+//   ... [--serve <port>]     skip the prompt and serve the loaded engine
+//                            over HTTP instead (same endpoints as
+//                            banks_server; composes with --snapshot for
+//                            instant-restart serving)
 //
 // Commands at the prompt:
 //   <keywords...>            run a keyword query (approx(N), attr:kw work)
@@ -52,6 +56,8 @@
 #include "core/summarize.h"
 #include "datagen/dblp_gen.h"
 #include "eval/workload.h"
+#include "server/net/banks_service.h"
+#include "server/net/http_server.h"
 #include "server/session_pool.h"
 #include "storage/csv.h"
 #include "util/timer.h"
@@ -124,7 +130,7 @@ void TupleCommand(const BanksEngine& engine, const std::string& table,
 void StreamQueryCommand(const BanksEngine& engine, const std::string& query,
                         const SearchOptions& opts, size_t first_k) {
   Timer timer;
-  auto session = engine.OpenSession(query, opts);
+  auto session = engine.OpenSession({.text = query, .search = opts});
   if (!session.ok()) {
     std::printf("error: %s\n", session.status().ToString().c_str());
     return;
@@ -427,7 +433,7 @@ void ParallelCommand(BanksEngine& engine, size_t workers,
       }
       continue;
     }
-    auto submitted = pool.Submit(entry, opts);
+    auto submitted = pool.Submit({.text = entry, .search = opts});
     if (submitted.ok()) {
       queries.push_back(entry);
       handles.push_back(std::move(submitted).value());
@@ -465,7 +471,7 @@ void ParallelCommand(BanksEngine& engine, size_t workers,
 
 void QueryCommand(const BanksEngine& engine, const std::string& query,
                   const SearchOptions& opts, bool structures) {
-  auto session = engine.OpenSession(query, opts);
+  auto session = engine.OpenSession({.text = query, .search = opts});
   if (!session.ok()) {
     std::printf("error: %s\n", session.status().ToString().c_str());
     return;
@@ -504,7 +510,7 @@ void QueryCommand(const BanksEngine& engine, const std::string& query,
 int main(int argc, char** argv) {
   const char* usage =
       "usage: %s (<csv-dir> | --demo) [--strategy <name>] [--first-k <n>] "
-      "[--snapshot <path>]\n";
+      "[--snapshot <path>] [--serve <port>]\n";
   if (argc < 2) {
     std::printf(usage, argv[0]);
     return 2;
@@ -521,6 +527,7 @@ int main(int argc, char** argv) {
   size_t first_k = 0;
   bool stream_mode = false;
   std::string snapshot_path;
+  long serve_port = -1;  // -1 = interactive prompt
   for (int a = 2; a < argc; ++a) {
     std::string arg = argv[a];
     if (arg == "--strategy") {
@@ -557,6 +564,19 @@ int main(int argc, char** argv) {
         return 2;
       }
       snapshot_path = argv[a + 1];
+      ++a;
+    } else if (arg == "--serve") {
+      if (a + 1 >= argc) {
+        std::printf("--serve requires a port (0 = kernel-assigned)\n");
+        return 2;
+      }
+      char* end = nullptr;
+      serve_port = std::strtol(argv[a + 1], &end, 10);
+      if (end == argv[a + 1] || *end != '\0' || serve_port < 0 ||
+          serve_port > 65535) {
+        std::printf("--serve: bad port '%s'\n", argv[a + 1]);
+        return 2;
+      }
       ++a;
     } else {
       std::printf("unknown argument '%s'\n", arg.c_str());
@@ -624,6 +644,33 @@ int main(int argc, char** argv) {
               engine.db().num_tables(), engine.db().TotalRows(),
               engine.data_graph().graph.num_nodes(),
               engine.data_graph().graph.num_edges());
+
+  if (serve_port >= 0) {
+    // --serve: same engine, HTTP front instead of the prompt (so an
+    // interactive dataset — or a --snapshot instant restart — is one flag
+    // away from being a service).
+    server::net::BanksService service(&engine);
+    server::net::HttpServerOptions server_options;
+    server_options.port = static_cast<uint16_t>(serve_port);
+    server::net::HttpServer server(
+        server_options,
+        [&service](const server::net::HttpRequest& request,
+                   server::net::HttpResponseWriter& writer) {
+          service.Handle(request, writer);
+        });
+    service.set_server_stats([&server] { return server.stats(); });
+    Status started = server.Start();
+    if (!started.ok()) {
+      std::printf("cannot serve: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving on http://0.0.0.0:%u (Ctrl-C to stop)\n",
+                server.port());
+    std::fflush(stdout);
+    server.WaitUntilStopped();
+    return 0;
+  }
+
   std::printf("type keywords, or :help\n");
 
   std::string line;

@@ -1,0 +1,197 @@
+// banks_server — the BANKS engine behind an HTTP/JSON interface.
+//
+// Usage:
+//   banks_server <csv-dir>       load a database saved with SaveDatabase
+//   banks_server --demo          use the built-in synthetic DBLP dataset
+//   ... [--port <p>]             listen port (default 8080; 0 = kernel pick)
+//   ... [--threads <n>]          connection worker threads (default 4)
+//   ... [--pool-workers <n>]     SessionPool workers (default: hw threads)
+//   ... [--strategy <name>]      default expansion strategy
+//   ... [--snapshot <path>]      restart from a snapshot file (instant)
+//
+// Endpoints (see src/server/net/banks_service.h for the full protocol):
+//   POST /query     stream answers as NDJSON chunks (one per answer)
+//   GET  /stats     pool / engine / cache / transport counters
+//   POST /mutate    batched insert/delete/update
+//   POST /refreeze  fold pending deltas into a fresh snapshot epoch
+//   POST /snapshot  persist the current state to a file
+//
+// Try it:
+//   banks_server --demo --port 8080 &
+//   curl -N -d '{"text":"soumen sunita","deadline_ms":50}'
+//        http://localhost:8080/query      (one line)
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/banks.h"
+#include "datagen/dblp_gen.h"
+#include "eval/workload.h"
+#include "server/net/banks_service.h"
+#include "server/net/http_server.h"
+#include "storage/csv.h"
+#include "util/timer.h"
+
+using namespace banks;
+
+int main(int argc, char** argv) {
+  const char* usage =
+      "usage: %s (<csv-dir> | --demo) [--port <p>] [--threads <n>] "
+      "[--pool-workers <n>] [--strategy <name>] [--snapshot <path>]\n";
+  if (argc < 2) {
+    std::printf(usage, argv[0]);
+    return 2;
+  }
+  if (std::string(argv[1]) != "--demo" && argv[1][0] == '-') {
+    std::printf("first argument must be <csv-dir> or --demo, got '%s'\n",
+                argv[1]);
+    std::printf(usage, argv[0]);
+    return 2;
+  }
+
+  long port = 8080;
+  long threads = 4;
+  long pool_workers = 0;
+  SearchStrategy strategy = SearchStrategy::kBackward;
+  std::string snapshot_path;
+  for (int a = 2; a < argc; ++a) {
+    std::string arg = argv[a];
+    auto numeric_flag = [&](const char* name, long* out, long min) {
+      if (a + 1 >= argc) {
+        std::printf("%s requires a number\n", name);
+        return false;
+      }
+      char* end = nullptr;
+      long value = std::strtol(argv[a + 1], &end, 10);
+      if (end == argv[a + 1] || *end != '\0' || value < min) {
+        std::printf("%s: bad value '%s'\n", name, argv[a + 1]);
+        return false;
+      }
+      *out = value;
+      ++a;
+      return true;
+    };
+    if (arg == "--port") {
+      if (!numeric_flag("--port", &port, 0) || port > 65535) return 2;
+    } else if (arg == "--threads") {
+      if (!numeric_flag("--threads", &threads, 1)) return 2;
+    } else if (arg == "--pool-workers") {
+      if (!numeric_flag("--pool-workers", &pool_workers, 0)) return 2;
+    } else if (arg == "--strategy") {
+      if (a + 1 >= argc || !ParseSearchStrategy(argv[a + 1], &strategy)) {
+        std::printf("--strategy requires one of: %s\n", SearchStrategyNames());
+        return 2;
+      }
+      ++a;
+    } else if (arg == "--snapshot") {
+      if (a + 1 >= argc) {
+        std::printf("--snapshot requires a file path\n");
+        return 2;
+      }
+      snapshot_path = argv[a + 1];
+      ++a;
+    } else {
+      std::printf("unknown argument '%s'\n", arg.c_str());
+      std::printf(usage, argv[0]);
+      return 2;
+    }
+  }
+
+  auto load_db = [&]() -> Result<Database> {
+    if (std::string(argv[1]) == "--demo") {
+      std::printf("loading built-in synthetic DBLP...\n");
+      DblpConfig config;
+      config.num_authors = 400;
+      config.num_papers = 800;
+      return GenerateDblp(config).db;
+    }
+    return LoadDatabase(argv[1]);
+  };
+  auto loaded = load_db();
+  if (!loaded.ok()) {
+    std::printf("load failed: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  Database db = std::move(loaded).value();
+
+  BanksOptions options = EvalWorkload::DefaultOptions();
+  options.match.approx.enable = true;
+  options.allow_partial_match = true;
+  options.search.strategy = strategy;
+
+  std::unique_ptr<BanksEngine> engine;
+  if (!snapshot_path.empty()) {
+    Timer restart;
+    auto restarted =
+        BanksEngine::FromSnapshot(std::move(db), snapshot_path, options);
+    if (restarted.ok()) {
+      engine = std::move(restarted).value();
+      std::printf("restarted from snapshot '%s' in %.1f ms\n",
+                  snapshot_path.c_str(), restart.Millis());
+    } else {
+      std::printf("snapshot '%s' unusable (%s); building from data instead\n",
+                  snapshot_path.c_str(),
+                  restarted.status().ToString().c_str());
+      auto reloaded = load_db();
+      if (!reloaded.ok()) {
+        std::printf("load failed: %s\n", reloaded.status().ToString().c_str());
+        return 1;
+      }
+      db = std::move(reloaded).value();
+    }
+  }
+  if (engine == nullptr) {
+    engine = std::make_unique<BanksEngine>(std::move(db), options);
+  }
+
+  server::net::BanksServiceOptions service_options;
+  service_options.pool.num_workers = static_cast<size_t>(pool_workers);
+  auto service = std::make_unique<server::net::BanksService>(
+      engine.get(), std::move(service_options));
+
+  // Block SIGINT/SIGTERM before spawning the server threads (they inherit
+  // the mask); the main thread collects the signal synchronously below —
+  // no async-signal-safety games in a handler.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  server::net::HttpServerOptions server_options;
+  server_options.port = static_cast<uint16_t>(port);
+  server_options.num_threads = static_cast<int>(threads);
+  server::net::HttpServer server(
+      server_options,
+      [&service](const server::net::HttpRequest& request,
+                 server::net::HttpResponseWriter& writer) {
+        service->Handle(request, writer);
+      });
+  service->set_server_stats([&server] { return server.stats(); });
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::printf("cannot start server: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%zu tables, %zu tuples; strategy %s\n",
+              engine->db().num_tables(), engine->db().TotalRows(),
+              SearchStrategyName(strategy));
+  std::printf("serving on http://0.0.0.0:%u (%ld connection threads)\n",
+              server.port(), threads);
+  std::printf("  curl -N -d '{\"text\":\"soumen sunita\"}' "
+              "http://localhost:%u/query\n",
+              server.port());
+  std::fflush(stdout);
+
+  int signal_received = 0;
+  sigwait(&signals, &signal_received);
+  std::printf("signal %d: shutting down\n", signal_received);
+  server.Stop();
+  std::printf("shut down\n");
+  return 0;
+}

@@ -20,8 +20,8 @@ namespace {
 void RunQuery(const BanksEngine& engine, const std::string& query,
               const SearchOptions* override_opts = nullptr) {
   std::printf("==== query: \"%s\"\n", query.c_str());
-  auto result = override_opts ? engine.Search(query, *override_opts)
-                              : engine.Search(query);
+  auto result = override_opts ? engine.Search({.text = query, .search = *override_opts})
+                              : engine.Search({.text = query});
   if (!result.ok()) {
     std::printf("  error: %s\n\n", result.status().ToString().c_str());
     return;

@@ -7,14 +7,18 @@
 //   4. stream answers incrementally through a QuerySession,
 //   5. serve queries concurrently through the engine's session pool,
 //   6. apply live updates (delta overlays + refreeze),
-//   7. bulk-ingest a batch through one overlay publish, and
-//   8. save a snapshot file and restart from it with no rebuild.
+//   7. bulk-ingest a batch through one overlay publish,
+//   8. save a snapshot file and restart from it with no rebuild, and
+//   9. serve the same engine over HTTP/JSON (the src/server/net/ tier).
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 #include <string>
 
 #include "core/banks.h"
+#include "server/net/banks_service.h"
+#include "server/net/http_server.h"
+#include "server/net/socket.h"
 #include "server/session_pool.h"
 
 using namespace banks;
@@ -75,7 +79,7 @@ int main() {
 
   for (const char* query : {"sunita temporal", "soumen sunita", "byron"}) {
     std::printf("==== query: \"%s\"\n", query);
-    auto result = engine.Search(query);
+    auto result = engine.Search({.text = query});
     if (!result.ok()) {
       std::printf("  error: %s\n", result.status().ToString().c_str());
       continue;
@@ -94,7 +98,7 @@ int main() {
   //        so the first answer arrives long before the search finishes —
   //        and Cancel() (or just dropping the session) abandons the rest.
   std::printf("==== streaming: \"sunita temporal\"\n");
-  auto session = engine.OpenSession("sunita temporal");
+  auto session = engine.OpenSession({.text = "sunita temporal"});
   if (session.ok()) {
     while (auto answer = session.value().Next()) {
       std::printf("-- streamed answer %zu (relevance %.3f, %zu visits)\n",
@@ -116,9 +120,7 @@ int main() {
   server::SessionHandle handles[3];
   const char* pooled[] = {"sunita temporal", "soumen sunita", "byron"};
   for (int i = 0; i < 3; ++i) {
-    auto submitted = engine.SubmitQuery(
-        pooled[i], engine.options().search,
-        Budget::WithTimeout(std::chrono::milliseconds(100)));
+    auto submitted = engine.SubmitQuery({.text = pooled[i], .search = engine.options().search, .budget = Budget::WithTimeout(std::chrono::milliseconds(100))});
     if (submitted.ok()) handles[i] = std::move(submitted).value();
   }
   for (int i = 0; i < 3; ++i) {  // drain while the workers pump
@@ -143,7 +145,7 @@ int main() {
   }
   engine.InsertTuple("Writes", Tuple({Value("SoumenC"),
                                       Value("ChakrabartiSD99")}));
-  auto live = engine.Search("soumen crawling");  // delta overlay, epoch 0
+  auto live = engine.Search({.text = "soumen crawling"});  // delta overlay, epoch 0
   if (live.ok() && !live.value().answers.empty()) {
     std::printf("-- before refreeze (epoch %llu, %llu pending):\n%s",
                 static_cast<unsigned long long>(engine.epoch()),
@@ -159,7 +161,7 @@ int main() {
                     refreeze.value().mutations_absorbed),
                 refreeze.value().nodes, refreeze.value().rebuild_ms);
   }
-  live = engine.Search("soumen crawling");  // same answer, frozen-only path
+  live = engine.Search({.text = "soumen crawling"});  // same answer, frozen-only path
   if (live.ok() && !live.value().answers.empty()) {
     std::printf("-- after refreeze:\n%s",
                 engine.Render(live.value().answers[0]).c_str());
@@ -191,7 +193,7 @@ int main() {
                                         : "full-rebuild",
                 refreeze.value().rebuild_ms);
   }
-  auto bulk = engine.Search("bulk loaded");
+  auto bulk = engine.Search({.text = "bulk loaded"});
   if (bulk.ok()) {
     std::printf("-- \"bulk loaded\": %zu answer(s) post-refreeze\n",
                 bulk.value().answers.size());
@@ -222,10 +224,48 @@ int main() {
                 restarted.status().ToString().c_str());
     return 1;
   }
-  auto again = restarted.value()->Search("sunita temporal");
+  auto again = restarted.value()->Search({.text = "sunita temporal"});
   std::printf("-- restarted engine answers \"sunita temporal\" with %zu "
               "tree(s), zero rebuild work\n",
               again.ok() ? again.value().answers.size() : 0);
   std::remove(snap_path.c_str());
+
+  // --- 9. Serving over HTTP: BanksService is the protocol (POST /query
+  //        streams NDJSON answers, GET /stats, POST /mutate|refreeze|
+  //        snapshot), HttpServer is the transport. The JSON body maps
+  //        1:1 onto QueryRequest, so everything above is reachable over
+  //        the wire. `banks_server --demo` runs this same pair as a
+  //        standalone binary; banks_cli --serve <port> does too.
+  std::printf("\n==== HTTP: the same engine behind a JSON endpoint\n");
+  server::net::BanksService service(&engine);
+  server::net::HttpServer http_server(
+      {.port = 0},  // kernel-assigned; banks_server defaults to 8080
+      [&service](const server::net::HttpRequest& request,
+                 server::net::HttpResponseWriter& writer) {
+        service.Handle(request, writer);
+      });
+  auto http_started = http_server.Start();
+  if (!http_started.ok()) {
+    std::printf("server error: %s\n", http_started.ToString().c_str());
+    return 1;
+  }
+  const std::string body = "{\"text\":\"sunita temporal\",\"max_answers\":1}";
+  auto client = server::net::Socket::ConnectLoopback(http_server.port());
+  if (client.ok()) {
+    client.value().SendAll("POST /query HTTP/1.1\r\nHost: localhost\r\n"
+                           "Content-Length: " + std::to_string(body.size()) +
+                           "\r\nConnection: close\r\n\r\n" + body);
+    std::string response;
+    char buf[4096];
+    for (long n; (n = client.value().Recv(buf, sizeof buf)) > 0;)
+      response.append(buf, static_cast<size_t>(n));
+    std::printf("-- POST /query on port %u: %s (%zu bytes streamed as "
+                "chunked NDJSON)\n", http_server.port(),
+                std::string(response, 0, response.find('\r')).c_str(),
+                response.size());
+    std::printf("   try it live:  banks_server --demo &  then  curl -N -d "
+                "'{\"text\":\"soumen sunita\"}' localhost:8080/query\n");
+  }
+  http_server.Stop();
   return 0;
 }

@@ -75,7 +75,7 @@ int main() {
   // freed) graph.
   DataGraphSnapshot snapshot = engine.graph_snapshot();
   for (const char* query : {"widget assembly", "supplier", "gear valve"}) {
-    auto session = engine.OpenSession(query);
+    auto session = engine.OpenSession({.text = query});
     if (!session.ok()) continue;
     AnswersPage page;
     page.query_text = query;
@@ -88,7 +88,7 @@ int main() {
   WriteFile(out_dir / "search.html", search_page.Page("BANKS search"));
 
   // Console summary of the prestige example.
-  auto result = engine.Search("widget assembly");
+  auto result = engine.Search({.text = "widget assembly"});
   if (result.ok() && !result.value().answers.empty()) {
     std::printf("\n'widget assembly' top answer: %s\n",
                 engine.RootLabel(result.value().answers[0]).c_str());

@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
        {"soumen sudarshan", "keyword search", "kacholia chakrabarti",
         "icde banks"}) {
     std::printf("==== query: \"%s\"\n", query);
-    auto result = engine.Search(query);
+    auto result = engine.Search({.text = query});
     if (!result.ok()) {
       std::printf("  error: %s\n\n", result.status().ToString().c_str());
       continue;

@@ -122,13 +122,8 @@ server::SessionPool& BanksEngine::pool(
 }
 
 Result<server::SessionHandle> BanksEngine::SubmitQuery(
-    const std::string& query_text) const {
-  return pool().Submit(query_text);
-}
-
-Result<server::SessionHandle> BanksEngine::SubmitQuery(
-    const std::string& query_text, SearchOptions search, Budget budget) const {
-  return pool().Submit(query_text, std::move(search), budget);
+    const QueryRequest& request) const {
+  return pool().Submit(request);
 }
 
 // ---------------------------------------------------------- live updates
@@ -282,57 +277,24 @@ uint64_t BanksEngine::total_mutations() const {
 // ------------------------------------------------------------- queries
 
 Result<QuerySession> BanksEngine::OpenSession(
-    const std::string& query_text) const {
-  return OpenSessionImpl(query_text, options_.search, nullptr, Budget{});
+    const QueryRequest& request) const {
+  return OpenSessionImpl(request);
 }
 
-Result<QuerySession> BanksEngine::OpenSession(const std::string& query_text,
-                                              SearchOptions search,
-                                              Budget budget) const {
-  return OpenSessionImpl(query_text, std::move(search), nullptr, budget);
-}
-
-Result<QuerySession> BanksEngine::OpenSessionAuthorized(
-    const std::string& query_text, const AuthPolicy& policy,
-    Budget budget) const {
-  return OpenSessionImpl(query_text, options_.search, &policy, budget);
-}
-
-Result<QuerySession> BanksEngine::OpenSessionAuthorized(
-    const std::string& query_text, const AuthPolicy& policy,
-    SearchOptions search, Budget budget) const {
-  return OpenSessionImpl(query_text, std::move(search), &policy, budget);
-}
-
-Result<QueryResult> BanksEngine::Search(const std::string& query_text) const {
-  return Search(query_text, options_.search);
-}
-
-Result<QueryResult> BanksEngine::Search(const std::string& query_text,
-                                        SearchOptions search) const {
-  auto session = OpenSessionImpl(query_text, std::move(search), nullptr,
-                                 Budget{});
-  if (!session.ok()) return session.status();
-  return std::move(session).value().DrainToResult();
-}
-
-Result<QueryResult> BanksEngine::SearchAuthorized(
-    const std::string& query_text, const AuthPolicy& policy) const {
-  return SearchAuthorized(query_text, policy, options_.search);
-}
-
-Result<QueryResult> BanksEngine::SearchAuthorized(
-    const std::string& query_text, const AuthPolicy& policy,
-    SearchOptions search) const {
-  auto session = OpenSessionImpl(query_text, std::move(search), &policy,
-                                 Budget{});
+Result<QueryResult> BanksEngine::Search(const QueryRequest& request) const {
+  auto session = OpenSessionImpl(request);
   if (!session.ok()) return session.status();
   return std::move(session).value().DrainToResult();
 }
 
 Result<QuerySession> BanksEngine::OpenSessionImpl(
-    const std::string& query_text, SearchOptions search,
-    const AuthPolicy* policy, Budget budget) const {
+    const QueryRequest& request) const {
+  // Resolve unset per-request knobs to the engine defaults.
+  SearchOptions search = request.search ? *request.search : options_.search;
+  const MatchOptions& match = request.match ? *request.match : options_.match;
+  const Budget budget = request.budget;
+  const AuthPolicy* policy = request.auth ? &*request.auth : nullptr;
+  const std::string& query_text = request.text;
   // Merge engine-level root exclusions into the per-query options.
   for (uint32_t t : options_.search.excluded_root_tables) {
     search.excluded_root_tables.insert(t);
@@ -369,7 +331,7 @@ Result<QuerySession> BanksEngine::OpenSessionImpl(
 
     if (cacheable) {
       answer_key =
-          server::QueryCache::AnswerKey(init.parsed, search, options_.match);
+          server::QueryCache::AnswerKey(init.parsed, search, match);
       if (auto hit = cache_->FindAnswers(answer_key, st->epoch,
                                          st->pending_mutations)) {
         // Full hit: replay the cached run. The answers were stored at
@@ -395,12 +357,12 @@ Result<QuerySession> BanksEngine::OpenSessionImpl(
         // index lookups; the journal guarantees exactness.
         matches.reserve(init.parsed.terms.size());
         for (const auto& term : init.parsed.terms) {
-          matches.push_back(cache_->ResolveThrough(resolver, term,
-                                                   options_.match, st->epoch,
+          matches.push_back(cache_->ResolveThrough(resolver, term, match,
+                                                   st->epoch,
                                                    st->pending_mutations));
         }
       } else {
-        matches = resolver.ResolveAllScored(init.parsed, options_.match);
+        matches = resolver.ResolveAllScored(init.parsed, match);
       }
 
       // Reported matches: under authorization, keyword matches in hidden
@@ -501,6 +463,13 @@ std::string BanksEngine::Render(const ConnectionTree& tree) const {
 std::string BanksEngine::RootLabel(const ConnectionTree& tree) const {
   util::ReaderMutexLock lock(&state_mu_);
   return NodeLabel(tree.root, *state_->dg, db_, state_->delta.get());
+}
+
+Result<uint32_t> BanksEngine::TableId(const std::string& table) const {
+  util::ReaderMutexLock lock(&state_mu_);
+  const Table* t = db_.table(table);
+  if (t == nullptr) return Status::NotFound("no such table: '" + table + "'");
+  return t->id();
 }
 
 }  // namespace banks

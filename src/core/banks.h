@@ -4,10 +4,13 @@
 // (inverted index, metadata index, data graph) and answers keyword queries
 // end to end. Three idioms:
 //
+// Every idiom consumes one request struct, QueryRequest
+// (core/query_request.h); unset fields fall back to the engine defaults.
+//
 // Batch — run the whole search, get every answer at once:
 //
 //   BanksEngine engine(std::move(db));
-//   auto result = engine.Search("soumen sunita");
+//   auto result = engine.Search({.text = "soumen sunita"});
 //   for (const auto& tree : result.value().answers)
 //     std::cout << engine.Render(tree);
 //
@@ -15,22 +18,22 @@
 // §3 engine is incremental; time-to-first-answer is a fraction of full-run
 // latency), with pagination, per-session budgets and cancellation:
 //
-//   auto session = engine.OpenSession("soumen sunita");
+//   auto session = engine.OpenSession({.text = "soumen sunita"});
 //   while (auto answer = session.value().Next())     // or NextBatch(k)
 //     std::cout << engine.Render(answer->tree);
 //   // session.value().Cancel() abandons the search without draining it;
-//   // OpenSession(text, options, Budget::WithTimeout(50ms)) bounds it.
+//   // {.text = q, .budget = Budget::WithTimeout(50ms)} bounds it.
 //
 // Live updates — mutate the database while serving; queries see the delta
 // immediately and a refreeze re-bases the snapshot without interrupting
 // in-flight sessions (src/update/):
 //
 //   engine.InsertTuple("Paper", MakeTuple(...));   // searchable right away
-//   auto result = engine.Search("fresh keyword");  // hits the delta overlay
+//   auto result = engine.Search({.text = "fresh keyword"});  // delta overlay
 //   engine.Refreeze();                             // re-freeze + atomic swap
 //
-// The batch Search overloads are thin wrappers that open a session and
-// drain it — both idioms return identical answers in identical order.
+// The batch Search entry point is a thin wrapper that opens a session and
+// drains it — both idioms return identical answers in identical order.
 #ifndef BANKS_CORE_BANKS_H_
 #define BANKS_CORE_BANKS_H_
 
@@ -44,6 +47,7 @@
 #include "core/authorization.h"
 #include "core/backward_search.h"
 #include "core/query.h"
+#include "core/query_request.h"
 #include "core/query_session.h"
 #include "graph/graph_builder.h"
 #include "index/inverted_index.h"
@@ -180,12 +184,11 @@ class BanksEngine {
   /// Submits a query for concurrent execution on the pool's worker
   /// threads and returns a thread-safe handle: NextBatch/Next block until
   /// workers produce answers, Cancel() aborts from any thread. Errors
-  /// (bad query, pool overload) surface through the Result.
-  Result<server::SessionHandle> SubmitQuery(const std::string& query_text)
+  /// surface through the Result — a full admission queue is
+  /// StatusCode::kOverloaded (the HTTP tier maps it to 429), a bad query
+  /// kInvalidArgument.
+  Result<server::SessionHandle> SubmitQuery(const QueryRequest& request)
       const;
-  Result<server::SessionHandle> SubmitQuery(const std::string& query_text,
-                                            SearchOptions search,
-                                            Budget budget = {}) const;
 
   // -------------------------------------------------------- live updates
   // Writers are serialized against each other; readers never block. Every
@@ -235,45 +238,45 @@ class BanksEngine {
   uint64_t total_mutations() const;
 
   // ---------------------------------------------------------- streaming
-  /// Opens a streaming query session with the engine's default search
-  /// options: keywords are resolved once, then answers are pulled
-  /// incrementally through the returned session.
-  Result<QuerySession> OpenSession(const std::string& query_text) const;
-
-  /// Per-query search options and an optional execution budget (deadline /
-  /// visit cap, enforced inside the expansion stepper).
-  Result<QuerySession> OpenSession(const std::string& query_text,
-                                   SearchOptions search,
-                                   Budget budget = {}) const;
-
-  /// Streaming under an authorization policy (§7): keywords never match
-  /// hidden tables and answers touching hidden tuples are skipped as the
-  /// stream is consumed.
-  Result<QuerySession> OpenSessionAuthorized(const std::string& query_text,
-                                             const AuthPolicy& policy,
-                                             Budget budget = {}) const;
-  Result<QuerySession> OpenSessionAuthorized(const std::string& query_text,
-                                             const AuthPolicy& policy,
-                                             SearchOptions search,
-                                             Budget budget = {}) const;
+  /// Opens a streaming query session: keywords are resolved once, then
+  /// answers are pulled incrementally through the returned session.
+  /// Unset QueryRequest fields (search / match / auth) fall back to the
+  /// engine defaults; `request.budget` bounds the expansion stepper
+  /// (deadline / visit cap). With `request.auth` set, keywords never
+  /// match hidden tables (§7) and answers touching hidden tuples are
+  /// skipped as the stream is consumed.
+  Result<QuerySession> OpenSession(const QueryRequest& request) const;
 
   // --------------------------------------------------------------- batch
-  /// Runs a keyword query with the engine's default search options.
-  Result<QueryResult> Search(const std::string& query_text) const;
+  /// Runs a keyword query to completion (open + drain): identical answers
+  /// in identical order to streaming the same QueryRequest.
+  Result<QueryResult> Search(const QueryRequest& request) const;
 
-  /// Runs a keyword query with per-query search options (the engine's
-  /// root-table exclusions are merged in).
-  Result<QueryResult> Search(const std::string& query_text,
-                             SearchOptions search) const;
-
-  /// Runs a keyword query under an authorization policy (§7): keywords
-  /// never match hidden tables and answers touching hidden tuples are
-  /// suppressed.
-  Result<QueryResult> SearchAuthorized(const std::string& query_text,
-                                       const AuthPolicy& policy) const;
-  Result<QueryResult> SearchAuthorized(const std::string& query_text,
-                                       const AuthPolicy& policy,
-                                       SearchOptions search) const;
+  // ----------------------------------------------------- deprecated shims
+  // Transitional text-only wrappers kept for one release. Everything the
+  // deleted Search/SearchAuthorized/OpenSession/OpenSessionAuthorized/
+  // SubmitQuery overload set could express is a QueryRequest field now:
+  //   Search(text, opts)                → Search({.text=t, .search=opts})
+  //   SearchAuthorized(text, policy)    → Search({.text=t, .auth=policy})
+  //   OpenSession(text, opts, budget)   → OpenSession({.text=t,
+  //                                         .search=opts, .budget=budget})
+  // Constrained templates rather than plain string overloads so a braced
+  // QueryRequest initializer (no type to deduce) can never collide with
+  // them in overload resolution; string-ish arguments still land here and
+  // still draw the deprecation warning.
+  template <typename S, typename = std::enable_if_t<
+                            std::is_convertible_v<const S&, std::string>>>
+  [[deprecated("use Search(QueryRequest) — e.g. Search({.text = q})")]]
+  Result<QueryResult> Search(const S& query_text) const {
+    return Search(QueryRequest{.text = query_text});
+  }
+  template <typename S, typename = std::enable_if_t<
+                            std::is_convertible_v<const S&, std::string>>>
+  [[deprecated(
+      "use OpenSession(QueryRequest) — e.g. OpenSession({.text = q})")]]
+  Result<QuerySession> OpenSession(const S& query_text) const {
+    return OpenSession(QueryRequest{.text = query_text});
+  }
 
   /// Figure-2 style rendering of one answer against the *current* state.
   /// NodeIds are per-epoch: a tree produced before a refreeze renders
@@ -285,6 +288,12 @@ class BanksEngine {
 
   /// Short "Table(pk)" label of an answer's root (its information node).
   std::string RootLabel(const ConnectionTree& tree) const;
+
+  /// Resolves a table name to its id. Thread-safe (locks internally), so
+  /// callers that must not walk db() unsynchronized — the HTTP serving
+  /// tier mapping wire-level table names onto Rids — can use it while
+  /// writers run.
+  Result<uint32_t> TableId(const std::string& table) const;
 
   /// Direct storage access. NOT synchronized with the mutation API: the
   /// engine's query surfaces lock internally, but code that walks tables
@@ -328,12 +337,9 @@ class BanksEngine {
   BanksEngine(FromSnapshotTag, Database db, BanksOptions options,
               LiveStateSnapshot loaded);
 
-  /// The one query code path: every Search / OpenSession overload lands
-  /// here (`policy` null = no authorization).
-  Result<QuerySession> OpenSessionImpl(const std::string& query_text,
-                                       SearchOptions search,
-                                       const AuthPolicy* policy,
-                                       Budget budget) const;
+  /// The one query code path: every Search / OpenSession / SubmitQuery
+  /// entry point lands here with a fully-resolved QueryRequest.
+  Result<QuerySession> OpenSessionImpl(const QueryRequest& request) const;
 
   /// Rebuild + swap. The REQUIRES turns "caller holds the update mutex"
   /// into a compile-time contract under Clang (-Wthread-safety).

@@ -1,0 +1,51 @@
+// QueryRequest — the one canonical way to ask BANKS a question.
+//
+// Every query surface consumes this struct: BanksEngine::Search /
+// OpenSession / SubmitQuery, server::SessionPool::Submit, and the HTTP
+// serving tier (src/server/net/), whose POST /query body deserializes
+// field-for-field into a QueryRequest. Optional fields fall back to the
+// engine's configured defaults, so `{.text = "soumen sunita"}` behaves
+// exactly like the old zero-knob overloads did.
+//
+//   engine.Search({.text = "soumen sunita"});
+//   engine.OpenSession({.text = "query", .search = opts,
+//                       .budget = Budget::WithTimeout(50ms)});
+//   engine.Search({.text = "query", .auth = policy});
+#ifndef BANKS_CORE_QUERY_REQUEST_H_
+#define BANKS_CORE_QUERY_REQUEST_H_
+
+#include <optional>
+#include <string>
+
+#include "core/authorization.h"
+#include "core/expansion_search_base.h"
+#include "core/query.h"
+
+namespace banks {
+
+/// A fully-specified query: text plus every per-request knob.
+struct QueryRequest {
+  /// Keyword query text (required; empty text fails with kInvalidArgument).
+  std::string text;
+
+  /// Per-request search options. Unset = the engine's configured
+  /// `BanksOptions::search` (the engine's root-table exclusions are merged
+  /// in either way).
+  std::optional<SearchOptions> search;
+
+  /// Per-request keyword-matching knobs (metadata matching, approx
+  /// numeric probes). Unset = the engine's `BanksOptions::match`.
+  std::optional<MatchOptions> match;
+
+  /// Authorization context (§7): keywords never match hidden tables and
+  /// answers touching hidden tuples are suppressed. Unset = no policy.
+  std::optional<AuthPolicy> auth;
+
+  /// Execution budget (deadline / visit cap) enforced inside the
+  /// expansion stepper. Default = unlimited.
+  Budget budget;
+};
+
+}  // namespace banks
+
+#endif  // BANKS_CORE_QUERY_REQUEST_H_

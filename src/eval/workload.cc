@@ -127,7 +127,7 @@ double EvalWorkload::ScaledError(const EvalQuery& query,
   // Open a session and keep *its* snapshot for the scoring pass: the
   // answers' NodeIds belong to the epoch the session captured, not to
   // whatever engine.data_graph() returns after a concurrent refreeze.
-  auto session = engine.OpenSession(query.text, search);
+  auto session = engine.OpenSession({.text = query.text, .search = search});
   if (!session.ok()) return 100.0;
   DataGraphSnapshot snapshot = session.value().graph_snapshot();
   QueryResult result = session.value().DrainToResult();

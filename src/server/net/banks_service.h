@@ -1,0 +1,94 @@
+// BanksService — the HTTP/JSON protocol over one BanksEngine.
+//
+// Wire protocol (all bodies JSON; errors are
+// `{"error":{"code":<StatusCodeName>,"status":<http>,"message":...}}`):
+//
+//   POST /query     {"text": "soumen sunita", "deadline_ms": 50,
+//                    "max_visits": N, "max_answers": K,
+//                    "strategy": "backward|forward|bidirectional",
+//                    "include_metadata": bool, "hide_tables": [...],
+//                    "render": bool}
+//     -> 200, Transfer-Encoding: chunked, application/x-ndjson. One JSON
+//        object per answer, flushed as the engine emits it (the streaming
+//        §3 contract over the wire), then one summary line
+//        {"done":true,"answers":N,"visits":V,"truncation":...,
+//         "dropped_terms":[...]}.
+//     -> 429 when the SessionPool's admission queue is full (kOverloaded).
+//   GET  /stats     -> pool/engine/cache/server counters.
+//   POST /mutate    {"mutations":[{"op":"insert","table":T,"values":[..]},
+//                    {"op":"delete","table":T,"row":R},
+//                    {"op":"update","table":T,"row":R,"column":C,
+//                     "value":V}]} -> per-slot results + epoch/pending.
+//   POST /refreeze  {"force": bool}? -> RefreezeStats.
+//   POST /snapshot  {"path": "..."} -> SnapshotWriteStats.
+//
+// Unset query fields fall back to the engine defaults — the JSON surface
+// is a 1:1 image of QueryRequest (core/query_request.h); every field the
+// engine API exposes is reachable over the wire and nothing else is.
+#ifndef BANKS_SERVER_NET_BANKS_SERVICE_H_
+#define BANKS_SERVER_NET_BANKS_SERVICE_H_
+
+#include <functional>
+#include <string>
+
+#include "core/banks.h"
+#include "server/net/http.h"
+#include "server/net/http_server.h"
+#include "server/session_pool.h"
+#include "util/thread_annotations.h"
+
+namespace banks::server::net {
+
+struct BanksServiceOptions {
+  /// Pool configuration used when this service starts the engine's pool
+  /// (first starter wins — see BanksEngine::pool(options)).
+  PoolOptions pool;
+
+  /// When set, GET /stats also reports the transport's counters. Wired up
+  /// by the binary after it constructs the HttpServer (the service cannot
+  /// depend on the server object: the server holds the handler).
+  std::function<HttpServerStats()> server_stats;
+};
+
+/// Protocol handler; one instance serves every connection worker at once
+/// (Handle is thread-safe — the engine's serving surface is, and the
+/// service's own state is a mutex-guarded stats cache).
+class BanksService {
+ public:
+  explicit BanksService(BanksEngine* engine, BanksServiceOptions options = {});
+
+  /// The HttpServer handler: routes one request, writes one response.
+  void Handle(const HttpRequest& request, HttpResponseWriter& writer);
+
+  /// Wires up transport counters for GET /stats. Call before the server
+  /// starts serving (not synchronized against in-flight Handle calls).
+  void set_server_stats(std::function<HttpServerStats()> fn) {
+    options_.server_stats = std::move(fn);
+  }
+
+  /// The one answer serializer, shared by the streaming path and by the
+  /// tests/bench that assert an HTTP stream is byte-identical to
+  /// serializing a drained in-process session. Deterministic.
+  static std::string AnswerJson(const BanksEngine& engine,
+                                const ConnectionTree& tree, size_t rank,
+                                bool render);
+
+ private:
+  void HandleQuery(const HttpRequest& request, HttpResponseWriter& writer);
+  void HandleStats(const HttpRequest& request, HttpResponseWriter& writer);
+  void HandleMutate(const HttpRequest& request, HttpResponseWriter& writer);
+  void HandleRefreeze(const HttpRequest& request, HttpResponseWriter& writer);
+  void HandleSnapshot(const HttpRequest& request, HttpResponseWriter& writer);
+
+  BanksEngine* engine_;
+  BanksServiceOptions options_;
+
+  // Last refreeze outcome, replayed under GET /stats.
+  mutable util::Mutex refreeze_mu_;
+  bool have_last_refreeze_ BANKS_GUARDED_BY(refreeze_mu_) = false;
+  RefreezeStats last_refreeze_ BANKS_GUARDED_BY(refreeze_mu_);
+};
+
+}  // namespace banks::server::net
+
+#endif  // BANKS_SERVER_NET_BANKS_SERVICE_H_

@@ -1,0 +1,208 @@
+#include "server/net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace banks::server::net {
+
+namespace {
+
+std::string Lowered(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+std::string_view Trimmed(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+Status ParseRequestHead(std::string_view head, HttpRequest* out) {
+  *out = HttpRequest{};
+  size_t line_end = head.find("\r\n");
+  std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Status::InvalidArgument("malformed request line");
+  }
+  out->method = std::string(request_line.substr(0, sp1));
+  out->target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  out->version = std::string(request_line.substr(sp2 + 1));
+  if (out->method.empty() || out->target.empty() || out->target[0] != '/') {
+    return Status::InvalidArgument("malformed request line");
+  }
+  if (out->version != "HTTP/1.1" && out->version != "HTTP/1.0") {
+    return Status::InvalidArgument("unsupported HTTP version");
+  }
+
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    line_end = head.find("\r\n", pos);
+    std::string_view line = line_end == std::string_view::npos
+                                ? head.substr(pos)
+                                : head.substr(pos, line_end - pos);
+    pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+    if (line.empty()) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::InvalidArgument("malformed header line");
+    }
+    std::string_view name = line.substr(0, colon);
+    if (name != Trimmed(name)) {  // RFC 9112: no whitespace around the name
+      return Status::InvalidArgument("malformed header line");
+    }
+    out->headers.emplace_back(Lowered(name),
+                              std::string(Trimmed(line.substr(colon + 1))));
+  }
+
+  // Connection persistence: HTTP/1.1 defaults to keep-alive, 1.0 to close.
+  out->keep_alive = out->version == "HTTP/1.1";
+  if (const std::string* conn = out->FindHeader("connection")) {
+    std::string value = Lowered(*conn);
+    if (value == "close") out->keep_alive = false;
+    if (value == "keep-alive") out->keep_alive = true;
+  }
+  return Status::OK();
+}
+
+ReadResult ReadHttpRequest(const Socket& sock, std::string* carry,
+                           HttpRequest* out, const HttpLimits& limits) {
+  char buf[8192];
+
+  // Accumulate until the blank line terminating the head.
+  size_t head_end;
+  while ((head_end = carry->find("\r\n\r\n")) == std::string::npos) {
+    if (carry->size() > limits.max_header_bytes) return ReadResult::kTooLarge;
+    long n = sock.Recv(buf, sizeof(buf));
+    if (n < 0) return ReadResult::kIoError;
+    if (n == 0) {
+      // Clean close between requests is normal keep-alive termination;
+      // mid-head close is a protocol error.
+      return carry->empty() ? ReadResult::kClosed : ReadResult::kMalformed;
+    }
+    carry->append(buf, static_cast<size_t>(n));
+  }
+  if (head_end > limits.max_header_bytes) return ReadResult::kTooLarge;
+
+  if (!ParseRequestHead(std::string_view(*carry).substr(0, head_end), out)
+           .ok()) {
+    return ReadResult::kMalformed;
+  }
+  carry->erase(0, head_end + 4);
+
+  size_t body_len = 0;
+  if (const std::string* cl = out->FindHeader("content-length")) {
+    char* end = nullptr;
+    unsigned long long parsed = std::strtoull(cl->c_str(), &end, 10);
+    if (cl->empty() || end == nullptr || *end != '\0') {
+      return ReadResult::kMalformed;
+    }
+    if (parsed > limits.max_body_bytes) return ReadResult::kTooLarge;
+    body_len = static_cast<size_t>(parsed);
+  } else if (out->FindHeader("transfer-encoding") != nullptr) {
+    // Chunked request bodies are not needed by any client of this tier.
+    return ReadResult::kMalformed;
+  }
+
+  while (carry->size() < body_len) {
+    long n = sock.Recv(buf, sizeof(buf));
+    if (n <= 0) return n == 0 ? ReadResult::kMalformed : ReadResult::kIoError;
+    carry->append(buf, static_cast<size_t>(n));
+  }
+  out->body = carry->substr(0, body_len);
+  carry->erase(0, body_len);
+  return ReadResult::kRequest;
+}
+
+const char* HttpResponseWriter::ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default:  return "Unknown";
+  }
+}
+
+namespace {
+
+std::string ResponseHead(int status, std::string_view content_type,
+                         bool keep_alive) {
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                     HttpResponseWriter::ReasonPhrase(status) + "\r\n";
+  head += "Content-Type: ";
+  head += content_type;
+  head += "\r\nConnection: ";
+  head += keep_alive ? "keep-alive" : "close";
+  head += "\r\n";
+  return head;
+}
+
+}  // namespace
+
+bool HttpResponseWriter::SendFull(int status, std::string_view content_type,
+                                  std::string_view body, bool keep_alive) {
+  std::string out = ResponseHead(status, content_type, keep_alive);
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  out += body;
+  ok_ = ok_ && sock_->SendAll(out);
+  return ok_;
+}
+
+bool HttpResponseWriter::BeginChunked(int status,
+                                      std::string_view content_type,
+                                      bool keep_alive) {
+  std::string out = ResponseHead(status, content_type, keep_alive);
+  out += "Transfer-Encoding: chunked\r\n\r\n";
+  ok_ = ok_ && sock_->SendAll(out);
+  streaming_ = ok_;
+  return ok_;
+}
+
+bool HttpResponseWriter::WriteChunk(std::string_view data) {
+  if (data.empty()) return ok_;
+  char size_line[32];
+  std::snprintf(size_line, sizeof(size_line), "%zx\r\n", data.size());
+  std::string out = size_line;
+  out += data;
+  out += "\r\n";
+  ok_ = ok_ && sock_->SendAll(out);
+  return ok_;
+}
+
+bool HttpResponseWriter::EndChunked() {
+  ok_ = ok_ && sock_->SendAll("0\r\n\r\n");
+  streaming_ = false;
+  return ok_;
+}
+
+}  // namespace banks::server::net

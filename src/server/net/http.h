@@ -1,0 +1,100 @@
+// Minimal HTTP/1.1 request reader and response writer.
+//
+// Just enough protocol for the BANKS serving tier: request line + headers +
+// Content-Length bodies on the way in; fixed bodies or chunked
+// transfer-encoding (one flush per chunk, so streamed answers leave the
+// process the moment the engine emits them) on the way out. No TLS, no
+// compression, no multipart — the serving tier is an engine front-end, not
+// a general web server.
+#ifndef BANKS_SERVER_NET_HTTP_H_
+#define BANKS_SERVER_NET_HTTP_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "server/net/socket.h"
+#include "util/status.h"
+
+namespace banks::server::net {
+
+/// One parsed request. Header names are lowercased at parse time so lookup
+/// is case-insensitive per RFC 9110 without repeated folding.
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ... (verbatim, upper-case expected)
+  std::string target;   // request target, e.g. "/query"
+  std::string version;  // "HTTP/1.1" or "HTTP/1.0"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  /// `name` must already be lowercase. Returns nullptr when absent.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// Caps on attacker-controlled sizes; exceeding either aborts the
+/// connection with kTooLarge before the oversized data is buffered.
+struct HttpLimits {
+  size_t max_header_bytes = 64 << 10;
+  size_t max_body_bytes = 1 << 20;
+};
+
+enum class ReadResult {
+  kRequest,    // *out is a complete request
+  kClosed,     // peer closed cleanly between requests (keep-alive end)
+  kMalformed,  // unparseable head / bad Content-Length — send 400 and close
+  kTooLarge,   // a limit in HttpLimits was exceeded — send 431/413 and close
+  kIoError,    // recv failed mid-request (peer reset, shutdown)
+};
+
+/// Parses a full request head (request line + headers, no body) from
+/// `head`, which excludes the terminating blank line. Split out from socket
+/// reading so the parser is unit-testable without a connection.
+Status ParseRequestHead(std::string_view head, HttpRequest* out);
+
+/// Reads one request from `sock`. `carry` holds bytes received past the end
+/// of the previous request on this connection (keep-alive pipelining) and
+/// is updated for the next call; pass the same string for the connection's
+/// lifetime, starting empty.
+ReadResult ReadHttpRequest(const Socket& sock, std::string* carry,
+                           HttpRequest* out, const HttpLimits& limits);
+
+/// Writes one response to a socket, either as a single fixed-length body
+/// (SendFull) or as a chunked stream (BeginChunked / WriteChunk* /
+/// EndChunked). Every WriteChunk hits the wire immediately — with
+/// TCP_NODELAY on the connection, that is the tier's streaming contract:
+/// answer k is observable by the client before answer k+1 is computed.
+class HttpResponseWriter {
+ public:
+  explicit HttpResponseWriter(const Socket* sock) : sock_(sock) {}
+
+  /// Complete response with Content-Length. Returns false on send failure.
+  bool SendFull(int status, std::string_view content_type,
+                std::string_view body, bool keep_alive);
+
+  /// Starts a chunked response. Follow with WriteChunk, then EndChunked.
+  bool BeginChunked(int status, std::string_view content_type,
+                    bool keep_alive);
+  /// One chunk, flushed immediately. Empty data is a no-op (an empty chunk
+  /// would terminate the stream). Returns false once the peer is gone.
+  bool WriteChunk(std::string_view data);
+  /// Terminal zero-length chunk.
+  bool EndChunked();
+
+  /// False after any send failed; the connection must then be dropped.
+  bool ok() const { return ok_; }
+  /// True between BeginChunked and EndChunked.
+  bool streaming() const { return streaming_; }
+
+  static const char* ReasonPhrase(int status);
+
+ private:
+  const Socket* sock_;
+  bool ok_ = true;
+  bool streaming_ = false;
+};
+
+}  // namespace banks::server::net
+
+#endif  // BANKS_SERVER_NET_HTTP_H_

@@ -1,0 +1,189 @@
+#include "server/net/http_server.h"
+
+#include <utility>
+
+namespace banks::server::net {
+
+HttpServer::HttpServer(HttpServerOptions options, HttpHandler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  auto listener = Socket::Listen(options_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener.value());
+  port_ = listener_.LocalPort();
+  {
+    util::MutexLock lock(&mu_);
+    serving_.assign(static_cast<size_t>(options_.num_threads), nullptr);
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(static_cast<size_t>(options_.num_threads));
+  for (int i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!started_.load() || stopping_.exchange(true)) {
+    if (started_.load()) {
+      // A concurrent or earlier Stop() owns the teardown; just wait for it.
+      WaitUntilStopped();
+    }
+    return;
+  }
+  // Unblock the acceptor, then every worker parked in recv() on a live
+  // connection. The workers own their Sockets; we only shutdown().
+  listener_.ShutdownBoth();
+  {
+    util::MutexLock lock(&mu_);
+    for (Socket* conn : serving_) {
+      if (conn != nullptr) conn->ShutdownBoth();
+    }
+  }
+  queue_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  {
+    util::MutexLock lock(&mu_);
+    pending_.clear();
+    stopped_ = true;
+  }
+  stopped_cv_.notify_all();
+}
+
+void HttpServer::WaitUntilStopped() {
+  // Wait loops use the explicit `while (!cond) cv.wait(...)` form — the
+  // lambda-predicate overload defeats Clang's thread-safety analysis (see
+  // the note atop session_handle.cc).
+  util::MutexLock lock(&mu_);
+  while (!stopped_) stopped_cv_.wait(lock.native());
+}
+
+HttpServerStats HttpServer::stats() const {
+  util::MutexLock lock(&stats_mu_);
+  return stats_;
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto conn = listener_.Accept();
+    if (!conn.ok()) {
+      if (stopping_.load()) return;
+      continue;  // transient accept failure (e.g. EMFILE); keep serving
+    }
+    {
+      util::MutexLock lock(&stats_mu_);
+      ++stats_.accepted;
+    }
+    bool enqueued = false;
+    {
+      util::MutexLock lock(&mu_);
+      if (pending_.size() < options_.max_pending_connections) {
+        pending_.push_back(std::move(conn.value()));
+        enqueued = true;
+      }
+    }
+    if (enqueued) {
+      queue_cv_.notify_one();
+    } else {
+      // Queue overflow: refuse with a minimal 503 before a worker would
+      // ever see the connection. (Pool overload is the handler's 429.)
+      HttpResponseWriter writer(&conn.value());
+      writer.SendFull(503, "application/json",
+                      "{\"error\":{\"code\":\"Overloaded\",\"status\":503,"
+                      "\"message\":\"connection queue full\"}}\n",
+                      /*keep_alive=*/false);
+      util::MutexLock lock(&stats_mu_);
+      ++stats_.rejected_503;
+    }
+  }
+}
+
+void HttpServer::WorkerLoop(int worker_index) {
+  for (;;) {
+    Socket conn;
+    {
+      util::MutexLock lock(&mu_);
+      while (!stopping_.load() && pending_.empty()) {
+        queue_cv_.wait(lock.native());
+      }
+      if (stopping_.load()) return;
+      conn = std::move(pending_.front());
+      pending_.pop_front();
+      // Publish before serving so Stop() can shutdown() this connection.
+      serving_[static_cast<size_t>(worker_index)] = &conn;
+    }
+    {
+      util::MutexLock lock(&stats_mu_);
+      ++stats_.active_connections;
+    }
+    ServeConnection(conn);
+    {
+      util::MutexLock lock(&stats_mu_);
+      --stats_.active_connections;
+    }
+    {
+      // Clear before `conn` is destroyed; Stop() must never see a dangling
+      // pointer. shutdown() racing recv() on a live fd is fine, use-after-
+      // close is not.
+      util::MutexLock lock(&mu_);
+      serving_[static_cast<size_t>(worker_index)] = nullptr;
+    }
+  }
+}
+
+void HttpServer::ServeConnection(const Socket& conn) {
+  std::string carry;
+  while (!stopping_.load()) {
+    HttpRequest request;
+    ReadResult read = ReadHttpRequest(conn, &carry, &request, options_.limits);
+    HttpResponseWriter writer(&conn);
+    switch (read) {
+      case ReadResult::kRequest:
+        break;
+      case ReadResult::kClosed:
+      case ReadResult::kIoError:
+        return;
+      case ReadResult::kMalformed:
+        {
+          util::MutexLock lock(&stats_mu_);
+          ++stats_.parse_errors;
+        }
+        writer.SendFull(400, "application/json",
+                        "{\"error\":{\"code\":\"InvalidArgument\","
+                        "\"status\":400,\"message\":\"malformed HTTP "
+                        "request\"}}\n",
+                        /*keep_alive=*/false);
+        return;
+      case ReadResult::kTooLarge:
+        {
+          util::MutexLock lock(&stats_mu_);
+          ++stats_.parse_errors;
+        }
+        writer.SendFull(413, "application/json",
+                        "{\"error\":{\"code\":\"InvalidArgument\","
+                        "\"status\":413,\"message\":\"request too "
+                        "large\"}}\n",
+                        /*keep_alive=*/false);
+        return;
+    }
+    {
+      util::MutexLock lock(&stats_mu_);
+      ++stats_.requests;
+    }
+    handler_(request, writer);
+    // A handler that failed mid-send or left a chunked stream open has
+    // desynchronized the connection; drop it rather than reuse.
+    if (!writer.ok() || writer.streaming() || !request.keep_alive) return;
+  }
+}
+
+}  // namespace banks::server::net

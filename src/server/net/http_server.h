@@ -1,0 +1,114 @@
+// Threaded blocking-socket HTTP/1.1 server.
+//
+// Shape: one acceptor thread pushes accepted connections into a bounded
+// queue; a fixed pool of connection workers pops and serves each
+// connection's keep-alive request loop through a caller-supplied handler.
+// Blocking sockets + fixed threads is a deliberate fit for this tier: a
+// /query request parks its worker inside the SessionPool's streaming
+// stepper anyway, so an event loop would buy nothing — concurrency is
+// bounded by the pool's admission control, not by connection count.
+//
+// Overload story (two layers):
+//   - accept-queue full  -> minimal 503 and close (this file);
+//   - SessionPool full   -> 429 with a typed kOverloaded body (the
+//     handler's job, see banks_service.cc).
+#ifndef BANKS_SERVER_NET_HTTP_SERVER_H_
+#define BANKS_SERVER_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "server/net/http.h"
+#include "server/net/socket.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace banks::server::net {
+
+struct HttpServerOptions {
+  uint16_t port = 0;  // 0 = kernel-assigned; read back via port()
+  int num_threads = 4;
+  // Accepted-but-unserved connections beyond this are refused with 503.
+  size_t max_pending_connections = 64;
+  HttpLimits limits;
+};
+
+struct HttpServerStats {
+  uint64_t accepted = 0;
+  uint64_t requests = 0;
+  uint64_t rejected_503 = 0;   // accept-queue overflow
+  uint64_t parse_errors = 0;   // malformed / oversized requests
+  uint64_t active_connections = 0;
+};
+
+/// Handler contract: called once per parsed request, possibly from many
+/// worker threads at once — it must be thread-safe. It must write exactly
+/// one response through the writer (SendFull, or a complete chunked
+/// sequence). If it leaves the writer mid-stream or !ok(), the connection
+/// is dropped instead of reused.
+using HttpHandler = std::function<void(const HttpRequest&, HttpResponseWriter&)>;
+
+class HttpServer {
+ public:
+  HttpServer(HttpServerOptions options, HttpHandler handler);
+  ~HttpServer();  // calls Stop()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and spawns the acceptor + worker threads.
+  Status Start();
+
+  /// Stops accepting, unblocks every parked worker (listener and live
+  /// connections are shutdown()), and joins all threads. Idempotent;
+  /// callable from any thread except a worker.
+  void Stop();
+
+  /// Blocks until Stop() has been called (e.g. by a signal handler).
+  void WaitUntilStopped();
+
+  /// The bound port; valid after Start() succeeded.
+  uint16_t port() const { return port_; }
+
+  HttpServerStats stats() const;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop(int worker_index);
+  void ServeConnection(const Socket& conn);
+
+  const HttpServerOptions options_;
+  const HttpHandler handler_;
+
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  mutable util::Mutex mu_;
+  std::condition_variable queue_cv_;     // signalled on push and on stop
+  std::condition_variable stopped_cv_;   // signalled once by Stop()
+  std::deque<Socket> pending_ BANKS_GUARDED_BY(mu_);
+  // Per-worker slot pointing at the connection it is currently serving,
+  // so Stop() can shutdown() live sockets and unblock recv() — the fast
+  // shutdown path. Workers publish before serving, clear before the
+  // Socket is destroyed, both under mu_; shutdown-vs-recv on the same fd
+  // is safe concurrently.
+  std::vector<Socket*> serving_ BANKS_GUARDED_BY(mu_);
+  bool stopped_ BANKS_GUARDED_BY(mu_) = false;
+
+  mutable util::Mutex stats_mu_;
+  HttpServerStats stats_ BANKS_GUARDED_BY(stats_mu_);
+};
+
+}  // namespace banks::server::net
+
+#endif  // BANKS_SERVER_NET_HTTP_SERVER_H_

@@ -1,0 +1,73 @@
+// RAII TCP sockets for the HTTP serving tier.
+//
+// This is the ONLY translation unit in the repository allowed to issue
+// socket syscalls (socket/bind/listen/accept/connect/send/recv) — a repo
+// invariant enforced by tools/banks_lint.py, mirroring the mmap rule that
+// confines file mapping to src/snapshot/. Everything above (http.cc, the
+// server loop, benches, tests) talks to the network through this wrapper,
+// so ownership (close-on-destruct) and signal handling (MSG_NOSIGNAL, no
+// SIGPIPE) are decided in exactly one place.
+#ifndef BANKS_SERVER_NET_SOCKET_H_
+#define BANKS_SERVER_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace banks::server::net {
+
+/// One owned TCP socket file descriptor (listener or connection).
+/// Move-only; the destructor closes. I/O methods are const (they do not
+/// change which fd is owned) and may be used concurrently with
+/// ShutdownBoth() from another thread — that is how the server unblocks
+/// workers parked in recv()/accept() at shutdown.
+class Socket {
+ public:
+  Socket() = default;  // invalid (fd -1); Recv/Send fail cleanly
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Creates a listening socket on `port` (0 = kernel-assigned, see
+  /// LocalPort), bound to all interfaces, SO_REUSEADDR set.
+  static Result<Socket> Listen(uint16_t port, int backlog = 128);
+
+  /// Connects to 127.0.0.1:`port` (tests and the in-process bench client).
+  static Result<Socket> ConnectLoopback(uint16_t port);
+
+  /// Blocks for the next connection; TCP_NODELAY is set on it so streamed
+  /// answer chunks leave immediately. Fails once ShutdownBoth() was
+  /// called on the listener.
+  Result<Socket> Accept() const;
+
+  /// The locally-bound port (resolves kernel-assigned port 0).
+  uint16_t LocalPort() const;
+
+  /// Reads up to `len` bytes. >0 = bytes read, 0 = peer closed,
+  /// -1 = error (EINTR is retried internally).
+  long Recv(char* buf, size_t len) const;
+
+  /// Writes all of `data` (looping over short writes; EINTR retried;
+  /// MSG_NOSIGNAL so a dead peer is a false return, not a SIGPIPE).
+  bool SendAll(std::string_view data) const;
+
+  /// shutdown(SHUT_RDWR): unblocks any thread parked in Accept/Recv on
+  /// this socket. Does not close the fd (the owner still does).
+  void ShutdownBoth() const;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  explicit Socket(int fd) : fd_(fd) {}
+  void Close();
+
+  int fd_ = -1;
+};
+
+}  // namespace banks::server::net
+
+#endif  // BANKS_SERVER_NET_SOCKET_H_

@@ -37,16 +37,10 @@ SessionPool::SessionPool(const BanksEngine& engine, PoolOptions options)
 
 SessionPool::~SessionPool() { Shutdown(); }
 
-Result<SessionHandle> SessionPool::Submit(const std::string& query_text) {
-  return Submit(query_text, engine_->options().search, Budget{});
-}
-
-Result<SessionHandle> SessionPool::Submit(const std::string& query_text,
-                                          SearchOptions search,
-                                          Budget budget) {
+Result<SessionHandle> SessionPool::Submit(const QueryRequest& request) {
   // Keyword resolution runs on the submitting thread (a pure read of the
   // engine's immutable indexes), so workers only ever pump steppers.
-  auto session = engine_->OpenSession(query_text, std::move(search), budget);
+  auto session = engine_->OpenSession(request);
   if (!session.ok()) return session.status();
   return Submit(std::move(session).value());
 }
@@ -76,7 +70,7 @@ Result<SessionHandle> SessionPool::Submit(QuerySession session) {
       waiting_.push_back(task);
     } else {
       ++counters_.rejected;
-      return Status::FailedPrecondition(
+      return Status::Overloaded(
           "session pool overloaded: admission queue full (" +
           std::to_string(options_.max_active) + " active + " +
           std::to_string(options_.max_waiting) + " waiting)");

@@ -6,9 +6,8 @@
 // over a fixed set of worker threads, cooperatively:
 //
 //   auto& pool = engine.pool();                  // starts workers lazily
-//   auto handle = pool.Submit("soumen sunita",
-//                             engine.options().search,
-//                             Budget::WithTimeout(50ms));
+//   auto handle = pool.Submit({.text = "soumen sunita",
+//                              .budget = Budget::WithTimeout(50ms)});
 //   for (const auto& tree : handle.value().NextBatch(10))
 //     std::cout << engine.Render(tree);          // blocks as workers pump
 //
@@ -50,6 +49,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/query_request.h"
 #include "server/scheduler.h"
 #include "server/session_handle.h"
 #include "util/status.h"
@@ -88,7 +88,8 @@ struct PoolOptions {
   size_t max_active = 64;
 
   /// Bounded FIFO wait queue behind the admission cap; a Submit beyond
-  /// both caps is rejected with FailedPrecondition ("overloaded").
+  /// both caps is rejected with StatusCode::kOverloaded (the HTTP tier
+  /// maps it straight to 429).
   size_t max_waiting = 1024;
 };
 
@@ -148,10 +149,9 @@ class SessionPool {
   SessionPool& operator=(const SessionPool&) = delete;
 
   /// Opens a session (keyword resolution runs on the calling thread) and
-  /// schedules it. Fails on bad queries and on overload.
-  Result<SessionHandle> Submit(const std::string& query_text);
-  Result<SessionHandle> Submit(const std::string& query_text,
-                               SearchOptions search, Budget budget = {});
+  /// schedules it. Fails on bad queries (kInvalidArgument) and on
+  /// overload (kOverloaded).
+  Result<SessionHandle> Submit(const QueryRequest& request);
 
   /// Schedules a pre-opened session (its Budget's deadline becomes the
   /// scheduling priority). Fails on overload.

@@ -1,0 +1,88 @@
+// Minimal dependency-free JSON tree: strict parser + stable writer.
+//
+// The HTTP serving tier (src/server/net/) deserializes request bodies into
+// JsonValue and serializes answers/stats back out. The writer is
+// deterministic — same tree, same bytes — which is what lets the end-to-end
+// tests and bench_http_server assert that a streamed HTTP answer is
+// byte-identical to serializing the drained in-process QuerySession.
+//
+// Scope is deliberately small: UTF-8 text, no comments, no trailing commas,
+// objects keep insertion order (no sorting, duplicate keys rejected).
+#ifndef BANKS_UTIL_JSON_H_
+#define BANKS_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace banks {
+
+/// A parsed JSON document node. Cheap to move; copies are deep.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue Int(int64_t i);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  /// Strict parse of a complete JSON document (rejects trailing garbage,
+  /// duplicate object keys, and nesting deeper than `max_depth`).
+  static Result<JsonValue> Parse(std::string_view text, int max_depth = 64);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<Member>& members() const { return members_; }
+
+  /// Object lookup by key; nullptr when absent (or not an object).
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Array append / object insert (no duplicate-key check on insert).
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+  void Set(std::string key, JsonValue v) {
+    members_.emplace_back(std::move(key), std::move(v));
+  }
+
+  /// Serializes the tree; deterministic (insertion order, stable numbers).
+  std::string Dump() const;
+  void DumpTo(std::string* out) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+/// Appends `s` as a quoted JSON string literal (with escapes) to `out`.
+void JsonAppendQuoted(std::string* out, std::string_view s);
+
+/// Appends a JSON number for `d`: shortest decimal form that round-trips.
+/// Non-finite values (inf/nan are not representable in JSON) become null.
+void JsonAppendNumber(std::string* out, double d);
+
+}  // namespace banks
+
+#endif  // BANKS_UTIL_JSON_H_

@@ -23,6 +23,9 @@ enum class StatusCode {
   kIoError,
   kCorruption,
   kUnimplemented,
+  kOverloaded,
+  kDataLoss,
+  kInternal,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -37,6 +40,9 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kIoError: return "IoError";
     case StatusCode::kCorruption: return "Corruption";
     case StatusCode::kUnimplemented: return "Unimplemented";
+    case StatusCode::kOverloaded: return "Overloaded";
+    case StatusCode::kDataLoss: return "DataLoss";
+    case StatusCode::kInternal: return "Internal";
   }
   return "Unknown";
 }
@@ -69,6 +75,15 @@ class Status {
   }
   static Status Corruption(std::string m) {
     return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status Overloaded(std::string m) {
+    return Status(StatusCode::kOverloaded, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -61,7 +61,7 @@ TEST(ApproxQueryParseTest, FloatingPointValue) {
 
 TEST(ApproxQueryTest, PapersAroundYearRanked) {
   BanksEngine engine(MakeDb());
-  auto result = engine.Search("concurrency approx(1988)");
+  auto result = engine.Search({.text = "concurrency approx(1988)"});
   ASSERT_TRUE(result.ok());
   const auto& answers = result.value().answers;
   ASSERT_GE(answers.size(), 2u);
@@ -78,7 +78,7 @@ TEST(ApproxQueryTest, PapersAroundYearRanked) {
 
 TEST(ApproxQueryTest, ExactYearOutranksNearYear) {
   BanksEngine engine(MakeDb());
-  auto result = engine.Search("concurrency approx(1988)");
+  auto result = engine.Search({.text = "concurrency approx(1988)"});
   ASSERT_TRUE(result.ok());
   const auto& answers = result.value().answers;
   // p88 (distance 0) then p89 (distance 1): verify relative order.
@@ -95,7 +95,7 @@ TEST(ApproxQueryTest, ExactYearOutranksNearYear) {
 
 TEST(ApproxQueryTest, YearTokenInTitleMatches) {
   BanksEngine engine(MakeDb());
-  auto result = engine.Search("approx(1988)");
+  auto result = engine.Search({.text = "approx(1988)"});
   ASSERT_TRUE(result.ok());
   bool title_match = false;
   for (const auto& t : result.value().answers) {
@@ -106,7 +106,7 @@ TEST(ApproxQueryTest, YearTokenInTitleMatches) {
 
 TEST(ApproxQueryTest, AttributeRestrictedApproxIgnoresTitleTokens) {
   BanksEngine engine(MakeDb());
-  auto result = engine.Search("year:approx(1988)");
+  auto result = engine.Search({.text = "year:approx(1988)"});
   ASSERT_TRUE(result.ok());
   for (const auto& t : result.value().answers) {
     EXPECT_NE(engine.RootLabel(t), "Paper(pTitle)");
@@ -116,7 +116,7 @@ TEST(ApproxQueryTest, AttributeRestrictedApproxIgnoresTitleTokens) {
 
 TEST(ApproxQueryTest, LeafRelevancesRecorded) {
   BanksEngine engine(MakeDb());
-  auto result = engine.Search("concurrency approx(1990)");
+  auto result = engine.Search({.text = "concurrency approx(1990)"});
   ASSERT_TRUE(result.ok());
   bool found_inexact = false;
   for (const auto& t : result.value().answers) {
@@ -135,8 +135,8 @@ TEST(ApproxQueryTest, FuzzyKeywordRelevanceDampens) {
   BanksOptions options;
   options.match.approx.enable = true;
   BanksEngine engine(MakeDb(), options);
-  auto exact = engine.Search("foundations");
-  auto typo = engine.Search("foundatons");  // edit distance 1
+  auto exact = engine.Search({.text = "foundations"});
+  auto typo = engine.Search({.text = "foundatons"});  // edit distance 1
   ASSERT_TRUE(exact.ok() && typo.ok());
   ASSERT_FALSE(exact.value().answers.empty());
   ASSERT_FALSE(typo.value().answers.empty());

@@ -36,8 +36,8 @@ DblpPlanted* AuthTest::planted_ = nullptr;
 
 TEST_F(AuthTest, EmptyPolicyPassthrough) {
   AuthPolicy policy;
-  auto open = engine_->Search("soumen sunita");
-  auto authed = engine_->SearchAuthorized("soumen sunita", policy);
+  auto open = engine_->Search({.text = "soumen sunita"});
+  auto authed = engine_->Search({.text = "soumen sunita", .auth = policy});
   ASSERT_TRUE(open.ok() && authed.ok());
   EXPECT_EQ(open.value().answers.size(), authed.value().answers.size());
 }
@@ -45,7 +45,7 @@ TEST_F(AuthTest, EmptyPolicyPassthrough) {
 TEST_F(AuthTest, HiddenTableNeverAppearsInAnswers) {
   AuthPolicy policy;
   policy.HideTable(kCitesTable);
-  auto result = engine_->SearchAuthorized("transaction", policy);
+  auto result = engine_->Search({.text = "transaction", .auth = policy});
   ASSERT_TRUE(result.ok());
   uint32_t cites_id = engine_->db().table(kCitesTable)->id();
   for (const auto& tree : result.value().answers) {
@@ -60,7 +60,7 @@ TEST_F(AuthTest, HidingWritesKillsCoauthorAnswers) {
   // Writes must suppress them all.
   AuthPolicy policy;
   policy.HideTable(kWritesTable);
-  auto result = engine_->SearchAuthorized("soumen sunita", policy);
+  auto result = engine_->Search({.text = "soumen sunita", .auth = policy});
   ASSERT_TRUE(result.ok());
   uint32_t writes_id = engine_->db().table(kWritesTable)->id();
   for (const auto& tree : result.value().answers) {
@@ -73,7 +73,7 @@ TEST_F(AuthTest, HidingWritesKillsCoauthorAnswers) {
 TEST_F(AuthTest, KeywordMatchesFiltered) {
   AuthPolicy policy;
   policy.HideTable(kAuthorTable);
-  auto result = engine_->SearchAuthorized("mohan", policy);
+  auto result = engine_->Search({.text = "mohan", .auth = policy});
   ASSERT_TRUE(result.ok());
   // "mohan" only matches Author tuples: with the table hidden there are no
   // visible matches and no answers.

@@ -34,7 +34,7 @@ BanksEngine* EngineTest::engine_ = nullptr;
 DblpPlanted* EngineTest::planted_ = nullptr;
 
 TEST_F(EngineTest, CoauthorQueryFindsPlantedPapers) {
-  auto result = engine_->Search("soumen sunita");
+  auto result = engine_->Search({.text = "soumen sunita"});
   ASSERT_TRUE(result.ok());
   const auto& answers = result.value().answers;
   ASSERT_FALSE(answers.empty());
@@ -64,7 +64,7 @@ TEST_F(EngineTest, AnswersApproximatelySortedByRelevance) {
   // §3: the bounded output heap reorders an approximately-sorted stream;
   // exact order is not guaranteed, but inversions must be rare and the
   // best answer must surface at the front.
-  auto result = engine_->Search("soumen sunita");
+  auto result = engine_->Search({.text = "soumen sunita"});
   ASSERT_TRUE(result.ok());
   const auto& answers = result.value().answers;
   ASSERT_FALSE(answers.empty());
@@ -84,7 +84,7 @@ TEST_F(EngineTest, AnswersApproximatelySortedByRelevance) {
 TEST_F(EngineTest, ExhaustiveModeExactlySorted) {
   SearchOptions opts = engine_->options().search;
   opts.exhaustive = true;
-  auto result = engine_->Search("soumen sunita", opts);
+  auto result = engine_->Search({.text = "soumen sunita", .search = opts});
   ASSERT_TRUE(result.ok());
   const auto& answers = result.value().answers;
   for (size_t i = 1; i < answers.size(); ++i) {
@@ -93,7 +93,7 @@ TEST_F(EngineTest, ExhaustiveModeExactlySorted) {
 }
 
 TEST_F(EngineTest, AnswersAreValidAndDistinct) {
-  auto result = engine_->Search("soumen sunita");
+  auto result = engine_->Search({.text = "soumen sunita"});
   ASSERT_TRUE(result.ok());
   std::set<std::string> sigs;
   for (const auto& t : result.value().answers) {
@@ -104,13 +104,13 @@ TEST_F(EngineTest, AnswersAreValidAndDistinct) {
 }
 
 TEST_F(EngineTest, EmptyQueryRejected) {
-  auto result = engine_->Search("   ");
+  auto result = engine_->Search({.text = " "});
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(EngineTest, UnmatchedKeywordYieldsNoAnswersByDefault) {
-  auto result = engine_->Search("soumen zzzzunmatchable");
+  auto result = engine_->Search({.text = "soumen zzzzunmatchable"});
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result.value().answers.empty());
   ASSERT_EQ(result.value().dropped_terms.size(), 1u);
@@ -118,7 +118,7 @@ TEST_F(EngineTest, UnmatchedKeywordYieldsNoAnswersByDefault) {
 }
 
 TEST_F(EngineTest, RenderProducesIndentedTree) {
-  auto result = engine_->Search("soumen sunita");
+  auto result = engine_->Search({.text = "soumen sunita"});
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result.value().answers.empty());
   std::string text = engine_->Render(result.value().answers[0]);
@@ -127,7 +127,7 @@ TEST_F(EngineTest, RenderProducesIndentedTree) {
 }
 
 TEST_F(EngineTest, StatsReported) {
-  auto result = engine_->Search("soumen sunita");
+  auto result = engine_->Search({.text = "soumen sunita"});
   ASSERT_TRUE(result.ok());
   EXPECT_GT(result.value().stats.iterator_visits, 0u);
   EXPECT_GT(result.value().stats.num_iterators, 0u);
@@ -136,7 +136,7 @@ TEST_F(EngineTest, StatsReported) {
 TEST_F(EngineTest, PerQuerySearchOptionsRespected) {
   SearchOptions opts = engine_->options().search;
   opts.max_answers = 1;
-  auto result = engine_->Search("soumen sunita", opts);
+  auto result = engine_->Search({.text = "soumen sunita", .search = opts});
   ASSERT_TRUE(result.ok());
   EXPECT_LE(result.value().answers.size(), 1u);
 }
@@ -149,7 +149,7 @@ TEST(EnginePartialMatchTest, DroppedTermStillAnswersWhenAllowed) {
   BanksOptions options;
   options.allow_partial_match = true;
   BanksEngine engine(std::move(ds.db), options);
-  auto result = engine.Search("soumen zzzzunmatchable");
+  auto result = engine.Search({.text = "soumen zzzzunmatchable"});
   ASSERT_TRUE(result.ok());
   EXPECT_FALSE(result.value().answers.empty());
   ASSERT_EQ(result.value().dropped_terms.size(), 1u);
@@ -166,7 +166,7 @@ TEST(EnginePartialMatchTest, MultipleDroppedTermsReported) {
   BanksOptions options;
   options.allow_partial_match = true;
   BanksEngine engine(std::move(ds.db), options);
-  auto result = engine.Search("zzzznothing soumen qqqqnothing");
+  auto result = engine.Search({.text = "zzzznothing soumen qqqqnothing"});
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result.value().dropped_terms.size(), 2u);
   EXPECT_EQ(result.value().dropped_terms[0], 0u);
@@ -189,7 +189,7 @@ TEST(EnginePartialMatchTest, AllTermsDroppedYieldsNoAnswers) {
   BanksOptions options;
   options.allow_partial_match = true;
   BanksEngine engine(std::move(ds.db), options);
-  auto result = engine.Search("zzzznothing qqqqnothing");
+  auto result = engine.Search({.text = "zzzznothing qqqqnothing"});
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result.value().answers.empty());
   EXPECT_EQ(result.value().dropped_terms.size(), 2u);
@@ -201,7 +201,7 @@ TEST(EnginePartialMatchTest, StrictModeReportsEveryDroppedTerm) {
   config.num_papers = 60;
   DblpDataset ds = GenerateDblp(config);
   BanksEngine engine(std::move(ds.db));  // allow_partial_match = false
-  auto result = engine.Search("zzzznothing soumen qqqqnothing");
+  auto result = engine.Search({.text = "zzzznothing soumen qqqqnothing"});
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result.value().answers.empty());
   ASSERT_EQ(result.value().dropped_terms.size(), 2u);
@@ -219,7 +219,7 @@ TEST(EngineExclusionTest, ExcludedRootTablesByName) {
   BanksOptions options;
   options.excluded_root_tables = {"Writes", "Cites"};
   BanksEngine engine(std::move(ds.db), options);
-  auto result = engine.Search("soumen sunita");
+  auto result = engine.Search({.text = "soumen sunita"});
   ASSERT_TRUE(result.ok());
   for (const auto& t : result.value().answers) {
     Rid rid = engine.data_graph().RidForNode(t.root);
@@ -238,13 +238,43 @@ TEST(EngineMetadataTest, MetadataKeywordQuery) {
   BanksEngine engine(std::move(ds.db));
   // "author soumen": "author" matches every Author tuple via metadata; the
   // single-node answer Author(soumen) (satisfying both terms) should win.
-  auto result = engine.Search("author soumen");
+  auto result = engine.Search({.text = "author soumen"});
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result.value().answers.empty());
   const auto& top = result.value().answers[0];
   EXPECT_EQ(engine.RootLabel(top), "Author(" + soumen + ")");
   EXPECT_TRUE(top.edges.empty());
 }
+
+// The transitional text-only shims must answer exactly like the canonical
+// QueryRequest entry points until they are removed. They are [[deprecated]]
+// and CI builds with -Werror, so this test — their only remaining caller —
+// suppresses the warning locally.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(EngineShimTest, DeprecatedTextOverloadsMatchQueryRequest) {
+  DblpConfig config;
+  config.num_authors = 30;
+  config.num_papers = 40;
+  DblpDataset ds = GenerateDblp(config);
+  BanksEngine engine(std::move(ds.db));
+
+  auto via_shim = engine.Search("soumen sunita");
+  auto via_request = engine.Search({.text = "soumen sunita"});
+  ASSERT_TRUE(via_shim.ok());
+  ASSERT_TRUE(via_request.ok());
+  ASSERT_EQ(via_shim.value().answers.size(),
+            via_request.value().answers.size());
+  for (size_t i = 0; i < via_shim.value().answers.size(); ++i) {
+    EXPECT_EQ(engine.Render(via_shim.value().answers[i]),
+              engine.Render(via_request.value().answers[i]));
+  }
+
+  auto session = engine.OpenSession("soumen sunita");
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session.value().Drain().size(), via_request.value().answers.size());
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace banks

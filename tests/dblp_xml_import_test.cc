@@ -92,7 +92,7 @@ TEST(DblpXmlImportTest, SearchOverImportedData) {
   BanksEngine engine(std::move(db).value(), EvalWorkload::DefaultOptions());
 
   // The paper's own example query (§1): "sunita temporal".
-  auto result = engine.Search("sunita temporal");
+  auto result = engine.Search({.text = "sunita temporal"});
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result.value().answers.empty());
   std::string rendered = engine.Render(result.value().answers[0]);
@@ -101,7 +101,7 @@ TEST(DblpXmlImportTest, SearchOverImportedData) {
             std::string::npos);
 
   // "soumen sunita" joins through the VLDB'98 paper.
-  auto result2 = engine.Search("soumen sunita");
+  auto result2 = engine.Search({.text = "soumen sunita"});
   ASSERT_TRUE(result2.ok());
   ASSERT_FALSE(result2.value().answers.empty());
   bool found = false;

@@ -91,7 +91,7 @@ TEST(InclusionTest, GraphGetsInclusionEdges) {
 TEST(InclusionTest, KeywordSearchThroughInclusionEdges) {
   BanksEngine engine(MakeDb());
   // "asha gateway": Asha connects to the Gateway through the shared city.
-  auto result = engine.Search("asha gateway");
+  auto result = engine.Search({.text = "asha gateway"});
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result.value().answers.empty());
   EXPECT_TRUE(result.value().answers[0].IsValidTree());

@@ -44,7 +44,7 @@ EvalWorkload* AnecdoteTest::workload_ = nullptr;
 TEST_F(AnecdoteTest, MohanRankedByProlificness) {
   const BanksEngine& engine = workload_->dblp_engine();
   const DblpPlanted& p = workload_->dblp_planted();
-  auto result = engine.Search("mohan");
+  auto result = engine.Search({.text = "mohan"});
   ASSERT_TRUE(result.ok());
   const auto& answers = result.value().answers;
   ASSERT_GE(answers.size(), 3u);
@@ -58,7 +58,7 @@ TEST_F(AnecdoteTest, MohanRankedByProlificness) {
 TEST_F(AnecdoteTest, TransactionClassicsOnTop) {
   const BanksEngine& engine = workload_->dblp_engine();
   const DblpPlanted& p = workload_->dblp_planted();
-  auto result = engine.Search("transaction");
+  auto result = engine.Search({.text = "transaction"});
   ASSERT_TRUE(result.ok());
   const auto& answers = result.value().answers;
   ASSERT_GE(answers.size(), 2u);
@@ -74,7 +74,7 @@ TEST_F(AnecdoteTest, TransactionClassicsOnTop) {
 TEST_F(AnecdoteTest, ComputerEngineeringDepartmentWins) {
   const BanksEngine& engine = workload_->thesis_engine();
   const ThesisPlanted& p = workload_->thesis_planted();
-  auto result = engine.Search("computer engineering");
+  auto result = engine.Search({.text = "computer engineering"});
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result.value().answers.empty());
   EXPECT_EQ(RootLabelOf(engine, result.value().answers[0]),
@@ -86,7 +86,7 @@ TEST_F(AnecdoteTest, ComputerEngineeringDepartmentWins) {
 TEST_F(AnecdoteTest, SudarshanAdityaThesis) {
   const BanksEngine& engine = workload_->thesis_engine();
   const ThesisPlanted& p = workload_->thesis_planted();
-  auto result = engine.Search("sudarshan aditya");
+  auto result = engine.Search({.text = "sudarshan aditya"});
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result.value().answers.empty());
   // The top answer's tree must contain the planted thesis tuple.
@@ -108,7 +108,7 @@ TEST_F(AnecdoteTest, SudarshanAdityaThesis) {
 TEST_F(AnecdoteTest, SeltzerSunitaViaStonebraker) {
   const BanksEngine& engine = workload_->dblp_engine();
   const DblpPlanted& p = workload_->dblp_planted();
-  auto result = engine.Search("seltzer sunita");
+  auto result = engine.Search({.text = "seltzer sunita"});
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result.value().answers.empty());
   bool stonebraker_answer_found = false;
@@ -140,7 +140,7 @@ TEST_F(AnecdoteTest, EdgeLogRescuesStonebrakerBridge) {
     SearchOptions opts = engine.options().search;
     opts.scoring.edge_log = edge_log;
     opts.max_answers = 10;
-    auto result = engine.Search("seltzer sunita", opts);
+    auto result = engine.Search({.text = "seltzer sunita", .search = opts});
     if (!result.ok()) return 99;
     for (size_t i = 0; i < result.value().answers.size(); ++i) {
       for (NodeId n : result.value().answers[i].Nodes()) {
@@ -164,7 +164,7 @@ TEST_F(AnecdoteTest, EdgeLogRescuesStonebrakerBridge) {
 TEST_F(AnecdoteTest, Figure2SoumenSunita) {
   const BanksEngine& engine = workload_->dblp_engine();
   const DblpPlanted& p = workload_->dblp_planted();
-  auto result = engine.Search("soumen sunita");
+  auto result = engine.Search({.text = "soumen sunita"});
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result.value().answers.empty());
   std::string rendered = engine.Render(result.value().answers[0]);
@@ -209,8 +209,8 @@ TEST_F(PipelineTest, CsvRoundTripPreservesSearchResults) {
   BanksEngine reloaded(std::move(loaded).value());
 
   for (const char* query : {"soumen sunita", "mohan", "transaction"}) {
-    auto a = original.Search(query);
-    auto b = reloaded.Search(query);
+    auto a = original.Search({.text = query});
+    auto b = reloaded.Search({.text = query});
     ASSERT_TRUE(a.ok() && b.ok());
     ASSERT_EQ(a.value().answers.size(), b.value().answers.size()) << query;
     for (size_t i = 0; i < a.value().answers.size(); ++i) {
@@ -229,7 +229,7 @@ TEST_F(PipelineTest, SearchResultsBrowsable) {
   BanksEngine engine(std::move(ds.db));
   Browser browser(engine.db());
 
-  auto result = engine.Search("soumen sunita");
+  auto result = engine.Search({.text = "soumen sunita"});
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result.value().answers.empty());
   // Every node of the top answer must have a browsable tuple page.

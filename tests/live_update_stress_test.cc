@@ -50,7 +50,7 @@ TEST(LiveUpdateStress, RefreezeUnderActiveSessionPool) {
   // Serial ground truth on the pre-mutation snapshot.
   std::vector<std::vector<std::pair<std::string, double>>> expected;
   for (const auto& q : queries) {
-    auto result = engine.Search(q);
+    auto result = engine.Search({.text = q});
     ASSERT_TRUE(result.ok());
     expected.push_back(TreeKeys(result.value().answers));
   }
@@ -67,7 +67,7 @@ TEST(LiveUpdateStress, RefreezeUnderActiveSessionPool) {
   std::vector<size_t> pre_swap_query;
   for (int round = 0; round < kRounds; ++round) {
     for (size_t qi = 0; qi < queries.size(); ++qi) {
-      auto session = engine.OpenSession(queries[qi]);
+      auto session = engine.OpenSession({.text = queries[qi]});
       ASSERT_TRUE(session.ok());
       auto handle = pool.Submit(std::move(session).value());
       ASSERT_TRUE(handle.ok());
@@ -133,10 +133,10 @@ TEST(LiveUpdateStress, RefreezeUnderActiveSessionPool) {
   // see every ingested paper, and the pool reports the new epoch.
   ASSERT_TRUE(engine.Refreeze().ok());
   EXPECT_GE(engine.epoch(), 3u);
-  auto handle = pool.Submit("ingested corpus");
+  auto handle = pool.Submit({.text = "ingested corpus"});
   ASSERT_TRUE(handle.ok());
   EXPECT_FALSE(handle.value().Drain().empty());
-  auto fresh = engine.Search("soumen sunita ingested");
+  auto fresh = engine.Search({.text = "soumen sunita ingested"});
   ASSERT_TRUE(fresh.ok());
   EXPECT_FALSE(fresh.value().answers.empty());
   EXPECT_EQ(pool.stats().engine_epoch, engine.epoch());
@@ -176,7 +176,7 @@ TEST(LiveUpdateStress, ConcurrentOpensDuringIngestAndRefreeze) {
       size_t last = 0;
       // At least one probe even if the writer finishes first.
       do {
-        auto result = engine.Search("racy snapshot");
+        auto result = engine.Search({.text = "racy snapshot"});
         ASSERT_TRUE(result.ok());
         // Visibility is monotone: once a probe saw k ingested papers,
         // later probes see at least as many matches (inserts only).
@@ -190,7 +190,7 @@ TEST(LiveUpdateStress, ConcurrentOpensDuringIngestAndRefreeze) {
   writer.join();
 
   ASSERT_TRUE(engine.Refreeze().ok());
-  auto result = engine.Search("racy");
+  auto result = engine.Search({.text = "racy"});
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.value().keyword_matches[0].size(), 60u);
 }
@@ -242,7 +242,7 @@ TEST(LiveUpdateStress, BatchIngestAndMergeRefreezeUnderQueries) {
     readers.emplace_back([&] {
       size_t last = 0;
       do {
-        auto result = engine.Search("bulk ingested");
+        auto result = engine.Search({.text = "bulk ingested"});
         ASSERT_TRUE(result.ok());
         // Batches publish atomically: a probe sees whole bursts only, and
         // visibility is monotone (inserts only).
@@ -256,7 +256,7 @@ TEST(LiveUpdateStress, BatchIngestAndMergeRefreezeUnderQueries) {
   writer.join();
 
   EXPECT_EQ(engine.epoch(), 5u);
-  auto result = engine.Search("bulk soumen");
+  auto result = engine.Search({.text = "bulk soumen"});
   ASSERT_TRUE(result.ok());
   EXPECT_FALSE(result.value().answers.empty());
 }

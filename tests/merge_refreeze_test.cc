@@ -201,7 +201,7 @@ class BurstGen {
 std::vector<std::string> RenderedAnswers(const BanksEngine& engine,
                                          const std::string& query) {
   std::vector<std::string> out;
-  auto result = engine.Search(query);
+  auto result = engine.Search({.text = query});
   if (!result.ok()) {
     // Identical snapshots must produce the identical error (e.g. a term
     // every matching tuple of which was deleted).
@@ -479,7 +479,7 @@ TEST(MergeRefreezeTest, ApplyBatchChecksAutoRefreezeOnceAtBatchEnd) {
   // at the 3rd mutation and left 2 pending).
   EXPECT_EQ(engine.epoch(), 1u);
   EXPECT_EQ(engine.pending_mutations(), 0u);
-  EXPECT_EQ(engine.Search("threshold").value().answers.size(), 5u);
+  EXPECT_EQ(engine.Search({.text = "threshold"}).value().answers.size(), 5u);
 }
 
 TEST(MergeRefreezeTest, ApplyBatchAllFailuresPublishesNothing) {

@@ -244,9 +244,9 @@ TEST(QueryCacheEngine, RepeatHitsServeIdenticalAnswers) {
   const std::vector<std::string> queries = {
       "soumen sunita", "gray transaction", "mohan", "seltzer sunita"};
   for (const auto& q : queries) {
-    auto miss = cached.Search(q);
-    auto again = cached.Search(q);
-    auto reference = plain.Search(q);
+    auto miss = cached.Search({.text = q});
+    auto again = cached.Search({.text = q});
+    auto reference = plain.Search({.text = q});
     ASSERT_TRUE(miss.ok() && again.ok() && reference.ok());
     EXPECT_EQ(TreeKeys(again.value().answers),
               TreeKeys(reference.value().answers))
@@ -275,22 +275,21 @@ TEST(QueryCacheEngine, AuthorizedRunsBypassTheAnswerCache) {
 
   AuthPolicy policy;
   policy.HideTable(kCitesTable);
-  ASSERT_TRUE(engine.SearchAuthorized("soumen sunita", policy).ok());
-  ASSERT_TRUE(engine.SearchAuthorized("soumen sunita", policy).ok());
+  ASSERT_TRUE(engine.Search({.text = "soumen sunita", .auth = policy}).ok());
+  ASSERT_TRUE(engine.Search({.text = "soumen sunita", .auth = policy}).ok());
   QueryCacheStats s = engine.query_cache_stats();
   EXPECT_EQ(s.hits, 0u) << "auth results must never be served from cache";
   EXPECT_EQ(s.misses, 0u) << "auth runs must not even probe";
 
   // ...and must not have polluted the cache for the policy-free run.
-  auto unauthorized = engine.Search("soumen sunita");
+  auto unauthorized = engine.Search({.text = "soumen sunita"});
   ASSERT_TRUE(unauthorized.ok());
   s = engine.query_cache_stats();
   EXPECT_EQ(s.hits, 0u);
   EXPECT_EQ(s.misses, 1u);
 
   // A budgeted run likewise bypasses (it may truncate).
-  auto budgeted = engine.OpenSession(
-      "soumen sunita", engine.options().search, Budget::WithVisitCap(10));
+  auto budgeted = engine.OpenSession({.text = "soumen sunita", .search = engine.options().search, .budget = Budget::WithVisitCap(10)});
   ASSERT_TRUE(budgeted.ok());
   budgeted.value().Drain();
   EXPECT_EQ(engine.query_cache_stats().misses, 1u);
@@ -304,19 +303,19 @@ TEST(QueryCacheEngine, CancelledSessionsAreNotAdmitted) {
   DblpDataset ds = GenerateDblp(config);
   BanksEngine engine(std::move(ds.db), CachedOptions());
 
-  auto session = engine.OpenSession("soumen sunita");
+  auto session = engine.OpenSession({.text = "soumen sunita"});
   ASSERT_TRUE(session.ok());
   session.value().Next();
   session.value().Cancel();
   // The abandoned run must not have filled the cache: the next open is a
   // miss, not a hit on a partial answer list.
-  auto full = engine.Search("soumen sunita");
+  auto full = engine.Search({.text = "soumen sunita"});
   ASSERT_TRUE(full.ok());
   QueryCacheStats s = engine.query_cache_stats();
   EXPECT_EQ(s.hits, 0u);
   EXPECT_EQ(s.misses, 2u);
   // And the *complete* run was admitted: now it hits.
-  ASSERT_TRUE(engine.Search("soumen sunita").ok());
+  ASSERT_TRUE(engine.Search({.text = "soumen sunita"}).ok());
   EXPECT_EQ(engine.query_cache_stats().hits, 1u);
 }
 
@@ -331,8 +330,8 @@ TEST(QueryCacheEngine, MutationsInvalidateRefreezePurges) {
   BanksEngine cached(std::move(on_ds.db), CachedOptions());
   BanksEngine plain(std::move(off_ds.db));
 
-  ASSERT_TRUE(cached.Search("soumen sunita").ok());  // miss + fill
-  ASSERT_TRUE(cached.Search("gray transaction").ok());
+  ASSERT_TRUE(cached.Search({.text = "soumen sunita"}).ok());  // miss + fill
+  ASSERT_TRUE(cached.Search({.text = "gray transaction"}).ok());
 
   // Ingest a paper overlapping the first query's keyword set — on both
   // engines, so the reference stays comparable.
@@ -352,8 +351,8 @@ TEST(QueryCacheEngine, MutationsInvalidateRefreezePurges) {
   // Answer entries key on the exact pending count, so *both* cached
   // queries re-run; but "gray transaction"'s resolutions — untouched by
   // the ingest — are proven exact by the journal and reused.
-  auto after_on = cached.Search("soumen sunita");
-  auto after_off = plain.Search("soumen sunita");
+  auto after_on = cached.Search({.text = "soumen sunita"});
+  auto after_off = plain.Search({.text = "soumen sunita"});
   ASSERT_TRUE(after_on.ok() && after_off.ok());
   EXPECT_EQ(TreeKeys(after_on.value().answers),
             TreeKeys(after_off.value().answers));
@@ -361,7 +360,7 @@ TEST(QueryCacheEngine, MutationsInvalidateRefreezePurges) {
   EXPECT_GE(s.invalidations, 1u);
 
   const uint64_t res_hits_before = s.resolution_hits;
-  ASSERT_TRUE(cached.Search("gray transaction").ok());
+  ASSERT_TRUE(cached.Search({.text = "gray transaction"}).ok());
   EXPECT_GT(cached.query_cache_stats().resolution_hits, res_hits_before);
 
   // Refreeze purges every entry of the dead epoch...
@@ -370,9 +369,9 @@ TEST(QueryCacheEngine, MutationsInvalidateRefreezePurges) {
   EXPECT_GT(stats.value().cache_entries_purged, 0u);
   ASSERT_TRUE(plain.Refreeze().ok());
   // ...and the cache re-fills on the new epoch.
-  auto miss = cached.Search("soumen sunita");
-  auto hit = cached.Search("soumen sunita");
-  auto ref = plain.Search("soumen sunita");
+  auto miss = cached.Search({.text = "soumen sunita"});
+  auto hit = cached.Search({.text = "soumen sunita"});
+  auto ref = plain.Search({.text = "soumen sunita"});
   ASSERT_TRUE(miss.ok() && hit.ok() && ref.ok());
   EXPECT_EQ(TreeKeys(hit.value().answers), TreeKeys(ref.value().answers));
   EXPECT_GT(cached.query_cache_stats().hits, 0u);
@@ -389,7 +388,7 @@ TEST(QueryCacheEngine, PoolStatsSurfaceCacheCounters) {
   popts.num_workers = 2;
   server::SessionPool pool(engine, popts);
   for (int i = 0; i < 3; ++i) {
-    auto handle = pool.Submit("soumen sunita");
+    auto handle = pool.Submit({.text = "soumen sunita"});
     ASSERT_TRUE(handle.ok());
     handle.value().Drain();
   }
@@ -438,8 +437,8 @@ TEST(QueryCacheProperty, CacheOnEqualsCacheOffAcrossEpochs) {
     if (rng() % 10 < 7) {
       const std::string& q = queries[rng() % queries.size()];
       const QueryCacheStats pre = cached.query_cache_stats();
-      auto a = cached.Search(q);
-      auto b = plain.Search(q);
+      auto a = cached.Search({.text = q});
+      auto b = plain.Search({.text = q});
       ASSERT_TRUE(a.ok() && b.ok());
       const QueryCacheStats post = cached.query_cache_stats();
       ASSERT_EQ(TreeKeys(a.value().answers), TreeKeys(b.value().answers))
@@ -542,7 +541,7 @@ TEST(QueryCacheStress, ConcurrentHitMissEvictUnderMutations) {
         // Zipf-ish skew: low indices dominate, like the bench scenario.
         const size_t qi =
             std::min<size_t>(rng() % queries.size(), rng() % queries.size());
-        auto handle = pool.Submit(queries[qi]);
+        auto handle = pool.Submit({.text = queries[qi]});
         if (!handle.ok()) {
           failures.fetch_add(1);
           continue;
@@ -586,8 +585,8 @@ TEST(QueryCacheCoalesce, FollowerAdoptsTheLeadersRun) {
   DblpDataset ds = GenerateDblp(config);
   BanksEngine engine(std::move(ds.db), CachedOptions());
 
-  auto leader = engine.OpenSession("soumen sunita");
-  auto follower = engine.OpenSession("soumen sunita");
+  auto leader = engine.OpenSession({.text = "soumen sunita"});
+  auto follower = engine.OpenSession({.text = "soumen sunita"});
   ASSERT_TRUE(leader.ok() && follower.ok());
   EXPECT_EQ(engine.query_cache_stats().coalesced, 1u);
 
@@ -628,8 +627,8 @@ TEST(QueryCacheCoalesce, BlockingFollowerFallsBackImmediately) {
   DblpDataset ds = GenerateDblp(config);
   BanksEngine engine(std::move(ds.db), CachedOptions());
 
-  auto leader = engine.OpenSession("gray transaction");
-  auto follower = engine.OpenSession("gray transaction");
+  auto leader = engine.OpenSession({.text = "gray transaction"});
+  auto follower = engine.OpenSession({.text = "gray transaction"});
   ASSERT_TRUE(leader.ok() && follower.ok());
   EXPECT_EQ(engine.query_cache_stats().coalesced, 1u);
 
@@ -648,9 +647,9 @@ TEST(QueryCacheCoalesce, LeaderCancelAbortsTheFlight) {
   DblpDataset ds = GenerateDblp(config);
   BanksEngine engine(std::move(ds.db), CachedOptions());
 
-  auto leader = engine.OpenSession("seltzer sunita");
-  auto follower = engine.OpenSession("seltzer sunita");
-  auto reference = engine.OpenSession("mohan");  // unrelated key: no flight
+  auto leader = engine.OpenSession({.text = "seltzer sunita"});
+  auto follower = engine.OpenSession({.text = "seltzer sunita"});
+  auto reference = engine.OpenSession({.text = "mohan"});  // unrelated key: no flight
   ASSERT_TRUE(leader.ok() && follower.ok() && reference.ok());
 
   std::vector<ScoredAnswer> parked;
@@ -668,7 +667,7 @@ TEST(QueryCacheCoalesce, LeaderCancelAbortsTheFlight) {
     outcome = follower.value().PumpMany(1 << 20, &recovered);
   }
   EXPECT_EQ(outcome, PumpOutcome::kExhausted);
-  auto independent = engine.Search("seltzer sunita");
+  auto independent = engine.Search({.text = "seltzer sunita"});
   ASSERT_TRUE(independent.ok());
   ASSERT_EQ(recovered.size(), independent.value().answers.size());
   for (size_t i = 0; i < recovered.size(); ++i) {
@@ -699,7 +698,7 @@ TEST(QueryCacheCoalesce, PoolSurfacesCoalescedCounter) {
   submitters.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
     submitters.emplace_back([&] {
-      auto handle = pool.Submit("soumen sunita");
+      auto handle = pool.Submit({.text = "soumen sunita"});
       if (!handle.ok()) {
         failures.fetch_add(1);
         return;

@@ -45,23 +45,23 @@ void ExpectSameAnswers(const std::vector<ConnectionTree>& a,
 }
 
 TEST_F(QuerySessionTest, DrainMatchesBatchSearch) {
-  auto batch = engine_->Search("soumen sunita");
+  auto batch = engine_->Search({.text = "soumen sunita"});
   ASSERT_TRUE(batch.ok());
   ASSERT_FALSE(batch.value().answers.empty());
 
-  auto session = engine_->OpenSession("soumen sunita");
+  auto session = engine_->OpenSession({.text = "soumen sunita"});
   ASSERT_TRUE(session.ok());
   auto streamed = session.value().Drain();
   ExpectSameAnswers(streamed, batch.value().answers);
 }
 
 TEST_F(QuerySessionTest, NextBatchPaginatesInOrder) {
-  auto batch = engine_->Search("soumen sunita");
+  auto batch = engine_->Search({.text = "soumen sunita"});
   ASSERT_TRUE(batch.ok());
   const auto& all = batch.value().answers;
   ASSERT_GT(all.size(), 2u);
 
-  auto session = engine_->OpenSession("soumen sunita");
+  auto session = engine_->OpenSession({.text = "soumen sunita"});
   ASSERT_TRUE(session.ok());
   QuerySession& live = session.value();
 
@@ -80,7 +80,7 @@ TEST_F(QuerySessionTest, NextBatchPaginatesInOrder) {
 }
 
 TEST_F(QuerySessionTest, RanksAreSequential) {
-  auto session = engine_->OpenSession("soumen sunita");
+  auto session = engine_->OpenSession({.text = "soumen sunita"});
   ASSERT_TRUE(session.ok());
   size_t expected_rank = 0;
   while (auto answer = session.value().Next()) {
@@ -90,7 +90,7 @@ TEST_F(QuerySessionTest, RanksAreSequential) {
 }
 
 TEST_F(QuerySessionTest, CancelStopsTheStream) {
-  auto session = engine_->OpenSession("soumen sunita");
+  auto session = engine_->OpenSession({.text = "soumen sunita"});
   ASSERT_TRUE(session.ok());
   QuerySession& live = session.value();
   ASSERT_TRUE(live.Next().has_value());
@@ -106,10 +106,10 @@ TEST_F(QuerySessionTest, CancelStopsTheStream) {
 }
 
 TEST_F(QuerySessionTest, HasNextLookaheadLosesNoAnswer) {
-  auto batch = engine_->Search("soumen sunita");
+  auto batch = engine_->Search({.text = "soumen sunita"});
   ASSERT_TRUE(batch.ok());
 
-  auto session = engine_->OpenSession("soumen sunita");
+  auto session = engine_->OpenSession({.text = "soumen sunita"});
   ASSERT_TRUE(session.ok());
   QuerySession& live = session.value();
   std::vector<ConnectionTree> streamed;
@@ -123,13 +123,13 @@ TEST_F(QuerySessionTest, HasNextLookaheadLosesNoAnswer) {
 }
 
 TEST_F(QuerySessionTest, EmptyQueryIsInvalid) {
-  auto session = engine_->OpenSession("   ");
+  auto session = engine_->OpenSession({.text = " "});
   EXPECT_FALSE(session.ok());
   EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(QuerySessionTest, StrictModeUnmatchedTermOpensExhausted) {
-  auto session = engine_->OpenSession("soumen zzzzunmatchable");
+  auto session = engine_->OpenSession({.text = "soumen zzzzunmatchable"});
   ASSERT_TRUE(session.ok());
   QuerySession& live = session.value();
   ASSERT_EQ(live.dropped_terms().size(), 1u);
@@ -143,13 +143,13 @@ TEST_F(QuerySessionTest, StrictModeUnmatchedTermOpensExhausted) {
 
 TEST_F(QuerySessionTest, VisitBudgetYieldsPartialResultsAndTruncationStats) {
   SearchOptions options = engine_->options().search;
-  auto full = engine_->Search("author paper", options);
+  auto full = engine_->Search({.text = "author paper", .search = options});
   ASSERT_TRUE(full.ok());
   const size_t full_visits = full.value().stats.iterator_visits;
   ASSERT_GT(full_visits, 200u);
 
   auto session =
-      engine_->OpenSession("author paper", options, Budget::WithVisitCap(200));
+      engine_->OpenSession({.text = "author paper", .search = options, .budget = Budget::WithVisitCap(200)});
   ASSERT_TRUE(session.ok());
   auto partial = session.value().Drain();
   EXPECT_EQ(session.value().stats().truncation, Truncation::kVisitBudget);
@@ -162,7 +162,7 @@ TEST_F(QuerySessionTest, DeadlineBudgetTruncates) {
   SearchOptions options = engine_->options().search;
   Budget budget;
   budget.deadline = std::chrono::steady_clock::now();  // already expired
-  auto session = engine_->OpenSession("author paper", options, budget);
+  auto session = engine_->OpenSession({.text = "author paper", .search = options, .budget = budget});
   ASSERT_TRUE(session.ok());
   EXPECT_TRUE(session.value().Drain().empty());
   EXPECT_EQ(session.value().stats().truncation, Truncation::kDeadline);
@@ -178,10 +178,10 @@ TEST(QuerySessionAuthTest, AuthorizedSessionMatchesBatchAndHidesTables) {
   AuthPolicy policy;
   policy.HideTable("Cites");
 
-  auto batch = engine.SearchAuthorized("soumen sunita", policy);
+  auto batch = engine.Search({.text = "soumen sunita", .auth = policy});
   ASSERT_TRUE(batch.ok());
 
-  auto session = engine.OpenSessionAuthorized("soumen sunita", policy);
+  auto session = engine.OpenSession({.text = "soumen sunita", .auth = policy});
   ASSERT_TRUE(session.ok());
   auto streamed = session.value().Drain();
   ExpectSameAnswers(streamed, batch.value().answers);
@@ -205,7 +205,7 @@ TEST(QuerySessionPartialTest, DroppedTermsRemappedPerStreamedAnswer) {
   options.allow_partial_match = true;
   BanksEngine engine(std::move(ds.db), options);
 
-  auto session = engine.OpenSession("soumen zzzzunmatchable");
+  auto session = engine.OpenSession({.text = "soumen zzzzunmatchable"});
   ASSERT_TRUE(session.ok());
   QuerySession& live = session.value();
   ASSERT_EQ(live.dropped_terms().size(), 1u);

@@ -45,7 +45,7 @@ TEST(SessionPoolStressTest, MixedBudgetsAndCancellations) {
   // Serial ground truth for the unbudgeted full-drain sessions.
   std::vector<std::string> serial(kNumQueries);
   for (size_t i = 0; i < kNumQueries; ++i) {
-    auto result = engine.Search(kQueries[i]);
+    auto result = engine.Search({.text = kQueries[i]});
     ASSERT_TRUE(result.ok()) << kQueries[i];
     for (const auto& tree : result.value().answers) {
       serial[i] += engine.Render(tree);
@@ -84,7 +84,7 @@ TEST(SessionPoolStressTest, MixedBudgetsAndCancellations) {
             break;
         }
         auto submitted =
-            pool.Submit(kQueries[qi], engine.options().search, budget);
+            pool.Submit({.text = kQueries[qi], .search = engine.options().search, .budget = budget});
         ASSERT_TRUE(submitted.ok()) << kQueries[qi];
         accepted.fetch_add(1, std::memory_order_relaxed);
         server::SessionHandle handle = std::move(submitted).value();
@@ -173,7 +173,7 @@ TEST(SessionPoolStressTest, WorkStealingUnderContention) {
             budget = Budget::WithTimeout(std::chrono::milliseconds(5));
           }
           auto submitted =
-              pool.Submit(kQueries[qi], engine.options().search, budget);
+              pool.Submit({.text = kQueries[qi], .search = engine.options().search, .budget = budget});
           ASSERT_TRUE(submitted.ok()) << kQueries[qi];
           accepted.fetch_add(1, std::memory_order_relaxed);
           server::SessionHandle handle = std::move(submitted).value();
@@ -221,7 +221,7 @@ TEST(SessionPoolStressTest, SubmitDuringShutdownIsClean) {
     std::atomic<bool> stop{false};
     std::thread submitter([&] {
       while (!stop.load(std::memory_order_acquire)) {
-        auto handle = pool->Submit("author soumen");
+        auto handle = pool->Submit({.text = "author soumen"});
         if (!handle.ok()) break;  // pool shut down under us — expected
         handle.value().TryNext();
       }

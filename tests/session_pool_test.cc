@@ -78,7 +78,7 @@ TEST(SessionPoolTest, ConcurrentAnswersMatchSerialOnBothWorkloads) {
 
     std::vector<std::string> serial;
     for (const auto& text : texts) {
-      auto result = engine.Search(text);
+      auto result = engine.Search({.text = text});
       ASSERT_TRUE(result.ok()) << text;
       serial.push_back(RenderAll(engine, result.value().answers));
     }
@@ -93,7 +93,7 @@ TEST(SessionPoolTest, ConcurrentAnswersMatchSerialOnBothWorkloads) {
     std::vector<size_t> expect;
     for (int copy = 0; copy < kCopies; ++copy) {
       for (size_t i = 0; i < texts.size(); ++i) {
-        auto handle = pool.Submit(texts[i]);
+        auto handle = pool.Submit({.text = texts[i]});
         ASSERT_TRUE(handle.ok()) << texts[i];
         handles.push_back(std::move(handle).value());
         expect.push_back(i);
@@ -125,10 +125,10 @@ TEST(SessionPoolTest, ConcurrentAnswersMatchSerialOnBothWorkloads) {
 
 TEST(SessionPoolTest, EngineFacadeSubmitQuery) {
   const BanksEngine& engine = Workload().dblp_engine();
-  auto serial = engine.Search("soumen sunita");
+  auto serial = engine.Search({.text = "soumen sunita"});
   ASSERT_TRUE(serial.ok());
 
-  auto handle = engine.SubmitQuery("soumen sunita");
+  auto handle = engine.SubmitQuery({.text = "soumen sunita"});
   ASSERT_TRUE(handle.ok());
   auto answers = handle.value().Drain();
   EXPECT_EQ(RenderAll(engine, answers),
@@ -141,7 +141,7 @@ TEST(SessionPoolTest, EngineFacadeSubmitQuery) {
   // The pool is started once and reused.
   EXPECT_EQ(&engine.pool(), &engine.pool());
 
-  auto bad = engine.SubmitQuery("");
+  auto bad = engine.SubmitQuery({.text = ""});
   EXPECT_FALSE(bad.ok());
 }
 
@@ -156,7 +156,7 @@ TEST(SessionPoolTest, ConcurrentCancelVsNextBatch) {
   server::SessionPool pool(engine, popts);
 
   for (int round = 0; round < 8; ++round) {
-    auto submitted = pool.Submit("author paper", HeavyOptions(engine));
+    auto submitted = pool.Submit({.text = "author paper", .search = HeavyOptions(engine)});
     ASSERT_TRUE(submitted.ok());
     server::SessionHandle handle = std::move(submitted).value();
 
@@ -190,11 +190,13 @@ TEST(SessionPoolTest, AdmissionCapRejectsWhenQueueFull) {
   popts.max_waiting = 0;
   server::SessionPool pool(engine, popts);
 
-  auto first = pool.Submit("author paper", HeavyOptions(engine));
+  auto first = pool.Submit({.text = "author paper", .search = HeavyOptions(engine)});
   ASSERT_TRUE(first.ok());
-  auto second = pool.Submit("soumen sunita");
+  auto second = pool.Submit({.text = "soumen sunita"});
   EXPECT_FALSE(second.ok());
-  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+  // Overload is its own status code so callers (the HTTP tier's 429 path)
+  // never have to string-match; shutdown stays kFailedPrecondition.
+  EXPECT_EQ(second.status().code(), StatusCode::kOverloaded);
 
   first.value().Cancel();
   first.value().Wait();
@@ -203,7 +205,7 @@ TEST(SessionPoolTest, AdmissionCapRejectsWhenQueueFull) {
   EXPECT_EQ(stats.submitted, 1u);
 
   // With the heavy session retired the pool accepts again.
-  auto third = pool.Submit("soumen sunita");
+  auto third = pool.Submit({.text = "soumen sunita"});
   ASSERT_TRUE(third.ok());
   EXPECT_FALSE(third.value().Drain().empty());
 }
@@ -218,11 +220,11 @@ TEST(SessionPoolTest, BoundedWaitQueueAdmitsAfterCompletion) {
 
   // Saturate: one active + several waiting; all must eventually complete
   // with correct answers (FIFO admission behind the cap).
-  auto serial = engine.Search("soumen sunita");
+  auto serial = engine.Search({.text = "soumen sunita"});
   ASSERT_TRUE(serial.ok());
   std::vector<server::SessionHandle> handles;
   for (int i = 0; i < 5; ++i) {
-    auto handle = pool.Submit("soumen sunita");
+    auto handle = pool.Submit({.text = "soumen sunita"});
     ASSERT_TRUE(handle.ok()) << "submit #" << i;
     handles.push_back(std::move(handle).value());
   }
@@ -241,7 +243,7 @@ TEST(SessionPoolTest, ExpiredDeadlineSurfacesAsTruncation) {
   Budget late;
   late.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
   auto handle =
-      pool.Submit("author paper", engine.options().search, late);
+      pool.Submit({.text = "author paper", .search = engine.options().search, .budget = late});
   ASSERT_TRUE(handle.ok());
   EXPECT_TRUE(handle.value().Drain().empty());
   handle.value().Wait();
@@ -257,8 +259,8 @@ TEST(SessionPoolTest, ShutdownWakesWaitingConsumers) {
                                   .step_quantum = 8,
                                   .max_active = 1,
                                   .max_waiting = 4});
-  auto heavy = pool->Submit("author paper", HeavyOptions(engine));
-  auto queued = pool->Submit("soumen sunita");  // stuck behind the cap
+  auto heavy = pool->Submit({.text = "author paper", .search = HeavyOptions(engine)});
+  auto queued = pool->Submit({.text = "soumen sunita"});  // stuck behind the cap
   ASSERT_TRUE(heavy.ok());
   ASSERT_TRUE(queued.ok());
 
@@ -272,7 +274,7 @@ TEST(SessionPoolTest, ShutdownWakesWaitingConsumers) {
   EXPECT_TRUE(queued.value().Drain().empty());
 
   // Submitting after shutdown is rejected, not crashed.
-  auto refused = pool->Submit("soumen sunita");
+  auto refused = pool->Submit({.text = "soumen sunita"});
   EXPECT_FALSE(refused.ok());
 
   // Handles stay valid after the pool object is gone. The heavy session
@@ -302,7 +304,7 @@ TEST(SessionPoolTest, DeterministicUnderStealingAndAdaptiveQuanta) {
 
   std::vector<std::string> serial;
   for (const auto& text : texts) {
-    auto result = engine.Search(text);
+    auto result = engine.Search({.text = text});
     ASSERT_TRUE(result.ok()) << text;
     serial.push_back(RenderAll(engine, result.value().answers));
   }
@@ -320,7 +322,7 @@ TEST(SessionPoolTest, DeterministicUnderStealingAndAdaptiveQuanta) {
   std::vector<size_t> expect;
   for (int copy = 0; copy < kCopies; ++copy) {
     for (size_t i = 0; i < texts.size(); ++i) {
-      auto handle = pool.Submit(texts[i]);
+      auto handle = pool.Submit({.text = texts[i]});
       ASSERT_TRUE(handle.ok()) << texts[i];
       handles.push_back(std::move(handle).value());
       expect.push_back(i);

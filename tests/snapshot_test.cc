@@ -78,7 +78,7 @@ Database SmallDb(uint64_t seed = 42) {
 std::vector<std::string> RenderedAnswers(const BanksEngine& engine,
                                          const std::string& query) {
   std::vector<std::string> out;
-  auto result = engine.Search(query);
+  auto result = engine.Search({.text = query});
   if (!result.ok()) {
     out.push_back(result.status().ToString());
     return out;

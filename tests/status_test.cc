@@ -28,6 +28,9 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Overloaded("x").code(), StatusCode::kOverloaded);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -52,6 +55,9 @@ TEST(StatusCodeTest, Names) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
   EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOverloaded), "Overloaded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DataLoss");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
 }
 
 }  // namespace

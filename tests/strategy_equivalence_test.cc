@@ -51,7 +51,7 @@ std::vector<ConnectionTree> RunStrategy(const EvalQuery& q,
                                         SearchOptions options,
                                         SearchStats* stats) {
   const BanksEngine& engine = Workload().engine_for(q);
-  auto result = engine.Search(q.text, options);
+  auto result = engine.Search({.text = q.text, .search = options});
   EXPECT_TRUE(result.ok()) << q.name;
   if (!result.ok()) return {};
   if (stats != nullptr) *stats = result.value().stats;

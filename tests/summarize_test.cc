@@ -29,7 +29,7 @@ class SummarizeTest : public ::testing::Test {
 BanksEngine* SummarizeTest::engine_ = nullptr;
 
 TEST_F(SummarizeTest, SignatureUsesRelationNames) {
-  auto result = engine_->Search("soumen sunita");
+  auto result = engine_->Search({.text = "soumen sunita"});
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result.value().answers.empty());
   std::string sig = StructureSignature(result.value().answers[0],
@@ -42,7 +42,7 @@ TEST_F(SummarizeTest, SignatureUsesRelationNames) {
 TEST_F(SummarizeTest, SameShapeSameSignature) {
   // The two co-authored papers produce structurally identical answers:
   // Paper(Writes(Author) Writes(Author)).
-  auto result = engine_->Search("soumen sunita");
+  auto result = engine_->Search({.text = "soumen sunita"});
   ASSERT_TRUE(result.ok());
   const auto& answers = result.value().answers;
   ASSERT_GE(answers.size(), 2u);
@@ -73,7 +73,7 @@ TEST_F(SummarizeTest, ChildOrderIrrelevant) {
 }
 
 TEST_F(SummarizeTest, GroupByStructurePartitionsAnswers) {
-  auto result = engine_->Search("soumen sunita");
+  auto result = engine_->Search({.text = "soumen sunita"});
   ASSERT_TRUE(result.ok());
   const auto& answers = result.value().answers;
   auto groups = GroupByStructure(answers, engine_->data_graph(),
@@ -94,7 +94,7 @@ TEST_F(SummarizeTest, GroupByStructurePartitionsAnswers) {
 }
 
 TEST_F(SummarizeTest, FilterByStructure) {
-  auto result = engine_->Search("soumen sunita");
+  auto result = engine_->Search({.text = "soumen sunita"});
   ASSERT_TRUE(result.ok());
   const auto& answers = result.value().answers;
   auto groups = GroupByStructure(answers, engine_->data_graph(),
@@ -113,7 +113,7 @@ TEST_F(SummarizeTest, FilterByStructure) {
 }
 
 TEST_F(SummarizeTest, SingleNodeSignatureIsTableName) {
-  auto result = engine_->Search("mohan");
+  auto result = engine_->Search({.text = "mohan"});
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result.value().answers.empty());
   EXPECT_EQ(StructureSignature(result.value().answers[0],

@@ -35,8 +35,8 @@ std::vector<std::pair<std::string, double>> Fingerprints(
 TEST(LiveUpdateTest, InsertIsSearchableBeforeRefreeze) {
   DblpDataset ds = SmallDblp();
   BanksEngine engine(std::move(ds.db));
-  ASSERT_TRUE(engine.Search("zzyzxology").ok());
-  EXPECT_TRUE(engine.Search("zzyzxology").value().answers.empty());
+  ASSERT_TRUE(engine.Search({.text = "zzyzxology"}).ok());
+  EXPECT_TRUE(engine.Search({.text = "zzyzxology"}).value().answers.empty());
 
   auto rid = engine.InsertTuple(
       kPaperTable, Tuple({Value("P_new"), Value("On Zzyzxology at Scale")}));
@@ -46,7 +46,7 @@ TEST(LiveUpdateTest, InsertIsSearchableBeforeRefreeze) {
 
   // The acceptance-criterion query: the fresh tuple matches *before* any
   // refreeze, through InvertedIndexDelta + DeltaGraph.
-  auto result = engine.Search("zzyzxology");
+  auto result = engine.Search({.text = "zzyzxology"});
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result.value().answers.size(), 1u);
   const ConnectionTree& answer = result.value().answers[0];
@@ -70,7 +70,7 @@ TEST(LiveUpdateTest, InsertJoinsExistingDataThroughDeltaEdges) {
       engine.InsertTuple(kWritesTable, Tuple({Value(soumen), Value("P_fresh")}))
           .ok());
 
-  auto result = engine.Search("soumen quuxtastic");
+  auto result = engine.Search({.text = "soumen quuxtastic"});
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result.value().answers.empty());
   bool found = false;
@@ -95,7 +95,7 @@ TEST(LiveUpdateTest, DeltaAnswersMatchPostRefreezeAnswers) {
       engine.InsertTuple(kWritesTable, Tuple({Value(sunita), Value("P_d")}))
           .ok());
 
-  auto before = engine.Search("sunita frobnication");
+  auto before = engine.Search({.text = "sunita frobnication"});
   ASSERT_TRUE(before.ok());
   auto fp_before = Fingerprints(engine, before.value().answers);
 
@@ -106,7 +106,7 @@ TEST(LiveUpdateTest, DeltaAnswersMatchPostRefreezeAnswers) {
   EXPECT_EQ(engine.pending_mutations(), 0u);
   EXPECT_EQ(engine.state()->delta, nullptr);
 
-  auto after = engine.Search("sunita frobnication");
+  auto after = engine.Search({.text = "sunita frobnication"});
   ASSERT_TRUE(after.ok());
   // Delta-overlay answers and frozen-CSR answers agree up to the §2.2
   // weight refinement the refreeze applies (per-relation indegrees replace
@@ -126,10 +126,10 @@ TEST(LiveUpdateTest, DeleteStopsMatchingImmediatelyAndAfterRefreeze) {
   auto rid = engine.InsertTuple(
       kPaperTable, Tuple({Value("P_gone"), Value("Ephemeral Splineology")}));
   ASSERT_TRUE(rid.ok());
-  ASSERT_EQ(engine.Search("splineology").value().answers.size(), 1u);
+  ASSERT_EQ(engine.Search({.text = "splineology"}).value().answers.size(), 1u);
 
   ASSERT_TRUE(engine.DeleteTuple(rid.value()).ok());
-  EXPECT_TRUE(engine.Search("splineology").value().answers.empty());
+  EXPECT_TRUE(engine.Search({.text = "splineology"}).value().answers.empty());
 
   // Double delete is an error; the tombstoned row still renders for old
   // snapshots (storage keeps the data until the refreeze).
@@ -137,7 +137,7 @@ TEST(LiveUpdateTest, DeleteStopsMatchingImmediatelyAndAfterRefreeze) {
   EXPECT_NE(engine.db().Get(rid.value()), nullptr);
 
   ASSERT_TRUE(engine.Refreeze().ok());
-  EXPECT_TRUE(engine.Search("splineology").value().answers.empty());
+  EXPECT_TRUE(engine.Search({.text = "splineology"}).value().answers.empty());
 }
 
 TEST(LiveUpdateTest, DeleteOfFrozenTupleTombstonesBaseNode) {
@@ -154,7 +154,7 @@ TEST(LiveUpdateTest, DeleteOfFrozenTupleTombstonesBaseNode) {
   const std::string victim_id = engine.db().Get(victim)->at(0).AsString();
   ASSERT_TRUE(engine.DeleteTuple(victim).ok());
 
-  auto result = engine.Search(name);
+  auto result = engine.Search({.text = name});
   ASSERT_TRUE(result.ok());
   for (const auto& tree : result.value().answers) {
     EXPECT_EQ(engine.Render(tree).find("AuthorId=" + victim_id),
@@ -171,19 +171,19 @@ TEST(LiveUpdateTest, UpdateValueIsSearchableAndRefreezeDropsStaleTokens) {
   auto rid = engine.InsertTuple(
       kPaperTable, Tuple({Value("P_up"), Value("Wrongulated Draft")}));
   ASSERT_TRUE(rid.ok());
-  ASSERT_EQ(engine.Search("wrongulated").value().answers.size(), 1u);
+  ASSERT_EQ(engine.Search({.text = "wrongulated"}).value().answers.size(), 1u);
 
   ASSERT_TRUE(
       engine.UpdateValue(rid.value(), "PaperName", Value("Rectified Final"))
           .ok());
   // New tokens match immediately...
-  EXPECT_EQ(engine.Search("rectified").value().answers.size(), 1u);
+  EXPECT_EQ(engine.Search({.text = "rectified"}).value().answers.size(), 1u);
   // ...and the documented staleness: the old token still resolves to the
   // (current) tuple until the refreeze rebuilds the index, then vanishes.
-  EXPECT_EQ(engine.Search("wrongulated").value().answers.size(), 1u);
+  EXPECT_EQ(engine.Search({.text = "wrongulated"}).value().answers.size(), 1u);
   ASSERT_TRUE(engine.Refreeze().ok());
-  EXPECT_TRUE(engine.Search("wrongulated").value().answers.empty());
-  EXPECT_EQ(engine.Search("rectified").value().answers.size(), 1u);
+  EXPECT_TRUE(engine.Search({.text = "wrongulated"}).value().answers.empty());
+  EXPECT_EQ(engine.Search({.text = "rectified"}).value().answers.size(), 1u);
 
   // PK updates are rejected (Rid identity would change).
   EXPECT_FALSE(
@@ -228,18 +228,18 @@ TEST(LiveUpdateTest, UpdateRetargetsForeignKeyEdge) {
   const Rid writes_rid = writes.value();
 
   BanksEngine engine(std::move(db));
-  ASSERT_FALSE(engine.Search("alice gadgets").value().answers.empty());
-  ASSERT_TRUE(engine.Search("bobby gadgets").value().answers.empty());
+  ASSERT_FALSE(engine.Search({.text = "alice gadgets"}).value().answers.empty());
+  ASSERT_TRUE(engine.Search({.text = "bobby gadgets"}).value().answers.empty());
 
   // Retarget the authorship: the old overlay edge dies, the new one joins
   // bobby to the paper — before any refreeze.
   ASSERT_TRUE(engine.UpdateValue(writes_rid, "AuthorId", Value("A2")).ok());
-  EXPECT_TRUE(engine.Search("alice gadgets").value().answers.empty());
-  EXPECT_FALSE(engine.Search("bobby gadgets").value().answers.empty());
+  EXPECT_TRUE(engine.Search({.text = "alice gadgets"}).value().answers.empty());
+  EXPECT_FALSE(engine.Search({.text = "bobby gadgets"}).value().answers.empty());
 
   ASSERT_TRUE(engine.Refreeze().ok());
-  EXPECT_TRUE(engine.Search("alice gadgets").value().answers.empty());
-  EXPECT_FALSE(engine.Search("bobby gadgets").value().answers.empty());
+  EXPECT_TRUE(engine.Search({.text = "alice gadgets"}).value().answers.empty());
+  EXPECT_FALSE(engine.Search({.text = "bobby gadgets"}).value().answers.empty());
 }
 
 TEST(LiveUpdateTest, AutoRefreezeAtThreshold) {
@@ -265,7 +265,7 @@ TEST(LiveUpdateTest, AutoRefreezeAtThreshold) {
   // The third mutation crossed the threshold: refreeze ran synchronously.
   EXPECT_EQ(engine.epoch(), 1u);
   EXPECT_EQ(engine.pending_mutations(), 0u);
-  EXPECT_EQ(engine.Search("autofreeze").value().answers.size(), 3u);
+  EXPECT_EQ(engine.Search({.text = "autofreeze"}).value().answers.size(), 3u);
 }
 
 TEST(LiveUpdateTest, SessionOpenedBeforeMutationIsUnaffected) {
@@ -274,10 +274,10 @@ TEST(LiveUpdateTest, SessionOpenedBeforeMutationIsUnaffected) {
   const std::string sunita = ds.planted.sunita;
   BanksEngine engine(std::move(ds.db));
 
-  auto baseline = engine.Search("soumen sunita");
+  auto baseline = engine.Search({.text = "soumen sunita"});
   ASSERT_TRUE(baseline.ok());
 
-  auto session = engine.OpenSession("soumen sunita");
+  auto session = engine.OpenSession({.text = "soumen sunita"});
   ASSERT_TRUE(session.ok());
 
   // Mutate + refreeze while the session is open but undrained: a heavily
@@ -307,7 +307,7 @@ TEST(LiveUpdateTest, SessionOpenedBeforeMutationIsUnaffected) {
   }
 
   // A session opened now runs on the new epoch and sees the new paper.
-  auto fresh = engine.Search("soumen sunita midstream");
+  auto fresh = engine.Search({.text = "soumen sunita midstream"});
   ASSERT_TRUE(fresh.ok());
   ASSERT_FALSE(fresh.value().answers.empty());
 }
@@ -338,7 +338,7 @@ TEST(LiveUpdateTest, CrossEpochRenderIsSafeAndSessionSnapshotIsExact) {
                                                    Value("Epochal Writings")}))
                   .ok());
 
-  auto session = engine.OpenSession("epochal");
+  auto session = engine.OpenSession({.text = "epochal"});
   ASSERT_TRUE(session.ok());
   auto answer = session.value().Next();
   ASSERT_TRUE(answer.has_value());

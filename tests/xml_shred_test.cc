@@ -65,7 +65,7 @@ TEST(XmlShredTest, KeywordSearchOverXml) {
   BanksEngine engine(std::move(db).value());
   // Two keywords from different children of the same <book>: the book
   // element is the information node connecting title and author.
-  auto result = engine.Search("gray transaction");
+  auto result = engine.Search({.text = "gray transaction"});
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result.value().answers.empty());
   const auto& top = result.value().answers[0];
@@ -88,7 +88,7 @@ TEST(XmlShredTest, MetadataKeywordMatchesTagTable) {
   ASSERT_TRUE(db.ok());
   BanksEngine engine(std::move(db).value());
   // "element" matches the Element relation name: every element tuple.
-  auto result = engine.Search("element bhalotia");
+  auto result = engine.Search({.text = "element bhalotia"});
   ASSERT_TRUE(result.ok());
   EXPECT_FALSE(result.value().answers.empty());
 }
@@ -97,7 +97,7 @@ TEST(XmlShredTest, AttributeValuesSearchable) {
   auto db = XmlToDatabase(kBibXml);
   ASSERT_TRUE(db.ok());
   BanksEngine engine(std::move(db).value());
-  auto result = engine.Search("1993 gray");
+  auto result = engine.Search({.text = "1993 gray"});
   ASSERT_TRUE(result.ok());
   ASSERT_FALSE(result.value().answers.empty());
 }

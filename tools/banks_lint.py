@@ -38,6 +38,15 @@ type system cannot see:
       would mean a second, unaudited lifetime contract. Everything else
       reaches mapped state through OpenSnapshot.
 
+  socket-confinement
+      Raw socket syscalls (socket/bind/listen/accept/connect/send/recv
+      and friends) are confined to src/server/net/socket.cc — the one TU
+      that decides fd ownership (close-on-destruct) and signal behaviour
+      (MSG_NOSIGNAL, EINTR retries) for the serving tier. Everything
+      above it — the HTTP layer, the server loop, benches, tests,
+      examples — talks TCP through the Socket wrapper, mirroring the
+      mmap rule.
+
   no-raw-new-delete
       src/ owns memory through containers and smart pointers; a raw
       `new`/`delete` expression is either a leak-by-design or a double-
@@ -88,6 +97,15 @@ CACHE_MUTATION_ALLOWED = ("src/server/", "src/update/")
 MMAP_FAMILY = ("mmap", "munmap", "mremap", "madvise")
 MMAP_CALL = re.compile(r"\b(" + "|".join(MMAP_FAMILY) + r")\s*\(")
 SNAPSHOT_IO_ALLOWED = "src/snapshot/"
+
+# The unambiguous syscall names match bare; bind/connect/send/recv/shutdown
+# collide with ordinary method names, so only their ::-qualified spellings
+# (the repo convention for syscalls) are claimed by the rule.
+SOCKET_FAMILY = ("socket", "listen", "accept", "accept4", "setsockopt",
+                 "getsockname", "recvfrom", "sendto")
+SOCKET_CALL = re.compile(r"\b(" + "|".join(SOCKET_FAMILY) + r")\s*\(")
+SOCKET_QUALIFIED = re.compile(r"::(bind|connect|send|recv|shutdown)\s*\(")
+SOCKET_IO_ALLOWED = "src/server/net/socket.cc"
 
 RAW_NEW = re.compile(r"\bnew\b\s*(?:\(|[A-Za-z_:<])")
 RAW_DELETE = re.compile(r"\bdelete\b(?:\s*\[\s*\])?\s*[A-Za-z_(*]")
@@ -221,6 +239,19 @@ class Linter:
                     "reader owns the only mapping; reach mapped state "
                     "through OpenSnapshot")
 
+    def check_socket_confinement(self, rel: str,
+                                 code_lines: list[str]) -> None:
+        if rel == SOCKET_IO_ALLOWED:
+            return
+        for lineno, line in enumerate(code_lines, 1):
+            m = SOCKET_CALL.search(line) or SOCKET_QUALIFIED.search(line)
+            if m:
+                self.report(
+                    rel, lineno, "socket-confinement",
+                    f"{m.group(1)}() outside src/server/net/socket.cc: "
+                    "fd ownership and signal behaviour are decided in one "
+                    "TU; reach the network through the Socket wrapper")
+
     def check_raw_new_delete(self, rel: str, code_lines: list[str],
                              raw_lines: list[str]) -> None:
         if not rel.startswith("src/"):
@@ -282,6 +313,7 @@ class Linter:
         self.check_index_mutations(rel, code_lines)
         self.check_cache_mutations(rel, code_lines)
         self.check_snapshot_io(rel, code_lines)
+        self.check_socket_confinement(rel, code_lines)
         self.check_raw_new_delete(rel, code_lines, raw_lines)
         self.check_suppressions(rel, code_lines, raw_lines)
 

@@ -170,6 +170,46 @@ class SnapshotIoTest(LintFixture):
         self.assertEqual(self.lint(), [])
 
 
+class SocketConfinementTest(LintFixture):
+    def test_qualified_syscall_outside_wrapper_flagged(self):
+        self.write("src/server/net/http.cc",
+                   "void F(int fd) { ::connect(fd, addr, len); }\n")
+        violations = self.lint()
+        self.assertEqual(len(violations), 1)
+        self.assertIn("socket-confinement", violations[0])
+
+    def test_bare_family_flagged_everywhere_walked(self):
+        self.write("src/core/engine.cc",
+                   "void F() { int fd = socket(AF_INET, SOCK_STREAM, 0); }\n")
+        self.write("bench/bench_http.cc",
+                   "void F(int fd) { accept(fd, nullptr, nullptr); }\n")
+        self.write("examples/demo.cc",
+                   "void F(int fd) { sendto(fd, b, n, 0, a, l); }\n")
+        self.write("tests/net_test.cc",
+                   "void F(int fd) { setsockopt(fd, SOL_SOCKET, o, v, l); }\n")
+        violations = self.lint()
+        self.assertEqual(len(violations), 4)
+        self.assertTrue(all("socket-confinement" in v for v in violations))
+
+    def test_syscalls_in_socket_cc_ok(self):
+        self.write("src/server/net/socket.cc",
+                   "void F() { int fd = ::socket(AF_INET, SOCK_STREAM, 0);\n"
+                   "           ::bind(fd, addr, len); ::listen(fd, 128);\n"
+                   "           ::shutdown(fd, SHUT_RDWR); }\n")
+        self.assertEqual(self.lint(), [])
+
+    def test_wrapper_methods_and_comments_ok(self):
+        self.write("src/server/net/http_server.cc",
+                   "// accept(2) and listen(2) live in socket.cc only\n"
+                   "void F() { auto conn = listener_.Accept();\n"
+                   "           conn.value().ShutdownBoth();\n"
+                   "           long n = sock.Recv(buf, len);\n"
+                   "           sock.SendAll(data); }\n")
+        self.write("tests/http_test.cc",
+                   "void F() { auto c = Socket::ConnectLoopback(port); }\n")
+        self.assertEqual(self.lint(), [])
+
+
 class RawNewDeleteTest(LintFixture):
     def test_raw_new_flagged(self):
         self.write("src/datagen/x.cc", "auto* p = new std::vector<int>{1};\n")

@@ -37,6 +37,10 @@ GATED_BENCHES = [
         ],
     },
     {
+        "binary": "bench_http_server",
+        "reports": ["BENCH_http_server.json"],
+    },
+    {
         "binary": "bench_refreeze",
         "reports": ["BENCH_refreeze.json"],
     },
